@@ -1,0 +1,41 @@
+//! Criterion end-to-end benchmarks: one reduced-configuration simulation
+//! per paper experiment family (the full-size regenerators are the
+//! `src/bin/figNN` binaries; these benches track simulator performance).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use vtq::experiment::{self, ExperimentConfig, Prepared};
+use vtq::prelude::*;
+
+fn prepared() -> Prepared {
+    let mut cfg = ExperimentConfig::quick();
+    cfg.resolution = 48;
+    Prepared::build(SceneId::Ref, &cfg)
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let p = prepared();
+    let mut g = c.benchmark_group("simulate_quick");
+    g.sample_size(10);
+    g.bench_function("baseline", |b| b.iter(|| black_box(p.run_policy(TraversalPolicy::Baseline))));
+    g.bench_function("prefetch", |b| {
+        b.iter(|| black_box(p.run_policy(TraversalPolicy::TreeletPrefetch)))
+    });
+    g.bench_function("vtq", |b| b.iter(|| black_box(p.run_vtq(VtqParams::default()))));
+    g.bench_function("vtq_norepack", |b| {
+        b.iter(|| black_box(p.run_vtq(VtqParams { repack_threshold: 0, ..Default::default() })))
+    });
+    g.finish();
+}
+
+fn bench_analytical_model(c: &mut Criterion) {
+    let p = prepared();
+    let mut g = c.benchmark_group("analytical");
+    g.sample_size(10);
+    g.bench_function("record_and_evaluate", |b| {
+        b.iter(|| black_box(experiment::fig05(&p, &[32, 512, 4096])))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_policies, bench_analytical_model);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Criterion micro-benchmarks of the substrates: scene generation, BVH
+//! construction, treelet partitioning and the cache hierarchy.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gpumem::{AccessKind, CachePolicy, MemConfig, MemorySystem};
+use rtbvh::{Bvh, BvhConfig};
+use rtscene::lumibench::{self, SceneId};
+
+fn bench_scene_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scene_generation");
+    for (id, div) in [(SceneId::Bunny, 4), (SceneId::Lands, 16), (SceneId::Party, 16)] {
+        g.bench_function(format!("{id}_div{div}"), |b| {
+            b.iter(|| lumibench::build_scaled(black_box(id), div))
+        });
+    }
+    g.finish();
+}
+
+fn bench_bvh_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bvh_build");
+    for (id, div) in [(SceneId::Bunny, 4), (SceneId::Lands, 16)] {
+        let scene = lumibench::build_scaled(id, div);
+        g.bench_function(format!("{id}_{}tris", scene.triangles().len()), |b| {
+            b.iter(|| Bvh::build(black_box(scene.triangles()), &BvhConfig::default()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_treelet_partition(c: &mut Criterion) {
+    // Isolate partitioning by rebuilding with different budgets over the
+    // same geometry (build cost is shared; the delta is the partition).
+    let scene = lumibench::build_scaled(SceneId::Lands, 16);
+    let mut g = c.benchmark_group("treelet_partition");
+    for budget in [1024u32, 8192, 65536] {
+        g.bench_function(format!("budget{budget}"), |b| {
+            b.iter(|| {
+                Bvh::build(
+                    black_box(scene.triangles()),
+                    &BvhConfig { treelet_bytes: budget, ..Default::default() },
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_memory_system(c: &mut Criterion) {
+    let mut g = c.benchmark_group("memory_system");
+    g.bench_function("l1_hits", |b| {
+        let mut mem = MemorySystem::new(&MemConfig::default());
+        mem.access(0, 0, 128, AccessKind::Bvh, CachePolicy::L1AndL2, 0);
+        let mut t = 1000u64;
+        b.iter(|| {
+            t += 50;
+            black_box(mem.access(0, 0, 128, AccessKind::Bvh, CachePolicy::L1AndL2, t))
+        })
+    });
+    g.bench_function("streaming_misses", |b| {
+        let mut mem = MemorySystem::new(&MemConfig::default());
+        let mut addr = 0u64;
+        let mut t = 0u64;
+        b.iter(|| {
+            addr += 128;
+            t += 700;
+            black_box(mem.access(0, addr, 128, AccessKind::Bvh, CachePolicy::L1AndL2, t))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_scene_generation,
+    bench_bvh_build,
+    bench_treelet_partition,
+    bench_memory_system
+);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Criterion micro-benchmarks of traversal: CPU reference intersection,
+//! the two-stack treelet traversal order, and workload generation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gpusim::ray::{NextNode, RayId, RayTraversal};
+use rtbvh::{Bvh, BvhConfig};
+use rtscene::lumibench::{self, SceneId};
+use vtq::workload::PathTracer;
+
+fn setup() -> (rtscene::Scene, Bvh) {
+    let scene = lumibench::build_scaled(SceneId::Lands, 16);
+    let bvh = Bvh::build(scene.triangles(), &BvhConfig::default());
+    (scene, bvh)
+}
+
+fn bench_reference_intersect(c: &mut Criterion) {
+    let (scene, bvh) = setup();
+    let rays: Vec<_> = (0..256)
+        .map(|i| scene.camera().primary_ray(i % 16, i / 16, 16, 16, None))
+        .collect();
+    c.bench_function("reference_intersect_256rays", |b| {
+        b.iter(|| {
+            let mut hits = 0;
+            for r in &rays {
+                if bvh.intersect(scene.triangles(), black_box(r), 1e-3, f32::INFINITY).is_some() {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+}
+
+fn bench_two_stack_traversal(c: &mut Criterion) {
+    let (scene, bvh) = setup();
+    let rays: Vec<_> = (0..256)
+        .map(|i| scene.camera().primary_ray(i % 16, i / 16, 16, 16, None))
+        .collect();
+    c.bench_function("two_stack_traversal_256rays", |b| {
+        b.iter(|| {
+            let mut visited = 0u64;
+            for (i, ray) in rays.iter().enumerate() {
+                let mut r = RayTraversal::new(RayId(i as u32), *ray, &bvh, 1e-3, f32::INFINITY);
+                while let NextNode::Visit(n) = r.next_node(&bvh, None) {
+                    r.visit(&bvh, scene.triangles(), n);
+                    visited += 1;
+                }
+            }
+            black_box(visited)
+        })
+    });
+}
+
+fn bench_workload_generation(c: &mut Criterion) {
+    let (scene, bvh) = setup();
+    c.bench_function("path_trace_32x32_3bounce", |b| {
+        b.iter(|| PathTracer::new(32, 3).run(black_box(&scene), &bvh))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_reference_intersect,
+    bench_two_stack_traversal,
+    bench_workload_generation
+);
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! Ablation studies of the design choices DESIGN.md calls out (beyond the
+//! paper's own figures): treelet byte budget, warp-buffer size, preloading
+//! and the divergence threshold. Run on a subset by default since each
+//! point is a full simulation.
+//!
+//! ```sh
+//! cargo run --release -p vtq-bench --bin ablations -- --scenes LANDS,FRST
+//! ```
+
+use rtbvh::BvhConfig;
+use rtscene::lumibench::SceneId;
+use vtq::prelude::*;
+use vtq_bench::{header, row, HarnessOpts};
+
+fn main() {
+    let mut opts = HarnessOpts::from_args();
+    if opts.scenes.len() == SceneId::ALL.len() {
+        opts.scenes = vec![SceneId::Lands, SceneId::Frst];
+    }
+
+    for id in &opts.scenes {
+        println!("\n=== {id} ===");
+        let p = opts.prepare(*id);
+        let base = p.run_policy(TraversalPolicy::Baseline).stats.cycles as f64;
+
+        println!("\n-- treelet byte budget (rebuilds the BVH; speedup vs same-budget baseline) --");
+        header(&["budget", "treelets", "vtq_speedup"]);
+        for budget in [1024u32, 2048, 4096, 8192] {
+            let mut cfg = opts.config;
+            cfg.bvh = BvhConfig { treelet_bytes: budget, ..cfg.bvh };
+            let prepared = Prepared::build(*id, &cfg);
+            let b = prepared.run_policy(TraversalPolicy::Baseline).stats.cycles as f64;
+            let v = prepared.run_vtq(VtqParams::default()).stats.cycles as f64;
+            row(
+                &budget.to_string(),
+                &[prepared.bvh.partition().len().to_string(), format!("{:.3}x", b / v)],
+            );
+        }
+
+        println!("\n-- RT-unit warp buffer slots (baseline policy) --");
+        header(&["slots", "cycles", "speedup"]);
+        for slots in [1usize, 2, 4, 8] {
+            let mut gpu = opts.config.gpu;
+            gpu.warp_buffer_slots = slots;
+            let r = Simulator::new(&p.bvh, p.scene.triangles(), gpu).run(&p.workload);
+            row(
+                &slots.to_string(),
+                &[r.stats.cycles.to_string(), format!("{:.3}x", base / r.stats.cycles as f64)],
+            );
+        }
+
+        println!("\n-- RT-unit memory-scheduler issue rate (baseline policy) --");
+        header(&["lines/cyc", "cycles", "vs unlimited"]);
+        for rate in [0u32, 4, 2, 1] {
+            let mut gpu = opts.config.gpu;
+            gpu.rt_mem_issue_per_cycle = rate;
+            let r = Simulator::new(&p.bvh, p.scene.triangles(), gpu).run(&p.workload);
+            row(
+                &(if rate == 0 { "unlim".to_string() } else { rate.to_string() }),
+                &[r.stats.cycles.to_string(), format!("{:.3}x", base / r.stats.cycles as f64)],
+            );
+        }
+
+        println!("\n-- CUDA-core shader contention (baseline policy) --");
+        header(&["slots/SM", "cycles", "vs unlimited"]);
+        for slots in [0u32, 8, 4, 2] {
+            let mut gpu = opts.config.gpu;
+            gpu.shader_slots_per_sm = slots;
+            let r = Simulator::new(&p.bvh, p.scene.triangles(), gpu).run(&p.workload);
+            row(
+                &(if slots == 0 { "unlim".to_string() } else { slots.to_string() }),
+                &[r.stats.cycles.to_string(), format!("{:.3}x", base / r.stats.cycles as f64)],
+            );
+        }
+
+        println!("\n-- VTQ mechanism ablation --");
+        header(&["config", "speedup", "simt"]);
+        let show = |label: &str, params: VtqParams| {
+            let r = p.run_vtq(params);
+            row(
+                label,
+                &[
+                    format!("{:.3}x", base / r.stats.cycles as f64),
+                    format!("{:.3}", r.stats.simt_efficiency()),
+                ],
+            );
+        };
+        show("full", VtqParams::default());
+        show("no-preload", VtqParams { preload: false, ..Default::default() });
+        show("no-repack", VtqParams { repack_threshold: 0, ..Default::default() });
+        show(
+            "no-group",
+            VtqParams { group_underpopulated: false, repack_threshold: 0, ..Default::default() },
+        );
+        for div in [0usize, 1, 2, 4, 8] {
+            show(
+                &format!("diverge={div}"),
+                VtqParams { divergence_treelets: div, ..Default::default() },
+            );
+        }
+        for cap in [1024usize, 2048, 4096, 8192] {
+            show(
+                &format!("max-rays={cap}"),
+                VtqParams { max_virtual_rays: cap, ..Default::default() },
+            );
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! Runs the complete evaluation — every table and figure — sharing
+//! prepared scenes and simulation runs across figures, and prints a
+//! markdown report (the source of EXPERIMENTS.md's measured columns).
+//!
+//! Full configuration: `cargo run --release -p vtq-bench --bin all_figures`
+//! Smoke run:          `... --bin all_figures -- --quick`
+
+use gpumem::AccessKind;
+use gpusim::{SimReport, TraversalMode, TraversalPolicy, VtqParams};
+use rtscene::lumibench::SceneId;
+use vtq::analytical;
+use vtq_bench::{geomean, mean, HarnessOpts};
+
+struct SceneResults {
+    id: SceneId,
+    tris: usize,
+    bvh_bytes: u64,
+    base: SimReport,
+    pref: SimReport,
+    vtq: SimReport,
+    norepack: SimReport,
+    naive: SimReport,
+    grouped32: SimReport,
+    grouped64: SimReport,
+    repack8: SimReport,
+    repack16: SimReport,
+    repack24: SimReport,
+    free: SimReport,
+    fig5: Vec<(usize, f64)>,
+}
+
+const FIG5_BATCHES: [usize; 6] = [32, 128, 512, 1024, 2048, 4096];
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let mut results = Vec::new();
+    for id in &opts.scenes {
+        let p = opts.prepare(*id);
+        eprintln!("[run] {id}");
+        let vtq_with = |params: VtqParams| p.run_vtq(params);
+        let traces = analytical::record_traces(&p.bvh, p.scene.triangles(), &p.workload);
+        results.push(SceneResults {
+            id: *id,
+            tris: p.scene.triangles().len(),
+            bvh_bytes: p.bvh.total_bytes(),
+            base: p.run_policy(TraversalPolicy::Baseline),
+            pref: p.run_policy(TraversalPolicy::TreeletPrefetch),
+            vtq: vtq_with(VtqParams::default()),
+            norepack: vtq_with(VtqParams { repack_threshold: 0, ..Default::default() }),
+            naive: vtq_with(VtqParams {
+                group_underpopulated: false,
+                repack_threshold: 0,
+                ..Default::default()
+            }),
+            grouped32: vtq_with(VtqParams {
+                queue_threshold: 32,
+                repack_threshold: 0,
+                ..Default::default()
+            }),
+            grouped64: vtq_with(VtqParams {
+                queue_threshold: 64,
+                repack_threshold: 0,
+                ..Default::default()
+            }),
+            repack8: vtq_with(VtqParams { repack_threshold: 8, ..Default::default() }),
+            repack16: vtq_with(VtqParams { repack_threshold: 16, ..Default::default() }),
+            repack24: vtq_with(VtqParams { repack_threshold: 24, ..Default::default() }),
+            free: vtq_with(VtqParams { charge_virtualization: false, ..Default::default() }),
+            fig5: analytical::analytical_speedups(&p.bvh, &traces, &FIG5_BATCHES),
+        });
+    }
+
+    println!("# Measured results (all figures)\n");
+
+    println!("## Table 2 — scenes\n");
+    println!("| scene | tris | BVH KB | paper tris | paper BVH MB |");
+    println!("|---|---|---|---|---|");
+    for r in &results {
+        println!(
+            "| {} | {} | {:.0} | {} | {:.2} |",
+            r.id,
+            r.tris,
+            r.bvh_bytes as f64 / 1024.0,
+            r.id.paper_triangles(),
+            r.id.paper_bvh_mb()
+        );
+    }
+
+    println!("\n## Figure 1 — baseline L1 BVH miss rate & SIMT efficiency\n");
+    println!("| scene | L1 BVH miss | SIMT eff |");
+    println!("|---|---|---|");
+    for r in &results {
+        println!(
+            "| {} | {:.3} | {:.3} |",
+            r.id,
+            r.base.mem.kind(AccessKind::Bvh).l1_miss_rate(),
+            r.base.stats.simt_efficiency()
+        );
+    }
+    let miss_mean = mean(
+        &results.iter().map(|r| r.base.mem.kind(AccessKind::Bvh).l1_miss_rate()).collect::<Vec<_>>(),
+    );
+    let simt_mean = mean(&results.iter().map(|r| r.base.stats.simt_efficiency()).collect::<Vec<_>>());
+    println!("| **mean** | **{miss_mean:.3}** | **{simt_mean:.3}** |");
+
+    println!("\n## Figure 5 — analytical speedup vs concurrent rays\n");
+    print!("| scene |");
+    for b in FIG5_BATCHES {
+        print!(" c={b} |");
+    }
+    println!();
+    print!("|---|");
+    for _ in FIG5_BATCHES {
+        print!("---|");
+    }
+    println!();
+    for r in &results {
+        print!("| {} |", r.id);
+        for (_, s) in &r.fig5 {
+            print!(" {s:.2}x |");
+        }
+        println!();
+    }
+
+    println!("\n## Figure 10 — overall speedup\n");
+    println!("| scene | vtq vs base | prefetch vs base | vtq vs prefetch |");
+    println!("|---|---|---|---|");
+    let sp = |a: &SimReport, b: &SimReport| a.stats.cycles as f64 / b.stats.cycles as f64;
+    let mut v_b = Vec::new();
+    let mut p_b = Vec::new();
+    for r in &results {
+        let (vb, pb) = (sp(&r.base, &r.vtq), sp(&r.base, &r.pref));
+        v_b.push(vb);
+        p_b.push(pb);
+        println!("| {} | {:.2}x | {:.2}x | {:.2}x |", r.id, vb, pb, sp(&r.pref, &r.vtq));
+    }
+    println!(
+        "| **geomean** | **{:.2}x** | **{:.2}x** | **{:.2}x** |",
+        geomean(&v_b),
+        geomean(&p_b),
+        geomean(&v_b) / geomean(&p_b)
+    );
+
+    println!("\n## Figure 12 — grouping underpopulated queues (speedup vs baseline)\n");
+    println!("| scene | naive | thr=32 | thr=64 | thr=128 |");
+    println!("|---|---|---|---|---|");
+    let mut naive_all = Vec::new();
+    let mut g128_all = Vec::new();
+    for r in &results {
+        let naive = sp(&r.base, &r.naive);
+        let g128 = sp(&r.base, &r.norepack);
+        naive_all.push(naive);
+        g128_all.push(g128);
+        println!(
+            "| {} | {:.3}x | {:.3}x | {:.3}x | {:.3}x |",
+            r.id,
+            naive,
+            sp(&r.base, &r.grouped32),
+            sp(&r.base, &r.grouped64),
+            g128
+        );
+    }
+    println!(
+        "| **geomean** | **{:.3}x** | | | **{:.3}x** | (grouping gain ≈ {:.1}x)",
+        geomean(&naive_all),
+        geomean(&g128_all),
+        geomean(&g128_all) / geomean(&naive_all)
+    );
+
+    println!("\n## Figure 13 — warp repacking (speedup vs baseline / SIMT efficiency)\n");
+    println!("| scene | norepack | t=8 | t=16 | t=22 | t=24 | simt base | simt norepack | simt t=22 |");
+    println!("|---|---|---|---|---|---|---|---|---|");
+    for r in &results {
+        println!(
+            "| {} | {:.3}x | {:.3}x | {:.3}x | {:.3}x | {:.3}x | {:.3} | {:.3} | {:.3} |",
+            r.id,
+            sp(&r.base, &r.norepack),
+            sp(&r.base, &r.repack8),
+            sp(&r.base, &r.repack16),
+            sp(&r.base, &r.vtq),
+            sp(&r.base, &r.repack24),
+            r.base.stats.simt_efficiency(),
+            r.norepack.stats.simt_efficiency(),
+            r.vtq.stats.simt_efficiency(),
+        );
+    }
+
+    println!("\n## Figures 14/15 — traversal mode breakdown (cycles / intersection tests)\n");
+    println!("| scene | cyc initial | cyc treelet | cyc ray | isect initial | isect treelet | isect ray |");
+    println!("|---|---|---|---|---|---|---|");
+    for r in &results {
+        let cy: Vec<u64> = TraversalMode::ALL.iter().map(|m| r.vtq.stats.cycles_in(*m)).collect();
+        let is: Vec<u64> = TraversalMode::ALL.iter().map(|m| r.vtq.stats.isect_in(*m)).collect();
+        let ct = cy.iter().sum::<u64>().max(1) as f64;
+        let it = is.iter().sum::<u64>().max(1) as f64;
+        println!(
+            "| {} | {:.3} | {:.3} | {:.3} | {:.3} | {:.3} | {:.3} |",
+            r.id,
+            cy[0] as f64 / ct,
+            cy[1] as f64 / ct,
+            cy[2] as f64 / ct,
+            is[0] as f64 / it,
+            is[1] as f64 / it,
+            is[2] as f64 / it,
+        );
+    }
+
+    println!("\n## Figure 16 — ray virtualization overhead\n");
+    println!("| scene | overhead |");
+    println!("|---|---|");
+    let mut ovs = Vec::new();
+    for r in &results {
+        let ov = r.vtq.stats.cycles as f64 / r.free.stats.cycles as f64 - 1.0;
+        ovs.push(ov);
+        println!("| {} | {:.1}% |", r.id, ov * 100.0);
+    }
+    println!("| **mean** | **{:.1}%** |", mean(&ovs) * 100.0);
+
+    println!("\n## Figure 17 — energy (normalized to baseline)\n");
+    println!("| scene | vtq | vtq w/o virt | virt fraction |");
+    println!("|---|---|---|---|");
+    let mut ratios = Vec::new();
+    let mut fracs = Vec::new();
+    for r in &results {
+        let ratio = r.vtq.energy.total_pj() / r.base.energy.total_pj();
+        let frac = r.vtq.energy.virtualization_fraction();
+        ratios.push(ratio);
+        fracs.push(frac);
+        println!(
+            "| {} | {:.3} | {:.3} | {:.1}% |",
+            r.id,
+            ratio,
+            r.free.energy.total_pj() / r.base.energy.total_pj(),
+            frac * 100.0
+        );
+    }
+    println!("| **mean** | **{:.3}** | | **{:.1}%** |", mean(&ratios), mean(&fracs) * 100.0);
+
+    eprintln!("done.");
+}

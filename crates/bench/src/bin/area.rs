@@ -1,0 +1,36 @@
+//! §6.5 area overheads: storage sizes of the treelet count table, ray data
+//! region and treelet queue table.
+
+use vtq::prelude::*;
+
+fn main() {
+    let m = AreaModel::default();
+    println!("Area overheads (paper §6.5):");
+    println!(
+        "{:<28} {:>10.2} KB  (paper: 2.2 KB; {} entries x ({} + {}) bits)",
+        "Treelet Count Table",
+        m.count_table_bytes() / 1024.0,
+        m.count_table_entries,
+        m.treelet_addr_bits,
+        m.ray_count_bits(),
+    );
+    println!(
+        "{:<28} {:>10.2} KB  (paper: 128 KB; {} rays x {} B, reserved in L2)",
+        "Ray data",
+        m.ray_data_bytes() as f64 / 1024.0,
+        m.max_rays,
+        m.ray_record_bytes,
+    );
+    println!(
+        "{:<28} {:>10.2} KB  (paper: 6.29 KB; ({} + {}x{}) bits x {} entries)",
+        "Treelet Queue Table",
+        m.queue_table_bytes() / 1024.0,
+        m.treelet_addr_bits,
+        m.rays_per_entry,
+        m.ray_id_bits,
+        m.queue_table_entries,
+    );
+    let l1 = 16.0 * 1024.0;
+    let fits = 8.0 * 1024.0 + m.queue_table_bytes() < l1;
+    println!("L1 fits treelet (8 KB) + queue table: {fits}");
+}

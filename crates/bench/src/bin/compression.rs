@@ -1,0 +1,55 @@
+//! §7.3 interaction study: BVH compression (Ylitie-style quantized wide
+//! nodes) together with virtualized treelet queues. The paper: "BVH
+//! compression and memory optimizations ... can be used in conjunction
+//! with our proposal for even larger performance improvements."
+
+use rtbvh::NodeLayout;
+use rtscene::lumibench::SceneId;
+use vtq::prelude::*;
+use vtq_bench::{header, row, HarnessOpts};
+
+fn main() {
+    let mut opts = HarnessOpts::from_args();
+    if opts.scenes.len() == SceneId::ALL.len() {
+        opts.scenes = vec![SceneId::Lands, SceneId::Car];
+    }
+    header(&["scene", "layout", "bvh_KB", "base_cyc", "vtq_cyc", "vtq_gain"]);
+    for id in &opts.scenes {
+        let mut baseline_wide = 0u64;
+        for (label, layout) in [("wide", NodeLayout::wide()), ("cwbvh", NodeLayout::compressed())] {
+            let mut cfg = opts.config;
+            cfg.bvh.layout = layout;
+            let p = Prepared::build(*id, &cfg);
+            let base = p.run_policy(TraversalPolicy::Baseline);
+            let vtq = p.run_vtq(VtqParams::default());
+            if label == "wide" {
+                baseline_wide = base.stats.cycles;
+            }
+            row(
+                &format!("{id}/{label}"),
+                &[
+                    String::new(),
+                    format!("{:.0}", p.bvh.total_bytes() as f64 / 1024.0),
+                    base.stats.cycles.to_string(),
+                    vtq.stats.cycles.to_string(),
+                    format!("{:.2}x", base.stats.cycles as f64 / vtq.stats.cycles as f64),
+                ],
+            );
+            if label == "cwbvh" {
+                row(
+                    &format!("{id}/combined"),
+                    &[
+                        String::new(),
+                        String::new(),
+                        String::new(),
+                        String::new(),
+                        format!(
+                            "{:.2}x (cwbvh VTQ vs wide baseline)",
+                            baseline_wide as f64 / vtq.stats.cycles as f64
+                        ),
+                    ],
+                );
+            }
+        }
+    }
+}

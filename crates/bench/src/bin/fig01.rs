@@ -1,0 +1,21 @@
+//! Figure 1: baseline RT-unit bottlenecks — (a) L1 miss rates of BVH
+//! accesses, (b) SIMT efficiency. Paper: mean miss rate 58% (up to 70%),
+//! low SIMT efficiency (~0.37).
+
+use vtq::experiment;
+use vtq_bench::{header, mean, row, HarnessOpts};
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    header(&["scene", "l1_bvh_miss", "simt_eff"]);
+    let mut misses = Vec::new();
+    let mut simts = Vec::new();
+    for id in &opts.scenes {
+        let p = opts.prepare(*id);
+        let r = experiment::fig01(&p);
+        misses.push(r.l1_bvh_miss_rate);
+        simts.push(r.simt_efficiency);
+        row(id.name(), &[format!("{:.3}", r.l1_bvh_miss_rate), format!("{:.3}", r.simt_efficiency)]);
+    }
+    row("MEAN", &[format!("{:.3}", mean(&misses)), format!("{:.3}", mean(&simts))]);
+}

@@ -1,0 +1,26 @@
+//! Figure 5: analytical-model treelet speedup vs concurrent rays (§2.4).
+//! Paper: gains grow with concurrency, reaching 3–4× for most scenes at
+//! 4096 rays.
+
+use vtq::experiment;
+use vtq_bench::{header, row, HarnessOpts};
+
+const BATCHES: [usize; 6] = [32, 128, 512, 1024, 2048, 4096];
+
+fn main() {
+    let mut opts = HarnessOpts::from_args();
+    // Figure 5 includes WKND and SHIP, the suite's smallest-BVH scenes,
+    // which "stand out" in the paper's plot.
+    if opts.scenes.len() == rtscene::lumibench::SceneId::ALL.len() {
+        opts.scenes = rtscene::lumibench::SceneId::ALL_WITH_EXTRAS.to_vec();
+    }
+    let cols: Vec<String> = BATCHES.iter().map(|b| format!("c={b}")).collect();
+    let col_refs: Vec<&str> = std::iter::once("scene").chain(cols.iter().map(|s| s.as_str())).collect();
+    header(&col_refs);
+    for id in &opts.scenes {
+        let p = opts.prepare(*id);
+        let r = experiment::fig05(&p, &BATCHES);
+        let values: Vec<String> = r.speedups.iter().map(|(_, s)| format!("{s:.2}x")).collect();
+        row(id.name(), &values);
+    }
+}

@@ -1,0 +1,41 @@
+//! Figure 10: overall speedup of Virtualized Treelet Queues (4096
+//! concurrent rays) vs the baseline and vs Treelet Prefetching \[8].
+//! Paper: 95% mean speedup over baseline, 43% over prefetching.
+
+use vtq::experiment;
+use vtq_bench::{geomean, header, row, HarnessOpts};
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    header(&["scene", "base_cyc", "pref_cyc", "vtq_cyc", "vtq_speedup", "pref_speedup", "vtq/pref"]);
+    let mut vtq_speedups = Vec::new();
+    let mut pref_speedups = Vec::new();
+    for id in &opts.scenes {
+        let p = opts.prepare(*id);
+        let r = experiment::fig10(&p);
+        vtq_speedups.push(r.vtq_speedup());
+        pref_speedups.push(r.prefetch_speedup());
+        row(
+            id.name(),
+            &[
+                r.baseline_cycles.to_string(),
+                r.prefetch_cycles.to_string(),
+                r.vtq_cycles.to_string(),
+                format!("{:.2}x", r.vtq_speedup()),
+                format!("{:.2}x", r.prefetch_speedup()),
+                format!("{:.2}x", r.vtq_over_prefetch()),
+            ],
+        );
+    }
+    row(
+        "GEOMEAN",
+        &[
+            String::new(),
+            String::new(),
+            String::new(),
+            format!("{:.2}x", geomean(&vtq_speedups)),
+            format!("{:.2}x", geomean(&pref_speedups)),
+            format!("{:.2}x", geomean(&vtq_speedups) / geomean(&pref_speedups)),
+        ],
+    );
+}

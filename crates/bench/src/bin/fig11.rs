@@ -1,0 +1,33 @@
+//! Figure 11: L1 BVH miss rate over time under permanently
+//! treelet-stationary traversal vs the baseline (the paper plots LANDS).
+//! Paper shape: treelet-stationary starts far lower (to ~9%) then rises
+//! past the baseline as queues thin out.
+
+use rtscene::lumibench::SceneId;
+use vtq::experiment;
+use vtq_bench::HarnessOpts;
+
+fn main() {
+    let mut opts = HarnessOpts::from_args();
+    // Default to the paper's scene when no subset was requested.
+    if opts.scenes.len() == SceneId::ALL.len() {
+        opts.scenes = vec![SceneId::Lands];
+    }
+    for id in &opts.scenes {
+        let p = opts.prepare(*id);
+        let d = experiment::fig11(&p);
+        println!("# {} — L1 BVH miss rate over time (window starts in cycles)", id.name());
+        println!("{:>12} {:>12} {:>12}", "cycle", "baseline", "treelet");
+        let n = d.baseline.len().max(d.treelet_stationary.len());
+        for i in 0..n {
+            let b = d.baseline.get(i);
+            let t = d.treelet_stationary.get(i);
+            println!(
+                "{:>12} {:>12} {:>12}",
+                b.or(t).map(|w| w.start_cycle).unwrap_or(0),
+                b.map_or(String::new(), |w| format!("{:.3}", w.miss_rate())),
+                t.map_or(String::new(), |w| format!("{:.3}", w.miss_rate())),
+            );
+        }
+    }
+}

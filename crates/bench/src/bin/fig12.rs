@@ -1,0 +1,27 @@
+//! Figure 12: grouping underpopulated treelet queues. Paper: grouping at a
+//! 128-ray threshold is ~8× faster than naive treelet queues yet still ~5%
+//! slower than the baseline (repacking is what closes the gap, Figure 13).
+
+use vtq::experiment;
+use vtq_bench::{geomean, header, row, HarnessOpts};
+
+const THRESHOLDS: [usize; 3] = [32, 64, 128];
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    header(&["scene", "naive", "thr=32", "thr=64", "thr=128"]);
+    let mut per_col: Vec<Vec<f64>> = vec![Vec::new(); 4];
+    for id in &opts.scenes {
+        let p = opts.prepare(*id);
+        let r = experiment::fig12(&p, &THRESHOLDS);
+        let mut values = vec![format!("{:.3}x", r.naive_speedup())];
+        per_col[0].push(r.naive_speedup());
+        for i in 0..THRESHOLDS.len() {
+            values.push(format!("{:.3}x", r.grouped_speedup(i)));
+            per_col[i + 1].push(r.grouped_speedup(i));
+        }
+        row(id.name(), &values);
+    }
+    let means: Vec<String> = per_col.iter().map(|c| format!("{:.3}x", geomean(c))).collect();
+    row("GEOMEAN", &means);
+}

@@ -1,0 +1,41 @@
+//! Figure 13: warp repacking — (a) speedup over baseline at several repack
+//! thresholds, (b) SIMT efficiency. Paper: no-repack is ~5% below baseline;
+//! threshold 22 reaches 95% speedup and SIMT efficiency ~0.82.
+
+use vtq::experiment;
+use vtq_bench::{geomean, header, mean, row, HarnessOpts};
+
+const THRESHOLDS: [usize; 4] = [8, 16, 22, 24];
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    header(&["scene", "norepack", "t=8", "t=16", "t=22", "t=24", "simt_base", "simt_nore", "simt_t22"]);
+    let mut speedups: Vec<Vec<f64>> = vec![Vec::new(); 1 + THRESHOLDS.len()];
+    let mut simt22 = Vec::new();
+    let mut simt_base = Vec::new();
+    let mut simt_none = Vec::new();
+    for id in &opts.scenes {
+        let p = opts.prepare(*id);
+        let r = experiment::fig13(&p, &THRESHOLDS);
+        let base = r.baseline.0 as f64;
+        let mut values = vec![format!("{:.3}x", base / r.no_repack.0 as f64)];
+        speedups[0].push(base / r.no_repack.0 as f64);
+        for (i, (_, cycles, _)) in r.repack.iter().enumerate() {
+            values.push(format!("{:.3}x", base / *cycles as f64));
+            speedups[i + 1].push(base / *cycles as f64);
+        }
+        let t22 = r.repack.iter().find(|(t, _, _)| *t == 22).expect("22 in sweep");
+        values.push(format!("{:.3}", r.baseline.1));
+        values.push(format!("{:.3}", r.no_repack.1));
+        values.push(format!("{:.3}", t22.2));
+        simt_base.push(r.baseline.1);
+        simt_none.push(r.no_repack.1);
+        simt22.push(t22.2);
+        row(id.name(), &values);
+    }
+    let mut means: Vec<String> = speedups.iter().map(|c| format!("{:.3}x", geomean(c))).collect();
+    means.push(format!("{:.3}", mean(&simt_base)));
+    means.push(format!("{:.3}", mean(&simt_none)));
+    means.push(format!("{:.3}", mean(&simt22)));
+    row("MEAN", &means);
+}

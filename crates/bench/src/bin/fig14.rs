@@ -1,0 +1,24 @@
+//! Figure 14: cycle distribution over the three traversal modes (initial /
+//! treelet-stationary / ray-stationary). Paper: a short initial phase,
+//! then ray-stationary dominates the cycle count.
+
+use vtq::experiment;
+use vtq_bench::{header, mean, row, HarnessOpts};
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    header(&["scene", "initial", "treelet", "ray"]);
+    let mut cols = [Vec::new(), Vec::new(), Vec::new()];
+    for id in &opts.scenes {
+        let p = opts.prepare(*id);
+        let r = experiment::fig14_15(&p);
+        row(
+            id.name(),
+            &r.cycle_fractions.iter().map(|f| format!("{f:.3}")).collect::<Vec<_>>(),
+        );
+        for (c, f) in cols.iter_mut().zip(r.cycle_fractions) {
+            c.push(f);
+        }
+    }
+    row("MEAN", &cols.iter().map(|c| format!("{:.3}", mean(c))).collect::<Vec<_>>());
+}

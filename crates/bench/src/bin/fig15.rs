@@ -1,0 +1,24 @@
+//! Figure 15: ratio of ray intersection tests processed under each
+//! traversal mode. Paper: treelet-stationary handles up to 52% with a 15%
+//! mean; ray-stationary takes the rest.
+
+use vtq::experiment;
+use vtq_bench::{header, mean, row, HarnessOpts};
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    header(&["scene", "initial", "treelet", "ray"]);
+    let mut cols = [Vec::new(), Vec::new(), Vec::new()];
+    for id in &opts.scenes {
+        let p = opts.prepare(*id);
+        let r = experiment::fig14_15(&p);
+        row(
+            id.name(),
+            &r.isect_fractions.iter().map(|f| format!("{f:.3}")).collect::<Vec<_>>(),
+        );
+        for (c, f) in cols.iter_mut().zip(r.isect_fractions) {
+            c.push(f);
+        }
+    }
+    row("MEAN", &cols.iter().map(|c| format!("{:.3}", mean(c))).collect::<Vec<_>>());
+}

@@ -1,0 +1,26 @@
+//! Figure 16: ray virtualization performance overhead — VTQ with CTA
+//! state save/restore charged vs idealized ("free") virtualization.
+//! Paper: ~10% mean slowdown.
+
+use vtq::experiment;
+use vtq_bench::{header, mean, row, HarnessOpts};
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    header(&["scene", "charged_cyc", "free_cyc", "overhead"]);
+    let mut overheads = Vec::new();
+    for id in &opts.scenes {
+        let p = opts.prepare(*id);
+        let r = experiment::fig16(&p);
+        overheads.push(r.overhead());
+        row(
+            id.name(),
+            &[
+                r.charged_cycles.to_string(),
+                r.free_cycles.to_string(),
+                format!("{:.1}%", r.overhead() * 100.0),
+            ],
+        );
+    }
+    row("MEAN", &[String::new(), String::new(), format!("{:.1}%", mean(&overheads) * 100.0)]);
+}

@@ -1,0 +1,32 @@
+//! Figure 17: energy — treelet queues vs baseline, with and without
+//! virtualization charges. Paper: ~60% energy savings overall;
+//! virtualization consumes ~11% of the design's energy.
+
+use vtq::experiment;
+use vtq_bench::{header, mean, row, HarnessOpts};
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    header(&["scene", "vtq/base", "novirt/base", "virt_frac"]);
+    let mut ratios = Vec::new();
+    let mut fracs = Vec::new();
+    for id in &opts.scenes {
+        let p = opts.prepare(*id);
+        let r = experiment::fig17(&p);
+        let ratio = r.vtq_pj / r.baseline_pj;
+        ratios.push(ratio);
+        fracs.push(r.virtualization_fraction);
+        row(
+            id.name(),
+            &[
+                format!("{ratio:.3}"),
+                format!("{:.3}", r.vtq_free_pj / r.baseline_pj),
+                format!("{:.1}%", r.virtualization_fraction * 100.0),
+            ],
+        );
+    }
+    row(
+        "MEAN",
+        &[format!("{:.3}", mean(&ratios)), String::new(), format!("{:.1}%", mean(&fracs) * 100.0)],
+    );
+}

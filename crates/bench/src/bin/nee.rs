@@ -1,0 +1,36 @@
+//! Extension experiment: next-event estimation. Real game integrations
+//! trace anyhit shadow rays from every hit (§2.1.2's anyhit stage); the
+//! paper's workload (§5.1) is plain path tracing. This harness compares
+//! both workloads under all policies, checking that VTQ's win carries over
+//! to shadow-ray-heavy kernels.
+
+use rtscene::lumibench::SceneId;
+use vtq::prelude::*;
+use vtq_bench::{header, row, HarnessOpts};
+
+fn main() {
+    let mut opts = HarnessOpts::from_args();
+    if opts.scenes.len() == SceneId::ALL.len() {
+        opts.scenes = vec![SceneId::Bath, SceneId::Lands];
+    }
+    header(&["scene", "workload", "rays", "base_cyc", "vtq_cyc", "vtq_gain"]);
+    for id in &opts.scenes {
+        for shadow in [false, true] {
+            let mut cfg = opts.config;
+            cfg.shadow_rays = shadow;
+            let p = Prepared::build(*id, &cfg);
+            let base = p.run_policy(TraversalPolicy::Baseline);
+            let vtq = p.run_vtq(VtqParams::default());
+            row(
+                &format!("{id}/{}", if shadow { "nee" } else { "plain" }),
+                &[
+                    String::new(),
+                    p.workload.total_rays().to_string(),
+                    base.stats.cycles.to_string(),
+                    vtq.stats.cycles.to_string(),
+                    format!("{:.2}x", base.stats.cycles as f64 / vtq.stats.cycles as f64),
+                ],
+            );
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Ray-reordering comparison (§7.2.1): does first-hit Morton sorting of
+//! threads help the baseline, and does VTQ still win without any sorting?
+//! The paper argues treelet queues group rays dynamically, "essentially
+//! achieving a similar goal" to sorting "but without the high overhead".
+//! A shuffled (decohered) variant stress-tests both.
+
+use rtscene::lumibench::SceneId;
+use vtq::prelude::*;
+use vtq::reorder;
+use vtq_bench::{header, row, HarnessOpts};
+
+fn main() {
+    let mut opts = HarnessOpts::from_args();
+    if opts.scenes.len() == SceneId::ALL.len() {
+        opts.scenes = vec![SceneId::Lands, SceneId::Park];
+    }
+    header(&["scene", "order", "base_cyc", "vtq_cyc", "vtq_gain"]);
+    for id in &opts.scenes {
+        let p = opts.prepare(*id);
+        let orders: [(&str, Workload); 3] = [
+            ("pixel", p.workload.clone()),
+            ("sorted", reorder::sort_by_first_hit(&p.workload, &p.scene, &p.bvh)),
+            ("shuffled", reorder::shuffle(&p.workload, 0x5EED)),
+        ];
+        for (label, workload) in &orders {
+            let base = Simulator::new(&p.bvh, p.scene.triangles(), p_cfg(&opts, TraversalPolicy::Baseline))
+                .run(workload);
+            let vtq = Simulator::new(
+                &p.bvh,
+                p.scene.triangles(),
+                p_cfg(&opts, TraversalPolicy::Vtq(VtqParams::default())),
+            )
+            .run(workload);
+            row(
+                &format!("{id}/{label}"),
+                &[
+                    String::new(),
+                    base.stats.cycles.to_string(),
+                    vtq.stats.cycles.to_string(),
+                    format!("{:.2}x", base.stats.cycles as f64 / vtq.stats.cycles as f64),
+                ],
+            );
+        }
+    }
+}
+
+fn p_cfg(opts: &HarnessOpts, policy: TraversalPolicy) -> GpuConfig {
+    opts.config.gpu.with_policy(policy)
+}

@@ -1,0 +1,66 @@
+//! §6.4 sensitivity study: the paper predicts the share of intersection
+//! tests handled in treelet-stationary mode *increases* with samples per
+//! pixel (more coherent ray batches) and *decreases* with more bounces
+//! (more divergent rays). This harness measures exactly that ratio.
+
+use gpusim::{TraversalMode, VtqParams};
+use rtbvh::Bvh;
+use rtscene::lumibench::{self, SceneId};
+use vtq::prelude::*;
+use vtq::workload::PathTracer;
+use vtq_bench::{header, row, HarnessOpts};
+
+fn mode_shares(
+    scene: &rtscene::Scene,
+    bvh: &Bvh,
+    cfg: &ExperimentConfig,
+    spp: u32,
+    bounces: u32,
+) -> [f64; 3] {
+    let (workload, _) = PathTracer::new(cfg.resolution, bounces).with_spp(spp).run(scene, bvh);
+    let sim = Simulator::new(
+        bvh,
+        scene.triangles(),
+        cfg.gpu.with_policy(TraversalPolicy::Vtq(VtqParams::default())),
+    );
+    let r = sim.run(&workload);
+    let total: u64 = TraversalMode::ALL.iter().map(|m| r.stats.isect_in(*m)).sum();
+    let share = |m| r.stats.isect_in(m) as f64 / total.max(1) as f64;
+    [
+        share(TraversalMode::Initial),
+        share(TraversalMode::TreeletStationary),
+        share(TraversalMode::RayStationary),
+    ]
+}
+
+fn main() {
+    let mut opts = HarnessOpts::from_args();
+    if opts.scenes.len() == SceneId::ALL.len() {
+        opts.scenes = vec![SceneId::Lands];
+    }
+    for id in &opts.scenes {
+        let scene = lumibench::build_scaled(*id, opts.config.detail_divisor);
+        let bvh = Bvh::build(scene.triangles(), &opts.config.bvh);
+        println!("== {id}: intersection-test share per traversal mode ==");
+        header(&["config", "initial", "treelet", "coherent", "ray"]);
+        let print_row = |label: String, s: [f64; 3]| {
+            row(
+                &label,
+                &[
+                    format!("{:.3}", s[0]),
+                    format!("{:.3}", s[1]),
+                    format!("{:.3}", s[0] + s[1]),
+                    format!("{:.3}", s[2]),
+                ],
+            );
+        };
+        for spp in [1u32, 2, 4] {
+            let s = mode_shares(&scene, &bvh, &opts.config, spp, 3);
+            print_row(format!("spp={spp} b=3"), s);
+        }
+        for bounces in [1u32, 3, 5] {
+            let s = mode_shares(&scene, &bvh, &opts.config, 1, bounces);
+            print_row(format!("spp=1 b={bounces}"), s);
+        }
+    }
+}

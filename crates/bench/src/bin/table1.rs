@@ -1,0 +1,29 @@
+//! Table 1: the simulated GPU configuration.
+
+use vtq::prelude::*;
+
+fn main() {
+    let cfg = GpuConfig::default();
+    println!("Table 1. Simulated configuration (paper values in parentheses).");
+    println!("{:<38} {}", "# Streaming Multiprocessors (SM)", cfg.num_sms());
+    println!("{:<38} {}", "Max Warps per SM", cfg.max_ctas_per_sm * cfg.warps_per_cta());
+    println!("{:<38} {}", "Warp Size", cfg.warp_size);
+    println!("{:<38} {}", "Max CTA per SM", cfg.max_ctas_per_sm);
+    println!(
+        "{:<38} {} KB fully assoc., {} cycles",
+        "L1 Data Cache",
+        cfg.mem.l1.size_bytes / 1024,
+        cfg.mem.l1.latency
+    );
+    println!(
+        "{:<38} {} KB 16-way assoc., {} cycles",
+        "L2 Unified Cache",
+        cfg.mem.l2.size_bytes / 1024,
+        cfg.mem.l2.latency
+    );
+    println!("{:<38} {} cycles", "DRAM latency", cfg.mem.dram_latency);
+    println!("{:<38} {} lines/cycle", "DRAM bandwidth", cfg.mem.dram_lines_per_cycle);
+    println!("{:<38} 1", "# RT Units / SM");
+    println!("{:<38} {}", "RT Unit Warp Buffer Size", cfg.warp_buffer_slots);
+    println!("{:<38} {}", "Max virtualized rays / SM", VtqParams::default().max_virtual_rays);
+}

@@ -1,0 +1,26 @@
+//! Table 2: summary of the evaluation scenes — our scaled suite next to
+//! the paper's numbers.
+
+use vtq::experiment;
+use vtq_bench::HarnessOpts;
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    println!(
+        "{:>8} {:>12} {:>12} {:>14} {:>14} {:>10}",
+        "scene", "tris", "bvh_KB", "paper_tris", "paper_bvh_MB", "scale"
+    );
+    println!("{}", "-".repeat(76));
+    for id in &opts.scenes {
+        let r = experiment::table2(*id, &opts.config);
+        println!(
+            "{:>8} {:>12} {:>12.1} {:>14} {:>14.2} {:>10.1}",
+            r.scene,
+            r.triangles,
+            r.bvh_bytes as f64 / 1024.0,
+            r.paper_triangles,
+            r.paper_bvh_mb,
+            r.paper_triangles as f64 / r.triangles as f64,
+        );
+    }
+}

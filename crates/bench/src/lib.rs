@@ -1,0 +1,163 @@
+//! Shared plumbing for the per-figure harness binaries.
+//!
+//! Every binary accepts the same flags:
+//!
+//! * `--quick` — reduced configuration (low scene detail, 64×64, 4 SMs):
+//!   same result *shape*, minutes become seconds,
+//! * `--scenes A,B,C` — restrict to a comma-separated subset of the
+//!   LumiBench names (default: all 14),
+//! * `--res N` — override the image resolution,
+//! * `--csv` — emit comma-separated rows instead of aligned tables (for
+//!   plotting scripts).
+//!
+//! Rows are printed as aligned text tables, one row per scene, matching
+//! the layout of the paper's figures so EXPERIMENTS.md comparisons are
+//! mechanical.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use vtq::prelude::*;
+
+/// Global output mode toggled by `--csv`.
+static CSV: AtomicBool = AtomicBool::new(false);
+
+/// Parsed command-line options shared by all harness binaries.
+#[derive(Debug, Clone)]
+pub struct HarnessOpts {
+    /// Experiment configuration (full paper config unless `--quick`).
+    pub config: ExperimentConfig,
+    /// Scenes to run.
+    pub scenes: Vec<SceneId>,
+}
+
+impl HarnessOpts {
+    /// Parses `std::env::args`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on unknown flags or scene names.
+    pub fn from_args() -> HarnessOpts {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut config = ExperimentConfig::default();
+        let mut scenes: Vec<SceneId> = SceneId::ALL.to_vec();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--quick" => {
+                    config = ExperimentConfig::quick();
+                }
+                "--scenes" => {
+                    i += 1;
+                    let list = args.get(i).expect("--scenes needs a value");
+                    scenes = list
+                        .split(',')
+                        .map(|name| {
+                            SceneId::ALL_WITH_EXTRAS
+                                .iter()
+                                .copied()
+                                .find(|s| s.name().eq_ignore_ascii_case(name))
+                                .unwrap_or_else(|| panic!("unknown scene: {name}"))
+                        })
+                        .collect();
+                }
+                "--csv" => {
+                    CSV.store(true, Ordering::Relaxed);
+                }
+                "--res" => {
+                    i += 1;
+                    config.resolution = args
+                        .get(i)
+                        .and_then(|v| v.parse().ok())
+                        .expect("--res needs an integer");
+                }
+                other => {
+                    panic!("unknown flag {other}; supported: --quick, --scenes A,B, --res N, --csv")
+                }
+            }
+            i += 1;
+        }
+        HarnessOpts { config, scenes }
+    }
+
+    /// Prepares one scene under this configuration (prints progress to
+    /// stderr so stdout stays a clean table).
+    pub fn prepare(&self, id: SceneId) -> Prepared {
+        eprintln!(
+            "[prepare] {id} (detail 1/{}, {}x{} @ {} bounces)",
+            self.config.detail_divisor,
+            self.config.resolution,
+            self.config.resolution,
+            self.config.max_bounces
+        );
+        Prepared::build(id, &self.config)
+    }
+}
+
+/// Geometric mean (the paper's average for speedups).
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+pub fn geomean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geomean of nothing");
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Arithmetic mean.
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+pub fn mean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "mean of nothing");
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Prints a header line followed by a separator (or a CSV header row).
+pub fn header(columns: &[&str]) {
+    if CSV.load(Ordering::Relaxed) {
+        println!("{}", columns.join(","));
+        return;
+    }
+    let line: Vec<String> = columns.iter().map(|c| format!("{c:>12}")).collect();
+    println!("{}", line.join(" "));
+    println!("{}", "-".repeat(13 * columns.len()));
+}
+
+/// Formats one row with a leading scene column (CSV-aware).
+pub fn row(scene: &str, values: &[String]) {
+    if CSV.load(Ordering::Relaxed) {
+        let mut cells = vec![scene.to_string()];
+        cells.extend(values.iter().cloned());
+        println!("{}", cells.join(","));
+        return;
+    }
+    let mut line = format!("{scene:>12}");
+    for v in values {
+        line.push_str(&format!(" {v:>12}"));
+    }
+    println!("{line}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basic() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "geomean of nothing")]
+    fn geomean_empty_panics() {
+        let _ = geomean(&[]);
+    }
+}

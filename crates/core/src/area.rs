@@ -1,0 +1,106 @@
+//! Storage-overhead arithmetic of §6.5.
+//!
+//! The paper sizes three structures: the Treelet Count Table in the RT
+//! unit (600 entries ⇒ 2.2 KB), the complete ray data in the reserved L2
+//! region (4096 rays × 32 B = 128 KB), and the Treelet Queue Table in the
+//! L1 ((19 + 32×12) bits × 128 entries = 6.29 KB). This module computes
+//! those numbers from the architectural parameters so the `area` harness
+//! can regenerate the section's table and tests can pin the arithmetic.
+
+/// Inputs to the area model (defaults = the paper's §6.5 numbers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AreaModel {
+    /// Maximum concurrent virtualized rays per SM.
+    pub max_rays: u32,
+    /// Treelet address bits (19: treelets are packed and 8 KB-aligned).
+    pub treelet_addr_bits: u32,
+    /// Ray id bits (12 bits address 4096 rays).
+    pub ray_id_bits: u32,
+    /// Treelet count table entries (600 suffices per §6.5's measurement).
+    pub count_table_entries: u32,
+    /// Treelet queue table entries (128 entries × 32 rays cover 4096 rays).
+    pub queue_table_entries: u32,
+    /// Rays per queue-table entry (a full warp).
+    pub rays_per_entry: u32,
+    /// Bytes per ray record (origin + direction + tmin + tmax).
+    pub ray_record_bytes: u32,
+}
+
+impl Default for AreaModel {
+    fn default() -> AreaModel {
+        AreaModel {
+            max_rays: 4096,
+            treelet_addr_bits: 19,
+            ray_id_bits: 12,
+            count_table_entries: 600,
+            queue_table_entries: 128,
+            rays_per_entry: 32,
+            ray_record_bytes: 32,
+        }
+    }
+}
+
+impl AreaModel {
+    /// Bits needed to count up to `max_rays` rays.
+    pub fn ray_count_bits(&self) -> u32 {
+        32 - (self.max_rays - 1).leading_zeros()
+    }
+
+    /// Treelet Count Table size in bytes: (addr + count) × entries.
+    pub fn count_table_bytes(&self) -> f64 {
+        (self.treelet_addr_bits + self.ray_count_bits()) as f64 * self.count_table_entries as f64
+            / 8.0
+    }
+
+    /// Treelet Queue Table size in bytes:
+    /// (addr + rays_per_entry × ray_id) × entries.
+    pub fn queue_table_bytes(&self) -> f64 {
+        (self.treelet_addr_bits + self.rays_per_entry * self.ray_id_bits) as f64
+            * self.queue_table_entries as f64
+            / 8.0
+    }
+
+    /// Ray data bytes held in the reserved L2 region.
+    pub fn ray_data_bytes(&self) -> u64 {
+        self.max_rays as u64 * self.ray_record_bytes as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ray_count_bits_for_4096_rays_is_12() {
+        assert_eq!(AreaModel::default().ray_count_bits(), 12);
+    }
+
+    #[test]
+    fn count_table_is_about_2_2_kb() {
+        // (19 + 12) bits × 600 entries = 18600 bits = 2325 B ≈ 2.2 KB (§6.5).
+        let b = AreaModel::default().count_table_bytes();
+        assert!((b - 2325.0).abs() < 1.0, "got {b}");
+        assert!((b / 1024.0 - 2.27).abs() < 0.1);
+    }
+
+    #[test]
+    fn queue_table_is_6_29_kb() {
+        // (19 + 32×12) bits × 128 entries = 51584 bits = 6448 B = 6.29 KB.
+        let b = AreaModel::default().queue_table_bytes();
+        assert!((b - 6448.0).abs() < 1.0, "got {b}");
+        assert!((b / 1024.0 - 6.29).abs() < 0.02);
+    }
+
+    #[test]
+    fn ray_data_is_128_kb() {
+        assert_eq!(AreaModel::default().ray_data_bytes(), 128 * 1024);
+    }
+
+    #[test]
+    fn queue_table_fits_l1_with_treelet() {
+        // §6.5: "the L1 cache fits both the treelet data and the treelet
+        // queue table": 8 KB treelet + 6.29 KB table < 16 KB.
+        let m = AreaModel::default();
+        assert!(8.0 * 1024.0 + m.queue_table_bytes() < 16.0 * 1024.0);
+    }
+}

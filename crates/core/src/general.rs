@@ -1,0 +1,146 @@
+//! General tree-traversal workloads on the RT pipeline (paper §8).
+//!
+//! The paper's conclusion argues virtualized treelet queues should also
+//! accelerate the growing family of *non-rendering* workloads that map
+//! tree searches onto ray-tracing hardware — RTNN (nearest neighbour),
+//! RT-DBSCAN and RTIndeX (database indexing) "transform their data into a
+//! BVH tree and the search query into a ray". This module implements that
+//! mapping so the claim can be tested on our simulator: each query becomes
+//! a short ray segment around a query point, producing the extremely
+//! incoherent, shallow traversals characteristic of these workloads.
+
+use gpusim::{PathTask, Workload};
+use rtmath::{Vec3, XorShiftRng};
+use rtscene::Scene;
+
+/// A point-radius range query (the RTNN/RT-DBSCAN primitive).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RangeQuery {
+    /// Query point.
+    pub center: Vec3,
+    /// Search radius.
+    pub radius: f32,
+}
+
+/// Generates `count` range queries distributed over the scene bounds:
+/// half clustered around random geometry (DBSCAN-style density probes),
+/// half uniform over the bounding box (index-style lookups).
+///
+/// # Example
+///
+/// ```
+/// use rtscene::lumibench::{self, SceneId};
+/// use vtq::general;
+///
+/// let scene = lumibench::build_scaled(SceneId::Party, 64);
+/// let queries = general::random_queries(&scene, 100, 0.5, 7);
+/// let workload = general::query_workload(&queries, 7);
+/// assert_eq!(workload.tasks.len(), 100);
+/// ```
+pub fn random_queries(scene: &Scene, count: usize, radius: f32, seed: u64) -> Vec<RangeQuery> {
+    let bounds = scene.stats().bounds;
+    let tris = scene.triangles();
+    let mut rng = XorShiftRng::new(seed);
+    (0..count)
+        .map(|i| {
+            let center = if i % 2 == 0 && !tris.is_empty() {
+                // On-geometry probe: jittered around a random triangle.
+                let t = &tris[rng.below(tris.len() as u64) as usize];
+                t.centroid() + rng.unit_vector() * radius * rng.range_f32(0.0, 2.0)
+            } else {
+                Vec3::new(
+                    rng.range_f32(bounds.min.x, bounds.max.x),
+                    rng.range_f32(bounds.min.y, bounds.max.y),
+                    rng.range_f32(bounds.min.z, bounds.max.z),
+                )
+            };
+            RangeQuery { center, radius }
+        })
+        .collect()
+}
+
+/// Converts range queries into a simulator workload: each query is a ray
+/// segment of length `2·radius` through the query point in a random
+/// direction (the RTNN mapping), traversing exactly the BVH subtrees a
+/// hardware RT unit would visit for that query.
+pub fn query_workload(queries: &[RangeQuery], seed: u64) -> Workload {
+    let mut rng = XorShiftRng::new(seed ^ 0x0005_1EE7);
+    let tasks = queries
+        .iter()
+        .map(|q| {
+            let dir = rng.unit_vector();
+            let origin = q.center - dir * q.radius;
+            // The ray parameter range [0, 2r] is encoded in the direction
+            // scale: traversal uses t in (1e-3, 1), so dir spans 2r.
+            // Queries are occlusion-style: the first primitive within the
+            // radius answers the query (the DBSCAN density test), so they
+            // map to anyhit trace calls.
+            let ray = rtmath::Ray::new(origin, dir * (2.0 * q.radius));
+            PathTask { rays: vec![gpusim::TraceCall::anyhit(ray, 1.0)] }
+        })
+        .collect();
+    Workload { tasks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpusim::{GpuConfig, Simulator, TraversalPolicy, VtqParams};
+    use rtbvh::{Bvh, BvhConfig};
+    use rtscene::lumibench::{self, SceneId};
+
+    fn setup() -> (Scene, Bvh) {
+        let scene = lumibench::build_scaled(SceneId::Party, 16);
+        let bvh = Bvh::build(scene.triangles(), &BvhConfig { treelet_bytes: 2048, ..Default::default() });
+        (scene, bvh)
+    }
+
+    #[test]
+    fn queries_cover_scene_bounds() {
+        let (scene, _) = setup();
+        let queries = random_queries(&scene, 500, 0.5, 7);
+        assert_eq!(queries.len(), 500);
+        let bounds = scene.stats().bounds.expanded(1.5);
+        let inside = queries.iter().filter(|q| bounds.contains(q.center)).count();
+        assert!(inside > 400, "queries should mostly land in the scene ({inside}/500)");
+    }
+
+    #[test]
+    fn query_rays_are_short_segments() {
+        let (scene, _) = setup();
+        let queries = random_queries(&scene, 64, 0.25, 9);
+        let w = query_workload(&queries, 9);
+        assert_eq!(w.tasks.len(), 64);
+        for (t, q) in w.tasks.iter().zip(&queries) {
+            let call = t.rays[0];
+            assert!(call.anyhit, "range queries are occlusion queries");
+            assert!((call.ray.dir.length() - 2.0 * q.radius).abs() < 1e-3);
+            // Midpoint of the segment is the query center.
+            assert!((call.ray.at(0.5) - q.center).length() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn simulator_runs_query_workloads_under_all_policies() {
+        let (scene, bvh) = setup();
+        let queries = random_queries(&scene, 1500, 0.6, 3);
+        let w = query_workload(&queries, 3);
+        let mut gpu = GpuConfig::default();
+        gpu.mem.num_sms = 2;
+        for policy in [
+            TraversalPolicy::Baseline,
+            TraversalPolicy::Vtq(VtqParams { queue_threshold: 16, ..Default::default() }),
+        ] {
+            let r = Simulator::new(&bvh, scene.triangles(), gpu.with_policy(policy)).run(&w);
+            assert_eq!(r.stats.rays_completed as usize, w.total_rays(), "{}", policy.label());
+        }
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let (scene, _) = setup();
+        let a = random_queries(&scene, 32, 0.5, 42);
+        let b = random_queries(&scene, 32, 0.5, 42);
+        assert_eq!(a, b);
+    }
+}

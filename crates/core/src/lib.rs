@@ -1,0 +1,64 @@
+//! # Virtualized Treelet Queues — reproduction library
+//!
+//! This crate is the public API of the treelet-rt workspace, a from-scratch
+//! Rust reproduction of *"Treelet Accelerated Ray Tracing on GPUs"*
+//! (Chou & Aamodt, ASPLOS 2025). It ties the substrates together:
+//!
+//! * [`rtscene`] — procedural LumiBench-like scenes, materials, cameras,
+//! * [`rtbvh`] — 4-wide SAH BVH with treelet partitioning,
+//! * [`gpumem`] — cache/DRAM hierarchy model,
+//! * [`gpusim`] — the cycle-level GPU + RT-unit simulator with ray
+//!   virtualization, dynamic treelet queues and warp repacking,
+//!
+//! and adds what the paper's evaluation needs on top:
+//!
+//! * [`workload`] — the path-tracing workload driver (1 spp, 3 bounces)
+//!   that produces both the [`gpusim::Workload`] and a rendered image,
+//! * [`analytical`] — the §2.4 analytical model behind Figure 5,
+//! * [`area`] — the §6.5 storage-overhead arithmetic,
+//! * [`general`] — the §8 general tree-traversal (RTNN/RT-DBSCAN style)
+//!   query workloads,
+//! * [`reorder`] — the §7.2.1 ray-reordering comparison (first-hit Morton
+//!   sorting à la Moon et al.),
+//! * [`experiment`] — one runner per paper table/figure, returning typed
+//!   rows that the `vtq-bench` binaries print.
+//!
+//! # Quick start
+//!
+//! ```
+//! use vtq::prelude::*;
+//!
+//! // A reduced-detail scene so this doc test runs fast; experiments use
+//! // detail_divisor = 1 and 256×256.
+//! let cfg = ExperimentConfig { detail_divisor: 16, resolution: 32, ..Default::default() };
+//! let prepared = Prepared::build(SceneId::Bunny, &cfg);
+//! let report = prepared.run_policy(TraversalPolicy::Baseline);
+//! assert!(report.stats.cycles > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analytical;
+pub mod area;
+pub mod experiment;
+pub mod general;
+pub mod reorder;
+pub mod workload;
+
+pub use experiment::{ExperimentConfig, Prepared};
+
+/// One-stop imports for examples and benches.
+pub mod prelude {
+    pub use crate::analytical::{analytical_speedups, RayTrace};
+    pub use crate::area::AreaModel;
+    pub use crate::experiment::{ExperimentConfig, Prepared};
+    pub use crate::workload::{Image, PathTracer};
+    pub use gpumem::AccessKind;
+    pub use gpusim::{
+        GpuConfig, SimReport, Simulator, TraversalMode, TraversalPolicy, VtqParams, Workload,
+    };
+    pub use rtbvh::{Bvh, BvhConfig};
+    pub use rtscene::lumibench::{self, SceneId};
+    pub use rtscene::Scene;
+}

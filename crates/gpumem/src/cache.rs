@@ -1,0 +1,292 @@
+use std::fmt;
+
+/// Associativity of a cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Assoc {
+    /// Fully associative (one set spanning the whole cache).
+    Full,
+    /// Set associative with the given number of ways.
+    Ways(u32),
+}
+
+/// Geometry and latency of a single cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u32,
+    /// Associativity.
+    pub assoc: Assoc,
+    /// Line size in bytes (must be a power of two).
+    pub line_bytes: u32,
+    /// Access latency in core cycles (total, load-to-use).
+    pub latency: u32,
+}
+
+impl CacheConfig {
+    /// Number of lines this cache holds.
+    pub fn num_lines(&self) -> u32 {
+        self.size_bytes / self.line_bytes
+    }
+}
+
+/// Hit/miss counters of one cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total lookups.
+    pub accesses: u64,
+    /// Lookups that hit.
+    pub hits: u64,
+}
+
+impl CacheStats {
+    /// Miss count.
+    pub fn misses(&self) -> u64 {
+        self.accesses - self.hits
+    }
+
+    /// Miss rate in `[0, 1]`; zero when there were no accesses.
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses() as f64 / self.accesses as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    tag: u64,
+    last_used: u64,
+    valid: bool,
+}
+
+/// An LRU cache model (no data, just tags — the simulator only needs
+/// hit/miss/latency behaviour).
+///
+/// # Example
+///
+/// ```
+/// use gpumem::{Assoc, Cache, CacheConfig};
+/// let mut c = Cache::new(&CacheConfig {
+///     size_bytes: 256, assoc: Assoc::Full, line_bytes: 64, latency: 10,
+/// });
+/// assert!(!c.access(0, 1));     // cold miss (allocates)
+/// assert!(c.access(0, 2));      // hit
+/// assert!(c.access(63, 3));     // same line
+/// assert!(!c.access(64, 4));    // next line
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    sets: Vec<Vec<Line>>,
+    set_shift: u32,
+    set_mask: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_bytes` is not a power of two, or if the geometry is
+    /// inconsistent (capacity not divisible into sets of `ways` lines).
+    pub fn new(config: &CacheConfig) -> Cache {
+        assert!(config.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(config.size_bytes >= config.line_bytes, "cache smaller than one line");
+        let num_lines = config.num_lines();
+        let (num_sets, ways) = match config.assoc {
+            Assoc::Full => (1u32, num_lines),
+            Assoc::Ways(w) => {
+                assert!(w > 0 && num_lines.is_multiple_of(w), "lines ({num_lines}) not divisible by ways ({w})");
+                (num_lines / w, w)
+            }
+        };
+        assert!(num_sets.is_power_of_two(), "set count must be a power of two");
+        Cache {
+            config: *config,
+            sets: vec![
+                vec![Line { tag: 0, last_used: 0, valid: false }; ways as usize];
+                num_sets as usize
+            ],
+            set_shift: config.line_bytes.trailing_zeros(),
+            set_mask: (num_sets - 1) as u64,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The cache's configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    fn locate(&self, addr: u64) -> (usize, u64) {
+        let line = addr >> self.set_shift;
+        ((line & self.set_mask) as usize, line >> self.sets.len().trailing_zeros())
+    }
+
+    /// Looks up the line containing `addr`, allocating it on miss (LRU
+    /// victim). Returns `true` on hit. `tick` orders recency; callers pass
+    /// the current cycle.
+    pub fn access(&mut self, addr: u64, tick: u64) -> bool {
+        self.stats.accesses += 1;
+        let hit = self.touch(addr, tick);
+        if hit {
+            self.stats.hits += 1;
+        }
+        hit
+    }
+
+    /// Inserts the line containing `addr` without counting an access
+    /// (used for preload/prefetch fills). Returns `true` if it was already
+    /// present.
+    pub fn fill(&mut self, addr: u64, tick: u64) -> bool {
+        self.touch(addr, tick)
+    }
+
+    /// `true` if the line containing `addr` is resident (no state change).
+    pub fn probe(&self, addr: u64) -> bool {
+        let (set, tag) = self.locate(addr);
+        self.sets[set].iter().any(|l| l.valid && l.tag == tag)
+    }
+
+    fn touch(&mut self, addr: u64, tick: u64) -> bool {
+        let (set, tag) = self.locate(addr);
+        let lines = &mut self.sets[set];
+        if let Some(line) = lines.iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.last_used = tick;
+            return true;
+        }
+        // Miss: evict LRU (preferring invalid lines).
+        let victim = lines
+            .iter_mut()
+            .min_by_key(|l| if l.valid { l.last_used + 1 } else { 0 })
+            .expect("cache sets are never empty");
+        *victim = Line { tag, last_used: tick, valid: true };
+        false
+    }
+
+    /// Invalidates every line.
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            for line in set {
+                line.valid = false;
+            }
+        }
+    }
+
+    /// Hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Resets the counters (contents stay).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+}
+
+impl fmt::Display for Cache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Cache[{}B, {} sets, miss rate {:.1}%]",
+            self.config.size_bytes,
+            self.sets.len(),
+            self.stats.miss_rate() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(assoc: Assoc) -> Cache {
+        Cache::new(&CacheConfig { size_bytes: 256, assoc, line_bytes: 64, latency: 1 })
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = tiny(Assoc::Full);
+        assert!(!c.access(0x100, 1));
+        assert!(c.access(0x100, 2));
+        assert_eq!(c.stats().accesses, 2);
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().miss_rate(), 0.5);
+    }
+
+    #[test]
+    fn same_line_different_offsets_hit() {
+        let mut c = tiny(Assoc::Full);
+        c.access(0x80, 1);
+        assert!(c.access(0x80 + 63, 2));
+        assert!(!c.access(0x80 + 64, 3));
+    }
+
+    #[test]
+    fn lru_eviction_order_fully_assoc() {
+        let mut c = tiny(Assoc::Full); // 4 lines
+        for (i, addr) in [0u64, 64, 128, 192].iter().enumerate() {
+            c.access(*addr, i as u64);
+        }
+        c.access(0, 10); // refresh line 0
+        c.access(256, 11); // evicts LRU = line at 64
+        assert!(c.probe(0));
+        assert!(!c.probe(64));
+        assert!(c.probe(128));
+        assert!(c.probe(256));
+    }
+
+    #[test]
+    fn set_associative_conflicts() {
+        // 2 sets x 2 ways: lines 0,2,4 map to set 0; 1,3 to set 1.
+        let mut c = tiny(Assoc::Ways(2));
+        c.access(0, 1); // set 0
+        c.access(2 * 64, 2); // set 0
+        c.access(4 * 64, 3); // set 0: evicts line 0
+        assert!(!c.probe(0));
+        assert!(c.probe(2 * 64));
+        assert!(c.probe(4 * 64));
+        // Set 1 untouched.
+        c.access(64, 4);
+        assert!(c.probe(64));
+    }
+
+    #[test]
+    fn fill_does_not_count_access() {
+        let mut c = tiny(Assoc::Full);
+        c.fill(0x40, 1);
+        assert_eq!(c.stats().accesses, 0);
+        assert!(c.access(0x40, 2)); // now a hit
+    }
+
+    #[test]
+    fn flush_invalidates() {
+        let mut c = tiny(Assoc::Full);
+        c.access(0, 1);
+        c.flush();
+        assert!(!c.probe(0));
+        assert!(!c.access(0, 2));
+    }
+
+    #[test]
+    fn probe_has_no_side_effects() {
+        let c = tiny(Assoc::Full);
+        assert!(!c.probe(0));
+        assert_eq!(c.stats().accesses, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_line_size_panics() {
+        let _ = Cache::new(&CacheConfig { size_bytes: 256, assoc: Assoc::Full, line_bytes: 48, latency: 1 });
+    }
+
+    #[test]
+    fn num_lines() {
+        let cfg = CacheConfig { size_bytes: 16 * 1024, assoc: Assoc::Full, line_bytes: 128, latency: 39 };
+        assert_eq!(cfg.num_lines(), 128);
+    }
+}

@@ -1,0 +1,182 @@
+use std::fmt;
+
+/// What kind of data a memory access moves — the paper reports statistics
+/// (and budgets energy) separately per kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AccessKind {
+    /// BVH node / leaf-triangle fetches issued by the RT unit.
+    Bvh,
+    /// Ray origin/direction/interval records (32 B per ray).
+    Ray,
+    /// Saved CTA state for ray virtualization (registers + SIMT stacks).
+    CtaState,
+    /// Raygen/shading instruction + data traffic (modelled coarsely).
+    Shader,
+    /// Treelet queue table spill/fill traffic.
+    QueueMeta,
+    /// Controller-issued bulk transfers: treelet preloads and the treelet
+    /// prefetcher of Chou et al. — counted apart from demand BVH fetches so
+    /// miss-rate figures reflect only ray-visible accesses.
+    Prefetch,
+}
+
+impl AccessKind {
+    /// All kinds, for iteration in reports.
+    pub const ALL: [AccessKind; 6] = [
+        AccessKind::Bvh,
+        AccessKind::Ray,
+        AccessKind::CtaState,
+        AccessKind::Shader,
+        AccessKind::QueueMeta,
+        AccessKind::Prefetch,
+    ];
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AccessKind::Bvh => "bvh",
+            AccessKind::Ray => "ray",
+            AccessKind::CtaState => "cta-state",
+            AccessKind::Shader => "shader",
+            AccessKind::QueueMeta => "queue-meta",
+            AccessKind::Prefetch => "prefetch",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Per-kind line-level counters across the hierarchy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KindStats {
+    /// Cache-line requests of this kind.
+    pub lines: u64,
+    /// Lines that hit in an L1.
+    pub l1_hits: u64,
+    /// Lines that hit in the L2 (or the reserved ray region).
+    pub l2_hits: u64,
+    /// Lines serviced by DRAM.
+    pub dram: u64,
+    /// Lines that looked up an L1 at all (policy did not bypass it).
+    pub l1_lookups: u64,
+}
+
+impl KindStats {
+    /// L1 miss rate over lines that consulted the L1.
+    pub fn l1_miss_rate(&self) -> f64 {
+        if self.l1_lookups == 0 {
+            0.0
+        } else {
+            1.0 - self.l1_hits as f64 / self.l1_lookups as f64
+        }
+    }
+
+    /// Fraction of all lines that went to DRAM.
+    pub fn dram_rate(&self) -> f64 {
+        if self.lines == 0 {
+            0.0
+        } else {
+            self.dram as f64 / self.lines as f64
+        }
+    }
+}
+
+/// One bucket of the time-windowed L1 BVH miss-rate series (Figure 11).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowPoint {
+    /// First cycle of the window.
+    pub start_cycle: u64,
+    /// L1 BVH lookups in the window.
+    pub accesses: u64,
+    /// L1 BVH misses in the window.
+    pub misses: u64,
+}
+
+impl WindowPoint {
+    /// Miss rate of this window.
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// Aggregated memory-system statistics.
+#[derive(Debug, Clone, Default)]
+pub struct MemStats {
+    per_kind: [KindStats; AccessKind::ALL.len()],
+    /// Time-windowed L1 BVH miss-rate series.
+    pub bvh_l1_windows: Vec<WindowPoint>,
+}
+
+impl MemStats {
+    /// Counters for one access kind.
+    pub fn kind(&self, kind: AccessKind) -> &KindStats {
+        &self.per_kind[kind_index(kind)]
+    }
+
+    pub(crate) fn kind_mut(&mut self, kind: AccessKind) -> &mut KindStats {
+        &mut self.per_kind[kind_index(kind)]
+    }
+
+    /// Total lines moved from DRAM (bandwidth proxy).
+    pub fn total_dram_lines(&self) -> u64 {
+        self.per_kind.iter().map(|k| k.dram).sum()
+    }
+
+    /// Total line requests of all kinds.
+    pub fn total_lines(&self) -> u64 {
+        self.per_kind.iter().map(|k| k.lines).sum()
+    }
+}
+
+fn kind_index(kind: AccessKind) -> usize {
+    AccessKind::ALL
+        .iter()
+        .position(|k| *k == kind)
+        .expect("AccessKind::ALL covers every variant")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_stats_rates() {
+        let k = KindStats { lines: 10, l1_hits: 6, l2_hits: 2, dram: 2, l1_lookups: 10 };
+        assert!((k.l1_miss_rate() - 0.4).abs() < 1e-12);
+        assert!((k.dram_rate() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_access_rates_are_zero() {
+        let k = KindStats::default();
+        assert_eq!(k.l1_miss_rate(), 0.0);
+        assert_eq!(k.dram_rate(), 0.0);
+    }
+
+    #[test]
+    fn window_point_miss_rate() {
+        let w = WindowPoint { start_cycle: 0, accesses: 4, misses: 1 };
+        assert_eq!(w.miss_rate(), 0.25);
+        let empty = WindowPoint { start_cycle: 0, accesses: 0, misses: 0 };
+        assert_eq!(empty.miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn mem_stats_indexing_covers_all_kinds() {
+        let mut m = MemStats::default();
+        for k in AccessKind::ALL {
+            m.kind_mut(k).lines += 1;
+        }
+        assert_eq!(m.total_lines(), 6);
+        assert_eq!(m.kind(AccessKind::Bvh).lines, 1);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(AccessKind::CtaState.to_string(), "cta-state");
+    }
+}

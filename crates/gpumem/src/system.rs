@@ -1,0 +1,448 @@
+use crate::cache::{Assoc, Cache, CacheConfig};
+use crate::stats::{AccessKind, MemStats, WindowPoint};
+
+/// How an access flows through the hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CachePolicy {
+    /// Normal demand path: L1 → L2 → DRAM.
+    L1AndL2,
+    /// Skip the L1 (the paper's ray-data loads bypass L1 "to not evict
+    /// treelet data", §5): L2 → DRAM.
+    BypassL1,
+    /// The reserved ray-data region of the L2 (§4.2 ①): dedicated capacity,
+    /// L2 latency, DRAM backing when evicted.
+    RayReserve,
+    /// Straight to DRAM (uncached state save/restore streams).
+    DramOnly,
+}
+
+/// Configuration of the whole memory system.
+///
+/// Defaults mirror the paper's Table 1 (RTX-3080-derived latencies from
+/// Accel-Sim): 16 KB fully-associative L1 at 39 cycles per SM, 128 KB
+/// 16-way L2 at 187 cycles, plus a DRAM model with ~450-cycle latency and a
+/// global bandwidth of 4 lines/cycle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemConfig {
+    /// Number of SMs, i.e. number of private L1 caches.
+    pub num_sms: usize,
+    /// Per-SM L1 data cache.
+    pub l1: CacheConfig,
+    /// Shared L2 cache.
+    pub l2: CacheConfig,
+    /// Reserved L2 region for virtualized ray data (§5: 128 KB holds 4096
+    /// rays × 32 B).
+    pub ray_reserve: CacheConfig,
+    /// DRAM access latency in core cycles (beyond the L2 lookup).
+    pub dram_latency: u32,
+    /// DRAM bandwidth: cache lines serviceable per core cycle, across the
+    /// whole GPU. Requests beyond this rate queue up.
+    pub dram_lines_per_cycle: f64,
+    /// Miss-status holding registers per SM: the number of outstanding
+    /// off-SM line fills one SM can have in flight. Bounds the memory-level
+    /// parallelism a warp's divergent accesses can extract. 64 matches
+    /// modern SM L1s (a full 32-lane divergent warp plus controller
+    /// streams); at 32 the RT unit's bulk treelet loads start serializing
+    /// against demand misses.
+    pub mshrs_per_sm: usize,
+    /// Width of the miss-rate history windows in cycles (Figure 11).
+    pub window_cycles: u64,
+}
+
+impl Default for MemConfig {
+    fn default() -> MemConfig {
+        MemConfig {
+            num_sms: 16,
+            l1: CacheConfig { size_bytes: 16 * 1024, assoc: Assoc::Full, line_bytes: 128, latency: 39 },
+            l2: CacheConfig {
+                size_bytes: 128 * 1024,
+                assoc: Assoc::Ways(16),
+                line_bytes: 128,
+                latency: 187,
+            },
+            ray_reserve: CacheConfig {
+                size_bytes: 128 * 1024,
+                assoc: Assoc::Full,
+                line_bytes: 128,
+                latency: 187,
+            },
+            dram_latency: 450,
+            dram_lines_per_cycle: 4.0,
+            mshrs_per_sm: 64,
+            window_cycles: 20_000,
+        }
+    }
+}
+
+/// The simulated memory hierarchy: per-SM L1s, shared L2, reserved ray
+/// region, DRAM latency + bandwidth queue.
+///
+/// All methods take the current cycle (`now`) and return the cycle at which
+/// the requested data is available; the caller (the RT-unit model) stalls
+/// the consumer until then. See the [crate docs](crate) for an example.
+#[derive(Debug, Clone)]
+pub struct MemorySystem {
+    config: MemConfig,
+    l1s: Vec<Cache>,
+    l2: Cache,
+    ray_reserve: Cache,
+    /// Cycle at which the DRAM service queue frees up.
+    dram_free_at: f64,
+    /// Per-SM MSHR pools: each entry is the cycle at which that MSHR's
+    /// outstanding fill returns.
+    mshrs: Vec<Vec<u64>>,
+    stats: MemStats,
+}
+
+impl MemorySystem {
+    /// Creates the hierarchy with cold caches.
+    pub fn new(config: &MemConfig) -> MemorySystem {
+        MemorySystem {
+            config: *config,
+            l1s: (0..config.num_sms).map(|_| Cache::new(&config.l1)).collect(),
+            l2: Cache::new(&config.l2),
+            ray_reserve: Cache::new(&config.ray_reserve),
+            dram_free_at: 0.0,
+            mshrs: vec![vec![0u64; config.mshrs_per_sm.max(1)]; config.num_sms],
+            stats: MemStats::default(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &MemConfig {
+        &self.config
+    }
+
+    /// Aggregated statistics.
+    pub fn stats(&self) -> &MemStats {
+        &self.stats
+    }
+
+    /// Direct read-only access to one SM's L1 (tests, occupancy probes).
+    pub fn l1(&self, sm: usize) -> &Cache {
+        &self.l1s[sm]
+    }
+
+    /// Direct read-only access to the shared L2.
+    pub fn l2(&self) -> &Cache {
+        &self.l2
+    }
+
+    /// Issues an access of `bytes` bytes at `addr` from SM `sm` at cycle
+    /// `now`; returns the completion cycle. Every covered cache line is
+    /// looked up; the completion is the slowest line (lines transfer in
+    /// parallel subject to the DRAM bandwidth queue).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sm` is out of range or `bytes == 0`.
+    pub fn access(
+        &mut self,
+        sm: usize,
+        addr: u64,
+        bytes: u32,
+        kind: AccessKind,
+        policy: CachePolicy,
+        now: u64,
+    ) -> u64 {
+        assert!(bytes > 0, "zero-byte access");
+        let line = self.config.l1.line_bytes as u64;
+        let first = addr / line;
+        let last = (addr + bytes as u64 - 1) / line;
+        let mut done = now;
+        for l in first..=last {
+            done = done.max(self.access_line(sm, l * line, kind, policy, now));
+        }
+        done
+    }
+
+    /// Single-line access; see [`MemorySystem::access`].
+    fn access_line(&mut self, sm: usize, line_addr: u64, kind: AccessKind, policy: CachePolicy, now: u64) -> u64 {
+        let ks = self.stats.kind_mut(kind);
+        ks.lines += 1;
+        match policy {
+            CachePolicy::L1AndL2 => {
+                ks.l1_lookups += 1;
+                let l1_hit = self.l1s[sm].access(line_addr, now);
+                // The Figure 11 time series covers all BVH data movement
+                // through the L1: demand node fetches plus controller
+                // treelet streams/prefetches (whose wasted lines are
+                // exactly what makes thin treelet queues expensive).
+                if kind == AccessKind::Bvh || kind == AccessKind::Prefetch {
+                    self.record_window(now, l1_hit);
+                }
+                if l1_hit {
+                    self.stats.kind_mut(kind).l1_hits += 1;
+                    return now + self.config.l1.latency as u64;
+                }
+                self.l2_then_dram(sm, line_addr, kind, now)
+            }
+            CachePolicy::BypassL1 => self.l2_then_dram(sm, line_addr, kind, now),
+            CachePolicy::RayReserve => {
+                if self.ray_reserve.access(line_addr, now) {
+                    self.stats.kind_mut(kind).l2_hits += 1;
+                    now + self.config.ray_reserve.latency as u64
+                } else {
+                    self.dram(sm, kind, now + self.config.ray_reserve.latency as u64)
+                }
+            }
+            CachePolicy::DramOnly => self.dram(sm, kind, now),
+        }
+    }
+
+    fn l2_then_dram(&mut self, sm: usize, line_addr: u64, kind: AccessKind, now: u64) -> u64 {
+        if self.l2.access(line_addr, now) {
+            self.stats.kind_mut(kind).l2_hits += 1;
+            now + self.config.l2.latency as u64
+        } else {
+            self.dram(sm, kind, now + self.config.l2.latency as u64)
+        }
+    }
+
+    /// Charges one line of DRAM traffic: MSHR allocation, bandwidth queue
+    /// and fixed latency.
+    fn dram(&mut self, sm: usize, kind: AccessKind, ready: u64) -> u64 {
+        self.stats.kind_mut(kind).dram += 1;
+        // Allocate the earliest-free MSHR; if all are occupied the request
+        // stalls until one retires.
+        let slot = {
+            let pool = &self.mshrs[sm];
+            let mut best = 0;
+            for (i, &free_at) in pool.iter().enumerate() {
+                if free_at < pool[best] {
+                    best = i;
+                }
+            }
+            best
+        };
+        let issue = ready.max(self.mshrs[sm][slot]);
+        let service = 1.0 / self.config.dram_lines_per_cycle;
+        let start = self.dram_free_at.max(issue as f64);
+        self.dram_free_at = start + service;
+        let completion = start as u64 + self.config.dram_latency as u64;
+        self.mshrs[sm][slot] = completion;
+        completion
+    }
+
+    /// Installs the lines covering `[addr, addr+bytes)` into SM `sm`'s L1
+    /// (and the L2) without counting demand accesses — the treelet preload
+    /// path. Timing is the caller's concern (it gates dispatch on the
+    /// returned completion of a matching [`MemorySystem::access`] call or
+    /// models preload latency itself).
+    pub fn fill_l1(&mut self, sm: usize, addr: u64, bytes: u32, now: u64) {
+        let line = self.config.l1.line_bytes as u64;
+        let first = addr / line;
+        let last = (addr + bytes as u64 - 1) / line;
+        for l in first..=last {
+            self.l1s[sm].fill(l * line, now);
+            self.l2.fill(l * line, now);
+        }
+    }
+
+    /// Number of lines of `[addr, addr+bytes)` *not* already resident in SM
+    /// `sm`'s L1 — used to price preloads.
+    pub fn missing_l1_lines(&self, sm: usize, addr: u64, bytes: u32) -> u32 {
+        let line = self.config.l1.line_bytes as u64;
+        let first = addr / line;
+        let last = (addr + bytes as u64 - 1) / line;
+        (first..=last).filter(|l| !self.l1s[sm].probe(l * line)).count() as u32
+    }
+
+    fn record_window(&mut self, now: u64, hit: bool) {
+        let idx = (now / self.config.window_cycles) as usize;
+        let windows = &mut self.stats.bvh_l1_windows;
+        while windows.len() <= idx {
+            let start_cycle = windows.len() as u64 * self.config.window_cycles;
+            windows.push(WindowPoint { start_cycle, accesses: 0, misses: 0 });
+        }
+        windows[idx].accesses += 1;
+        if !hit {
+            windows[idx].misses += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> MemConfig {
+        MemConfig {
+            num_sms: 2,
+            l1: CacheConfig { size_bytes: 512, assoc: Assoc::Full, line_bytes: 128, latency: 10 },
+            l2: CacheConfig { size_bytes: 2048, assoc: Assoc::Ways(4), line_bytes: 128, latency: 50 },
+            ray_reserve: CacheConfig { size_bytes: 512, assoc: Assoc::Full, line_bytes: 128, latency: 50 },
+            dram_latency: 200,
+            dram_lines_per_cycle: 1.0,
+            mshrs_per_sm: 32,
+            window_cycles: 1000,
+        }
+    }
+
+    #[test]
+    fn latency_ladder() {
+        let mut m = MemorySystem::new(&small_config());
+        // Cold: L2 lookup (50) + DRAM (200).
+        let t = m.access(0, 0, 128, AccessKind::Bvh, CachePolicy::L1AndL2, 0);
+        assert_eq!(t, 250);
+        // L1 hit now.
+        assert_eq!(m.access(0, 0, 128, AccessKind::Bvh, CachePolicy::L1AndL2, 300) - 300, 10);
+        // Other SM: misses its L1 but hits the shared L2.
+        assert_eq!(m.access(1, 0, 128, AccessKind::Bvh, CachePolicy::L1AndL2, 600) - 600, 50);
+    }
+
+    #[test]
+    fn multi_line_access_completes_with_slowest() {
+        let mut m = MemorySystem::new(&small_config());
+        // 256 bytes = 2 lines, both DRAM; bandwidth 1 line/cycle so the
+        // second line queues 1 cycle behind the first.
+        let t = m.access(0, 0, 256, AccessKind::Bvh, CachePolicy::L1AndL2, 0);
+        assert_eq!(t, 251);
+        assert_eq!(m.stats().kind(AccessKind::Bvh).lines, 2);
+        assert_eq!(m.stats().kind(AccessKind::Bvh).dram, 2);
+    }
+
+    #[test]
+    fn bandwidth_queue_delays_bursts() {
+        let mut m = MemorySystem::new(&small_config());
+        // 8 distinct lines at once: the k-th line starts k cycles later.
+        let mut last = 0;
+        for i in 0..8u64 {
+            last = last.max(m.access(0, i * 128 + 4096, 128, AccessKind::Bvh, CachePolicy::L1AndL2, 0));
+        }
+        assert_eq!(last, 50 + 200 + 7);
+    }
+
+    #[test]
+    fn bypass_l1_does_not_install_in_l1() {
+        let mut m = MemorySystem::new(&small_config());
+        m.access(0, 0, 128, AccessKind::Ray, CachePolicy::BypassL1, 0);
+        assert!(!m.l1(0).probe(0));
+        assert!(m.l2().probe(0));
+        assert_eq!(m.stats().kind(AccessKind::Ray).l1_lookups, 0);
+    }
+
+    #[test]
+    fn ray_reserve_is_separate_from_l2() {
+        let mut m = MemorySystem::new(&small_config());
+        m.access(0, 0, 128, AccessKind::Ray, CachePolicy::RayReserve, 0);
+        assert!(!m.l2().probe(0));
+        // Second access hits the reserve at L2 latency.
+        let t = m.access(0, 0, 128, AccessKind::Ray, CachePolicy::RayReserve, 1000);
+        assert_eq!(t - 1000, 50);
+    }
+
+    #[test]
+    fn dram_only_always_pays_dram() {
+        let mut m = MemorySystem::new(&small_config());
+        let t1 = m.access(0, 0, 128, AccessKind::CtaState, CachePolicy::DramOnly, 0);
+        assert_eq!(t1, 200);
+        let t2 = m.access(0, 0, 128, AccessKind::CtaState, CachePolicy::DramOnly, 1000);
+        assert_eq!(t2 - 1000, 200);
+        assert_eq!(m.stats().kind(AccessKind::CtaState).dram, 2);
+    }
+
+    #[test]
+    fn fill_l1_makes_demand_hits() {
+        let mut m = MemorySystem::new(&small_config());
+        assert_eq!(m.missing_l1_lines(0, 0, 256), 2);
+        m.fill_l1(0, 0, 256, 0);
+        assert_eq!(m.missing_l1_lines(0, 0, 256), 0);
+        let t = m.access(0, 0, 128, AccessKind::Bvh, CachePolicy::L1AndL2, 10);
+        assert_eq!(t - 10, 10); // L1 hit
+    }
+
+    #[test]
+    fn window_series_records_bvh_l1_only() {
+        let mut m = MemorySystem::new(&small_config());
+        m.access(0, 0, 128, AccessKind::Bvh, CachePolicy::L1AndL2, 0); // miss @ window 0
+        m.access(0, 0, 128, AccessKind::Bvh, CachePolicy::L1AndL2, 1500); // hit @ window 1
+        m.access(0, 0, 128, AccessKind::Ray, CachePolicy::BypassL1, 1600); // not recorded
+        let w = &m.stats().bvh_l1_windows;
+        assert_eq!(w.len(), 2);
+        assert_eq!(w[0].accesses, 1);
+        assert_eq!(w[0].misses, 1);
+        assert_eq!(w[1].accesses, 1);
+        assert_eq!(w[1].misses, 0);
+        assert_eq!(w[1].start_cycle, 1000);
+    }
+
+    #[test]
+    fn l1s_are_private_per_sm() {
+        let mut m = MemorySystem::new(&small_config());
+        m.access(0, 0, 128, AccessKind::Bvh, CachePolicy::L1AndL2, 0);
+        assert!(m.l1(0).probe(0));
+        assert!(!m.l1(1).probe(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-byte")]
+    fn zero_byte_access_panics() {
+        let mut m = MemorySystem::new(&small_config());
+        m.access(0, 0, 0, AccessKind::Bvh, CachePolicy::L1AndL2, 0);
+    }
+
+    #[test]
+    fn default_config_matches_table1() {
+        let c = MemConfig::default();
+        assert_eq!(c.num_sms, 16);
+        assert_eq!(c.l1.size_bytes, 16 * 1024);
+        assert_eq!(c.l1.latency, 39);
+        assert_eq!(c.l2.size_bytes, 128 * 1024);
+        assert_eq!(c.l2.latency, 187);
+        assert_eq!(c.l2.assoc, Assoc::Ways(16));
+    }
+}
+
+#[cfg(test)]
+mod mshr_tests {
+    use super::*;
+    use crate::Assoc;
+
+    fn one_mshr_config() -> MemConfig {
+        MemConfig {
+            num_sms: 2,
+            l1: CacheConfig { size_bytes: 512, assoc: Assoc::Full, line_bytes: 128, latency: 10 },
+            l2: CacheConfig { size_bytes: 2048, assoc: Assoc::Ways(4), line_bytes: 128, latency: 50 },
+            ray_reserve: CacheConfig { size_bytes: 512, assoc: Assoc::Full, line_bytes: 128, latency: 50 },
+            dram_latency: 200,
+            dram_lines_per_cycle: 100.0, // bandwidth not the bottleneck
+            mshrs_per_sm: 1,
+            window_cycles: 1000,
+        }
+    }
+
+    #[test]
+    fn single_mshr_serializes_misses() {
+        let mut m = MemorySystem::new(&one_mshr_config());
+        let t1 = m.access(0, 0, 128, AccessKind::Bvh, CachePolicy::L1AndL2, 0);
+        let t2 = m.access(0, 4096, 128, AccessKind::Bvh, CachePolicy::L1AndL2, 0);
+        // First miss: 50 (L2) + 200 (DRAM) = 250. Second must wait for the
+        // lone MSHR to retire at 250, then pay DRAM again.
+        assert_eq!(t1, 250);
+        assert_eq!(t2, 250 + 200);
+    }
+
+    #[test]
+    fn mshrs_are_per_sm() {
+        let mut m = MemorySystem::new(&one_mshr_config());
+        let t1 = m.access(0, 0, 128, AccessKind::Bvh, CachePolicy::L1AndL2, 0);
+        // Other SM has its own MSHR: no serialization.
+        let t2 = m.access(1, 8192, 128, AccessKind::Bvh, CachePolicy::L1AndL2, 0);
+        assert_eq!(t1, 250);
+        assert_eq!(t2, 250);
+    }
+
+    #[test]
+    fn many_mshrs_allow_overlap() {
+        let mut cfg = one_mshr_config();
+        cfg.mshrs_per_sm = 8;
+        let mut m = MemorySystem::new(&cfg);
+        let mut worst = 0;
+        for i in 0..8u64 {
+            worst = worst.max(m.access(0, 16384 + i * 128, 128, AccessKind::Bvh, CachePolicy::L1AndL2, 0));
+        }
+        // All eight overlap fully (bandwidth is ample).
+        assert_eq!(worst, 250);
+    }
+}

@@ -1,0 +1,144 @@
+//! Property-based tests: the cache model against a naive reference
+//! implementation, and memory-system timing invariants.
+
+use proptest::prelude::*;
+
+use gpumem::{AccessKind, Assoc, Cache, CacheConfig, CachePolicy, MemConfig, MemorySystem};
+
+/// Naive reference: fully associative LRU over line addresses.
+struct RefLru {
+    capacity: usize,
+    lines: Vec<u64>, // most-recent last
+    line_bytes: u64,
+}
+
+impl RefLru {
+    fn access(&mut self, addr: u64) -> bool {
+        let line = addr / self.line_bytes;
+        if let Some(pos) = self.lines.iter().position(|&l| l == line) {
+            self.lines.remove(pos);
+            self.lines.push(line);
+            true
+        } else {
+            if self.lines.len() == self.capacity {
+                self.lines.remove(0);
+            }
+            self.lines.push(line);
+            false
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn fully_assoc_cache_matches_reference_lru(
+        addrs in prop::collection::vec(0u64..4096, 1..300),
+    ) {
+        let cfg = CacheConfig { size_bytes: 512, assoc: Assoc::Full, line_bytes: 64, latency: 1 };
+        let mut cache = Cache::new(&cfg);
+        let mut reference = RefLru { capacity: 8, lines: Vec::new(), line_bytes: 64 };
+        for (tick, addr) in addrs.iter().enumerate() {
+            let got = cache.access(*addr, tick as u64);
+            let want = reference.access(*addr);
+            prop_assert_eq!(got, want, "divergence at access {} (addr {})", tick, addr);
+        }
+    }
+
+    #[test]
+    fn miss_rate_is_between_zero_and_one(
+        addrs in prop::collection::vec(0u64..100_000, 1..200),
+    ) {
+        let cfg = CacheConfig { size_bytes: 1024, assoc: Assoc::Ways(4), line_bytes: 128, latency: 1 };
+        let mut cache = Cache::new(&cfg);
+        for (tick, a) in addrs.iter().enumerate() {
+            cache.access(*a, tick as u64);
+        }
+        let s = cache.stats();
+        prop_assert_eq!(s.accesses, addrs.len() as u64);
+        prop_assert!(s.hits <= s.accesses);
+        prop_assert!((0.0..=1.0).contains(&s.miss_rate()));
+    }
+
+    #[test]
+    fn completion_never_precedes_issue(
+        reqs in prop::collection::vec((0u64..1_000_000, 1u32..512), 1..100),
+    ) {
+        let mut mem = MemorySystem::new(&MemConfig::default());
+        let mut now = 0u64;
+        for (addr, bytes) in reqs {
+            now += 10;
+            let done = mem.access(0, addr, bytes, AccessKind::Bvh, CachePolicy::L1AndL2, now);
+            prop_assert!(done >= now + mem.config().l1.latency as u64);
+        }
+    }
+
+    #[test]
+    fn repeated_access_latency_is_monotone_in_hierarchy(addr in 0u64..1_000_000u64) {
+        let mut mem = MemorySystem::new(&MemConfig::default());
+        let cold = mem.access(0, addr, 64, AccessKind::Bvh, CachePolicy::L1AndL2, 0);
+        let warm = mem.access(0, addr, 64, AccessKind::Bvh, CachePolicy::L1AndL2, cold + 10) - (cold + 10);
+        // Warm access must be exactly L1 latency, colder ones strictly more.
+        prop_assert_eq!(warm, mem.config().l1.latency as u64);
+        prop_assert!(cold >= mem.config().l2.latency as u64);
+    }
+
+    #[test]
+    fn per_kind_counters_are_conserved(
+        kinds in prop::collection::vec(0usize..6, 1..120),
+    ) {
+        let mut mem = MemorySystem::new(&MemConfig::default());
+        for (i, k) in kinds.iter().enumerate() {
+            let kind = AccessKind::ALL[*k];
+            mem.access(0, i as u64 * 128, 128, kind, CachePolicy::L1AndL2, i as u64 * 100);
+        }
+        let total: u64 = AccessKind::ALL.iter().map(|k| mem.stats().kind(*k).lines).sum();
+        prop_assert_eq!(total, kinds.len() as u64);
+        for k in AccessKind::ALL {
+            let s = mem.stats().kind(k);
+            prop_assert_eq!(s.l1_hits + (s.lines - s.l1_hits), s.lines);
+            prop_assert!(s.l2_hits + s.dram <= s.lines);
+        }
+    }
+}
+
+#[test]
+fn ray_reserve_evicts_to_dram_beyond_capacity() {
+    // The reserved ray region holds size/line lines; touching more than
+    // that streams the excess through DRAM ("also stored in memory if
+    // evicted by other rays", §5).
+    let mut cfg = MemConfig::default();
+    cfg.ray_reserve.size_bytes = 4 * 128; // 4 lines (nested field; keep mut)
+    let mut mem = MemorySystem::new(&cfg);
+    let base = 0x9000_0000u64;
+    for i in 0..4u64 {
+        mem.access(0, base + i * 128, 128, AccessKind::Ray, CachePolicy::RayReserve, i * 10);
+    }
+    let dram_after_fill = mem.stats().kind(AccessKind::Ray).dram;
+    // Re-touch the resident 4: all reserve hits.
+    for i in 0..4u64 {
+        mem.access(0, base + i * 128, 128, AccessKind::Ray, CachePolicy::RayReserve, 1000 + i);
+    }
+    assert_eq!(mem.stats().kind(AccessKind::Ray).dram, dram_after_fill);
+    // A 5th distinct line evicts and goes to DRAM; the evicted one then
+    // misses again.
+    mem.access(0, base + 4 * 128, 128, AccessKind::Ray, CachePolicy::RayReserve, 2000);
+    mem.access(0, base, 128, AccessKind::Ray, CachePolicy::RayReserve, 3000);
+    assert_eq!(mem.stats().kind(AccessKind::Ray).dram, dram_after_fill + 2);
+}
+
+#[test]
+fn window_buckets_align_to_config() {
+    let cfg = MemConfig { window_cycles: 500, ..Default::default() };
+    let mut mem = MemorySystem::new(&cfg);
+    mem.access(0, 0, 128, AccessKind::Bvh, CachePolicy::L1AndL2, 499);
+    mem.access(0, 128, 128, AccessKind::Bvh, CachePolicy::L1AndL2, 500);
+    mem.access(0, 256, 128, AccessKind::Bvh, CachePolicy::L1AndL2, 1700);
+    let w = &mem.stats().bvh_l1_windows;
+    assert_eq!(w.len(), 4);
+    assert_eq!(w[0].start_cycle, 0);
+    assert_eq!(w[1].start_cycle, 500);
+    assert_eq!(w[0].accesses, 1);
+    assert_eq!(w[1].accesses, 1);
+    assert_eq!(w[2].accesses, 0);
+    assert_eq!(w[3].accesses, 1);
+}

@@ -1,0 +1,231 @@
+use gpumem::MemConfig;
+
+/// Parameters of the virtualized-treelet-queue policy (paper §3–§4).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VtqParams {
+    /// Maximum virtualized rays in flight per SM (paper §5: 4096).
+    pub max_virtual_rays: usize,
+    /// Initial-phase divergence trigger: a warp is terminated into the
+    /// treelet queues when its active lanes' next nodes span more than this
+    /// many distinct treelets (§3.2 ①).
+    pub divergence_treelets: usize,
+    /// Minimum rays a treelet queue needs before it is worth dispatching in
+    /// treelet-stationary mode; below this a queue counts as
+    /// *underpopulated* (§4.4; Figure 12 sweeps 32/64/128).
+    pub queue_threshold: usize,
+    /// Warp repacking trigger: a drain-mode warp with fewer active lanes
+    /// than this is refilled with rays from the underpopulated queues
+    /// (§4.5; Figure 13 sweeps 8/16/22/24). `0` disables repacking.
+    pub repack_threshold: usize,
+    /// Enable preloading the next treelet + its ray data while the current
+    /// queue drains (§4.3).
+    pub preload: bool,
+    /// Group underpopulated treelet queues into ray-stationary warps
+    /// (§4.4). When `false` — the paper's *naive* treelet queues — every
+    /// queue is dispatched treelet-stationary regardless of population,
+    /// paying a whole-treelet fetch for a handful of rays (Figure 12's
+    /// strawman).
+    pub group_underpopulated: bool,
+    /// Charge CTA state save/restore traffic and latency (§4.1). Turning
+    /// this off models "free" virtualization, isolating its overhead
+    /// (Figure 16).
+    pub charge_virtualization: bool,
+    /// Hardware capacity of the treelet count table (§6.5: 600 entries).
+    pub count_table_entries: usize,
+    /// Hardware capacity of the treelet queue table (§6.5: 128 entries of
+    /// 32 ray ids).
+    pub queue_table_entries: usize,
+}
+
+impl Default for VtqParams {
+    fn default() -> VtqParams {
+        VtqParams {
+            max_virtual_rays: 4096,
+            divergence_treelets: 2,
+            queue_threshold: 128,
+            repack_threshold: 22,
+            preload: true,
+            group_underpopulated: true,
+            charge_virtualization: true,
+            count_table_entries: 600,
+            queue_table_entries: 128,
+        }
+    }
+}
+
+/// Which RT-unit traversal architecture to simulate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraversalPolicy {
+    /// Baseline GPU with RT acceleration: ray-stationary traversal in
+    /// treelet traversal order (Chou et al. \[8]), no queues, no
+    /// virtualization. This is the paper's normalization baseline.
+    Baseline,
+    /// Baseline plus the treelet prefetcher of Chou et al. \[8] (MICRO'23):
+    /// the most popular pending treelet across the RT unit's rays is
+    /// prefetched into the L1. The paper's Figure 10 comparison point.
+    TreeletPrefetch,
+    /// The paper's contribution: ray virtualization + dynamic treelet
+    /// queues + grouping underpopulated queues + warp repacking.
+    Vtq(VtqParams),
+}
+
+impl TraversalPolicy {
+    /// Short label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TraversalPolicy::Baseline => "baseline",
+            TraversalPolicy::TreeletPrefetch => "prefetch",
+            TraversalPolicy::Vtq(_) => "vtq",
+        }
+    }
+}
+
+/// Full GPU configuration (paper Table 1 plus fixed-function latencies).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuConfig {
+    /// Memory hierarchy (also carries the SM count).
+    pub mem: MemConfig,
+    /// Threads per CTA (raygen shader launch granularity). 64 threads =
+    /// 2 warps, so 16 resident CTAs reach Table 1's 32 warps/SM.
+    pub cta_size: usize,
+    /// Maximum resident CTAs per SM (Table 1: 16).
+    pub max_ctas_per_sm: usize,
+    /// Warp width (Table 1: 32).
+    pub warp_size: usize,
+    /// RT-unit warp buffer slots (Table 1: 1).
+    pub warp_buffer_slots: usize,
+    /// Cycles for the raygen phase of a warp before its trace call.
+    pub raygen_cycles: u32,
+    /// Cycles for shading after traversal returns (per bounce).
+    pub shade_cycles: u32,
+    /// Fixed-function latency of one warp-wide intersection step in the RT
+    /// unit (box tests of one wide node, or the leaf's triangle tests).
+    pub isect_latency: u32,
+    /// Bytes of ray record fetched per ray when refilling warps (origin,
+    /// direction, tmin, tmax = 32 B, §6.5).
+    pub ray_record_bytes: u32,
+    /// Registers saved per thread on CTA suspension (§6.6: ptxas reports a
+    /// maximum of 10 32-bit registers for the LumiBench raygen shader).
+    pub regs_per_thread: u32,
+    /// Bytes saved per warp for the SIMT stack (mask + PC + reconvergence
+    /// PC per stack depth; §6.6).
+    pub simt_stack_bytes_per_warp: u32,
+    /// The traversal architecture under test.
+    pub policy: TraversalPolicy,
+    /// Prefetcher trigger interval in cycles (TreeletPrefetch policy).
+    pub prefetch_interval: u32,
+    /// RT-unit memory-scheduler issue rate: distinct node fetches a warp
+    /// step can inject per cycle (Vulkan-Sim's scheduler "pushes a BVH
+    /// address to the memory access queue" each cycle, Fig. 3). `0` means
+    /// unlimited — the default, since at Table 1 latencies serializing
+    /// issue shifts results by under a few percent (see the `ablations`
+    /// harness).
+    pub rt_mem_issue_per_cycle: u32,
+    /// CUDA-core contention model: how many CTAs per SM can run their
+    /// raygen/shading phases at full speed simultaneously. When more are
+    /// resident, phase latency stretches proportionally (a coarse
+    /// issue-bandwidth model). `0` disables contention — the default,
+    /// matching the paper's observation that ray tracing is RT-unit and
+    /// memory bound rather than shader bound.
+    pub shader_slots_per_sm: u32,
+}
+
+impl Default for GpuConfig {
+    fn default() -> GpuConfig {
+        GpuConfig {
+            mem: MemConfig::default(),
+            cta_size: 64,
+            max_ctas_per_sm: 16,
+            warp_size: 32,
+            warp_buffer_slots: 1,
+            raygen_cycles: 100,
+            shade_cycles: 200,
+            isect_latency: 4,
+            ray_record_bytes: 32,
+            regs_per_thread: 10,
+            simt_stack_bytes_per_warp: 3 * 4 * 4, // mask+PC+rPC at depth 4
+            policy: TraversalPolicy::Baseline,
+            prefetch_interval: 500,
+            rt_mem_issue_per_cycle: 0,
+            shader_slots_per_sm: 0,
+        }
+    }
+}
+
+impl GpuConfig {
+    /// The scale-model configuration used by the experiment harness: cache
+    /// capacities scaled down (L1 16 KB → 4 KB, L2 128 KB → 32 KB) to keep
+    /// the BVH-size : cache-size ratio in the paper's regime, since our
+    /// procedural scenes are ~1/64 the paper's size (see DESIGN.md; the
+    /// paper itself argues scale-model simulation fidelity via \[12], \[29]).
+    /// Treelets should then be built at 2 KB — half the scaled L1, the
+    /// same rule as §5. Everything else matches Table 1.
+    pub fn scale_model() -> GpuConfig {
+        let mut cfg = GpuConfig::default();
+        cfg.mem.l1.size_bytes = 4 * 1024;
+        cfg.mem.l2.size_bytes = 32 * 1024;
+        cfg
+    }
+
+    /// Convenience: same config with a different policy.
+    pub fn with_policy(mut self, policy: TraversalPolicy) -> GpuConfig {
+        self.policy = policy;
+        self
+    }
+
+    /// Number of SMs (mirrors the memory config).
+    pub fn num_sms(&self) -> usize {
+        self.mem.num_sms
+    }
+
+    /// Warps per CTA.
+    pub fn warps_per_cta(&self) -> usize {
+        self.cta_size.div_ceil(self.warp_size)
+    }
+
+    /// Bytes written/read when suspending/resuming one CTA (§6.6).
+    pub fn cta_state_bytes(&self) -> u32 {
+        let reg_bytes = self.regs_per_thread * 4 * self.cta_size as u32;
+        reg_bytes + self.simt_stack_bytes_per_warp * self.warps_per_cta() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table1() {
+        let c = GpuConfig::default();
+        assert_eq!(c.num_sms(), 16);
+        assert_eq!(c.warp_size, 32);
+        assert_eq!(c.max_ctas_per_sm, 16);
+        assert_eq!(c.warp_buffer_slots, 1);
+        // 16 CTAs x 2 warps = Table 1's 32 warps per SM.
+        assert_eq!(c.max_ctas_per_sm * c.warps_per_cta(), 32);
+    }
+
+    #[test]
+    fn cta_state_bytes_match_paper_arithmetic() {
+        let c = GpuConfig::default();
+        // 10 regs x 4 B x 64 threads = 2560 B, plus 2 warps of SIMT stack.
+        assert_eq!(c.cta_state_bytes(), 2560 + 2 * c.simt_stack_bytes_per_warp);
+    }
+
+    #[test]
+    fn vtq_defaults_match_paper() {
+        let v = VtqParams::default();
+        assert_eq!(v.max_virtual_rays, 4096);
+        assert_eq!(v.queue_threshold, 128);
+        assert_eq!(v.repack_threshold, 22);
+        assert_eq!(v.count_table_entries, 600);
+        assert_eq!(v.queue_table_entries, 128);
+    }
+
+    #[test]
+    fn policy_labels() {
+        assert_eq!(TraversalPolicy::Baseline.label(), "baseline");
+        assert_eq!(TraversalPolicy::TreeletPrefetch.label(), "prefetch");
+        assert_eq!(TraversalPolicy::Vtq(VtqParams::default()).label(), "vtq");
+    }
+}

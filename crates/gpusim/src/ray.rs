@@ -1,0 +1,362 @@
+//! Per-ray traversal state: the two-stack *treelet traversal order*.
+//!
+//! Both the baseline and virtualized treelet queues traverse with the
+//! two-stack scheme of Chou et al. \[8] (§2.3): a **current stack** holding
+//! pending nodes inside the ray's current treelet, and a **treelet stack**
+//! holding entry nodes of other treelets the ray must visit later. A ray
+//! exhausts its current stack before moving to the next treelet, which is
+//! what makes grouping rays by treelet meaningful.
+
+use rtbvh::{Bvh, NodeId, PrimHit, TreeletId, WideNode};
+use rtmath::Ray;
+use rtscene::Triangle;
+
+/// Identifier of a ray within one simulated kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RayId(pub u32);
+
+impl RayId {
+    /// Raw index.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A pending node on one of the two stacks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct StackEntry {
+    node: NodeId,
+    t_enter: f32,
+}
+
+/// What the RT unit should do next for a ray.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NextNode {
+    /// Fetch and intersect this node.
+    Visit(NodeId),
+    /// The ray has left the warp's current treelet; it must be queued for
+    /// the given treelet (treelet-stationary mode only).
+    ExitTreelet(TreeletId),
+    /// Traversal is complete.
+    Done,
+}
+
+/// Cost counters of one node visit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VisitCost {
+    /// Child-box tests performed.
+    pub box_tests: u32,
+    /// Triangle tests performed.
+    pub tri_tests: u32,
+}
+
+/// Traversal state of a single ray in the RT unit.
+#[derive(Debug, Clone)]
+pub struct RayTraversal {
+    /// This ray's id (also addresses its 32 B record in the ray region).
+    pub id: RayId,
+    /// The geometric ray.
+    pub ray: Ray,
+    current_treelet: TreeletId,
+    current_stack: Vec<StackEntry>,
+    treelet_stack: Vec<StackEntry>,
+    /// Closest hit found so far.
+    pub best: Option<PrimHit>,
+    t_min: f32,
+    limit: f32,
+    anyhit: bool,
+    /// Nodes fetched by this ray (analytics).
+    pub nodes_visited: u32,
+}
+
+impl RayTraversal {
+    /// Creates traversal state positioned at the BVH root. If the ray
+    /// misses the root bounds entirely, the state starts out finished.
+    pub fn new(id: RayId, ray: Ray, bvh: &Bvh, t_min: f32, t_max: f32) -> RayTraversal {
+        let root = bvh.root();
+        let mut state = RayTraversal {
+            id,
+            ray,
+            current_treelet: bvh.treelet_of(root),
+            current_stack: Vec::with_capacity(16),
+            treelet_stack: Vec::with_capacity(8),
+            best: None,
+            t_min,
+            limit: t_max,
+            anyhit: false,
+            nodes_visited: 0,
+        };
+        if let Some(t) = bvh.node(root).bounds().intersect(&ray, t_min, t_max) {
+            state.current_stack.push(StackEntry { node: root, t_enter: t });
+        }
+        state
+    }
+
+    /// Switches this ray to anyhit (occlusion) semantics: traversal stops
+    /// at the first accepted intersection (§2.1.2). Call before stepping.
+    pub fn set_anyhit(&mut self) {
+        self.anyhit = true;
+    }
+
+    /// `true` once both stacks are exhausted.
+    pub fn is_done(&self) -> bool {
+        self.current_stack.is_empty() && self.treelet_stack.is_empty()
+    }
+
+    /// The treelet this ray needs next: its current treelet while the
+    /// current stack holds work, otherwise the treelet of the top pending
+    /// entry of the treelet stack. `None` when finished. Non-destructive —
+    /// used for divergence checks and queue insertion.
+    pub fn pending_treelet(&mut self, bvh: &Bvh) -> Option<TreeletId> {
+        self.prune();
+        if !self.current_stack.is_empty() {
+            return Some(self.current_treelet);
+        }
+        self.treelet_stack.last().map(|e| bvh.treelet_of(e.node))
+    }
+
+    /// Drops stack entries that can no longer beat the best hit.
+    fn prune(&mut self) {
+        while self.current_stack.last().is_some_and(|e| e.t_enter > self.limit) {
+            self.current_stack.pop();
+        }
+        while self.treelet_stack.last().is_some_and(|e| e.t_enter > self.limit) {
+            self.treelet_stack.pop();
+        }
+    }
+
+    /// Pops the next node to visit.
+    ///
+    /// With `restrict_to = Some(t)` (treelet-stationary mode) the ray only
+    /// advances within treelet `t` and reports [`NextNode::ExitTreelet`]
+    /// when its next work lies elsewhere. With `None` the ray freely moves
+    /// to the next treelet on its treelet stack (ray-stationary modes).
+    pub fn next_node(&mut self, bvh: &Bvh, restrict_to: Option<TreeletId>) -> NextNode {
+        loop {
+            self.prune();
+            if let Some(e) = self.current_stack.pop() {
+                return NextNode::Visit(e.node);
+            }
+            // Current treelet exhausted: consult the treelet stack.
+            let Some(top) = self.treelet_stack.last().copied() else {
+                return NextNode::Done;
+            };
+            let next_treelet = bvh.treelet_of(top.node);
+            match restrict_to {
+                Some(t) if next_treelet != t => return NextNode::ExitTreelet(next_treelet),
+                _ => self.enter_treelet(bvh, next_treelet),
+            }
+        }
+    }
+
+    /// Moves every pending entry of `treelet` from the treelet stack onto
+    /// the current stack and makes it the ray's current treelet. Called
+    /// when a queued ray is activated for its treelet (or when the ray
+    /// moves on by itself in ray-stationary mode).
+    pub fn enter_treelet(&mut self, bvh: &Bvh, treelet: TreeletId) {
+        self.current_treelet = treelet;
+        let mut i = 0;
+        while i < self.treelet_stack.len() {
+            if bvh.treelet_of(self.treelet_stack[i].node) == treelet {
+                let e = self.treelet_stack.remove(i);
+                self.current_stack.push(e);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Fetch-independent part of visiting `node`: intersects children (or
+    /// leaf triangles), updates the hit record and pushes survivors onto
+    /// the appropriate stacks. Returns the test counts for statistics.
+    pub fn visit(&mut self, bvh: &Bvh, triangles: &[Triangle], node: NodeId) -> VisitCost {
+        self.nodes_visited += 1;
+        let mut cost = VisitCost::default();
+        match bvh.node(node) {
+            WideNode::Leaf { first, count, .. } => {
+                for &prim in bvh.leaf_prims(*first, *count) {
+                    cost.tri_tests += 1;
+                    if let Some(t) = triangles[prim as usize].intersect(&self.ray, self.t_min, self.limit) {
+                        self.limit = t;
+                        self.best = Some(PrimHit { t, prim });
+                        if self.anyhit {
+                            // Occlusion query: the first accepted hit ends
+                            // traversal immediately.
+                            self.current_stack.clear();
+                            self.treelet_stack.clear();
+                            break;
+                        }
+                    }
+                }
+            }
+            WideNode::Inner { child_bounds, children, .. } => {
+                let mut hit: Vec<StackEntry> = Vec::with_capacity(children.len());
+                for (cb, c) in child_bounds.iter().zip(children) {
+                    cost.box_tests += 1;
+                    if let Some(t) = cb.intersect(&self.ray, self.t_min, self.limit) {
+                        hit.push(StackEntry { node: *c, t_enter: t });
+                    }
+                }
+                // Far-to-near so the nearest child pops first.
+                hit.sort_by(|a, b| b.t_enter.total_cmp(&a.t_enter));
+                for e in hit {
+                    if bvh.treelet_of(e.node) == self.current_treelet {
+                        self.current_stack.push(e);
+                    } else {
+                        self.treelet_stack.push(e);
+                    }
+                }
+            }
+        }
+        cost
+    }
+
+    /// Depth of the pending-treelet stack (diagnostics).
+    pub fn treelet_stack_len(&self) -> usize {
+        self.treelet_stack.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtbvh::BvhConfig;
+    use rtmath::Vec3;
+    use rtscene::lumibench::{self, SceneId};
+
+    fn setup() -> (Vec<Triangle>, Bvh) {
+        let scene = lumibench::build_scaled(SceneId::Bunny, 32);
+        let tris = scene.triangles().to_vec();
+        // Small treelets so rays genuinely cross treelet boundaries.
+        let bvh = Bvh::build(&tris, &BvhConfig { treelet_bytes: 1024, ..Default::default() });
+        (tris, bvh)
+    }
+
+    /// Drives a single ray to completion in unrestricted mode.
+    fn run_free(tris: &[Triangle], bvh: &Bvh, ray: Ray) -> (Option<PrimHit>, u32) {
+        let mut r = RayTraversal::new(RayId(0), ray, bvh, 1e-3, f32::INFINITY);
+        loop {
+            match r.next_node(bvh, None) {
+                NextNode::Visit(n) => {
+                    r.visit(bvh, tris, n);
+                }
+                NextNode::Done => return (r.best, r.nodes_visited),
+                NextNode::ExitTreelet(_) => unreachable!("unrestricted mode never exits"),
+            }
+        }
+    }
+
+    #[test]
+    fn two_stack_traversal_finds_same_hits_as_reference() {
+        let (tris, bvh) = setup();
+        let scene = lumibench::build_scaled(SceneId::Bunny, 32);
+        for py in (0..48).step_by(5) {
+            for px in (0..48).step_by(5) {
+                let ray = scene.camera().primary_ray(px, py, 48, 48, None);
+                let (ours, _) = run_free(&tris, &bvh, ray);
+                let reference = bvh.intersect(&tris, &ray, 1e-3, f32::INFINITY);
+                match (ours, reference) {
+                    (Some(a), Some(b)) => assert!((a.t - b.t).abs() < 1e-3),
+                    (None, None) => {}
+                    (a, b) => panic!("disagreement at ({px},{py}): {a:?} vs {b:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn restricted_traversal_exits_at_treelet_boundary() {
+        let (tris, bvh) = setup();
+        let scene = lumibench::build_scaled(SceneId::Bunny, 32);
+        let ray = scene.camera().primary_ray(24, 24, 48, 48, None);
+        let mut r = RayTraversal::new(RayId(1), ray, &bvh, 1e-3, f32::INFINITY);
+        let home = r.pending_treelet(&bvh).expect("ray starts with work");
+        let mut exited = None;
+        loop {
+            match r.next_node(&bvh, Some(home)) {
+                NextNode::Visit(n) => {
+                    assert_eq!(bvh.treelet_of(n), home, "restricted visits stay in the treelet");
+                    r.visit(&bvh, &tris, n);
+                }
+                NextNode::ExitTreelet(t) => {
+                    exited = Some(t);
+                    break;
+                }
+                NextNode::Done => break,
+            }
+        }
+        // The bunny BVH with 1 KB treelets forces at least one boundary
+        // crossing for a center ray.
+        let t = exited.expect("center ray must cross treelets");
+        assert_ne!(t, home);
+        // After entering the new treelet, traversal resumes there.
+        r.enter_treelet(&bvh, t);
+        match r.next_node(&bvh, Some(t)) {
+            NextNode::Visit(n) => assert_eq!(bvh.treelet_of(n), t),
+            other => panic!("expected a visit in the new treelet, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn restricted_and_free_traversal_agree_on_hits() {
+        let (tris, bvh) = setup();
+        let scene = lumibench::build_scaled(SceneId::Bunny, 32);
+        for i in 0..40 {
+            let ray = scene.camera().primary_ray(i % 8 * 6, i / 8 * 6, 48, 48, None);
+            let (free_hit, _) = run_free(&tris, &bvh, ray);
+            // Simulate queue-based traversal: always service the ray's
+            // pending treelet next.
+            let mut r = RayTraversal::new(RayId(2), ray, &bvh, 1e-3, f32::INFINITY);
+            while let Some(t) = r.pending_treelet(&bvh) {
+                r.enter_treelet(&bvh, t);
+                while let NextNode::Visit(n) = r.next_node(&bvh, Some(t)) {
+                    r.visit(&bvh, &tris, n);
+                }
+            }
+            assert_eq!(free_hit.map(|h| h.prim), r.best.map(|h| h.prim), "ray {i}");
+        }
+    }
+
+    #[test]
+    fn missing_ray_is_done_immediately() {
+        let (_, bvh) = setup();
+        let ray = Ray::new(Vec3::new(1000.0, 1000.0, 1000.0), Vec3::new(1.0, 0.0, 0.0));
+        let mut r = RayTraversal::new(RayId(3), ray, &bvh, 1e-3, f32::INFINITY);
+        assert!(r.is_done());
+        assert_eq!(r.next_node(&bvh, None), NextNode::Done);
+        assert_eq!(r.pending_treelet(&bvh), None);
+        assert_eq!(r.nodes_visited, 0);
+    }
+
+    #[test]
+    fn pruning_reduces_visits() {
+        let (tris, bvh) = setup();
+        let scene = lumibench::build_scaled(SceneId::Bunny, 32);
+        let ray = scene.camera().primary_ray(24, 24, 48, 48, None);
+        let (hit, visited) = run_free(&tris, &bvh, ray);
+        assert!(hit.is_some());
+        assert!(
+            (visited as usize) < bvh.nodes().len() / 2,
+            "visited {visited} of {} nodes",
+            bvh.nodes().len()
+        );
+    }
+
+    #[test]
+    fn visit_cost_counts_tests() {
+        let (tris, bvh) = setup();
+        let scene = lumibench::build_scaled(SceneId::Bunny, 32);
+        let ray = scene.camera().primary_ray(24, 24, 48, 48, None);
+        let mut r = RayTraversal::new(RayId(4), ray, &bvh, 1e-3, f32::INFINITY);
+        let mut boxes = 0;
+        let mut tri_tests = 0;
+        while let NextNode::Visit(n) = r.next_node(&bvh, None) {
+            let c = r.visit(&bvh, &tris, n);
+            boxes += c.box_tests;
+            tri_tests += c.tri_tests;
+        }
+        assert!(boxes > 0);
+        assert!(tri_tests > 0);
+    }
+}

@@ -1,0 +1,1192 @@
+//! The cycle-level GPU + RT-unit simulator.
+//!
+//! One [`Simulator::run`] call simulates a full path-tracing kernel: every
+//! [`PathTask`] is one raygen-shader thread that issues one `traceRayEXT`
+//! per bounce. Threads are grouped into warps and CTAs, CTAs are scheduled
+//! onto SMs, and each SM's RT unit traverses warps of rays through the BVH
+//! with real cache/DRAM timing from [`gpumem`]. The engine advances with an
+//! event-driven clock (it jumps to the next CTA-phase or warp-memory
+//! completion), so big scenes simulate in seconds while remaining
+//! cycle-accurate with respect to the modelled latencies.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use gpumem::{AccessKind, CachePolicy, MemStats, MemorySystem};
+use rtbvh::{Bvh, NodeId, PrimHit, TreeletId};
+use rtmath::Ray;
+use rtscene::Triangle;
+
+use crate::energy::{EnergyBreakdown, EnergyModel};
+use crate::hw_table::HwQueueTable;
+use crate::queues::TreeletQueues;
+use crate::ray::{NextNode, RayId, RayTraversal};
+use crate::{GpuConfig, SimStats, TraversalMode, TraversalPolicy, VtqParams};
+
+/// Byte address regions (disjoint so cache tags never alias across kinds).
+const RAY_REGION: u64 = 0x1_0000_0000;
+const CTA_REGION: u64 = 0x2_0000_0000;
+const QUEUE_REGION: u64 = 0x3_0000_0000;
+
+/// One `traceRayEXT` invocation: the ray plus its query semantics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceCall {
+    /// The geometric ray.
+    pub ray: Ray,
+    /// Upper bound of the search interval (`tmax`).
+    pub t_max: f32,
+    /// `true` for anyhit queries (shadow/occlusion rays): traversal
+    /// terminates at the *first* accepted intersection instead of
+    /// searching for the closest one (§2.1.2's anyhit shader stage).
+    pub anyhit: bool,
+}
+
+impl TraceCall {
+    /// A closest-hit query over `[tmin, ∞)` (the common case).
+    pub fn closest(ray: Ray) -> TraceCall {
+        TraceCall { ray, t_max: f32::INFINITY, anyhit: false }
+    }
+
+    /// An anyhit (occlusion) query over `[tmin, t_max)`.
+    pub fn anyhit(ray: Ray, t_max: f32) -> TraceCall {
+        TraceCall { ray, t_max, anyhit: true }
+    }
+}
+
+impl From<Ray> for TraceCall {
+    fn from(ray: Ray) -> TraceCall {
+        TraceCall::closest(ray)
+    }
+}
+
+/// One raygen-shader thread: the sequence of trace calls it makes, one per
+/// bounce (produced by the workload driver's functional path tracer).
+#[derive(Debug, Clone)]
+pub struct PathTask {
+    /// The trace calls this thread makes, in program order.
+    pub rays: Vec<TraceCall>,
+}
+
+/// A complete kernel workload.
+#[derive(Debug, Clone, Default)]
+pub struct Workload {
+    /// One task per thread (pixel × sample).
+    pub tasks: Vec<PathTask>,
+}
+
+impl Workload {
+    /// Total trace calls across all tasks.
+    pub fn total_rays(&self) -> usize {
+        self.tasks.iter().map(|t| t.rays.len()).sum()
+    }
+
+    /// The longest bounce chain.
+    pub fn max_bounces(&self) -> usize {
+        self.tasks.iter().map(|t| t.rays.len()).max().unwrap_or(0)
+    }
+
+    /// Mean trace calls per thread (path length, counting shadow rays).
+    pub fn mean_path_length(&self) -> f64 {
+        if self.tasks.is_empty() {
+            0.0
+        } else {
+            self.total_rays() as f64 / self.tasks.len() as f64
+        }
+    }
+
+    /// Fraction of trace calls that are anyhit (occlusion) queries.
+    pub fn anyhit_fraction(&self) -> f64 {
+        let total = self.total_rays();
+        if total == 0 {
+            return 0.0;
+        }
+        let any = self.tasks.iter().flat_map(|t| &t.rays).filter(|c| c.anyhit).count();
+        any as f64 / total as f64
+    }
+}
+
+/// Everything a finished simulation reports.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Simulator counters (cycles, SIMT efficiency, per-mode breakdowns…).
+    pub stats: SimStats,
+    /// Memory-hierarchy counters.
+    pub mem: MemStats,
+    /// Energy estimate.
+    pub energy: EnergyBreakdown,
+    /// Closest hit per task per bounce (functional results, checked
+    /// against the CPU reference in tests).
+    pub hits: Vec<Vec<Option<PrimHit>>>,
+}
+
+impl SimReport {
+    /// A compact human-readable summary (used by examples and debugging).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// # use gpusim::{GpuConfig, PathTask, Simulator, Workload};
+    /// # use rtbvh::{Bvh, BvhConfig};
+    /// # use rtscene::lumibench::{self, SceneId};
+    /// # let scene = lumibench::build_scaled(SceneId::Bunny, 64);
+    /// # let bvh = Bvh::build(scene.triangles(), &BvhConfig::default());
+    /// # let workload = Workload { tasks: vec![PathTask {
+    /// #     rays: vec![scene.camera().primary_ray(4, 4, 8, 8, None).into()] }] };
+    /// let report = Simulator::new(&bvh, scene.triangles(), GpuConfig::default()).run(&workload);
+    /// assert!(report.summary().contains("cycles"));
+    /// ```
+    pub fn summary(&self) -> String {
+        use gpumem::AccessKind;
+        format!(
+            "cycles={} simt={:.3} l1_bvh_miss={:.3} rays={} peak_rays={} energy={:.2e}pJ",
+            self.stats.cycles,
+            self.stats.simt_efficiency(),
+            self.mem.kind(AccessKind::Bvh).l1_miss_rate(),
+            self.stats.rays_completed,
+            self.stats.peak_rays_in_flight,
+            self.energy.total_pj(),
+        )
+    }
+}
+
+/// The simulator: borrowings of the immutable scene + BVH plus a config.
+///
+/// # Example
+///
+/// ```
+/// use gpusim::{GpuConfig, PathTask, Simulator, TraversalPolicy, Workload};
+/// use rtbvh::{Bvh, BvhConfig};
+/// use rtscene::lumibench::{self, SceneId};
+///
+/// let scene = lumibench::build_scaled(SceneId::Bunny, 64);
+/// let bvh = Bvh::build(scene.triangles(), &BvhConfig::default());
+/// let workload = Workload {
+///     tasks: (0..64)
+///         .map(|i| PathTask {
+///             rays: vec![scene.camera().primary_ray(i % 8, i / 8, 8, 8, None).into()],
+///         })
+///         .collect(),
+/// };
+/// let sim = Simulator::new(&bvh, scene.triangles(), GpuConfig::default());
+/// let report = sim.run(&workload);
+/// assert!(report.stats.cycles > 0);
+/// ```
+#[derive(Debug)]
+pub struct Simulator<'a> {
+    bvh: &'a Bvh,
+    triangles: &'a [Triangle],
+    config: GpuConfig,
+    energy: EnergyModel,
+}
+
+impl<'a> Simulator<'a> {
+    /// Creates a simulator over a scene and its BVH.
+    pub fn new(bvh: &'a Bvh, triangles: &'a [Triangle], config: GpuConfig) -> Simulator<'a> {
+        Simulator { bvh, triangles, config, energy: EnergyModel::default() }
+    }
+
+    /// Overrides the energy model.
+    pub fn with_energy_model(mut self, energy: EnergyModel) -> Simulator<'a> {
+        self.energy = energy;
+        self
+    }
+
+    /// The configuration under simulation.
+    pub fn config(&self) -> &GpuConfig {
+        &self.config
+    }
+
+    /// Runs the kernel to completion and returns the report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload is empty or the engine deadlocks (which would
+    /// be a simulator bug; the panic carries diagnostics).
+    pub fn run(&self, workload: &Workload) -> SimReport {
+        assert!(!workload.tasks.is_empty(), "empty workload");
+        let mut engine = Engine::new(self.bvh, self.triangles, &self.config, workload);
+        engine.run();
+        let energy = self.energy.evaluate(&engine.stats, engine.mem.stats());
+        SimReport {
+            stats: engine.stats,
+            mem: engine.mem.stats().clone(),
+            energy,
+            hits: engine.hits,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Engine internals
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Phase {
+    /// Waiting for first launch.
+    Pending,
+    /// In a slot, running the raygen preamble; trace issues at `ready_at`.
+    Raygen,
+    /// In a slot, waiting for the RT unit (baseline only).
+    WaitTraversal,
+    /// Off-slot, rays in the RT unit (ray virtualization).
+    Suspended,
+    /// Rays finished at `ready_at`; waiting for a slot to resume into.
+    ReadyToResume,
+    /// In a slot, shading; advances to the next bounce at `ready_at`.
+    Shade,
+    /// All bounces complete.
+    Done,
+}
+
+#[derive(Debug)]
+struct Cta {
+    first_task: usize,
+    task_count: usize,
+    bounce: usize,
+    phase: Phase,
+    ready_at: u64,
+    sm: usize,
+    outstanding: usize,
+    resume_queued: bool,
+}
+
+#[derive(Debug)]
+struct Warp {
+    lanes: Vec<Option<RayId>>,
+    mode: TraversalMode,
+    restrict: Option<TreeletId>,
+    ready_at: u64,
+}
+
+#[derive(Debug)]
+struct RtUnit {
+    incoming: VecDeque<(u64, Vec<RayId>)>,
+    /// Warp buffer (Table 1: one slot; configurable for sensitivity
+    /// studies via [`GpuConfig::warp_buffer_slots`]).
+    slots: Vec<Option<Warp>>,
+    queues: TreeletQueues,
+    current_queue: Option<TreeletId>,
+    preloaded: Option<TreeletId>,
+    last_prefetch_at: u64,
+    /// line addr -> used? (TreeletPrefetch usefulness tracking)
+    prefetched: std::collections::HashMap<u64, bool>,
+    rays_in_flight: usize,
+    /// Hardware queue-table shadow (validates §4.2/§6.5 sizing claims).
+    hw_table: HwQueueTable,
+}
+
+impl RtUnit {
+    fn new(warp_buffer_slots: usize, queue_table_entries: u32, warp_size: u32) -> RtUnit {
+        RtUnit {
+            incoming: VecDeque::new(),
+            slots: (0..warp_buffer_slots.max(1)).map(|_| None).collect(),
+            queues: TreeletQueues::new(),
+            current_queue: None,
+            preloaded: None,
+            last_prefetch_at: 0,
+            prefetched: std::collections::HashMap::new(),
+            rays_in_flight: 0,
+            hw_table: HwQueueTable::new(queue_table_entries.max(1), warp_size.max(1)),
+        }
+    }
+}
+
+struct RayMeta {
+    cta: usize,
+    task: usize,
+    bounce: usize,
+    sm: usize,
+}
+
+pub(crate) struct Engine<'a> {
+    bvh: &'a Bvh,
+    triangles: &'a [Triangle],
+    cfg: &'a GpuConfig,
+    vtq: Option<VtqParams>,
+    mem: MemorySystem,
+    rays: Vec<RayTraversal>,
+    ray_meta: Vec<RayMeta>,
+    rt: Vec<RtUnit>,
+    ctas: Vec<Cta>,
+    pending: VecDeque<usize>,
+    /// CTA phase timers: (ready_at, cta id). Entries may be stale; they are
+    /// validated against the CTA's current `ready_at` when popped.
+    timers: BinaryHeap<Reverse<(u64, usize)>>,
+    /// CTAs whose rays are done and that are waiting for a free slot.
+    resume_ready: Vec<usize>,
+    /// Per-SM count of CTAs currently executing a shader phase (raygen or
+    /// shading), for the optional CUDA-core contention model.
+    shader_active: Vec<usize>,
+    /// Per-SM rays reserved by admitted-but-not-yet-issued CTAs, so the
+    /// virtualized-ray cap holds across the raygen/shade latency between
+    /// admission and the actual trace issue.
+    reserved_rays: Vec<usize>,
+    /// Deferred slot releases: a suspending CTA's slot (and register file)
+    /// is only reusable once its state save has drained to memory.
+    slot_release: BinaryHeap<Reverse<(u64, usize)>>,
+    free_slots: Vec<usize>,
+    now: u64,
+    pub(crate) stats: SimStats,
+    pub(crate) hits: Vec<Vec<Option<PrimHit>>>,
+    workload: &'a Workload,
+    next_sm: usize,
+}
+
+impl<'a> Engine<'a> {
+    fn new(bvh: &'a Bvh, triangles: &'a [Triangle], cfg: &'a GpuConfig, workload: &'a Workload) -> Engine<'a> {
+        let vtq = match cfg.policy {
+            TraversalPolicy::Vtq(p) => Some(p),
+            _ => None,
+        };
+        let num_sms = cfg.num_sms();
+        let mut ctas = Vec::new();
+        let mut pending = VecDeque::new();
+        let mut first = 0;
+        while first < workload.tasks.len() {
+            let count = cfg.cta_size.min(workload.tasks.len() - first);
+            pending.push_back(ctas.len());
+            ctas.push(Cta {
+                first_task: first,
+                task_count: count,
+                bounce: 0,
+                phase: Phase::Pending,
+                ready_at: 0,
+                sm: 0,
+                outstanding: 0,
+                resume_queued: false,
+            });
+            first += count;
+        }
+        let hits = workload.tasks.iter().map(|t| vec![None; t.rays.len()]).collect();
+        Engine {
+            bvh,
+            triangles,
+            cfg,
+            vtq,
+            mem: MemorySystem::new(&cfg.mem),
+            rays: Vec::new(),
+            ray_meta: Vec::new(),
+            rt: (0..num_sms)
+                .map(|_| {
+                    RtUnit::new(
+                        cfg.warp_buffer_slots,
+                        match cfg.policy {
+                            TraversalPolicy::Vtq(v) => v.queue_table_entries as u32,
+                            _ => 1,
+                        },
+                        cfg.warp_size as u32,
+                    )
+                })
+                .collect(),
+            ctas,
+            pending,
+            timers: BinaryHeap::new(),
+            resume_ready: Vec::new(),
+            shader_active: vec![0; num_sms],
+            reserved_rays: vec![0; num_sms],
+            slot_release: BinaryHeap::new(),
+            free_slots: vec![cfg.max_ctas_per_sm; num_sms],
+            now: 0,
+            stats: SimStats::default(),
+            hits,
+            workload,
+            next_sm: 0,
+        }
+    }
+
+    fn run(&mut self) {
+        loop {
+            // Iterate to a fixed point at the current cycle.
+            loop {
+                let mut progress = false;
+                progress |= self.schedule();
+                progress |= self.process_cta_phases();
+                progress |= self.step_rt_units();
+                if !progress {
+                    break;
+                }
+            }
+            if self.ctas.iter().all(|c| c.phase == Phase::Done) {
+                break;
+            }
+            match self.next_event() {
+                Some(t) if t > self.now => self.now = t,
+                other => panic!(
+                    "simulator deadlock at cycle {} (next event {other:?}): {} CTAs unfinished, \
+                     {} rays in flight, {} rays queued over {} queues",
+                    self.now,
+                    self.ctas.iter().filter(|c| c.phase != Phase::Done).count(),
+                    self.rt.iter().map(|r| r.rays_in_flight).sum::<usize>(),
+                    self.rt.iter().map(|r| r.queues.total_rays()).sum::<usize>(),
+                    self.rt.iter().map(|r| r.queues.queue_count()).sum::<usize>(),
+                ),
+            }
+        }
+        self.stats.cycles = self.now;
+        for rt in &self.rt {
+            let qt = rt.hw_table.stats();
+            self.stats.queue_table_max_chain = self.stats.queue_table_max_chain.max(qt.max_chain);
+            self.stats.queue_table_peak_entries =
+                self.stats.queue_table_peak_entries.max(qt.peak_entries);
+            self.stats.queue_table_overflows += qt.overflows;
+        }
+    }
+
+    // -- scheduling ---------------------------------------------------------
+
+    /// Launches pending CTAs and resumes suspended ones into free slots.
+    fn schedule(&mut self) -> bool {
+        let mut progress = false;
+        // Deferred slot releases from suspending CTAs.
+        while let Some(&Reverse((t, sm))) = self.slot_release.peek() {
+            if t > self.now {
+                break;
+            }
+            self.slot_release.pop();
+            self.free_slots[sm] += 1;
+            progress = true;
+        }
+        // Resumes take priority (§3.1: "We prioritize resuming CTAs that
+        // have completed traversal").
+        let mut i = 0;
+        while i < self.resume_ready.len() {
+            let id = self.resume_ready[i];
+            {
+                // Resumes take priority over fresh launches and are NOT
+                // gated by the virtualized-ray cap: §4.1 applies the cap to
+                // launching new raygen CTAs, while resuming drains pressure
+                // (the resumed CTA finishes its bounce and retires or
+                // re-suspends). Gating resumes here starves the pipeline.
+                if let Some(sm) = self.find_free_slot() {
+                    self.resume_ready.swap_remove(i);
+                    self.ctas[id].resume_queued = false;
+                    self.free_slots[sm] -= 1;
+                    let charge = self.vtq.is_none_or(|v| v.charge_virtualization);
+                    let restore_done = if charge {
+                        let bytes = self.cfg.cta_state_bytes();
+                        self.stats.cta_state_bytes += bytes as u64;
+                        self.mem.access(
+                            sm,
+                            CTA_REGION + id as u64 * 0x1_0000,
+                            bytes,
+                            AccessKind::CtaState,
+                            CachePolicy::DramOnly,
+                            self.now,
+                        )
+                    } else {
+                        self.now
+                    };
+                    self.stats.cta_resumes += 1;
+                    self.shader_active[sm] += 1;
+                    let shade = self.shader_phase_cycles(sm, self.cfg.shade_cycles);
+                    let cta = &mut self.ctas[id];
+                    cta.sm = sm;
+                    cta.phase = Phase::Shade;
+                    cta.ready_at = restore_done + shade;
+                    self.timers.push(Reverse((cta.ready_at, id)));
+                    progress = true;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        // Fresh launches.
+        while let Some(&id) = self.pending.front() {
+            let Some(sm) = self.find_launch_slot() else { break };
+            self.pending.pop_front();
+            self.free_slots[sm] -= 1;
+            self.shader_active[sm] += 1;
+            let ready = self.now + self.shader_phase_cycles(sm, self.cfg.raygen_cycles);
+            let cta = &mut self.ctas[id];
+            cta.sm = sm;
+            cta.phase = Phase::Raygen;
+            cta.ready_at = ready;
+            self.timers.push(Reverse((cta.ready_at, id)));
+            progress = true;
+        }
+        progress
+    }
+
+    fn find_free_slot(&mut self) -> Option<usize> {
+        let n = self.rt.len();
+        for i in 0..n {
+            let sm = (self.next_sm + i) % n;
+            if self.free_slots[sm] > 0 {
+                self.next_sm = (sm + 1) % n;
+                return Some(sm);
+            }
+        }
+        None
+    }
+
+    /// Like [`find_free_slot`] but also enforces the virtualized-ray cap,
+    /// reserving the prospective CTA's rays on success.
+    fn find_launch_slot(&mut self) -> Option<usize> {
+        let n = self.rt.len();
+        for i in 0..n {
+            let sm = (self.next_sm + i) % n;
+            let cap_ok = match self.vtq {
+                Some(v) => {
+                    self.rt[sm].rays_in_flight + self.reserved_rays[sm] + self.cfg.cta_size
+                        <= v.max_virtual_rays
+                }
+                None => true,
+            };
+            if self.free_slots[sm] > 0 && cap_ok {
+                if self.vtq.is_some() {
+                    self.reserved_rays[sm] += self.cfg.cta_size;
+                }
+                self.next_sm = (sm + 1) % n;
+                return Some(sm);
+            }
+        }
+        None
+    }
+
+    /// Completes Raygen/Shade phases whose timers expired and queues
+    /// CTAs whose traversal finished for resume.
+    fn process_cta_phases(&mut self) -> bool {
+        let mut progress = false;
+        while let Some(&Reverse((t, id))) = self.timers.peek() {
+            if t > self.now {
+                break;
+            }
+            self.timers.pop();
+            if self.ctas[id].ready_at != t {
+                continue; // stale entry
+            }
+            match self.ctas[id].phase {
+                Phase::Raygen => {
+                    self.shader_active[self.ctas[id].sm] =
+                        self.shader_active[self.ctas[id].sm].saturating_sub(1);
+                    self.issue_trace(id);
+                    progress = true;
+                }
+                Phase::Shade => {
+                    self.shader_active[self.ctas[id].sm] =
+                        self.shader_active[self.ctas[id].sm].saturating_sub(1);
+                    self.ctas[id].bounce += 1;
+                    self.issue_trace(id);
+                    progress = true;
+                }
+                Phase::ReadyToResume
+                    if !self.ctas[id].resume_queued => {
+                        self.ctas[id].resume_queued = true;
+                        self.resume_ready.push(id);
+                        progress = true;
+                    }
+                _ => {}
+            }
+        }
+        progress
+    }
+
+    /// The CTA's warps call traceRayEXT for the current bounce.
+    fn issue_trace(&mut self, id: usize) {
+        let (first, count, bounce, sm) = {
+            let c = &self.ctas[id];
+            (c.first_task, c.task_count, c.bounce, c.sm)
+        };
+        // Release this CTA's launch-admission reservation (resumed CTAs
+        // never held one; saturating_sub makes the release idempotent
+        // across bounces).
+        if self.vtq.is_some() && self.ctas[id].bounce == 0 {
+            self.reserved_rays[sm] = self.reserved_rays[sm].saturating_sub(self.cfg.cta_size);
+        }
+        // Collect live threads (tasks that still have a ray this bounce).
+        let mut new_rays: Vec<RayId> = Vec::new();
+        for t in first..first + count {
+            if let Some(call) = self.workload.tasks[t].rays.get(bounce) {
+                let rid = RayId(self.rays.len() as u32);
+                let mut traversal = RayTraversal::new(rid, call.ray, self.bvh, 1e-3, call.t_max);
+                if call.anyhit {
+                    traversal.set_anyhit();
+                }
+                self.rays.push(traversal);
+                self.ray_meta.push(RayMeta { cta: id, task: t, bounce, sm });
+                new_rays.push(rid);
+            }
+        }
+        if new_rays.is_empty() {
+            // Path ended for every thread: CTA retires, slot freed.
+            self.ctas[id].phase = Phase::Done;
+            self.free_slots[sm] += 1;
+            return;
+        }
+
+        self.ctas[id].outstanding = new_rays.len();
+        self.rt[sm].rays_in_flight += new_rays.len();
+        self.stats.peak_rays_in_flight = self.stats.peak_rays_in_flight.max(self.rt[sm].rays_in_flight);
+
+        // With virtualization the ray records are written to the reserved
+        // L2 region at issue (§4.2 ①).
+        if self.vtq.is_some() {
+            for r in &new_rays {
+                self.mem.access(
+                    sm,
+                    ray_addr(self.cfg, *r),
+                    self.cfg.ray_record_bytes,
+                    AccessKind::Ray,
+                    CachePolicy::RayReserve,
+                    self.now,
+                );
+            }
+        }
+
+        // Group into shader warps and hand them to the RT unit.
+        for chunk in new_rays.chunks(self.cfg.warp_size) {
+            self.rt[sm].incoming.push_back((self.now, chunk.to_vec()));
+            self.stats.warps_issued += 1;
+        }
+
+        let charge = self.vtq.is_some_and(|v| v.charge_virtualization);
+        match self.vtq {
+            Some(_) => {
+                // Suspend: save CTA state and free the slot (§4.1). The
+                // stores themselves drain asynchronously (their DRAM
+                // traffic and bandwidth are charged), but the register
+                // file backing the slot can only be reallocated once its
+                // values have been read out into the store path — one
+                // 64-byte register-file read per cycle.
+                self.stats.cta_suspends += 1;
+                self.ctas[id].phase = Phase::Suspended;
+                if charge {
+                    let bytes = self.cfg.cta_state_bytes();
+                    self.stats.cta_state_bytes += bytes as u64;
+                    self.mem.access(
+                        sm,
+                        CTA_REGION + id as u64 * 0x1_0000,
+                        bytes,
+                        AccessKind::CtaState,
+                        CachePolicy::DramOnly,
+                        self.now,
+                    );
+                    let readout = self.now + (bytes as u64).div_ceil(64);
+                    self.slot_release.push(Reverse((readout, sm)));
+                } else {
+                    self.free_slots[sm] += 1;
+                }
+            }
+            None => {
+                self.ctas[id].phase = Phase::WaitTraversal;
+            }
+        }
+    }
+
+    /// Duration of a shader phase of nominal `base` cycles on `sm`,
+    /// stretched by CUDA-core contention when enabled. Call *after*
+    /// incrementing `shader_active[sm]` for the entering CTA.
+    fn shader_phase_cycles(&self, sm: usize, base: u32) -> u64 {
+        match self.cfg.shader_slots_per_sm {
+            0 => base as u64,
+            slots => {
+                let active = self.shader_active[sm].max(1) as u64;
+                base as u64 * active.div_ceil(slots as u64)
+            }
+        }
+    }
+
+    /// Enqueues a ray for a treelet, mirroring the hardware queue table.
+    fn enqueue(&mut self, sm: usize, t: TreeletId, rid: RayId) {
+        self.rt[sm].queues.push(t, rid);
+        let (addr, _) = self.bvh.treelet_extent(t);
+        let _resident = self.rt[sm].hw_table.push(addr);
+    }
+
+    /// Mirrors queue pops into the hardware queue table.
+    fn dequeue_hw(&mut self, sm: usize, t: TreeletId, n: usize) {
+        let (addr, _) = self.bvh.treelet_extent(t);
+        for _ in 0..n {
+            self.rt[sm].hw_table.pop(addr);
+        }
+    }
+
+    /// A ray finished traversal at cycle `at`.
+    fn complete_ray(&mut self, rid: RayId, at: u64) {
+        let meta = &self.ray_meta[rid.index()];
+        let (cta_id, task, bounce, sm) = (meta.cta, meta.task, meta.bounce, meta.sm);
+        self.hits[task][bounce] = self.rays[rid.index()].best;
+        self.stats.rays_completed += 1;
+        self.rt[sm].rays_in_flight -= 1;
+        let cta = &mut self.ctas[cta_id];
+        cta.outstanding -= 1;
+        if cta.outstanding == 0 {
+            match cta.phase {
+                Phase::WaitTraversal => {
+                    // Baseline: shade in place.
+                    let sm = cta.sm;
+                    cta.phase = Phase::Shade;
+                    self.shader_active[sm] += 1;
+                    let shade = self.shader_phase_cycles(sm, self.cfg.shade_cycles);
+                    let cta = &mut self.ctas[cta_id];
+                    cta.ready_at = at + shade;
+                    self.timers.push(Reverse((cta.ready_at, cta_id)));
+                }
+                Phase::Suspended => {
+                    cta.phase = Phase::ReadyToResume;
+                    cta.ready_at = at;
+                    self.timers.push(Reverse((cta.ready_at, cta_id)));
+                }
+                other => panic!("rays completed while CTA in phase {other:?}"),
+            }
+        }
+    }
+
+    // -- RT units -----------------------------------------------------------
+
+    fn step_rt_units(&mut self) -> bool {
+        let mut progress = false;
+        for sm in 0..self.rt.len() {
+            for slot in 0..self.rt[sm].slots.len() {
+                loop {
+                    if self.rt[sm].slots[slot].is_none() && !self.acquire_work(sm, slot) {
+                        break;
+                    }
+                    if self.rt[sm].slots[slot].as_ref().is_some_and(|w| w.ready_at > self.now) {
+                        break;
+                    }
+                    self.step_warp(sm, slot);
+                    progress = true;
+                }
+            }
+            if matches!(self.cfg.policy, TraversalPolicy::TreeletPrefetch) {
+                progress |= self.maybe_prefetch(sm);
+            }
+        }
+        progress
+    }
+
+    /// Tries to fill one of the SM's warp-buffer slots; returns `true` if a
+    /// warp was installed.
+    fn acquire_work(&mut self, sm: usize, slot: usize) -> bool {
+        // 1. Freshly issued warps (initial traversal phase).
+        if self.rt[sm].incoming.front().is_some_and(|(arrive, _)| *arrive <= self.now) {
+            let (_, rays) = self.rt[sm].incoming.pop_front().expect("checked non-empty");
+            let mode = if self.vtq.is_some() { TraversalMode::Initial } else { TraversalMode::RayStationary };
+            self.rt[sm].slots[slot] = Some(Warp {
+                lanes: rays.into_iter().map(Some).collect(),
+                mode,
+                restrict: None,
+                ready_at: self.now,
+            });
+            return true;
+        }
+        let Some(vtq) = self.vtq else { return false };
+
+        // 2. Treelet-stationary dispatch: the current queue, or the largest
+        //    queue above the threshold.
+        let target = match self.rt[sm].current_queue {
+            Some(t) if self.rt[sm].queues.len_of(t) > 0 => Some(t),
+            _ => {
+                self.rt[sm].current_queue = None;
+                let threshold = if vtq.group_underpopulated { vtq.queue_threshold } else { 1 };
+                match self.rt[sm].queues.largest() {
+                    Some((t, n)) if n >= threshold => Some(t),
+                    _ => None,
+                }
+            }
+        };
+        if let Some(t) = target {
+            let switching = self.rt[sm].current_queue != Some(t);
+            self.rt[sm].current_queue = Some(t);
+            let mut ready = self.now;
+            if switching {
+                self.stats.treelet_dispatches += 1;
+                ready = ready.max(self.load_treelet(sm, t));
+            }
+            let rays = self.rt[sm].queues.pop_from(t, self.cfg.warp_size);
+            self.dequeue_hw(sm, t, rays.len());
+            self.charge_queue_overflow(sm, &vtq, rays.len());
+            for r in &rays {
+                self.rays[r.index()].enter_treelet(self.bvh, t);
+                ready = ready.max(self.fetch_ray_record(sm, *r));
+            }
+            self.rt[sm].slots[slot] = Some(Warp {
+                lanes: rays.into_iter().map(Some).collect(),
+                mode: TraversalMode::TreeletStationary,
+                restrict: Some(t),
+                ready_at: ready,
+            });
+            self.maybe_preload(sm, &vtq);
+            return true;
+        }
+
+        // 3. Underpopulated queues: group stray rays into ray-stationary
+        //    warps (§4.4). Disabled in the naive configuration, where case 2
+        //    already dispatched any non-empty queue.
+        if vtq.group_underpopulated && !self.rt[sm].queues.is_empty() {
+            let grabbed = self.rt[sm].queues.pop_any(self.cfg.warp_size);
+            self.charge_queue_overflow(sm, &vtq, grabbed.len());
+            let mut ready = self.now;
+            let mut lanes = Vec::with_capacity(grabbed.len());
+            for (t, r) in grabbed {
+                self.dequeue_hw(sm, t, 1);
+                self.rays[r.index()].enter_treelet(self.bvh, t);
+                ready = ready.max(self.fetch_ray_record(sm, r));
+                lanes.push(Some(r));
+            }
+            self.rt[sm].slots[slot] = Some(Warp {
+                lanes,
+                mode: TraversalMode::RayStationary,
+                restrict: None,
+                ready_at: ready,
+            });
+            return true;
+        }
+        false
+    }
+
+    /// One lockstep step of the resident warp.
+    fn step_warp(&mut self, sm: usize, slot: usize) {
+        let mut warp = self.rt[sm].slots[slot].take().expect("step_warp requires a resident warp");
+        let vtq = self.vtq;
+
+        // Initial-phase divergence check (§3.2 ①): terminate the warp into
+        // the treelet queues once lanes spread over too many treelets.
+        if warp.mode == TraversalMode::Initial {
+            if let Some(v) = vtq {
+                let mut treelets: Vec<TreeletId> = Vec::new();
+                for lane in warp.lanes.iter().flatten() {
+                    if let Some(t) = self.rays[lane.index()].pending_treelet(self.bvh) {
+                        if !treelets.contains(&t) {
+                            treelets.push(t);
+                        }
+                    }
+                }
+                if treelets.len() > v.divergence_treelets {
+                    let lanes: Vec<RayId> = warp.lanes.iter().flatten().copied().collect();
+                    for lane in lanes {
+                        match self.rays[lane.index()].pending_treelet(self.bvh) {
+                            Some(t) => self.enqueue(sm, t, lane),
+                            None => self.complete_ray(lane, self.now),
+                        }
+                    }
+                    self.charge_queue_overflow(sm, &v, warp.lanes.len());
+                    return; // slot stays empty; acquire_work continues
+                }
+            }
+        }
+
+        // Warp repacking (§4.5): refill a drain-mode warp that has gone
+        // under-occupied with new rays from the queues.
+        if warp.mode == TraversalMode::RayStationary {
+            if let Some(v) = vtq {
+                let active = warp.lanes.iter().flatten().count();
+                if v.repack_threshold > 0
+                    && active > 0
+                    && active < v.repack_threshold
+                    && !self.rt[sm].queues.is_empty()
+                {
+                    let want = self.cfg.warp_size - active;
+                    let grabbed = self.rt[sm].queues.pop_any(want);
+                    if !grabbed.is_empty() {
+                        self.stats.repack_events += 1;
+                        self.stats.repacked_rays += grabbed.len() as u64;
+                        for (t, _) in &grabbed {
+                            self.dequeue_hw(sm, *t, 1);
+                        }
+                        let mut fetch_done = self.now;
+                        let mut it = grabbed.into_iter();
+                        for lane in warp.lanes.iter_mut() {
+                            if lane.is_none() {
+                                if let Some((t, r)) = it.next() {
+                                    self.rays[r.index()].enter_treelet(self.bvh, t);
+                                    fetch_done = fetch_done.max(self.fetch_ray_record(sm, r));
+                                    *lane = Some(r);
+                                }
+                            }
+                        }
+                        warp.ready_at = warp.ready_at.max(fetch_done);
+                        if warp.ready_at > self.now {
+                            self.rt[sm].slots[slot] = Some(warp);
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Gather each active lane's next node.
+        let mut visits: Vec<(usize, RayId, NodeId)> = Vec::new();
+        let mut exits: Vec<(TreeletId, RayId)> = Vec::new();
+        for (i, lane) in warp.lanes.iter_mut().enumerate() {
+            let Some(rid) = *lane else { continue };
+            match self.rays[rid.index()].next_node(self.bvh, warp.restrict) {
+                NextNode::Visit(n) => visits.push((i, rid, n)),
+                NextNode::ExitTreelet(t) => {
+                    exits.push((t, rid));
+                    *lane = None;
+                }
+                NextNode::Done => {
+                    self.complete_ray(rid, self.now);
+                    *lane = None;
+                }
+            }
+        }
+
+        for (t, rid) in exits {
+            self.enqueue(sm, t, rid);
+        }
+
+        if visits.is_empty() {
+            // Warp drained: treelet warps refill from their queue;
+            // everything else retires the warp.
+            if warp.mode == TraversalMode::TreeletStationary {
+                if let (Some(v), Some(t)) = (vtq, warp.restrict) {
+                    let rays = self.rt[sm].queues.pop_from(t, self.cfg.warp_size);
+                    if !rays.is_empty() {
+                        self.dequeue_hw(sm, t, rays.len());
+                        self.charge_queue_overflow(sm, &v, rays.len());
+                        let mut ready = self.now;
+                        for r in &rays {
+                            self.rays[r.index()].enter_treelet(self.bvh, t);
+                            ready = ready.max(self.fetch_ray_record(sm, *r));
+                        }
+                        warp.lanes = rays.into_iter().map(Some).collect();
+                        warp.ready_at = ready;
+                        self.rt[sm].slots[slot] = Some(warp);
+                        self.maybe_preload(sm, &v);
+                        return;
+                    }
+                    self.rt[sm].current_queue = None;
+                }
+            }
+            return; // warp retires
+        }
+
+        // SIMT accounting (Figure 1b / 13b).
+        self.stats.active_lane_steps += visits.len() as u64;
+        self.stats.total_lane_steps += self.cfg.warp_size as u64;
+
+        // Memory: fetch every distinct node record; warp advances when the
+        // slowest lane's data arrives (lockstep).
+        let mut completion = self.now;
+        let mut fetched: Vec<NodeId> = Vec::new();
+        for &(_, _, n) in &visits {
+            if !fetched.contains(&n) {
+                fetched.push(n);
+            }
+        }
+        for (k, n) in fetched.iter().enumerate() {
+            let addr = self.bvh.addr(*n);
+            self.track_prefetch_use(sm, addr.offset, addr.size);
+            // Optional memory-scheduler serialization: the k-th distinct
+            // fetch of this step issues k/rate cycles after the first.
+            let issue_at = match self.cfg.rt_mem_issue_per_cycle {
+                0 => self.now,
+                rate => self.now + (k as u64) / rate as u64,
+            };
+            completion = completion.max(self.mem.access(
+                sm,
+                addr.offset,
+                addr.size,
+                AccessKind::Bvh,
+                CachePolicy::L1AndL2,
+                issue_at,
+            ));
+        }
+
+        // Intersection (fixed-function) and stack updates.
+        let mut tests = 0u64;
+        for (_, rid, n) in visits {
+            let cost = self.rays[rid.index()].visit(self.bvh, self.triangles, n);
+            self.stats.box_tests += cost.box_tests as u64;
+            self.stats.tri_tests += cost.tri_tests as u64;
+            tests += (cost.box_tests + cost.tri_tests) as u64;
+        }
+        self.stats.add_mode_isect(warp.mode, tests);
+
+        let ready = completion + self.cfg.isect_latency as u64;
+        self.stats.add_mode_cycles(warp.mode, ready - self.now);
+        warp.ready_at = ready;
+        self.rt[sm].slots[slot] = Some(warp);
+    }
+
+    // -- VTQ helpers ----------------------------------------------------------
+
+    /// Loads treelet `t`'s bytes into the SM's L1 (missing lines only) as a
+    /// controller bulk transfer; returns the completion cycle.
+    fn load_treelet(&mut self, sm: usize, t: TreeletId) -> u64 {
+        if self.rt[sm].preloaded == Some(t) {
+            self.rt[sm].preloaded = None;
+            // Already resident (bandwidth was charged at preload time).
+            return self.now;
+        }
+        // The controller streams the whole treelet into the L1 (§4.2 ⑤);
+        // lines already resident come back at cache latency, the rest pay
+        // DRAM latency and bandwidth.
+        let (start, end) = self.bvh.treelet_extent(t);
+        self.mem.access(
+            sm,
+            start,
+            (end - start).max(1) as u32,
+            AccessKind::Prefetch,
+            CachePolicy::L1AndL2,
+            self.now,
+        )
+    }
+
+    /// Preload the *next* treelet while the current queue drains (§4.3):
+    /// triggered once the current queue is in its final warp.
+    fn maybe_preload(&mut self, sm: usize, vtq: &VtqParams) {
+        if !vtq.preload {
+            return;
+        }
+        let Some(current) = self.rt[sm].current_queue else { return };
+        if self.rt[sm].queues.len_of(current) > self.cfg.warp_size {
+            return; // more than one warp left; too early
+        }
+        // Find the largest other queue worth preloading.
+        let candidate = self
+            .rt[sm]
+            .queues
+            .largest()
+            .filter(|(t, n)| *t != current && *n >= vtq.queue_threshold)
+            .map(|(t, _)| t);
+        let Some(t) = candidate else { return };
+        if self.rt[sm].preloaded == Some(t) {
+            return;
+        }
+        let (start, end) = self.bvh.treelet_extent(t);
+        self.mem.access(
+            sm,
+            start,
+            (end - start) as u32,
+            AccessKind::Prefetch,
+            CachePolicy::L1AndL2,
+            self.now,
+        );
+        self.rt[sm].preloaded = Some(t);
+    }
+
+    /// Fetches one ray record from the reserved L2 region into the warp
+    /// buffer; returns the completion cycle.
+    fn fetch_ray_record(&mut self, sm: usize, r: RayId) -> u64 {
+        self.mem.access(
+            sm,
+            ray_addr(self.cfg, r),
+            self.cfg.ray_record_bytes,
+            AccessKind::Ray,
+            CachePolicy::RayReserve,
+            self.now,
+        )
+    }
+
+    /// Charges queue-table / count-table spill traffic when the hardware
+    /// capacities are exceeded (§4.2, §6.5).
+    fn charge_queue_overflow(&mut self, sm: usize, vtq: &VtqParams, ops: usize) {
+        let over_rays = self.rt[sm].queues.overflow_rays(vtq.queue_table_entries);
+        let over_queues = self.rt[sm].queues.overflow_queues(vtq.count_table_entries);
+        if over_rays > 0 || over_queues > 0 {
+            let lines = ops.max(1) as u32;
+            self.mem.access(
+                sm,
+                QUEUE_REGION + sm as u64 * 0x10_0000,
+                lines * self.cfg.mem.l1.line_bytes,
+                AccessKind::QueueMeta,
+                CachePolicy::BypassL1,
+                self.now,
+            );
+        }
+    }
+
+    // -- TreeletPrefetch policy (Chou et al. [8]) -----------------------------
+
+    /// Periodically prefetches the most popular pending treelet of the
+    /// resident warp's rays.
+    fn maybe_prefetch(&mut self, sm: usize) -> bool {
+        if self.now < self.rt[sm].last_prefetch_at + self.cfg.prefetch_interval as u64 {
+            return false;
+        }
+        let lanes: Vec<RayId> = self.rt[sm]
+            .slots
+            .iter()
+            .flatten()
+            .flat_map(|w| w.lanes.iter().flatten().copied())
+            .collect();
+        if lanes.is_empty() {
+            return false;
+        }
+        // Vote: most common pending treelet.
+        let mut votes: Vec<(TreeletId, usize)> = Vec::new();
+        for r in lanes {
+            if let Some(t) = self.rays[r.index()].pending_treelet(self.bvh) {
+                match votes.iter_mut().find(|(vt, _)| *vt == t) {
+                    Some((_, n)) => *n += 1,
+                    None => votes.push((t, 1)),
+                }
+            }
+        }
+        let Some((t, _)) = votes.into_iter().max_by_key(|(t, n)| (*n, std::cmp::Reverse(t.0))) else {
+            return false;
+        };
+        self.rt[sm].last_prefetch_at = self.now;
+        let (start, end) = self.bvh.treelet_extent(t);
+        let line = self.cfg.mem.l1.line_bytes as u64;
+        let mut addr = start / line * line;
+        let mut issued = false;
+        while addr < end {
+            if self.mem.missing_l1_lines(sm, addr, 1) > 0 {
+                self.mem.access(sm, addr, 1, AccessKind::Prefetch, CachePolicy::L1AndL2, self.now);
+                self.rt[sm].prefetched.insert(addr, false);
+                self.stats.prefetch_lines += 1;
+                issued = true;
+            }
+            addr += line;
+        }
+        if issued {
+            self.stats.prefetches_issued += 1;
+        }
+        issued
+    }
+
+    /// Marks prefetched lines that are now demanded (usefulness stat).
+    fn track_prefetch_use(&mut self, sm: usize, addr: u64, size: u32) {
+        if !matches!(self.cfg.policy, TraversalPolicy::TreeletPrefetch) {
+            return;
+        }
+        let line = self.cfg.mem.l1.line_bytes as u64;
+        let first = addr / line * line;
+        let mut a = first;
+        while a < addr + size as u64 {
+            if let Some(used) = self.rt[sm].prefetched.get_mut(&a) {
+                if !*used {
+                    *used = true;
+                    self.stats.prefetch_lines_used += 1;
+                }
+            }
+            a += line;
+        }
+    }
+
+    // -- clock ----------------------------------------------------------------
+
+    /// Earliest future event across CTAs and RT units.
+    fn next_event(&self) -> Option<u64> {
+        let mut next: Option<u64> = None;
+        let mut consider = |t: u64| {
+            if t > self.now {
+                next = Some(next.map_or(t, |n| n.min(t)));
+            }
+        };
+        if let Some(&Reverse((t, _))) = self.timers.peek() {
+            consider(t);
+        }
+        if let Some(&Reverse((t, _))) = self.slot_release.peek() {
+            consider(t);
+        }
+        for rt in &self.rt {
+            for w in rt.slots.iter().flatten() {
+                consider(w.ready_at);
+            }
+            if let Some((arrive, _)) = rt.incoming.front() {
+                consider(*arrive);
+            }
+        }
+        next
+    }
+}
+
+fn ray_addr(cfg: &GpuConfig, r: RayId) -> u64 {
+    RAY_REGION + r.0 as u64 * cfg.ray_record_bytes as u64
+}

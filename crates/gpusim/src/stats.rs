@@ -1,0 +1,181 @@
+use std::fmt;
+
+/// The three traversal modes of dynamic treelet queues (§3.2), used to
+/// attribute cycles (Figure 14) and intersection tests (Figure 15).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraversalMode {
+    /// Initial ray-stationary phase of freshly issued warps.
+    Initial,
+    /// Treelet-stationary mode: warps formed from a treelet queue.
+    TreeletStationary,
+    /// Final ray-stationary mode draining grouped underpopulated queues
+    /// (the baseline runs entirely in this mode).
+    RayStationary,
+}
+
+impl TraversalMode {
+    /// All modes in figure order.
+    pub const ALL: [TraversalMode; 3] =
+        [TraversalMode::Initial, TraversalMode::TreeletStationary, TraversalMode::RayStationary];
+
+    fn index(self) -> usize {
+        match self {
+            TraversalMode::Initial => 0,
+            TraversalMode::TreeletStationary => 1,
+            TraversalMode::RayStationary => 2,
+        }
+    }
+}
+
+impl fmt::Display for TraversalMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TraversalMode::Initial => "initial",
+            TraversalMode::TreeletStationary => "treelet-stationary",
+            TraversalMode::RayStationary => "ray-stationary",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Counters accumulated by the simulator during one kernel.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SimStats {
+    /// Total kernel cycles (launch to completion of all CTAs).
+    pub cycles: u64,
+    /// Sum of active lanes over all RT-unit warp steps.
+    pub active_lane_steps: u64,
+    /// Sum of warp-width lane slots over all RT-unit warp steps
+    /// (`warp_size` per step). SIMT efficiency = active / total.
+    pub total_lane_steps: u64,
+    /// RT-unit busy cycles attributed to each traversal mode.
+    pub mode_cycles: [u64; 3],
+    /// Intersection tests (box + triangle) attributed to each mode.
+    pub mode_isect_tests: [u64; 3],
+    /// Box (child AABB) tests performed.
+    pub box_tests: u64,
+    /// Ray–triangle tests performed.
+    pub tri_tests: u64,
+    /// Warps issued to the RT unit (incoming trace calls).
+    pub warps_issued: u64,
+    /// Warp repack events (§4.5).
+    pub repack_events: u64,
+    /// Rays inserted into warps by repacking.
+    pub repacked_rays: u64,
+    /// Treelet-queue dispatches (a queue becoming the current treelet).
+    pub treelet_dispatches: u64,
+    /// CTA suspensions (ray virtualization).
+    pub cta_suspends: u64,
+    /// CTA resumes.
+    pub cta_resumes: u64,
+    /// Bytes of CTA state saved + restored.
+    pub cta_state_bytes: u64,
+    /// Peak rays simultaneously resident in any single RT unit.
+    pub peak_rays_in_flight: usize,
+    /// Treelet prefetches issued (TreeletPrefetch policy).
+    pub prefetches_issued: u64,
+    /// Prefetched lines that were later demanded (usefulness, §2.3).
+    pub prefetch_lines: u64,
+    /// Prefetched lines never demanded before eviction tracking ended.
+    pub prefetch_lines_used: u64,
+    /// Rays that completed traversal.
+    pub rays_completed: u64,
+    /// Longest probe chain observed in any RT unit's hardware treelet
+    /// queue table (§4.2 reports a maximum of two).
+    pub queue_table_max_chain: u32,
+    /// Peak live entries in any RT unit's queue table (§6.5 sizes it at
+    /// 128 entries).
+    pub queue_table_peak_entries: u32,
+    /// Queue-table inserts that spilled to memory.
+    pub queue_table_overflows: u64,
+}
+
+impl SimStats {
+    /// SIMT efficiency of the RT unit: mean fraction of active lanes per
+    /// warp step (paper Figure 1b / 13b).
+    pub fn simt_efficiency(&self) -> f64 {
+        if self.total_lane_steps == 0 {
+            0.0
+        } else {
+            self.active_lane_steps as f64 / self.total_lane_steps as f64
+        }
+    }
+
+    /// Cycles spent in a mode.
+    pub fn cycles_in(&self, mode: TraversalMode) -> u64 {
+        self.mode_cycles[mode.index()]
+    }
+
+    /// Intersection tests performed in a mode.
+    pub fn isect_in(&self, mode: TraversalMode) -> u64 {
+        self.mode_isect_tests[mode.index()]
+    }
+
+    pub(crate) fn add_mode_cycles(&mut self, mode: TraversalMode, cycles: u64) {
+        self.mode_cycles[mode.index()] += cycles;
+    }
+
+    pub(crate) fn add_mode_isect(&mut self, mode: TraversalMode, tests: u64) {
+        self.mode_isect_tests[mode.index()] += tests;
+    }
+
+    /// Fraction of intersection tests processed in treelet-stationary mode
+    /// (Figure 15).
+    pub fn treelet_isect_ratio(&self) -> f64 {
+        let total: u64 = self.mode_isect_tests.iter().sum();
+        if total == 0 {
+            0.0
+        } else {
+            self.isect_in(TraversalMode::TreeletStationary) as f64 / total as f64
+        }
+    }
+
+    /// Fraction of issued prefetch lines that were used (Chou et al.
+    /// report 43.5% *unused*).
+    pub fn prefetch_use_rate(&self) -> f64 {
+        if self.prefetch_lines == 0 {
+            0.0
+        } else {
+            self.prefetch_lines_used as f64 / self.prefetch_lines as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simt_efficiency_math() {
+        let mut s = SimStats::default();
+        assert_eq!(s.simt_efficiency(), 0.0);
+        s.active_lane_steps = 48;
+        s.total_lane_steps = 64;
+        assert!((s.simt_efficiency() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mode_attribution() {
+        let mut s = SimStats::default();
+        s.add_mode_cycles(TraversalMode::TreeletStationary, 100);
+        s.add_mode_isect(TraversalMode::TreeletStationary, 30);
+        s.add_mode_isect(TraversalMode::RayStationary, 70);
+        assert_eq!(s.cycles_in(TraversalMode::TreeletStationary), 100);
+        assert_eq!(s.cycles_in(TraversalMode::Initial), 0);
+        assert!((s.treelet_isect_ratio() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prefetch_use_rate() {
+        let mut s = SimStats::default();
+        assert_eq!(s.prefetch_use_rate(), 0.0);
+        s.prefetch_lines = 200;
+        s.prefetch_lines_used = 113;
+        assert!((s.prefetch_use_rate() - 0.565).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mode_display() {
+        assert_eq!(TraversalMode::TreeletStationary.to_string(), "treelet-stationary");
+    }
+}

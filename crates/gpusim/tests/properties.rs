@@ -1,0 +1,150 @@
+//! Property-based tests of the simulator's conservation and ordering
+//! invariants: every issued ray completes exactly once, queues conserve
+//! rays, and traversal produces reference-identical hits regardless of the
+//! (randomized) VTQ parameters.
+
+use proptest::prelude::*;
+
+use gpusim::{GpuConfig, PathTask, Simulator, TraversalPolicy, VtqParams, Workload};
+use rtbvh::{Bvh, BvhConfig};
+use rtmath::{Ray, Vec3, XorShiftRng};
+use rtscene::lumibench::{self, SceneId};
+
+fn scene_and_bvh() -> (rtscene::Scene, Bvh) {
+    let scene = lumibench::build_scaled(SceneId::Ref, 8);
+    let bvh = Bvh::build(scene.triangles(), &BvhConfig { treelet_bytes: 1024, ..Default::default() });
+    (scene, bvh)
+}
+
+/// A random mixed workload: camera rays plus incoherent rays.
+fn random_workload(seed: u64, tasks: usize, max_bounces: usize) -> Workload {
+    let (scene, _) = scene_and_bvh();
+    let mut rng = XorShiftRng::new(seed);
+    let mut out = Vec::with_capacity(tasks);
+    for i in 0..tasks {
+        let bounces = 1 + (rng.below(max_bounces as u64) as usize);
+        let mut rays = Vec::with_capacity(bounces);
+        for b in 0..bounces {
+            let ray = if b == 0 {
+                scene.camera().primary_ray((i % 32) as u32, (i / 32 % 32) as u32, 32, 32, None)
+            } else {
+                Ray::new(
+                    Vec3::new(rng.range_f32(-8.0, 8.0), rng.range_f32(0.1, 6.0), rng.range_f32(-8.0, 8.0)),
+                    rng.unit_vector(),
+                )
+            };
+            rays.push(ray.into());
+        }
+        out.push(PathTask { rays });
+    }
+    Workload { tasks: out }
+}
+
+fn vtq_params(qt: usize, rp: usize, div: usize, group: bool, preload: bool) -> VtqParams {
+    VtqParams {
+        queue_threshold: qt.max(1),
+        repack_threshold: rp,
+        divergence_treelets: div,
+        group_underpopulated: group,
+        preload,
+        ..Default::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn every_ray_completes_under_random_vtq_params(
+        seed in any::<u64>(),
+        qt in 1usize..200,
+        rp in 0usize..32,
+        div in 0usize..8,
+        group in any::<bool>(),
+        preload in any::<bool>(),
+    ) {
+        let (scene, bvh) = scene_and_bvh();
+        let workload = random_workload(seed, 600, 3);
+        let mut cfg = GpuConfig::default()
+            .with_policy(TraversalPolicy::Vtq(vtq_params(qt, rp, div, group, preload)));
+        cfg.mem.num_sms = 2;
+        let report = Simulator::new(&bvh, scene.triangles(), cfg).run(&workload);
+        prop_assert_eq!(report.stats.rays_completed as usize, workload.total_rays());
+        prop_assert!(report.stats.cycles > 0);
+        // SIMT efficiency is a valid ratio.
+        let simt = report.stats.simt_efficiency();
+        prop_assert!((0.0..=1.0).contains(&simt));
+        // Mode accounting conserves intersection tests.
+        let mode_total: u64 = gpusim::TraversalMode::ALL
+            .iter()
+            .map(|m| report.stats.isect_in(*m))
+            .sum();
+        prop_assert_eq!(mode_total, report.stats.box_tests + report.stats.tri_tests);
+    }
+
+    #[test]
+    fn hits_are_policy_invariant(
+        seed in any::<u64>(),
+        qt in 1usize..64,
+        rp in 0usize..32,
+    ) {
+        let (scene, bvh) = scene_and_bvh();
+        let workload = random_workload(seed, 300, 2);
+        let mut base_cfg = GpuConfig::default();
+        base_cfg.mem.num_sms = 2;
+        let baseline = Simulator::new(&bvh, scene.triangles(), base_cfg).run(&workload);
+        let vtq_cfg = base_cfg.with_policy(TraversalPolicy::Vtq(vtq_params(qt, rp, 2, true, true)));
+        let vtq = Simulator::new(&bvh, scene.triangles(), vtq_cfg).run(&workload);
+        prop_assert_eq!(baseline.hits, vtq.hits);
+    }
+
+    #[test]
+    fn cycles_are_deterministic(seed in any::<u64>()) {
+        let (scene, bvh) = scene_and_bvh();
+        let workload = random_workload(seed, 200, 2);
+        let mut cfg = GpuConfig::default().with_policy(TraversalPolicy::Vtq(VtqParams::default()));
+        cfg.mem.num_sms = 2;
+        let a = Simulator::new(&bvh, scene.triangles(), cfg).run(&workload);
+        let b = Simulator::new(&bvh, scene.triangles(), cfg).run(&workload);
+        prop_assert_eq!(a.stats.cycles, b.stats.cycles);
+        prop_assert_eq!(a.mem.total_lines(), b.mem.total_lines());
+        prop_assert_eq!(a.stats.repack_events, b.stats.repack_events);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The hardware queue table must agree with a reference multiset under
+    /// arbitrary interleavings of pushes and pops (while within capacity).
+    #[test]
+    fn hw_queue_table_matches_reference_multiset(
+        ops in prop::collection::vec((any::<bool>(), 0u64..12), 1..300),
+    ) {
+        use gpusim::hw_table::HwQueueTable;
+        use std::collections::HashMap;
+        let mut table = HwQueueTable::new(64, 4);
+        let mut reference: HashMap<u64, u64> = HashMap::new();
+        for (is_push, key) in ops {
+            let addr = key * 64;
+            if is_push {
+                let resident = table.push(addr);
+                if resident {
+                    *reference.entry(addr).or_default() += 1;
+                }
+            } else {
+                let got = table.pop(addr);
+                let want = reference.get(&addr).copied().unwrap_or(0) > 0;
+                prop_assert_eq!(got, want, "pop({}) divergence", addr);
+                if want {
+                    *reference.get_mut(&addr).expect("present") -= 1;
+                }
+            }
+        }
+        // Entry accounting: live entries cover exactly the reference rays.
+        let total_rays: u64 = reference.values().sum();
+        let min_entries: u64 = reference.values().map(|r| r.div_ceil(4)).sum();
+        prop_assert!(table.live_entries() as u64 >= min_entries);
+        prop_assert!(table.live_entries() as u64 <= total_rays);
+    }
+}

@@ -1,0 +1,18 @@
+use rtbvh::{Bvh, BvhConfig};
+use rtscene::lumibench::{self, SceneId};
+use std::time::Instant;
+
+fn main() {
+    println!("{:<6} {:>9} {:>10} {:>8} {:>9} {:>7}", "scene", "tris", "bvh_bytes", "nodes", "treelets", "secs");
+    for id in SceneId::ALL {
+        let t0 = Instant::now();
+        let scene = lumibench::build(id);
+        let bvh = Bvh::build(scene.triangles(), &BvhConfig::default());
+        let s = bvh.stats();
+        println!(
+            "{:<6} {:>9} {:>10} {:>8} {:>9} {:>7.2}",
+            id.name(), scene.triangles().len(), s.total_bytes, s.node_count, s.treelet_count,
+            t0.elapsed().as_secs_f32()
+        );
+    }
+}

@@ -1,0 +1,355 @@
+//! Binned-SAH binary BVH builder.
+//!
+//! This is the first stage of construction; [`crate::Bvh::build`] collapses
+//! the binary tree produced here into the 4-wide BVH the simulator
+//! traverses. Exposed publicly so tests and tools can inspect the
+//! intermediate tree.
+
+use rtmath::Aabb;
+use rtscene::Triangle;
+
+use crate::BvhConfig;
+
+/// A node of the intermediate binary BVH.
+#[derive(Debug, Clone)]
+pub enum Node2 {
+    /// Interior node with two children (indices into the builder's arena).
+    Inner {
+        /// Bounds of the whole subtree.
+        bounds: Aabb,
+        /// Left child arena index.
+        left: u32,
+        /// Right child arena index.
+        right: u32,
+    },
+    /// Leaf holding a range of the builder's primitive-index permutation.
+    Leaf {
+        /// Bounds of the contained primitives.
+        bounds: Aabb,
+        /// First index into [`Bvh2::prim_indices`].
+        first: u32,
+        /// Number of primitives.
+        count: u32,
+    },
+}
+
+impl Node2 {
+    /// The node's bounds.
+    pub fn bounds(&self) -> Aabb {
+        match self {
+            Node2::Inner { bounds, .. } | Node2::Leaf { bounds, .. } => *bounds,
+        }
+    }
+}
+
+/// The intermediate binary BVH: an arena of nodes plus the primitive
+/// permutation its leaves reference.
+#[derive(Debug, Clone)]
+pub struct Bvh2 {
+    /// Node arena; `root` is the entry point.
+    pub nodes: Vec<Node2>,
+    /// Root node index.
+    pub root: u32,
+    /// Permutation of primitive indices; leaves reference ranges of this.
+    pub prim_indices: Vec<u32>,
+}
+
+struct PrimInfo {
+    bounds: Aabb,
+    centroid: rtmath::Vec3,
+    index: u32,
+}
+
+/// Builds a binary BVH over `triangles` with binned SAH splits.
+///
+/// # Panics
+///
+/// Panics if `triangles` is empty.
+pub fn build(triangles: &[Triangle], config: &BvhConfig) -> Bvh2 {
+    assert!(!triangles.is_empty(), "cannot build a BVH over zero triangles");
+    let mut prims: Vec<PrimInfo> = triangles
+        .iter()
+        .enumerate()
+        .map(|(i, t)| PrimInfo { bounds: t.bounds(), centroid: t.centroid(), index: i as u32 })
+        .collect();
+    let mut nodes = Vec::with_capacity(2 * triangles.len());
+    let n = prims.len();
+    let root = build_range(&mut nodes, &mut prims, 0, n, config);
+    let prim_indices = prims.iter().map(|p| p.index).collect();
+    Bvh2 { nodes, root, prim_indices }
+}
+
+fn range_bounds(prims: &[PrimInfo]) -> (Aabb, Aabb) {
+    let mut bounds = Aabb::EMPTY;
+    let mut centroid_bounds = Aabb::EMPTY;
+    for p in prims {
+        bounds = bounds.union(&p.bounds);
+        centroid_bounds = centroid_bounds.union_point(p.centroid);
+    }
+    (bounds, centroid_bounds)
+}
+
+fn build_range(
+    nodes: &mut Vec<Node2>,
+    prims: &mut [PrimInfo],
+    first: usize,
+    count: usize,
+    config: &BvhConfig,
+) -> u32 {
+    let (bounds, centroid_bounds) = range_bounds(&prims[first..first + count]);
+
+    let make_leaf = |nodes: &mut Vec<Node2>| -> u32 {
+        nodes.push(Node2::Leaf { bounds, first: first as u32, count: count as u32 });
+        (nodes.len() - 1) as u32
+    };
+
+    if count <= config.max_leaf_prims {
+        return make_leaf(nodes);
+    }
+
+    // Pick the widest centroid axis; degenerate extents mean all centroids
+    // coincide and SAH binning cannot separate them.
+    let axis = centroid_bounds.longest_axis();
+    let extent = centroid_bounds.extent()[axis.index()];
+    let mid = if extent < 1e-12 {
+        if count <= config.max_leaf_prims_hard {
+            return make_leaf(nodes);
+        }
+        first + count / 2 // forced median split of coincident centroids
+    } else {
+        match binned_sah_split(&mut prims[first..first + count], axis, centroid_bounds, bounds, config) {
+            Some(offset) => first + offset,
+            None => {
+                if count <= config.max_leaf_prims_hard {
+                    return make_leaf(nodes);
+                }
+                // SAH says "leaf" but the leaf would be oversized: median split.
+                let k = count / 2;
+                prims[first..first + count].select_nth_unstable_by(k, |a, b| {
+                    a.centroid[axis.index()].total_cmp(&b.centroid[axis.index()])
+                });
+                first + k
+            }
+        }
+    };
+
+    debug_assert!(mid > first && mid < first + count);
+    let left = build_range(nodes, prims, first, mid - first, config);
+    let right = build_range(nodes, prims, mid, first + count - mid, config);
+    nodes.push(Node2::Inner { bounds, left, right });
+    (nodes.len() - 1) as u32
+}
+
+/// Bins the range on `axis` and returns the partition offset of the best
+/// SAH split, or `None` if keeping a leaf is cheaper.
+fn binned_sah_split(
+    prims: &mut [PrimInfo],
+    axis: rtmath::Axis,
+    centroid_bounds: Aabb,
+    bounds: Aabb,
+    config: &BvhConfig,
+) -> Option<usize> {
+    let nbins = config.sah_bins.max(2);
+    let ax = axis.index();
+    let lo = centroid_bounds.min[ax];
+    let scale = nbins as f32 / (centroid_bounds.max[ax] - lo);
+    let bin_of = |p: &PrimInfo| -> usize { (((p.centroid[ax] - lo) * scale) as usize).min(nbins - 1) };
+
+    let mut bin_bounds = vec![Aabb::EMPTY; nbins];
+    let mut bin_counts = vec![0usize; nbins];
+    for p in prims.iter() {
+        let b = bin_of(p);
+        bin_bounds[b] = bin_bounds[b].union(&p.bounds);
+        bin_counts[b] += 1;
+    }
+
+    // Sweep: suffix areas/counts right-to-left, then prefix left-to-right.
+    let mut right_area = vec![0.0f32; nbins];
+    let mut right_count = vec![0usize; nbins];
+    let mut acc_bounds = Aabb::EMPTY;
+    let mut acc_count = 0;
+    for i in (1..nbins).rev() {
+        acc_bounds = acc_bounds.union(&bin_bounds[i]);
+        acc_count += bin_counts[i];
+        right_area[i] = acc_bounds.surface_area();
+        right_count[i] = acc_count;
+    }
+
+    let total = prims.len();
+    let parent_area = bounds.surface_area().max(1e-12);
+    let leaf_cost = total as f32;
+    let mut best: Option<(f32, usize)> = None; // (cost, split bin)
+    let mut left_bounds = Aabb::EMPTY;
+    let mut left_count = 0usize;
+    for split in 1..nbins {
+        left_bounds = left_bounds.union(&bin_bounds[split - 1]);
+        left_count += bin_counts[split - 1];
+        if left_count == 0 || right_count[split] == 0 {
+            continue;
+        }
+        let cost = config.traversal_cost
+            + (left_bounds.surface_area() * left_count as f32
+                + right_area[split] * right_count[split] as f32)
+                / parent_area;
+        if best.is_none_or(|(c, _)| cost < c) {
+            best = Some((cost, split));
+        }
+    }
+
+    let (cost, split_bin) = best?;
+    if cost >= leaf_cost && total <= config.max_leaf_prims_hard {
+        return None;
+    }
+
+    // Partition in place around the chosen bin boundary.
+    let offset = partition_in_place(prims, |p| bin_of(p) < split_bin);
+    if offset == 0 || offset == prims.len() {
+        None // numerically degenerate; caller falls back to median
+    } else {
+        Some(offset)
+    }
+}
+
+/// Stable-enough in-place partition; returns the number of elements
+/// satisfying the predicate (which end up in the prefix).
+fn partition_in_place<T>(items: &mut [T], pred: impl Fn(&T) -> bool) -> usize {
+    let mut i = 0;
+    for j in 0..items.len() {
+        if pred(&items[j]) {
+            items.swap(i, j);
+            i += 1;
+        }
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtmath::Vec3;
+    use rtscene::MaterialId;
+
+    fn grid_triangles(n: usize) -> Vec<Triangle> {
+        // n^2 disjoint triangles on a grid in the XZ plane.
+        let mut tris = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                let o = Vec3::new(i as f32 * 2.0, 0.0, j as f32 * 2.0);
+                tris.push(Triangle::new(
+                    o,
+                    o + Vec3::new(1.0, 0.0, 0.0),
+                    o + Vec3::new(0.0, 0.0, 1.0),
+                    MaterialId::new(0),
+                ));
+            }
+        }
+        tris
+    }
+
+    fn leaf_prim_count(bvh: &Bvh2) -> usize {
+        bvh.nodes
+            .iter()
+            .map(|n| match n {
+                Node2::Leaf { count, .. } => *count as usize,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    #[test]
+    fn single_triangle_is_one_leaf() {
+        let tris = grid_triangles(1);
+        let bvh = build(&tris, &BvhConfig::default());
+        assert_eq!(bvh.nodes.len(), 1);
+        assert!(matches!(bvh.nodes[bvh.root as usize], Node2::Leaf { count: 1, .. }));
+    }
+
+    #[test]
+    fn every_primitive_lands_in_exactly_one_leaf() {
+        let tris = grid_triangles(13);
+        let bvh = build(&tris, &BvhConfig::default());
+        assert_eq!(leaf_prim_count(&bvh), tris.len());
+        let mut seen: Vec<u32> = bvh.prim_indices.clone();
+        seen.sort_unstable();
+        let expect: Vec<u32> = (0..tris.len() as u32).collect();
+        assert_eq!(seen, expect);
+    }
+
+    #[test]
+    fn parent_bounds_contain_children() {
+        let tris = grid_triangles(9);
+        let bvh = build(&tris, &BvhConfig::default());
+        for node in &bvh.nodes {
+            if let Node2::Inner { bounds, left, right } = node {
+                assert!(bounds.contains_box(&bvh.nodes[*left as usize].bounds()));
+                assert!(bounds.contains_box(&bvh.nodes[*right as usize].bounds()));
+            }
+        }
+    }
+
+    #[test]
+    fn leaf_sizes_respect_hard_cap() {
+        let tris = grid_triangles(16);
+        let cfg = BvhConfig::default();
+        let bvh = build(&tris, &cfg);
+        for node in &bvh.nodes {
+            if let Node2::Leaf { count, .. } = node {
+                assert!(*count as usize <= cfg.max_leaf_prims_hard);
+            }
+        }
+    }
+
+    #[test]
+    fn coincident_centroids_are_split_by_median() {
+        // 64 identical triangles: centroid extent is zero, hard cap forces
+        // median splits.
+        let t = grid_triangles(1)[0];
+        let tris = vec![t; 64];
+        let cfg = BvhConfig::default();
+        let bvh = build(&tris, &cfg);
+        assert_eq!(leaf_prim_count(&bvh), 64);
+        for node in &bvh.nodes {
+            if let Node2::Leaf { count, .. } = node {
+                assert!(*count as usize <= cfg.max_leaf_prims_hard);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero triangles")]
+    fn empty_input_panics() {
+        let _ = build(&[], &BvhConfig::default());
+    }
+
+    #[test]
+    fn sah_separates_two_clusters() {
+        // Two distant clusters: the root split must separate them.
+        let mut tris = grid_triangles(4);
+        for t in grid_triangles(4) {
+            tris.push(Triangle::new(
+                t.v0 + Vec3::new(1000.0, 0.0, 0.0),
+                t.v1 + Vec3::new(1000.0, 0.0, 0.0),
+                t.v2 + Vec3::new(1000.0, 0.0, 0.0),
+                t.material,
+            ));
+        }
+        let bvh = build(&tris, &BvhConfig::default());
+        if let Node2::Inner { left, right, .. } = &bvh.nodes[bvh.root as usize] {
+            let lb = bvh.nodes[*left as usize].bounds();
+            let rb = bvh.nodes[*right as usize].bounds();
+            // The two child boxes must not overlap on x.
+            assert!(lb.max.x < rb.min.x || rb.max.x < lb.min.x);
+        } else {
+            panic!("root of 32 triangles should be an inner node");
+        }
+    }
+
+    #[test]
+    fn partition_in_place_counts() {
+        let mut v = vec![5, 1, 4, 2, 3];
+        let k = partition_in_place(&mut v, |&x| x <= 2);
+        assert_eq!(k, 2);
+        assert!(v[..k].iter().all(|&x| x <= 2));
+        assert!(v[k..].iter().all(|&x| x > 2));
+    }
+}

@@ -1,0 +1,717 @@
+use std::error::Error;
+use std::fmt;
+
+use rtmath::Ray;
+use rtscene::Triangle;
+
+use crate::treelet::{self, TreeletPartition};
+use crate::wide::{self, WideNode};
+use crate::{build2, lbvh, BvhConfig, NodeAddr, NodeId, TreeletId};
+
+/// Which construction algorithm [`Bvh::build_with`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Builder {
+    /// Binned surface-area-heuristic sweep (the default; what the paper's
+    /// Embree toolchain uses).
+    #[default]
+    BinnedSah,
+    /// Morton-ordered linear BVH: much faster to build, lower tree
+    /// quality. See [`lbvh`].
+    Lbvh,
+}
+
+/// A hit against a primitive found by BVH traversal.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrimHit {
+    /// Hit distance along the ray.
+    pub t: f32,
+    /// Index of the hit triangle in the original scene array.
+    pub prim: u32,
+}
+
+/// Structural statistics of a built BVH.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BvhStats {
+    /// Total node count (interior + leaf).
+    pub node_count: usize,
+    /// Leaf node count.
+    pub leaf_count: usize,
+    /// Maximum tree depth (root = 1).
+    pub max_depth: usize,
+    /// Total size of the flat memory image in bytes (the paper's Table 2
+    /// "BVH Size" column).
+    pub total_bytes: u64,
+    /// Number of treelets.
+    pub treelet_count: usize,
+    /// Mean treelet byte size.
+    pub mean_treelet_bytes: f32,
+}
+
+/// Invariant violations detected by [`Bvh::validate`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ValidateError {
+    /// A primitive appears in zero or multiple leaves.
+    PrimitiveCoverage {
+        /// The offending primitive index.
+        prim: u32,
+        /// How many leaves reference it.
+        occurrences: usize,
+    },
+    /// A child's bounds are not contained by its parent's.
+    ChildBoundsEscape {
+        /// The parent node.
+        parent: NodeId,
+        /// The child node.
+        child: NodeId,
+    },
+    /// Two node records overlap in the byte layout.
+    LayoutOverlap {
+        /// First node.
+        a: NodeId,
+        /// Second node.
+        b: NodeId,
+    },
+    /// A multi-node treelet exceeds the byte budget.
+    TreeletOverBudget {
+        /// The offending treelet.
+        treelet: TreeletId,
+        /// Its byte size.
+        bytes: u32,
+    },
+    /// Nodes of one treelet are not contiguous in the byte layout.
+    TreeletNotContiguous {
+        /// The offending treelet.
+        treelet: TreeletId,
+    },
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateError::PrimitiveCoverage { prim, occurrences } => {
+                write!(f, "primitive {prim} appears in {occurrences} leaves (expected 1)")
+            }
+            ValidateError::ChildBoundsEscape { parent, child } => {
+                write!(f, "bounds of {child} escape parent {parent}")
+            }
+            ValidateError::LayoutOverlap { a, b } => write!(f, "layout records of {a} and {b} overlap"),
+            ValidateError::TreeletOverBudget { treelet, bytes } => {
+                write!(f, "{treelet} holds {bytes} bytes, over budget")
+            }
+            ValidateError::TreeletNotContiguous { treelet } => {
+                write!(f, "{treelet} is not contiguous in the byte layout")
+            }
+        }
+    }
+}
+
+impl Error for ValidateError {}
+
+/// A built 4-wide BVH with treelet partition and byte-addressed layout.
+///
+/// See the [crate docs](crate) for the construction pipeline. All accessors
+/// are cheap; the structure is immutable after [`Bvh::build`].
+///
+/// # Example
+///
+/// ```
+/// use rtbvh::{Bvh, BvhConfig};
+/// use rtmath::{Ray, Vec3};
+/// use rtscene::lumibench::{self, SceneId};
+///
+/// let scene = lumibench::build_scaled(SceneId::Bunny, 64);
+/// let bvh = Bvh::build(scene.triangles(), &BvhConfig::default());
+/// let ray = scene.camera().primary_ray(32, 32, 64, 64, None);
+/// let hit = bvh.intersect(scene.triangles(), &ray, 1e-3, f32::INFINITY);
+/// assert!(hit.is_some()); // the statue fills the view center
+/// ```
+#[derive(Debug, Clone)]
+pub struct Bvh {
+    nodes: Vec<WideNode>,
+    prim_indices: Vec<u32>,
+    addrs: Vec<NodeAddr>,
+    partition: TreeletPartition,
+    treelet_extents: Vec<(u64, u64)>,
+    root: NodeId,
+    config: BvhConfig,
+    total_bytes: u64,
+}
+
+impl Bvh {
+    /// Builds the BVH over `triangles`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `triangles` is empty.
+    pub fn build(triangles: &[Triangle], config: &BvhConfig) -> Bvh {
+        Bvh::build_with(triangles, config, Builder::BinnedSah)
+    }
+
+    /// Builds the BVH with an explicit construction algorithm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `triangles` is empty.
+    pub fn build_with(triangles: &[Triangle], config: &BvhConfig, builder: Builder) -> Bvh {
+        let b2 = match builder {
+            Builder::BinnedSah => build2::build(triangles, config),
+            Builder::Lbvh => lbvh::build(triangles, config),
+        };
+        let (nodes, root) = wide::collapse(&b2);
+        let partition = treelet::partition(&nodes, root, config.treelet_bytes, &config.layout);
+
+        // Byte layout: treelet by treelet so each treelet is a contiguous
+        // range ("treelets can be packed together in memory", §6.5).
+        let mut addrs = vec![NodeAddr { offset: 0, size: 0 }; nodes.len()];
+        let mut treelet_extents = Vec::with_capacity(partition.len());
+        let mut offset = 0u64;
+        for t in partition.treelets() {
+            let start = offset;
+            for n in &t.nodes {
+                let size = nodes[n.index()].byte_size(&config.layout);
+                addrs[n.index()] = NodeAddr { offset, size };
+                offset += size as u64;
+            }
+            treelet_extents.push((start, offset));
+        }
+
+        Bvh {
+            nodes,
+            prim_indices: b2.prim_indices,
+            addrs,
+            partition,
+            treelet_extents,
+            root,
+            config: *config,
+            total_bytes: offset,
+        }
+    }
+
+    /// Root node id.
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Node accessor.
+    #[inline]
+    pub fn node(&self, id: NodeId) -> &WideNode {
+        &self.nodes[id.index()]
+    }
+
+    /// All nodes (index = `NodeId.0`).
+    #[inline]
+    pub fn nodes(&self) -> &[WideNode] {
+        &self.nodes
+    }
+
+    /// Byte placement of a node.
+    #[inline]
+    pub fn addr(&self, id: NodeId) -> NodeAddr {
+        self.addrs[id.index()]
+    }
+
+    /// Treelet containing a node.
+    #[inline]
+    pub fn treelet_of(&self, id: NodeId) -> TreeletId {
+        self.partition.treelet_of(id)
+    }
+
+    /// The treelet partition.
+    #[inline]
+    pub fn partition(&self) -> &TreeletPartition {
+        &self.partition
+    }
+
+    /// Byte range `[start, end)` of a treelet in the flat memory image.
+    #[inline]
+    pub fn treelet_extent(&self, id: TreeletId) -> (u64, u64) {
+        self.treelet_extents[id.index()]
+    }
+
+    /// The primitive indices of a leaf range.
+    #[inline]
+    pub fn leaf_prims(&self, first: u32, count: u32) -> &[u32] {
+        &self.prim_indices[first as usize..(first + count) as usize]
+    }
+
+    /// Total byte size of the BVH memory image.
+    #[inline]
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Build configuration this BVH was constructed with.
+    #[inline]
+    pub fn config(&self) -> &BvhConfig {
+        &self.config
+    }
+
+    /// Computes structural statistics.
+    pub fn stats(&self) -> BvhStats {
+        let leaf_count = self.nodes.iter().filter(|n| n.is_leaf()).count();
+        let mut max_depth = 0;
+        let mut stack = vec![(self.root, 1usize)];
+        while let Some((id, d)) = stack.pop() {
+            max_depth = max_depth.max(d);
+            if let WideNode::Inner { children, .. } = self.node(id) {
+                for c in children {
+                    stack.push((*c, d + 1));
+                }
+            }
+        }
+        let tl = self.partition.treelets();
+        BvhStats {
+            node_count: self.nodes.len(),
+            leaf_count,
+            max_depth,
+            total_bytes: self.total_bytes,
+            treelet_count: tl.len(),
+            mean_treelet_bytes: tl.iter().map(|t| t.bytes as f32).sum::<f32>() / tl.len().max(1) as f32,
+        }
+    }
+
+    /// Refits all node bounds to updated triangle positions, keeping the
+    /// topology, treelet partition and byte layout unchanged — the standard
+    /// per-frame update for animated geometry (and how a game engine would
+    /// keep VTQ's treelet tables valid across frames without a rebuild).
+    ///
+    /// Quality degrades as geometry deforms away from the built topology;
+    /// rebuild when `sah_cost` drifts.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use rtbvh::{Bvh, BvhConfig};
+    /// use rtmath::Vec3;
+    /// use rtscene::lumibench::{self, SceneId};
+    ///
+    /// let scene = lumibench::build_scaled(SceneId::Bunny, 64);
+    /// let mut tris = scene.triangles().to_vec();
+    /// let mut bvh = Bvh::build(&tris, &BvhConfig::default());
+    /// // Move everything up by one unit and refit.
+    /// for t in &mut tris {
+    ///     let up = Vec3::new(0.0, 1.0, 0.0);
+    ///     *t = rtscene::Triangle::new(t.v0 + up, t.v1 + up, t.v2 + up, t.material);
+    /// }
+    /// bvh.refit(&tris);
+    /// assert!(bvh.validate(&tris).is_ok());
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `triangles` has a different length than the build input.
+    pub fn refit(&mut self, triangles: &[Triangle]) {
+        assert_eq!(
+            triangles.len(),
+            self.prim_indices.len(),
+            "refit requires the same primitive count as the build"
+        );
+        // Children have larger arena indices than parents is NOT guaranteed
+        // by the collapse order, so refit by explicit post-order traversal.
+        let mut order = Vec::with_capacity(self.nodes.len());
+        let mut stack = vec![(self.root, false)];
+        while let Some((id, expanded)) = stack.pop() {
+            if expanded {
+                order.push(id);
+                continue;
+            }
+            stack.push((id, true));
+            if let WideNode::Inner { children, .. } = self.node(id) {
+                for c in children {
+                    stack.push((*c, false));
+                }
+            }
+        }
+        for id in order {
+            match &mut self.nodes[id.index()] {
+                WideNode::Leaf { bounds, first, count } => {
+                    let mut b = rtmath::Aabb::EMPTY;
+                    for &p in &self.prim_indices[*first as usize..(*first + *count) as usize] {
+                        b = b.union(&triangles[p as usize].bounds());
+                    }
+                    *bounds = b;
+                }
+                WideNode::Inner { .. } => {
+                    // Collect child bounds first (borrow rules), then write.
+                    let children = match self.node(id) {
+                        WideNode::Inner { children, .. } => children.clone(),
+                        _ => unreachable!(),
+                    };
+                    let fresh: Vec<rtmath::Aabb> =
+                        children.iter().map(|c| self.node(*c).bounds()).collect();
+                    let total = fresh.iter().fold(rtmath::Aabb::EMPTY, |a, b| a.union(b));
+                    if let WideNode::Inner { bounds, child_bounds, .. } = &mut self.nodes[id.index()] {
+                        *child_bounds = fresh;
+                        *bounds = total;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Surface-area-heuristic cost of the tree: expected traversal work
+    /// for a random ray, Σ over nodes of (node area / root area) weighted
+    /// by the node's work (child box tests for interiors, triangle tests
+    /// for leaves). A standard build-quality metric — lower is better.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use rtbvh::{Builder, Bvh, BvhConfig};
+    /// use rtscene::lumibench::{self, SceneId};
+    ///
+    /// let scene = lumibench::build_scaled(SceneId::Crnvl, 32);
+    /// let sah = Bvh::build(scene.triangles(), &BvhConfig::default());
+    /// let lbvh = Bvh::build_with(scene.triangles(), &BvhConfig::default(), Builder::Lbvh);
+    /// assert!(sah.sah_cost() <= lbvh.sah_cost()); // SAH optimizes this metric
+    /// ```
+    pub fn sah_cost(&self) -> f64 {
+        let root_area = self.node(self.root).bounds().surface_area() as f64;
+        if root_area <= 0.0 {
+            return 0.0;
+        }
+        let mut cost = 0.0;
+        for n in &self.nodes {
+            let weight = n.bounds().surface_area() as f64 / root_area;
+            let work = match n {
+                WideNode::Inner { children, .. } => children.len() as f64,
+                WideNode::Leaf { count, .. } => *count as f64,
+            };
+            cost += weight * work;
+        }
+        cost
+    }
+
+    /// Closest-hit traversal (CPU reference implementation).
+    ///
+    /// Children are visited front to back and subtrees behind the current
+    /// closest hit are pruned — the same order the simulated RT unit uses,
+    /// so the simulator's functional results can be checked against this.
+    pub fn intersect(&self, triangles: &[Triangle], ray: &Ray, t_min: f32, t_max: f32) -> Option<PrimHit> {
+        self.traverse(triangles, ray, t_min, t_max, |_| {})
+    }
+
+    /// Like [`Bvh::intersect`], additionally invoking `visit` for every node
+    /// whose record is fetched. Used to record per-ray node-access traces
+    /// for the paper's §2.4 analytical model.
+    pub fn traverse(
+        &self,
+        triangles: &[Triangle],
+        ray: &Ray,
+        t_min: f32,
+        t_max: f32,
+        mut visit: impl FnMut(NodeId),
+    ) -> Option<PrimHit> {
+        // The root's own bounds are tested before any fetch (hardware keeps
+        // the world box in registers).
+        self.node(self.root).bounds().intersect(ray, t_min, t_max)?;
+        let mut best: Option<PrimHit> = None;
+        let mut limit = t_max;
+        let mut stack: Vec<(NodeId, f32)> = vec![(self.root, t_min)];
+        while let Some((id, t_enter)) = stack.pop() {
+            if t_enter > limit {
+                continue;
+            }
+            visit(id);
+            match self.node(id) {
+                WideNode::Leaf { first, count, .. } => {
+                    for &prim in self.leaf_prims(*first, *count) {
+                        if let Some(t) = triangles[prim as usize].intersect(ray, t_min, limit) {
+                            limit = t;
+                            best = Some(PrimHit { t, prim });
+                        }
+                    }
+                }
+                WideNode::Inner { child_bounds, children, .. } => {
+                    // Gather hit children with entry distances, then push
+                    // far-to-near so the nearest pops first.
+                    let mut hits: Vec<(NodeId, f32)> = Vec::with_capacity(children.len());
+                    for (cb, c) in child_bounds.iter().zip(children) {
+                        if let Some(t) = cb.intersect(ray, t_min, limit) {
+                            hits.push((*c, t));
+                        }
+                    }
+                    hits.sort_by(|a, b| b.1.total_cmp(&a.1));
+                    stack.extend(hits);
+                }
+            }
+        }
+        best
+    }
+
+    /// Any-hit query: `true` if something is hit in `(t_min, t_max)`.
+    /// Used for shadow rays; terminates at the first intersection.
+    pub fn occluded(&self, triangles: &[Triangle], ray: &Ray, t_min: f32, t_max: f32) -> bool {
+        let mut stack = vec![self.root];
+        if self.node(self.root).bounds().intersect(ray, t_min, t_max).is_none() {
+            return false;
+        }
+        while let Some(id) = stack.pop() {
+            match self.node(id) {
+                WideNode::Leaf { first, count, .. } => {
+                    for &prim in self.leaf_prims(*first, *count) {
+                        if triangles[prim as usize].intersect(ray, t_min, t_max).is_some() {
+                            return true;
+                        }
+                    }
+                }
+                WideNode::Inner { child_bounds, children, .. } => {
+                    for (cb, c) in child_bounds.iter().zip(children) {
+                        if cb.intersect(ray, t_min, t_max).is_some() {
+                            stack.push(*c);
+                        }
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Checks all structural invariants; see [`ValidateError`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    pub fn validate(&self, triangles: &[Triangle]) -> Result<(), ValidateError> {
+        // 1. Primitive coverage.
+        let mut occurrences = vec![0usize; triangles.len()];
+        for n in &self.nodes {
+            if let WideNode::Leaf { first, count, .. } = n {
+                for &p in self.leaf_prims(*first, *count) {
+                    occurrences[p as usize] += 1;
+                }
+            }
+        }
+        for (prim, &occ) in occurrences.iter().enumerate() {
+            if occ != 1 {
+                return Err(ValidateError::PrimitiveCoverage { prim: prim as u32, occurrences: occ });
+            }
+        }
+
+        // 2. Child bounds containment.
+        for (i, n) in self.nodes.iter().enumerate() {
+            if let WideNode::Inner { bounds, children, .. } = n {
+                for c in children {
+                    if !bounds.expanded(1e-4).contains_box(&self.node(*c).bounds()) {
+                        return Err(ValidateError::ChildBoundsEscape { parent: NodeId(i as u32), child: *c });
+                    }
+                }
+            }
+        }
+
+        // 3. Layout: sort by offset and check adjacency of records.
+        let mut order: Vec<NodeId> = (0..self.nodes.len() as u32).map(NodeId).collect();
+        order.sort_by_key(|n| self.addr(*n).offset);
+        for w in order.windows(2) {
+            if self.addr(w[0]).end() > self.addr(w[1]).offset {
+                return Err(ValidateError::LayoutOverlap { a: w[0], b: w[1] });
+            }
+        }
+
+        // 4. Treelet budgets and contiguity.
+        for (i, t) in self.partition.treelets().iter().enumerate() {
+            let tid = TreeletId(i as u32);
+            if t.nodes.len() > 1 && t.bytes > self.config.treelet_bytes {
+                return Err(ValidateError::TreeletOverBudget { treelet: tid, bytes: t.bytes });
+            }
+            let (start, end) = self.treelet_extents[i];
+            let member_bytes: u64 = t.nodes.iter().map(|n| self.addr(*n).size as u64).sum();
+            let in_range = t
+                .nodes
+                .iter()
+                .all(|n| self.addr(*n).offset >= start && self.addr(*n).end() <= end);
+            if !in_range || member_bytes != end - start {
+                return Err(ValidateError::TreeletNotContiguous { treelet: tid });
+            }
+        }
+
+        Ok(())
+    }
+}
+
+/// Brute-force closest hit, for differential testing of traversal.
+pub fn brute_force_intersect(triangles: &[Triangle], ray: &Ray, t_min: f32, t_max: f32) -> Option<PrimHit> {
+    let mut best: Option<PrimHit> = None;
+    let mut limit = t_max;
+    for (i, tri) in triangles.iter().enumerate() {
+        if let Some(t) = tri.intersect(ray, t_min, limit) {
+            limit = t;
+            best = Some(PrimHit { t, prim: i as u32 });
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtmath::{Vec3, XorShiftRng};
+    use rtscene::lumibench::{self, SceneId};
+    use rtscene::MaterialId;
+
+    fn grid_triangles(n: usize) -> Vec<Triangle> {
+        let mut tris = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                let o = Vec3::new(i as f32 * 2.0, 0.0, j as f32 * 2.0);
+                tris.push(Triangle::new(
+                    o,
+                    o + Vec3::new(1.0, 0.0, 0.0),
+                    o + Vec3::new(0.0, 0.0, 1.0),
+                    MaterialId::new(0),
+                ));
+            }
+        }
+        tris
+    }
+
+    #[test]
+    fn validates_on_grid_and_scene() {
+        let tris = grid_triangles(15);
+        let bvh = Bvh::build(&tris, &BvhConfig::default());
+        bvh.validate(&tris).expect("grid BVH is valid");
+
+        let scene = lumibench::build_scaled(SceneId::Spnza, 32);
+        let bvh = Bvh::build(scene.triangles(), &BvhConfig::default());
+        bvh.validate(scene.triangles()).expect("scene BVH is valid");
+    }
+
+    #[test]
+    fn traversal_matches_brute_force() {
+        let scene = lumibench::build_scaled(SceneId::Ref, 32);
+        let tris = scene.triangles();
+        let bvh = Bvh::build(tris, &BvhConfig::default());
+        let mut rng = XorShiftRng::new(77);
+        let mut hits = 0;
+        for i in 0..300 {
+            let ray = if i % 2 == 0 {
+                scene.camera().primary_ray(i % 17, i / 17, 17, 18, None)
+            } else {
+                Ray::new(
+                    Vec3::new(rng.range_f32(-6.0, 6.0), rng.range_f32(0.5, 5.0), rng.range_f32(-6.0, 6.0)),
+                    rng.unit_vector(),
+                )
+            };
+            let ours = bvh.intersect(tris, &ray, 1e-3, f32::INFINITY);
+            let reference = brute_force_intersect(tris, &ray, 1e-3, f32::INFINITY);
+            match (ours, reference) {
+                (Some(a), Some(b)) => {
+                    assert!((a.t - b.t).abs() < 1e-3, "t mismatch: {} vs {}", a.t, b.t);
+                    hits += 1;
+                }
+                (None, None) => {}
+                (a, b) => panic!("hit disagreement: {a:?} vs {b:?}"),
+            }
+        }
+        assert!(hits > 50, "expected many hits, got {hits}");
+    }
+
+    #[test]
+    fn occluded_agrees_with_intersect() {
+        let scene = lumibench::build_scaled(SceneId::Bunny, 32);
+        let tris = scene.triangles();
+        let bvh = Bvh::build(tris, &BvhConfig::default());
+        let mut rng = XorShiftRng::new(3);
+        for _ in 0..200 {
+            let ray = Ray::new(
+                Vec3::new(rng.range_f32(-4.0, 4.0), rng.range_f32(0.2, 3.0), rng.range_f32(-4.0, 4.0)),
+                rng.unit_vector(),
+            );
+            let hit = bvh.intersect(tris, &ray, 1e-3, 100.0).is_some();
+            assert_eq!(bvh.occluded(tris, &ray, 1e-3, 100.0), hit);
+        }
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let tris = grid_triangles(12);
+        let bvh = Bvh::build(&tris, &BvhConfig::default());
+        let s = bvh.stats();
+        assert_eq!(s.node_count, bvh.nodes().len());
+        assert!(s.leaf_count > 0 && s.leaf_count < s.node_count);
+        assert!(s.max_depth >= 2);
+        assert_eq!(s.total_bytes, bvh.total_bytes());
+        assert_eq!(s.treelet_count, bvh.partition().len());
+        // Total bytes equals the sum of all node records.
+        let layout = *bvh.config();
+        let sum: u64 = bvh.nodes().iter().map(|n| n.byte_size(&layout.layout) as u64).sum();
+        assert_eq!(s.total_bytes, sum);
+    }
+
+    #[test]
+    fn sah_cost_prefers_the_sah_build() {
+        // A deliberately unbalanced configuration (1-wide SAH sweep can't
+        // separate anything: force big leaves via tiny hard cap ordering)
+        // must not beat the default build; and cost must be positive and
+        // finite.
+        let tris = grid_triangles(12);
+        let good = Bvh::build(&tris, &BvhConfig::default());
+        let coarse = Bvh::build(
+            &tris,
+            &BvhConfig { sah_bins: 2, max_leaf_prims: 16, max_leaf_prims_hard: 16, ..Default::default() },
+        );
+        assert!(good.sah_cost() > 0.0);
+        assert!(good.sah_cost().is_finite());
+        assert!(
+            good.sah_cost() <= coarse.sah_cost() * 1.05,
+            "default build ({:.2}) should not lose to a coarse build ({:.2})",
+            good.sah_cost(),
+            coarse.sah_cost()
+        );
+    }
+
+    #[test]
+    fn treelet_extents_cover_image_without_gaps() {
+        let tris = grid_triangles(12);
+        let bvh = Bvh::build(&tris, &BvhConfig::default());
+        let mut extents: Vec<(u64, u64)> = (0..bvh.partition().len())
+            .map(|i| bvh.treelet_extent(TreeletId(i as u32)))
+            .collect();
+        extents.sort_unstable();
+        assert_eq!(extents.first().unwrap().0, 0);
+        assert_eq!(extents.last().unwrap().1, bvh.total_bytes());
+        for w in extents.windows(2) {
+            assert_eq!(w[0].1, w[1].0, "extents must tile the image");
+        }
+    }
+
+    #[test]
+    fn traverse_visits_root_first() {
+        let tris = grid_triangles(6);
+        let bvh = Bvh::build(&tris, &BvhConfig::default());
+        let ray = Ray::new(Vec3::new(5.0, 5.0, 5.0), Vec3::new(0.0, -1.0, 0.0));
+        let mut visited = Vec::new();
+        let _ = bvh.traverse(&tris, &ray, 1e-3, f32::INFINITY, |n| visited.push(n));
+        assert_eq!(visited.first(), Some(&bvh.root()));
+    }
+
+    #[test]
+    fn missing_ray_visits_nothing() {
+        let tris = grid_triangles(6);
+        let bvh = Bvh::build(&tris, &BvhConfig::default());
+        // Ray far away pointing away from the scene.
+        let ray = Ray::new(Vec3::new(1000.0, 1000.0, 1000.0), Vec3::new(1.0, 0.0, 0.0));
+        let mut visited = 0;
+        let hit = bvh.traverse(&tris, &ray, 1e-3, f32::INFINITY, |_| visited += 1);
+        assert!(hit.is_none());
+        assert_eq!(visited, 0, "root box test fails before any fetch");
+    }
+
+    #[test]
+    fn front_to_back_prunes_far_subtrees() {
+        // A ray hitting the nearest of a long row of triangles should visit
+        // far fewer nodes than the total.
+        let tris = grid_triangles(16);
+        let bvh = Bvh::build(&tris, &BvhConfig::default());
+        let ray = Ray::new(Vec3::new(0.2, 5.0, 0.2), Vec3::new(0.0, -1.0, 0.0));
+        let mut visited = 0;
+        let hit = bvh.traverse(&tris, &ray, 1e-3, f32::INFINITY, |_| visited += 1).unwrap();
+        assert!((hit.t - 5.0).abs() < 1e-4);
+        assert!(
+            visited < bvh.nodes().len() / 4,
+            "visited {visited} of {} nodes",
+            bvh.nodes().len()
+        );
+    }
+}

@@ -1,0 +1,106 @@
+/// Byte sizes of the BVH's node records — what one node visit moves
+/// through the memory hierarchy.
+///
+/// The default is the 4-wide layout of Benthin et al. used by Vulkan-Sim
+/// (128 B interior nodes, 48 B/triangle compressed leaves). The
+/// [`NodeLayout::compressed`] variant models the further-compressed wide
+/// nodes of Ylitie et al. (§7.3 of the paper: BVH compression "can be used
+/// in conjunction with our proposal for even larger performance
+/// improvements").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeLayout {
+    /// Bytes per interior node record.
+    pub inner_bytes: u32,
+    /// Fixed header bytes per leaf record.
+    pub leaf_header_bytes: u32,
+    /// Bytes per triangle inside a leaf record.
+    pub leaf_tri_bytes: u32,
+    /// Leaf records are padded to this granularity.
+    pub leaf_align_bytes: u32,
+}
+
+impl NodeLayout {
+    /// The Benthin-et-al.-style layout Vulkan-Sim uses (the default).
+    pub const fn wide() -> NodeLayout {
+        NodeLayout { inner_bytes: 128, leaf_header_bytes: 16, leaf_tri_bytes: 48, leaf_align_bytes: 64 }
+    }
+
+    /// A CWBVH-style compressed layout after Ylitie et al.: quantized
+    /// child boxes shrink interior nodes to 80 B and leaf triangles to
+    /// 32 B.
+    pub const fn compressed() -> NodeLayout {
+        NodeLayout { inner_bytes: 80, leaf_header_bytes: 16, leaf_tri_bytes: 32, leaf_align_bytes: 32 }
+    }
+}
+
+impl Default for NodeLayout {
+    fn default() -> NodeLayout {
+        NodeLayout::wide()
+    }
+}
+
+/// Build parameters for [`Bvh::build`](crate::Bvh::build).
+///
+/// The defaults mirror the paper's methodology: a 4-wide BVH whose treelets
+/// are sized to half a 16 KB L1 cache (§5), built with a 16-bin SAH sweep.
+///
+/// # Example
+///
+/// ```
+/// let cfg = rtbvh::BvhConfig { treelet_bytes: 4096, ..Default::default() };
+/// assert_eq!(cfg.sah_bins, 16);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BvhConfig {
+    /// Number of SAH bins per axis sweep.
+    pub sah_bins: usize,
+    /// Preferred maximum primitives per leaf (SAH may still merge more,
+    /// bounded by `max_leaf_prims_hard`).
+    pub max_leaf_prims: usize,
+    /// Hard cap on leaf size; ranges larger than this are always split.
+    pub max_leaf_prims_hard: usize,
+    /// Relative cost of a traversal step vs. a primitive intersection in
+    /// the SAH.
+    pub traversal_cost: f32,
+    /// Byte budget per treelet (default 8 KB = half of the simulated 16 KB
+    /// L1, the paper's choice enabling double-buffered treelet preloads).
+    pub treelet_bytes: u32,
+    /// Node record byte sizes (memory footprint model).
+    pub layout: NodeLayout,
+}
+
+impl Default for BvhConfig {
+    fn default() -> BvhConfig {
+        BvhConfig {
+            sah_bins: 16,
+            max_leaf_prims: 4,
+            max_leaf_prims_hard: 16,
+            traversal_cost: 1.0,
+            treelet_bytes: 8 * 1024,
+            layout: NodeLayout::wide(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_methodology() {
+        let c = BvhConfig::default();
+        assert_eq!(c.treelet_bytes, 8192);
+        assert_eq!(c.max_leaf_prims, 4);
+        assert!(c.max_leaf_prims_hard >= c.max_leaf_prims);
+        assert_eq!(c.layout, NodeLayout::wide());
+    }
+
+    #[test]
+    fn compressed_layout_is_strictly_smaller() {
+        let w = NodeLayout::wide();
+        let c = NodeLayout::compressed();
+        assert!(c.inner_bytes < w.inner_bytes);
+        assert!(c.leaf_tri_bytes < w.leaf_tri_bytes);
+        assert!(c.leaf_align_bytes <= w.leaf_align_bytes);
+    }
+}

@@ -1,0 +1,60 @@
+use std::fmt;
+
+/// Index of a node in a [`Bvh`](crate::Bvh)'s flattened node array.
+///
+/// A newtype so node indices cannot be confused with primitive indices or
+/// byte addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The raw array index.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node#{}", self.0)
+    }
+}
+
+/// Byte placement of one node in the BVH's flat memory image.
+///
+/// The simulator turns every node visit into cache accesses covering
+/// `[offset, offset + size)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeAddr {
+    /// Byte offset from the start of the BVH memory image.
+    pub offset: u64,
+    /// Size of the node record in bytes.
+    pub size: u32,
+}
+
+impl NodeAddr {
+    /// One-past-the-end byte offset.
+    #[inline]
+    pub fn end(&self) -> u64 {
+        self.offset + self.size as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let id = NodeId(7);
+        assert_eq!(id.index(), 7);
+        assert_eq!(id.to_string(), "node#7");
+    }
+
+    #[test]
+    fn addr_end() {
+        let a = NodeAddr { offset: 128, size: 64 };
+        assert_eq!(a.end(), 192);
+    }
+}

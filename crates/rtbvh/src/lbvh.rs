@@ -1,0 +1,154 @@
+//! LBVH: linear (Morton-ordered) BVH construction.
+//!
+//! The fast-build alternative to the binned-SAH sweep: sort primitives by
+//! the Morton code of their centroid and split ranges at the highest
+//! differing code bit (Lauterbach et al. / Karras). Build time is
+//! `O(n log n)` with trivial constants, at the cost of tree quality — the
+//! classic build-speed vs. traversal-quality trade-off, measurable here
+//! against [`build2`](crate::build2) via [`Bvh::sah_cost`](crate::Bvh::sah_cost)
+//! and the simulator.
+//!
+//! The output is a [`Bvh2`] with the same invariants as the SAH builder's,
+//! so the wide collapse, treelet partitioning and byte layout are shared.
+
+use rtmath::{morton, Aabb};
+use rtscene::Triangle;
+
+use crate::build2::{Bvh2, Node2};
+use crate::BvhConfig;
+
+/// Builds a binary BVH over `triangles` by Morton-code splitting.
+///
+/// # Panics
+///
+/// Panics if `triangles` is empty.
+pub fn build(triangles: &[Triangle], config: &BvhConfig) -> Bvh2 {
+    assert!(!triangles.is_empty(), "cannot build a BVH over zero triangles");
+    let scene_bounds = triangles.iter().fold(Aabb::EMPTY, |b, t| b.union(&t.bounds()));
+    // (morton code, primitive index), sorted by code.
+    let mut keyed: Vec<(u64, u32)> = triangles
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            (morton::encode_point(t.centroid(), scene_bounds.min, scene_bounds.max, 21), i as u32)
+        })
+        .collect();
+    keyed.sort_unstable();
+
+    let mut nodes = Vec::with_capacity(2 * triangles.len());
+    let root = build_range(&mut nodes, triangles, &keyed, 0, keyed.len(), 62, config);
+    let prim_indices = keyed.iter().map(|(_, i)| *i).collect();
+    Bvh2 { nodes, root, prim_indices }
+}
+
+/// Recursive range builder: split where the `bit`-th code bit flips.
+fn build_range(
+    nodes: &mut Vec<Node2>,
+    triangles: &[Triangle],
+    keyed: &[(u64, u32)],
+    first: usize,
+    count: usize,
+    bit: i32,
+    config: &BvhConfig,
+) -> u32 {
+    let bounds = keyed[first..first + count]
+        .iter()
+        .fold(Aabb::EMPTY, |b, (_, i)| b.union(&triangles[*i as usize].bounds()));
+
+    if count <= config.max_leaf_prims || bit < 0 {
+        if count <= config.max_leaf_prims_hard {
+            nodes.push(Node2::Leaf { bounds, first: first as u32, count: count as u32 });
+            return (nodes.len() - 1) as u32;
+        }
+        // Codes exhausted but the leaf is oversized: median split.
+        let mid = first + count / 2;
+        let left = build_range(nodes, triangles, keyed, first, mid - first, bit, config);
+        let right = build_range(nodes, triangles, keyed, mid, first + count - mid, bit, config);
+        nodes.push(Node2::Inner { bounds, left, right });
+        return (nodes.len() - 1) as u32;
+    }
+
+    // Find the split point: the first element whose `bit` is set (the
+    // range is sorted, so this is a partition point).
+    let mask = 1u64 << bit;
+    let slice = &keyed[first..first + count];
+    let offset = slice.partition_point(|(code, _)| code & mask == 0);
+    if offset == 0 || offset == count {
+        // All codes agree at this bit; descend to the next one.
+        return build_range(nodes, triangles, keyed, first, count, bit - 1, config);
+    }
+    let mid = first + offset;
+    let left = build_range(nodes, triangles, keyed, first, mid - first, bit - 1, config);
+    let right = build_range(nodes, triangles, keyed, mid, first + count - mid, bit - 1, config);
+    nodes.push(Node2::Inner { bounds, left, right });
+    (nodes.len() - 1) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{brute_force_intersect, Bvh, Builder};
+    use rtmath::{Ray, Vec3, XorShiftRng};
+    use rtscene::lumibench::{self, SceneId};
+
+    fn scene() -> rtscene::Scene {
+        lumibench::build_scaled(SceneId::Crnvl, 16)
+    }
+
+    #[test]
+    fn lbvh_is_a_valid_bvh() {
+        let s = scene();
+        let bvh = Bvh::build_with(s.triangles(), &BvhConfig::default(), Builder::Lbvh);
+        bvh.validate(s.triangles()).expect("LBVH must satisfy all BVH invariants");
+    }
+
+    #[test]
+    fn lbvh_traversal_matches_brute_force() {
+        let s = scene();
+        let tris = s.triangles();
+        let bvh = Bvh::build_with(tris, &BvhConfig::default(), Builder::Lbvh);
+        let mut rng = XorShiftRng::new(0x1B);
+        for i in 0..150 {
+            let ray = if i % 2 == 0 {
+                s.camera().primary_ray(i % 12, i / 12, 12, 13, None)
+            } else {
+                Ray::new(
+                    Vec3::new(rng.range_f32(-15.0, 15.0), rng.range_f32(0.2, 8.0), rng.range_f32(-15.0, 15.0)),
+                    rng.unit_vector(),
+                )
+            };
+            let ours = bvh.intersect(tris, &ray, 1e-3, f32::INFINITY);
+            let reference = brute_force_intersect(tris, &ray, 1e-3, f32::INFINITY);
+            assert_eq!(ours.map(|h| h.prim), reference.map(|h| h.prim), "ray {i}");
+        }
+    }
+
+    #[test]
+    fn sah_build_has_lower_cost_than_lbvh() {
+        // The entire point of the SAH: better expected traversal cost.
+        let s = scene();
+        let sah = Bvh::build(s.triangles(), &BvhConfig::default());
+        let lbvh = Bvh::build_with(s.triangles(), &BvhConfig::default(), Builder::Lbvh);
+        assert!(
+            sah.sah_cost() < lbvh.sah_cost(),
+            "SAH cost {:.2} should beat LBVH cost {:.2}",
+            sah.sah_cost(),
+            lbvh.sah_cost()
+        );
+    }
+
+    #[test]
+    fn lbvh_is_deterministic() {
+        let s = scene();
+        let a = Bvh::build_with(s.triangles(), &BvhConfig::default(), Builder::Lbvh);
+        let b = Bvh::build_with(s.triangles(), &BvhConfig::default(), Builder::Lbvh);
+        assert_eq!(a.nodes().len(), b.nodes().len());
+        assert_eq!(a.total_bytes(), b.total_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero triangles")]
+    fn empty_input_panics() {
+        let _ = build(&[], &BvhConfig::default());
+    }
+}

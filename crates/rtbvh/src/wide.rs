@@ -1,0 +1,228 @@
+//! 4-wide BVH nodes and the BVH2 → BVH4 collapse.
+
+use rtmath::Aabb;
+
+use crate::build2::{Bvh2, Node2};
+use crate::NodeId;
+
+/// Maximum branching factor of the wide BVH (the paper uses a 4-wide
+/// Embree BVH).
+pub const WIDE_WIDTH: usize = 4;
+
+
+/// Reference from an interior node to one of its children.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChildRef {
+    /// The child node (interior or leaf).
+    pub node: NodeId,
+}
+
+/// A node of the flattened 4-wide BVH.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WideNode {
+    /// Interior node: up to four children with their boxes stored inline
+    /// (a visit tests all child boxes with one memory fetch).
+    Inner {
+        /// Bounds of the whole subtree.
+        bounds: Aabb,
+        /// Child subtree bounds, parallel to `children`.
+        child_bounds: Vec<Aabb>,
+        /// Child node ids (1..=4 entries).
+        children: Vec<NodeId>,
+    },
+    /// Leaf node holding `count` primitives starting at `first` in the
+    /// BVH's primitive-index permutation.
+    Leaf {
+        /// Bounds of the contained primitives.
+        bounds: Aabb,
+        /// First index into the primitive permutation.
+        first: u32,
+        /// Number of primitives.
+        count: u32,
+    },
+}
+
+impl WideNode {
+    /// The node's bounds.
+    pub fn bounds(&self) -> Aabb {
+        match self {
+            WideNode::Inner { bounds, .. } | WideNode::Leaf { bounds, .. } => *bounds,
+        }
+    }
+
+    /// `true` for leaf nodes.
+    pub fn is_leaf(&self) -> bool {
+        matches!(self, WideNode::Leaf { .. })
+    }
+
+    /// Byte size of this node's memory record under `layout`.
+    pub fn byte_size(&self, layout: &crate::NodeLayout) -> u32 {
+        match self {
+            WideNode::Inner { .. } => layout.inner_bytes,
+            WideNode::Leaf { count, .. } => {
+                let raw = layout.leaf_header_bytes + layout.leaf_tri_bytes * count;
+                raw.div_ceil(layout.leaf_align_bytes) * layout.leaf_align_bytes
+            }
+        }
+    }
+}
+
+/// Collapses a binary BVH into a 4-wide BVH.
+///
+/// Standard greedy collapse: starting from a node's two children, the child
+/// subtree with the largest surface area is repeatedly replaced by its own
+/// two children until the node has [`WIDE_WIDTH`] children (or only leaves
+/// remain). Returns the node arena and the root id; leaves keep referencing
+/// the BVH2's primitive permutation.
+pub fn collapse(bvh2: &Bvh2) -> (Vec<WideNode>, NodeId) {
+    let mut nodes = Vec::with_capacity(bvh2.nodes.len());
+    let root = collapse_node(bvh2, bvh2.root, &mut nodes);
+    (nodes, root)
+}
+
+fn collapse_node(bvh2: &Bvh2, idx: u32, out: &mut Vec<WideNode>) -> NodeId {
+    match &bvh2.nodes[idx as usize] {
+        Node2::Leaf { bounds, first, count } => {
+            out.push(WideNode::Leaf { bounds: *bounds, first: *first, count: *count });
+            NodeId((out.len() - 1) as u32)
+        }
+        Node2::Inner { bounds, left, right } => {
+            // Gather up to WIDE_WIDTH grandchildren, expanding the largest
+            // inner child each step.
+            let mut slots: Vec<u32> = vec![*left, *right];
+            while slots.len() < WIDE_WIDTH {
+                let expandable = slots
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &s)| matches!(bvh2.nodes[s as usize], Node2::Inner { .. }))
+                    .max_by(|(_, &a), (_, &b)| {
+                        bvh2.nodes[a as usize]
+                            .bounds()
+                            .surface_area()
+                            .total_cmp(&bvh2.nodes[b as usize].bounds().surface_area())
+                    })
+                    .map(|(i, _)| i);
+                let Some(i) = expandable else { break };
+                if let Node2::Inner { left, right, .. } = bvh2.nodes[slots[i] as usize] {
+                    slots[i] = left;
+                    slots.push(right);
+                }
+            }
+
+            let mut children = Vec::with_capacity(slots.len());
+            let mut child_bounds = Vec::with_capacity(slots.len());
+            for s in &slots {
+                child_bounds.push(bvh2.nodes[*s as usize].bounds());
+                children.push(collapse_node(bvh2, *s, out));
+            }
+            out.push(WideNode::Inner { bounds: *bounds, child_bounds, children });
+            NodeId((out.len() - 1) as u32)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build2;
+    use crate::BvhConfig;
+    use rtmath::Vec3;
+    use rtscene::{MaterialId, Triangle};
+
+    fn grid_triangles(n: usize) -> Vec<Triangle> {
+        let mut tris = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                let o = Vec3::new(i as f32 * 2.0, 0.0, j as f32 * 2.0);
+                tris.push(Triangle::new(
+                    o,
+                    o + Vec3::new(1.0, 0.0, 0.0),
+                    o + Vec3::new(0.0, 0.0, 1.0),
+                    MaterialId::new(0),
+                ));
+            }
+        }
+        tris
+    }
+
+    fn build_wide(n: usize) -> (Vec<WideNode>, NodeId) {
+        let tris = grid_triangles(n);
+        let b2 = build2::build(&tris, &BvhConfig::default());
+        collapse(&b2)
+    }
+
+    #[test]
+    fn inner_nodes_have_2_to_4_children() {
+        let (nodes, _) = build_wide(12);
+        let mut saw_four = false;
+        for n in &nodes {
+            if let WideNode::Inner { children, child_bounds, .. } = n {
+                assert!((2..=WIDE_WIDTH).contains(&children.len()));
+                assert_eq!(children.len(), child_bounds.len());
+                saw_four |= children.len() == WIDE_WIDTH;
+            }
+        }
+        assert!(saw_four, "a 144-triangle tree should produce 4-wide nodes");
+    }
+
+    #[test]
+    fn collapse_preserves_primitive_count() {
+        let (nodes, _) = build_wide(11);
+        let total: u32 = nodes
+            .iter()
+            .map(|n| match n {
+                WideNode::Leaf { count, .. } => *count,
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(total, 121);
+    }
+
+    #[test]
+    fn child_bounds_match_child_nodes() {
+        let (nodes, _) = build_wide(8);
+        for n in &nodes {
+            if let WideNode::Inner { child_bounds, children, .. } = n {
+                for (cb, c) in child_bounds.iter().zip(children) {
+                    assert_eq!(*cb, nodes[c.index()].bounds());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parent_bounds_contain_children() {
+        let (nodes, root) = build_wide(8);
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            if let WideNode::Inner { bounds, children, .. } = &nodes[id.index()] {
+                for c in children {
+                    assert!(bounds.contains_box(&nodes[c.index()].bounds()));
+                    stack.push(*c);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn byte_sizes() {
+        let wide = crate::NodeLayout::wide();
+        let inner = WideNode::Inner { bounds: Aabb::EMPTY, child_bounds: vec![], children: vec![] };
+        assert_eq!(inner.byte_size(&wide), 128);
+        let leaf1 = WideNode::Leaf { bounds: Aabb::EMPTY, first: 0, count: 1 };
+        assert_eq!(leaf1.byte_size(&wide), 64); // 16 + 48 = 64
+        let leaf4 = WideNode::Leaf { bounds: Aabb::EMPTY, first: 0, count: 4 };
+        assert_eq!(leaf4.byte_size(&wide), 256); // 16 + 192 = 208 -> 256
+        // Compressed records are smaller across the board.
+        let comp = crate::NodeLayout::compressed();
+        assert_eq!(inner.byte_size(&comp), 80);
+        assert!(leaf4.byte_size(&comp) < leaf4.byte_size(&wide));
+    }
+
+    #[test]
+    fn single_leaf_tree_collapses_to_single_leaf() {
+        let (nodes, root) = build_wide(1);
+        assert_eq!(nodes.len(), 1);
+        assert!(nodes[root.index()].is_leaf());
+    }
+}

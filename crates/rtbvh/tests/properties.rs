@@ -1,0 +1,211 @@
+//! Property-based tests: random triangle soups must always produce valid
+//! BVHs whose traversal agrees with brute force, under any treelet budget.
+
+use proptest::prelude::*;
+use rtbvh::{brute_force_intersect, Bvh, BvhConfig};
+use rtmath::{Ray, Vec3, XorShiftRng};
+use rtscene::{MaterialId, Triangle};
+
+/// Deterministic random soup from a seed: mixes clustered and scattered
+/// triangles of varying sizes.
+fn random_soup(seed: u64, count: usize) -> Vec<Triangle> {
+    let mut rng = XorShiftRng::new(seed);
+    let mut tris = Vec::with_capacity(count);
+    while tris.len() < count {
+        let cluster = Vec3::new(
+            rng.range_f32(-50.0, 50.0),
+            rng.range_f32(-50.0, 50.0),
+            rng.range_f32(-50.0, 50.0),
+        );
+        let spread = rng.range_f32(0.1, 10.0);
+        for _ in 0..rng.below(8) + 1 {
+            if tris.len() >= count {
+                break;
+            }
+            let v0 = cluster + rng.unit_vector() * spread;
+            let t = Triangle::new(
+                v0,
+                v0 + rng.unit_vector() * rng.range_f32(0.05, 2.0),
+                v0 + rng.unit_vector() * rng.range_f32(0.05, 2.0),
+                MaterialId::new(0),
+            );
+            if !t.is_degenerate() {
+                tris.push(t);
+            }
+        }
+    }
+    tris
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_soups_build_valid_bvhs(seed in any::<u64>(), count in 1usize..300) {
+        let tris = random_soup(seed, count);
+        let bvh = Bvh::build(&tris, &BvhConfig::default());
+        prop_assert!(bvh.validate(&tris).is_ok());
+        let layout = bvh.config().layout;
+        let total: u64 = bvh.nodes().iter().map(|n| n.byte_size(&layout) as u64).sum();
+        prop_assert_eq!(total, bvh.total_bytes());
+    }
+
+    #[test]
+    fn traversal_matches_brute_force_on_random_rays(seed in any::<u64>()) {
+        let tris = random_soup(seed, 120);
+        let bvh = Bvh::build(&tris, &BvhConfig::default());
+        let mut rng = XorShiftRng::new(seed ^ 0xDEAD_BEEF);
+        for _ in 0..40 {
+            let origin = Vec3::new(
+                rng.range_f32(-80.0, 80.0),
+                rng.range_f32(-80.0, 80.0),
+                rng.range_f32(-80.0, 80.0),
+            );
+            let ray = Ray::new(origin, rng.unit_vector());
+            let ours = bvh.intersect(&tris, &ray, 1e-3, f32::INFINITY);
+            let reference = brute_force_intersect(&tris, &ray, 1e-3, f32::INFINITY);
+            match (ours, reference) {
+                (Some(a), Some(b)) => prop_assert!((a.t - b.t).abs() < 1e-2 * b.t.max(1.0)),
+                (None, None) => {}
+                (a, b) => prop_assert!(false, "disagreement {a:?} vs {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn any_treelet_budget_partitions_all_nodes(
+        seed in any::<u64>(),
+        budget in 256u32..32_768,
+    ) {
+        let tris = random_soup(seed, 150);
+        let bvh = Bvh::build(&tris, &BvhConfig { treelet_bytes: budget, ..Default::default() });
+        prop_assert!(bvh.validate(&tris).is_ok());
+        // Every node assigned; every multi-node treelet within budget.
+        let assigned: usize = bvh.partition().treelets().iter().map(|t| t.nodes.len()).sum();
+        prop_assert_eq!(assigned, bvh.nodes().len());
+        for t in bvh.partition().treelets() {
+            prop_assert!(t.nodes.len() == 1 || t.bytes <= budget);
+        }
+    }
+
+    #[test]
+    fn occlusion_agrees_with_intersection(seed in any::<u64>()) {
+        let tris = random_soup(seed, 80);
+        let bvh = Bvh::build(&tris, &BvhConfig::default());
+        let mut rng = XorShiftRng::new(seed ^ 0xFEED);
+        for _ in 0..30 {
+            let ray = Ray::new(
+                Vec3::new(rng.range_f32(-60.0, 60.0), rng.range_f32(-60.0, 60.0), rng.range_f32(-60.0, 60.0)),
+                rng.unit_vector(),
+            );
+            let hit = bvh.intersect(&tris, &ray, 1e-3, 500.0).is_some();
+            prop_assert_eq!(bvh.occluded(&tris, &ray, 1e-3, 500.0), hit);
+        }
+    }
+}
+
+#[test]
+fn builds_are_deterministic() {
+    let tris = random_soup(42, 200);
+    let a = Bvh::build(&tris, &BvhConfig::default());
+    let b = Bvh::build(&tris, &BvhConfig::default());
+    assert_eq!(a.nodes().len(), b.nodes().len());
+    assert_eq!(a.total_bytes(), b.total_bytes());
+    assert_eq!(a.partition().len(), b.partition().len());
+    for i in 0..a.nodes().len() {
+        let id = rtbvh::NodeId(i as u32);
+        assert_eq!(a.addr(id), b.addr(id));
+        assert_eq!(a.treelet_of(id), b.treelet_of(id));
+    }
+}
+
+#[test]
+fn larger_leaves_shrink_the_node_count() {
+    let tris = random_soup(7, 400);
+    let small = Bvh::build(&tris, &BvhConfig { max_leaf_prims: 1, max_leaf_prims_hard: 4, ..Default::default() });
+    let large = Bvh::build(&tris, &BvhConfig { max_leaf_prims: 8, max_leaf_prims_hard: 16, ..Default::default() });
+    assert!(
+        large.stats().node_count < small.stats().node_count,
+        "8-prim leaves ({}) should need fewer nodes than 1-prim leaves ({})",
+        large.stats().node_count,
+        small.stats().node_count
+    );
+    small.validate(&tris).unwrap();
+    large.validate(&tris).unwrap();
+}
+
+#[test]
+fn depth_is_logarithmic_for_uniform_geometry() {
+    // A 32x32 grid of uniform triangles: a sane SAH build must stay well
+    // under pathological (linear) depth.
+    let mut tris = Vec::new();
+    for i in 0..32 {
+        for j in 0..32 {
+            let o = rtmath::Vec3::new(i as f32 * 2.0, 0.0, j as f32 * 2.0);
+            tris.push(rtscene::Triangle::new(
+                o,
+                o + rtmath::Vec3::new(1.0, 0.0, 0.0),
+                o + rtmath::Vec3::new(0.0, 0.0, 1.0),
+                rtscene::MaterialId::new(0),
+            ));
+        }
+    }
+    let bvh = Bvh::build(&tris, &BvhConfig::default());
+    let depth = bvh.stats().max_depth;
+    assert!(depth <= 12, "1024 uniform triangles built to depth {depth}");
+}
+
+#[test]
+fn refit_tracks_moving_geometry() {
+    use rtmath::Ray;
+    let mut tris = random_soup(11, 200);
+    let mut bvh = Bvh::build(&tris, &BvhConfig::default());
+    bvh.validate(&tris).unwrap();
+    // Move every triangle by a per-cluster offset and refit.
+    for (i, t) in tris.iter_mut().enumerate() {
+        let offset = Vec3::new((i % 7) as f32 * 0.8, ((i / 7) % 5) as f32 * -0.6, 0.3);
+        *t = rtscene::Triangle::new(t.v0 + offset, t.v1 + offset, t.v2 + offset, t.material);
+    }
+    bvh.refit(&tris);
+    bvh.validate(&tris).expect("refit BVH keeps all invariants");
+    // Traversal over the moved geometry matches brute force.
+    let mut rng = XorShiftRng::new(0xF17);
+    for _ in 0..60 {
+        let ray = Ray::new(
+            Vec3::new(rng.range_f32(-70.0, 70.0), rng.range_f32(-70.0, 70.0), rng.range_f32(-70.0, 70.0)),
+            rng.unit_vector(),
+        );
+        let ours = bvh.intersect(&tris, &ray, 1e-3, f32::INFINITY);
+        let reference = brute_force_intersect(&tris, &ray, 1e-3, f32::INFINITY);
+        assert_eq!(ours.map(|h| h.prim), reference.map(|h| h.prim));
+    }
+}
+
+#[test]
+fn refit_preserves_layout_and_treelets() {
+    let mut tris = random_soup(5, 150);
+    let mut bvh = Bvh::build(&tris, &BvhConfig::default());
+    let bytes = bvh.total_bytes();
+    let treelets = bvh.partition().len();
+    let addr0 = bvh.addr(rtbvh::NodeId(0));
+    for t in tris.iter_mut() {
+        *t = rtscene::Triangle::new(
+            t.v0 * 1.1,
+            t.v1 * 1.1,
+            t.v2 * 1.1,
+            t.material,
+        );
+    }
+    bvh.refit(&tris);
+    assert_eq!(bvh.total_bytes(), bytes);
+    assert_eq!(bvh.partition().len(), treelets);
+    assert_eq!(bvh.addr(rtbvh::NodeId(0)), addr0);
+}
+
+#[test]
+#[should_panic(expected = "same primitive count")]
+fn refit_rejects_mismatched_input() {
+    let tris = random_soup(3, 50);
+    let mut bvh = Bvh::build(&tris, &BvhConfig::default());
+    bvh.refit(&tris[..20]);
+}

@@ -1,0 +1,274 @@
+use std::fmt;
+
+use crate::{Axis, Ray, Vec3};
+
+/// An axis-aligned bounding box.
+///
+/// The default value is the *empty* box (`min = +inf`, `max = -inf`) which is
+/// the identity element of [`Aabb::union`], so boxes can be folded from an
+/// iterator of primitives without special-casing the first element.
+///
+/// # Example
+///
+/// ```
+/// use rtmath::{Aabb, Vec3};
+/// let a = Aabb::from_points(&[Vec3::ZERO, Vec3::new(1.0, 2.0, 3.0)]);
+/// assert_eq!(a.extent(), Vec3::new(1.0, 2.0, 3.0));
+/// assert_eq!(a.surface_area(), 2.0 * (1.0 * 2.0 + 2.0 * 3.0 + 3.0 * 1.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Aabb {
+    /// Minimum corner.
+    pub min: Vec3,
+    /// Maximum corner.
+    pub max: Vec3,
+}
+
+impl Default for Aabb {
+    fn default() -> Aabb {
+        Aabb::EMPTY
+    }
+}
+
+impl Aabb {
+    /// The empty box: union identity, contains nothing.
+    pub const EMPTY: Aabb = Aabb {
+        min: Vec3::splat(f32::INFINITY),
+        max: Vec3::splat(f32::NEG_INFINITY),
+    };
+
+    /// Creates a box from its two corners.
+    #[inline]
+    pub const fn new(min: Vec3, max: Vec3) -> Aabb {
+        Aabb { min, max }
+    }
+
+    /// Smallest box containing all `points`.
+    pub fn from_points(points: &[Vec3]) -> Aabb {
+        points.iter().fold(Aabb::EMPTY, |b, &p| b.union_point(p))
+    }
+
+    /// `true` if the box contains no points (any `min > max`).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.min.x > self.max.x || self.min.y > self.max.y || self.min.z > self.max.z
+    }
+
+    /// Union with another box.
+    #[inline]
+    pub fn union(&self, other: &Aabb) -> Aabb {
+        Aabb { min: self.min.min(other.min), max: self.max.max(other.max) }
+    }
+
+    /// Smallest box containing `self` and the point `p`.
+    #[inline]
+    pub fn union_point(&self, p: Vec3) -> Aabb {
+        Aabb { min: self.min.min(p), max: self.max.max(p) }
+    }
+
+    /// Extent (max − min), clamped to zero for empty boxes.
+    #[inline]
+    pub fn extent(&self) -> Vec3 {
+        (self.max - self.min).max(Vec3::ZERO)
+    }
+
+    /// Center point of the box.
+    #[inline]
+    pub fn centroid(&self) -> Vec3 {
+        (self.min + self.max) * 0.5
+    }
+
+    /// Surface area; zero for empty boxes. Used by the SAH builder.
+    #[inline]
+    pub fn surface_area(&self) -> f32 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        let e = self.extent();
+        2.0 * (e.x * e.y + e.y * e.z + e.z * e.x)
+    }
+
+    /// Axis along which the box is widest.
+    #[inline]
+    pub fn longest_axis(&self) -> Axis {
+        self.extent().max_axis()
+    }
+
+    /// `true` if `p` lies inside or on the boundary of the box.
+    #[inline]
+    pub fn contains(&self, p: Vec3) -> bool {
+        p.x >= self.min.x
+            && p.x <= self.max.x
+            && p.y >= self.min.y
+            && p.y <= self.max.y
+            && p.z >= self.min.z
+            && p.z <= self.max.z
+    }
+
+    /// `true` if `other` is fully inside `self`.
+    #[inline]
+    pub fn contains_box(&self, other: &Aabb) -> bool {
+        other.is_empty() || (self.contains(other.min) && self.contains(other.max))
+    }
+
+    /// Grows the box by `amount` on every side.
+    #[inline]
+    pub fn expanded(&self, amount: f32) -> Aabb {
+        Aabb {
+            min: self.min - Vec3::splat(amount),
+            max: self.max + Vec3::splat(amount),
+        }
+    }
+
+    /// Slab test.
+    ///
+    /// Returns the entry distance `t` (clamped to `t_min`) if the ray hits
+    /// the box within `[t_min, t_max]`, otherwise `None`. The entry distance
+    /// is what hardware RT units report to order child visits front-to-back.
+    ///
+    /// Zero direction components are handled explicitly: a ray travelling
+    /// parallel to a slab counts as inside when its origin lies on the
+    /// closed slab interval (the naive `0 * inf = NaN` formulation silently
+    /// misses rays whose origin sits exactly on a box face, which happens
+    /// constantly with axis-aligned architectural geometry).
+    #[inline]
+    pub fn intersect(&self, ray: &Ray, t_min: f32, t_max: f32) -> Option<f32> {
+        let mut enter = t_min;
+        let mut exit = t_max;
+        for axis in 0..3 {
+            let o = ray.origin[axis];
+            let d = ray.dir[axis];
+            if d == 0.0 {
+                if o < self.min[axis] || o > self.max[axis] {
+                    return None;
+                }
+            } else {
+                let inv = ray.inv_dir[axis];
+                let (t0, t1) = {
+                    let a = (self.min[axis] - o) * inv;
+                    let b = (self.max[axis] - o) * inv;
+                    if a <= b {
+                        (a, b)
+                    } else {
+                        (b, a)
+                    }
+                };
+                enter = enter.max(t0);
+                exit = exit.min(t1);
+                if enter > exit {
+                    return None;
+                }
+            }
+        }
+        Some(enter)
+    }
+}
+
+impl fmt::Display for Aabb {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Aabb[{} .. {}]", self.min, self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_box() -> Aabb {
+        Aabb::new(Vec3::splat(-1.0), Vec3::splat(1.0))
+    }
+
+    #[test]
+    fn empty_box_properties() {
+        let e = Aabb::EMPTY;
+        assert!(e.is_empty());
+        assert_eq!(e.surface_area(), 0.0);
+        assert_eq!(e.extent(), Vec3::ZERO);
+        assert_eq!(Aabb::default(), e);
+    }
+
+    #[test]
+    fn union_identity() {
+        let b = unit_box();
+        assert_eq!(Aabb::EMPTY.union(&b), b);
+        assert_eq!(b.union(&Aabb::EMPTY), b);
+    }
+
+    #[test]
+    fn union_commutes_and_contains_operands() {
+        let a = Aabb::new(Vec3::ZERO, Vec3::ONE);
+        let b = Aabb::new(Vec3::splat(-2.0), Vec3::splat(-1.0));
+        let u = a.union(&b);
+        assert_eq!(u, b.union(&a));
+        assert!(u.contains_box(&a));
+        assert!(u.contains_box(&b));
+    }
+
+    #[test]
+    fn from_points_bounds_all() {
+        let pts = [Vec3::new(1.0, -2.0, 0.5), Vec3::new(-1.0, 4.0, 2.0), Vec3::ZERO];
+        let b = Aabb::from_points(&pts);
+        for p in pts {
+            assert!(b.contains(p));
+        }
+        assert_eq!(b.min, Vec3::new(-1.0, -2.0, 0.0));
+        assert_eq!(b.max, Vec3::new(1.0, 4.0, 2.0));
+    }
+
+    #[test]
+    fn surface_area_of_unit_cube() {
+        let b = Aabb::new(Vec3::ZERO, Vec3::ONE);
+        assert_eq!(b.surface_area(), 6.0);
+    }
+
+    #[test]
+    fn centroid_and_longest_axis() {
+        let b = Aabb::new(Vec3::ZERO, Vec3::new(1.0, 4.0, 2.0));
+        assert_eq!(b.centroid(), Vec3::new(0.5, 2.0, 1.0));
+        assert_eq!(b.longest_axis(), Axis::Y);
+    }
+
+    #[test]
+    fn ray_hits_box_head_on() {
+        let r = Ray::new(Vec3::new(0.0, 0.0, -5.0), Vec3::new(0.0, 0.0, 1.0));
+        assert_eq!(unit_box().intersect(&r, 0.0, f32::INFINITY), Some(4.0));
+    }
+
+    #[test]
+    fn ray_misses_box() {
+        let r = Ray::new(Vec3::new(0.0, 5.0, -5.0), Vec3::new(0.0, 0.0, 1.0));
+        assert_eq!(unit_box().intersect(&r, 0.0, f32::INFINITY), None);
+    }
+
+    #[test]
+    fn ray_starting_inside_reports_tmin() {
+        let r = Ray::new(Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0));
+        assert_eq!(unit_box().intersect(&r, 0.0, f32::INFINITY), Some(0.0));
+    }
+
+    #[test]
+    fn intersection_respects_t_interval() {
+        let r = Ray::new(Vec3::new(0.0, 0.0, -5.0), Vec3::new(0.0, 0.0, 1.0));
+        // Box entry at t=4 lies outside [0, 3].
+        assert_eq!(unit_box().intersect(&r, 0.0, 3.0), None);
+        // And outside [7, inf): box exit is at t=6.
+        assert_eq!(unit_box().intersect(&r, 7.0, f32::INFINITY), None);
+    }
+
+    #[test]
+    fn axis_aligned_ray_with_zero_components() {
+        // Ray parallel to a face but inside the slab: must still hit.
+        let r = Ray::new(Vec3::new(0.5, 0.0, -5.0), Vec3::new(0.0, 0.0, 1.0));
+        assert!(unit_box().intersect(&r, 0.0, f32::INFINITY).is_some());
+        // Parallel and outside the slab: must miss.
+        let r2 = Ray::new(Vec3::new(1.5, 0.0, -5.0), Vec3::new(0.0, 0.0, 1.0));
+        assert!(unit_box().intersect(&r2, 0.0, f32::INFINITY).is_none());
+    }
+
+    #[test]
+    fn expanded_grows_every_side() {
+        let b = unit_box().expanded(0.5);
+        assert_eq!(b.min, Vec3::splat(-1.5));
+        assert_eq!(b.max, Vec3::splat(1.5));
+    }
+}

@@ -1,0 +1,45 @@
+//! Vector math substrate for the treelet-rt GPU ray-tracing simulator.
+//!
+//! This crate provides the small, allocation-free geometric types every other
+//! crate in the workspace builds on:
+//!
+//! * [`Vec3`] — a 3-component `f32` vector with the usual arithmetic,
+//!   products and reflection/refraction helpers used by path tracing.
+//! * [`Ray`] — origin + direction with precomputed reciprocal direction for
+//!   fast slab tests, plus the `[t_min, t_max]` interval.
+//! * [`Aabb`] — axis-aligned bounding box with surface area, union and the
+//!   branchless slab intersection test used by BVH traversal.
+//! * [`Onb`] — an orthonormal basis for sampling directions around a normal.
+//! * [`rng`] — a tiny deterministic xorshift PRNG so scene generation and
+//!   workloads are bit-reproducible across runs (a requirement for a
+//!   cycle-level simulator whose outputs must be comparable run-to-run).
+//!
+//! # Example
+//!
+//! ```
+//! use rtmath::{Aabb, Ray, Vec3};
+//!
+//! let bbox = Aabb::new(Vec3::splat(-1.0), Vec3::splat(1.0));
+//! let ray = Ray::new(Vec3::new(0.0, 0.0, -5.0), Vec3::new(0.0, 0.0, 1.0));
+//! let hit = bbox.intersect(&ray, 0.0, f32::INFINITY);
+//! assert_eq!(hit, Some(4.0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod aabb;
+pub mod morton;
+mod onb;
+mod ray;
+pub mod rng;
+mod vec3;
+
+pub use aabb::Aabb;
+pub use onb::Onb;
+pub use ray::Ray;
+pub use rng::XorShiftRng;
+pub use vec3::{Axis, Vec3};
+
+/// Numeric epsilon used for geometric comparisons throughout the workspace.
+pub const GEOM_EPS: f32 = 1e-6;

@@ -1,0 +1,123 @@
+//! 3D Morton (Z-order) codes.
+//!
+//! Used by the ray-reordering comparison (paper §7.2.1: Garanzha & Loop,
+//! Moon et al. sort rays into coherent packets before traversal) to give
+//! spatially adjacent rays adjacent sort keys.
+
+/// Spreads the low 21 bits of `v` so there are two zero bits between each
+/// original bit (the classic magic-number dilation).
+fn dilate21(v: u64) -> u64 {
+    let mut x = v & 0x1F_FFFF; // 21 bits
+    x = (x | x << 32) & 0x0000_1F00_0000_FFFF;
+    x = (x | x << 16) & 0x001F_0000_FF00_00FF;
+    x = (x | x << 8) & 0x100F_00F0_0F00_F00F;
+    x = (x | x << 4) & 0x10C3_0C30_C30C_30C3;
+    x = (x | x << 2) & 0x1249_2492_4924_9249;
+    x
+}
+
+/// Interleaves three 21-bit coordinates into a 63-bit Morton code.
+///
+/// Coordinates above `2^21 - 1` are clamped.
+///
+/// # Example
+///
+/// ```
+/// use rtmath::morton::encode3;
+/// assert_eq!(encode3(0, 0, 0), 0);
+/// assert_eq!(encode3(1, 0, 0), 0b001);
+/// assert_eq!(encode3(0, 1, 0), 0b010);
+/// assert_eq!(encode3(0, 0, 1), 0b100);
+/// assert_eq!(encode3(1, 1, 1), 0b111);
+/// ```
+pub fn encode3(x: u32, y: u32, z: u32) -> u64 {
+    const MAX: u32 = (1 << 21) - 1;
+    dilate21(x.min(MAX) as u64) | dilate21(y.min(MAX) as u64) << 1 | dilate21(z.min(MAX) as u64) << 2
+}
+
+/// Quantizes a point in `[min, max]³` (componentwise) onto a `2^bits`
+/// grid and Morton-encodes it. Degenerate extents map to zero.
+///
+/// # Example
+///
+/// ```
+/// use rtmath::{morton, Vec3};
+/// let lo = Vec3::ZERO;
+/// let hi = Vec3::splat(10.0);
+/// let near = morton::encode_point(Vec3::splat(1.0), lo, hi, 10);
+/// let far = morton::encode_point(Vec3::splat(9.0), lo, hi, 10);
+/// assert!(near < far);
+/// ```
+pub fn encode_point(p: crate::Vec3, min: crate::Vec3, max: crate::Vec3, bits: u32) -> u64 {
+    let bits = bits.min(21);
+    let scale = ((1u32 << bits) - 1) as f32;
+    let q = |v: f32, lo: f32, hi: f32| -> u32 {
+        if hi - lo <= 0.0 {
+            0
+        } else {
+            (((v - lo) / (hi - lo)).clamp(0.0, 1.0) * scale) as u32
+        }
+    };
+    encode3(q(p.x, min.x, max.x), q(p.y, min.y, max.y), q(p.z, min.z, max.z))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Vec3;
+
+    #[test]
+    fn axis_bits_interleave() {
+        assert_eq!(encode3(0b11, 0, 0), 0b001001);
+        assert_eq!(encode3(0, 0b11, 0), 0b010010);
+        assert_eq!(encode3(0, 0, 0b11), 0b100100);
+        assert_eq!(encode3(0b10, 0b10, 0b10), 0b111000);
+    }
+
+    #[test]
+    fn codes_are_unique_for_distinct_cells() {
+        let mut codes = std::collections::HashSet::new();
+        for x in 0..8 {
+            for y in 0..8 {
+                for z in 0..8 {
+                    assert!(codes.insert(encode3(x, y, z)));
+                }
+            }
+        }
+        assert_eq!(codes.len(), 512);
+    }
+
+    #[test]
+    fn clamps_out_of_range() {
+        assert_eq!(encode3(u32::MAX, 0, 0), encode3((1 << 21) - 1, 0, 0));
+    }
+
+    #[test]
+    fn point_encoding_orders_along_diagonal() {
+        let lo = Vec3::splat(-5.0);
+        let hi = Vec3::splat(5.0);
+        let mut prev = 0;
+        for i in 0..10 {
+            let p = Vec3::splat(-4.5 + i as f32);
+            let code = encode_point(p, lo, hi, 8);
+            assert!(code >= prev, "diagonal walk must be monotone in Morton order");
+            prev = code;
+        }
+    }
+
+    #[test]
+    fn degenerate_extent_is_zero() {
+        let p = Vec3::new(1.0, 2.0, 3.0);
+        assert_eq!(encode_point(p, p, p, 10), 0);
+    }
+
+    #[test]
+    fn locality_nearby_points_share_prefix() {
+        let lo = Vec3::ZERO;
+        let hi = Vec3::splat(100.0);
+        let a = encode_point(Vec3::new(10.0, 10.0, 10.0), lo, hi, 16);
+        let b = encode_point(Vec3::new(10.5, 10.0, 10.0), lo, hi, 16);
+        let c = encode_point(Vec3::new(90.0, 90.0, 90.0), lo, hi, 16);
+        assert!((a ^ b).leading_zeros() > (a ^ c).leading_zeros());
+    }
+}

@@ -1,0 +1,85 @@
+use crate::Vec3;
+
+/// An orthonormal basis built around a unit normal.
+///
+/// Used to transform cosine-weighted hemisphere samples from local space
+/// (where the normal is `+w`) into world space when scattering secondary
+/// rays off diffuse surfaces.
+///
+/// # Example
+///
+/// ```
+/// use rtmath::{Onb, Vec3};
+/// let onb = Onb::from_w(Vec3::new(0.0, 1.0, 0.0));
+/// let world = onb.to_world(Vec3::new(0.0, 0.0, 1.0));
+/// assert!((world - Vec3::new(0.0, 1.0, 0.0)).length() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Onb {
+    /// First tangent.
+    pub u: Vec3,
+    /// Second tangent.
+    pub v: Vec3,
+    /// The normal the basis was built around.
+    pub w: Vec3,
+}
+
+impl Onb {
+    /// Builds a basis whose `w` axis is the given unit vector.
+    pub fn from_w(w: Vec3) -> Onb {
+        let w = w.normalized();
+        let a = if w.x.abs() > 0.9 { Vec3::new(0.0, 1.0, 0.0) } else { Vec3::new(1.0, 0.0, 0.0) };
+        let v = w.cross(a).normalized();
+        let u = w.cross(v);
+        Onb { u, v, w }
+    }
+
+    /// Transforms a vector from local basis coordinates to world space.
+    #[inline]
+    pub fn to_world(&self, local: Vec3) -> Vec3 {
+        self.u * local.x + self.v * local.y + self.w * local.z
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_orthonormal(onb: &Onb) {
+        assert!((onb.u.length() - 1.0).abs() < 1e-5);
+        assert!((onb.v.length() - 1.0).abs() < 1e-5);
+        assert!((onb.w.length() - 1.0).abs() < 1e-5);
+        assert!(onb.u.dot(onb.v).abs() < 1e-5);
+        assert!(onb.v.dot(onb.w).abs() < 1e-5);
+        assert!(onb.w.dot(onb.u).abs() < 1e-5);
+    }
+
+    #[test]
+    fn basis_is_orthonormal_for_various_normals() {
+        for w in [
+            Vec3::new(0.0, 1.0, 0.0),
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.0, 0.0, -1.0),
+            Vec3::new(1.0, 2.0, 3.0).normalized(),
+            Vec3::new(-0.99, 0.1, 0.0).normalized(),
+        ] {
+            let onb = Onb::from_w(w);
+            assert_orthonormal(&onb);
+            assert!((onb.w - w).length() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn local_z_maps_to_w() {
+        let w = Vec3::new(0.3, -0.5, 0.8).normalized();
+        let onb = Onb::from_w(w);
+        assert!((onb.to_world(Vec3::new(0.0, 0.0, 1.0)) - w).length() < 1e-5);
+    }
+
+    #[test]
+    fn to_world_preserves_length() {
+        let onb = Onb::from_w(Vec3::new(1.0, 1.0, 1.0).normalized());
+        let v = Vec3::new(0.2, -0.7, 0.4);
+        assert!((onb.to_world(v).length() - v.length()).abs() < 1e-5);
+    }
+}

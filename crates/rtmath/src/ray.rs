@@ -1,0 +1,71 @@
+use std::fmt;
+
+use crate::Vec3;
+
+/// A ray with origin, direction and the reciprocal direction precomputed
+/// for branchless AABB slab tests.
+///
+/// The direction is **not** required to be unit length; BVH traversal and
+/// triangle intersection are scale-invariant in `t`.
+///
+/// # Example
+///
+/// ```
+/// use rtmath::{Ray, Vec3};
+/// let ray = Ray::new(Vec3::ZERO, Vec3::new(0.0, 0.0, 1.0));
+/// assert_eq!(ray.at(2.0), Vec3::new(0.0, 0.0, 2.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ray {
+    /// Ray origin.
+    pub origin: Vec3,
+    /// Ray direction (not necessarily normalized).
+    pub dir: Vec3,
+    /// Component-wise reciprocal of `dir`, cached for slab tests.
+    pub inv_dir: Vec3,
+}
+
+impl Ray {
+    /// Creates a ray from an origin and direction.
+    #[inline]
+    pub fn new(origin: Vec3, dir: Vec3) -> Ray {
+        Ray { origin, dir, inv_dir: dir.recip() }
+    }
+
+    /// Point at parameter `t` along the ray: `origin + t * dir`.
+    #[inline]
+    pub fn at(&self, t: f32) -> Vec3 {
+        self.origin + self.dir * t
+    }
+}
+
+impl fmt::Display for Ray {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Ray[o={}, d={}]", self.origin, self.dir)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn at_interpolates_linearly() {
+        let r = Ray::new(Vec3::new(1.0, 0.0, 0.0), Vec3::new(0.0, 2.0, 0.0));
+        assert_eq!(r.at(0.0), r.origin);
+        assert_eq!(r.at(1.5), Vec3::new(1.0, 3.0, 0.0));
+    }
+
+    #[test]
+    fn inv_dir_is_reciprocal() {
+        let r = Ray::new(Vec3::ZERO, Vec3::new(2.0, -4.0, 0.5));
+        assert_eq!(r.inv_dir, Vec3::new(0.5, -0.25, 2.0));
+    }
+
+    #[test]
+    fn zero_direction_component_maps_to_infinity() {
+        let r = Ray::new(Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0));
+        assert!(r.inv_dir.y.is_infinite());
+        assert!(r.inv_dir.z.is_infinite());
+    }
+}

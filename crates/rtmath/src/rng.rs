@@ -1,0 +1,190 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! The simulator must be bit-reproducible: the same scene seed and workload
+//! seed must produce the same rays, the same traversal, and therefore the
+//! same cycle counts on every run. We use a small xorshift64* generator with
+//! splittable seeding rather than relying on any global RNG state.
+
+use crate::Vec3;
+
+/// A deterministic xorshift64* pseudo-random generator.
+///
+/// Not cryptographically secure; quality is more than sufficient for
+/// Monte-Carlo sampling and procedural scene generation.
+///
+/// # Example
+///
+/// ```
+/// use rtmath::XorShiftRng;
+/// let mut a = XorShiftRng::new(42);
+/// let mut b = XorShiftRng::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64()); // fully deterministic
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XorShiftRng {
+    state: u64,
+}
+
+impl XorShiftRng {
+    /// Creates a generator from a seed. A zero seed is remapped to a fixed
+    /// non-zero constant (xorshift has an all-zero fixed point).
+    pub fn new(seed: u64) -> XorShiftRng {
+        let mut state = seed;
+        if state == 0 {
+            state = 0x9E37_79B9_7F4A_7C15;
+        }
+        // Scramble the seed so that nearby seeds diverge immediately.
+        state ^= state >> 33;
+        state = state.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        state ^= state >> 33;
+        if state == 0 {
+            state = 1;
+        }
+        XorShiftRng { state }
+    }
+
+    /// Derives an independent child generator; used to give each scene
+    /// object / pixel / bounce its own stream.
+    pub fn split(&mut self, salt: u64) -> XorShiftRng {
+        XorShiftRng::new(self.next_u64() ^ salt.wrapping_mul(0xA24B_AED4_963E_E407))
+    }
+
+    /// Next raw 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Next `u32`.
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform float in `[0, 1)`.
+    #[inline]
+    pub fn next_f32(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    #[inline]
+    pub fn range_f32(&mut self, lo: f32, hi: f32) -> f32 {
+        lo + (hi - lo) * self.next_f32()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[inline]
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0) is meaningless");
+        // Multiplicative range reduction; bias is negligible for our n.
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Random unit vector (uniform on the sphere).
+    pub fn unit_vector(&mut self) -> Vec3 {
+        let z = self.range_f32(-1.0, 1.0);
+        let phi = self.range_f32(0.0, core::f32::consts::TAU);
+        let r = (1.0 - z * z).max(0.0).sqrt();
+        Vec3::new(r * phi.cos(), r * phi.sin(), z)
+    }
+
+    /// Cosine-weighted direction around +z in local space.
+    pub fn cosine_direction(&mut self) -> Vec3 {
+        let r1 = self.next_f32();
+        let r2 = self.next_f32();
+        let phi = core::f32::consts::TAU * r1;
+        let sqrt_r2 = r2.sqrt();
+        Vec3::new(phi.cos() * sqrt_r2, phi.sin() * sqrt_r2, (1.0 - r2).max(0.0).sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = XorShiftRng::new(7);
+        let mut b = XorShiftRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = XorShiftRng::new(1);
+        let mut b = XorShiftRng::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn zero_seed_is_valid() {
+        let mut r = XorShiftRng::new(0);
+        assert_ne!(r.next_u64(), 0);
+    }
+
+    #[test]
+    fn f32_in_unit_interval() {
+        let mut r = XorShiftRng::new(99);
+        for _ in 0..10_000 {
+            let v = r.next_f32();
+            assert!((0.0..1.0).contains(&v), "out of range: {v}");
+        }
+    }
+
+    #[test]
+    fn below_stays_in_range_and_covers() {
+        let mut r = XorShiftRng::new(5);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            let v = r.below(8) as usize;
+            assert!(v < 8);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets should be hit");
+    }
+
+    #[test]
+    #[should_panic(expected = "meaningless")]
+    fn below_zero_panics() {
+        XorShiftRng::new(1).below(0);
+    }
+
+    #[test]
+    fn unit_vectors_are_unit_length() {
+        let mut r = XorShiftRng::new(3);
+        for _ in 0..1_000 {
+            let v = r.unit_vector();
+            assert!((v.length() - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn cosine_direction_in_upper_hemisphere() {
+        let mut r = XorShiftRng::new(11);
+        for _ in 0..1_000 {
+            let v = r.cosine_direction();
+            assert!(v.z >= 0.0);
+            assert!((v.length() - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn split_streams_are_independent() {
+        let mut root = XorShiftRng::new(10);
+        let mut c1 = root.split(1);
+        let mut c2 = root.split(2);
+        assert_ne!(c1.next_u64(), c2.next_u64());
+    }
+}

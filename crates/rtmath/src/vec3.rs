@@ -1,0 +1,513 @@
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, DivAssign, Index, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// One of the three coordinate axes.
+///
+/// Used to index [`Vec3`] components and to name BVH split axes.
+///
+/// # Example
+///
+/// ```
+/// use rtmath::{Axis, Vec3};
+/// let v = Vec3::new(1.0, 2.0, 3.0);
+/// assert_eq!(v[Axis::Y], 2.0);
+/// assert_eq!(Axis::from_index(2), Axis::Z);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Axis {
+    /// The x axis (index 0).
+    X,
+    /// The y axis (index 1).
+    Y,
+    /// The z axis (index 2).
+    Z,
+}
+
+impl Axis {
+    /// All three axes in index order.
+    pub const ALL: [Axis; 3] = [Axis::X, Axis::Y, Axis::Z];
+
+    /// Converts a component index (0, 1 or 2) into an axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > 2`.
+    #[inline]
+    pub fn from_index(index: usize) -> Axis {
+        match index {
+            0 => Axis::X,
+            1 => Axis::Y,
+            2 => Axis::Z,
+            _ => panic!("axis index out of range: {index}"),
+        }
+    }
+
+    /// Returns the component index (0, 1 or 2) of this axis.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+impl fmt::Display for Axis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Axis::X => write!(f, "x"),
+            Axis::Y => write!(f, "y"),
+            Axis::Z => write!(f, "z"),
+        }
+    }
+}
+
+/// A 3-component single-precision vector.
+///
+/// `Vec3` doubles as a point and an RGB color, as is conventional in small
+/// renderers. All arithmetic operators are component-wise; dot and cross
+/// products are explicit methods.
+///
+/// # Example
+///
+/// ```
+/// use rtmath::Vec3;
+/// let a = Vec3::new(1.0, 0.0, 0.0);
+/// let b = Vec3::new(0.0, 1.0, 0.0);
+/// assert_eq!(a.cross(b), Vec3::new(0.0, 0.0, 1.0));
+/// assert_eq!(a.dot(b), 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec3 {
+    /// x component.
+    pub x: f32,
+    /// y component.
+    pub y: f32,
+    /// z component.
+    pub z: f32,
+}
+
+impl Vec3 {
+    /// The zero vector.
+    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+    /// The all-ones vector.
+    pub const ONE: Vec3 = Vec3 { x: 1.0, y: 1.0, z: 1.0 };
+
+    /// Creates a vector from its three components.
+    #[inline]
+    pub const fn new(x: f32, y: f32, z: f32) -> Vec3 {
+        Vec3 { x, y, z }
+    }
+
+    /// Creates a vector with all components equal to `v`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use rtmath::Vec3;
+    /// assert_eq!(Vec3::splat(2.0), Vec3::new(2.0, 2.0, 2.0));
+    /// ```
+    #[inline]
+    pub const fn splat(v: f32) -> Vec3 {
+        Vec3 { x: v, y: v, z: v }
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(self, rhs: Vec3) -> f32 {
+        self.x * rhs.x + self.y * rhs.y + self.z * rhs.z
+    }
+
+    /// Cross product.
+    #[inline]
+    pub fn cross(self, rhs: Vec3) -> Vec3 {
+        Vec3 {
+            x: self.y * rhs.z - self.z * rhs.y,
+            y: self.z * rhs.x - self.x * rhs.z,
+            z: self.x * rhs.y - self.y * rhs.x,
+        }
+    }
+
+    /// Euclidean length.
+    #[inline]
+    pub fn length(self) -> f32 {
+        self.dot(self).sqrt()
+    }
+
+    /// Squared Euclidean length (avoids the square root).
+    #[inline]
+    pub fn length_squared(self) -> f32 {
+        self.dot(self)
+    }
+
+    /// Returns the unit-length vector pointing in the same direction.
+    ///
+    /// # Panics
+    ///
+    /// Does not panic, but returns non-finite components if `self` is the
+    /// zero vector; callers validate inputs where that matters.
+    #[inline]
+    pub fn normalized(self) -> Vec3 {
+        self / self.length()
+    }
+
+    /// Component-wise minimum.
+    #[inline]
+    pub fn min(self, rhs: Vec3) -> Vec3 {
+        Vec3 {
+            x: self.x.min(rhs.x),
+            y: self.y.min(rhs.y),
+            z: self.z.min(rhs.z),
+        }
+    }
+
+    /// Component-wise maximum.
+    #[inline]
+    pub fn max(self, rhs: Vec3) -> Vec3 {
+        Vec3 {
+            x: self.x.max(rhs.x),
+            y: self.y.max(rhs.y),
+            z: self.z.max(rhs.z),
+        }
+    }
+
+    /// Component-wise absolute value.
+    #[inline]
+    pub fn abs(self) -> Vec3 {
+        Vec3 { x: self.x.abs(), y: self.y.abs(), z: self.z.abs() }
+    }
+
+    /// Component-wise reciprocal, mapping `±0.0` to `±inf`.
+    #[inline]
+    pub fn recip(self) -> Vec3 {
+        Vec3 { x: 1.0 / self.x, y: 1.0 / self.y, z: 1.0 / self.z }
+    }
+
+    /// Linear interpolation: `self * (1 - t) + rhs * t`.
+    #[inline]
+    pub fn lerp(self, rhs: Vec3, t: f32) -> Vec3 {
+        self * (1.0 - t) + rhs * t
+    }
+
+    /// Returns the largest component.
+    #[inline]
+    pub fn max_component(self) -> f32 {
+        self.x.max(self.y).max(self.z)
+    }
+
+    /// Returns the smallest component.
+    #[inline]
+    pub fn min_component(self) -> f32 {
+        self.x.min(self.y).min(self.z)
+    }
+
+    /// Returns the axis of the largest component (ties broken toward X).
+    #[inline]
+    pub fn max_axis(self) -> Axis {
+        if self.x >= self.y && self.x >= self.z {
+            Axis::X
+        } else if self.y >= self.z {
+            Axis::Y
+        } else {
+            Axis::Z
+        }
+    }
+
+    /// Reflects `self` about the unit normal `n`.
+    #[inline]
+    pub fn reflect(self, n: Vec3) -> Vec3 {
+        self - n * (2.0 * self.dot(n))
+    }
+
+    /// Refracts the unit vector `self` through the unit normal `n` with the
+    /// given ratio of indices of refraction, or returns `None` on total
+    /// internal reflection.
+    pub fn refract(self, n: Vec3, eta_ratio: f32) -> Option<Vec3> {
+        let cos_theta = (-self).dot(n).min(1.0);
+        let sin2 = 1.0 - cos_theta * cos_theta;
+        let k = 1.0 - eta_ratio * eta_ratio * sin2;
+        if k < 0.0 {
+            None
+        } else {
+            Some(self * eta_ratio + n * (eta_ratio * cos_theta - k.sqrt()))
+        }
+    }
+
+    /// `true` if every component is finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite() && self.z.is_finite()
+    }
+
+    /// `true` if the vector is close to zero in every component.
+    #[inline]
+    pub fn near_zero(self) -> bool {
+        const EPS: f32 = 1e-8;
+        self.x.abs() < EPS && self.y.abs() < EPS && self.z.abs() < EPS
+    }
+
+    /// Average of the three components (luminance proxy for colors).
+    #[inline]
+    pub fn mean(self) -> f32 {
+        (self.x + self.y + self.z) / 3.0
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn add(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x + rhs.x, self.y + rhs.y, self.z + rhs.z)
+    }
+}
+
+impl AddAssign for Vec3 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Vec3) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn sub(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x - rhs.x, self.y - rhs.y, self.z - rhs.z)
+    }
+}
+
+impl SubAssign for Vec3 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Vec3) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul for Vec3 {
+    type Output = Vec3;
+    /// Component-wise (Hadamard) product, used for color modulation.
+    #[inline]
+    fn mul(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x * rhs.x, self.y * rhs.y, self.z * rhs.z)
+    }
+}
+
+impl Mul<f32> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, rhs: f32) -> Vec3 {
+        Vec3::new(self.x * rhs, self.y * rhs, self.z * rhs)
+    }
+}
+
+impl Mul<Vec3> for f32 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, rhs: Vec3) -> Vec3 {
+        rhs * self
+    }
+}
+
+impl MulAssign<f32> for Vec3 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: f32) {
+        *self = *self * rhs;
+    }
+}
+
+impl Div<f32> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn div(self, rhs: f32) -> Vec3 {
+        self * (1.0 / rhs)
+    }
+}
+
+impl DivAssign<f32> for Vec3 {
+    #[inline]
+    fn div_assign(&mut self, rhs: f32) {
+        *self = *self / rhs;
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+impl Index<Axis> for Vec3 {
+    type Output = f32;
+    #[inline]
+    fn index(&self, axis: Axis) -> &f32 {
+        match axis {
+            Axis::X => &self.x,
+            Axis::Y => &self.y,
+            Axis::Z => &self.z,
+        }
+    }
+}
+
+impl Index<usize> for Vec3 {
+    type Output = f32;
+    #[inline]
+    fn index(&self, index: usize) -> &f32 {
+        match index {
+            0 => &self.x,
+            1 => &self.y,
+            2 => &self.z,
+            _ => panic!("Vec3 index out of range: {index}"),
+        }
+    }
+}
+
+impl From<[f32; 3]> for Vec3 {
+    #[inline]
+    fn from(a: [f32; 3]) -> Vec3 {
+        Vec3::new(a[0], a[1], a[2])
+    }
+}
+
+impl From<Vec3> for [f32; 3] {
+    #[inline]
+    fn from(v: Vec3) -> [f32; 3] {
+        [v.x, v.y, v.z]
+    }
+}
+
+impl fmt::Display for Vec3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}, {})", self.x, self.y, self.z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_componentwise() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(4.0, 5.0, 6.0);
+        assert_eq!(a + b, Vec3::new(5.0, 7.0, 9.0));
+        assert_eq!(b - a, Vec3::new(3.0, 3.0, 3.0));
+        assert_eq!(a * b, Vec3::new(4.0, 10.0, 18.0));
+        assert_eq!(a * 2.0, Vec3::new(2.0, 4.0, 6.0));
+        assert_eq!(2.0 * a, a * 2.0);
+        assert_eq!(a / 2.0, Vec3::new(0.5, 1.0, 1.5));
+        assert_eq!(-a, Vec3::new(-1.0, -2.0, -3.0));
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut v = Vec3::new(1.0, 1.0, 1.0);
+        v += Vec3::splat(1.0);
+        v -= Vec3::new(0.0, 1.0, 0.0);
+        v *= 3.0;
+        v /= 2.0;
+        assert_eq!(v, Vec3::new(3.0, 1.5, 3.0));
+    }
+
+    #[test]
+    fn dot_and_cross() {
+        let x = Vec3::new(1.0, 0.0, 0.0);
+        let y = Vec3::new(0.0, 1.0, 0.0);
+        let z = Vec3::new(0.0, 0.0, 1.0);
+        assert_eq!(x.cross(y), z);
+        assert_eq!(y.cross(z), x);
+        assert_eq!(z.cross(x), y);
+        assert_eq!(x.dot(y), 0.0);
+        assert_eq!(x.dot(x), 1.0);
+    }
+
+    #[test]
+    fn length_and_normalize() {
+        let v = Vec3::new(3.0, 4.0, 0.0);
+        assert_eq!(v.length(), 5.0);
+        assert_eq!(v.length_squared(), 25.0);
+        let n = v.normalized();
+        assert!((n.length() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn min_max_components() {
+        let a = Vec3::new(1.0, 5.0, 3.0);
+        let b = Vec3::new(2.0, 4.0, 6.0);
+        assert_eq!(a.min(b), Vec3::new(1.0, 4.0, 3.0));
+        assert_eq!(a.max(b), Vec3::new(2.0, 5.0, 6.0));
+        assert_eq!(a.max_component(), 5.0);
+        assert_eq!(a.min_component(), 1.0);
+        assert_eq!(a.max_axis(), Axis::Y);
+        assert_eq!(Vec3::new(9.0, 5.0, 3.0).max_axis(), Axis::X);
+        assert_eq!(Vec3::new(1.0, 2.0, 3.0).max_axis(), Axis::Z);
+    }
+
+    #[test]
+    fn axis_indexing() {
+        let v = Vec3::new(10.0, 20.0, 30.0);
+        assert_eq!(v[Axis::X], 10.0);
+        assert_eq!(v[Axis::Y], 20.0);
+        assert_eq!(v[Axis::Z], 30.0);
+        assert_eq!(v[0], 10.0);
+        assert_eq!(v[2], 30.0);
+        for i in 0..3 {
+            assert_eq!(Axis::from_index(i).index(), i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn axis_from_bad_index_panics() {
+        let _ = Axis::from_index(3);
+    }
+
+    #[test]
+    fn reflect_mirrors_about_normal() {
+        let v = Vec3::new(1.0, -1.0, 0.0).normalized();
+        let n = Vec3::new(0.0, 1.0, 0.0);
+        let r = v.reflect(n);
+        assert!((r.x - v.x).abs() < 1e-6);
+        assert!((r.y + v.y).abs() < 1e-6);
+    }
+
+    #[test]
+    fn refract_total_internal_reflection() {
+        // Grazing entry from dense to sparse medium: expect TIR.
+        let v = Vec3::new(1.0, -0.01, 0.0).normalized();
+        let n = Vec3::new(0.0, 1.0, 0.0);
+        assert!(v.refract(n, 1.5).is_none());
+        // Head-on entry always refracts.
+        let head_on = Vec3::new(0.0, -1.0, 0.0);
+        let refracted = head_on.refract(n, 1.5).expect("head-on ray refracts");
+        assert!((refracted - head_on).length() < 1e-5);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Vec3::ZERO;
+        let b = Vec3::splat(2.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Vec3::splat(1.0));
+    }
+
+    #[test]
+    fn conversions_roundtrip() {
+        let v = Vec3::new(1.0, 2.0, 3.0);
+        let a: [f32; 3] = v.into();
+        assert_eq!(Vec3::from(a), v);
+    }
+
+    #[test]
+    fn near_zero_and_finite() {
+        assert!(Vec3::splat(1e-9).near_zero());
+        assert!(!Vec3::new(1e-9, 1.0, 0.0).near_zero());
+        assert!(Vec3::ONE.is_finite());
+        assert!(!Vec3::new(f32::NAN, 0.0, 0.0).is_finite());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Vec3::new(1.0, 2.0, 3.0).to_string(), "(1, 2, 3)");
+        assert_eq!(Axis::Y.to_string(), "y");
+    }
+}

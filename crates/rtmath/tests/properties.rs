@@ -1,0 +1,119 @@
+//! Property-based tests of the math substrate's algebraic invariants.
+
+use proptest::prelude::*;
+use rtmath::{Aabb, Onb, Ray, Vec3};
+
+fn finite_component() -> impl Strategy<Value = f32> {
+    (-1.0e3f32..1.0e3).prop_filter("nonzero-ish", |v| v.is_finite())
+}
+
+fn vec3() -> impl Strategy<Value = Vec3> {
+    (finite_component(), finite_component(), finite_component()).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+fn unit_vec3() -> impl Strategy<Value = Vec3> {
+    vec3()
+        .prop_filter("non-degenerate", |v| v.length() > 1e-3)
+        .prop_map(|v| v.normalized())
+}
+
+proptest! {
+    #[test]
+    fn cross_product_is_orthogonal(a in vec3(), b in vec3()) {
+        let c = a.cross(b);
+        let scale = a.length() * b.length();
+        prop_assume!(scale > 1e-6);
+        prop_assert!(c.dot(a).abs() <= 1e-2 * scale * a.length().max(1.0));
+        prop_assert!(c.dot(b).abs() <= 1e-2 * scale * b.length().max(1.0));
+    }
+
+    #[test]
+    fn dot_is_symmetric_and_bilinear(a in vec3(), b in vec3(), s in -10.0f32..10.0) {
+        prop_assert_eq!(a.dot(b), b.dot(a));
+        let lhs = (a * s).dot(b);
+        let rhs = s * a.dot(b);
+        prop_assert!((lhs - rhs).abs() <= 1e-3 * lhs.abs().max(rhs.abs()).max(1.0));
+    }
+
+    #[test]
+    fn reflection_preserves_length(v in unit_vec3(), n in unit_vec3()) {
+        let r = v.reflect(n);
+        prop_assert!((r.length() - 1.0).abs() < 1e-3);
+        // Reflecting twice returns the original direction.
+        let rr = r.reflect(n);
+        prop_assert!((rr - v).length() < 1e-3);
+    }
+
+    #[test]
+    fn min_max_bound_components(a in vec3(), b in vec3()) {
+        let lo = a.min(b);
+        let hi = a.max(b);
+        for i in 0..3 {
+            prop_assert!(lo[i] <= a[i] && lo[i] <= b[i]);
+            prop_assert!(hi[i] >= a[i] && hi[i] >= b[i]);
+        }
+    }
+
+    #[test]
+    fn aabb_union_contains_both(a in vec3(), b in vec3(), c in vec3(), d in vec3()) {
+        let b1 = Aabb::from_points(&[a, b]);
+        let b2 = Aabb::from_points(&[c, d]);
+        let u = b1.union(&b2);
+        prop_assert!(u.contains_box(&b1));
+        prop_assert!(u.contains_box(&b2));
+        prop_assert!(u.surface_area() + 1e-3 >= b1.surface_area().max(b2.surface_area()));
+    }
+
+    #[test]
+    fn slab_test_agrees_with_point_membership(
+        lo in vec3(), hi in vec3(), origin in vec3(),
+        (u, v, w) in (0.05f32..0.95, 0.05f32..0.95, 0.05f32..0.95),
+    ) {
+        // Build a ray that passes through a point strictly inside the box;
+        // the slab test over [0, inf) must then hit at or before it.
+        let bbox = Aabb::from_points(&[lo, hi]);
+        prop_assume!(bbox.extent().min_component() > 1e-2);
+        let inside_pt = Vec3::new(
+            bbox.min.x + u * (bbox.max.x - bbox.min.x),
+            bbox.min.y + v * (bbox.max.y - bbox.min.y),
+            bbox.min.z + w * (bbox.max.z - bbox.min.z),
+        );
+        let dir = inside_pt - origin;
+        prop_assume!(dir.length() > 1e-2);
+        let ray = Ray::new(origin, dir); // t = 1 reaches inside_pt
+        let hit = bbox.intersect(&ray, 0.0, f32::INFINITY);
+        prop_assert!(hit.is_some());
+        prop_assert!(hit.unwrap() <= 1.0 + 1e-3);
+    }
+
+    #[test]
+    fn slab_entry_point_is_on_boundary_or_start(
+        lo in vec3(), hi in vec3(), origin in vec3(), dir in unit_vec3()
+    ) {
+        let bbox = Aabb::from_points(&[lo, hi]);
+        if let Some(t) = bbox.intersect(&Ray::new(origin, dir), 0.0, 1.0e6) {
+            // The entry point must lie inside a slightly expanded box.
+            let p = Ray::new(origin, dir).at(t);
+            let grown = bbox.expanded(bbox.extent().max_component() * 1e-3 + 1e-2);
+            prop_assert!(grown.contains(p), "entry {p:?} outside {grown:?}");
+        }
+    }
+
+    #[test]
+    fn onb_is_orthonormal(w in unit_vec3()) {
+        let onb = Onb::from_w(w);
+        prop_assert!((onb.u.length() - 1.0).abs() < 1e-3);
+        prop_assert!((onb.v.length() - 1.0).abs() < 1e-3);
+        prop_assert!(onb.u.dot(onb.v).abs() < 1e-3);
+        prop_assert!(onb.u.dot(onb.w).abs() < 1e-3);
+        prop_assert!((onb.w - w).length() < 1e-3);
+    }
+
+    #[test]
+    fn rng_below_is_in_range(seed in any::<u64>(), n in 1u64..10_000) {
+        let mut rng = rtmath::XorShiftRng::new(seed);
+        for _ in 0..32 {
+            prop_assert!(rng.below(n) < n);
+        }
+    }
+}

@@ -1,0 +1,127 @@
+use rtmath::{Ray, Vec3, XorShiftRng};
+
+/// A pinhole camera generating primary rays through image pixels.
+///
+/// # Example
+///
+/// ```
+/// use rtmath::Vec3;
+/// use rtscene::Camera;
+///
+/// let cam = Camera::new(
+///     Vec3::new(0.0, 0.0, -5.0),
+///     Vec3::ZERO,
+///     Vec3::new(0.0, 1.0, 0.0),
+///     60.0,
+///     1.0,
+/// );
+/// let ray = cam.primary_ray(32, 32, 64, 64, None);
+/// assert!(ray.dir.z > 0.0); // looking toward the origin
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Camera {
+    origin: Vec3,
+    lower_left: Vec3,
+    horizontal: Vec3,
+    vertical: Vec3,
+}
+
+impl Camera {
+    /// Creates a camera.
+    ///
+    /// * `look_from` / `look_at` — position and target,
+    /// * `vup` — world up hint,
+    /// * `vfov_degrees` — vertical field of view,
+    /// * `aspect` — width / height.
+    pub fn new(look_from: Vec3, look_at: Vec3, vup: Vec3, vfov_degrees: f32, aspect: f32) -> Camera {
+        let theta = vfov_degrees.to_radians();
+        let half_height = (theta / 2.0).tan();
+        let half_width = aspect * half_height;
+        let w = (look_from - look_at).normalized();
+        let u = vup.cross(w).normalized();
+        let v = w.cross(u);
+        Camera {
+            origin: look_from,
+            lower_left: look_from - u * half_width - v * half_height - w,
+            horizontal: u * (2.0 * half_width),
+            vertical: v * (2.0 * half_height),
+        }
+    }
+
+    /// Camera position.
+    #[inline]
+    pub fn origin(&self) -> Vec3 {
+        self.origin
+    }
+
+    /// Generates the primary ray through pixel `(px, py)` of a `width`×`height`
+    /// image. With `jitter`, the sample position is stratified-jittered inside
+    /// the pixel (used for >1 spp); without it, rays pass through pixel centers.
+    pub fn primary_ray(
+        &self,
+        px: u32,
+        py: u32,
+        width: u32,
+        height: u32,
+        jitter: Option<&mut XorShiftRng>,
+    ) -> Ray {
+        let (jx, jy) = match jitter {
+            Some(rng) => (rng.next_f32(), rng.next_f32()),
+            None => (0.5, 0.5),
+        };
+        let s = (px as f32 + jx) / width as f32;
+        // Flip y so py=0 is the top row of the image.
+        let t = 1.0 - (py as f32 + jy) / height as f32;
+        let dir = self.lower_left + self.horizontal * s + self.vertical * t - self.origin;
+        Ray::new(self.origin, dir)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn camera() -> Camera {
+        Camera::new(Vec3::new(0.0, 0.0, -5.0), Vec3::ZERO, Vec3::new(0.0, 1.0, 0.0), 90.0, 1.0)
+    }
+
+    #[test]
+    fn center_pixel_looks_at_target() {
+        // Odd resolution => (1,1) of 3x3 is exactly the center.
+        let r = camera().primary_ray(1, 1, 3, 3, None);
+        let d = r.dir.normalized();
+        assert!((d - Vec3::new(0.0, 0.0, 1.0)).length() < 1e-5);
+    }
+
+    #[test]
+    fn corner_rays_diverge() {
+        // Standing at -z looking toward +z with +y up, screen-left is
+        // world +x (right-handed basis: right = forward x up = -x).
+        let tl = camera().primary_ray(0, 0, 64, 64, None);
+        let br = camera().primary_ray(63, 63, 64, 64, None);
+        assert!(tl.dir.normalized().x > 0.0);
+        assert!(tl.dir.normalized().y > 0.0);
+        assert!(br.dir.normalized().x < 0.0);
+        assert!(br.dir.normalized().y < 0.0);
+    }
+
+    #[test]
+    fn jittered_rays_stay_inside_pixel() {
+        let mut rng = XorShiftRng::new(1);
+        let base = camera().primary_ray(10, 20, 64, 64, None);
+        for _ in 0..50 {
+            let j = camera().primary_ray(10, 20, 64, 64, Some(&mut rng));
+            // Jittered direction must be within one pixel of the center ray.
+            let pixel_step = 2.0 / 64.0 * 2.0; // generous bound
+            assert!((j.dir.normalized() - base.dir.normalized()).length() < pixel_step);
+        }
+    }
+
+    #[test]
+    fn all_rays_originate_at_camera() {
+        let c = camera();
+        for (px, py) in [(0, 0), (63, 0), (31, 31)] {
+            assert_eq!(c.primary_ray(px, py, 64, 64, None).origin, c.origin());
+        }
+    }
+}

@@ -1,0 +1,48 @@
+use rtmath::Vec3;
+
+use crate::MaterialId;
+
+/// Result of a ray–scene intersection, as produced at BVH leaves.
+///
+/// Mirrors what a hardware RT unit writes back to the shader: distance,
+/// position, shading normal (oriented against the ray) and the material of
+/// the hit primitive.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HitRecord {
+    /// Hit distance along the ray.
+    pub t: f32,
+    /// World-space hit position.
+    pub point: Vec3,
+    /// Unit normal oriented against the incoming ray.
+    pub normal: Vec3,
+    /// `true` if the ray hit the front (geometric-normal) side.
+    pub front_face: bool,
+    /// Material of the intersected triangle.
+    pub material: MaterialId,
+}
+
+impl HitRecord {
+    /// Builds a hit record, flipping `outward_normal` against `ray_dir`.
+    pub fn new(t: f32, point: Vec3, outward_normal: Vec3, ray_dir: Vec3, material: MaterialId) -> HitRecord {
+        let front_face = ray_dir.dot(outward_normal) < 0.0;
+        let normal = if front_face { outward_normal } else { -outward_normal };
+        HitRecord { t, point, normal, front_face, material }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_faces_against_ray() {
+        let n = Vec3::new(0.0, 0.0, 1.0);
+        let front = HitRecord::new(1.0, Vec3::ZERO, n, Vec3::new(0.0, 0.0, -1.0), MaterialId::new(0));
+        assert!(front.front_face);
+        assert_eq!(front.normal, n);
+
+        let back = HitRecord::new(1.0, Vec3::ZERO, n, Vec3::new(0.0, 0.0, 1.0), MaterialId::new(0));
+        assert!(!back.front_face);
+        assert_eq!(back.normal, -n);
+    }
+}

@@ -1,0 +1,42 @@
+//! Scene substrate for the treelet-rt GPU ray-tracing simulator.
+//!
+//! Provides everything "above" raw math and "below" the BVH:
+//!
+//! * [`Triangle`] with Möller–Trumbore intersection,
+//! * [`Material`] (Lambertian / metal / dielectric / emissive) with the
+//!   scattering model used by the path-tracing workload,
+//! * [`Camera`] generating primary rays,
+//! * [`Scene`] + [`SceneBuilder`] for assembling triangle soups,
+//! * [`shapes`] — tessellation helpers (grids, icospheres, boxes, cones…),
+//! * [`noise`] — value noise / fBm used for displacement,
+//! * [`lumibench`] — 14 procedurally generated scenes named after the
+//!   LumiBench suite the paper evaluates (Table 2), scaled down so a
+//!   cycle-level simulation of every experiment completes quickly while
+//!   preserving BVH-size-to-cache-size ratios.
+//!
+//! # Example
+//!
+//! ```
+//! use rtscene::lumibench::{self, SceneId};
+//!
+//! let scene = lumibench::build(SceneId::Bunny);
+//! assert!(scene.triangles().len() > 1_000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod camera;
+mod hit;
+pub mod lumibench;
+mod material;
+pub mod noise;
+mod scene;
+pub mod shapes;
+mod triangle;
+
+pub use camera::Camera;
+pub use hit::HitRecord;
+pub use material::{Material, MaterialId, ScatterResult};
+pub use scene::{Scene, SceneBuilder, SceneStats};
+pub use triangle::Triangle;

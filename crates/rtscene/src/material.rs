@@ -1,0 +1,256 @@
+use std::fmt;
+
+use rtmath::{Onb, Ray, Vec3, XorShiftRng};
+
+use crate::HitRecord;
+
+/// Index of a material within a [`Scene`](crate::Scene)'s material table.
+///
+/// A newtype so triangle construction cannot accidentally swap a material
+/// index with a vertex index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct MaterialId(u32);
+
+impl MaterialId {
+    /// Creates a material id from a raw table index.
+    #[inline]
+    pub const fn new(index: u32) -> MaterialId {
+        MaterialId(index)
+    }
+
+    /// The raw table index.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for MaterialId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mat#{}", self.0)
+    }
+}
+
+/// Outcome of scattering a ray off a surface.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScatterResult {
+    /// The secondary ray leaving the hit point.
+    pub ray: Ray,
+    /// Color attenuation applied to the path throughput.
+    pub attenuation: Vec3,
+}
+
+/// Surface material, in the classic path-tracing taxonomy.
+///
+/// The workload driver calls [`Material::scatter`] at every hit to decide
+/// whether a secondary ray is spawned — this is exactly what determines ray
+/// incoherence after the first bounce, the phenomenon treelet queues target.
+///
+/// # Example
+///
+/// ```
+/// use rtmath::Vec3;
+/// use rtscene::Material;
+///
+/// let m = Material::lambertian(Vec3::splat(0.8));
+/// assert_eq!(m.emitted(), Vec3::ZERO);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Material {
+    /// Ideal diffuse reflector with the given albedo.
+    Lambertian {
+        /// Diffuse albedo.
+        albedo: Vec3,
+    },
+    /// Specular reflector with optional roughness (`fuzz` in `[0, 1]`).
+    Metal {
+        /// Specular tint.
+        albedo: Vec3,
+        /// Cone of perturbation around the mirror direction.
+        fuzz: f32,
+    },
+    /// Clear dielectric (glass/water) with the given index of refraction.
+    Dielectric {
+        /// Index of refraction.
+        ior: f32,
+    },
+    /// Light source; terminates paths and contributes `color`.
+    Emissive {
+        /// Radiant exitance.
+        color: Vec3,
+    },
+}
+
+impl Material {
+    /// Convenience constructor for a diffuse material.
+    pub const fn lambertian(albedo: Vec3) -> Material {
+        Material::Lambertian { albedo }
+    }
+
+    /// Convenience constructor for a metal.
+    pub const fn metal(albedo: Vec3, fuzz: f32) -> Material {
+        Material::Metal { albedo, fuzz }
+    }
+
+    /// Convenience constructor for a dielectric.
+    pub const fn dielectric(ior: f32) -> Material {
+        Material::Dielectric { ior }
+    }
+
+    /// Convenience constructor for an emitter.
+    pub const fn emissive(color: Vec3) -> Material {
+        Material::Emissive { color }
+    }
+
+    /// Radiance emitted by the surface (zero for non-emitters).
+    #[inline]
+    pub fn emitted(&self) -> Vec3 {
+        match self {
+            Material::Emissive { color } => *color,
+            _ => Vec3::ZERO,
+        }
+    }
+
+    /// `true` for light sources.
+    #[inline]
+    pub fn is_emissive(&self) -> bool {
+        matches!(self, Material::Emissive { .. })
+    }
+
+    /// Samples a scattered ray, or `None` if the path terminates here
+    /// (emitters absorb; fuzzy metals may scatter into the surface).
+    pub fn scatter(&self, ray: &Ray, hit: &HitRecord, rng: &mut XorShiftRng) -> Option<ScatterResult> {
+        match *self {
+            Material::Lambertian { albedo } => {
+                let onb = Onb::from_w(hit.normal);
+                let dir = onb.to_world(rng.cosine_direction());
+                let dir = if dir.near_zero() { hit.normal } else { dir };
+                Some(ScatterResult { ray: Ray::new(hit.point, dir), attenuation: albedo })
+            }
+            Material::Metal { albedo, fuzz } => {
+                let reflected = ray.dir.normalized().reflect(hit.normal);
+                let dir = reflected + rng.unit_vector() * fuzz;
+                if dir.dot(hit.normal) > 0.0 {
+                    Some(ScatterResult { ray: Ray::new(hit.point, dir), attenuation: albedo })
+                } else {
+                    None
+                }
+            }
+            Material::Dielectric { ior } => {
+                let eta_ratio = if hit.front_face { 1.0 / ior } else { ior };
+                let unit = ray.dir.normalized();
+                let cos_theta = (-unit).dot(hit.normal).min(1.0);
+                let reflect_prob = schlick(cos_theta, eta_ratio);
+                let dir = match unit.refract(hit.normal, eta_ratio) {
+                    Some(refracted) if rng.next_f32() >= reflect_prob => refracted,
+                    _ => unit.reflect(hit.normal),
+                };
+                Some(ScatterResult { ray: Ray::new(hit.point, dir), attenuation: Vec3::ONE })
+            }
+            Material::Emissive { .. } => None,
+        }
+    }
+}
+
+/// Schlick's approximation to Fresnel reflectance.
+fn schlick(cos_theta: f32, eta_ratio: f32) -> f32 {
+    let r0 = (1.0 - eta_ratio) / (1.0 + eta_ratio);
+    let r0 = r0 * r0;
+    r0 + (1.0 - r0) * (1.0 - cos_theta).powi(5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtmath::Ray;
+
+    fn hit_up() -> HitRecord {
+        HitRecord {
+            t: 1.0,
+            point: Vec3::ZERO,
+            normal: Vec3::new(0.0, 1.0, 0.0),
+            front_face: true,
+            material: MaterialId::new(0),
+        }
+    }
+
+    fn incoming() -> Ray {
+        Ray::new(Vec3::new(0.0, 1.0, -1.0), Vec3::new(0.0, -1.0, 1.0).normalized())
+    }
+
+    #[test]
+    fn lambertian_scatters_into_hemisphere() {
+        let m = Material::lambertian(Vec3::splat(0.5));
+        let mut rng = XorShiftRng::new(1);
+        for _ in 0..200 {
+            let s = m.scatter(&incoming(), &hit_up(), &mut rng).expect("diffuse always scatters");
+            assert!(s.ray.dir.dot(hit_up().normal) >= 0.0);
+            assert_eq!(s.attenuation, Vec3::splat(0.5));
+        }
+    }
+
+    #[test]
+    fn mirror_metal_reflects_exactly() {
+        let m = Material::metal(Vec3::ONE, 0.0);
+        let mut rng = XorShiftRng::new(2);
+        let s = m.scatter(&incoming(), &hit_up(), &mut rng).unwrap();
+        let expected = incoming().dir.normalized().reflect(hit_up().normal);
+        assert!((s.ray.dir - expected).length() < 1e-5);
+    }
+
+    #[test]
+    fn fuzzy_metal_can_absorb() {
+        // With fuzz > 1 some samples scatter below the surface and are absorbed.
+        let m = Material::metal(Vec3::ONE, 2.5);
+        let mut rng = XorShiftRng::new(3);
+        let mut absorbed = 0;
+        for _ in 0..200 {
+            if m.scatter(&incoming(), &hit_up(), &mut rng).is_none() {
+                absorbed += 1;
+            }
+        }
+        assert!(absorbed > 0);
+    }
+
+    #[test]
+    fn dielectric_always_scatters_with_unit_attenuation() {
+        let m = Material::dielectric(1.5);
+        let mut rng = XorShiftRng::new(4);
+        for _ in 0..100 {
+            let s = m.scatter(&incoming(), &hit_up(), &mut rng).unwrap();
+            assert_eq!(s.attenuation, Vec3::ONE);
+        }
+    }
+
+    #[test]
+    fn emissive_terminates_and_emits() {
+        let m = Material::emissive(Vec3::new(4.0, 3.0, 2.0));
+        let mut rng = XorShiftRng::new(5);
+        assert!(m.scatter(&incoming(), &hit_up(), &mut rng).is_none());
+        assert_eq!(m.emitted(), Vec3::new(4.0, 3.0, 2.0));
+        assert!(m.is_emissive());
+        assert!(!Material::dielectric(1.5).is_emissive());
+    }
+
+    #[test]
+    fn non_emitters_emit_black() {
+        assert_eq!(Material::lambertian(Vec3::ONE).emitted(), Vec3::ZERO);
+        assert_eq!(Material::metal(Vec3::ONE, 0.0).emitted(), Vec3::ZERO);
+        assert_eq!(Material::dielectric(1.0).emitted(), Vec3::ZERO);
+    }
+
+    #[test]
+    fn material_id_roundtrip() {
+        let id = MaterialId::new(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id.to_string(), "mat#42");
+    }
+
+    #[test]
+    fn schlick_limits() {
+        // Grazing incidence -> reflectance ~1.
+        assert!(schlick(0.0, 1.0 / 1.5) > 0.9);
+        // Normal incidence -> reflectance = r0 = ((1-n)/(1+n))^2 ~ 0.04.
+        assert!((schlick(1.0, 1.0 / 1.5) - 0.04).abs() < 0.01);
+    }
+}

@@ -1,0 +1,120 @@
+//! Deterministic value noise and fractal Brownian motion.
+//!
+//! Used by the procedural LumiBench-like scene generators to displace
+//! terrain heightfields and statue surfaces. Hash-based, so evaluation is
+//! pure: `value(x, z)` is the same on every run and platform.
+
+/// Hash a 2D lattice point + seed into `[0, 1)`.
+fn hash2(ix: i32, iz: i32, seed: u32) -> f32 {
+    let mut h = (ix as u32).wrapping_mul(0x8DA6_B343)
+        ^ (iz as u32).wrapping_mul(0xD816_3841)
+        ^ seed.wrapping_mul(0xCB1A_B31F);
+    h ^= h >> 13;
+    h = h.wrapping_mul(0x5BD1_E995);
+    h ^= h >> 15;
+    (h >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+}
+
+fn smoothstep(t: f32) -> f32 {
+    t * t * (3.0 - 2.0 * t)
+}
+
+/// Bilinear-smoothstep value noise in `[0, 1)` at `(x, z)`.
+///
+/// # Example
+///
+/// ```
+/// let a = rtscene::noise::value(1.5, 2.5, 7);
+/// let b = rtscene::noise::value(1.5, 2.5, 7);
+/// assert_eq!(a, b); // deterministic
+/// assert!((0.0..1.0).contains(&a));
+/// ```
+pub fn value(x: f32, z: f32, seed: u32) -> f32 {
+    let ix = x.floor() as i32;
+    let iz = z.floor() as i32;
+    let fx = x - ix as f32;
+    let fz = z - iz as f32;
+    let sx = smoothstep(fx);
+    let sz = smoothstep(fz);
+    let v00 = hash2(ix, iz, seed);
+    let v10 = hash2(ix + 1, iz, seed);
+    let v01 = hash2(ix, iz + 1, seed);
+    let v11 = hash2(ix + 1, iz + 1, seed);
+    let a = v00 + (v10 - v00) * sx;
+    let b = v01 + (v11 - v01) * sx;
+    a + (b - a) * sz
+}
+
+/// Fractal Brownian motion: `octaves` layers of [`value`] noise, each at
+/// twice the frequency and half the amplitude. Output is in `[0, ~1)`.
+///
+/// # Example
+///
+/// ```
+/// let h = rtscene::noise::fbm(0.3, 0.7, 4, 42);
+/// assert!(h >= 0.0 && h < 1.0);
+/// ```
+pub fn fbm(x: f32, z: f32, octaves: u32, seed: u32) -> f32 {
+    let mut amplitude = 0.5;
+    let mut frequency = 1.0;
+    let mut sum = 0.0;
+    let mut norm = 0.0;
+    for octave in 0..octaves {
+        sum += amplitude * value(x * frequency, z * frequency, seed.wrapping_add(octave));
+        norm += amplitude;
+        amplitude *= 0.5;
+        frequency *= 2.0;
+    }
+    if norm > 0.0 {
+        sum / norm
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_is_deterministic_and_bounded() {
+        for i in 0..100 {
+            let x = i as f32 * 0.37;
+            let z = i as f32 * 0.91;
+            let v = value(x, z, 3);
+            assert_eq!(v, value(x, z, 3));
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn value_continuous_across_lattice() {
+        // Approaching an integer lattice coordinate from both sides gives
+        // nearly the same value (C0 continuity of the interpolant).
+        let lo = value(1.0 - 1e-4, 0.5, 9);
+        let hi = value(1.0 + 1e-4, 0.5, 9);
+        assert!((lo - hi).abs() < 1e-2);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = value(0.5, 0.5, 1);
+        let b = value(0.5, 0.5, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn fbm_bounded_and_octaves_add_detail() {
+        let base = fbm(3.3, 4.4, 1, 5);
+        let detailed = fbm(3.3, 4.4, 6, 5);
+        assert!((0.0..1.0).contains(&base));
+        assert!((0.0..1.0).contains(&detailed));
+        // More octaves should change the value (adds higher-frequency terms).
+        assert_ne!(base, detailed);
+    }
+
+    #[test]
+    fn fbm_zero_octaves_is_zero() {
+        assert_eq!(fbm(1.0, 1.0, 0, 7), 0.0);
+    }
+}

@@ -1,0 +1,283 @@
+use std::fmt;
+
+use rtmath::{Aabb, Vec3};
+
+use crate::{Camera, Material, MaterialId, Triangle};
+
+/// Summary statistics of a scene, used by Table 2 style reports.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SceneStats {
+    /// Number of triangles.
+    pub triangle_count: usize,
+    /// Number of materials.
+    pub material_count: usize,
+    /// Number of emissive materials (light sources).
+    pub light_count: usize,
+    /// World bounds of all geometry.
+    pub bounds: Aabb,
+}
+
+/// An immutable triangle-soup scene: geometry, material table, camera and
+/// background radiance.
+///
+/// Build one with [`SceneBuilder`].
+///
+/// # Example
+///
+/// ```
+/// use rtmath::Vec3;
+/// use rtscene::{Camera, Material, SceneBuilder};
+///
+/// let mut b = SceneBuilder::new(Camera::new(
+///     Vec3::new(0.0, 0.0, -3.0), Vec3::ZERO, Vec3::new(0.0, 1.0, 0.0), 60.0, 1.0));
+/// let mat = b.add_material(Material::lambertian(Vec3::splat(0.7)));
+/// b.add_quad(
+///     Vec3::new(-1.0, -1.0, 0.0), Vec3::new(2.0, 0.0, 0.0), Vec3::new(0.0, 2.0, 0.0), mat);
+/// let scene = b.build();
+/// assert_eq!(scene.stats().triangle_count, 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Scene {
+    name: String,
+    triangles: Vec<Triangle>,
+    materials: Vec<Material>,
+    camera: Camera,
+    background: Vec3,
+}
+
+impl Scene {
+    /// Scene name (e.g. `"BUNNY"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All triangles.
+    pub fn triangles(&self) -> &[Triangle] {
+        &self.triangles
+    }
+
+    /// Material table.
+    pub fn materials(&self) -> &[Material] {
+        &self.materials
+    }
+
+    /// Looks up a material by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range (scene construction guarantees all
+    /// triangle material ids are valid).
+    pub fn material(&self, id: MaterialId) -> &Material {
+        &self.materials[id.index()]
+    }
+
+    /// The scene camera.
+    pub fn camera(&self) -> &Camera {
+        &self.camera
+    }
+
+    /// Background radiance returned by rays that escape the scene.
+    pub fn background(&self) -> Vec3 {
+        self.background
+    }
+
+    /// Computes summary statistics.
+    pub fn stats(&self) -> SceneStats {
+        let bounds = self
+            .triangles
+            .iter()
+            .fold(Aabb::EMPTY, |b, t| b.union(&t.bounds()));
+        SceneStats {
+            triangle_count: self.triangles.len(),
+            material_count: self.materials.len(),
+            light_count: self.materials.iter().filter(|m| m.is_emissive()).count(),
+            bounds,
+        }
+    }
+}
+
+impl fmt::Display for Scene {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Scene[{}: {} tris, {} mats]", self.name, self.triangles.len(), self.materials.len())
+    }
+}
+
+/// Incremental builder for [`Scene`].
+#[derive(Debug, Clone)]
+pub struct SceneBuilder {
+    name: String,
+    triangles: Vec<Triangle>,
+    materials: Vec<Material>,
+    camera: Camera,
+    background: Vec3,
+}
+
+impl SceneBuilder {
+    /// Starts a new scene with the given camera, a dim sky background and no
+    /// geometry.
+    pub fn new(camera: Camera) -> SceneBuilder {
+        SceneBuilder {
+            name: String::from("unnamed"),
+            triangles: Vec::new(),
+            materials: Vec::new(),
+            camera,
+            background: Vec3::new(0.55, 0.65, 0.8),
+        }
+    }
+
+    /// Sets the scene name.
+    pub fn name(&mut self, name: impl Into<String>) -> &mut SceneBuilder {
+        self.name = name.into();
+        self
+    }
+
+    /// Sets the background radiance for escaping rays.
+    pub fn background(&mut self, color: Vec3) -> &mut SceneBuilder {
+        self.background = color;
+        self
+    }
+
+    /// Registers a material and returns its id.
+    pub fn add_material(&mut self, material: Material) -> MaterialId {
+        let id = MaterialId::new(self.materials.len() as u32);
+        self.materials.push(material);
+        id
+    }
+
+    /// Adds a single triangle. Degenerate (zero-area) triangles are skipped.
+    pub fn add_triangle(&mut self, tri: Triangle) -> &mut SceneBuilder {
+        if !tri.is_degenerate() {
+            self.triangles.push(tri);
+        }
+        self
+    }
+
+    /// Adds a parallelogram `origin, origin+e1, origin+e1+e2, origin+e2`
+    /// as two triangles.
+    pub fn add_quad(&mut self, origin: Vec3, e1: Vec3, e2: Vec3, material: MaterialId) -> &mut SceneBuilder {
+        self.add_triangle(Triangle::new(origin, origin + e1, origin + e1 + e2, material));
+        self.add_triangle(Triangle::new(origin, origin + e1 + e2, origin + e2, material));
+        self
+    }
+
+    /// Adds all triangles of an indexed mesh.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range of `vertices`.
+    pub fn add_mesh(&mut self, vertices: &[Vec3], indices: &[[u32; 3]], material: MaterialId) -> &mut SceneBuilder {
+        for idx in indices {
+            self.add_triangle(Triangle::new(
+                vertices[idx[0] as usize],
+                vertices[idx[1] as usize],
+                vertices[idx[2] as usize],
+                material,
+            ));
+        }
+        self
+    }
+
+    /// Number of triangles added so far.
+    pub fn triangle_count(&self) -> usize {
+        self.triangles.len()
+    }
+
+    /// Finalizes the scene.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scene has no triangles or no materials, or if any
+    /// triangle references a material that was never registered.
+    pub fn build(&self) -> Scene {
+        assert!(!self.triangles.is_empty(), "scene has no geometry");
+        assert!(!self.materials.is_empty(), "scene has no materials");
+        for t in &self.triangles {
+            assert!(
+                t.material.index() < self.materials.len(),
+                "triangle references unregistered {}",
+                t.material
+            );
+        }
+        Scene {
+            name: self.name.clone(),
+            triangles: self.triangles.clone(),
+            materials: self.materials.clone(),
+            camera: self.camera,
+            background: self.background,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn camera() -> Camera {
+        Camera::new(Vec3::new(0.0, 0.0, -3.0), Vec3::ZERO, Vec3::new(0.0, 1.0, 0.0), 60.0, 1.0)
+    }
+
+    #[test]
+    fn builder_assembles_scene() {
+        let mut b = SceneBuilder::new(camera());
+        b.name("TEST").background(Vec3::ZERO);
+        let m = b.add_material(Material::lambertian(Vec3::ONE));
+        b.add_quad(Vec3::new(-1.0, -1.0, 0.0), Vec3::new(2.0, 0.0, 0.0), Vec3::new(0.0, 2.0, 0.0), m);
+        let s = b.build();
+        assert_eq!(s.name(), "TEST");
+        assert_eq!(s.triangles().len(), 2);
+        assert_eq!(s.background(), Vec3::ZERO);
+        assert_eq!(s.stats().material_count, 1);
+        assert_eq!(s.stats().light_count, 0);
+    }
+
+    #[test]
+    fn degenerate_triangles_are_dropped() {
+        let mut b = SceneBuilder::new(camera());
+        let m = b.add_material(Material::lambertian(Vec3::ONE));
+        b.add_triangle(Triangle::new(Vec3::ZERO, Vec3::ONE, Vec3::splat(2.0), m));
+        assert_eq!(b.triangle_count(), 0);
+    }
+
+    #[test]
+    fn mesh_indices_resolve() {
+        let mut b = SceneBuilder::new(camera());
+        let m = b.add_material(Material::metal(Vec3::ONE, 0.1));
+        let verts = [Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0), Vec3::new(0.0, 1.0, 0.0), Vec3::new(1.0, 1.0, 0.0)];
+        b.add_mesh(&verts, &[[0, 1, 2], [1, 3, 2]], m);
+        assert_eq!(b.triangle_count(), 2);
+    }
+
+    #[test]
+    fn stats_count_lights_and_bounds() {
+        let mut b = SceneBuilder::new(camera());
+        let light = b.add_material(Material::emissive(Vec3::splat(5.0)));
+        let _diffuse = b.add_material(Material::lambertian(Vec3::ONE));
+        b.add_quad(Vec3::new(0.0, 5.0, 0.0), Vec3::new(1.0, 0.0, 0.0), Vec3::new(0.0, 0.0, 1.0), light);
+        let s = b.build();
+        let stats = s.stats();
+        assert_eq!(stats.light_count, 1);
+        assert!(stats.bounds.contains(Vec3::new(0.5, 5.0, 0.5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "no geometry")]
+    fn empty_scene_rejected() {
+        let mut b = SceneBuilder::new(camera());
+        b.add_material(Material::lambertian(Vec3::ONE));
+        let _ = b.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "unregistered")]
+    fn dangling_material_rejected() {
+        let mut b = SceneBuilder::new(camera());
+        let _m = b.add_material(Material::lambertian(Vec3::ONE));
+        b.add_triangle(Triangle::new(
+            Vec3::ZERO,
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.0, 1.0, 0.0),
+            MaterialId::new(7),
+        ));
+        let _ = b.build();
+    }
+}

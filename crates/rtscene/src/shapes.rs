@@ -1,0 +1,354 @@
+//! Tessellation helpers used by the procedural scene generators.
+//!
+//! Every helper appends triangles to a [`SceneBuilder`] and is fully
+//! deterministic given its arguments (and, where applicable, a seed).
+
+use rtmath::{Vec3, XorShiftRng};
+
+use crate::{MaterialId, SceneBuilder};
+
+/// Appends a tessellated parallelogram (`res × res` grid, `2·res²` triangles).
+///
+/// `origin` is one corner, `e1`/`e2` span the surface.
+pub fn tessellated_quad(
+    b: &mut SceneBuilder,
+    origin: Vec3,
+    e1: Vec3,
+    e2: Vec3,
+    res: u32,
+    material: MaterialId,
+) {
+    let res = res.max(1);
+    let step1 = e1 / res as f32;
+    let step2 = e2 / res as f32;
+    for i in 0..res {
+        for j in 0..res {
+            let corner = origin + step1 * i as f32 + step2 * j as f32;
+            b.add_quad(corner, step1, step2, material);
+        }
+    }
+}
+
+/// Appends an axis-aligned box (12 triangles).
+pub fn box_mesh(b: &mut SceneBuilder, min: Vec3, max: Vec3, material: MaterialId) {
+    let d = max - min;
+    let dx = Vec3::new(d.x, 0.0, 0.0);
+    let dy = Vec3::new(0.0, d.y, 0.0);
+    let dz = Vec3::new(0.0, 0.0, d.z);
+    // -z and +z faces
+    b.add_quad(min, dx, dy, material);
+    b.add_quad(min + dz, dy, dx, material);
+    // -x and +x faces
+    b.add_quad(min, dy, dz, material);
+    b.add_quad(min + dx, dz, dy, material);
+    // -y and +y faces
+    b.add_quad(min, dz, dx, material);
+    b.add_quad(min + dy, dx, dz, material);
+}
+
+/// Appends a heightfield terrain patch.
+///
+/// The grid spans `size × size` around `center` in the XZ plane with
+/// `res × res` cells; heights come from fBm noise scaled by `height`.
+/// Produces `2·res²` triangles.
+pub fn terrain(
+    b: &mut SceneBuilder,
+    center: Vec3,
+    size: f32,
+    res: u32,
+    height: f32,
+    seed: u32,
+    material: MaterialId,
+) {
+    let res = res.max(1);
+    let n = (res + 1) as usize;
+    let mut verts = Vec::with_capacity(n * n);
+    for j in 0..=res {
+        for i in 0..=res {
+            let fx = i as f32 / res as f32;
+            let fz = j as f32 / res as f32;
+            let x = center.x + (fx - 0.5) * size;
+            let z = center.z + (fz - 0.5) * size;
+            let y = center.y + height * crate::noise::fbm(fx * 8.0, fz * 8.0, 5, seed);
+            verts.push(Vec3::new(x, y, z));
+        }
+    }
+    let mut indices = Vec::with_capacity((res * res * 2) as usize);
+    for j in 0..res {
+        for i in 0..res {
+            let a = j * (res + 1) + i;
+            let bq = a + 1;
+            let c = a + res + 1;
+            let dq = c + 1;
+            indices.push([a, bq, c]);
+            indices.push([bq, dq, c]);
+        }
+    }
+    b.add_mesh(&verts, &indices, material);
+}
+
+/// Appends an icosphere with `subdivisions` levels (20·4^s triangles),
+/// optionally displaced along its normals by fBm noise (`displacement` as a
+/// fraction of the radius) for a "scanned statue" look.
+pub fn icosphere(
+    b: &mut SceneBuilder,
+    center: Vec3,
+    radius: f32,
+    subdivisions: u32,
+    displacement: f32,
+    seed: u32,
+    material: MaterialId,
+) {
+    let t = (1.0 + 5.0_f32.sqrt()) / 2.0;
+    let mut verts: Vec<Vec3> = [
+        (-1.0, t, 0.0),
+        (1.0, t, 0.0),
+        (-1.0, -t, 0.0),
+        (1.0, -t, 0.0),
+        (0.0, -1.0, t),
+        (0.0, 1.0, t),
+        (0.0, -1.0, -t),
+        (0.0, 1.0, -t),
+        (t, 0.0, -1.0),
+        (t, 0.0, 1.0),
+        (-t, 0.0, -1.0),
+        (-t, 0.0, 1.0),
+    ]
+    .iter()
+    .map(|&(x, y, z)| Vec3::new(x, y, z).normalized())
+    .collect();
+    let mut faces: Vec<[u32; 3]> = vec![
+        [0, 11, 5],
+        [0, 5, 1],
+        [0, 1, 7],
+        [0, 7, 10],
+        [0, 10, 11],
+        [1, 5, 9],
+        [5, 11, 4],
+        [11, 10, 2],
+        [10, 7, 6],
+        [7, 1, 8],
+        [3, 9, 4],
+        [3, 4, 2],
+        [3, 2, 6],
+        [3, 6, 8],
+        [3, 8, 9],
+        [4, 9, 5],
+        [2, 4, 11],
+        [6, 2, 10],
+        [8, 6, 7],
+        [9, 8, 1],
+    ];
+
+    for _ in 0..subdivisions {
+        let mut midpoints = std::collections::HashMap::new();
+        let mut next = Vec::with_capacity(faces.len() * 4);
+        let mut midpoint = |a: u32, bidx: u32, verts: &mut Vec<Vec3>| -> u32 {
+            let key = if a < bidx { (a, bidx) } else { (bidx, a) };
+            *midpoints.entry(key).or_insert_with(|| {
+                let m = ((verts[a as usize] + verts[bidx as usize]) * 0.5).normalized();
+                verts.push(m);
+                (verts.len() - 1) as u32
+            })
+        };
+        for f in &faces {
+            let ab = midpoint(f[0], f[1], &mut verts);
+            let bc = midpoint(f[1], f[2], &mut verts);
+            let ca = midpoint(f[2], f[0], &mut verts);
+            next.push([f[0], ab, ca]);
+            next.push([f[1], bc, ab]);
+            next.push([f[2], ca, bc]);
+            next.push([ab, bc, ca]);
+        }
+        faces = next;
+    }
+
+    let world: Vec<Vec3> = verts
+        .iter()
+        .map(|&v| {
+            let r = if displacement > 0.0 {
+                let n = crate::noise::fbm(v.x * 4.0 + v.z * 2.0 + 10.0, v.y * 4.0 + 10.0, 4, seed);
+                radius * (1.0 + displacement * (n - 0.5))
+            } else {
+                radius
+            };
+            center + v * r
+        })
+        .collect();
+    b.add_mesh(&world, &faces, material);
+}
+
+/// Appends an open cone (`segments` side triangles plus a fan base).
+pub fn cone(
+    b: &mut SceneBuilder,
+    base_center: Vec3,
+    radius: f32,
+    height: f32,
+    segments: u32,
+    material: MaterialId,
+) {
+    let segments = segments.max(3);
+    let apex = base_center + Vec3::new(0.0, height, 0.0);
+    let ring: Vec<Vec3> = (0..segments)
+        .map(|i| {
+            let a = core::f32::consts::TAU * i as f32 / segments as f32;
+            base_center + Vec3::new(radius * a.cos(), 0.0, radius * a.sin())
+        })
+        .collect();
+    for i in 0..segments as usize {
+        let j = (i + 1) % segments as usize;
+        b.add_triangle(crate::Triangle::new(ring[i], ring[j], apex, material));
+        b.add_triangle(crate::Triangle::new(ring[j], ring[i], base_center, material));
+    }
+}
+
+/// Appends an open cylinder (`2·segments` side triangles).
+pub fn cylinder(
+    b: &mut SceneBuilder,
+    base_center: Vec3,
+    radius: f32,
+    height: f32,
+    segments: u32,
+    material: MaterialId,
+) {
+    let segments = segments.max(3);
+    let up = Vec3::new(0.0, height, 0.0);
+    let ring: Vec<Vec3> = (0..segments)
+        .map(|i| {
+            let a = core::f32::consts::TAU * i as f32 / segments as f32;
+            base_center + Vec3::new(radius * a.cos(), 0.0, radius * a.sin())
+        })
+        .collect();
+    for i in 0..segments as usize {
+        let j = (i + 1) % segments as usize;
+        b.add_quad(ring[i], ring[j] - ring[i], up, material);
+    }
+}
+
+/// Appends a stylized tree: cylinder trunk + 2–3 stacked cone canopies.
+/// Shape parameters are jittered deterministically from `rng`.
+pub fn tree(
+    b: &mut SceneBuilder,
+    base: Vec3,
+    scale: f32,
+    rng: &mut XorShiftRng,
+    trunk_material: MaterialId,
+    canopy_material: MaterialId,
+) {
+    let trunk_h = scale * rng.range_f32(0.8, 1.2);
+    let trunk_r = scale * 0.08 * rng.range_f32(0.8, 1.2);
+    cylinder(b, base, trunk_r, trunk_h, 6, trunk_material);
+    let layers = 2 + (rng.below(2) as u32);
+    let mut y = trunk_h * 0.5;
+    let mut r = scale * 0.5 * rng.range_f32(0.8, 1.2);
+    for _ in 0..layers {
+        cone(b, base + Vec3::new(0.0, y, 0.0), r, scale * 0.9, 8, canopy_material);
+        y += scale * 0.45;
+        r *= 0.72;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Camera, Material};
+
+    fn builder() -> SceneBuilder {
+        SceneBuilder::new(Camera::new(
+            Vec3::new(0.0, 0.0, -3.0),
+            Vec3::ZERO,
+            Vec3::new(0.0, 1.0, 0.0),
+            60.0,
+            1.0,
+        ))
+    }
+
+    #[test]
+    fn tessellated_quad_triangle_count() {
+        let mut b = builder();
+        let m = b.add_material(Material::lambertian(Vec3::ONE));
+        tessellated_quad(&mut b, Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0), Vec3::new(0.0, 1.0, 0.0), 4, m);
+        assert_eq!(b.triangle_count(), 2 * 16);
+    }
+
+    #[test]
+    fn box_mesh_has_12_triangles() {
+        let mut b = builder();
+        let m = b.add_material(Material::lambertian(Vec3::ONE));
+        box_mesh(&mut b, Vec3::ZERO, Vec3::ONE, m);
+        assert_eq!(b.triangle_count(), 12);
+    }
+
+    #[test]
+    fn terrain_triangle_count_and_bounds() {
+        let mut b = builder();
+        let m = b.add_material(Material::lambertian(Vec3::ONE));
+        terrain(&mut b, Vec3::ZERO, 10.0, 8, 2.0, 1, m);
+        assert_eq!(b.triangle_count(), 2 * 8 * 8);
+        let s = b.build();
+        let bounds = s.stats().bounds;
+        assert!(bounds.extent().x <= 10.0 + 1e-4);
+        assert!(bounds.extent().y <= 2.0 + 1e-4);
+    }
+
+    #[test]
+    fn icosphere_subdivision_counts() {
+        for (sub, expect) in [(0u32, 20usize), (1, 80), (2, 320)] {
+            let mut b = builder();
+            let m = b.add_material(Material::lambertian(Vec3::ONE));
+            icosphere(&mut b, Vec3::ZERO, 1.0, sub, 0.0, 0, m);
+            assert_eq!(b.triangle_count(), expect, "subdivisions={sub}");
+        }
+    }
+
+    #[test]
+    fn icosphere_vertices_on_sphere_without_displacement() {
+        let mut b = builder();
+        let m = b.add_material(Material::lambertian(Vec3::ONE));
+        icosphere(&mut b, Vec3::splat(1.0), 2.0, 2, 0.0, 0, m);
+        let s = b.build();
+        for t in s.triangles() {
+            for v in [t.v0, t.v1, t.v2] {
+                assert!(((v - Vec3::splat(1.0)).length() - 2.0).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn displaced_icosphere_departs_from_sphere() {
+        let mut b = builder();
+        let m = b.add_material(Material::lambertian(Vec3::ONE));
+        icosphere(&mut b, Vec3::ZERO, 1.0, 2, 0.5, 3, m);
+        let s = b.build();
+        let off_sphere = s
+            .triangles()
+            .iter()
+            .flat_map(|t| [t.v0, t.v1, t.v2])
+            .filter(|v| (v.length() - 1.0).abs() > 1e-3)
+            .count();
+        assert!(off_sphere > 0);
+    }
+
+    #[test]
+    fn cone_and_cylinder_counts() {
+        let mut b = builder();
+        let m = b.add_material(Material::lambertian(Vec3::ONE));
+        cone(&mut b, Vec3::ZERO, 1.0, 2.0, 8, m);
+        assert_eq!(b.triangle_count(), 16);
+        cylinder(&mut b, Vec3::ZERO, 1.0, 2.0, 8, m);
+        assert_eq!(b.triangle_count(), 16 + 16);
+    }
+
+    #[test]
+    fn tree_is_deterministic_per_seed() {
+        let mut b1 = builder();
+        let mut b2 = builder();
+        let m1 = b1.add_material(Material::lambertian(Vec3::ONE));
+        let c1 = b1.add_material(Material::lambertian(Vec3::ONE));
+        let m2 = b2.add_material(Material::lambertian(Vec3::ONE));
+        let c2 = b2.add_material(Material::lambertian(Vec3::ONE));
+        tree(&mut b1, Vec3::ZERO, 1.0, &mut XorShiftRng::new(9), m1, c1);
+        tree(&mut b2, Vec3::ZERO, 1.0, &mut XorShiftRng::new(9), m2, c2);
+        assert_eq!(b1.triangle_count(), b2.triangle_count());
+    }
+}

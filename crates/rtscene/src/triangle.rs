@@ -1,0 +1,179 @@
+use rtmath::{Aabb, Ray, Vec3, GEOM_EPS};
+
+use crate::MaterialId;
+
+/// A single triangle with a material reference.
+///
+/// Triangles are the only primitive in the workspace (the paper's scenes are
+/// triangle meshes; LumiBench uses ray–triangle tests at BVH leaves).
+///
+/// # Example
+///
+/// ```
+/// use rtmath::{Ray, Vec3};
+/// use rtscene::{MaterialId, Triangle};
+///
+/// let tri = Triangle::new(
+///     Vec3::new(-1.0, -1.0, 0.0),
+///     Vec3::new(1.0, -1.0, 0.0),
+///     Vec3::new(0.0, 1.0, 0.0),
+///     MaterialId::new(0),
+/// );
+/// let ray = Ray::new(Vec3::new(0.0, 0.0, -2.0), Vec3::new(0.0, 0.0, 1.0));
+/// let t = tri.intersect(&ray, 0.0, f32::INFINITY).expect("hits");
+/// assert!((t - 2.0).abs() < 1e-5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Triangle {
+    /// First vertex.
+    pub v0: Vec3,
+    /// Second vertex.
+    pub v1: Vec3,
+    /// Third vertex.
+    pub v2: Vec3,
+    /// Material used to shade hits on this triangle.
+    pub material: MaterialId,
+}
+
+impl Triangle {
+    /// Creates a triangle from three vertices and a material.
+    #[inline]
+    pub const fn new(v0: Vec3, v1: Vec3, v2: Vec3, material: MaterialId) -> Triangle {
+        Triangle { v0, v1, v2, material }
+    }
+
+    /// Bounding box of the triangle.
+    #[inline]
+    pub fn bounds(&self) -> Aabb {
+        Aabb::from_points(&[self.v0, self.v1, self.v2])
+    }
+
+    /// Centroid (mean of the vertices), used for SAH binning.
+    #[inline]
+    pub fn centroid(&self) -> Vec3 {
+        (self.v0 + self.v1 + self.v2) / 3.0
+    }
+
+    /// Geometric (unnormalized) normal `(v1-v0) × (v2-v0)`.
+    #[inline]
+    pub fn geometric_normal(&self) -> Vec3 {
+        (self.v1 - self.v0).cross(self.v2 - self.v0)
+    }
+
+    /// Twice the triangle area (length of the geometric normal).
+    #[inline]
+    pub fn double_area(&self) -> f32 {
+        self.geometric_normal().length()
+    }
+
+    /// `true` if the triangle has (near-)zero area.
+    #[inline]
+    pub fn is_degenerate(&self) -> bool {
+        self.double_area() < GEOM_EPS
+    }
+
+    /// Möller–Trumbore ray–triangle intersection.
+    ///
+    /// Returns the hit distance `t` if the ray hits within `(t_min, t_max)`,
+    /// testing both faces (no backface culling, matching hardware RT units).
+    pub fn intersect(&self, ray: &Ray, t_min: f32, t_max: f32) -> Option<f32> {
+        let e1 = self.v1 - self.v0;
+        let e2 = self.v2 - self.v0;
+        let pvec = ray.dir.cross(e2);
+        let det = e1.dot(pvec);
+        if det.abs() < 1e-12 {
+            return None;
+        }
+        let inv_det = 1.0 / det;
+        let tvec = ray.origin - self.v0;
+        let u = tvec.dot(pvec) * inv_det;
+        if !(0.0..=1.0).contains(&u) {
+            return None;
+        }
+        let qvec = tvec.cross(e1);
+        let v = ray.dir.dot(qvec) * inv_det;
+        if v < 0.0 || u + v > 1.0 {
+            return None;
+        }
+        let t = e2.dot(qvec) * inv_det;
+        if t > t_min && t < t_max {
+            Some(t)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_tri() -> Triangle {
+        Triangle::new(
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.0, 1.0, 0.0),
+            MaterialId::new(0),
+        )
+    }
+
+    #[test]
+    fn hit_inside() {
+        let r = Ray::new(Vec3::new(0.25, 0.25, -1.0), Vec3::new(0.0, 0.0, 1.0));
+        let t = unit_tri().intersect(&r, 0.0, f32::INFINITY).unwrap();
+        assert!((t - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn miss_outside_barycentric_range() {
+        let r = Ray::new(Vec3::new(0.9, 0.9, -1.0), Vec3::new(0.0, 0.0, 1.0));
+        assert!(unit_tri().intersect(&r, 0.0, f32::INFINITY).is_none());
+        let r2 = Ray::new(Vec3::new(-0.1, 0.5, -1.0), Vec3::new(0.0, 0.0, 1.0));
+        assert!(unit_tri().intersect(&r2, 0.0, f32::INFINITY).is_none());
+    }
+
+    #[test]
+    fn no_backface_culling() {
+        // Same triangle, approached from behind: must still hit.
+        let r = Ray::new(Vec3::new(0.25, 0.25, 1.0), Vec3::new(0.0, 0.0, -1.0));
+        assert!(unit_tri().intersect(&r, 0.0, f32::INFINITY).is_some());
+    }
+
+    #[test]
+    fn parallel_ray_misses() {
+        let r = Ray::new(Vec3::new(0.0, 0.0, 1.0), Vec3::new(1.0, 0.0, 0.0));
+        assert!(unit_tri().intersect(&r, 0.0, f32::INFINITY).is_none());
+    }
+
+    #[test]
+    fn respects_t_interval() {
+        let r = Ray::new(Vec3::new(0.25, 0.25, -1.0), Vec3::new(0.0, 0.0, 1.0));
+        assert!(unit_tri().intersect(&r, 0.0, 0.5).is_none());
+        assert!(unit_tri().intersect(&r, 1.5, 2.0).is_none());
+    }
+
+    #[test]
+    fn bounds_contain_vertices() {
+        let t = unit_tri();
+        let b = t.bounds();
+        assert!(b.contains(t.v0) && b.contains(t.v1) && b.contains(t.v2));
+    }
+
+    #[test]
+    fn centroid_is_vertex_mean() {
+        let c = unit_tri().centroid();
+        assert!((c - Vec3::new(1.0 / 3.0, 1.0 / 3.0, 0.0)).length() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_detection() {
+        let d = Triangle::new(Vec3::ZERO, Vec3::ONE, Vec3::splat(2.0), MaterialId::new(0));
+        assert!(d.is_degenerate());
+        assert!(!unit_tri().is_degenerate());
+    }
+
+    #[test]
+    fn area_of_unit_right_triangle() {
+        assert!((unit_tri().double_area() - 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests of the scene substrate: intersection geometry,
+//! scattering physics and scene-construction invariants.
+
+use proptest::prelude::*;
+use rtmath::{Ray, Vec3, XorShiftRng};
+use rtscene::{Camera, HitRecord, Material, MaterialId, Triangle};
+
+fn coord() -> impl Strategy<Value = f32> {
+    -100.0f32..100.0
+}
+
+fn point() -> impl Strategy<Value = Vec3> {
+    (coord(), coord(), coord()).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+fn triangle() -> impl Strategy<Value = Triangle> {
+    (point(), point(), point())
+        .prop_map(|(a, b, c)| Triangle::new(a, b, c, MaterialId::new(0)))
+        .prop_filter("non-degenerate", |t| !t.is_degenerate())
+}
+
+proptest! {
+    #[test]
+    fn hit_point_lies_on_triangle_plane(t in triangle(), origin in point(), target_u in 0.0f32..1.0, target_v in 0.0f32..1.0) {
+        // Aim at a point inside the triangle via barycentric coordinates.
+        let (u, v) = if target_u + target_v > 1.0 {
+            (1.0 - target_u, 1.0 - target_v)
+        } else {
+            (target_u, target_v)
+        };
+        let target = t.v0 + (t.v1 - t.v0) * u + (t.v2 - t.v0) * v;
+        let dir = target - origin;
+        prop_assume!(dir.length() > 1e-3);
+        let n = t.geometric_normal();
+        // Skip near-grazing configurations where f32 precision dominates.
+        prop_assume!(n.normalized().dot(dir.normalized()).abs() > 1e-2);
+        let ray = Ray::new(origin, dir);
+        if let Some(hit_t) = t.intersect(&ray, 1e-4, f32::INFINITY) {
+            let p = ray.at(hit_t);
+            let plane_dist = (p - t.v0).dot(n.normalized());
+            let scale = (p - origin).length().max(1.0);
+            prop_assert!(plane_dist.abs() < 1e-2 * scale, "off plane by {plane_dist}");
+        }
+    }
+
+    #[test]
+    fn intersection_distance_is_in_interval(t in triangle(), origin in point(), dir in point()) {
+        prop_assume!(dir.length() > 1e-3);
+        let ray = Ray::new(origin, dir);
+        let (lo, hi) = (0.5f32, 42.0f32);
+        if let Some(hit_t) = t.intersect(&ray, lo, hi) {
+            prop_assert!(hit_t > lo && hit_t < hi);
+        }
+    }
+
+    #[test]
+    fn triangle_bounds_contain_any_hit_point(t in triangle(), origin in point(), dir in point()) {
+        prop_assume!(dir.length() > 1e-3);
+        let ray = Ray::new(origin, dir);
+        if let Some(hit_t) = t.intersect(&ray, 1e-4, f32::INFINITY) {
+            let p = ray.at(hit_t);
+            let b = t.bounds().expanded(1e-2 * p.length().max(1.0));
+            prop_assert!(b.contains(p));
+        }
+    }
+
+    #[test]
+    fn scattered_rays_leave_the_surface(seed in any::<u64>(), albedo in 0.05f32..0.95) {
+        let mut rng = XorShiftRng::new(seed);
+        let hit = HitRecord {
+            t: 1.0,
+            point: Vec3::ZERO,
+            normal: Vec3::new(0.0, 1.0, 0.0),
+            front_face: true,
+            material: MaterialId::new(0),
+        };
+        let incoming = Ray::new(Vec3::new(0.0, 2.0, -2.0), Vec3::new(0.0, -1.0, 1.0));
+        for material in [
+            Material::lambertian(Vec3::splat(albedo)),
+            Material::metal(Vec3::splat(albedo), 0.0),
+        ] {
+            for _ in 0..16 {
+                if let Some(s) = material.scatter(&incoming, &hit, &mut rng) {
+                    prop_assert!(s.ray.dir.dot(hit.normal) >= 0.0, "scatter into surface");
+                    prop_assert!(s.attenuation.max_component() <= 1.0, "energy gain");
+                    prop_assert!(s.attenuation.min_component() >= 0.0);
+                    prop_assert_eq!(s.ray.origin, hit.point);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn camera_rays_form_a_frustum(px in 0u32..64, py in 0u32..64) {
+        let cam = Camera::new(
+            Vec3::new(0.0, 0.0, -10.0),
+            Vec3::ZERO,
+            Vec3::new(0.0, 1.0, 0.0),
+            60.0,
+            1.0,
+        );
+        let center = cam.primary_ray(32, 32, 64, 64, None).dir.normalized();
+        let r = cam.primary_ray(px, py, 64, 64, None);
+        prop_assert_eq!(r.origin, cam.origin());
+        // Every ray stays within the field of view of the center ray.
+        let cos = r.dir.normalized().dot(center);
+        let half_diag_fov = (60.0f32 / 2.0).to_radians() * 1.5;
+        prop_assert!(cos >= half_diag_fov.cos() - 1e-3, "ray outside frustum: cos={cos}");
+    }
+}

@@ -1,0 +1,60 @@
+//! §8 extension: virtualized treelet queues on *general tree-traversal*
+//! workloads (RTNN / RT-DBSCAN style range queries mapped to short rays),
+//! the future-work direction the paper closes with.
+//!
+//! ```sh
+//! cargo run --release --example general_traversal -- PARTY 20000
+//! ```
+
+use treelet_rt::prelude::*;
+use vtq::general;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let name = args.get(1).map(String::as_str).unwrap_or("PARTY");
+    let count: usize = args.get(2).and_then(|v| v.parse().ok()).unwrap_or(20_000);
+    let id = SceneId::ALL
+        .iter()
+        .copied()
+        .find(|s| s.name().eq_ignore_ascii_case(name))
+        .unwrap_or_else(|| panic!("unknown scene {name}"));
+
+    let scene = lumibench::build_scaled(id, 4);
+    let cfg = ExperimentConfig::default();
+    let bvh = Bvh::build(scene.triangles(), &cfg.bvh);
+    let extent = scene.stats().bounds.extent().max_component();
+    let radius = extent * 0.02;
+    println!(
+        "{}: {} range queries (radius {:.2}) over {} triangles / {} treelets",
+        id,
+        count,
+        radius,
+        scene.triangles().len(),
+        bvh.partition().len()
+    );
+
+    let queries = general::random_queries(&scene, count, radius, 0xDB5C);
+    let workload = general::query_workload(&queries, 0xDB5C);
+
+    let mut results = Vec::new();
+    for policy in [
+        TraversalPolicy::Baseline,
+        TraversalPolicy::TreeletPrefetch,
+        TraversalPolicy::Vtq(VtqParams::default()),
+    ] {
+        let sim = Simulator::new(&bvh, scene.triangles(), cfg.gpu.with_policy(policy));
+        let r = sim.run(&workload);
+        println!(
+            "{:<9} cycles={:>10}  simt={:.3}  l1_bvh_miss={:.3}",
+            policy.label(),
+            r.stats.cycles,
+            r.stats.simt_efficiency(),
+            r.mem.kind(AccessKind::Bvh).l1_miss_rate()
+        );
+        results.push((policy.label(), r.stats.cycles));
+    }
+    println!(
+        "\nVTQ speedup on tree queries: {:.2}x over baseline (the paper's §8 conjecture)",
+        results[0].1 as f64 / results[2].1 as f64
+    );
+}

@@ -1,0 +1,51 @@
+//! Sweeps the virtualized-treelet-queue design parameters on one scene:
+//! queue threshold, repack threshold, preloading and virtualization
+//! charging — an ablation of every §4 mechanism.
+//!
+//! ```sh
+//! cargo run --release --example policy_sweep -- LANDS
+//! ```
+
+use treelet_rt::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let name = args.get(1).map(String::as_str).unwrap_or("LANDS");
+    let id = SceneId::ALL
+        .iter()
+        .copied()
+        .find(|s| s.name().eq_ignore_ascii_case(name))
+        .unwrap_or_else(|| panic!("unknown scene {name}"));
+
+    let cfg = ExperimentConfig { detail_divisor: 4, resolution: 128, ..Default::default() };
+    let p = Prepared::build(id, &cfg);
+    let base = p.run_policy(TraversalPolicy::Baseline).stats.cycles as f64;
+    println!("{id}: baseline = {base} cycles\n");
+    println!("{:<44} {:>10} {:>8} {:>8}", "configuration", "cycles", "speedup", "simt");
+
+    let show = |label: &str, params: VtqParams| {
+        let r = p.run_vtq(params);
+        println!(
+            "{:<44} {:>10} {:>7.2}x {:>8.3}",
+            label,
+            r.stats.cycles,
+            base / r.stats.cycles as f64,
+            r.stats.simt_efficiency()
+        );
+    };
+
+    show("full VTQ (defaults)", VtqParams::default());
+    show("no repacking", VtqParams { repack_threshold: 0, ..Default::default() });
+    show("no preloading", VtqParams { preload: false, ..Default::default() });
+    show(
+        "naive queues (no grouping, no repack)",
+        VtqParams { group_underpopulated: false, repack_threshold: 0, ..Default::default() },
+    );
+    show("free virtualization (idealized)", VtqParams { charge_virtualization: false, ..Default::default() });
+    for q in [32, 64, 128, 256] {
+        show(&format!("queue threshold {q}"), VtqParams { queue_threshold: q, ..Default::default() });
+    }
+    for t in [8, 16, 22, 24, 28] {
+        show(&format!("repack threshold {t}"), VtqParams { repack_threshold: t, ..Default::default() });
+    }
+}

@@ -1,0 +1,26 @@
+//! Umbrella crate for the treelet-rt workspace.
+//!
+//! Re-exports the public API of the reproduction of *"Treelet Accelerated
+//! Ray Tracing on GPUs"* (ASPLOS 2025). Use [`vtq::prelude`] for the usual
+//! imports; the substrates ([`rtmath`], [`rtscene`], [`rtbvh`], [`gpumem`],
+//! [`gpusim`]) are re-exported for direct access.
+//!
+//! ```
+//! use treelet_rt::prelude::*;
+//!
+//! let cfg = ExperimentConfig { detail_divisor: 32, resolution: 16, ..Default::default() };
+//! let prepared = Prepared::build(SceneId::Bunny, &cfg);
+//! assert!(prepared.bvh.total_bytes() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use gpumem;
+pub use gpusim;
+pub use rtbvh;
+pub use rtmath;
+pub use rtscene;
+pub use vtq;
+
+pub use vtq::prelude;
