@@ -15,9 +15,8 @@ fn setup() -> (rtscene::Scene, Bvh) {
 
 fn bench_reference_intersect(c: &mut Criterion) {
     let (scene, bvh) = setup();
-    let rays: Vec<_> = (0..256)
-        .map(|i| scene.camera().primary_ray(i % 16, i / 16, 16, 16, None))
-        .collect();
+    let rays: Vec<_> =
+        (0..256).map(|i| scene.camera().primary_ray(i % 16, i / 16, 16, 16, None)).collect();
     c.bench_function("reference_intersect_256rays", |b| {
         b.iter(|| {
             let mut hits = 0;
@@ -33,9 +32,8 @@ fn bench_reference_intersect(c: &mut Criterion) {
 
 fn bench_two_stack_traversal(c: &mut Criterion) {
     let (scene, bvh) = setup();
-    let rays: Vec<_> = (0..256)
-        .map(|i| scene.camera().primary_ray(i % 16, i / 16, 16, 16, None))
-        .collect();
+    let rays: Vec<_> =
+        (0..256).map(|i| scene.camera().primary_ray(i % 16, i / 16, 16, 16, None)).collect();
     c.bench_function("two_stack_traversal_256rays", |b| {
         b.iter(|| {
             let mut visited = 0u64;

@@ -9,7 +9,8 @@ use gpumem::AccessKind;
 use gpusim::{SimReport, TraversalMode, TraversalPolicy, VtqParams};
 use rtscene::lumibench::SceneId;
 use vtq::analytical;
-use vtq_bench::{geomean, mean, HarnessOpts};
+use vtq::experiment::aggregate_stats;
+use vtq_bench::{geomean, mean, mean_opt, pct_or_na, HarnessOpts};
 
 struct SceneResults {
     id: SceneId,
@@ -68,6 +69,11 @@ fn main() {
             free: vtq_with(VtqParams { charge_virtualization: false, ..Default::default() }),
             fig5: analytical::analytical_speedups(&p.bvh, &traces, &FIG5_BATCHES),
         });
+        let r = results.last().unwrap();
+        let scene = r.id.name();
+        opts.persist(&format!("{scene}/base"), &r.base);
+        opts.persist(&format!("{scene}/prefetch"), &r.pref);
+        opts.persist(&format!("{scene}/vtq"), &r.vtq);
     }
 
     println!("# Measured results (all figures)\n");
@@ -97,11 +103,19 @@ fn main() {
             r.base.stats.simt_efficiency()
         );
     }
-    let miss_mean = mean(
-        &results.iter().map(|r| r.base.mem.kind(AccessKind::Bvh).l1_miss_rate()).collect::<Vec<_>>(),
+    // Average only the scenes where the rate is defined (a scene whose
+    // baseline issued no BVH accesses / warp steps must not drag the
+    // mean toward zero via the 0.0 sentinel).
+    let miss_mean = mean_opt(
+        &results
+            .iter()
+            .map(|r| r.base.mem.kind(AccessKind::Bvh).l1_miss_rate_opt())
+            .collect::<Vec<_>>(),
     );
-    let simt_mean = mean(&results.iter().map(|r| r.base.stats.simt_efficiency()).collect::<Vec<_>>());
-    println!("| **mean** | **{miss_mean:.3}** | **{simt_mean:.3}** |");
+    let simt_mean =
+        mean_opt(&results.iter().map(|r| r.base.stats.simt_efficiency_opt()).collect::<Vec<_>>());
+    let fmt3 = |v: Option<f64>| v.map_or("n/a".to_string(), |v| format!("{v:.3}"));
+    println!("| **mean** | **{}** | **{}** |", fmt3(miss_mean), fmt3(simt_mean));
 
     println!("\n## Figure 5 — analytical speedup vs concurrent rays\n");
     print!("| scene |");
@@ -168,7 +182,9 @@ fn main() {
     );
 
     println!("\n## Figure 13 — warp repacking (speedup vs baseline / SIMT efficiency)\n");
-    println!("| scene | norepack | t=8 | t=16 | t=22 | t=24 | simt base | simt norepack | simt t=22 |");
+    println!(
+        "| scene | norepack | t=8 | t=16 | t=22 | t=24 | simt base | simt norepack | simt t=22 |"
+    );
     println!("|---|---|---|---|---|---|---|---|---|");
     for r in &results {
         println!(
@@ -235,6 +251,17 @@ fn main() {
         );
     }
     println!("| **mean** | **{:.3}** | | **{:.1}%** |", mean(&ratios), mean(&fracs) * 100.0);
+
+    println!("\n## RT-unit stall attribution (VTQ, aggregated over scenes)\n");
+    let agg = aggregate_stats(results.iter().map(|r| &r.vtq));
+    let total: u64 = agg.stall.iter().map(|u| u.total()).sum();
+    println!("| category | share |");
+    println!("|---|---|");
+    for kind in gpusim::StallKind::ALL {
+        let cycles: u64 = agg.stall.iter().map(|u| u.get(kind)).sum();
+        let share = if total > 0 { Some(cycles as f64 / total as f64) } else { None };
+        println!("| {} | {} |", kind.label(), pct_or_na(share));
+    }
 
     eprintln!("done.");
 }

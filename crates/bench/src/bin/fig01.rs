@@ -15,7 +15,10 @@ fn main() {
         let r = experiment::fig01(&p);
         misses.push(r.l1_bvh_miss_rate);
         simts.push(r.simt_efficiency);
-        row(id.name(), &[format!("{:.3}", r.l1_bvh_miss_rate), format!("{:.3}", r.simt_efficiency)]);
+        row(
+            id.name(),
+            &[format!("{:.3}", r.l1_bvh_miss_rate), format!("{:.3}", r.simt_efficiency)],
+        );
     }
     row("MEAN", &[format!("{:.3}", mean(&misses)), format!("{:.3}", mean(&simts))]);
 }

@@ -15,7 +15,8 @@ fn main() {
         opts.scenes = rtscene::lumibench::SceneId::ALL_WITH_EXTRAS.to_vec();
     }
     let cols: Vec<String> = BATCHES.iter().map(|b| format!("c={b}")).collect();
-    let col_refs: Vec<&str> = std::iter::once("scene").chain(cols.iter().map(|s| s.as_str())).collect();
+    let col_refs: Vec<&str> =
+        std::iter::once("scene").chain(cols.iter().map(|s| s.as_str())).collect();
     header(&col_refs);
     for id in &opts.scenes {
         let p = opts.prepare(*id);

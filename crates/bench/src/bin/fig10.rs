@@ -7,7 +7,15 @@ use vtq_bench::{geomean, header, row, HarnessOpts};
 
 fn main() {
     let opts = HarnessOpts::from_args();
-    header(&["scene", "base_cyc", "pref_cyc", "vtq_cyc", "vtq_speedup", "pref_speedup", "vtq/pref"]);
+    header(&[
+        "scene",
+        "base_cyc",
+        "pref_cyc",
+        "vtq_cyc",
+        "vtq_speedup",
+        "pref_speedup",
+        "vtq/pref",
+    ]);
     let mut vtq_speedups = Vec::new();
     let mut pref_speedups = Vec::new();
     for id in &opts.scenes {

@@ -9,7 +9,17 @@ const THRESHOLDS: [usize; 4] = [8, 16, 22, 24];
 
 fn main() {
     let opts = HarnessOpts::from_args();
-    header(&["scene", "norepack", "t=8", "t=16", "t=22", "t=24", "simt_base", "simt_nore", "simt_t22"]);
+    header(&[
+        "scene",
+        "norepack",
+        "t=8",
+        "t=16",
+        "t=22",
+        "t=24",
+        "simt_base",
+        "simt_nore",
+        "simt_t22",
+    ]);
     let mut speedups: Vec<Vec<f64>> = vec![Vec::new(); 1 + THRESHOLDS.len()];
     let mut simt22 = Vec::new();
     let mut simt_base = Vec::new();

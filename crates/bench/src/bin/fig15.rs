@@ -12,10 +12,7 @@ fn main() {
     for id in &opts.scenes {
         let p = opts.prepare(*id);
         let r = experiment::fig14_15(&p);
-        row(
-            id.name(),
-            &r.isect_fractions.iter().map(|f| format!("{f:.3}")).collect::<Vec<_>>(),
-        );
+        row(id.name(), &r.isect_fractions.iter().map(|f| format!("{f:.3}")).collect::<Vec<_>>());
         for (c, f) in cols.iter_mut().zip(r.isect_fractions) {
             c.push(f);
         }

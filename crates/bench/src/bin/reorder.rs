@@ -23,8 +23,12 @@ fn main() {
             ("shuffled", reorder::shuffle(&p.workload, 0x5EED)),
         ];
         for (label, workload) in &orders {
-            let base = Simulator::new(&p.bvh, p.scene.triangles(), p_cfg(&opts, TraversalPolicy::Baseline))
-                .run(workload);
+            let base = Simulator::new(
+                &p.bvh,
+                p.scene.triangles(),
+                p_cfg(&opts, TraversalPolicy::Baseline),
+            )
+            .run(workload);
             let vtq = Simulator::new(
                 &p.bvh,
                 p.scene.triangles(),

@@ -1,0 +1,60 @@
+//! Observability harness: runs the VTQ configuration on each selected
+//! scene with a trace sink attached and persists the machine-readable
+//! artifacts — a JSON-Lines event trace, the per-window time-series CSV,
+//! the per-RT-unit stall CSV and an appended `metrics.jsonl` line — then
+//! prints the human-readable run summary.
+//!
+//! ```text
+//! cargo run --release -p vtq-bench --bin trace -- --quick --scenes kitchen
+//! cargo run --release -p vtq-bench --bin trace -- --out target/trace
+//! ```
+//!
+//! Without `--out`, artifacts land in `target/trace/`. The event ring
+//! keeps the most recent `--ring N` events (default 1 Mi) so traces stay
+//! bounded on full-detail runs; `dropped` in the summary says how many
+//! older events were evicted.
+
+use std::fs;
+
+use vtq::experiment::{aggregate_stats, export_run};
+use vtq::prelude::*;
+use vtq_bench::HarnessOpts;
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let dir = opts.out.clone().unwrap_or_else(|| "target/trace".into());
+    let ring_capacity = 1 << 20;
+    let mut reports: Vec<SimReport> = Vec::new();
+    for id in &opts.scenes {
+        let p = opts.prepare(*id);
+        let mut sink = RingSink::new(ring_capacity);
+        eprintln!("[trace] {id}");
+        let report = p.run_policy_traced(TraversalPolicy::Vtq(VtqParams::default()), &mut sink);
+
+        let scene = id.name();
+        let label = format!("{scene}/vtq");
+        export_run(&dir, &label, &report)
+            .unwrap_or_else(|e| panic!("cannot write artifacts to {}: {e}", dir.display()));
+        let trace_path = dir.join(format!("{scene}-vtq.trace.jsonl"));
+        fs::write(&trace_path, sink.to_jsonl())
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", trace_path.display()));
+
+        println!("== {scene} (vtq) ==");
+        println!("{}", report.stats.report());
+        println!(
+            "trace: {} events ({} dropped) -> {}",
+            sink.len(),
+            sink.dropped(),
+            trace_path.display()
+        );
+        println!();
+        reports.push(report);
+    }
+
+    if reports.len() > 1 {
+        let agg = aggregate_stats(&reports);
+        println!("== aggregate over {} scenes ==", reports.len());
+        println!("{}", agg.report());
+    }
+    eprintln!("[trace] artifacts in {}", dir.display());
+}

@@ -8,12 +8,15 @@
 //!   LumiBench names (default: all 14),
 //! * `--res N` — override the image resolution,
 //! * `--csv` — emit comma-separated rows instead of aligned tables (for
-//!   plotting scripts).
+//!   plotting scripts),
+//! * `--out DIR` — persist machine-readable artifacts (per-run stall and
+//!   time-series CSVs plus an appended `metrics.jsonl`) to `DIR`.
 //!
 //! Rows are printed as aligned text tables, one row per scene, matching
 //! the layout of the paper's figures so EXPERIMENTS.md comparisons are
 //! mechanical.
 
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 
 use vtq::prelude::*;
@@ -28,6 +31,8 @@ pub struct HarnessOpts {
     pub config: ExperimentConfig,
     /// Scenes to run.
     pub scenes: Vec<SceneId>,
+    /// Output directory for machine-readable artifacts (`--out`).
+    pub out: Option<PathBuf>,
 }
 
 impl HarnessOpts {
@@ -40,6 +45,7 @@ impl HarnessOpts {
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut config = ExperimentConfig::default();
         let mut scenes: Vec<SceneId> = SceneId::ALL.to_vec();
+        let mut out = None;
         let mut i = 0;
         while i < args.len() {
             match args[i].as_str() {
@@ -65,18 +71,32 @@ impl HarnessOpts {
                 }
                 "--res" => {
                     i += 1;
-                    config.resolution = args
-                        .get(i)
-                        .and_then(|v| v.parse().ok())
-                        .expect("--res needs an integer");
+                    config.resolution =
+                        args.get(i).and_then(|v| v.parse().ok()).expect("--res needs an integer");
+                }
+                "--out" => {
+                    i += 1;
+                    out = Some(PathBuf::from(args.get(i).expect("--out needs a directory")));
                 }
                 other => {
-                    panic!("unknown flag {other}; supported: --quick, --scenes A,B, --res N, --csv")
+                    panic!(
+                        "unknown flag {other}; supported: --quick, --scenes A,B, --res N, --csv, --out DIR"
+                    )
                 }
             }
             i += 1;
         }
-        HarnessOpts { config, scenes }
+        HarnessOpts { config, scenes, out }
+    }
+
+    /// Persists one run's artifacts when `--out` was given; a no-op
+    /// otherwise. Labels follow `scene/policy` (e.g. `ref/vtq`).
+    pub fn persist(&self, label: &str, report: &SimReport) {
+        if let Some(dir) = &self.out {
+            if let Err(e) = export_run(dir, label, report) {
+                eprintln!("[out] failed to export {label}: {e}");
+            }
+        }
     }
 
     /// Prepares one scene under this configuration (prints progress to
@@ -112,6 +132,26 @@ pub fn geomean(values: &[f64]) -> f64 {
 pub fn mean(values: &[f64]) -> f64 {
     assert!(!values.is_empty(), "mean of nothing");
     values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Arithmetic mean over the *defined* rates only: `None` entries (a rate
+/// whose denominator was zero) are excluded rather than averaged in as
+/// zero. Returns `None` when no entry is defined.
+pub fn mean_opt(values: &[Option<f64>]) -> Option<f64> {
+    let defined: Vec<f64> = values.iter().copied().flatten().collect();
+    if defined.is_empty() {
+        None
+    } else {
+        Some(mean(&defined))
+    }
+}
+
+/// Formats an optional rate as a percentage, `n/a` when undefined.
+pub fn pct_or_na(value: Option<f64>) -> String {
+    match value {
+        Some(v) => format!("{:.1}%", v * 100.0),
+        None => "n/a".to_string(),
+    }
 }
 
 /// Prints a header line followed by a separator (or a CSV header row).
@@ -159,5 +199,18 @@ mod tests {
     #[should_panic(expected = "geomean of nothing")]
     fn geomean_empty_panics() {
         let _ = geomean(&[]);
+    }
+
+    #[test]
+    fn mean_opt_skips_undefined_rates() {
+        assert_eq!(mean_opt(&[Some(0.5), None, Some(1.0)]), Some(0.75));
+        assert_eq!(mean_opt(&[None, None]), None);
+        assert_eq!(mean_opt(&[]), None);
+    }
+
+    #[test]
+    fn pct_or_na_formats() {
+        assert_eq!(pct_or_na(Some(0.125)), "12.5%");
+        assert_eq!(pct_or_na(None), "n/a");
     }
 }

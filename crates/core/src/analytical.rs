@@ -48,7 +48,8 @@ pub fn record_traces(bvh: &Bvh, triangles: &[Triangle], workload: &Workload) -> 
     let mut traces = Vec::with_capacity(workload.total_rays());
     for task in &workload.tasks {
         for call in &task.rays {
-            let mut r = RayTraversal::new(RayId(traces.len() as u32), call.ray, bvh, 1e-3, call.t_max);
+            let mut r =
+                RayTraversal::new(RayId(traces.len() as u32), call.ray, bvh, 1e-3, call.t_max);
             if call.anyhit {
                 r.set_anyhit();
             }
@@ -72,7 +73,11 @@ pub fn record_traces(bvh: &Bvh, triangles: &[Triangle], workload: &Workload) -> 
 /// # Panics
 ///
 /// Panics if `traces` is empty or any batch size is zero.
-pub fn analytical_speedups(bvh: &Bvh, traces: &[RayTrace], batch_sizes: &[usize]) -> Vec<(usize, f64)> {
+pub fn analytical_speedups(
+    bvh: &Bvh,
+    traces: &[RayTrace],
+    batch_sizes: &[usize],
+) -> Vec<(usize, f64)> {
     assert!(!traces.is_empty(), "no traces recorded");
     let total_nodes: u64 = traces.iter().map(|t| t.nodes() as u64).sum();
 
@@ -88,10 +93,8 @@ pub fn analytical_speedups(bvh: &Bvh, traces: &[RayTrace], batch_sizes: &[usize]
                 }
                 // Fetching a treelet costs its full node count (every node
                 // of the treelet is loaded), exactly as in §2.4.
-                treelet_fetch_cost += unique
-                    .iter()
-                    .map(|t| bvh.partition().info(*t).nodes.len() as f64)
-                    .sum::<f64>();
+                treelet_fetch_cost +=
+                    unique.iter().map(|t| bvh.partition().info(*t).nodes.len() as f64).sum::<f64>();
             }
             // Memory latency multiplies both sides and cancels.
             let speedup = if treelet_fetch_cost == 0.0 {

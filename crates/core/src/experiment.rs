@@ -6,9 +6,15 @@
 //! print these rows in the paper's format; EXPERIMENTS.md records the
 //! resulting paper-vs-measured comparison.
 
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
 use gpumem::{AccessKind, WindowPoint};
+use gpusim::export::{metrics_json, series_csv, stall_csv};
 use gpusim::{
-    GpuConfig, SimReport, Simulator, TraversalMode, TraversalPolicy, VtqParams, Workload,
+    GpuConfig, SimReport, SimStats, Simulator, TraceSink, TraversalMode, TraversalPolicy,
+    VtqParams, Workload,
 };
 use rtbvh::{Bvh, BvhConfig};
 use rtscene::lumibench::{self, SceneId};
@@ -124,10 +130,65 @@ impl Prepared {
         self.run_policy(TraversalPolicy::Vtq(params))
     }
 
+    /// Like [`Prepared::run_policy`], but streams trace events into
+    /// `sink` (see [`gpusim::TraceSink`]). Timing is unaffected.
+    pub fn run_policy_traced(
+        &self,
+        policy: TraversalPolicy,
+        sink: &mut dyn TraceSink,
+    ) -> SimReport {
+        Simulator::new(&self.bvh, self.scene.triangles(), self.gpu.with_policy(policy))
+            .run_traced(&self.workload, sink)
+    }
+
     /// Records per-ray node-access traces (for the analytical model).
     pub fn traces(&self) -> Vec<RayTrace> {
         analytical::record_traces(&self.bvh, self.scene.triangles(), &self.workload)
     }
+}
+
+// ---------------------------------------------------------------------------
+// Persistence & aggregation
+// ---------------------------------------------------------------------------
+
+/// Merges the [`SimStats`] of several runs (per-scene kernels of one
+/// experiment) into one aggregate via [`SimStats::merge`]: throughput
+/// counters add, capacity peaks take the max, stall breakdowns and series
+/// windows accumulate position-wise.
+pub fn aggregate_stats<'a>(reports: impl IntoIterator<Item = &'a SimReport>) -> SimStats {
+    let mut agg = SimStats::default();
+    for report in reports {
+        agg.merge(&report.stats);
+    }
+    agg
+}
+
+/// Persists one run's machine-readable metrics under `dir`:
+///
+/// * `<label>.series.csv` — the time-series windows
+///   ([`gpusim::export::series_csv`]); skipped when sampling was disabled,
+/// * `<label>.stalls.csv` — per-RT-unit stall attribution,
+/// * one line appended to `metrics.jsonl` — the flat
+///   [`gpusim::export::metrics_json`] object.
+///
+/// `label` is sanitized for the filesystem (`/` → `-`). Creates `dir` if
+/// missing.
+///
+/// # Errors
+///
+/// Propagates any I/O error from creating or writing the files.
+pub fn export_run(dir: &Path, label: &str, report: &SimReport) -> std::io::Result<()> {
+    fs::create_dir_all(dir)?;
+    let stem: String =
+        label.chars().map(|c| if c == '/' || c.is_whitespace() { '-' } else { c }).collect();
+    if !report.stats.series.is_empty() {
+        fs::write(dir.join(format!("{stem}.series.csv")), series_csv(&report.stats.series))?;
+    }
+    fs::write(dir.join(format!("{stem}.stalls.csv")), stall_csv(&report.stats.stall))?;
+    let mut metrics =
+        fs::OpenOptions::new().create(true).append(true).open(dir.join("metrics.jsonl"))?;
+    writeln!(metrics, "{}", metrics_json(label, report))?;
+    Ok(())
 }
 
 // ---------------------------------------------------------------------------
@@ -515,8 +576,11 @@ mod tests {
         let p = quick(SceneId::Ref);
         let row = fig16(&p);
         assert!(row.charged_cycles > 0 && row.free_cycles > 0);
-        assert!(row.overhead() > -0.5 && row.overhead() < 2.0,
-            "overhead {:.3} out of range", row.overhead());
+        assert!(
+            row.overhead() > -0.5 && row.overhead() < 2.0,
+            "overhead {:.3} out of range",
+            row.overhead()
+        );
     }
 
     #[test]
@@ -527,6 +591,41 @@ mod tests {
         assert!(row.vtq_pj > 0.0);
         assert!(row.vtq_free_pj <= row.vtq_pj);
         assert!((0.0..1.0).contains(&row.virtualization_fraction));
+    }
+
+    #[test]
+    fn aggregate_stats_merges_scene_runs() {
+        let p = quick(SceneId::Ref);
+        let a = p.run_policy(TraversalPolicy::Baseline);
+        let b = p.run_vtq(VtqParams::default());
+        let agg = aggregate_stats([&a, &b]);
+        assert_eq!(agg.rays_completed, a.stats.rays_completed + b.stats.rays_completed);
+        assert_eq!(agg.cycles, a.stats.cycles.max(b.stats.cycles));
+        for (i, unit) in agg.stall.iter().enumerate() {
+            assert_eq!(unit.total(), a.stats.stall[i].total() + b.stats.stall[i].total());
+        }
+    }
+
+    #[test]
+    fn export_run_writes_all_artifacts() {
+        let p = quick(SceneId::Ref);
+        let report = p.run_vtq(VtqParams::default());
+        let dir = std::env::temp_dir().join(format!("vtq_export_test_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        export_run(&dir, "ref/vtq", &report).expect("export");
+        let metrics = std::fs::read_to_string(dir.join("metrics.jsonl")).expect("metrics");
+        assert!(metrics.trim().starts_with("{\"label\":\"ref/vtq\""));
+        let stalls = std::fs::read_to_string(dir.join("ref-vtq.stalls.csv")).expect("stalls");
+        assert!(stalls.starts_with("sm,busy,"));
+        if !report.stats.series.is_empty() {
+            let series = std::fs::read_to_string(dir.join("ref-vtq.series.csv")).expect("series");
+            assert!(series.starts_with("start_cycle,"));
+        }
+        // Appending a second run grows the metrics log.
+        export_run(&dir, "ref/base", &report).expect("export 2");
+        let metrics = std::fs::read_to_string(dir.join("metrics.jsonl")).expect("metrics 2");
+        assert_eq!(metrics.lines().count(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -91,7 +91,8 @@ mod tests {
 
     fn setup() -> (Scene, Bvh) {
         let scene = lumibench::build_scaled(SceneId::Party, 16);
-        let bvh = Bvh::build(scene.triangles(), &BvhConfig { treelet_bytes: 2048, ..Default::default() });
+        let bvh =
+            Bvh::build(scene.triangles(), &BvhConfig { treelet_bytes: 2048, ..Default::default() });
         (scene, bvh)
     }
 

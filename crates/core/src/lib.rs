@@ -52,11 +52,12 @@ pub use experiment::{ExperimentConfig, Prepared};
 pub mod prelude {
     pub use crate::analytical::{analytical_speedups, RayTrace};
     pub use crate::area::AreaModel;
-    pub use crate::experiment::{ExperimentConfig, Prepared};
+    pub use crate::experiment::{aggregate_stats, export_run, ExperimentConfig, Prepared};
     pub use crate::workload::{Image, PathTracer};
     pub use gpumem::AccessKind;
     pub use gpusim::{
-        GpuConfig, SimReport, Simulator, TraversalMode, TraversalPolicy, VtqParams, Workload,
+        CountingSink, GpuConfig, RingSink, SimReport, SimStats, Simulator, StallBreakdown,
+        StallKind, TraceEvent, TraceSink, TraversalMode, TraversalPolicy, VtqParams, Workload,
     };
     pub use rtbvh::{Bvh, BvhConfig};
     pub use rtscene::lumibench::{self, SceneId};

@@ -89,7 +89,9 @@ mod tests {
         let mut sig: Vec<(u32, usize)> = w
             .tasks
             .iter()
-            .map(|t| (t.rays[0].ray.origin.x.to_bits() ^ t.rays[0].ray.dir.x.to_bits(), t.rays.len()))
+            .map(|t| {
+                (t.rays[0].ray.origin.x.to_bits() ^ t.rays[0].ray.dir.x.to_bits(), t.rays.len())
+            })
             .collect();
         sig.sort_unstable();
         sig
@@ -138,8 +140,10 @@ mod tests {
             .tasks
             .iter()
             .zip(&c.tasks)
-            .filter(|(x, y)| x.rays[0].ray.origin.x.to_bits() == y.rays[0].ray.origin.x.to_bits()
-                && x.rays[0].ray.dir.x.to_bits() == y.rays[0].ray.dir.x.to_bits())
+            .filter(|(x, y)| {
+                x.rays[0].ray.origin.x.to_bits() == y.rays[0].ray.origin.x.to_bits()
+                    && x.rays[0].ray.dir.x.to_bits() == y.rays[0].ray.dir.x.to_bits()
+            })
             .count();
         assert!(same < w.tasks.len());
     }

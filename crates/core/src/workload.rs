@@ -187,7 +187,8 @@ impl PathTracer {
                         // Next-event estimation: an anyhit shadow ray toward
                         // a sampled light point.
                         if !lights.is_empty() && !material.is_emissive() {
-                            let light = &tris[lights[rng.below(lights.len() as u64) as usize] as usize];
+                            let light =
+                                &tris[lights[rng.below(lights.len() as u64) as usize] as usize];
                             let (mut u, mut v) = (rng.next_f32(), rng.next_f32());
                             if u + v > 1.0 {
                                 u = 1.0 - u;
@@ -292,8 +293,7 @@ mod tests {
         let (nee, img_nee) = PathTracer::new(24, 2).with_shadow_rays().run(&scene, &bvh);
         let anyhit_plain: usize =
             plain.tasks.iter().flat_map(|t| &t.rays).filter(|c| c.anyhit).count();
-        let anyhit_nee: usize =
-            nee.tasks.iter().flat_map(|t| &t.rays).filter(|c| c.anyhit).count();
+        let anyhit_nee: usize = nee.tasks.iter().flat_map(|t| &t.rays).filter(|c| c.anyhit).count();
         assert_eq!(anyhit_plain, 0, "plain path tracing has no occlusion queries");
         assert!(anyhit_nee > 0, "NEE must trace shadow rays");
         assert!(nee.total_rays() > plain.total_rays());

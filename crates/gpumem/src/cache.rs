@@ -99,7 +99,10 @@ impl Cache {
         let (num_sets, ways) = match config.assoc {
             Assoc::Full => (1u32, num_lines),
             Assoc::Ways(w) => {
-                assert!(w > 0 && num_lines.is_multiple_of(w), "lines ({num_lines}) not divisible by ways ({w})");
+                assert!(
+                    w > 0 && num_lines.is_multiple_of(w),
+                    "lines ({num_lines}) not divisible by ways ({w})"
+                );
                 (num_lines / w, w)
             }
         };
@@ -281,12 +284,18 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn bad_line_size_panics() {
-        let _ = Cache::new(&CacheConfig { size_bytes: 256, assoc: Assoc::Full, line_bytes: 48, latency: 1 });
+        let _ = Cache::new(&CacheConfig {
+            size_bytes: 256,
+            assoc: Assoc::Full,
+            line_bytes: 48,
+            latency: 1,
+        });
     }
 
     #[test]
     fn num_lines() {
-        let cfg = CacheConfig { size_bytes: 16 * 1024, assoc: Assoc::Full, line_bytes: 128, latency: 39 };
+        let cfg =
+            CacheConfig { size_bytes: 16 * 1024, assoc: Assoc::Full, line_bytes: 128, latency: 39 };
         assert_eq!(cfg.num_lines(), 128);
     }
 }

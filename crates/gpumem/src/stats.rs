@@ -62,22 +62,35 @@ pub struct KindStats {
 }
 
 impl KindStats {
-    /// L1 miss rate over lines that consulted the L1.
-    pub fn l1_miss_rate(&self) -> f64 {
-        if self.l1_lookups == 0 {
-            0.0
-        } else {
-            1.0 - self.l1_hits as f64 / self.l1_lookups as f64
+    /// L1 miss rate over lines that consulted the L1, or `None` when no
+    /// line did. Callers averaging rates across runs must filter the
+    /// `None`s rather than counting them as zero misses.
+    pub fn l1_miss_rate_opt(&self) -> Option<f64> {
+        match self.l1_lookups {
+            0 => None,
+            n => Some(1.0 - self.l1_hits as f64 / n as f64),
         }
     }
 
-    /// Fraction of all lines that went to DRAM.
-    pub fn dram_rate(&self) -> f64 {
-        if self.lines == 0 {
-            0.0
-        } else {
-            self.dram as f64 / self.lines as f64
+    /// Sentinel-style [`KindStats::l1_miss_rate_opt`]: `0.0` when no line
+    /// consulted the L1. Only for display paths; never average these.
+    pub fn l1_miss_rate(&self) -> f64 {
+        self.l1_miss_rate_opt().unwrap_or(0.0)
+    }
+
+    /// Fraction of all lines that went to DRAM, or `None` when no line of
+    /// this kind moved at all.
+    pub fn dram_rate_opt(&self) -> Option<f64> {
+        match self.lines {
+            0 => None,
+            n => Some(self.dram as f64 / n as f64),
         }
+    }
+
+    /// Sentinel-style [`KindStats::dram_rate_opt`]: `0.0` when no line
+    /// moved. Only for display paths.
+    pub fn dram_rate(&self) -> f64 {
+        self.dram_rate_opt().unwrap_or(0.0)
     }
 }
 
@@ -93,13 +106,19 @@ pub struct WindowPoint {
 }
 
 impl WindowPoint {
-    /// Miss rate of this window.
-    pub fn miss_rate(&self) -> f64 {
-        if self.accesses == 0 {
-            0.0
-        } else {
-            self.misses as f64 / self.accesses as f64
+    /// Miss rate of this window, or `None` for a window with no lookups
+    /// (plotting code should leave a gap, not draw a zero).
+    pub fn miss_rate_opt(&self) -> Option<f64> {
+        match self.accesses {
+            0 => None,
+            n => Some(self.misses as f64 / n as f64),
         }
+    }
+
+    /// Sentinel-style [`WindowPoint::miss_rate_opt`]: `0.0` for a window
+    /// with no lookups. Only for display paths.
+    pub fn miss_rate(&self) -> f64 {
+        self.miss_rate_opt().unwrap_or(0.0)
     }
 }
 
@@ -133,10 +152,7 @@ impl MemStats {
 }
 
 fn kind_index(kind: AccessKind) -> usize {
-    AccessKind::ALL
-        .iter()
-        .position(|k| *k == kind)
-        .expect("AccessKind::ALL covers every variant")
+    AccessKind::ALL.iter().position(|k| *k == kind).expect("AccessKind::ALL covers every variant")
 }
 
 #[cfg(test)]
@@ -155,13 +171,22 @@ mod tests {
         let k = KindStats::default();
         assert_eq!(k.l1_miss_rate(), 0.0);
         assert_eq!(k.dram_rate(), 0.0);
+        assert_eq!(k.l1_miss_rate_opt(), None);
+        assert_eq!(k.dram_rate_opt(), None);
     }
 
     #[test]
     fn window_point_miss_rate() {
         let w = WindowPoint { start_cycle: 0, accesses: 4, misses: 1 };
         assert_eq!(w.miss_rate(), 0.25);
+        assert_eq!(w.miss_rate_opt(), Some(0.25));
+    }
+
+    #[test]
+    fn empty_window_miss_rate_is_undefined_not_zero() {
         let empty = WindowPoint { start_cycle: 0, accesses: 0, misses: 0 };
+        assert_eq!(empty.miss_rate_opt(), None);
+        // The sentinel wrapper keeps the old display convention.
         assert_eq!(empty.miss_rate(), 0.0);
     }
 

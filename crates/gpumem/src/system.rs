@@ -53,7 +53,12 @@ impl Default for MemConfig {
     fn default() -> MemConfig {
         MemConfig {
             num_sms: 16,
-            l1: CacheConfig { size_bytes: 16 * 1024, assoc: Assoc::Full, line_bytes: 128, latency: 39 },
+            l1: CacheConfig {
+                size_bytes: 16 * 1024,
+                assoc: Assoc::Full,
+                line_bytes: 128,
+                latency: 39,
+            },
             l2: CacheConfig {
                 size_bytes: 128 * 1024,
                 assoc: Assoc::Ways(16),
@@ -157,7 +162,14 @@ impl MemorySystem {
     }
 
     /// Single-line access; see [`MemorySystem::access`].
-    fn access_line(&mut self, sm: usize, line_addr: u64, kind: AccessKind, policy: CachePolicy, now: u64) -> u64 {
+    fn access_line(
+        &mut self,
+        sm: usize,
+        line_addr: u64,
+        kind: AccessKind,
+        policy: CachePolicy,
+        now: u64,
+    ) -> u64 {
         let ks = self.stats.kind_mut(kind);
         ks.lines += 1;
         match policy {
@@ -270,8 +282,18 @@ mod tests {
         MemConfig {
             num_sms: 2,
             l1: CacheConfig { size_bytes: 512, assoc: Assoc::Full, line_bytes: 128, latency: 10 },
-            l2: CacheConfig { size_bytes: 2048, assoc: Assoc::Ways(4), line_bytes: 128, latency: 50 },
-            ray_reserve: CacheConfig { size_bytes: 512, assoc: Assoc::Full, line_bytes: 128, latency: 50 },
+            l2: CacheConfig {
+                size_bytes: 2048,
+                assoc: Assoc::Ways(4),
+                line_bytes: 128,
+                latency: 50,
+            },
+            ray_reserve: CacheConfig {
+                size_bytes: 512,
+                assoc: Assoc::Full,
+                line_bytes: 128,
+                latency: 50,
+            },
             dram_latency: 200,
             dram_lines_per_cycle: 1.0,
             mshrs_per_sm: 32,
@@ -308,7 +330,14 @@ mod tests {
         // 8 distinct lines at once: the k-th line starts k cycles later.
         let mut last = 0;
         for i in 0..8u64 {
-            last = last.max(m.access(0, i * 128 + 4096, 128, AccessKind::Bvh, CachePolicy::L1AndL2, 0));
+            last = last.max(m.access(
+                0,
+                i * 128 + 4096,
+                128,
+                AccessKind::Bvh,
+                CachePolicy::L1AndL2,
+                0,
+            ));
         }
         assert_eq!(last, 50 + 200 + 7);
     }
@@ -403,8 +432,18 @@ mod mshr_tests {
         MemConfig {
             num_sms: 2,
             l1: CacheConfig { size_bytes: 512, assoc: Assoc::Full, line_bytes: 128, latency: 10 },
-            l2: CacheConfig { size_bytes: 2048, assoc: Assoc::Ways(4), line_bytes: 128, latency: 50 },
-            ray_reserve: CacheConfig { size_bytes: 512, assoc: Assoc::Full, line_bytes: 128, latency: 50 },
+            l2: CacheConfig {
+                size_bytes: 2048,
+                assoc: Assoc::Ways(4),
+                line_bytes: 128,
+                latency: 50,
+            },
+            ray_reserve: CacheConfig {
+                size_bytes: 512,
+                assoc: Assoc::Full,
+                line_bytes: 128,
+                latency: 50,
+            },
             dram_latency: 200,
             dram_lines_per_cycle: 100.0, // bandwidth not the bottleneck
             mshrs_per_sm: 1,
@@ -440,7 +479,14 @@ mod mshr_tests {
         let mut m = MemorySystem::new(&cfg);
         let mut worst = 0;
         for i in 0..8u64 {
-            worst = worst.max(m.access(0, 16384 + i * 128, 128, AccessKind::Bvh, CachePolicy::L1AndL2, 0));
+            worst = worst.max(m.access(
+                0,
+                16384 + i * 128,
+                128,
+                AccessKind::Bvh,
+                CachePolicy::L1AndL2,
+                0,
+            ));
         }
         // All eight overlap fully (bandwidth is ample).
         assert_eq!(worst, 250);

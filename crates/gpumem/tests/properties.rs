@@ -127,6 +127,28 @@ fn ray_reserve_evicts_to_dram_beyond_capacity() {
 }
 
 #[test]
+fn window_boundary_cycles_attribute_to_the_opening_window() {
+    // Windows are half-open [N*W, (N+1)*W): an access at exactly N*W
+    // belongs to window N, and one at N*W - 1 to window N-1. Misses are
+    // attributed to the same window as their access, even when the fill
+    // completes in a later window.
+    let cfg = MemConfig { window_cycles: 1000, ..Default::default() };
+    let mut mem = MemorySystem::new(&cfg);
+    mem.access(0, 0, 128, AccessKind::Bvh, CachePolicy::L1AndL2, 999); // miss, w0
+    mem.access(0, 128, 128, AccessKind::Bvh, CachePolicy::L1AndL2, 1000); // miss, w1
+    mem.access(0, 0, 128, AccessKind::Bvh, CachePolicy::L1AndL2, 1999); // hit, w1
+    mem.access(0, 128, 128, AccessKind::Bvh, CachePolicy::L1AndL2, 2000); // hit, w2
+    let w = &mem.stats().bvh_l1_windows;
+    assert_eq!(w.len(), 3);
+    assert_eq!((w[0].accesses, w[0].misses), (1, 1));
+    assert_eq!((w[1].accesses, w[1].misses), (2, 1));
+    assert_eq!((w[2].accesses, w[2].misses), (1, 0));
+    assert_eq!(w[0].miss_rate_opt(), Some(1.0));
+    assert_eq!(w[1].miss_rate_opt(), Some(0.5));
+    assert_eq!(w[2].miss_rate_opt(), Some(0.0));
+}
+
+#[test]
 fn window_buckets_align_to_config() {
     let cfg = MemConfig { window_cycles: 500, ..Default::default() };
     let mut mem = MemorySystem::new(&cfg);

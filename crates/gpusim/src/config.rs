@@ -128,6 +128,12 @@ pub struct GpuConfig {
     /// matching the paper's observation that ray tracing is RT-unit and
     /// memory bound rather than shader bound.
     pub shader_slots_per_sm: u32,
+    /// Width in cycles of one time-series sampling window (`SamplePoint`
+    /// in [`SimStats::series`](crate::SimStats)): occupancy, rays in
+    /// flight, per-mode activity, and the stall breakdown are integrated
+    /// per window. `0` disables time-series collection entirely (the
+    /// per-run stall totals are always collected).
+    pub sample_window_cycles: u64,
 }
 
 impl Default for GpuConfig {
@@ -148,6 +154,7 @@ impl Default for GpuConfig {
             prefetch_interval: 500,
             rt_mem_issue_per_cycle: 0,
             shader_slots_per_sm: 0,
+            sample_window_cycles: 20_000,
         }
     }
 }

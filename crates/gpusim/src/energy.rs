@@ -101,7 +101,8 @@ impl EnergyModel {
             static_pj: sim.cycles as f64 * self.static_pj_per_cycle,
             cache_pj: l1 as f64 * self.l1_pj + l2 as f64 * self.l2_pj,
             dram_pj: (dram - cta_dram) as f64 * self.dram_pj,
-            isect_pj: sim.box_tests as f64 * self.box_test_pj + sim.tri_tests as f64 * self.tri_test_pj,
+            isect_pj: sim.box_tests as f64 * self.box_test_pj
+                + sim.tri_tests as f64 * self.tri_test_pj,
             virtualization_pj: sim.cta_state_bytes as f64 * self.cta_state_pj_per_byte
                 + cta_dram as f64 * self.dram_pj,
         }

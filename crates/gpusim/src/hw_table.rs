@@ -2,10 +2,10 @@
 //!
 //! The functional simulator tracks queues in an internal map;
 //! this module models the *hardware* structure those queues live in: a
-//! 128-entry hash table in the L1, keyed by treelet address with a
-//! single-cycle hash (see [`HwQueueTable`]'s hash note), chained
-//! collisions, up to 32 ray ids per entry, and duplicate entries for
-//! queues longer than a warp. The engine mirrors every queue
+//! 128-entry hash table in the L1, keyed by treelet address with two
+//! single-cycle hashes (2-way skewed-associative placement; see
+//! [`HwQueueTable`]'s hash note), chained collisions, up to 32 ray ids
+//! per entry, and duplicate entries for queues longer than a warp. The engine mirrors every queue
 //! push/pop into this structure to validate the paper's sizing claims —
 //! notably §4.2's measurement that "the max collisions for a key is only
 //! two" and §6.5's observation that 600 count-table entries suffice.
@@ -63,7 +63,7 @@ impl HwQueueTable {
     pub fn new(entries: u32, rays_per_entry: u32) -> HwQueueTable {
         assert!(entries > 0 && rays_per_entry > 0, "degenerate queue table");
         // One bucket per power-of-two hash slot; chains grow within.
-        let slots = (entries / 2).next_power_of_two().max(1);
+        let slots = entries.next_power_of_two().max(1);
         HwQueueTable {
             buckets: vec![Vec::new(); slots as usize],
             capacity: entries,
@@ -73,71 +73,133 @@ impl HwQueueTable {
         }
     }
 
-    /// Bucket index for a treelet address. The paper XOR-folds groups of
-    /// the address's LSBs/MSBs, which works because its treelets are
+    /// The two candidate bucket indices for a treelet address (2-way
+    /// skewed-associative placement). The paper XOR-folds groups of the
+    /// address's LSBs/MSBs, which works because its treelets are
     /// 8 KB-aligned; ours are byte-packed (arbitrary 64 B-aligned bases),
-    /// so a plain fold clusters badly. We keep the same
-    /// single-cycle-hardware spirit with a multiplicative fold (one
-    /// multiplier + shift) of the line-granular address.
-    fn hash(&self, treelet_addr: u64) -> usize {
+    /// so a plain fold clusters badly and a single hash leaves birthday
+    /// chains of 3+ at realistic occupancy. Two independent single-cycle
+    /// multiplicative folds plus insert-into-the-shorter-chain keep §4.2's
+    /// measured bound ("max collisions for a key is only two") — the same
+    /// hardware budget as a 2-way skewed cache: two multipliers, both
+    /// buckets read in parallel.
+    fn hashes(&self, treelet_addr: u64) -> [usize; 2] {
         let k = treelet_addr >> 6; // cache-line granularity
-        let h = k.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
-        (h as usize) & (self.buckets.len() - 1)
+        let mask = self.buckets.len() - 1;
+        let h0 = k.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+        let h1 = k.wrapping_mul(0xC2B2_AE3D_27D4_EB4F) >> 32;
+        [(h0 as usize) & mask, (h1 as usize) & mask]
+    }
+
+    /// Distinct treelet tags chained in bucket `b` — the §4.2 collision
+    /// count a lookup walking that bucket pays.
+    fn distinct_tags(&self, b: usize) -> u32 {
+        let mut tags: Vec<u64> = self.buckets[b].iter().map(|e| e.tag).collect();
+        tags.sort_unstable();
+        tags.dedup();
+        tags.len() as u32
     }
 
     /// Inserts one ray for `treelet_addr`. Returns `false` when the table
     /// was full and the ray spilled to memory.
     pub fn push(&mut self, treelet_addr: u64) -> bool {
         self.stats.inserts += 1;
-        let b = self.hash(treelet_addr);
-        let bucket = &mut self.buckets[b];
-        // Probe the chain for a non-full entry with this tag; the probe
-        // depth is the §4.2 collision count.
-        let mut chain = 0u32;
-        let mut seen_tags: Vec<u64> = Vec::new();
-        for e in bucket.iter_mut() {
-            if !seen_tags.contains(&e.tag) {
-                seen_tags.push(e.tag);
-                chain += 1;
-            }
-            if e.tag == treelet_addr && e.rays < self.rays_per_entry {
-                e.rays += 1;
-                self.stats.max_chain = self.stats.max_chain.max(chain.max(1));
-                return true;
+        // Probe both candidate buckets for a non-full entry with this tag;
+        // the probe depth in the holding bucket is the §4.2 collision count.
+        for b in self.hashes(treelet_addr) {
+            let mut chain = 0u32;
+            let mut seen_tags: Vec<u64> = Vec::new();
+            for e in self.buckets[b].iter_mut() {
+                if !seen_tags.contains(&e.tag) {
+                    seen_tags.push(e.tag);
+                    chain += 1;
+                }
+                if e.tag == treelet_addr && e.rays < self.rays_per_entry {
+                    e.rays += 1;
+                    self.stats.max_chain = self.stats.max_chain.max(chain.max(1));
+                    return true;
+                }
             }
         }
         // Need a fresh entry (new tag, or all entries for this tag full —
-        // "duplicate treelet entries are allowed", Fig. 9).
+        // "duplicate treelet entries are allowed", Fig. 9). Place it in the
+        // candidate bucket with fewer distinct tags.
         if self.live_entries >= self.capacity {
             self.stats.overflows += 1;
             return false;
         }
-        bucket.push(Entry { tag: treelet_addr, rays: 1 });
+        let [b0, b1] = self.hashes(treelet_addr);
+        let mut b = if self.distinct_tags(b1) < self.distinct_tags(b0) { b1 } else { b0 };
+        if self.distinct_tags(b) >= 2 {
+            // Both candidates already chain two tags: relocate one resident
+            // tag group to its alternate bucket (a single cuckoo step — a
+            // small state machine in hardware) to keep chains at §4.2's
+            // measured bound of two.
+            b = if self.try_relocate(b0) {
+                b0
+            } else if self.try_relocate(b1) {
+                b1
+            } else {
+                b
+            };
+        }
+        self.buckets[b].push(Entry { tag: treelet_addr, rays: 1 });
         self.live_entries += 1;
         self.stats.peak_entries = self.stats.peak_entries.max(self.live_entries);
-        let distinct = {
-            let mut tags: Vec<u64> = self.buckets[b].iter().map(|e| e.tag).collect();
-            tags.sort_unstable();
-            tags.dedup();
-            tags.len() as u32
-        };
+        let distinct = self.distinct_tags(b);
         self.stats.max_chain = self.stats.max_chain.max(distinct);
         true
+    }
+
+    /// Tries to move one tag group out of bucket `b` to the group's
+    /// alternate bucket, provided the alternate has at most one resident
+    /// tag. Returns `true` when a group moved (bucket `b` lost one tag).
+    fn try_relocate(&mut self, b: usize) -> bool {
+        let tags: Vec<u64> = {
+            let mut t: Vec<u64> = self.buckets[b].iter().map(|e| e.tag).collect();
+            t.sort_unstable();
+            t.dedup();
+            t
+        };
+        for tag in tags {
+            let [h0, h1] = self.hashes(tag);
+            let alt = if h0 == b { h1 } else { h0 };
+            if alt != b && self.distinct_tags(alt) < 2 {
+                let moved: Vec<Entry> = {
+                    let bucket = &mut self.buckets[b];
+                    let mut kept = Vec::with_capacity(bucket.len());
+                    let mut moved = Vec::new();
+                    for e in bucket.drain(..) {
+                        if e.tag == tag {
+                            moved.push(e);
+                        } else {
+                            kept.push(e);
+                        }
+                    }
+                    *bucket = kept;
+                    moved
+                };
+                self.buckets[alt].extend(moved);
+                return true;
+            }
+        }
+        false
     }
 
     /// Removes one ray of `treelet_addr`; returns `false` if none was
     /// resident (it had spilled).
     pub fn pop(&mut self, treelet_addr: u64) -> bool {
-        let b = self.hash(treelet_addr);
-        let bucket = &mut self.buckets[b];
-        for (i, e) in bucket.iter_mut().enumerate() {
-            if e.tag == treelet_addr && e.rays > 0 {
-                e.rays -= 1;
-                if e.rays == 0 {
-                    bucket.swap_remove(i);
-                    self.live_entries -= 1;
+        for b in self.hashes(treelet_addr) {
+            let bucket = &mut self.buckets[b];
+            for (i, e) in bucket.iter_mut().enumerate() {
+                if e.tag == treelet_addr && e.rays > 0 {
+                    e.rays -= 1;
+                    if e.rays == 0 {
+                        bucket.swap_remove(i);
+                        self.live_entries -= 1;
+                    }
+                    return true;
                 }
-                return true;
             }
         }
         false

@@ -46,7 +46,9 @@
 
 mod config;
 pub mod energy;
+pub mod export;
 pub mod hw_table;
+mod observe;
 mod queues;
 pub mod ray;
 mod sim;
@@ -54,6 +56,9 @@ mod stats;
 
 pub use config::{GpuConfig, TraversalPolicy, VtqParams};
 pub use energy::{EnergyBreakdown, EnergyModel};
+pub use observe::{
+    CountingSink, RingSink, SamplePoint, StallBreakdown, StallKind, TraceEvent, TraceSink,
+};
 pub use ray::{NextNode, RayId, RayTraversal, VisitCost};
 pub use sim::{PathTask, SimReport, Simulator, TraceCall, Workload};
 pub use stats::{SimStats, TraversalMode};

@@ -177,7 +177,9 @@ impl RayTraversal {
             WideNode::Leaf { first, count, .. } => {
                 for &prim in bvh.leaf_prims(*first, *count) {
                     cost.tri_tests += 1;
-                    if let Some(t) = triangles[prim as usize].intersect(&self.ray, self.t_min, self.limit) {
+                    if let Some(t) =
+                        triangles[prim as usize].intersect(&self.ray, self.t_min, self.limit)
+                    {
                         self.limit = t;
                         self.best = Some(PrimHit { t, prim });
                         if self.anyhit {

@@ -19,6 +19,7 @@ use rtscene::Triangle;
 
 use crate::energy::{EnergyBreakdown, EnergyModel};
 use crate::hw_table::HwQueueTable;
+use crate::observe::{SamplePoint, StallBreakdown, StallKind, TraceEvent, TraceSink};
 use crate::queues::TreeletQueues;
 use crate::ray::{NextNode, RayId, RayTraversal};
 use crate::{GpuConfig, SimStats, TraversalMode, TraversalPolicy, VtqParams};
@@ -203,8 +204,26 @@ impl<'a> Simulator<'a> {
     /// Panics if the workload is empty or the engine deadlocks (which would
     /// be a simulator bug; the panic carries diagnostics).
     pub fn run(&self, workload: &Workload) -> SimReport {
+        self.run_with(workload, None)
+    }
+
+    /// Like [`Simulator::run`], but streams structured [`TraceEvent`]s into
+    /// `sink` as the kernel executes.
+    ///
+    /// Tracing is pure observation: the traced run is cycle-identical to an
+    /// untraced one (the sink never feeds back into timing), which the test
+    /// suite asserts.
+    pub fn run_traced(&self, workload: &Workload, sink: &mut dyn TraceSink) -> SimReport {
+        self.run_with(workload, Some(sink))
+    }
+
+    fn run_with<'s>(
+        &'s self,
+        workload: &'s Workload,
+        sink: Option<&'s mut (dyn TraceSink + 's)>,
+    ) -> SimReport {
         assert!(!workload.tasks.is_empty(), "empty workload");
-        let mut engine = Engine::new(self.bvh, self.triangles, &self.config, workload);
+        let mut engine = Engine::new(self.bvh, self.triangles, &self.config, workload, sink);
         engine.run();
         let energy = self.energy.evaluate(&engine.stats, engine.mem.stats());
         SimReport {
@@ -256,6 +275,11 @@ struct Warp {
     mode: TraversalMode,
     restrict: Option<TreeletId>,
     ready_at: u64,
+    /// When the warp's outstanding memory (node fetches, treelet load, ray
+    /// records) completes; between `mem_ready_at` and `ready_at` the
+    /// fixed-function intersection pipeline is executing. Used by stall
+    /// attribution to split waiting-on-memory from busy cycles.
+    mem_ready_at: u64,
 }
 
 #[derive(Debug)]
@@ -273,6 +297,9 @@ struct RtUnit {
     rays_in_flight: usize,
     /// Hardware queue-table shadow (validates §4.2/§6.5 sizing claims).
     hw_table: HwQueueTable,
+    /// Mode of the most recently installed warp, for mode-transition trace
+    /// events.
+    last_mode: Option<TraversalMode>,
 }
 
 impl RtUnit {
@@ -287,6 +314,7 @@ impl RtUnit {
             prefetched: std::collections::HashMap::new(),
             rays_in_flight: 0,
             hw_table: HwQueueTable::new(queue_table_entries.max(1), warp_size.max(1)),
+            last_mode: None,
         }
     }
 }
@@ -330,10 +358,21 @@ pub(crate) struct Engine<'a> {
     pub(crate) hits: Vec<Vec<Option<PrimHit>>>,
     workload: &'a Workload,
     next_sm: usize,
+    /// Optional structured-event sink. Events are only constructed when a
+    /// sink is attached; observation never feeds back into timing.
+    sink: Option<&'a mut dyn TraceSink>,
+    /// Time-series window width in cycles (0 disables sampling).
+    obs_window: u64,
 }
 
 impl<'a> Engine<'a> {
-    fn new(bvh: &'a Bvh, triangles: &'a [Triangle], cfg: &'a GpuConfig, workload: &'a Workload) -> Engine<'a> {
+    fn new(
+        bvh: &'a Bvh,
+        triangles: &'a [Triangle],
+        cfg: &'a GpuConfig,
+        workload: &'a Workload,
+        sink: Option<&'a mut dyn TraceSink>,
+    ) -> Engine<'a> {
         let vtq = match cfg.policy {
             TraversalPolicy::Vtq(p) => Some(p),
             _ => None,
@@ -387,10 +426,15 @@ impl<'a> Engine<'a> {
             slot_release: BinaryHeap::new(),
             free_slots: vec![cfg.max_ctas_per_sm; num_sms],
             now: 0,
-            stats: SimStats::default(),
+            stats: SimStats {
+                stall: vec![StallBreakdown::default(); num_sms],
+                ..SimStats::default()
+            },
             hits,
             workload,
             next_sm: 0,
+            sink,
+            obs_window: cfg.sample_window_cycles,
         }
     }
 
@@ -410,8 +454,12 @@ impl<'a> Engine<'a> {
                 break;
             }
             match self.next_event() {
-                Some(t) if t > self.now => self.now = t,
-                other => panic!(
+                Some(t) if t > self.now => {
+                    self.observe_interval(t);
+                    self.now = t;
+                }
+                other => {
+                    panic!(
                     "simulator deadlock at cycle {} (next event {other:?}): {} CTAs unfinished, \
                      {} rays in flight, {} rays queued over {} queues",
                     self.now,
@@ -419,7 +467,8 @@ impl<'a> Engine<'a> {
                     self.rt.iter().map(|r| r.rays_in_flight).sum::<usize>(),
                     self.rt.iter().map(|r| r.queues.total_rays()).sum::<usize>(),
                     self.rt.iter().map(|r| r.queues.queue_count()).sum::<usize>(),
-                ),
+                )
+                }
             }
         }
         self.stats.cycles = self.now;
@@ -429,6 +478,108 @@ impl<'a> Engine<'a> {
             self.stats.queue_table_peak_entries =
                 self.stats.queue_table_peak_entries.max(qt.peak_entries);
             self.stats.queue_table_overflows += qt.overflows;
+        }
+    }
+
+    // -- observation --------------------------------------------------------
+
+    /// Attributes the quiescent interval `[self.now, until)` — the engine
+    /// is at a fixed point, so no architectural state changes until the
+    /// clock jumps — to stall buckets and time-series windows.
+    ///
+    /// Per RT unit the interval is classified from its quiescent state:
+    /// with resident warps, cycles before the earliest outstanding memory
+    /// completion are waiting-on-memory and the rest are busy (the
+    /// intersection pipeline of the warp whose data arrived is executing
+    /// through `until`, since every resident `ready_at >= until`); with no
+    /// resident warp the whole interval is warp-buffer-empty (local rays
+    /// queued or arriving), queue-drained (shader phases still running on
+    /// this SM), or idle. Every cycle lands in exactly one bucket, so each
+    /// unit's buckets sum to [`SimStats::cycles`].
+    fn observe_interval(&mut self, until: u64) {
+        let dt = until.saturating_sub(self.now);
+        if dt == 0 {
+            return;
+        }
+        // (first kind until `split`, second kind from `split` to `until`).
+        let mut classes: Vec<(StallKind, u64, StallKind)> = Vec::with_capacity(self.rt.len());
+        for (sm, unit) in self.rt.iter().enumerate() {
+            let class = if unit.slots.iter().any(|s| s.is_some()) {
+                let mem_done = unit
+                    .slots
+                    .iter()
+                    .flatten()
+                    .map(|w| w.mem_ready_at)
+                    .min()
+                    .expect("resident warp")
+                    .clamp(self.now, until);
+                (StallKind::WaitingMemory, mem_done, StallKind::Busy)
+            } else if !unit.incoming.is_empty() || !unit.queues.is_empty() {
+                (StallKind::WarpBufferEmpty, until, StallKind::WarpBufferEmpty)
+            } else if self.shader_active[sm] > 0 {
+                (StallKind::QueueDrained, until, StallKind::QueueDrained)
+            } else {
+                (StallKind::Idle, until, StallKind::Idle)
+            };
+            self.stats.stall[sm].add(class.0, class.1 - self.now);
+            self.stats.stall[sm].add(class.2, until - class.1);
+            classes.push(class);
+        }
+
+        if self.obs_window == 0 {
+            return;
+        }
+        let window = self.obs_window;
+        let rays: u64 = self.rt.iter().map(|r| r.rays_in_flight as u64).sum();
+        let total_slots = (self.rt.len() * self.cfg.max_ctas_per_sm) as u64;
+        let occupied =
+            total_slots.saturating_sub(self.free_slots.iter().map(|f| *f as u64).sum::<u64>());
+        // Split the interval at window boundaries; quantities are cycle
+        // integrals, so each chunk contributes weight (b - a).
+        let mut a = self.now;
+        while a < until {
+            let idx = (a / window) as usize;
+            let b = until.min((idx as u64 + 1) * window);
+            let point = self.window_mut(idx);
+            point.covered_cycles += b - a;
+            point.ray_cycles += rays * (b - a);
+            point.occupied_slot_cycles += occupied * (b - a);
+            for &(first, split, second) in &classes {
+                let m = split.clamp(a, b);
+                point.stall.add(first, m - a);
+                point.stall.add(second, b - m);
+            }
+            a = b;
+        }
+    }
+
+    /// The sample window containing window index `idx`, growing the series
+    /// as the clock advances.
+    fn window_mut(&mut self, idx: usize) -> &mut SamplePoint {
+        while self.stats.series.len() <= idx {
+            let start_cycle = self.stats.series.len() as u64 * self.obs_window;
+            self.stats.series.push(SamplePoint { start_cycle, ..SamplePoint::default() });
+        }
+        &mut self.stats.series[idx]
+    }
+
+    /// Credits `cycles` of mode activity to the window containing `at`.
+    fn sample_mode_cycles(&mut self, at: u64, mode: TraversalMode, cycles: u64) {
+        if self.obs_window == 0 {
+            return;
+        }
+        let idx = (at / self.obs_window) as usize;
+        self.window_mut(idx).mode_cycles[mode.index()] += cycles;
+    }
+
+    /// Emits a mode-transition event when `mode` differs from the last warp
+    /// installed on `sm`.
+    fn note_mode(&mut self, sm: usize, mode: TraversalMode) {
+        if self.rt[sm].last_mode != Some(mode) {
+            let from = self.rt[sm].last_mode;
+            let now = self.now;
+            emit(&mut self.sink, || TraceEvent::ModeTransition { cycle: now, sm, from, to: mode });
+            self.rt[sm].last_mode = Some(mode);
         }
     }
 
@@ -477,6 +628,8 @@ impl<'a> Engine<'a> {
                         self.now
                     };
                     self.stats.cta_resumes += 1;
+                    let now = self.now;
+                    emit(&mut self.sink, || TraceEvent::CtaResume { cycle: now, cta: id, sm });
                     self.shader_active[sm] += 1;
                     let shade = self.shader_phase_cycles(sm, self.cfg.shade_cycles);
                     let cta = &mut self.ctas[id];
@@ -492,8 +645,12 @@ impl<'a> Engine<'a> {
         }
         // Fresh launches.
         while let Some(&id) = self.pending.front() {
-            let Some(sm) = self.find_launch_slot() else { break };
+            let Some(sm) = self.find_launch_slot() else {
+                break;
+            };
             self.pending.pop_front();
+            let now = self.now;
+            emit(&mut self.sink, || TraceEvent::CtaLaunch { cycle: now, cta: id, sm });
             self.free_slots[sm] -= 1;
             self.shader_active[sm] += 1;
             let ready = self.now + self.shader_phase_cycles(sm, self.cfg.raygen_cycles);
@@ -569,12 +726,11 @@ impl<'a> Engine<'a> {
                     self.issue_trace(id);
                     progress = true;
                 }
-                Phase::ReadyToResume
-                    if !self.ctas[id].resume_queued => {
-                        self.ctas[id].resume_queued = true;
-                        self.resume_ready.push(id);
-                        progress = true;
-                    }
+                Phase::ReadyToResume if !self.ctas[id].resume_queued => {
+                    self.ctas[id].resume_queued = true;
+                    self.resume_ready.push(id);
+                    progress = true;
+                }
                 _ => {}
             }
         }
@@ -611,12 +767,15 @@ impl<'a> Engine<'a> {
             // Path ended for every thread: CTA retires, slot freed.
             self.ctas[id].phase = Phase::Done;
             self.free_slots[sm] += 1;
+            let now = self.now;
+            emit(&mut self.sink, || TraceEvent::CtaRetire { cycle: now, cta: id, sm });
             return;
         }
 
         self.ctas[id].outstanding = new_rays.len();
         self.rt[sm].rays_in_flight += new_rays.len();
-        self.stats.peak_rays_in_flight = self.stats.peak_rays_in_flight.max(self.rt[sm].rays_in_flight);
+        self.stats.peak_rays_in_flight =
+            self.stats.peak_rays_in_flight.max(self.rt[sm].rays_in_flight);
 
         // With virtualization the ray records are written to the reserved
         // L2 region at issue (§4.2 ①).
@@ -637,6 +796,9 @@ impl<'a> Engine<'a> {
         for chunk in new_rays.chunks(self.cfg.warp_size) {
             self.rt[sm].incoming.push_back((self.now, chunk.to_vec()));
             self.stats.warps_issued += 1;
+            let now = self.now;
+            let rays = chunk.len();
+            emit(&mut self.sink, || TraceEvent::WarpIssue { cycle: now, sm, cta: id, rays });
         }
 
         let charge = self.vtq.is_some_and(|v| v.charge_virtualization);
@@ -649,6 +811,9 @@ impl<'a> Engine<'a> {
                 // values have been read out into the store path — one
                 // 64-byte register-file read per cycle.
                 self.stats.cta_suspends += 1;
+                let now = self.now;
+                let rays = self.ctas[id].outstanding;
+                emit(&mut self.sink, || TraceEvent::CtaSuspend { cycle: now, cta: id, sm, rays });
                 self.ctas[id].phase = Phase::Suspended;
                 if charge {
                     let bytes = self.cfg.cta_state_bytes();
@@ -762,12 +927,18 @@ impl<'a> Engine<'a> {
         // 1. Freshly issued warps (initial traversal phase).
         if self.rt[sm].incoming.front().is_some_and(|(arrive, _)| *arrive <= self.now) {
             let (_, rays) = self.rt[sm].incoming.pop_front().expect("checked non-empty");
-            let mode = if self.vtq.is_some() { TraversalMode::Initial } else { TraversalMode::RayStationary };
+            let mode = if self.vtq.is_some() {
+                TraversalMode::Initial
+            } else {
+                TraversalMode::RayStationary
+            };
+            self.note_mode(sm, mode);
             self.rt[sm].slots[slot] = Some(Warp {
                 lanes: rays.into_iter().map(Some).collect(),
                 mode,
                 restrict: None,
                 ready_at: self.now,
+                mem_ready_at: self.now,
             });
             return true;
         }
@@ -801,11 +972,21 @@ impl<'a> Engine<'a> {
                 self.rays[r.index()].enter_treelet(self.bvh, t);
                 ready = ready.max(self.fetch_ray_record(sm, *r));
             }
+            let now = self.now;
+            let n_rays = rays.len();
+            emit(&mut self.sink, || TraceEvent::TreeletDispatch {
+                cycle: now,
+                sm,
+                treelet: t,
+                rays: n_rays,
+            });
+            self.note_mode(sm, TraversalMode::TreeletStationary);
             self.rt[sm].slots[slot] = Some(Warp {
                 lanes: rays.into_iter().map(Some).collect(),
                 mode: TraversalMode::TreeletStationary,
                 restrict: Some(t),
                 ready_at: ready,
+                mem_ready_at: ready,
             });
             self.maybe_preload(sm, &vtq);
             return true;
@@ -825,11 +1006,16 @@ impl<'a> Engine<'a> {
                 ready = ready.max(self.fetch_ray_record(sm, r));
                 lanes.push(Some(r));
             }
+            let now = self.now;
+            let n_rays = lanes.len();
+            emit(&mut self.sink, || TraceEvent::GroupDispatch { cycle: now, sm, rays: n_rays });
+            self.note_mode(sm, TraversalMode::RayStationary);
             self.rt[sm].slots[slot] = Some(Warp {
                 lanes,
                 mode: TraversalMode::RayStationary,
                 restrict: None,
                 ready_at: ready,
+                mem_ready_at: ready,
             });
             return true;
         }
@@ -855,6 +1041,14 @@ impl<'a> Engine<'a> {
                 }
                 if treelets.len() > v.divergence_treelets {
                     let lanes: Vec<RayId> = warp.lanes.iter().flatten().copied().collect();
+                    let now = self.now;
+                    let (n_treelets, n_rays) = (treelets.len(), lanes.len());
+                    emit(&mut self.sink, || TraceEvent::DivergenceSplit {
+                        cycle: now,
+                        sm,
+                        treelets: n_treelets,
+                        rays: n_rays,
+                    });
                     for lane in lanes {
                         match self.rays[lane.index()].pending_treelet(self.bvh) {
                             Some(t) => self.enqueue(sm, t, lane),
@@ -882,6 +1076,9 @@ impl<'a> Engine<'a> {
                     if !grabbed.is_empty() {
                         self.stats.repack_events += 1;
                         self.stats.repacked_rays += grabbed.len() as u64;
+                        let now = self.now;
+                        let added = grabbed.len();
+                        emit(&mut self.sink, || TraceEvent::Repack { cycle: now, sm, added });
                         for (t, _) in &grabbed {
                             self.dequeue_hw(sm, *t, 1);
                         }
@@ -898,6 +1095,7 @@ impl<'a> Engine<'a> {
                         }
                         warp.ready_at = warp.ready_at.max(fetch_done);
                         if warp.ready_at > self.now {
+                            warp.mem_ready_at = warp.ready_at;
                             self.rt[sm].slots[slot] = Some(warp);
                             return;
                         }
@@ -942,8 +1140,17 @@ impl<'a> Engine<'a> {
                             self.rays[r.index()].enter_treelet(self.bvh, t);
                             ready = ready.max(self.fetch_ray_record(sm, *r));
                         }
+                        let now = self.now;
+                        let n_rays = rays.len();
+                        emit(&mut self.sink, || TraceEvent::TreeletDispatch {
+                            cycle: now,
+                            sm,
+                            treelet: t,
+                            rays: n_rays,
+                        });
                         warp.lanes = rays.into_iter().map(Some).collect();
                         warp.ready_at = ready;
+                        warp.mem_ready_at = ready;
                         self.rt[sm].slots[slot] = Some(warp);
                         self.maybe_preload(sm, &v);
                         return;
@@ -951,6 +1158,9 @@ impl<'a> Engine<'a> {
                     self.rt[sm].current_queue = None;
                 }
             }
+            let now = self.now;
+            let mode = warp.mode;
+            emit(&mut self.sink, || TraceEvent::WarpRetire { cycle: now, sm, mode });
             return; // warp retires
         }
 
@@ -996,9 +1206,20 @@ impl<'a> Engine<'a> {
         }
         self.stats.add_mode_isect(warp.mode, tests);
 
+        // A step whose slowest line arrives well past L1 latency indicates a
+        // burst of misses serialized behind DRAM; surface it to the sink.
+        let stall = completion.saturating_sub(self.now);
+        if stall > self.cfg.mem.l1.latency as u64 {
+            let now = self.now;
+            let (mode, lines) = (warp.mode, fetched.len());
+            emit(&mut self.sink, || TraceEvent::MissBurst { cycle: now, sm, mode, lines, stall });
+        }
+
         let ready = completion + self.cfg.isect_latency as u64;
         self.stats.add_mode_cycles(warp.mode, ready - self.now);
+        self.sample_mode_cycles(self.now, warp.mode, ready - self.now);
         warp.ready_at = ready;
+        warp.mem_ready_at = completion;
         self.rt[sm].slots[slot] = Some(warp);
     }
 
@@ -1032,13 +1253,14 @@ impl<'a> Engine<'a> {
         if !vtq.preload {
             return;
         }
-        let Some(current) = self.rt[sm].current_queue else { return };
+        let Some(current) = self.rt[sm].current_queue else {
+            return;
+        };
         if self.rt[sm].queues.len_of(current) > self.cfg.warp_size {
             return; // more than one warp left; too early
         }
         // Find the largest other queue worth preloading.
-        let candidate = self
-            .rt[sm]
+        let candidate = self.rt[sm]
             .queues
             .largest()
             .filter(|(t, n)| *t != current && *n >= vtq.queue_threshold)
@@ -1117,7 +1339,8 @@ impl<'a> Engine<'a> {
                 }
             }
         }
-        let Some((t, _)) = votes.into_iter().max_by_key(|(t, n)| (*n, std::cmp::Reverse(t.0))) else {
+        let Some((t, _)) = votes.into_iter().max_by_key(|(t, n)| (*n, std::cmp::Reverse(t.0)))
+        else {
             return false;
         };
         self.rt[sm].last_prefetch_at = self.now;
@@ -1189,4 +1412,14 @@ impl<'a> Engine<'a> {
 
 fn ray_addr(cfg: &GpuConfig, r: RayId) -> u64 {
     RAY_REGION + r.0 as u64 * cfg.ray_record_bytes as u64
+}
+
+/// Records an event when a sink is attached. The closure defers event
+/// construction so untraced runs pay nothing at the call sites.
+#[inline]
+fn emit(sink: &mut Option<&mut dyn TraceSink>, make: impl FnOnce() -> TraceEvent) {
+    if let Some(sink) = sink.as_deref_mut() {
+        let event = make();
+        sink.record(&event);
+    }
 }

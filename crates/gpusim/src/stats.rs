@@ -1,4 +1,7 @@
 use std::fmt;
+use std::fmt::Write as _;
+
+use crate::observe::{SamplePoint, StallBreakdown, StallKind};
 
 /// The three traversal modes of dynamic treelet queues (§3.2), used to
 /// attribute cycles (Figure 14) and intersection tests (Figure 15).
@@ -18,7 +21,9 @@ impl TraversalMode {
     pub const ALL: [TraversalMode; 3] =
         [TraversalMode::Initial, TraversalMode::TreeletStationary, TraversalMode::RayStationary];
 
-    fn index(self) -> usize {
+    /// Position of this mode in figure-order arrays such as
+    /// [`SimStats::mode_cycles`] and [`SamplePoint::mode_cycles`].
+    pub fn index(self) -> usize {
         match self {
             TraversalMode::Initial => 0,
             TraversalMode::TreeletStationary => 1,
@@ -88,17 +93,32 @@ pub struct SimStats {
     pub queue_table_peak_entries: u32,
     /// Queue-table inserts that spilled to memory.
     pub queue_table_overflows: u64,
+    /// Per-RT-unit stall attribution (one entry per SM). Invariant: each
+    /// entry's [`StallBreakdown::total`] equals [`SimStats::cycles`].
+    pub stall: Vec<StallBreakdown>,
+    /// Time series of fixed-width sampling windows
+    /// ([`crate::GpuConfig::sample_window_cycles`]); empty when sampling
+    /// is disabled.
+    pub series: Vec<SamplePoint>,
 }
 
 impl SimStats {
     /// SIMT efficiency of the RT unit: mean fraction of active lanes per
-    /// warp step (paper Figure 1b / 13b).
-    pub fn simt_efficiency(&self) -> f64 {
-        if self.total_lane_steps == 0 {
-            0.0
-        } else {
-            self.active_lane_steps as f64 / self.total_lane_steps as f64
+    /// warp step (paper Figure 1b / 13b). `None` when no warp stepped —
+    /// callers averaging across runs must filter, not count such runs as
+    /// zero.
+    pub fn simt_efficiency_opt(&self) -> Option<f64> {
+        match self.total_lane_steps {
+            0 => None,
+            t => Some(self.active_lane_steps as f64 / t as f64),
         }
+    }
+
+    /// Sentinel-style [`SimStats::simt_efficiency_opt`]: returns `0.0`
+    /// when no warp stepped. Only for display paths where a literal zero
+    /// reads acceptably; never average these across runs.
+    pub fn simt_efficiency(&self) -> f64 {
+        self.simt_efficiency_opt().unwrap_or(0.0)
     }
 
     /// Cycles spent in a mode.
@@ -120,24 +140,166 @@ impl SimStats {
     }
 
     /// Fraction of intersection tests processed in treelet-stationary mode
-    /// (Figure 15).
-    pub fn treelet_isect_ratio(&self) -> f64 {
-        let total: u64 = self.mode_isect_tests.iter().sum();
-        if total == 0 {
-            0.0
-        } else {
-            self.isect_in(TraversalMode::TreeletStationary) as f64 / total as f64
+    /// (Figure 15). `None` when no tests ran at all.
+    pub fn treelet_isect_ratio_opt(&self) -> Option<f64> {
+        match self.mode_isect_tests.iter().sum::<u64>() {
+            0 => None,
+            total => Some(self.isect_in(TraversalMode::TreeletStationary) as f64 / total as f64),
         }
     }
 
+    /// Sentinel-style [`SimStats::treelet_isect_ratio_opt`]: `0.0` when no
+    /// tests ran. Only for display paths; never average across runs.
+    pub fn treelet_isect_ratio(&self) -> f64 {
+        self.treelet_isect_ratio_opt().unwrap_or(0.0)
+    }
+
     /// Fraction of issued prefetch lines that were used (Chou et al.
-    /// report 43.5% *unused*).
-    pub fn prefetch_use_rate(&self) -> f64 {
-        if self.prefetch_lines == 0 {
-            0.0
-        } else {
-            self.prefetch_lines_used as f64 / self.prefetch_lines as f64
+    /// report 43.5% *unused*). `None` when nothing was prefetched — which
+    /// is the normal state of the baseline and VTQ policies, so averaging
+    /// the sentinel form across policies silently dilutes the rate.
+    pub fn prefetch_use_rate_opt(&self) -> Option<f64> {
+        match self.prefetch_lines {
+            0 => None,
+            lines => Some(self.prefetch_lines_used as f64 / lines as f64),
         }
+    }
+
+    /// Sentinel-style [`SimStats::prefetch_use_rate_opt`]: `0.0` when
+    /// nothing was prefetched. Only for display paths.
+    pub fn prefetch_use_rate(&self) -> f64 {
+        self.prefetch_use_rate_opt().unwrap_or(0.0)
+    }
+
+    /// Accumulates `other` into `self`, treating the two as observations
+    /// of *concurrent* work (e.g. per-scene kernels of one workload):
+    /// throughput counters add (saturating), capacity peaks take the max,
+    /// per-unit stalls merge index-wise and series windows merge by
+    /// `start_cycle`.
+    pub fn merge(&mut self, other: &SimStats) {
+        self.cycles = self.cycles.max(other.cycles);
+        self.peak_rays_in_flight = self.peak_rays_in_flight.max(other.peak_rays_in_flight);
+        self.queue_table_max_chain = self.queue_table_max_chain.max(other.queue_table_max_chain);
+        self.queue_table_peak_entries =
+            self.queue_table_peak_entries.max(other.queue_table_peak_entries);
+
+        let add = |a: &mut u64, b: u64| *a = a.saturating_add(b);
+        add(&mut self.active_lane_steps, other.active_lane_steps);
+        add(&mut self.total_lane_steps, other.total_lane_steps);
+        add(&mut self.box_tests, other.box_tests);
+        add(&mut self.tri_tests, other.tri_tests);
+        add(&mut self.warps_issued, other.warps_issued);
+        add(&mut self.repack_events, other.repack_events);
+        add(&mut self.repacked_rays, other.repacked_rays);
+        add(&mut self.treelet_dispatches, other.treelet_dispatches);
+        add(&mut self.cta_suspends, other.cta_suspends);
+        add(&mut self.cta_resumes, other.cta_resumes);
+        add(&mut self.cta_state_bytes, other.cta_state_bytes);
+        add(&mut self.prefetches_issued, other.prefetches_issued);
+        add(&mut self.prefetch_lines, other.prefetch_lines);
+        add(&mut self.prefetch_lines_used, other.prefetch_lines_used);
+        add(&mut self.rays_completed, other.rays_completed);
+        add(&mut self.queue_table_overflows, other.queue_table_overflows);
+        for i in 0..3 {
+            add(&mut self.mode_cycles[i], other.mode_cycles[i]);
+            add(&mut self.mode_isect_tests[i], other.mode_isect_tests[i]);
+        }
+
+        if self.stall.len() < other.stall.len() {
+            self.stall.resize(other.stall.len(), StallBreakdown::default());
+        }
+        for (mine, theirs) in self.stall.iter_mut().zip(&other.stall) {
+            mine.merge(theirs);
+        }
+
+        for window in &other.series {
+            match self.series.iter_mut().find(|w| w.start_cycle == window.start_cycle) {
+                Some(mine) => mine.merge(window),
+                None => {
+                    self.series.push(*window);
+                    self.series.sort_by_key(|w| w.start_cycle);
+                }
+            }
+        }
+    }
+
+    /// Multi-line human-readable summary of the run.
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "cycles: {}", self.cycles);
+        let _ = writeln!(out, "rays completed: {}", self.rays_completed);
+        let _ = writeln!(out, "warps issued: {}", self.warps_issued);
+        match self.simt_efficiency_opt() {
+            Some(e) => {
+                let _ = writeln!(out, "simt efficiency: {:.1}%", e * 100.0);
+            }
+            None => {
+                let _ = writeln!(out, "simt efficiency: n/a (no warp steps)");
+            }
+        }
+        let _ = writeln!(out, "box tests: {}  tri tests: {}", self.box_tests, self.tri_tests);
+        let mode_total: u64 = self.mode_cycles.iter().sum();
+        if mode_total > 0 {
+            let _ = write!(out, "mode cycles:");
+            for mode in TraversalMode::ALL {
+                let _ = write!(
+                    out,
+                    " {} {:.1}%",
+                    mode,
+                    100.0 * self.cycles_in(mode) as f64 / mode_total as f64
+                );
+            }
+            let _ = writeln!(out);
+        }
+        if let Some(r) = self.treelet_isect_ratio_opt() {
+            let _ = writeln!(out, "treelet-stationary isect share: {:.1}%", r * 100.0);
+        }
+        if self.cta_suspends > 0 {
+            let _ = writeln!(
+                out,
+                "virtualization: {} suspends, {} resumes, {} state bytes",
+                self.cta_suspends, self.cta_resumes, self.cta_state_bytes
+            );
+        }
+        if self.treelet_dispatches > 0 {
+            let _ = writeln!(
+                out,
+                "treelet dispatches: {}  repacks: {} (+{} rays)",
+                self.treelet_dispatches, self.repack_events, self.repacked_rays
+            );
+            let _ = writeln!(
+                out,
+                "queue table: peak {} entries, max chain {}, {} overflows",
+                self.queue_table_peak_entries,
+                self.queue_table_max_chain,
+                self.queue_table_overflows
+            );
+        }
+        if let Some(p) = self.prefetch_use_rate_opt() {
+            let _ = writeln!(
+                out,
+                "prefetch: {} issued, {:.1}% of lines used",
+                self.prefetches_issued,
+                p * 100.0
+            );
+        }
+        if !self.stall.is_empty() {
+            let mut agg = StallBreakdown::default();
+            for unit in &self.stall {
+                agg.merge(unit);
+            }
+            let _ = write!(out, "rt-unit cycles:");
+            for kind in StallKind::ALL {
+                if let Some(f) = agg.fraction(kind) {
+                    let _ = write!(out, " {} {:.1}%", kind.label(), f * 100.0);
+                }
+            }
+            let _ = writeln!(out);
+        }
+        if !self.series.is_empty() {
+            let _ = writeln!(out, "time series: {} windows", self.series.len());
+        }
+        out
     }
 }
 

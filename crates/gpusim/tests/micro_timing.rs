@@ -33,7 +33,8 @@ fn micro_config() -> GpuConfig {
     let mut cfg = GpuConfig::default();
     cfg.mem.num_sms = 1;
     cfg.mem.l1 = CacheConfig { size_bytes: 1024, assoc: Assoc::Full, line_bytes: 128, latency: 10 };
-    cfg.mem.l2 = CacheConfig { size_bytes: 4096, assoc: Assoc::Ways(4), line_bytes: 128, latency: 50 };
+    cfg.mem.l2 =
+        CacheConfig { size_bytes: 4096, assoc: Assoc::Ways(4), line_bytes: 128, latency: 50 };
     cfg.mem.dram_latency = 200;
     cfg.mem.dram_lines_per_cycle = 100.0; // bandwidth never the bottleneck here
     cfg.raygen_cycles = 100;
@@ -81,9 +82,7 @@ fn second_warp_hits_the_l1() {
     let hitting = Ray::new(Vec3::new(0.0, 0.0, -2.0), Vec3::new(0.0, 0.0, 1.0));
     // Two CTAs' worth of tasks (65 rays at cta_size 64) so a second warp
     // traverses after the first warmed the cache.
-    let workload = Workload {
-        tasks: vec![PathTask { rays: vec![hitting.into()] }; 65],
-    };
+    let workload = Workload { tasks: vec![PathTask { rays: vec![hitting.into()] }; 65] };
     let cfg = micro_config();
     let report = Simulator::new(&bvh, scene.triangles(), cfg).run(&workload);
     let bvh_stats = report.mem.kind(gpumem::AccessKind::Bvh);
@@ -98,9 +97,8 @@ fn second_warp_hits_the_l1() {
 fn two_bounce_task_reenters_the_pipeline() {
     let (scene, bvh) = single_triangle();
     let hitting = Ray::new(Vec3::new(0.0, 0.0, -2.0), Vec3::new(0.0, 0.0, 1.0));
-    let workload = Workload {
-        tasks: vec![PathTask { rays: vec![hitting.into(), hitting.into()] }],
-    };
+    let workload =
+        Workload { tasks: vec![PathTask { rays: vec![hitting.into(), hitting.into()] }] };
     let cfg = micro_config();
     let report = Simulator::new(&bvh, scene.triangles(), cfg).run(&workload);
     // Bounce 0: raygen(100) + cold fetch(250) + isect(4) + shade(30).
@@ -130,7 +128,8 @@ fn warp_and_cta_size_variants_are_functionally_identical() {
     // Robustness: non-default warp and CTA geometry must not change hit
     // results, only timing.
     let scene = rtscene::lumibench::build_scaled(rtscene::lumibench::SceneId::Ref, 16);
-    let bvh = Bvh::build(scene.triangles(), &BvhConfig { treelet_bytes: 1024, ..Default::default() });
+    let bvh =
+        Bvh::build(scene.triangles(), &BvhConfig { treelet_bytes: 1024, ..Default::default() });
     let rays: Vec<PathTask> = (0..300)
         .map(|i| PathTask {
             rays: vec![scene.camera().primary_ray(i % 20, i / 20, 20, 15, None).into()],
@@ -147,10 +146,16 @@ fn warp_and_cta_size_variants_are_functionally_identical() {
             TraversalPolicy::Vtq(gpusim::VtqParams { queue_threshold: 8, ..Default::default() }),
         ] {
             let r = Simulator::new(&bvh, scene.triangles(), cfg.with_policy(policy)).run(&workload);
-            assert_eq!(r.stats.rays_completed as usize, workload.total_rays(), "warp={warp} cta={cta}");
+            assert_eq!(
+                r.stats.rays_completed as usize,
+                workload.total_rays(),
+                "warp={warp} cta={cta}"
+            );
             match &reference_hits {
                 None => reference_hits = Some(r.hits),
-                Some(expect) => assert_eq!(&r.hits, expect, "warp={warp} cta={cta} {}", policy.label()),
+                Some(expect) => {
+                    assert_eq!(&r.hits, expect, "warp={warp} cta={cta} {}", policy.label())
+                }
             }
         }
     }

@@ -1,0 +1,230 @@
+//! Integration tests of the observability subsystem: trace events, stall
+//! attribution, time-series sampling and the exporters, driven through
+//! real simulations.
+
+use gpusim::export::{events_jsonl, metrics_json, series_csv, stall_csv};
+use gpusim::{
+    CountingSink, GpuConfig, PathTask, RingSink, SimReport, Simulator, StallKind, TraceEvent,
+    TraversalPolicy, VtqParams, Workload,
+};
+use rtbvh::{Bvh, BvhConfig};
+use rtscene::lumibench::{self, SceneId};
+
+fn setup() -> (rtscene::Scene, Bvh) {
+    let scene = lumibench::build_scaled(SceneId::Ref, 8);
+    let bvh =
+        Bvh::build(scene.triangles(), &BvhConfig { treelet_bytes: 1024, ..Default::default() });
+    (scene, bvh)
+}
+
+fn camera_workload(scene: &rtscene::Scene, res: u32) -> Workload {
+    let tasks = (0..res * res)
+        .map(|i| PathTask {
+            rays: vec![scene.camera().primary_ray(i % res, i / res, res, res, None).into()],
+        })
+        .collect();
+    Workload { tasks }
+}
+
+fn small_cfg(policy: TraversalPolicy) -> GpuConfig {
+    let mut cfg = GpuConfig::default().with_policy(policy);
+    cfg.mem.num_sms = 2;
+    cfg
+}
+
+fn vtq() -> TraversalPolicy {
+    TraversalPolicy::Vtq(VtqParams { queue_threshold: 16, ..Default::default() })
+}
+
+fn policies() -> [TraversalPolicy; 3] {
+    [TraversalPolicy::Baseline, TraversalPolicy::TreeletPrefetch, vtq()]
+}
+
+#[test]
+fn traced_run_is_cycle_identical_to_untraced() {
+    let (scene, bvh) = setup();
+    let workload = camera_workload(&scene, 32);
+    for policy in policies() {
+        let sim = Simulator::new(&bvh, scene.triangles(), small_cfg(policy));
+        let plain = sim.run(&workload);
+        let mut sink = CountingSink::default();
+        let traced = sim.run_traced(&workload, &mut sink);
+        assert_eq!(plain.stats.cycles, traced.stats.cycles, "policy {}", policy.label());
+        assert_eq!(plain.stats, traced.stats, "policy {}", policy.label());
+        assert_eq!(plain.hits, traced.hits);
+        assert!(sink.total > 0, "policy {} emitted no events", policy.label());
+    }
+}
+
+#[test]
+fn stall_breakdown_sums_to_cycles_per_unit() {
+    let (scene, bvh) = setup();
+    let workload = camera_workload(&scene, 32);
+    for policy in policies() {
+        let report = Simulator::new(&bvh, scene.triangles(), small_cfg(policy)).run(&workload);
+        assert_eq!(report.stats.stall.len(), 2);
+        for (sm, unit) in report.stats.stall.iter().enumerate() {
+            assert_eq!(
+                unit.total(),
+                report.stats.cycles,
+                "policy {} sm {sm}: {unit:?}",
+                policy.label()
+            );
+        }
+        // A real ray-tracing kernel both computes and waits on memory.
+        let busy: u64 = report.stats.stall.iter().map(|u| u.get(StallKind::Busy)).sum();
+        let mem: u64 = report.stats.stall.iter().map(|u| u.get(StallKind::WaitingMemory)).sum();
+        assert!(busy > 0, "policy {} never busy", policy.label());
+        assert!(mem > 0, "policy {} never memory-bound", policy.label());
+    }
+}
+
+#[test]
+fn vtq_emits_queue_and_lifecycle_events() {
+    let (scene, bvh) = setup();
+    let workload = camera_workload(&scene, 48);
+    let mut sink = RingSink::new(1 << 20);
+    let report =
+        Simulator::new(&bvh, scene.triangles(), small_cfg(vtq())).run_traced(&workload, &mut sink);
+    assert_eq!(sink.dropped(), 0, "ring too small for exact count checks");
+    let count = |tag: &str| sink.events().filter(|e| e.tag() == tag).count() as u64;
+    assert!(count("cta_launch") > 0);
+    assert_eq!(count("warp_issue"), report.stats.warps_issued);
+    assert_eq!(count("cta_suspend"), report.stats.cta_suspends);
+    assert_eq!(count("cta_resume"), report.stats.cta_resumes);
+    assert_eq!(count("repack"), report.stats.repack_events);
+    assert!(count("treelet_dispatch") > 0);
+    assert!(count("mode_transition") > 0);
+    // Events arrive in nondecreasing cycle order per SM.
+    let mut last_per_sm = std::collections::HashMap::new();
+    for e in sink.events() {
+        let sm = match *e {
+            TraceEvent::CtaLaunch { sm, .. }
+            | TraceEvent::CtaSuspend { sm, .. }
+            | TraceEvent::CtaResume { sm, .. }
+            | TraceEvent::CtaRetire { sm, .. }
+            | TraceEvent::WarpIssue { sm, .. }
+            | TraceEvent::WarpRetire { sm, .. }
+            | TraceEvent::TreeletDispatch { sm, .. }
+            | TraceEvent::GroupDispatch { sm, .. }
+            | TraceEvent::Repack { sm, .. }
+            | TraceEvent::DivergenceSplit { sm, .. }
+            | TraceEvent::ModeTransition { sm, .. }
+            | TraceEvent::MissBurst { sm, .. } => sm,
+        };
+        let last = last_per_sm.entry(sm).or_insert(0u64);
+        assert!(e.cycle() >= *last, "sm {sm} went backwards: {e:?}");
+        *last = e.cycle();
+    }
+}
+
+#[test]
+fn ring_sink_stays_bounded_on_real_runs() {
+    let (scene, bvh) = setup();
+    let workload = camera_workload(&scene, 48);
+    let mut sink = RingSink::new(256);
+    Simulator::new(&bvh, scene.triangles(), small_cfg(vtq())).run_traced(&workload, &mut sink);
+    assert_eq!(sink.len(), 256);
+    assert!(sink.dropped() > 0);
+}
+
+#[test]
+fn time_series_covers_the_run_and_stays_bounded() {
+    let (scene, bvh) = setup();
+    let workload = camera_workload(&scene, 32);
+    let mut cfg = small_cfg(vtq());
+    cfg.sample_window_cycles = 5_000;
+    let report = Simulator::new(&bvh, scene.triangles(), cfg).run(&workload);
+    assert!(!report.stats.series.is_empty());
+    let covered: u64 = report.stats.series.iter().map(|w| w.covered_cycles).sum();
+    assert_eq!(covered, report.stats.cycles);
+    let total_slots = (cfg.num_sms() * cfg.max_ctas_per_sm) as f64;
+    for (i, w) in report.stats.series.iter().enumerate() {
+        assert_eq!(w.start_cycle, i as u64 * 5_000, "windows must tile the run");
+        assert!(w.covered_cycles <= 5_000);
+        if let Some(occ) = w.mean_occupied_slots() {
+            assert!(occ <= total_slots, "window {i}: occupancy {occ} > {total_slots}");
+        }
+        // Per-window stalls integrate over both RT units.
+        assert_eq!(w.stall.total(), w.covered_cycles * cfg.num_sms() as u64);
+    }
+    // Disabling sampling empties the series but keeps the stall totals.
+    let mut off = cfg;
+    off.sample_window_cycles = 0;
+    let quiet = Simulator::new(&bvh, scene.triangles(), off).run(&workload);
+    assert!(quiet.stats.series.is_empty());
+    assert_eq!(quiet.stats.stall.len(), 2);
+    assert_eq!(quiet.stats.cycles, report.stats.cycles, "sampling must not change timing");
+}
+
+#[test]
+fn exporters_produce_wellformed_output() {
+    let (scene, bvh) = setup();
+    let workload = camera_workload(&scene, 32);
+    let mut sink = RingSink::new(4096);
+    let sim = Simulator::new(&bvh, scene.triangles(), small_cfg(vtq()));
+    let report = sim.run_traced(&workload, &mut sink);
+
+    let jsonl = sink.to_jsonl();
+    assert_eq!(jsonl.lines().count(), sink.len());
+    for line in jsonl.lines() {
+        assert!(line.starts_with("{\"event\":\"") && line.ends_with('}'), "bad line: {line}");
+        assert!(line.contains("\"cycle\":"));
+    }
+    assert_eq!(jsonl, events_jsonl(sink.events()));
+
+    let csv = series_csv(&report.stats.series);
+    let header_cols = csv.lines().next().unwrap().split(',').count();
+    assert_eq!(csv.lines().count(), report.stats.series.len() + 1);
+    for line in csv.lines().skip(1) {
+        assert_eq!(line.split(',').count(), header_cols, "ragged row: {line}");
+    }
+
+    let stalls = stall_csv(&report.stats.stall);
+    assert_eq!(stalls.lines().count(), report.stats.stall.len() + 2);
+    assert!(stalls.lines().last().unwrap().starts_with("total,"));
+
+    let metrics = metrics_json("ref/vtq", &report);
+    assert!(metrics.starts_with('{') && metrics.ends_with('}'));
+    assert!(metrics.contains("\"label\":\"ref/vtq\""));
+    assert!(metrics.contains(&format!("\"cycles\":{}", report.stats.cycles)));
+    assert!(metrics.contains("\"stall_busy\":"));
+    // VTQ issues no prefetches: the rate must be null, not 0.
+    assert!(metrics.contains("\"prefetch_use_rate\":null"));
+}
+
+#[test]
+fn report_summary_mentions_key_quantities() {
+    let (scene, bvh) = setup();
+    let workload = camera_workload(&scene, 32);
+    let report = Simulator::new(&bvh, scene.triangles(), small_cfg(vtq())).run(&workload);
+    let text = report.stats.report();
+    assert!(text.contains(&format!("cycles: {}", report.stats.cycles)));
+    assert!(text.contains("simt efficiency:"));
+    assert!(text.contains("rt-unit cycles:"));
+    assert!(text.contains("treelet dispatches:"));
+}
+
+#[test]
+fn merged_stats_accumulate_and_keep_invariants() {
+    let (scene, bvh) = setup();
+    let workload = camera_workload(&scene, 24);
+    let sim = Simulator::new(&bvh, scene.triangles(), small_cfg(vtq()));
+    let a: SimReport = sim.run(&workload);
+    let b: SimReport = sim.run(&workload);
+    let mut merged = a.stats.clone();
+    merged.merge(&b.stats);
+    assert_eq!(merged.rays_completed, a.stats.rays_completed + b.stats.rays_completed);
+    assert_eq!(merged.cycles, a.stats.cycles.max(b.stats.cycles));
+    assert_eq!(merged.peak_rays_in_flight, a.stats.peak_rays_in_flight);
+    // Stall buckets add index-wise: each unit now covers both runs.
+    for (i, unit) in merged.stall.iter().enumerate() {
+        assert_eq!(unit.total(), a.stats.stall[i].total() + b.stats.stall[i].total());
+    }
+    // Series windows merged by start cycle, still sorted and covering.
+    for pair in merged.series.windows(2) {
+        assert!(pair[0].start_cycle < pair[1].start_cycle);
+    }
+    let covered: u64 = merged.series.iter().map(|w| w.covered_cycles).sum();
+    assert_eq!(covered, a.stats.cycles.max(b.stats.cycles));
+}

@@ -12,7 +12,8 @@ use rtscene::lumibench::{self, SceneId};
 
 fn scene_and_bvh() -> (rtscene::Scene, Bvh) {
     let scene = lumibench::build_scaled(SceneId::Ref, 8);
-    let bvh = Bvh::build(scene.triangles(), &BvhConfig { treelet_bytes: 1024, ..Default::default() });
+    let bvh =
+        Bvh::build(scene.triangles(), &BvhConfig { treelet_bytes: 1024, ..Default::default() });
     (scene, bvh)
 }
 
@@ -29,7 +30,11 @@ fn random_workload(seed: u64, tasks: usize, max_bounces: usize) -> Workload {
                 scene.camera().primary_ray((i % 32) as u32, (i / 32 % 32) as u32, 32, 32, None)
             } else {
                 Ray::new(
-                    Vec3::new(rng.range_f32(-8.0, 8.0), rng.range_f32(0.1, 6.0), rng.range_f32(-8.0, 8.0)),
+                    Vec3::new(
+                        rng.range_f32(-8.0, 8.0),
+                        rng.range_f32(0.1, 6.0),
+                        rng.range_f32(-8.0, 8.0),
+                    ),
                     rng.unit_vector(),
                 )
             };
@@ -96,6 +101,45 @@ proptest! {
         let vtq_cfg = base_cfg.with_policy(TraversalPolicy::Vtq(vtq_params(qt, rp, 2, true, true)));
         let vtq = Simulator::new(&bvh, scene.triangles(), vtq_cfg).run(&workload);
         prop_assert_eq!(baseline.hits, vtq.hits);
+    }
+
+    /// Stall attribution is a partition of time: for every RT unit, the
+    /// five stall buckets sum to exactly the kernel's total cycles, under
+    /// every policy and random VTQ parameters.
+    #[test]
+    fn stall_buckets_partition_total_cycles(
+        seed in any::<u64>(),
+        qt in 1usize..200,
+        rp in 0usize..32,
+        window in 0u64..50_000,
+    ) {
+        let (scene, bvh) = scene_and_bvh();
+        let workload = random_workload(seed, 400, 2);
+        for policy in [
+            TraversalPolicy::Baseline,
+            TraversalPolicy::TreeletPrefetch,
+            TraversalPolicy::Vtq(vtq_params(qt, rp, 2, true, true)),
+        ] {
+            let mut cfg = GpuConfig::default().with_policy(policy);
+            cfg.mem.num_sms = 2;
+            cfg.sample_window_cycles = window;
+            let report = Simulator::new(&bvh, scene.triangles(), cfg).run(&workload);
+            prop_assert_eq!(report.stats.stall.len(), 2);
+            for (sm, unit) in report.stats.stall.iter().enumerate() {
+                prop_assert_eq!(
+                    unit.total(), report.stats.cycles,
+                    "policy {} sm {}: stall total {} != cycles {}",
+                    policy.label(), sm, unit.total(), report.stats.cycles
+                );
+            }
+            // The time series covers the run exactly once when enabled.
+            if window > 0 {
+                let covered: u64 = report.stats.series.iter().map(|w| w.covered_cycles).sum();
+                prop_assert_eq!(covered, report.stats.cycles);
+            } else {
+                prop_assert!(report.stats.series.is_empty());
+            }
+        }
     }
 
     #[test]

@@ -21,7 +21,9 @@ fn build_workload(scene: &Scene, bvh: &Bvh, res: u32, bounces: usize) -> Workloa
             let mut ray = scene.camera().primary_ray(px, py, res, res, None);
             for _ in 0..=bounces {
                 rays.push(ray.into());
-                let Some(hit) = bvh.intersect(tris, &ray, 1e-3, f32::INFINITY) else { break };
+                let Some(hit) = bvh.intersect(tris, &ray, 1e-3, f32::INFINITY) else {
+                    break;
+                };
                 let tri = &tris[hit.prim as usize];
                 let rec = rtscene::HitRecord::new(
                     hit.t,
@@ -45,7 +47,8 @@ fn setup(scale: u32) -> (Scene, Bvh) {
     let scene = lumibench::build_scaled(SceneId::Ref, scale);
     // Small treelets so even the reduced-detail scene has enough treelets
     // for queue dynamics to occur.
-    let bvh = Bvh::build(scene.triangles(), &BvhConfig { treelet_bytes: 1024, ..Default::default() });
+    let bvh =
+        Bvh::build(scene.triangles(), &BvhConfig { treelet_bytes: 1024, ..Default::default() });
     (scene, bvh)
 }
 
@@ -117,7 +120,8 @@ fn deterministic_across_runs() {
 fn virtualization_raises_concurrent_rays() {
     let (scene, bvh) = setup(8);
     let workload = build_workload(&scene, &bvh, 96, 2); // 9216 paths on 4 SMs
-    let base = Simulator::new(&bvh, scene.triangles(), small_gpu(TraversalPolicy::Baseline)).run(&workload);
+    let base = Simulator::new(&bvh, scene.triangles(), small_gpu(TraversalPolicy::Baseline))
+        .run(&workload);
     let vtq = Simulator::new(
         &bvh,
         scene.triangles(),
@@ -177,7 +181,8 @@ fn vtq_uses_all_three_modes() {
 fn baseline_runs_entirely_ray_stationary() {
     let (scene, bvh) = setup(32);
     let workload = build_workload(&scene, &bvh, 16, 1);
-    let report = Simulator::new(&bvh, scene.triangles(), small_gpu(TraversalPolicy::Baseline)).run(&workload);
+    let report = Simulator::new(&bvh, scene.triangles(), small_gpu(TraversalPolicy::Baseline))
+        .run(&workload);
     assert_eq!(report.stats.cycles_in(TraversalMode::Initial), 0);
     assert_eq!(report.stats.cycles_in(TraversalMode::TreeletStationary), 0);
     assert!(report.stats.cycles_in(TraversalMode::RayStationary) > 0);
@@ -218,7 +223,8 @@ fn prefetch_policy_issues_and_uses_prefetches() {
     let (scene, bvh) = setup(32);
     let workload = build_workload(&scene, &bvh, 32, 2);
     let report =
-        Simulator::new(&bvh, scene.triangles(), small_gpu(TraversalPolicy::TreeletPrefetch)).run(&workload);
+        Simulator::new(&bvh, scene.triangles(), small_gpu(TraversalPolicy::TreeletPrefetch))
+            .run(&workload);
     assert!(report.stats.prefetches_issued > 0);
     assert!(report.stats.prefetch_lines > 0);
     let rate = report.stats.prefetch_use_rate();
@@ -229,7 +235,8 @@ fn prefetch_policy_issues_and_uses_prefetches() {
 fn energy_report_is_consistent() {
     let (scene, bvh) = setup(32);
     let workload = build_workload(&scene, &bvh, 16, 1);
-    let report = Simulator::new(&bvh, scene.triangles(), small_gpu(TraversalPolicy::Baseline)).run(&workload);
+    let report = Simulator::new(&bvh, scene.triangles(), small_gpu(TraversalPolicy::Baseline))
+        .run(&workload);
     assert!(report.energy.total_pj() > 0.0);
     assert!(report.energy.static_pj > 0.0);
     assert_eq!(report.energy.virtualization_pj, 0.0, "baseline has no virtualization energy");
@@ -239,7 +246,8 @@ fn energy_report_is_consistent() {
 fn mem_stats_track_bvh_and_windows() {
     let (scene, bvh) = setup(32);
     let workload = build_workload(&scene, &bvh, 16, 1);
-    let report = Simulator::new(&bvh, scene.triangles(), small_gpu(TraversalPolicy::Baseline)).run(&workload);
+    let report = Simulator::new(&bvh, scene.triangles(), small_gpu(TraversalPolicy::Baseline))
+        .run(&workload);
     let bvh_stats = report.mem.kind(gpumem::AccessKind::Bvh);
     assert!(bvh_stats.lines > 0);
     assert!(bvh_stats.l1_lookups > 0);
@@ -392,7 +400,10 @@ fn preload_does_not_change_results_and_rarely_hurts() {
     .run(&workload);
     assert_eq!(with.hits, without.hits);
     // Preloading adds Prefetch traffic and must not be catastrophic.
-    assert!(with.mem.kind(gpumem::AccessKind::Prefetch).lines >= without.mem.kind(gpumem::AccessKind::Prefetch).lines);
+    assert!(
+        with.mem.kind(gpumem::AccessKind::Prefetch).lines
+            >= without.mem.kind(gpumem::AccessKind::Prefetch).lines
+    );
     assert!((with.stats.cycles as f64) < without.stats.cycles as f64 * 1.5);
 }
 
@@ -401,11 +412,14 @@ fn shadow_ray_workload_through_the_simulator() {
     // End-to-end: NEE workload (closest-hit + anyhit mix) simulates
     // correctly under VTQ and matches the occlusion reference.
     let scene = lumibench::build_scaled(SceneId::Bath, 8);
-    let bvh = Bvh::build(scene.triangles(), &BvhConfig { treelet_bytes: 1024, ..Default::default() });
+    let bvh =
+        Bvh::build(scene.triangles(), &BvhConfig { treelet_bytes: 1024, ..Default::default() });
     let (workload, _) = vtq_shadow_workload(&scene, &bvh);
-    let anyhit_calls: usize = workload.tasks.iter().flat_map(|t| &t.rays).filter(|c| c.anyhit).count();
+    let anyhit_calls: usize =
+        workload.tasks.iter().flat_map(|t| &t.rays).filter(|c| c.anyhit).count();
     assert!(anyhit_calls > 0);
-    let cfg = small_gpu(TraversalPolicy::Vtq(VtqParams { queue_threshold: 16, ..Default::default() }));
+    let cfg =
+        small_gpu(TraversalPolicy::Vtq(VtqParams { queue_threshold: 16, ..Default::default() }));
     let report = Simulator::new(&bvh, scene.triangles(), cfg).run(&workload);
     assert_eq!(report.stats.rays_completed as usize, workload.total_rays());
     for (task, pt) in workload.tasks.iter().enumerate() {
@@ -423,10 +437,8 @@ fn shadow_ray_workload_through_the_simulator() {
 /// anyhit shadow probe toward the scene's light.
 fn vtq_shadow_workload(scene: &rtscene::Scene, bvh: &Bvh) -> (Workload, ()) {
     let tris = scene.triangles();
-    let light = tris
-        .iter()
-        .find(|t| scene.material(t.material).is_emissive())
-        .expect("scene has a light");
+    let light =
+        tris.iter().find(|t| scene.material(t.material).is_emissive()).expect("scene has a light");
     let mut tasks = Vec::new();
     for py in 0..32 {
         for px in 0..32 {
@@ -463,6 +475,59 @@ fn queue_table_chains_stay_short() {
     );
 }
 
+/// §4.2: "the max collisions for a key is only two" — regression-pin the
+/// paper's exact bound on the default-parameter VTQ configuration across
+/// scenes. A chain of 3+ means the hash spreading regressed.
+#[test]
+fn queue_table_max_chain_stays_at_most_two() {
+    for scene_id in [SceneId::Ref, SceneId::Bath] {
+        let scene = lumibench::build_scaled(scene_id, 8);
+        let bvh =
+            Bvh::build(scene.triangles(), &BvhConfig { treelet_bytes: 1024, ..Default::default() });
+        let workload = build_workload(&scene, &bvh, 64, 2);
+        let report = Simulator::new(
+            &bvh,
+            scene.triangles(),
+            small_gpu(TraversalPolicy::Vtq(VtqParams {
+                queue_threshold: 16,
+                ..Default::default()
+            })),
+        )
+        .run(&workload);
+        assert!(report.stats.queue_table_peak_entries > 0, "{scene_id:?}: table unused");
+        assert!(
+            report.stats.queue_table_max_chain <= 2,
+            "{scene_id:?}: max probe chain {} exceeds the paper's bound of 2 (§4.2)",
+            report.stats.queue_table_max_chain
+        );
+    }
+}
+
+/// §6.5 sizes the hardware queue table at 128 entries; with the default
+/// table the peak live-entry count must stay within that budget (anything
+/// above spills, which the paper's sizing argument rules out).
+#[test]
+fn queue_table_peak_entries_fit_the_128_entry_budget() {
+    let (scene, bvh) = setup(8);
+    let workload = build_workload(&scene, &bvh, 96, 2);
+    let report = Simulator::new(
+        &bvh,
+        scene.triangles(),
+        small_gpu(TraversalPolicy::Vtq(VtqParams { queue_threshold: 16, ..Default::default() })),
+    )
+    .run(&workload);
+    assert!(report.stats.queue_table_peak_entries > 0, "queue table saw traffic");
+    assert!(
+        report.stats.queue_table_peak_entries <= 128,
+        "peak queue-table occupancy {} exceeds the §6.5 budget of 128 entries",
+        report.stats.queue_table_peak_entries
+    );
+    assert_eq!(
+        report.stats.queue_table_overflows, 0,
+        "default-size table must not spill on the reference workload"
+    );
+}
+
 #[test]
 fn workload_metrics() {
     let (scene, bvh) = setup(16);
@@ -494,9 +559,7 @@ fn empty_tasks_and_ragged_bounces_are_handled() {
                 .collect(),
         }
     };
-    let workload = Workload {
-        tasks: vec![mk(3), mk(0), mk(1), mk(2), mk(0), mk(3)],
-    };
+    let workload = Workload { tasks: vec![mk(3), mk(0), mk(1), mk(2), mk(0), mk(3)] };
     for policy in policies() {
         let r = Simulator::new(&bvh, scene.triangles(), small_gpu(policy)).run(&workload);
         assert_eq!(r.stats.rays_completed as usize, workload.total_rays(), "{}", policy.label());
@@ -508,7 +571,8 @@ fn empty_tasks_and_ragged_bounces_are_handled() {
 #[test]
 fn single_sm_single_cta_vtq_still_works() {
     let (scene, bvh) = setup(16);
-    let mut cfg = small_gpu(TraversalPolicy::Vtq(VtqParams { queue_threshold: 4, ..Default::default() }));
+    let mut cfg =
+        small_gpu(TraversalPolicy::Vtq(VtqParams { queue_threshold: 4, ..Default::default() }));
     cfg.mem.num_sms = 1;
     cfg.max_ctas_per_sm = 1;
     let workload = build_workload(&scene, &bvh, 32, 2);

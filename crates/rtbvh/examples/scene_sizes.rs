@@ -3,7 +3,10 @@ use rtscene::lumibench::{self, SceneId};
 use std::time::Instant;
 
 fn main() {
-    println!("{:<6} {:>9} {:>10} {:>8} {:>9} {:>7}", "scene", "tris", "bvh_bytes", "nodes", "treelets", "secs");
+    println!(
+        "{:<6} {:>9} {:>10} {:>8} {:>9} {:>7}",
+        "scene", "tris", "bvh_bytes", "nodes", "treelets", "secs"
+    );
     for id in SceneId::ALL {
         let t0 = Instant::now();
         let scene = lumibench::build(id);
@@ -11,7 +14,11 @@ fn main() {
         let s = bvh.stats();
         println!(
             "{:<6} {:>9} {:>10} {:>8} {:>9} {:>7.2}",
-            id.name(), scene.triangles().len(), s.total_bytes, s.node_count, s.treelet_count,
+            id.name(),
+            scene.triangles().len(),
+            s.total_bytes,
+            s.node_count,
+            s.treelet_count,
             t0.elapsed().as_secs_f32()
         );
     }

@@ -117,7 +117,13 @@ fn build_range(
         }
         first + count / 2 // forced median split of coincident centroids
     } else {
-        match binned_sah_split(&mut prims[first..first + count], axis, centroid_bounds, bounds, config) {
+        match binned_sah_split(
+            &mut prims[first..first + count],
+            axis,
+            centroid_bounds,
+            bounds,
+            config,
+        ) {
             Some(offset) => first + offset,
             None => {
                 if count <= config.max_leaf_prims_hard {
@@ -153,7 +159,8 @@ fn binned_sah_split(
     let ax = axis.index();
     let lo = centroid_bounds.min[ax];
     let scale = nbins as f32 / (centroid_bounds.max[ax] - lo);
-    let bin_of = |p: &PrimInfo| -> usize { (((p.centroid[ax] - lo) * scale) as usize).min(nbins - 1) };
+    let bin_of =
+        |p: &PrimInfo| -> usize { (((p.centroid[ax] - lo) * scale) as usize).min(nbins - 1) };
 
     let mut bin_bounds = vec![Aabb::EMPTY; nbins];
     let mut bin_counts = vec![0usize; nbins];

@@ -94,7 +94,9 @@ impl fmt::Display for ValidateError {
             ValidateError::ChildBoundsEscape { parent, child } => {
                 write!(f, "bounds of {child} escape parent {parent}")
             }
-            ValidateError::LayoutOverlap { a, b } => write!(f, "layout records of {a} and {b} overlap"),
+            ValidateError::LayoutOverlap { a, b } => {
+                write!(f, "layout records of {a} and {b} overlap")
+            }
             ValidateError::TreeletOverBudget { treelet, bytes } => {
                 write!(f, "{treelet} holds {bytes} bytes, over budget")
             }
@@ -267,7 +269,8 @@ impl Bvh {
             max_depth,
             total_bytes: self.total_bytes,
             treelet_count: tl.len(),
-            mean_treelet_bytes: tl.iter().map(|t| t.bytes as f32).sum::<f32>() / tl.len().max(1) as f32,
+            mean_treelet_bytes: tl.iter().map(|t| t.bytes as f32).sum::<f32>()
+                / tl.len().max(1) as f32,
         }
     }
 
@@ -341,7 +344,9 @@ impl Bvh {
                     let fresh: Vec<rtmath::Aabb> =
                         children.iter().map(|c| self.node(*c).bounds()).collect();
                     let total = fresh.iter().fold(rtmath::Aabb::EMPTY, |a, b| a.union(b));
-                    if let WideNode::Inner { bounds, child_bounds, .. } = &mut self.nodes[id.index()] {
+                    if let WideNode::Inner { bounds, child_bounds, .. } =
+                        &mut self.nodes[id.index()]
+                    {
                         *child_bounds = fresh;
                         *bounds = total;
                     }
@@ -388,7 +393,13 @@ impl Bvh {
     /// Children are visited front to back and subtrees behind the current
     /// closest hit are pruned — the same order the simulated RT unit uses,
     /// so the simulator's functional results can be checked against this.
-    pub fn intersect(&self, triangles: &[Triangle], ray: &Ray, t_min: f32, t_max: f32) -> Option<PrimHit> {
+    pub fn intersect(
+        &self,
+        triangles: &[Triangle],
+        ray: &Ray,
+        t_min: f32,
+        t_max: f32,
+    ) -> Option<PrimHit> {
         self.traverse(triangles, ray, t_min, t_max, |_| {})
     }
 
@@ -485,7 +496,10 @@ impl Bvh {
         }
         for (prim, &occ) in occurrences.iter().enumerate() {
             if occ != 1 {
-                return Err(ValidateError::PrimitiveCoverage { prim: prim as u32, occurrences: occ });
+                return Err(ValidateError::PrimitiveCoverage {
+                    prim: prim as u32,
+                    occurrences: occ,
+                });
             }
         }
 
@@ -494,7 +508,10 @@ impl Bvh {
             if let WideNode::Inner { bounds, children, .. } = n {
                 for c in children {
                     if !bounds.expanded(1e-4).contains_box(&self.node(*c).bounds()) {
-                        return Err(ValidateError::ChildBoundsEscape { parent: NodeId(i as u32), child: *c });
+                        return Err(ValidateError::ChildBoundsEscape {
+                            parent: NodeId(i as u32),
+                            child: *c,
+                        });
                     }
                 }
             }
@@ -517,10 +534,8 @@ impl Bvh {
             }
             let (start, end) = self.treelet_extents[i];
             let member_bytes: u64 = t.nodes.iter().map(|n| self.addr(*n).size as u64).sum();
-            let in_range = t
-                .nodes
-                .iter()
-                .all(|n| self.addr(*n).offset >= start && self.addr(*n).end() <= end);
+            let in_range =
+                t.nodes.iter().all(|n| self.addr(*n).offset >= start && self.addr(*n).end() <= end);
             if !in_range || member_bytes != end - start {
                 return Err(ValidateError::TreeletNotContiguous { treelet: tid });
             }
@@ -531,7 +546,12 @@ impl Bvh {
 }
 
 /// Brute-force closest hit, for differential testing of traversal.
-pub fn brute_force_intersect(triangles: &[Triangle], ray: &Ray, t_min: f32, t_max: f32) -> Option<PrimHit> {
+pub fn brute_force_intersect(
+    triangles: &[Triangle],
+    ray: &Ray,
+    t_min: f32,
+    t_max: f32,
+) -> Option<PrimHit> {
     let mut best: Option<PrimHit> = None;
     let mut limit = t_max;
     for (i, tri) in triangles.iter().enumerate() {
@@ -589,7 +609,11 @@ mod tests {
                 scene.camera().primary_ray(i % 17, i / 17, 17, 18, None)
             } else {
                 Ray::new(
-                    Vec3::new(rng.range_f32(-6.0, 6.0), rng.range_f32(0.5, 5.0), rng.range_f32(-6.0, 6.0)),
+                    Vec3::new(
+                        rng.range_f32(-6.0, 6.0),
+                        rng.range_f32(0.5, 5.0),
+                        rng.range_f32(-6.0, 6.0),
+                    ),
                     rng.unit_vector(),
                 )
             };
@@ -615,7 +639,11 @@ mod tests {
         let mut rng = XorShiftRng::new(3);
         for _ in 0..200 {
             let ray = Ray::new(
-                Vec3::new(rng.range_f32(-4.0, 4.0), rng.range_f32(0.2, 3.0), rng.range_f32(-4.0, 4.0)),
+                Vec3::new(
+                    rng.range_f32(-4.0, 4.0),
+                    rng.range_f32(0.2, 3.0),
+                    rng.range_f32(-4.0, 4.0),
+                ),
                 rng.unit_vector(),
             );
             let hit = bvh.intersect(tris, &ray, 1e-3, 100.0).is_some();
@@ -649,7 +677,12 @@ mod tests {
         let good = Bvh::build(&tris, &BvhConfig::default());
         let coarse = Bvh::build(
             &tris,
-            &BvhConfig { sah_bins: 2, max_leaf_prims: 16, max_leaf_prims_hard: 16, ..Default::default() },
+            &BvhConfig {
+                sah_bins: 2,
+                max_leaf_prims: 16,
+                max_leaf_prims_hard: 16,
+                ..Default::default()
+            },
         );
         assert!(good.sah_cost() > 0.0);
         assert!(good.sah_cost().is_finite());
@@ -665,9 +698,8 @@ mod tests {
     fn treelet_extents_cover_image_without_gaps() {
         let tris = grid_triangles(12);
         let bvh = Bvh::build(&tris, &BvhConfig::default());
-        let mut extents: Vec<(u64, u64)> = (0..bvh.partition().len())
-            .map(|i| bvh.treelet_extent(TreeletId(i as u32)))
-            .collect();
+        let mut extents: Vec<(u64, u64)> =
+            (0..bvh.partition().len()).map(|i| bvh.treelet_extent(TreeletId(i as u32))).collect();
         extents.sort_unstable();
         assert_eq!(extents.first().unwrap().0, 0);
         assert_eq!(extents.last().unwrap().1, bvh.total_bytes());

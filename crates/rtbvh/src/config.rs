@@ -22,14 +22,24 @@ pub struct NodeLayout {
 impl NodeLayout {
     /// The Benthin-et-al.-style layout Vulkan-Sim uses (the default).
     pub const fn wide() -> NodeLayout {
-        NodeLayout { inner_bytes: 128, leaf_header_bytes: 16, leaf_tri_bytes: 48, leaf_align_bytes: 64 }
+        NodeLayout {
+            inner_bytes: 128,
+            leaf_header_bytes: 16,
+            leaf_tri_bytes: 48,
+            leaf_align_bytes: 64,
+        }
     }
 
     /// A CWBVH-style compressed layout after Ylitie et al.: quantized
     /// child boxes shrink interior nodes to 80 B and leaf triangles to
     /// 32 B.
     pub const fn compressed() -> NodeLayout {
-        NodeLayout { inner_bytes: 80, leaf_header_bytes: 16, leaf_tri_bytes: 32, leaf_align_bytes: 32 }
+        NodeLayout {
+            inner_bytes: 80,
+            leaf_header_bytes: 16,
+            leaf_tri_bytes: 32,
+            leaf_align_bytes: 32,
+        }
     }
 }
 

@@ -87,7 +87,7 @@ fn build_range(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{brute_force_intersect, Bvh, Builder};
+    use crate::{brute_force_intersect, Builder, Bvh};
     use rtmath::{Ray, Vec3, XorShiftRng};
     use rtscene::lumibench::{self, SceneId};
 
@@ -113,7 +113,11 @@ mod tests {
                 s.camera().primary_ray(i % 12, i / 12, 12, 13, None)
             } else {
                 Ray::new(
-                    Vec3::new(rng.range_f32(-15.0, 15.0), rng.range_f32(0.2, 8.0), rng.range_f32(-15.0, 15.0)),
+                    Vec3::new(
+                        rng.range_f32(-15.0, 15.0),
+                        rng.range_f32(0.2, 8.0),
+                        rng.range_f32(-15.0, 15.0),
+                    ),
                     rng.unit_vector(),
                 )
             };

@@ -314,10 +314,7 @@ mod tests {
         let large = partition(&nodes, root, 16 * 1024, &NodeLayout::wide());
         let avg = |p: &TreeletPartition| {
             let total: usize = p.treelets().iter().map(|t| t.nodes.len()).sum();
-            p.treelets()
-                .iter()
-                .map(|t| t.mean_depth * t.nodes.len() as f32)
-                .sum::<f32>()
+            p.treelets().iter().map(|t| t.mean_depth * t.nodes.len() as f32).sum::<f32>()
                 / total as f32
         };
         assert!(avg(&large) > avg(&small));

@@ -9,7 +9,6 @@ use crate::NodeId;
 /// Embree BVH).
 pub const WIDE_WIDTH: usize = 4;
 
-
 /// Reference from an interior node to one of its children.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ChildRef {
@@ -213,7 +212,7 @@ mod tests {
         assert_eq!(leaf1.byte_size(&wide), 64); // 16 + 48 = 64
         let leaf4 = WideNode::Leaf { bounds: Aabb::EMPTY, first: 0, count: 4 };
         assert_eq!(leaf4.byte_size(&wide), 256); // 16 + 192 = 208 -> 256
-        // Compressed records are smaller across the board.
+                                                 // Compressed records are smaller across the board.
         let comp = crate::NodeLayout::compressed();
         assert_eq!(inner.byte_size(&comp), 80);
         assert!(leaf4.byte_size(&comp) < leaf4.byte_size(&wide));

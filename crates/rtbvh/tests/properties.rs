@@ -122,8 +122,14 @@ fn builds_are_deterministic() {
 #[test]
 fn larger_leaves_shrink_the_node_count() {
     let tris = random_soup(7, 400);
-    let small = Bvh::build(&tris, &BvhConfig { max_leaf_prims: 1, max_leaf_prims_hard: 4, ..Default::default() });
-    let large = Bvh::build(&tris, &BvhConfig { max_leaf_prims: 8, max_leaf_prims_hard: 16, ..Default::default() });
+    let small = Bvh::build(
+        &tris,
+        &BvhConfig { max_leaf_prims: 1, max_leaf_prims_hard: 4, ..Default::default() },
+    );
+    let large = Bvh::build(
+        &tris,
+        &BvhConfig { max_leaf_prims: 8, max_leaf_prims_hard: 16, ..Default::default() },
+    );
     assert!(
         large.stats().node_count < small.stats().node_count,
         "8-prim leaves ({}) should need fewer nodes than 1-prim leaves ({})",
@@ -172,7 +178,11 @@ fn refit_tracks_moving_geometry() {
     let mut rng = XorShiftRng::new(0xF17);
     for _ in 0..60 {
         let ray = Ray::new(
-            Vec3::new(rng.range_f32(-70.0, 70.0), rng.range_f32(-70.0, 70.0), rng.range_f32(-70.0, 70.0)),
+            Vec3::new(
+                rng.range_f32(-70.0, 70.0),
+                rng.range_f32(-70.0, 70.0),
+                rng.range_f32(-70.0, 70.0),
+            ),
             rng.unit_vector(),
         );
         let ours = bvh.intersect(&tris, &ray, 1e-3, f32::INFINITY);
@@ -189,12 +199,7 @@ fn refit_preserves_layout_and_treelets() {
     let treelets = bvh.partition().len();
     let addr0 = bvh.addr(rtbvh::NodeId(0));
     for t in tris.iter_mut() {
-        *t = rtscene::Triangle::new(
-            t.v0 * 1.1,
-            t.v1 * 1.1,
-            t.v2 * 1.1,
-            t.material,
-        );
+        *t = rtscene::Triangle::new(t.v0 * 1.1, t.v1 * 1.1, t.v2 * 1.1, t.material);
     }
     bvh.refit(&tris);
     assert_eq!(bvh.total_bytes(), bytes);

@@ -32,10 +32,8 @@ impl Default for Aabb {
 
 impl Aabb {
     /// The empty box: union identity, contains nothing.
-    pub const EMPTY: Aabb = Aabb {
-        min: Vec3::splat(f32::INFINITY),
-        max: Vec3::splat(f32::NEG_INFINITY),
-    };
+    pub const EMPTY: Aabb =
+        Aabb { min: Vec3::splat(f32::INFINITY), max: Vec3::splat(f32::NEG_INFINITY) };
 
     /// Creates a box from its two corners.
     #[inline]
@@ -114,10 +112,7 @@ impl Aabb {
     /// Grows the box by `amount` on every side.
     #[inline]
     pub fn expanded(&self, amount: f32) -> Aabb {
-        Aabb {
-            min: self.min - Vec3::splat(amount),
-            max: self.max + Vec3::splat(amount),
-        }
+        Aabb { min: self.min - Vec3::splat(amount), max: self.max + Vec3::splat(amount) }
     }
 
     /// Slab test.

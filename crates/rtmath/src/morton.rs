@@ -32,7 +32,9 @@ fn dilate21(v: u64) -> u64 {
 /// ```
 pub fn encode3(x: u32, y: u32, z: u32) -> u64 {
     const MAX: u32 = (1 << 21) - 1;
-    dilate21(x.min(MAX) as u64) | dilate21(y.min(MAX) as u64) << 1 | dilate21(z.min(MAX) as u64) << 2
+    dilate21(x.min(MAX) as u64)
+        | dilate21(y.min(MAX) as u64) << 1
+        | dilate21(z.min(MAX) as u64) << 2
 }
 
 /// Quantizes a point in `[min, max]³` (componentwise) onto a `2^bits`

@@ -151,21 +151,13 @@ impl Vec3 {
     /// Component-wise minimum.
     #[inline]
     pub fn min(self, rhs: Vec3) -> Vec3 {
-        Vec3 {
-            x: self.x.min(rhs.x),
-            y: self.y.min(rhs.y),
-            z: self.z.min(rhs.z),
-        }
+        Vec3 { x: self.x.min(rhs.x), y: self.y.min(rhs.y), z: self.z.min(rhs.z) }
     }
 
     /// Component-wise maximum.
     #[inline]
     pub fn max(self, rhs: Vec3) -> Vec3 {
-        Vec3 {
-            x: self.x.max(rhs.x),
-            y: self.y.max(rhs.y),
-            z: self.z.max(rhs.z),
-        }
+        Vec3 { x: self.x.max(rhs.x), y: self.y.max(rhs.y), z: self.z.max(rhs.z) }
     }
 
     /// Component-wise absolute value.

@@ -8,13 +8,12 @@ fn finite_component() -> impl Strategy<Value = f32> {
 }
 
 fn vec3() -> impl Strategy<Value = Vec3> {
-    (finite_component(), finite_component(), finite_component()).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+    (finite_component(), finite_component(), finite_component())
+        .prop_map(|(x, y, z)| Vec3::new(x, y, z))
 }
 
 fn unit_vec3() -> impl Strategy<Value = Vec3> {
-    vec3()
-        .prop_filter("non-degenerate", |v| v.length() > 1e-3)
-        .prop_map(|v| v.normalized())
+    vec3().prop_filter("non-degenerate", |v| v.length() > 1e-3).prop_map(|v| v.normalized())
 }
 
 proptest! {

@@ -33,7 +33,13 @@ impl Camera {
     /// * `vup` — world up hint,
     /// * `vfov_degrees` — vertical field of view,
     /// * `aspect` — width / height.
-    pub fn new(look_from: Vec3, look_at: Vec3, vup: Vec3, vfov_degrees: f32, aspect: f32) -> Camera {
+    pub fn new(
+        look_from: Vec3,
+        look_at: Vec3,
+        vup: Vec3,
+        vfov_degrees: f32,
+        aspect: f32,
+    ) -> Camera {
         let theta = vfov_degrees.to_radians();
         let half_height = (theta / 2.0).tan();
         let half_width = aspect * half_height;

@@ -23,7 +23,13 @@ pub struct HitRecord {
 
 impl HitRecord {
     /// Builds a hit record, flipping `outward_normal` against `ray_dir`.
-    pub fn new(t: f32, point: Vec3, outward_normal: Vec3, ray_dir: Vec3, material: MaterialId) -> HitRecord {
+    pub fn new(
+        t: f32,
+        point: Vec3,
+        outward_normal: Vec3,
+        ray_dir: Vec3,
+        material: MaterialId,
+    ) -> HitRecord {
         let front_face = ray_dir.dot(outward_normal) < 0.0;
         let normal = if front_face { outward_normal } else { -outward_normal };
         HitRecord { t, point, normal, front_face, material }
@@ -37,7 +43,8 @@ mod tests {
     #[test]
     fn normal_faces_against_ray() {
         let n = Vec3::new(0.0, 0.0, 1.0);
-        let front = HitRecord::new(1.0, Vec3::ZERO, n, Vec3::new(0.0, 0.0, -1.0), MaterialId::new(0));
+        let front =
+            HitRecord::new(1.0, Vec3::ZERO, n, Vec3::new(0.0, 0.0, -1.0), MaterialId::new(0));
         assert!(front.front_face);
         assert_eq!(front.normal, n);
 

@@ -205,11 +205,7 @@ struct Detail {
 impl Detail {
     fn from_divisor(div: u32) -> Detail {
         let div = div.max(1);
-        Detail {
-            res: 1.0 / (div as f32).sqrt(),
-            sub_minus: div.ilog2() / 2,
-            count_div: div,
-        }
+        Detail { res: 1.0 / (div as f32).sqrt(), sub_minus: div.ilog2() / 2, count_div: div }
     }
 
     fn grid(&self, base: u32) -> u32 {
@@ -303,32 +299,101 @@ fn sky_light(b: &mut SceneBuilder, p: &Palette, center: Vec3, half: f32) {
 
 fn bunny(d: Detail, rng: &mut XorShiftRng) -> SceneBuilder {
     // ~2.2K tris: displaced statue over a small ground plane.
-    let cam = Camera::new(Vec3::new(0.0, 1.4, -4.2), Vec3::new(0.0, 0.9, 0.0), Vec3::new(0.0, 1.0, 0.0), 45.0, 1.0);
+    let cam = Camera::new(
+        Vec3::new(0.0, 1.4, -4.2),
+        Vec3::new(0.0, 0.9, 0.0),
+        Vec3::new(0.0, 1.0, 0.0),
+        45.0,
+        1.0,
+    );
     let mut b = SceneBuilder::new(cam);
     let p = standard_palette(&mut b);
     shapes::terrain(&mut b, Vec3::ZERO, 12.0, d.grid(12), 0.15, rng.next_u32(), p.ground);
-    shapes::icosphere(&mut b, Vec3::new(0.0, 1.0, 0.0), 0.9, d.sub(3), 0.35, rng.next_u32(), p.wall);
-    shapes::icosphere(&mut b, Vec3::new(0.55, 1.62, 0.1), 0.28, d.sub(2), 0.3, rng.next_u32(), p.wall);
-    shapes::icosphere(&mut b, Vec3::new(-0.55, 1.62, 0.1), 0.28, d.sub(2), 0.3, rng.next_u32(), p.wall);
+    shapes::icosphere(
+        &mut b,
+        Vec3::new(0.0, 1.0, 0.0),
+        0.9,
+        d.sub(3),
+        0.35,
+        rng.next_u32(),
+        p.wall,
+    );
+    shapes::icosphere(
+        &mut b,
+        Vec3::new(0.55, 1.62, 0.1),
+        0.28,
+        d.sub(2),
+        0.3,
+        rng.next_u32(),
+        p.wall,
+    );
+    shapes::icosphere(
+        &mut b,
+        Vec3::new(-0.55, 1.62, 0.1),
+        0.28,
+        d.sub(2),
+        0.3,
+        rng.next_u32(),
+        p.wall,
+    );
     sky_light(&mut b, &p, Vec3::new(0.0, 6.0, 0.0), 2.0);
     b
 }
 
 fn spnza(d: Detail, rng: &mut XorShiftRng) -> SceneBuilder {
     // ~4.1K tris: colonnaded atrium — floor, walls, rows of columns.
-    let cam = Camera::new(Vec3::new(0.0, 2.2, -8.5), Vec3::new(0.0, 2.0, 0.0), Vec3::new(0.0, 1.0, 0.0), 55.0, 1.0);
+    let cam = Camera::new(
+        Vec3::new(0.0, 2.2, -8.5),
+        Vec3::new(0.0, 2.0, 0.0),
+        Vec3::new(0.0, 1.0, 0.0),
+        55.0,
+        1.0,
+    );
     let mut b = SceneBuilder::new(cam);
     let p = standard_palette(&mut b);
     let g = d.grid(20);
-    shapes::tessellated_quad(&mut b, Vec3::new(-10.0, 0.0, -10.0), Vec3::new(20.0, 0.0, 0.0), Vec3::new(0.0, 0.0, 20.0), g, p.ground);
-    shapes::tessellated_quad(&mut b, Vec3::new(-10.0, 0.0, 10.0), Vec3::new(20.0, 0.0, 0.0), Vec3::new(0.0, 6.0, 0.0), g, p.wall);
-    shapes::tessellated_quad(&mut b, Vec3::new(-10.0, 0.0, -10.0), Vec3::new(0.0, 0.0, 20.0), Vec3::new(0.0, 6.0, 0.0), g, p.wall);
-    shapes::tessellated_quad(&mut b, Vec3::new(10.0, 0.0, -10.0), Vec3::new(0.0, 6.0, 0.0), Vec3::new(0.0, 0.0, 20.0), g, p.wall);
+    shapes::tessellated_quad(
+        &mut b,
+        Vec3::new(-10.0, 0.0, -10.0),
+        Vec3::new(20.0, 0.0, 0.0),
+        Vec3::new(0.0, 0.0, 20.0),
+        g,
+        p.ground,
+    );
+    shapes::tessellated_quad(
+        &mut b,
+        Vec3::new(-10.0, 0.0, 10.0),
+        Vec3::new(20.0, 0.0, 0.0),
+        Vec3::new(0.0, 6.0, 0.0),
+        g,
+        p.wall,
+    );
+    shapes::tessellated_quad(
+        &mut b,
+        Vec3::new(-10.0, 0.0, -10.0),
+        Vec3::new(0.0, 0.0, 20.0),
+        Vec3::new(0.0, 6.0, 0.0),
+        g,
+        p.wall,
+    );
+    shapes::tessellated_quad(
+        &mut b,
+        Vec3::new(10.0, 0.0, -10.0),
+        Vec3::new(0.0, 6.0, 0.0),
+        Vec3::new(0.0, 0.0, 20.0),
+        g,
+        p.wall,
+    );
     for i in 0..d.count(12) {
         let x = -8.0 + 16.0 * (i as f32 + 0.5) / d.count(12) as f32;
         for z in [-4.0, 4.0] {
             shapes::cylinder(&mut b, Vec3::new(x, 0.0, z), 0.35, 4.5, 10, p.wall);
-            shapes::box_mesh(&mut b, Vec3::new(x - 0.5, 4.5, z - 0.5), Vec3::new(x + 0.5, 5.0, z + 0.5), p.accent_red);
+            shapes::box_mesh(
+                &mut b,
+                Vec3::new(x - 0.5, 4.5, z - 0.5),
+                Vec3::new(x + 0.5, 5.0, z + 0.5),
+                p.accent_red,
+            );
         }
     }
     let _ = rng.next_u32();
@@ -338,7 +403,13 @@ fn spnza(d: Detail, rng: &mut XorShiftRng) -> SceneBuilder {
 
 fn chsnt(d: Detail, rng: &mut XorShiftRng) -> SceneBuilder {
     // ~4.9K tris: one massive tree with deep canopy layers.
-    let cam = Camera::new(Vec3::new(0.0, 3.0, -12.0), Vec3::new(0.0, 3.5, 0.0), Vec3::new(0.0, 1.0, 0.0), 50.0, 1.0);
+    let cam = Camera::new(
+        Vec3::new(0.0, 3.0, -12.0),
+        Vec3::new(0.0, 3.5, 0.0),
+        Vec3::new(0.0, 1.0, 0.0),
+        50.0,
+        1.0,
+    );
     let mut b = SceneBuilder::new(cam);
     let p = standard_palette(&mut b);
     shapes::terrain(&mut b, Vec3::ZERO, 25.0, d.grid(36), 0.6, rng.next_u32(), p.ground);
@@ -363,34 +434,80 @@ fn chsnt(d: Detail, rng: &mut XorShiftRng) -> SceneBuilder {
 fn ref_scene(d: Detail, rng: &mut XorShiftRng) -> SceneBuilder {
     // ~7K tris: mirror and glass spheres over a tessellated floor — heavy
     // secondary-ray divergence (the "reflection" stress scene).
-    let cam = Camera::new(Vec3::new(0.0, 2.5, -9.0), Vec3::new(0.0, 1.2, 0.0), Vec3::new(0.0, 1.0, 0.0), 50.0, 1.0);
+    let cam = Camera::new(
+        Vec3::new(0.0, 2.5, -9.0),
+        Vec3::new(0.0, 1.2, 0.0),
+        Vec3::new(0.0, 1.0, 0.0),
+        50.0,
+        1.0,
+    );
     let mut b = SceneBuilder::new(cam);
     let p = standard_palette(&mut b);
-    shapes::tessellated_quad(&mut b, Vec3::new(-12.0, 0.0, -12.0), Vec3::new(24.0, 0.0, 0.0), Vec3::new(0.0, 0.0, 24.0), d.grid(24), p.ground);
+    shapes::tessellated_quad(
+        &mut b,
+        Vec3::new(-12.0, 0.0, -12.0),
+        Vec3::new(24.0, 0.0, 0.0),
+        Vec3::new(0.0, 0.0, 24.0),
+        d.grid(24),
+        p.ground,
+    );
     let mats = [p.metal, p.glass, p.rough_metal, p.accent_blue];
     for i in 0..d.count(13) {
         let a = core::f32::consts::TAU * i as f32 / d.count(13) as f32;
         let radius = 1.7 + rng.range_f32(0.0, 0.8);
         let ring = 3.0 + (i % 3) as f32 * 2.0;
         let c = Vec3::new(ring * a.cos(), radius * 0.55, ring * a.sin());
-        shapes::icosphere(&mut b, c, radius * 0.55, d.sub(2), 0.0, 0, mats[i as usize % mats.len()]);
+        shapes::icosphere(
+            &mut b,
+            c,
+            radius * 0.55,
+            d.sub(2),
+            0.0,
+            0,
+            mats[i as usize % mats.len()],
+        );
     }
-    shapes::tessellated_quad(&mut b, Vec3::new(-8.0, 0.0, 9.0), Vec3::new(16.0, 0.0, 0.0), Vec3::new(0.0, 6.0, 0.0), d.grid(8), p.metal);
+    shapes::tessellated_quad(
+        &mut b,
+        Vec3::new(-8.0, 0.0, 9.0),
+        Vec3::new(16.0, 0.0, 0.0),
+        Vec3::new(0.0, 6.0, 0.0),
+        d.grid(8),
+        p.metal,
+    );
     sky_light(&mut b, &p, Vec3::new(0.0, 9.0, -2.0), 3.0);
     b
 }
 
 fn crnvl(d: Detail, rng: &mut XorShiftRng) -> SceneBuilder {
     // ~7K tris: carnival — tents, stalls, a big wheel of cabins.
-    let cam = Camera::new(Vec3::new(0.0, 4.0, -16.0), Vec3::new(0.0, 2.5, 0.0), Vec3::new(0.0, 1.0, 0.0), 55.0, 1.0);
+    let cam = Camera::new(
+        Vec3::new(0.0, 4.0, -16.0),
+        Vec3::new(0.0, 2.5, 0.0),
+        Vec3::new(0.0, 1.0, 0.0),
+        55.0,
+        1.0,
+    );
     let mut b = SceneBuilder::new(cam);
     let p = standard_palette(&mut b);
     shapes::terrain(&mut b, Vec3::ZERO, 34.0, d.grid(30), 0.3, rng.next_u32(), p.ground);
     for i in 0..d.count(12) {
         let x = -12.0 + 24.0 * (i as f32 + 0.5) / d.count(12) as f32;
         let z = rng.range_f32(-6.0, -2.0);
-        shapes::cone(&mut b, Vec3::new(x, 0.0, z), 1.8, 3.0, 16, if i % 2 == 0 { p.accent_red } else { p.accent_blue });
-        shapes::box_mesh(&mut b, Vec3::new(x - 1.0, 0.0, z + 2.0), Vec3::new(x + 1.0, 1.6, z + 3.4), p.wood);
+        shapes::cone(
+            &mut b,
+            Vec3::new(x, 0.0, z),
+            1.8,
+            3.0,
+            16,
+            if i % 2 == 0 { p.accent_red } else { p.accent_blue },
+        );
+        shapes::box_mesh(
+            &mut b,
+            Vec3::new(x - 1.0, 0.0, z + 2.0),
+            Vec3::new(x + 1.0, 1.6, z + 3.4),
+            p.wood,
+        );
     }
     // Big wheel: ring of cabins.
     for i in 0..d.count(30) {
@@ -402,7 +519,15 @@ fn crnvl(d: Detail, rng: &mut XorShiftRng) -> SceneBuilder {
     for _i in 0..d.count(50) {
         let x = rng.range_f32(-14.0, 14.0);
         let z = rng.range_f32(-1.0, 12.0);
-        shapes::icosphere(&mut b, Vec3::new(x, rng.range_f32(2.5, 4.5), z), 0.2, d.sub(1), 0.0, 0, p.light);
+        shapes::icosphere(
+            &mut b,
+            Vec3::new(x, rng.range_f32(2.5, 4.5), z),
+            0.2,
+            d.sub(1),
+            0.0,
+            0,
+            p.light,
+        );
     }
     sky_light(&mut b, &p, Vec3::new(0.0, 14.0, 0.0), 5.0);
     b
@@ -410,24 +535,88 @@ fn crnvl(d: Detail, rng: &mut XorShiftRng) -> SceneBuilder {
 
 fn bath(d: Detail, rng: &mut XorShiftRng) -> SceneBuilder {
     // ~6.6K tris: bathroom interior with a mirror wall and glass shower.
-    let cam = Camera::new(Vec3::new(0.0, 2.0, -5.6), Vec3::new(0.0, 1.5, 0.0), Vec3::new(0.0, 1.0, 0.0), 60.0, 1.0);
+    let cam = Camera::new(
+        Vec3::new(0.0, 2.0, -5.6),
+        Vec3::new(0.0, 1.5, 0.0),
+        Vec3::new(0.0, 1.0, 0.0),
+        60.0,
+        1.0,
+    );
     let mut b = SceneBuilder::new(cam);
     let p = standard_palette(&mut b);
     let g = d.grid(16);
-    shapes::tessellated_quad(&mut b, Vec3::new(-6.0, 0.0, -6.0), Vec3::new(12.0, 0.0, 0.0), Vec3::new(0.0, 0.0, 12.0), g, p.ground);
-    shapes::tessellated_quad(&mut b, Vec3::new(-6.0, 4.0, -6.0), Vec3::new(12.0, 0.0, 0.0), Vec3::new(0.0, 0.0, 12.0), g, p.wall);
-    shapes::tessellated_quad(&mut b, Vec3::new(-6.0, 0.0, 6.0), Vec3::new(12.0, 0.0, 0.0), Vec3::new(0.0, 4.0, 0.0), g, p.metal); // mirror wall
-    shapes::tessellated_quad(&mut b, Vec3::new(-6.0, 0.0, -6.0), Vec3::new(0.0, 0.0, 12.0), Vec3::new(0.0, 4.0, 0.0), g, p.wall);
-    shapes::tessellated_quad(&mut b, Vec3::new(6.0, 0.0, -6.0), Vec3::new(0.0, 4.0, 0.0), Vec3::new(0.0, 0.0, 12.0), g, p.wall);
+    shapes::tessellated_quad(
+        &mut b,
+        Vec3::new(-6.0, 0.0, -6.0),
+        Vec3::new(12.0, 0.0, 0.0),
+        Vec3::new(0.0, 0.0, 12.0),
+        g,
+        p.ground,
+    );
+    shapes::tessellated_quad(
+        &mut b,
+        Vec3::new(-6.0, 4.0, -6.0),
+        Vec3::new(12.0, 0.0, 0.0),
+        Vec3::new(0.0, 0.0, 12.0),
+        g,
+        p.wall,
+    );
+    shapes::tessellated_quad(
+        &mut b,
+        Vec3::new(-6.0, 0.0, 6.0),
+        Vec3::new(12.0, 0.0, 0.0),
+        Vec3::new(0.0, 4.0, 0.0),
+        g,
+        p.metal,
+    ); // mirror wall
+    shapes::tessellated_quad(
+        &mut b,
+        Vec3::new(-6.0, 0.0, -6.0),
+        Vec3::new(0.0, 0.0, 12.0),
+        Vec3::new(0.0, 4.0, 0.0),
+        g,
+        p.wall,
+    );
+    shapes::tessellated_quad(
+        &mut b,
+        Vec3::new(6.0, 0.0, -6.0),
+        Vec3::new(0.0, 4.0, 0.0),
+        Vec3::new(0.0, 0.0, 12.0),
+        g,
+        p.wall,
+    );
     // Tub:
     shapes::box_mesh(&mut b, Vec3::new(-4.5, 0.0, 2.0), Vec3::new(-1.5, 1.0, 5.0), p.wall);
-    shapes::icosphere(&mut b, Vec3::new(-3.0, 1.0, 3.5), 1.1, d.sub(3), 0.12, rng.next_u32(), p.accent_blue);
+    shapes::icosphere(
+        &mut b,
+        Vec3::new(-3.0, 1.0, 3.5),
+        1.1,
+        d.sub(3),
+        0.12,
+        rng.next_u32(),
+        p.accent_blue,
+    );
     // Glass shower panes:
-    shapes::tessellated_quad(&mut b, Vec3::new(2.0, 0.0, 2.0), Vec3::new(3.0, 0.0, 0.0), Vec3::new(0.0, 3.2, 0.0), d.grid(6), p.glass);
-    shapes::tessellated_quad(&mut b, Vec3::new(5.0, 0.0, 2.0), Vec3::new(0.0, 0.0, 3.0), Vec3::new(0.0, 3.2, 0.0), d.grid(6), p.glass);
+    shapes::tessellated_quad(
+        &mut b,
+        Vec3::new(2.0, 0.0, 2.0),
+        Vec3::new(3.0, 0.0, 0.0),
+        Vec3::new(0.0, 3.2, 0.0),
+        d.grid(6),
+        p.glass,
+    );
+    shapes::tessellated_quad(
+        &mut b,
+        Vec3::new(5.0, 0.0, 2.0),
+        Vec3::new(0.0, 0.0, 3.0),
+        Vec3::new(0.0, 3.2, 0.0),
+        d.grid(6),
+        p.glass,
+    );
     // Props:
     for _ in 0..d.count(10) {
-        let c = Vec3::new(rng.range_f32(-5.0, 5.0), rng.range_f32(0.2, 0.5), rng.range_f32(-5.0, 1.0));
+        let c =
+            Vec3::new(rng.range_f32(-5.0, 5.0), rng.range_f32(0.2, 0.5), rng.range_f32(-5.0, 1.0));
         shapes::icosphere(&mut b, c, 0.3, d.sub(2), 0.2, rng.next_u32(), p.accent_green);
     }
     b.background(Vec3::new(0.02, 0.02, 0.03));
@@ -437,19 +626,56 @@ fn bath(d: Detail, rng: &mut XorShiftRng) -> SceneBuilder {
 
 fn party(d: Detail, rng: &mut XorShiftRng) -> SceneBuilder {
     // ~26K tris: large hall full of small cluttered objects.
-    let cam = Camera::new(Vec3::new(0.0, 3.5, -13.0), Vec3::new(0.0, 1.5, 0.0), Vec3::new(0.0, 1.0, 0.0), 58.0, 1.0);
+    let cam = Camera::new(
+        Vec3::new(0.0, 3.5, -13.0),
+        Vec3::new(0.0, 1.5, 0.0),
+        Vec3::new(0.0, 1.0, 0.0),
+        58.0,
+        1.0,
+    );
     let mut b = SceneBuilder::new(cam);
     let p = standard_palette(&mut b);
     let g = d.grid(24);
-    shapes::tessellated_quad(&mut b, Vec3::new(-14.0, 0.0, -14.0), Vec3::new(28.0, 0.0, 0.0), Vec3::new(0.0, 0.0, 28.0), g, p.ground);
-    shapes::tessellated_quad(&mut b, Vec3::new(-14.0, 0.0, 14.0), Vec3::new(28.0, 0.0, 0.0), Vec3::new(0.0, 7.0, 0.0), g, p.wall);
+    shapes::tessellated_quad(
+        &mut b,
+        Vec3::new(-14.0, 0.0, -14.0),
+        Vec3::new(28.0, 0.0, 0.0),
+        Vec3::new(0.0, 0.0, 28.0),
+        g,
+        p.ground,
+    );
+    shapes::tessellated_quad(
+        &mut b,
+        Vec3::new(-14.0, 0.0, 14.0),
+        Vec3::new(28.0, 0.0, 0.0),
+        Vec3::new(0.0, 7.0, 0.0),
+        g,
+        p.wall,
+    );
     let sphere_mats = [p.accent_red, p.accent_green, p.accent_blue, p.glass, p.metal];
     for i in 0..d.count(110) {
-        let c = Vec3::new(rng.range_f32(-12.0, 12.0), rng.range_f32(0.25, 4.5), rng.range_f32(-12.0, 12.0));
+        let c = Vec3::new(
+            rng.range_f32(-12.0, 12.0),
+            rng.range_f32(0.25, 4.5),
+            rng.range_f32(-12.0, 12.0),
+        );
         if i % 3 == 0 {
-            shapes::box_mesh(&mut b, c - Vec3::splat(0.3), c + Vec3::splat(0.3), sphere_mats[i as usize % 5]);
+            shapes::box_mesh(
+                &mut b,
+                c - Vec3::splat(0.3),
+                c + Vec3::splat(0.3),
+                sphere_mats[i as usize % 5],
+            );
         } else {
-            shapes::icosphere(&mut b, c, rng.range_f32(0.2, 0.45), d.sub(2), 0.1, rng.next_u32(), sphere_mats[i as usize % 5]);
+            shapes::icosphere(
+                &mut b,
+                c,
+                rng.range_f32(0.2, 0.45),
+                d.sub(2),
+                0.1,
+                rng.next_u32(),
+                sphere_mats[i as usize % 5],
+            );
         }
     }
     for i in 0..d.count(6) {
@@ -462,7 +688,13 @@ fn party(d: Detail, rng: &mut XorShiftRng) -> SceneBuilder {
 
 fn sprng(d: Detail, rng: &mut XorShiftRng) -> SceneBuilder {
     // ~30K tris: meadow with thousands of tiny flowers.
-    let cam = Camera::new(Vec3::new(0.0, 3.5, -15.0), Vec3::new(0.0, 1.0, 0.0), Vec3::new(0.0, 1.0, 0.0), 55.0, 1.0);
+    let cam = Camera::new(
+        Vec3::new(0.0, 3.5, -15.0),
+        Vec3::new(0.0, 1.0, 0.0),
+        Vec3::new(0.0, 1.0, 0.0),
+        55.0,
+        1.0,
+    );
     let mut b = SceneBuilder::new(cam);
     let p = standard_palette(&mut b);
     shapes::terrain(&mut b, Vec3::ZERO, 40.0, d.grid(90), 1.5, rng.next_u32(), p.accent_green);
@@ -470,7 +702,8 @@ fn sprng(d: Detail, rng: &mut XorShiftRng) -> SceneBuilder {
     for i in 0..d.count(1200) {
         let x = rng.range_f32(-18.0, 18.0);
         let z = rng.range_f32(-18.0, 18.0);
-        let y = 1.5 * crate::noise::fbm((x / 40.0 + 0.5) * 8.0, (z / 40.0 + 0.5) * 8.0, 5, 0xC0FF_EE08);
+        let y =
+            1.5 * crate::noise::fbm((x / 40.0 + 0.5) * 8.0, (z / 40.0 + 0.5) * 8.0, 5, 0xC0FF_EE08);
         shapes::cone(&mut b, Vec3::new(x, y, z), 0.1, 0.35, 5, petals[i as usize % 3]);
     }
     for _ in 0..d.count(10) {
@@ -483,14 +716,40 @@ fn sprng(d: Detail, rng: &mut XorShiftRng) -> SceneBuilder {
 
 fn lands(d: Detail, rng: &mut XorShiftRng) -> SceneBuilder {
     // ~51K tris: one very large heightfield landscape.
-    let cam = Camera::new(Vec3::new(0.0, 9.0, -26.0), Vec3::new(0.0, 2.0, 0.0), Vec3::new(0.0, 1.0, 0.0), 55.0, 1.0);
+    let cam = Camera::new(
+        Vec3::new(0.0, 9.0, -26.0),
+        Vec3::new(0.0, 2.0, 0.0),
+        Vec3::new(0.0, 1.0, 0.0),
+        55.0,
+        1.0,
+    );
     let mut b = SceneBuilder::new(cam);
     let p = standard_palette(&mut b);
     shapes::terrain(&mut b, Vec3::ZERO, 80.0, d.grid(158), 9.0, rng.next_u32(), p.ground);
-    shapes::terrain(&mut b, Vec3::new(0.0, -0.4, 0.0), 80.0, d.grid(16), 0.0, rng.next_u32(), p.accent_blue); // water plane
+    shapes::terrain(
+        &mut b,
+        Vec3::new(0.0, -0.4, 0.0),
+        80.0,
+        d.grid(16),
+        0.0,
+        rng.next_u32(),
+        p.accent_blue,
+    ); // water plane
     for _ in 0..d.count(16) {
-        let c = Vec3::new(rng.range_f32(-30.0, 30.0), rng.range_f32(4.0, 9.0), rng.range_f32(-30.0, 30.0));
-        shapes::icosphere(&mut b, c, rng.range_f32(1.0, 2.5), d.sub(2), 0.5, rng.next_u32(), p.wall); // boulders
+        let c = Vec3::new(
+            rng.range_f32(-30.0, 30.0),
+            rng.range_f32(4.0, 9.0),
+            rng.range_f32(-30.0, 30.0),
+        );
+        shapes::icosphere(
+            &mut b,
+            c,
+            rng.range_f32(1.0, 2.5),
+            d.sub(2),
+            0.5,
+            rng.next_u32(),
+            p.wall,
+        ); // boulders
     }
     sky_light(&mut b, &p, Vec3::new(0.0, 30.0, 0.0), 14.0);
     b
@@ -498,15 +757,29 @@ fn lands(d: Detail, rng: &mut XorShiftRng) -> SceneBuilder {
 
 fn frst(d: Detail, rng: &mut XorShiftRng) -> SceneBuilder {
     // ~65K tris: dense forest (~900 trees over terrain).
-    let cam = Camera::new(Vec3::new(0.0, 4.5, -22.0), Vec3::new(0.0, 2.5, 0.0), Vec3::new(0.0, 1.0, 0.0), 55.0, 1.0);
+    let cam = Camera::new(
+        Vec3::new(0.0, 4.5, -22.0),
+        Vec3::new(0.0, 2.5, 0.0),
+        Vec3::new(0.0, 1.0, 0.0),
+        55.0,
+        1.0,
+    );
     let mut b = SceneBuilder::new(cam);
     let p = standard_palette(&mut b);
     shapes::terrain(&mut b, Vec3::ZERO, 60.0, d.grid(72), 3.0, rng.next_u32(), p.ground);
     for _ in 0..d.count(1050) {
         let x = rng.range_f32(-28.0, 28.0);
         let z = rng.range_f32(-28.0, 28.0);
-        let y = 3.0 * crate::noise::fbm((x / 60.0 + 0.5) * 8.0, (z / 60.0 + 0.5) * 8.0, 5, 0xC0FF_EE09);
-        shapes::tree(&mut b, Vec3::new(x, y - 0.1, z), rng.range_f32(1.0, 2.2), rng, p.wood, p.accent_green);
+        let y =
+            3.0 * crate::noise::fbm((x / 60.0 + 0.5) * 8.0, (z / 60.0 + 0.5) * 8.0, 5, 0xC0FF_EE09);
+        shapes::tree(
+            &mut b,
+            Vec3::new(x, y - 0.1, z),
+            rng.range_f32(1.0, 2.2),
+            rng,
+            p.wood,
+            p.accent_green,
+        );
     }
     sky_light(&mut b, &p, Vec3::new(0.0, 24.0, 0.0), 10.0);
     b
@@ -514,24 +787,51 @@ fn frst(d: Detail, rng: &mut XorShiftRng) -> SceneBuilder {
 
 fn park(d: Detail, rng: &mut XorShiftRng) -> SceneBuilder {
     // ~94K tris: park — terrain, trees, benches, lamp posts, a pond.
-    let cam = Camera::new(Vec3::new(0.0, 4.0, -24.0), Vec3::new(0.0, 2.0, 0.0), Vec3::new(0.0, 1.0, 0.0), 58.0, 1.0);
+    let cam = Camera::new(
+        Vec3::new(0.0, 4.0, -24.0),
+        Vec3::new(0.0, 2.0, 0.0),
+        Vec3::new(0.0, 1.0, 0.0),
+        58.0,
+        1.0,
+    );
     let mut b = SceneBuilder::new(cam);
     let p = standard_palette(&mut b);
     shapes::terrain(&mut b, Vec3::ZERO, 70.0, d.grid(130), 2.0, rng.next_u32(), p.accent_green);
     for _ in 0..d.count(1100) {
         let x = rng.range_f32(-32.0, 32.0);
         let z = rng.range_f32(-32.0, 32.0);
-        let y = 2.0 * crate::noise::fbm((x / 70.0 + 0.5) * 8.0, (z / 70.0 + 0.5) * 8.0, 5, 0xC0FF_EE0A);
-        shapes::tree(&mut b, Vec3::new(x, y - 0.1, z), rng.range_f32(1.2, 2.4), rng, p.wood, p.accent_green);
+        let y =
+            2.0 * crate::noise::fbm((x / 70.0 + 0.5) * 8.0, (z / 70.0 + 0.5) * 8.0, 5, 0xC0FF_EE0A);
+        shapes::tree(
+            &mut b,
+            Vec3::new(x, y - 0.1, z),
+            rng.range_f32(1.2, 2.4),
+            rng,
+            p.wood,
+            p.accent_green,
+        );
     }
     for i in 0..d.count(30) {
         let a = core::f32::consts::TAU * i as f32 / d.count(30) as f32;
         let c = Vec3::new(12.0 * a.cos(), 0.4, 12.0 * a.sin());
-        shapes::box_mesh(&mut b, c - Vec3::new(0.8, 0.4, 0.25), c + Vec3::new(0.8, 0.1, 0.25), p.wood); // bench
+        shapes::box_mesh(
+            &mut b,
+            c - Vec3::new(0.8, 0.4, 0.25),
+            c + Vec3::new(0.8, 0.1, 0.25),
+            p.wood,
+        ); // bench
         shapes::cylinder(&mut b, c + Vec3::new(1.2, -0.4, 0.0), 0.06, 3.0, 6, p.metal); // lamp post
         shapes::icosphere(&mut b, c + Vec3::new(1.2, 2.8, 0.0), 0.22, d.sub(1), 0.0, 0, p.light);
     }
-    shapes::terrain(&mut b, Vec3::new(10.0, 0.35, 10.0), 14.0, d.grid(10), 0.0, rng.next_u32(), p.accent_blue); // pond
+    shapes::terrain(
+        &mut b,
+        Vec3::new(10.0, 0.35, 10.0),
+        14.0,
+        d.grid(10),
+        0.0,
+        rng.next_u32(),
+        p.accent_blue,
+    ); // pond
     sky_light(&mut b, &p, Vec3::new(0.0, 26.0, 0.0), 11.0);
     b
 }
@@ -540,33 +840,107 @@ fn fox(d: Detail, rng: &mut XorShiftRng) -> SceneBuilder {
     // ~110K tris: a very dense scanned-statue stand-in. (The paper's FOX has
     // few triangles but a disproportionately large BVH; we match its BVH
     // *size rank* rather than its triangle count — see DESIGN.md.)
-    let cam = Camera::new(Vec3::new(0.0, 2.2, -6.5), Vec3::new(0.0, 1.6, 0.0), Vec3::new(0.0, 1.0, 0.0), 48.0, 1.0);
+    let cam = Camera::new(
+        Vec3::new(0.0, 2.2, -6.5),
+        Vec3::new(0.0, 1.6, 0.0),
+        Vec3::new(0.0, 1.0, 0.0),
+        48.0,
+        1.0,
+    );
     let mut b = SceneBuilder::new(cam);
     let p = standard_palette(&mut b);
     shapes::terrain(&mut b, Vec3::ZERO, 16.0, d.grid(48), 0.3, rng.next_u32(), p.ground);
-    shapes::icosphere(&mut b, Vec3::new(0.0, 1.3, 0.0), 1.1, d.sub(6), 0.4, rng.next_u32(), p.accent_red); // body
-    shapes::icosphere(&mut b, Vec3::new(0.0, 2.6, -0.5), 0.55, d.sub(5), 0.35, rng.next_u32(), p.accent_red); // head
+    shapes::icosphere(
+        &mut b,
+        Vec3::new(0.0, 1.3, 0.0),
+        1.1,
+        d.sub(6),
+        0.4,
+        rng.next_u32(),
+        p.accent_red,
+    ); // body
+    shapes::icosphere(
+        &mut b,
+        Vec3::new(0.0, 2.6, -0.5),
+        0.55,
+        d.sub(5),
+        0.35,
+        rng.next_u32(),
+        p.accent_red,
+    ); // head
     shapes::cone(&mut b, Vec3::new(-0.3, 3.0, -0.5), 0.18, 0.5, 12, p.accent_red); // ears
     shapes::cone(&mut b, Vec3::new(0.3, 3.0, -0.5), 0.18, 0.5, 12, p.accent_red);
-    shapes::icosphere(&mut b, Vec3::new(0.0, 1.1, 1.3), 0.5, d.sub(5), 0.5, rng.next_u32(), p.accent_red); // tail
+    shapes::icosphere(
+        &mut b,
+        Vec3::new(0.0, 1.1, 1.3),
+        0.5,
+        d.sub(5),
+        0.5,
+        rng.next_u32(),
+        p.accent_red,
+    ); // tail
     sky_light(&mut b, &p, Vec3::new(0.0, 8.0, 0.0), 3.0);
     b
 }
 
 fn car(d: Detail, rng: &mut XorShiftRng) -> SceneBuilder {
     // ~198K tris: densely tessellated car body + wheels over a showroom floor.
-    let cam = Camera::new(Vec3::new(4.5, 2.2, -7.0), Vec3::new(0.0, 0.8, 0.0), Vec3::new(0.0, 1.0, 0.0), 50.0, 1.0);
+    let cam = Camera::new(
+        Vec3::new(4.5, 2.2, -7.0),
+        Vec3::new(0.0, 0.8, 0.0),
+        Vec3::new(0.0, 1.0, 0.0),
+        50.0,
+        1.0,
+    );
     let mut b = SceneBuilder::new(cam);
     let p = standard_palette(&mut b);
-    shapes::tessellated_quad(&mut b, Vec3::new(-12.0, 0.0, -12.0), Vec3::new(24.0, 0.0, 0.0), Vec3::new(0.0, 0.0, 24.0), d.grid(40), p.ground);
+    shapes::tessellated_quad(
+        &mut b,
+        Vec3::new(-12.0, 0.0, -12.0),
+        Vec3::new(24.0, 0.0, 0.0),
+        Vec3::new(0.0, 0.0, 24.0),
+        d.grid(40),
+        p.ground,
+    );
     // Body: two overlapping displaced ellipsoid shells (scaled icospheres).
-    shapes::icosphere(&mut b, Vec3::new(0.0, 0.85, 0.0), 1.0, d.sub(6), 0.08, rng.next_u32(), p.accent_red);
-    shapes::icosphere(&mut b, Vec3::new(0.0, 1.25, -0.2), 0.62, d.sub(5), 0.06, rng.next_u32(), p.glass); // cabin
-    // Wheels:
+    shapes::icosphere(
+        &mut b,
+        Vec3::new(0.0, 0.85, 0.0),
+        1.0,
+        d.sub(6),
+        0.08,
+        rng.next_u32(),
+        p.accent_red,
+    );
+    shapes::icosphere(
+        &mut b,
+        Vec3::new(0.0, 1.25, -0.2),
+        0.62,
+        d.sub(5),
+        0.06,
+        rng.next_u32(),
+        p.glass,
+    ); // cabin
+       // Wheels:
     for (x, z) in [(-0.95, -1.1), (0.95, -1.1), (-0.95, 1.1), (0.95, 1.1)] {
-        shapes::icosphere(&mut b, Vec3::new(x, 0.4, z), 0.4, d.sub(5), 0.02, rng.next_u32(), p.rough_metal);
+        shapes::icosphere(
+            &mut b,
+            Vec3::new(x, 0.4, z),
+            0.4,
+            d.sub(5),
+            0.02,
+            rng.next_u32(),
+            p.rough_metal,
+        );
     }
-    shapes::tessellated_quad(&mut b, Vec3::new(-8.0, 0.0, 8.0), Vec3::new(16.0, 0.0, 0.0), Vec3::new(0.0, 5.0, 0.0), d.grid(16), p.metal);
+    shapes::tessellated_quad(
+        &mut b,
+        Vec3::new(-8.0, 0.0, 8.0),
+        Vec3::new(16.0, 0.0, 0.0),
+        Vec3::new(0.0, 5.0, 0.0),
+        d.grid(16),
+        p.metal,
+    );
     b.background(Vec3::new(0.05, 0.05, 0.06));
     sky_light(&mut b, &p, Vec3::new(0.0, 6.5, 0.0), 4.0);
     b
@@ -574,16 +948,55 @@ fn car(d: Detail, rng: &mut XorShiftRng) -> SceneBuilder {
 
 fn robot(d: Detail, rng: &mut XorShiftRng) -> SceneBuilder {
     // ~320K tris: the largest scene — a robot of many dense displaced parts.
-    let cam = Camera::new(Vec3::new(0.0, 3.2, -9.0), Vec3::new(0.0, 2.4, 0.0), Vec3::new(0.0, 1.0, 0.0), 52.0, 1.0);
+    let cam = Camera::new(
+        Vec3::new(0.0, 3.2, -9.0),
+        Vec3::new(0.0, 2.4, 0.0),
+        Vec3::new(0.0, 1.0, 0.0),
+        52.0,
+        1.0,
+    );
     let mut b = SceneBuilder::new(cam);
     let p = standard_palette(&mut b);
-    shapes::tessellated_quad(&mut b, Vec3::new(-14.0, 0.0, -14.0), Vec3::new(28.0, 0.0, 0.0), Vec3::new(0.0, 0.0, 28.0), d.grid(40), p.ground);
+    shapes::tessellated_quad(
+        &mut b,
+        Vec3::new(-14.0, 0.0, -14.0),
+        Vec3::new(28.0, 0.0, 0.0),
+        Vec3::new(0.0, 0.0, 28.0),
+        d.grid(40),
+        p.ground,
+    );
     // Torso, head, pelvis:
-    shapes::icosphere(&mut b, Vec3::new(0.0, 2.6, 0.0), 1.0, d.sub(6), 0.1, rng.next_u32(), p.rough_metal);
-    shapes::icosphere(&mut b, Vec3::new(0.0, 4.1, 0.0), 0.5, d.sub(5), 0.12, rng.next_u32(), p.metal);
-    shapes::icosphere(&mut b, Vec3::new(0.0, 1.35, 0.0), 0.62, d.sub(5), 0.1, rng.next_u32(), p.rough_metal);
+    shapes::icosphere(
+        &mut b,
+        Vec3::new(0.0, 2.6, 0.0),
+        1.0,
+        d.sub(6),
+        0.1,
+        rng.next_u32(),
+        p.rough_metal,
+    );
+    shapes::icosphere(
+        &mut b,
+        Vec3::new(0.0, 4.1, 0.0),
+        0.5,
+        d.sub(5),
+        0.12,
+        rng.next_u32(),
+        p.metal,
+    );
+    shapes::icosphere(
+        &mut b,
+        Vec3::new(0.0, 1.35, 0.0),
+        0.62,
+        d.sub(5),
+        0.1,
+        rng.next_u32(),
+        p.rough_metal,
+    );
     // Limbs: 4 chains of dense segments.
-    for (sx, base_y, step) in [(-1.35, 2.9, -0.62), (1.35, 2.9, -0.62), (-0.45, 0.9, -0.42), (0.45, 0.9, -0.42)] {
+    for (sx, base_y, step) in
+        [(-1.35, 2.9, -0.62), (1.35, 2.9, -0.62), (-0.45, 0.9, -0.42), (0.45, 0.9, -0.42)]
+    {
         for seg in 0..3 {
             let c = Vec3::new(sx, base_y + step * seg as f32 * 1.45, 0.0);
             shapes::icosphere(&mut b, c, 0.33, d.sub(5), 0.08, rng.next_u32(), p.metal);
@@ -597,7 +1010,13 @@ fn robot(d: Detail, rng: &mut XorShiftRng) -> SceneBuilder {
 
 fn wknd(d: Detail, rng: &mut XorShiftRng) -> SceneBuilder {
     // ~1.4K tris: a small cabin diorama — the smallest BVH in the suite.
-    let cam = Camera::new(Vec3::new(5.0, 3.0, -7.0), Vec3::new(0.0, 1.2, 0.0), Vec3::new(0.0, 1.0, 0.0), 50.0, 1.0);
+    let cam = Camera::new(
+        Vec3::new(5.0, 3.0, -7.0),
+        Vec3::new(0.0, 1.2, 0.0),
+        Vec3::new(0.0, 1.0, 0.0),
+        50.0,
+        1.0,
+    );
     let mut b = SceneBuilder::new(cam);
     let p = standard_palette(&mut b);
     shapes::terrain(&mut b, Vec3::ZERO, 16.0, d.grid(12), 0.4, rng.next_u32(), p.accent_green);
@@ -617,21 +1036,58 @@ fn wknd(d: Detail, rng: &mut XorShiftRng) -> SceneBuilder {
 
 fn ship(d: Detail, rng: &mut XorShiftRng) -> SceneBuilder {
     // ~1.7K tris: a ship on open water — small BVH, large empty extents.
-    let cam = Camera::new(Vec3::new(8.0, 4.5, -10.0), Vec3::new(0.0, 1.5, 0.0), Vec3::new(0.0, 1.0, 0.0), 50.0, 1.0);
+    let cam = Camera::new(
+        Vec3::new(8.0, 4.5, -10.0),
+        Vec3::new(0.0, 1.5, 0.0),
+        Vec3::new(0.0, 1.0, 0.0),
+        50.0,
+        1.0,
+    );
     let mut b = SceneBuilder::new(cam);
     let p = standard_palette(&mut b);
-    shapes::terrain(&mut b, Vec3::new(0.0, -0.2, 0.0), 60.0, d.grid(14), 0.35, rng.next_u32(), p.accent_blue); // sea
-    // Hull: stretched displaced sphere + deck boxes + masts.
-    shapes::icosphere(&mut b, Vec3::new(0.0, 0.4, 0.0), 1.0, d.sub(3), 0.25, rng.next_u32(), p.wood);
+    shapes::terrain(
+        &mut b,
+        Vec3::new(0.0, -0.2, 0.0),
+        60.0,
+        d.grid(14),
+        0.35,
+        rng.next_u32(),
+        p.accent_blue,
+    ); // sea
+       // Hull: stretched displaced sphere + deck boxes + masts.
+    shapes::icosphere(
+        &mut b,
+        Vec3::new(0.0, 0.4, 0.0),
+        1.0,
+        d.sub(3),
+        0.25,
+        rng.next_u32(),
+        p.wood,
+    );
     shapes::box_mesh(&mut b, Vec3::new(-2.6, 0.6, -0.9), Vec3::new(2.6, 1.3, 0.9), p.wood);
     shapes::box_mesh(&mut b, Vec3::new(-1.0, 1.3, -0.6), Vec3::new(1.0, 2.0, 0.6), p.accent_red); // cabin
     for x in [-1.6f32, 0.3, 1.8] {
         shapes::cylinder(&mut b, Vec3::new(x, 1.3, 0.0), 0.08, 3.6, 6, p.wood); // masts
-        shapes::tessellated_quad(&mut b, Vec3::new(x - 1.0, 3.2, 0.05), Vec3::new(2.0, 0.0, 0.0), Vec3::new(0.0, 1.5, 0.0), d.grid(4), p.wall); // sails
+        shapes::tessellated_quad(
+            &mut b,
+            Vec3::new(x - 1.0, 3.2, 0.05),
+            Vec3::new(2.0, 0.0, 0.0),
+            Vec3::new(0.0, 1.5, 0.0),
+            d.grid(4),
+            p.wall,
+        ); // sails
     }
     for _ in 0..d.count(6) {
         let c = Vec3::new(rng.range_f32(-20.0, 20.0), 0.0, rng.range_f32(4.0, 25.0));
-        shapes::icosphere(&mut b, c, rng.range_f32(0.3, 0.9), d.sub(2), 0.4, rng.next_u32(), p.wall); // buoys/rocks
+        shapes::icosphere(
+            &mut b,
+            c,
+            rng.range_f32(0.3, 0.9),
+            d.sub(2),
+            0.4,
+            rng.next_u32(),
+            p.wall,
+        ); // buoys/rocks
     }
     sky_light(&mut b, &p, Vec3::new(0.0, 14.0, 0.0), 6.0);
     b
@@ -645,10 +1101,7 @@ mod tests {
     fn all_scenes_build_at_low_detail() {
         for id in SceneId::ALL {
             let scene = build_scaled(id, 64);
-            assert!(
-                scene.triangles().len() >= 20,
-                "{id} should still have geometry at low detail"
-            );
+            assert!(scene.triangles().len() >= 20, "{id} should still have geometry at low detail");
             assert_eq!(scene.name(), id.name());
             assert!(scene.stats().light_count >= 1, "{id} needs a light");
         }

@@ -119,7 +119,12 @@ impl Material {
 
     /// Samples a scattered ray, or `None` if the path terminates here
     /// (emitters absorb; fuzzy metals may scatter into the surface).
-    pub fn scatter(&self, ray: &Ray, hit: &HitRecord, rng: &mut XorShiftRng) -> Option<ScatterResult> {
+    pub fn scatter(
+        &self,
+        ray: &Ray,
+        hit: &HitRecord,
+        rng: &mut XorShiftRng,
+    ) -> Option<ScatterResult> {
         match *self {
             Material::Lambertian { albedo } => {
                 let onb = Onb::from_w(hit.normal);

@@ -83,10 +83,7 @@ impl Scene {
 
     /// Computes summary statistics.
     pub fn stats(&self) -> SceneStats {
-        let bounds = self
-            .triangles
-            .iter()
-            .fold(Aabb::EMPTY, |b, t| b.union(&t.bounds()));
+        let bounds = self.triangles.iter().fold(Aabb::EMPTY, |b, t| b.union(&t.bounds()));
         SceneStats {
             triangle_count: self.triangles.len(),
             material_count: self.materials.len(),
@@ -98,7 +95,13 @@ impl Scene {
 
 impl fmt::Display for Scene {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Scene[{}: {} tris, {} mats]", self.name, self.triangles.len(), self.materials.len())
+        write!(
+            f,
+            "Scene[{}: {} tris, {} mats]",
+            self.name,
+            self.triangles.len(),
+            self.materials.len()
+        )
     }
 }
 
@@ -154,7 +157,13 @@ impl SceneBuilder {
 
     /// Adds a parallelogram `origin, origin+e1, origin+e1+e2, origin+e2`
     /// as two triangles.
-    pub fn add_quad(&mut self, origin: Vec3, e1: Vec3, e2: Vec3, material: MaterialId) -> &mut SceneBuilder {
+    pub fn add_quad(
+        &mut self,
+        origin: Vec3,
+        e1: Vec3,
+        e2: Vec3,
+        material: MaterialId,
+    ) -> &mut SceneBuilder {
         self.add_triangle(Triangle::new(origin, origin + e1, origin + e1 + e2, material));
         self.add_triangle(Triangle::new(origin, origin + e1 + e2, origin + e2, material));
         self
@@ -165,7 +174,12 @@ impl SceneBuilder {
     /// # Panics
     ///
     /// Panics if an index is out of range of `vertices`.
-    pub fn add_mesh(&mut self, vertices: &[Vec3], indices: &[[u32; 3]], material: MaterialId) -> &mut SceneBuilder {
+    pub fn add_mesh(
+        &mut self,
+        vertices: &[Vec3],
+        indices: &[[u32; 3]],
+        material: MaterialId,
+    ) -> &mut SceneBuilder {
         for idx in indices {
             self.add_triangle(Triangle::new(
                 vertices[idx[0] as usize],
@@ -221,7 +235,12 @@ mod tests {
         let mut b = SceneBuilder::new(camera());
         b.name("TEST").background(Vec3::ZERO);
         let m = b.add_material(Material::lambertian(Vec3::ONE));
-        b.add_quad(Vec3::new(-1.0, -1.0, 0.0), Vec3::new(2.0, 0.0, 0.0), Vec3::new(0.0, 2.0, 0.0), m);
+        b.add_quad(
+            Vec3::new(-1.0, -1.0, 0.0),
+            Vec3::new(2.0, 0.0, 0.0),
+            Vec3::new(0.0, 2.0, 0.0),
+            m,
+        );
         let s = b.build();
         assert_eq!(s.name(), "TEST");
         assert_eq!(s.triangles().len(), 2);
@@ -242,7 +261,12 @@ mod tests {
     fn mesh_indices_resolve() {
         let mut b = SceneBuilder::new(camera());
         let m = b.add_material(Material::metal(Vec3::ONE, 0.1));
-        let verts = [Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0), Vec3::new(0.0, 1.0, 0.0), Vec3::new(1.0, 1.0, 0.0)];
+        let verts = [
+            Vec3::ZERO,
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.0, 1.0, 0.0),
+            Vec3::new(1.0, 1.0, 0.0),
+        ];
         b.add_mesh(&verts, &[[0, 1, 2], [1, 3, 2]], m);
         assert_eq!(b.triangle_count(), 2);
     }
@@ -252,7 +276,12 @@ mod tests {
         let mut b = SceneBuilder::new(camera());
         let light = b.add_material(Material::emissive(Vec3::splat(5.0)));
         let _diffuse = b.add_material(Material::lambertian(Vec3::ONE));
-        b.add_quad(Vec3::new(0.0, 5.0, 0.0), Vec3::new(1.0, 0.0, 0.0), Vec3::new(0.0, 0.0, 1.0), light);
+        b.add_quad(
+            Vec3::new(0.0, 5.0, 0.0),
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.0, 0.0, 1.0),
+            light,
+        );
         let s = b.build();
         let stats = s.stats();
         assert_eq!(stats.light_count, 1);

@@ -267,7 +267,14 @@ mod tests {
     fn tessellated_quad_triangle_count() {
         let mut b = builder();
         let m = b.add_material(Material::lambertian(Vec3::ONE));
-        tessellated_quad(&mut b, Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0), Vec3::new(0.0, 1.0, 0.0), 4, m);
+        tessellated_quad(
+            &mut b,
+            Vec3::ZERO,
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.0, 1.0, 0.0),
+            4,
+            m,
+        );
         assert_eq!(b.triangle_count(), 2 * 16);
     }
 

@@ -26,7 +26,12 @@ fn animate(base: &Scene, frame: u32) -> Scene {
             (c.x * 0.5 + t * 1.3).cos() * 0.15,
             0.0,
         );
-        b.add_triangle(Triangle::new(tri.v0 + wobble, tri.v1 + wobble, tri.v2 + wobble, tri.material));
+        b.add_triangle(Triangle::new(
+            tri.v0 + wobble,
+            tri.v1 + wobble,
+            tri.v2 + wobble,
+            tri.material,
+        ));
     }
     b.build()
 }
@@ -44,11 +49,7 @@ fn main() {
     let cfg = ExperimentConfig { detail_divisor: 4, resolution: 96, ..Default::default() };
     let base = lumibench::build_scaled(id, cfg.detail_divisor);
     let mut bvh = Bvh::build(base.triangles(), &cfg.bvh);
-    println!(
-        "{id}: {} triangles, frame-0 SAH cost {:.2}",
-        base.triangles().len(),
-        bvh.sah_cost()
-    );
+    println!("{id}: {} triangles, frame-0 SAH cost {:.2}", base.triangles().len(), bvh.sah_cost());
     println!(
         "{:>6} {:>10} {:>12} {:>12} {:>9} {:>10}",
         "frame", "sah_cost", "base_cyc", "vtq_cyc", "speedup", "refit_ok"

@@ -41,11 +41,20 @@ fn main() {
         "naive queues (no grouping, no repack)",
         VtqParams { group_underpopulated: false, repack_threshold: 0, ..Default::default() },
     );
-    show("free virtualization (idealized)", VtqParams { charge_virtualization: false, ..Default::default() });
+    show(
+        "free virtualization (idealized)",
+        VtqParams { charge_virtualization: false, ..Default::default() },
+    );
     for q in [32, 64, 128, 256] {
-        show(&format!("queue threshold {q}"), VtqParams { queue_threshold: q, ..Default::default() });
+        show(
+            &format!("queue threshold {q}"),
+            VtqParams { queue_threshold: q, ..Default::default() },
+        );
     }
     for t in [8, 16, 22, 24, 28] {
-        show(&format!("repack threshold {t}"), VtqParams { repack_threshold: t, ..Default::default() });
+        show(
+            &format!("repack threshold {t}"),
+            VtqParams { repack_threshold: t, ..Default::default() },
+        );
     }
 }

@@ -28,7 +28,11 @@ fn main() {
         prepared.bvh.total_bytes() as f64 / 1024.0,
         prepared.bvh.partition().len(),
     );
-    println!("workload: {} rays over {} pixels", prepared.workload.total_rays(), prepared.workload.tasks.len());
+    println!(
+        "workload: {} rays over {} pixels",
+        prepared.workload.total_rays(),
+        prepared.workload.tasks.len()
+    );
 
     let base = prepared.run_policy(TraversalPolicy::Baseline);
     let vtq = prepared.run_vtq(VtqParams::default());
@@ -52,5 +56,21 @@ fn main() {
     println!(
         "\nspeedup: {:.2}x (paper Figure 10 reports a 1.95x geomean at full scale)",
         base.stats.cycles as f64 / vtq.stats.cycles as f64
+    );
+
+    // The observability subsystem: re-run VTQ with a bounded event sink
+    // attached (cycle-identical to the untraced run) and print the
+    // structured summary. `vtq-bench --bin trace` exports the same data
+    // as JSONL/CSV artifacts.
+    let mut sink = RingSink::new(4096);
+    let traced = prepared.run_policy_traced(TraversalPolicy::Vtq(VtqParams::default()), &mut sink);
+    assert_eq!(traced.stats.cycles, vtq.stats.cycles, "tracing must not change timing");
+    println!("\n--- vtq run summary ---");
+    println!("{}", traced.stats.report());
+    println!(
+        "trace ring: {} events kept, {} dropped; last event: {:?}",
+        sink.len(),
+        sink.dropped(),
+        sink.events().last(),
     );
 }

@@ -20,8 +20,13 @@ fn main() {
 
     let cfg = ExperimentConfig { detail_divisor: 4, resolution: 128, ..Default::default() };
     let prepared = Prepared::build(id, &cfg);
-    println!("rendered {} at {}x{} (mean luminance {:.3})",
-        id, cfg.resolution, cfg.resolution, prepared.image.mean_luminance());
+    println!(
+        "rendered {} at {}x{} (mean luminance {:.3})",
+        id,
+        cfg.resolution,
+        cfg.resolution,
+        prepared.image.mean_luminance()
+    );
 
     // Cross-check: the cycle simulator's traversal must agree with the CPU
     // reference for every ray, under every policy.
@@ -34,12 +39,8 @@ fn main() {
         let mut checked = 0usize;
         for (task, pt) in prepared.workload.tasks.iter().enumerate() {
             for (bounce, call) in pt.rays.iter().enumerate() {
-                let reference = prepared.bvh.intersect(
-                    prepared.scene.triangles(),
-                    &call.ray,
-                    1e-3,
-                    call.t_max,
-                );
+                let reference =
+                    prepared.bvh.intersect(prepared.scene.triangles(), &call.ray, 1e-3, call.t_max);
                 assert_eq!(
                     report.hits[task][bounce].map(|h| h.prim),
                     reference.map(|h| h.prim),
@@ -49,8 +50,12 @@ fn main() {
                 checked += 1;
             }
         }
-        println!("{:<9} traversal matches CPU reference on {} rays ({} cycles)",
-            policy.label(), checked, report.stats.cycles);
+        println!(
+            "{:<9} traversal matches CPU reference on {} rays ({} cycles)",
+            policy.label(),
+            checked,
+            report.stats.cycles
+        );
     }
 
     std::fs::write(out, prepared.image.to_ppm()).expect("write PPM");

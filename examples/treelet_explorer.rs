@@ -22,9 +22,15 @@ fn main() {
     println!("{}: {} triangles", id, scene.triangles().len());
 
     println!("\nbudget sweep:");
-    println!("{:>10} {:>10} {:>12} {:>12} {:>10}", "budget_B", "treelets", "mean_bytes", "mean_depth", "bvh_KB");
+    println!(
+        "{:>10} {:>10} {:>12} {:>12} {:>10}",
+        "budget_B", "treelets", "mean_bytes", "mean_depth", "bvh_KB"
+    );
     for budget in [1024u32, 2048, 4096, 8192, 16384, 32768] {
-        let bvh = Bvh::build(scene.triangles(), &BvhConfig { treelet_bytes: budget, ..Default::default() });
+        let bvh = Bvh::build(
+            scene.triangles(),
+            &BvhConfig { treelet_bytes: budget, ..Default::default() },
+        );
         let s = bvh.stats();
         let mean_depth = bvh
             .partition()

@@ -28,7 +28,11 @@ fn all_policies_agree_on_hit_results() {
         p.run_policy(TraversalPolicy::Baseline),
         p.run_policy(TraversalPolicy::TreeletPrefetch),
         p.run_vtq(VtqParams::default()),
-        p.run_vtq(VtqParams { group_underpopulated: false, repack_threshold: 0, ..Default::default() }),
+        p.run_vtq(VtqParams {
+            group_underpopulated: false,
+            repack_threshold: 0,
+            ..Default::default()
+        }),
     ];
     for pair in reports.windows(2) {
         assert_eq!(pair[0].hits, pair[1].hits, "policies must be functionally identical");

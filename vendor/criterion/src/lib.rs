@@ -1,0 +1,158 @@
+//! Offline stand-in for the `criterion` crate. See `vendor/README.md`.
+//!
+//! Supports the subset of the 0.5 API the workspace benches use:
+//! `black_box`, `Criterion::benchmark_group`, `BenchmarkGroup`'s
+//! `sample_size`/`measurement_time`/`bench_function`/`finish`,
+//! `Bencher::iter`, and the `criterion_group!`/`criterion_main!` macros.
+//! Each benchmark runs a fixed small number of iterations and prints the
+//! mean wall-clock time — enough to smoke-test the benches and eyeball
+//! regressions, with none of criterion's statistics.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    iters: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { iters: 3 }
+    }
+}
+
+impl Criterion {
+    /// Groups related benchmarks under a common name prefix.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { parent: self, name: name.into() }
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&name.into(), self.iters, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub's fixed iteration count
+    /// ignores it.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; ignored.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs `id` under this group's name prefix.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into());
+        run_one(&label, self.parent.iters, f);
+        self
+    }
+
+    /// Ends the group. No-op in the stub.
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark routine; `iter` times the closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<T, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> T,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, iters: u64, mut f: F) {
+    let mut b = Bencher { iters, elapsed: Duration::ZERO };
+    f(&mut b);
+    let mean_ns = b.elapsed.as_nanos() / iters.max(1) as u128;
+    println!("bench {label}: mean {mean_ns} ns/iter over {iters} iters");
+}
+
+/// `criterion_group!(name, target, ...)` — collects targets into one
+/// callable group function. The `name = ..; config = ..; targets = ..`
+/// form is also accepted.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// `criterion_main!(group, ...)` — the `fn main` for `harness = false`
+/// bench targets.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("stub");
+        g.sample_size(10);
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.finish();
+        c.bench_function("top-level", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn group_and_bencher_run() {
+        let mut c = Criterion::default();
+        sample_bench(&mut c);
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_macro_compiles_and_runs() {
+        benches();
+    }
+}
