@@ -2,15 +2,25 @@
 //! prepared scenes and simulation runs across figures, and prints a
 //! markdown report (the source of EXPERIMENTS.md's measured columns).
 //!
-//! Full configuration: `cargo run --release -p vtq-bench --bin all_figures`
-//! Smoke run:          `... --bin all_figures -- --quick`
+//! Full configuration: `vtq-bench all`
+//! Smoke run:          `vtq-bench all --quick`
+//!
+//! All eleven policy cells per scene go into one [`RunMatrix`], so the
+//! sweep pool keeps every `--jobs` worker busy across scene boundaries;
+//! the analytical Figure 5 model runs as a second wave against the
+//! now-hot prepared cache. The report prints after everything finishes,
+//! in matrix order, so output is identical for every `--jobs N`.
 
 use gpumem::AccessKind;
 use gpusim::{SimReport, TraversalMode, TraversalPolicy, VtqParams};
 use rtscene::lumibench::SceneId;
 use vtq::analytical;
-use vtq::experiment::aggregate_stats;
-use vtq_bench::{geomean, mean, mean_opt, pct_or_na, HarnessOpts};
+use vtq::experiment::{
+    aggregate_stats, free_virtualization_params, grouped_params, naive_params, repack_params,
+};
+use vtq::prelude::{RunMatrix, SweepEngine};
+
+use crate::{geomean, mean, mean_opt, pct_or_na, HarnessOpts};
 
 struct SceneResults {
     id: SceneId,
@@ -32,56 +42,108 @@ struct SceneResults {
 
 const FIG5_BATCHES: [usize; 6] = [32, 128, 512, 1024, 2048, 4096];
 
-fn main() {
-    let opts = HarnessOpts::from_args();
-    let mut results = Vec::new();
-    for id in &opts.scenes {
-        let p = opts.prepare(*id);
-        eprintln!("[run] {id}");
-        let vtq_with = |params: VtqParams| p.run_vtq(params);
+/// The eleven simulated policy cells per scene, in [`SceneResults`] order.
+fn policies() -> Vec<TraversalPolicy> {
+    vec![
+        TraversalPolicy::Baseline,
+        TraversalPolicy::TreeletPrefetch,
+        TraversalPolicy::Vtq(VtqParams::default()),
+        TraversalPolicy::Vtq(repack_params(0)),
+        TraversalPolicy::Vtq(naive_params()),
+        TraversalPolicy::Vtq(grouped_params(32)),
+        TraversalPolicy::Vtq(grouped_params(64)),
+        TraversalPolicy::Vtq(repack_params(8)),
+        TraversalPolicy::Vtq(repack_params(16)),
+        TraversalPolicy::Vtq(repack_params(24)),
+        TraversalPolicy::Vtq(free_virtualization_params()),
+    ]
+}
+
+pub fn run(opts: &HarnessOpts, engine: &SweepEngine) {
+    let policies = policies();
+    let mut matrix = RunMatrix::new();
+    matrix.cross(&opts.scenes, &opts.config, &policies);
+    let mut reports = engine.run(&matrix).into_iter();
+
+    // Second wave: the analytical model + scene statistics, against the
+    // prepared cache the matrix just filled.
+    let analytic = engine.run_scenes(&opts.scenes, &opts.config, |p| {
         let traces = analytical::record_traces(&p.bvh, p.scene.triangles(), &p.workload);
+        (
+            p.scene.triangles().len(),
+            p.bvh.total_bytes(),
+            analytical::analytical_speedups(&p.bvh, &traces, &FIG5_BATCHES),
+        )
+    });
+
+    let mut results = Vec::new();
+    for (&id, extra) in opts.scenes.iter().zip(analytic) {
+        let mut chunk = Vec::with_capacity(policies.len());
+        let mut failed = false;
+        for _ in 0..policies.len() {
+            match reports.next().expect("matrix covers every scene") {
+                Ok(r) => chunk.push(r),
+                Err(e) => {
+                    eprintln!("[sweep] {e}");
+                    failed = true;
+                }
+            }
+        }
+        let (tris, bvh_bytes, fig5) = match extra {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("[sweep] {e}");
+                continue;
+            }
+        };
+        if failed {
+            eprintln!("[sweep] skipping {id}: one or more cells failed");
+            continue;
+        }
+        let mut it = chunk.into_iter();
         results.push(SceneResults {
-            id: *id,
-            tris: p.scene.triangles().len(),
-            bvh_bytes: p.bvh.total_bytes(),
-            base: p.run_policy(TraversalPolicy::Baseline),
-            pref: p.run_policy(TraversalPolicy::TreeletPrefetch),
-            vtq: vtq_with(VtqParams::default()),
-            norepack: vtq_with(VtqParams { repack_threshold: 0, ..Default::default() }),
-            naive: vtq_with(VtqParams {
-                group_underpopulated: false,
-                repack_threshold: 0,
-                ..Default::default()
-            }),
-            grouped32: vtq_with(VtqParams {
-                queue_threshold: 32,
-                repack_threshold: 0,
-                ..Default::default()
-            }),
-            grouped64: vtq_with(VtqParams {
-                queue_threshold: 64,
-                repack_threshold: 0,
-                ..Default::default()
-            }),
-            repack8: vtq_with(VtqParams { repack_threshold: 8, ..Default::default() }),
-            repack16: vtq_with(VtqParams { repack_threshold: 16, ..Default::default() }),
-            repack24: vtq_with(VtqParams { repack_threshold: 24, ..Default::default() }),
-            free: vtq_with(VtqParams { charge_virtualization: false, ..Default::default() }),
-            fig5: analytical::analytical_speedups(&p.bvh, &traces, &FIG5_BATCHES),
+            id,
+            tris,
+            bvh_bytes,
+            base: it.next().unwrap(),
+            pref: it.next().unwrap(),
+            vtq: it.next().unwrap(),
+            norepack: it.next().unwrap(),
+            naive: it.next().unwrap(),
+            grouped32: it.next().unwrap(),
+            grouped64: it.next().unwrap(),
+            repack8: it.next().unwrap(),
+            repack16: it.next().unwrap(),
+            repack24: it.next().unwrap(),
+            free: it.next().unwrap(),
+            fig5,
         });
-        let r = results.last().unwrap();
+    }
+
+    // Artifacts persist in scene order after all runs complete, so
+    // metrics.jsonl line order never depends on worker scheduling.
+    for r in &results {
         let scene = r.id.name();
         opts.persist(&format!("{scene}/base"), &r.base);
         opts.persist(&format!("{scene}/prefetch"), &r.pref);
         opts.persist(&format!("{scene}/vtq"), &r.vtq);
     }
 
+    print_report(&results);
+    eprintln!(
+        "done. ({} scenes prepared, {} cells simulated)",
+        engine.cache().builds(),
+        matrix.len()
+    );
+}
+
+fn print_report(results: &[SceneResults]) {
     println!("# Measured results (all figures)\n");
 
     println!("## Table 2 — scenes\n");
     println!("| scene | tris | BVH KB | paper tris | paper BVH MB |");
     println!("|---|---|---|---|---|");
-    for r in &results {
+    for r in results {
         println!(
             "| {} | {} | {:.0} | {} | {:.2} |",
             r.id,
@@ -95,7 +157,7 @@ fn main() {
     println!("\n## Figure 1 — baseline L1 BVH miss rate & SIMT efficiency\n");
     println!("| scene | L1 BVH miss | SIMT eff |");
     println!("|---|---|---|");
-    for r in &results {
+    for r in results {
         println!(
             "| {} | {:.3} | {:.3} |",
             r.id,
@@ -128,7 +190,7 @@ fn main() {
         print!("---|");
     }
     println!();
-    for r in &results {
+    for r in results {
         print!("| {} |", r.id);
         for (_, s) in &r.fig5 {
             print!(" {s:.2}x |");
@@ -142,7 +204,7 @@ fn main() {
     let sp = |a: &SimReport, b: &SimReport| a.stats.cycles as f64 / b.stats.cycles as f64;
     let mut v_b = Vec::new();
     let mut p_b = Vec::new();
-    for r in &results {
+    for r in results {
         let (vb, pb) = (sp(&r.base, &r.vtq), sp(&r.base, &r.pref));
         v_b.push(vb);
         p_b.push(pb);
@@ -160,7 +222,7 @@ fn main() {
     println!("|---|---|---|---|---|");
     let mut naive_all = Vec::new();
     let mut g128_all = Vec::new();
-    for r in &results {
+    for r in results {
         let naive = sp(&r.base, &r.naive);
         let g128 = sp(&r.base, &r.norepack);
         naive_all.push(naive);
@@ -186,7 +248,7 @@ fn main() {
         "| scene | norepack | t=8 | t=16 | t=22 | t=24 | simt base | simt norepack | simt t=22 |"
     );
     println!("|---|---|---|---|---|---|---|---|---|");
-    for r in &results {
+    for r in results {
         println!(
             "| {} | {:.3}x | {:.3}x | {:.3}x | {:.3}x | {:.3}x | {:.3} | {:.3} | {:.3} |",
             r.id,
@@ -202,9 +264,11 @@ fn main() {
     }
 
     println!("\n## Figures 14/15 — traversal mode breakdown (cycles / intersection tests)\n");
-    println!("| scene | cyc initial | cyc treelet | cyc ray | isect initial | isect treelet | isect ray |");
+    println!(
+        "| scene | cyc initial | cyc treelet | cyc ray | isect initial | isect treelet | isect ray |"
+    );
     println!("|---|---|---|---|---|---|---|");
-    for r in &results {
+    for r in results {
         let cy: Vec<u64> = TraversalMode::ALL.iter().map(|m| r.vtq.stats.cycles_in(*m)).collect();
         let is: Vec<u64> = TraversalMode::ALL.iter().map(|m| r.vtq.stats.isect_in(*m)).collect();
         let ct = cy.iter().sum::<u64>().max(1) as f64;
@@ -225,7 +289,7 @@ fn main() {
     println!("| scene | overhead |");
     println!("|---|---|");
     let mut ovs = Vec::new();
-    for r in &results {
+    for r in results {
         let ov = r.vtq.stats.cycles as f64 / r.free.stats.cycles as f64 - 1.0;
         ovs.push(ov);
         println!("| {} | {:.1}% |", r.id, ov * 100.0);
@@ -237,7 +301,7 @@ fn main() {
     println!("|---|---|---|---|");
     let mut ratios = Vec::new();
     let mut fracs = Vec::new();
-    for r in &results {
+    for r in results {
         let ratio = r.vtq.energy.total_pj() / r.base.energy.total_pj();
         let frac = r.vtq.energy.virtualization_fraction();
         ratios.push(ratio);
@@ -262,6 +326,4 @@ fn main() {
         let share = if total > 0 { Some(cycles as f64 / total as f64) } else { None };
         println!("| {} | {} |", kind.label(), pct_or_na(share));
     }
-
-    eprintln!("done.");
 }

@@ -3,7 +3,9 @@
 
 use vtq::prelude::*;
 
-fn main() {
+use crate::HarnessOpts;
+
+pub fn run(_opts: &HarnessOpts, _engine: &SweepEngine) {
     let m = AreaModel::default();
     println!("Area overheads (paper §6.5):");
     println!(

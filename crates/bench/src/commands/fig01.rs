@@ -3,22 +3,24 @@
 //! low SIMT efficiency (~0.37).
 
 use vtq::experiment;
-use vtq_bench::{header, mean, row, HarnessOpts};
+use vtq::prelude::SweepEngine;
 
-fn main() {
-    let opts = HarnessOpts::from_args();
+use crate::{header, mean, ok_rows, row, HarnessOpts};
+
+pub fn run(opts: &HarnessOpts, engine: &SweepEngine) {
+    let rows = ok_rows(experiment::fig01_sweep(engine, &opts.scenes, &opts.config));
     header(&["scene", "l1_bvh_miss", "simt_eff"]);
     let mut misses = Vec::new();
     let mut simts = Vec::new();
-    for id in &opts.scenes {
-        let p = opts.prepare(*id);
-        let r = experiment::fig01(&p);
+    for r in &rows {
         misses.push(r.l1_bvh_miss_rate);
         simts.push(r.simt_efficiency);
         row(
-            id.name(),
+            r.scene.name(),
             &[format!("{:.3}", r.l1_bvh_miss_rate), format!("{:.3}", r.simt_efficiency)],
         );
     }
-    row("MEAN", &[format!("{:.3}", mean(&misses)), format!("{:.3}", mean(&simts))]);
+    if !misses.is_empty() {
+        row("MEAN", &[format!("{:.3}", mean(&misses)), format!("{:.3}", mean(&simts))]);
+    }
 }

@@ -2,26 +2,28 @@
 //! Paper: gains grow with concurrency, reaching 3–4× for most scenes at
 //! 4096 rays.
 
+use rtscene::lumibench::SceneId;
 use vtq::experiment;
-use vtq_bench::{header, row, HarnessOpts};
+use vtq::prelude::SweepEngine;
+
+use crate::{header, ok_rows, row, HarnessOpts};
 
 const BATCHES: [usize; 6] = [32, 128, 512, 1024, 2048, 4096];
 
-fn main() {
-    let mut opts = HarnessOpts::from_args();
+pub fn run(opts: &HarnessOpts, engine: &SweepEngine) {
     // Figure 5 includes WKND and SHIP, the suite's smallest-BVH scenes,
     // which "stand out" in the paper's plot.
-    if opts.scenes.len() == rtscene::lumibench::SceneId::ALL.len() {
-        opts.scenes = rtscene::lumibench::SceneId::ALL_WITH_EXTRAS.to_vec();
+    let mut scenes = opts.scenes.clone();
+    if scenes.len() == SceneId::ALL.len() {
+        scenes = SceneId::ALL_WITH_EXTRAS.to_vec();
     }
+    let rows = ok_rows(experiment::fig05_sweep(engine, &scenes, &opts.config, &BATCHES));
     let cols: Vec<String> = BATCHES.iter().map(|b| format!("c={b}")).collect();
     let col_refs: Vec<&str> =
         std::iter::once("scene").chain(cols.iter().map(|s| s.as_str())).collect();
     header(&col_refs);
-    for id in &opts.scenes {
-        let p = opts.prepare(*id);
-        let r = experiment::fig05(&p, &BATCHES);
+    for r in &rows {
         let values: Vec<String> = r.speedups.iter().map(|(_, s)| format!("{s:.2}x")).collect();
-        row(id.name(), &values);
+        row(r.scene.name(), &values);
     }
 }

@@ -3,10 +3,12 @@
 //! Paper: 95% mean speedup over baseline, 43% over prefetching.
 
 use vtq::experiment;
-use vtq_bench::{geomean, header, row, HarnessOpts};
+use vtq::prelude::SweepEngine;
 
-fn main() {
-    let opts = HarnessOpts::from_args();
+use crate::{geomean, header, ok_rows, row, HarnessOpts};
+
+pub fn run(opts: &HarnessOpts, engine: &SweepEngine) {
+    let rows = ok_rows(experiment::fig10_sweep(engine, &opts.scenes, &opts.config));
     header(&[
         "scene",
         "base_cyc",
@@ -18,13 +20,11 @@ fn main() {
     ]);
     let mut vtq_speedups = Vec::new();
     let mut pref_speedups = Vec::new();
-    for id in &opts.scenes {
-        let p = opts.prepare(*id);
-        let r = experiment::fig10(&p);
+    for r in &rows {
         vtq_speedups.push(r.vtq_speedup());
         pref_speedups.push(r.prefetch_speedup());
         row(
-            id.name(),
+            r.scene.name(),
             &[
                 r.baseline_cycles.to_string(),
                 r.prefetch_cycles.to_string(),
@@ -35,15 +35,17 @@ fn main() {
             ],
         );
     }
-    row(
-        "GEOMEAN",
-        &[
-            String::new(),
-            String::new(),
-            String::new(),
-            format!("{:.2}x", geomean(&vtq_speedups)),
-            format!("{:.2}x", geomean(&pref_speedups)),
-            format!("{:.2}x", geomean(&vtq_speedups) / geomean(&pref_speedups)),
-        ],
-    );
+    if !vtq_speedups.is_empty() {
+        row(
+            "GEOMEAN",
+            &[
+                String::new(),
+                String::new(),
+                String::new(),
+                format!("{:.2}x", geomean(&vtq_speedups)),
+                format!("{:.2}x", geomean(&pref_speedups)),
+                format!("{:.2}x", geomean(&vtq_speedups) / geomean(&pref_speedups)),
+            ],
+        );
+    }
 }

@@ -5,18 +5,18 @@
 
 use rtscene::lumibench::SceneId;
 use vtq::experiment;
-use vtq_bench::HarnessOpts;
+use vtq::prelude::SweepEngine;
 
-fn main() {
-    let mut opts = HarnessOpts::from_args();
+use crate::{ok_rows, HarnessOpts};
+
+pub fn run(opts: &HarnessOpts, engine: &SweepEngine) {
     // Default to the paper's scene when no subset was requested.
-    if opts.scenes.len() == SceneId::ALL.len() {
-        opts.scenes = vec![SceneId::Lands];
+    let mut scenes = opts.scenes.clone();
+    if scenes.len() == SceneId::ALL.len() {
+        scenes = vec![SceneId::Lands];
     }
-    for id in &opts.scenes {
-        let p = opts.prepare(*id);
-        let d = experiment::fig11(&p);
-        println!("# {} — L1 BVH miss rate over time (window starts in cycles)", id.name());
+    for d in ok_rows(experiment::fig11_sweep(engine, &scenes, &opts.config)) {
+        println!("# {} — L1 BVH miss rate over time (window starts in cycles)", d.scene.name());
         println!("{:>12} {:>12} {:>12}", "cycle", "baseline", "treelet");
         let n = d.baseline.len().max(d.treelet_stationary.len());
         for i in 0..n {

@@ -3,25 +3,27 @@
 //! slower than the baseline (repacking is what closes the gap, Figure 13).
 
 use vtq::experiment;
-use vtq_bench::{geomean, header, row, HarnessOpts};
+use vtq::prelude::SweepEngine;
+
+use crate::{geomean, header, ok_rows, row, HarnessOpts};
 
 const THRESHOLDS: [usize; 3] = [32, 64, 128];
 
-fn main() {
-    let opts = HarnessOpts::from_args();
+pub fn run(opts: &HarnessOpts, engine: &SweepEngine) {
+    let rows = ok_rows(experiment::fig12_sweep(engine, &opts.scenes, &opts.config, &THRESHOLDS));
     header(&["scene", "naive", "thr=32", "thr=64", "thr=128"]);
-    let mut per_col: Vec<Vec<f64>> = vec![Vec::new(); 4];
-    for id in &opts.scenes {
-        let p = opts.prepare(*id);
-        let r = experiment::fig12(&p, &THRESHOLDS);
+    let mut per_col: Vec<Vec<f64>> = vec![Vec::new(); 1 + THRESHOLDS.len()];
+    for r in &rows {
         let mut values = vec![format!("{:.3}x", r.naive_speedup())];
         per_col[0].push(r.naive_speedup());
         for i in 0..THRESHOLDS.len() {
             values.push(format!("{:.3}x", r.grouped_speedup(i)));
             per_col[i + 1].push(r.grouped_speedup(i));
         }
-        row(id.name(), &values);
+        row(r.scene.name(), &values);
     }
-    let means: Vec<String> = per_col.iter().map(|c| format!("{:.3}x", geomean(c))).collect();
-    row("GEOMEAN", &means);
+    if !rows.is_empty() {
+        let means: Vec<String> = per_col.iter().map(|c| format!("{:.3}x", geomean(c))).collect();
+        row("GEOMEAN", &means);
+    }
 }

@@ -3,12 +3,14 @@
 //! threshold 22 reaches 95% speedup and SIMT efficiency ~0.82.
 
 use vtq::experiment;
-use vtq_bench::{geomean, header, mean, row, HarnessOpts};
+use vtq::prelude::SweepEngine;
+
+use crate::{geomean, header, mean, ok_rows, row, HarnessOpts};
 
 const THRESHOLDS: [usize; 4] = [8, 16, 22, 24];
 
-fn main() {
-    let opts = HarnessOpts::from_args();
+pub fn run(opts: &HarnessOpts, engine: &SweepEngine) {
+    let rows = ok_rows(experiment::fig13_sweep(engine, &opts.scenes, &opts.config, &THRESHOLDS));
     header(&[
         "scene",
         "norepack",
@@ -24,9 +26,7 @@ fn main() {
     let mut simt22 = Vec::new();
     let mut simt_base = Vec::new();
     let mut simt_none = Vec::new();
-    for id in &opts.scenes {
-        let p = opts.prepare(*id);
-        let r = experiment::fig13(&p, &THRESHOLDS);
+    for r in &rows {
         let base = r.baseline.0 as f64;
         let mut values = vec![format!("{:.3}x", base / r.no_repack.0 as f64)];
         speedups[0].push(base / r.no_repack.0 as f64);
@@ -41,11 +41,14 @@ fn main() {
         simt_base.push(r.baseline.1);
         simt_none.push(r.no_repack.1);
         simt22.push(t22.2);
-        row(id.name(), &values);
+        row(r.scene.name(), &values);
     }
-    let mut means: Vec<String> = speedups.iter().map(|c| format!("{:.3}x", geomean(c))).collect();
-    means.push(format!("{:.3}", mean(&simt_base)));
-    means.push(format!("{:.3}", mean(&simt_none)));
-    means.push(format!("{:.3}", mean(&simt22)));
-    row("MEAN", &means);
+    if !rows.is_empty() {
+        let mut means: Vec<String> =
+            speedups.iter().map(|c| format!("{:.3}x", geomean(c))).collect();
+        means.push(format!("{:.3}", mean(&simt_base)));
+        means.push(format!("{:.3}", mean(&simt_none)));
+        means.push(format!("{:.3}", mean(&simt22)));
+        row("MEAN", &means);
+    }
 }

@@ -1,0 +1,26 @@
+//! Figure 14: cycle distribution over the three traversal modes (initial /
+//! treelet-stationary / ray-stationary). Paper: a short initial phase,
+//! then ray-stationary dominates the cycle count.
+
+use vtq::experiment;
+use vtq::prelude::SweepEngine;
+
+use crate::{header, mean, ok_rows, row, HarnessOpts};
+
+pub fn run(opts: &HarnessOpts, engine: &SweepEngine) {
+    let rows = ok_rows(experiment::fig14_15_sweep(engine, &opts.scenes, &opts.config));
+    header(&["scene", "initial", "treelet", "ray"]);
+    let mut cols = [Vec::new(), Vec::new(), Vec::new()];
+    for r in &rows {
+        row(
+            r.scene.name(),
+            &r.cycle_fractions.iter().map(|f| format!("{f:.3}")).collect::<Vec<_>>(),
+        );
+        for (c, f) in cols.iter_mut().zip(r.cycle_fractions) {
+            c.push(f);
+        }
+    }
+    if !rows.is_empty() {
+        row("MEAN", &cols.iter().map(|c| format!("{:.3}", mean(c))).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,26 @@
+//! Figure 15: ratio of ray intersection tests processed under each
+//! traversal mode. Paper: treelet-stationary handles up to 52% with a 15%
+//! mean; ray-stationary takes the rest.
+
+use vtq::experiment;
+use vtq::prelude::SweepEngine;
+
+use crate::{header, mean, ok_rows, row, HarnessOpts};
+
+pub fn run(opts: &HarnessOpts, engine: &SweepEngine) {
+    let rows = ok_rows(experiment::fig14_15_sweep(engine, &opts.scenes, &opts.config));
+    header(&["scene", "initial", "treelet", "ray"]);
+    let mut cols = [Vec::new(), Vec::new(), Vec::new()];
+    for r in &rows {
+        row(
+            r.scene.name(),
+            &r.isect_fractions.iter().map(|f| format!("{f:.3}")).collect::<Vec<_>>(),
+        );
+        for (c, f) in cols.iter_mut().zip(r.isect_fractions) {
+            c.push(f);
+        }
+    }
+    if !rows.is_empty() {
+        row("MEAN", &cols.iter().map(|c| format!("{:.3}", mean(c))).collect::<Vec<_>>());
+    }
+}

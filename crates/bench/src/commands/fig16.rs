@@ -3,18 +3,18 @@
 //! Paper: ~10% mean slowdown.
 
 use vtq::experiment;
-use vtq_bench::{header, mean, row, HarnessOpts};
+use vtq::prelude::SweepEngine;
 
-fn main() {
-    let opts = HarnessOpts::from_args();
+use crate::{header, mean, ok_rows, row, HarnessOpts};
+
+pub fn run(opts: &HarnessOpts, engine: &SweepEngine) {
+    let rows = ok_rows(experiment::fig16_sweep(engine, &opts.scenes, &opts.config));
     header(&["scene", "charged_cyc", "free_cyc", "overhead"]);
     let mut overheads = Vec::new();
-    for id in &opts.scenes {
-        let p = opts.prepare(*id);
-        let r = experiment::fig16(&p);
+    for r in &rows {
         overheads.push(r.overhead());
         row(
-            id.name(),
+            r.scene.name(),
             &[
                 r.charged_cycles.to_string(),
                 r.free_cycles.to_string(),
@@ -22,5 +22,7 @@ fn main() {
             ],
         );
     }
-    row("MEAN", &[String::new(), String::new(), format!("{:.1}%", mean(&overheads) * 100.0)]);
+    if !rows.is_empty() {
+        row("MEAN", &[String::new(), String::new(), format!("{:.1}%", mean(&overheads) * 100.0)]);
+    }
 }

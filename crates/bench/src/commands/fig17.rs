@@ -3,21 +3,21 @@
 //! virtualization consumes ~11% of the design's energy.
 
 use vtq::experiment;
-use vtq_bench::{header, mean, row, HarnessOpts};
+use vtq::prelude::SweepEngine;
 
-fn main() {
-    let opts = HarnessOpts::from_args();
+use crate::{header, mean, ok_rows, row, HarnessOpts};
+
+pub fn run(opts: &HarnessOpts, engine: &SweepEngine) {
+    let rows = ok_rows(experiment::fig17_sweep(engine, &opts.scenes, &opts.config));
     header(&["scene", "vtq/base", "novirt/base", "virt_frac"]);
     let mut ratios = Vec::new();
     let mut fracs = Vec::new();
-    for id in &opts.scenes {
-        let p = opts.prepare(*id);
-        let r = experiment::fig17(&p);
+    for r in &rows {
         let ratio = r.vtq_pj / r.baseline_pj;
         ratios.push(ratio);
         fracs.push(r.virtualization_fraction);
         row(
-            id.name(),
+            r.scene.name(),
             &[
                 format!("{ratio:.3}"),
                 format!("{:.3}", r.vtq_free_pj / r.baseline_pj),
@@ -25,8 +25,14 @@ fn main() {
             ],
         );
     }
-    row(
-        "MEAN",
-        &[format!("{:.3}", mean(&ratios)), String::new(), format!("{:.1}%", mean(&fracs) * 100.0)],
-    );
+    if !rows.is_empty() {
+        row(
+            "MEAN",
+            &[
+                format!("{:.3}", mean(&ratios)),
+                String::new(),
+                format!("{:.1}%", mean(&fracs) * 100.0),
+            ],
+        );
+    }
 }

@@ -1,0 +1,126 @@
+//! Subcommand registry of the unified `vtq-bench` CLI.
+//!
+//! One subcommand per paper table/figure plus the extension experiments;
+//! `vtq-bench all` regenerates everything with shared runs. Every
+//! subcommand takes the common flag set (see [`crate::USAGE_OPTIONS`])
+//! and submits its simulations through the process-wide
+//! [`vtq::sweep::SweepEngine`], so scenes are prepared once and cells run
+//! in parallel under `--jobs N` with deterministic output.
+
+use vtq::prelude::SweepEngine;
+
+use crate::HarnessOpts;
+
+mod ablations;
+mod all;
+mod area;
+mod compression;
+mod fig01;
+mod fig05;
+mod fig10;
+mod fig11;
+mod fig12;
+mod fig13;
+mod fig14;
+mod fig15;
+mod fig16;
+mod fig17;
+mod nee;
+mod reorder;
+mod scaling;
+mod sensitivity;
+mod table1;
+mod table2;
+mod trace;
+
+/// One CLI subcommand.
+pub struct Command {
+    /// Subcommand name (`vtq-bench <name>`).
+    pub name: &'static str,
+    /// One-line description for `vtq-bench help`.
+    pub about: &'static str,
+    /// Entry point.
+    pub run: fn(&HarnessOpts, &SweepEngine),
+}
+
+/// Every subcommand, in `vtq-bench help` order.
+pub const ALL: &[Command] = &[
+    Command {
+        name: "all",
+        about: "every table and figure, shared runs, markdown report",
+        run: all::run,
+    },
+    Command { name: "table1", about: "Table 1: the simulated GPU configuration", run: table1::run },
+    Command {
+        name: "table2",
+        about: "Table 2: evaluation scenes, ours vs the paper's",
+        run: table2::run,
+    },
+    Command {
+        name: "fig01",
+        about: "Figure 1: baseline L1 BVH miss rate + SIMT efficiency",
+        run: fig01::run,
+    },
+    Command {
+        name: "fig05",
+        about: "Figure 5: analytical speedup vs concurrent rays",
+        run: fig05::run,
+    },
+    Command {
+        name: "fig10",
+        about: "Figure 10: headline speedups vs baseline and prefetching",
+        run: fig10::run,
+    },
+    Command { name: "fig11", about: "Figure 11: L1 miss rate over time (LANDS)", run: fig11::run },
+    Command {
+        name: "fig12",
+        about: "Figure 12: grouping underpopulated treelet queues",
+        run: fig12::run,
+    },
+    Command { name: "fig13", about: "Figure 13: warp repacking sweep", run: fig13::run },
+    Command {
+        name: "fig14",
+        about: "Figure 14: cycle breakdown by traversal mode",
+        run: fig14::run,
+    },
+    Command {
+        name: "fig15",
+        about: "Figure 15: intersection tests by traversal mode",
+        run: fig15::run,
+    },
+    Command { name: "fig16", about: "Figure 16: ray virtualization overhead", run: fig16::run },
+    Command { name: "fig17", about: "Figure 17: energy vs baseline", run: fig17::run },
+    Command { name: "area", about: "§6.5 storage overheads", run: area::run },
+    Command {
+        name: "trace",
+        about: "VTQ runs with the observability trace attached",
+        run: trace::run,
+    },
+    Command {
+        name: "ablations",
+        about: "treelet size, warp buffer, mechanism on/off ablations",
+        run: ablations::run,
+    },
+    Command {
+        name: "reorder",
+        about: "§7.2.1 ray sorting vs dynamic treelet grouping",
+        run: reorder::run,
+    },
+    Command { name: "nee", about: "anyhit shadow-ray (NEE) workloads", run: nee::run },
+    Command {
+        name: "compression",
+        about: "§7.3 CWBVH layout composed with VTQ",
+        run: compression::run,
+    },
+    Command { name: "scaling", about: "scale-model methodology validation", run: scaling::run },
+    Command {
+        name: "sensitivity",
+        about: "§6.4 SPP / bounce-count sensitivity",
+        run: sensitivity::run,
+    },
+];
+
+/// Looks a subcommand up by (case-insensitive) name.
+pub fn find(name: &str) -> Option<&'static Command> {
+    ALL.iter().find(|c| c.name.eq_ignore_ascii_case(name))
+}

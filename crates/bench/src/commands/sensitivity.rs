@@ -8,7 +8,8 @@ use rtbvh::Bvh;
 use rtscene::lumibench::{self, SceneId};
 use vtq::prelude::*;
 use vtq::workload::PathTracer;
-use vtq_bench::{header, row, HarnessOpts};
+
+use crate::{header, ok_rows, row, HarnessOpts};
 
 fn mode_shares(
     scene: &rtscene::Scene,
@@ -33,17 +34,38 @@ fn mode_shares(
     ]
 }
 
-fn main() {
-    let mut opts = HarnessOpts::from_args();
-    if opts.scenes.len() == SceneId::ALL.len() {
-        opts.scenes = vec![SceneId::Lands];
+pub fn run(opts: &HarnessOpts, engine: &SweepEngine) {
+    let mut scenes = opts.scenes.clone();
+    if scenes.len() == SceneId::ALL.len() {
+        scenes = vec![SceneId::Lands];
     }
-    for id in &opts.scenes {
-        let scene = lumibench::build_scaled(*id, opts.config.detail_divisor);
+    // Sweep points: (spp, bounces); the paper varies one axis at a time.
+    const POINTS: [(u32, u32); 6] = [(1, 3), (2, 3), (4, 3), (1, 1), (1, 3), (1, 5)];
+
+    for id in &scenes {
+        let id = *id;
+        // Scene and BVH build once per scene; the six (spp, bounce)
+        // points borrow them and simulate in parallel on the pool.
+        let scene = lumibench::build_scaled(id, opts.config.detail_divisor);
         let bvh = Bvh::build(scene.triangles(), &opts.config.bvh);
+        let (scene, bvh) = (&scene, &bvh);
+        let shares = ok_rows(
+            engine.run_tasks(
+                POINTS
+                    .iter()
+                    .map(|&(spp, bounces)| {
+                        (format!("{id}/spp={spp},b={bounces}"), move || {
+                            mode_shares(scene, bvh, &opts.config, spp, bounces)
+                        })
+                    })
+                    .collect(),
+            ),
+        );
+
         println!("== {id}: intersection-test share per traversal mode ==");
         header(&["config", "initial", "treelet", "coherent", "ray"]);
-        let print_row = |label: String, s: [f64; 3]| {
+        for (i, ((spp, bounces), s)) in POINTS.iter().zip(shares).enumerate() {
+            let label = if i < 3 { format!("spp={spp} b=3") } else { format!("spp=1 b={bounces}") };
             row(
                 &label,
                 &[
@@ -53,14 +75,6 @@ fn main() {
                     format!("{:.3}", s[2]),
                 ],
             );
-        };
-        for spp in [1u32, 2, 4] {
-            let s = mode_shares(&scene, &bvh, &opts.config, spp, 3);
-            print_row(format!("spp={spp} b=3"), s);
-        }
-        for bounces in [1u32, 3, 5] {
-            let s = mode_shares(&scene, &bvh, &opts.config, 1, bounces);
-            print_row(format!("spp=1 b={bounces}"), s);
         }
     }
 }

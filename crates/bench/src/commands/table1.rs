@@ -2,8 +2,10 @@
 
 use vtq::prelude::*;
 
-fn main() {
-    let cfg = GpuConfig::default();
+use crate::HarnessOpts;
+
+pub fn run(opts: &HarnessOpts, _engine: &SweepEngine) {
+    let cfg = &opts.config.gpu;
     println!("Table 1. Simulated configuration (paper values in parentheses).");
     println!("{:<38} {}", "# Streaming Multiprocessors (SM)", cfg.num_sms());
     println!("{:<38} {}", "Max Warps per SM", cfg.max_ctas_per_sm * cfg.warps_per_cta());

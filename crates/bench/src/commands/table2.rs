@@ -2,17 +2,17 @@
 //! the paper's numbers.
 
 use vtq::experiment;
-use vtq_bench::HarnessOpts;
+use vtq::prelude::SweepEngine;
 
-fn main() {
-    let opts = HarnessOpts::from_args();
+use crate::{ok_rows, HarnessOpts};
+
+pub fn run(opts: &HarnessOpts, engine: &SweepEngine) {
     println!(
         "{:>8} {:>12} {:>12} {:>14} {:>14} {:>10}",
         "scene", "tris", "bvh_KB", "paper_tris", "paper_bvh_MB", "scale"
     );
     println!("{}", "-".repeat(76));
-    for id in &opts.scenes {
-        let r = experiment::table2(*id, &opts.config);
+    for r in ok_rows(experiment::table2_sweep(engine, &opts.scenes, &opts.config)) {
         println!(
             "{:>8} {:>12} {:>12.1} {:>14} {:>14.2} {:>10.1}",
             r.scene,

@@ -5,48 +5,46 @@
 //! prints the human-readable run summary.
 //!
 //! ```text
-//! cargo run --release -p vtq-bench --bin trace -- --quick --scenes kitchen
-//! cargo run --release -p vtq-bench --bin trace -- --out target/trace
+//! vtq-bench trace --quick --scenes kitchen
+//! vtq-bench trace --out target/trace
 //! ```
 //!
 //! Without `--out`, artifacts land in `target/trace/`. The event ring
-//! keeps the most recent `--ring N` events (default 1 Mi) so traces stay
-//! bounded on full-detail runs; `dropped` in the summary says how many
-//! older events were evicted.
+//! keeps the most recent 1 Mi events so traces stay bounded on
+//! full-detail runs; `dropped` in the summary says how many older events
+//! were evicted. Scenes simulate in parallel on the sweep pool; artifacts
+//! are written and summaries printed in scene order after all runs
+//! finish, so output is identical for every `--jobs N`.
 
 use std::fs;
 
 use vtq::experiment::{aggregate_stats, export_run};
 use vtq::prelude::*;
-use vtq_bench::HarnessOpts;
 
-fn main() {
-    let opts = HarnessOpts::from_args();
+use crate::{ok_rows, HarnessOpts};
+
+pub fn run(opts: &HarnessOpts, engine: &SweepEngine) {
     let dir = opts.out.clone().unwrap_or_else(|| "target/trace".into());
     let ring_capacity = 1 << 20;
-    let mut reports: Vec<SimReport> = Vec::new();
-    for id in &opts.scenes {
-        let p = opts.prepare(*id);
+    let runs = ok_rows(engine.run_scenes(&opts.scenes, &opts.config, |p| {
         let mut sink = RingSink::new(ring_capacity);
-        eprintln!("[trace] {id}");
         let report = p.run_policy_traced(TraversalPolicy::Vtq(VtqParams::default()), &mut sink);
+        (p.id, report, sink.to_jsonl(), sink.len(), sink.dropped())
+    }));
 
+    let mut reports: Vec<SimReport> = Vec::new();
+    for (id, report, trace_jsonl, events, dropped) in runs {
         let scene = id.name();
         let label = format!("{scene}/vtq");
         export_run(&dir, &label, &report)
             .unwrap_or_else(|e| panic!("cannot write artifacts to {}: {e}", dir.display()));
         let trace_path = dir.join(format!("{scene}-vtq.trace.jsonl"));
-        fs::write(&trace_path, sink.to_jsonl())
+        fs::write(&trace_path, trace_jsonl)
             .unwrap_or_else(|e| panic!("cannot write {}: {e}", trace_path.display()));
 
         println!("== {scene} (vtq) ==");
         println!("{}", report.stats.report());
-        println!(
-            "trace: {} events ({} dropped) -> {}",
-            sink.len(),
-            sink.dropped(),
-            trace_path.display()
-        );
+        println!("trace: {events} events ({dropped} dropped) -> {}", trace_path.display());
         println!();
         reports.push(report);
     }

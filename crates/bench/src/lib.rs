@@ -1,16 +1,22 @@
-//! Shared plumbing for the per-figure harness binaries.
+//! Shared plumbing for the `vtq-bench` CLI.
 //!
-//! Every binary accepts the same flags:
+//! Every subcommand accepts the same flags:
 //!
 //! * `--quick` — reduced configuration (low scene detail, 64×64, 4 SMs):
 //!   same result *shape*, minutes become seconds,
 //! * `--scenes A,B,C` — restrict to a comma-separated subset of the
 //!   LumiBench names (default: all 14),
 //! * `--res N` — override the image resolution,
+//! * `--jobs N` — worker threads for the parallel sweep engine
+//!   (default: one per available hardware thread; `--jobs 1` runs
+//!   serially and produces byte-identical output),
 //! * `--csv` — emit comma-separated rows instead of aligned tables (for
 //!   plotting scripts),
 //! * `--out DIR` — persist machine-readable artifacts (per-run stall and
 //!   time-series CSVs plus an appended `metrics.jsonl`) to `DIR`.
+//!
+//! Unknown flags are an error: parsing fails with a message and the usage
+//! text instead of silently proceeding with a misconfigured run.
 //!
 //! Rows are printed as aligned text tables, one row per scene, matching
 //! the layout of the paper's figures so EXPERIMENTS.md comparisons are
@@ -21,10 +27,12 @@ use std::sync::atomic::{AtomicBool, Ordering};
 
 use vtq::prelude::*;
 
+pub mod commands;
+
 /// Global output mode toggled by `--csv`.
 static CSV: AtomicBool = AtomicBool::new(false);
 
-/// Parsed command-line options shared by all harness binaries.
+/// Parsed command-line options shared by all subcommands.
 #[derive(Debug, Clone)]
 pub struct HarnessOpts {
     /// Experiment configuration (full paper config unless `--quick`).
@@ -33,60 +41,111 @@ pub struct HarnessOpts {
     pub scenes: Vec<SceneId>,
     /// Output directory for machine-readable artifacts (`--out`).
     pub out: Option<PathBuf>,
+    /// Sweep-engine worker threads (`--jobs`; default:
+    /// [`default_jobs`], i.e. one per available hardware thread).
+    pub jobs: usize,
 }
 
+impl Default for HarnessOpts {
+    fn default() -> HarnessOpts {
+        HarnessOpts {
+            config: ExperimentConfig::default(),
+            scenes: SceneId::ALL.to_vec(),
+            out: None,
+            jobs: default_jobs(),
+        }
+    }
+}
+
+/// The flag reference printed on parse errors and by `vtq-bench help`.
+pub const USAGE_OPTIONS: &str = "\
+options (all subcommands):
+  --quick          reduced configuration: low detail, 64x64, 4 SMs
+  --scenes A,B,C   run a subset of the LumiBench scene names
+  --res N          override the image resolution
+  --jobs N         sweep-engine worker threads (default: all hardware
+                   threads; results are identical for every N)
+  --csv            emit CSV rows instead of aligned tables
+  --out DIR        persist per-run artifacts (CSVs + metrics.jsonl)";
+
 impl HarnessOpts {
-    /// Parses `std::env::args`.
+    /// Parses a flag list (everything after the subcommand name).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics with a usage message on unknown flags or scene names.
-    pub fn from_args() -> HarnessOpts {
-        let args: Vec<String> = std::env::args().skip(1).collect();
-        let mut config = ExperimentConfig::default();
-        let mut scenes: Vec<SceneId> = SceneId::ALL.to_vec();
-        let mut out = None;
+    /// Returns a description of the first unknown flag, unknown scene
+    /// name, or malformed value; callers print it with [`USAGE_OPTIONS`]
+    /// and exit nonzero.
+    pub fn parse(args: &[String]) -> Result<HarnessOpts, String> {
+        let mut opts = HarnessOpts::default();
         let mut i = 0;
         while i < args.len() {
             match args[i].as_str() {
                 "--quick" => {
-                    config = ExperimentConfig::quick();
+                    opts.config = ExperimentConfig::quick();
                 }
                 "--scenes" => {
                     i += 1;
-                    let list = args.get(i).expect("--scenes needs a value");
-                    scenes = list
+                    let list = args.get(i).ok_or("--scenes needs a value")?;
+                    opts.scenes = list
                         .split(',')
                         .map(|name| {
                             SceneId::ALL_WITH_EXTRAS
                                 .iter()
                                 .copied()
                                 .find(|s| s.name().eq_ignore_ascii_case(name))
-                                .unwrap_or_else(|| panic!("unknown scene: {name}"))
+                                .ok_or_else(|| format!("unknown scene: {name}"))
                         })
-                        .collect();
+                        .collect::<Result<_, _>>()?;
                 }
                 "--csv" => {
                     CSV.store(true, Ordering::Relaxed);
                 }
                 "--res" => {
                     i += 1;
-                    config.resolution =
-                        args.get(i).and_then(|v| v.parse().ok()).expect("--res needs an integer");
+                    opts.config.resolution =
+                        args.get(i).and_then(|v| v.parse().ok()).ok_or("--res needs an integer")?;
+                }
+                "--jobs" => {
+                    i += 1;
+                    let jobs: usize = args
+                        .get(i)
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--jobs needs an integer")?;
+                    if jobs == 0 {
+                        return Err("--jobs must be at least 1".to_string());
+                    }
+                    opts.jobs = jobs;
                 }
                 "--out" => {
                     i += 1;
-                    out = Some(PathBuf::from(args.get(i).expect("--out needs a directory")));
+                    opts.out = Some(PathBuf::from(args.get(i).ok_or("--out needs a directory")?));
                 }
                 other => {
-                    panic!(
-                        "unknown flag {other}; supported: --quick, --scenes A,B, --res N, --csv, --out DIR"
-                    )
+                    return Err(format!("unknown flag {other}"));
                 }
             }
             i += 1;
         }
-        HarnessOpts { config, scenes, out }
+        Ok(opts)
+    }
+
+    /// Parses `std::env::args` (no subcommand expected — used by tests
+    /// and as a library entry point; the CLI parses the post-subcommand
+    /// tail via [`HarnessOpts::parse`]).
+    ///
+    /// Exits with code 2 and the usage text on a parse error.
+    pub fn from_args() -> HarnessOpts {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        HarnessOpts::parse(&args).unwrap_or_else(|e| {
+            eprintln!("error: {e}\n{USAGE_OPTIONS}");
+            std::process::exit(2);
+        })
+    }
+
+    /// A sweep engine sized by `--jobs` (fresh cache).
+    pub fn engine(&self) -> SweepEngine {
+        SweepEngine::new(self.jobs)
     }
 
     /// Persists one run's artifacts when `--out` was given; a no-op
@@ -111,6 +170,21 @@ impl HarnessOpts {
         );
         Prepared::build(id, &self.config)
     }
+}
+
+/// Unwraps the successful rows of a sweep, reporting failed cells to
+/// stderr. Keeps the sweep's deterministic order.
+pub fn ok_rows<T>(results: Vec<CellResult<T>>) -> Vec<T> {
+    results
+        .into_iter()
+        .filter_map(|r| match r {
+            Ok(row) => Some(row),
+            Err(e) => {
+                eprintln!("[sweep] {e}");
+                None
+            }
+        })
+        .collect()
 }
 
 /// Geometric mean (the paper's average for speedups).
@@ -184,6 +258,11 @@ pub fn row(scene: &str, values: &[String]) {
 mod tests {
     use super::*;
 
+    fn parse(args: &[&str]) -> Result<HarnessOpts, String> {
+        let owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        HarnessOpts::parse(&owned)
+    }
+
     #[test]
     fn geomean_basic() {
         assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
@@ -212,5 +291,70 @@ mod tests {
     fn pct_or_na_formats() {
         assert_eq!(pct_or_na(Some(0.125)), "12.5%");
         assert_eq!(pct_or_na(None), "n/a");
+    }
+
+    #[test]
+    fn parse_defaults() {
+        let opts = parse(&[]).unwrap();
+        assert_eq!(opts.scenes.len(), SceneId::ALL.len());
+        assert_eq!(opts.jobs, default_jobs());
+        assert!(opts.out.is_none());
+    }
+
+    #[test]
+    fn parse_rejects_unknown_flags() {
+        let err = parse(&["--bogus"]).unwrap_err();
+        assert!(err.contains("unknown flag --bogus"), "got: {err}");
+    }
+
+    #[test]
+    fn parse_rejects_unknown_scene() {
+        let err = parse(&["--scenes", "NOPE"]).unwrap_err();
+        assert!(err.contains("unknown scene: NOPE"), "got: {err}");
+    }
+
+    #[test]
+    fn parse_jobs_flag() {
+        assert_eq!(parse(&["--jobs", "4"]).unwrap().jobs, 4);
+        assert!(parse(&["--jobs", "0"]).unwrap_err().contains("at least 1"));
+        assert!(parse(&["--jobs", "x"]).unwrap_err().contains("integer"));
+        assert!(parse(&["--jobs"]).unwrap_err().contains("integer"));
+    }
+
+    #[test]
+    fn parse_quick_and_res() {
+        let opts = parse(&["--quick", "--res", "32"]).unwrap();
+        assert_eq!(opts.config.resolution, 32);
+        assert_eq!(opts.config.detail_divisor, ExperimentConfig::quick().detail_divisor);
+    }
+
+    #[test]
+    fn command_registry_is_complete() {
+        for name in [
+            "fig01",
+            "fig05",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "fig14",
+            "fig15",
+            "fig16",
+            "fig17",
+            "table1",
+            "table2",
+            "all",
+            "trace",
+            "area",
+            "ablations",
+            "compression",
+            "nee",
+            "reorder",
+            "scaling",
+            "sensitivity",
+        ] {
+            assert!(commands::find(name).is_some(), "missing subcommand {name}");
+        }
+        assert!(commands::find("fig99").is_none());
     }
 }

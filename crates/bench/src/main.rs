@@ -1,0 +1,55 @@
+//! `vtq-bench`: the unified benchmark CLI. One subcommand per paper
+//! table/figure plus the extension experiments; see `vtq-bench help`.
+//!
+//! ```text
+//! vtq-bench all --quick --jobs 2 --out target/ci-artifacts
+//! vtq-bench fig10 --scenes LANDS,FRST
+//! vtq-bench trace --quick --scenes kitchen
+//! ```
+//!
+//! Every subcommand shares one [`vtq::sweep::SweepEngine`] sized by
+//! `--jobs` (default: all hardware threads); output is identical for
+//! every `--jobs N`.
+
+use std::process::ExitCode;
+
+use vtq_bench::{commands, HarnessOpts, USAGE_OPTIONS};
+
+fn usage() -> String {
+    let mut s = String::from("usage: vtq-bench <command> [options]\n\ncommands:\n");
+    for cmd in commands::ALL {
+        s.push_str(&format!("  {:<12} {}\n", cmd.name, cmd.about));
+    }
+    s.push('\n');
+    s.push_str(USAGE_OPTIONS);
+    s.push('\n');
+    s
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(name) = args.first() else {
+        eprint!("{}", usage());
+        return ExitCode::from(2);
+    };
+    if matches!(name.as_str(), "help" | "--help" | "-h" | "list") {
+        print!("{}", usage());
+        return ExitCode::SUCCESS;
+    }
+    let Some(cmd) = commands::find(name) else {
+        eprintln!("error: unknown command `{name}`\n");
+        eprint!("{}", usage());
+        return ExitCode::from(2);
+    };
+    let opts = match HarnessOpts::parse(&args[1..]) {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprint!("{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+    let engine = opts.engine();
+    (cmd.run)(&opts, &engine);
+    ExitCode::SUCCESS
+}

@@ -21,6 +21,7 @@ use rtscene::lumibench::{self, SceneId};
 use rtscene::Scene;
 
 use crate::analytical::{self, RayTrace};
+use crate::sweep::{CellResult, SweepEngine};
 use crate::workload::{Image, PathTracer};
 
 /// Shared experiment parameters (defaults = the paper's §5 methodology).
@@ -193,7 +194,72 @@ pub fn export_run(dir: &Path, label: &str, report: &SimReport) -> std::io::Resul
 
 // ---------------------------------------------------------------------------
 // Figure rows
+//
+// Each figure is layered so the serial and parallel paths share one
+// row-assembly function:
+//
+//   * `figNN_policies()` — the policy cells the figure runs per scene, in
+//     a fixed order,
+//   * `figNN_from_reports(scene, reports)` — reports (in that order) →
+//     the typed row,
+//   * `figNN(&Prepared)` — the serial path: runs the policies in order on
+//     one prepared scene,
+//   * `figNN_sweep(engine, scenes, cfg)` — the parallel path: submits the
+//     scene-major grid through the [`SweepEngine`].
+//
+// Both paths funnel through the same assembler on reports produced by the
+// same deterministic simulator, which is what makes a `--jobs N` sweep
+// bit-identical to `--jobs 1`.
 // ---------------------------------------------------------------------------
+
+/// Runs `policies` in order on one prepared scene (the serial path).
+fn run_policies(p: &Prepared, policies: &[TraversalPolicy]) -> Vec<SimReport> {
+    policies.iter().map(|&policy| p.run_policy(policy)).collect()
+}
+
+/// The fig11 contrast configuration: permanently treelet-stationary —
+/// diverge instantly, dispatch any queue, never drain into ray-stationary
+/// warps.
+pub fn always_stationary_params() -> VtqParams {
+    VtqParams::builder()
+        .divergence_treelets(0)
+        .queue_threshold(1)
+        .group_underpopulated(false)
+        .repack_threshold(0)
+        .build()
+        .expect("always-stationary preset")
+}
+
+/// The paper's *naive* treelet queues (Figure 12 strawman): no grouping,
+/// no repacking.
+pub fn naive_params() -> VtqParams {
+    VtqParams::builder()
+        .group_underpopulated(false)
+        .repack_threshold(0)
+        .build()
+        .expect("naive preset")
+}
+
+/// Grouping enabled at `queue_threshold`, repacking disabled (Figure 12's
+/// sweep points).
+pub fn grouped_params(queue_threshold: usize) -> VtqParams {
+    VtqParams::builder()
+        .queue_threshold(queue_threshold)
+        .repack_threshold(0)
+        .build()
+        .expect("grouped preset")
+}
+
+/// Full VTQ at an explicit `repack_threshold` (Figure 13's sweep points;
+/// `0` disables repacking).
+pub fn repack_params(repack_threshold: usize) -> VtqParams {
+    VtqParams::builder().repack_threshold(repack_threshold).build().expect("repack preset")
+}
+
+/// Full VTQ with idealized ("free") virtualization (Figures 16/17).
+pub fn free_virtualization_params() -> VtqParams {
+    VtqParams::builder().charge_virtualization(false).build().expect("free-virtualization preset")
+}
 
 /// Figure 1: baseline L1 BVH miss rate (a) and RT-unit SIMT efficiency (b).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -206,14 +272,33 @@ pub struct Fig1Row {
     pub simt_efficiency: f64,
 }
 
-/// Runs the baseline and extracts Figure 1's two series.
-pub fn fig01(p: &Prepared) -> Fig1Row {
-    let r = p.run_policy(TraversalPolicy::Baseline);
+/// The policy cells Figure 1 runs per scene.
+pub fn fig01_policies() -> Vec<TraversalPolicy> {
+    vec![TraversalPolicy::Baseline]
+}
+
+/// Assembles a Figure 1 row from [`fig01_policies`]-ordered reports.
+pub fn fig01_from_reports(scene: SceneId, reports: &[SimReport]) -> Fig1Row {
+    let r = &reports[0];
     Fig1Row {
-        scene: p.id,
+        scene,
         l1_bvh_miss_rate: r.mem.kind(AccessKind::Bvh).l1_miss_rate(),
         simt_efficiency: r.stats.simt_efficiency(),
     }
+}
+
+/// Runs the baseline and extracts Figure 1's two series.
+pub fn fig01(p: &Prepared) -> Fig1Row {
+    fig01_from_reports(p.id, &run_policies(p, &fig01_policies()))
+}
+
+/// Figure 1 across `scenes`, submitted through the sweep engine.
+pub fn fig01_sweep(
+    engine: &SweepEngine,
+    scenes: &[SceneId],
+    cfg: &ExperimentConfig,
+) -> Vec<CellResult<Fig1Row>> {
+    engine.run_grid(scenes, cfg, &fig01_policies(), fig01_from_reports)
 }
 
 /// Figure 5: analytical treelet speedup vs concurrent rays.
@@ -229,6 +314,17 @@ pub struct Fig5Row {
 pub fn fig05(p: &Prepared, batch_sizes: &[usize]) -> Fig5Row {
     let traces = p.traces();
     Fig5Row { scene: p.id, speedups: analytical::analytical_speedups(&p.bvh, &traces, batch_sizes) }
+}
+
+/// Figure 5 across `scenes` through the sweep engine (one trace-recording
+/// task per scene — no simulation runs).
+pub fn fig05_sweep(
+    engine: &SweepEngine,
+    scenes: &[SceneId],
+    cfg: &ExperimentConfig,
+    batch_sizes: &[usize],
+) -> Vec<CellResult<Fig5Row>> {
+    engine.run_scenes(scenes, cfg, |p| fig05(p, batch_sizes))
 }
 
 /// Figure 10: overall speedup of VTQ and treelet prefetching over baseline.
@@ -261,14 +357,37 @@ impl Fig10Row {
     }
 }
 
+/// The policy cells Figure 10 runs per scene: baseline, prefetch, VTQ.
+pub fn fig10_policies() -> Vec<TraversalPolicy> {
+    vec![
+        TraversalPolicy::Baseline,
+        TraversalPolicy::TreeletPrefetch,
+        TraversalPolicy::Vtq(VtqParams::default()),
+    ]
+}
+
+/// Assembles a Figure 10 row from [`fig10_policies`]-ordered reports.
+pub fn fig10_from_reports(scene: SceneId, reports: &[SimReport]) -> Fig10Row {
+    Fig10Row {
+        scene,
+        baseline_cycles: reports[0].stats.cycles,
+        prefetch_cycles: reports[1].stats.cycles,
+        vtq_cycles: reports[2].stats.cycles,
+    }
+}
+
 /// Runs all three policies (the paper's headline comparison).
 pub fn fig10(p: &Prepared) -> Fig10Row {
-    Fig10Row {
-        scene: p.id,
-        baseline_cycles: p.run_policy(TraversalPolicy::Baseline).stats.cycles,
-        prefetch_cycles: p.run_policy(TraversalPolicy::TreeletPrefetch).stats.cycles,
-        vtq_cycles: p.run_vtq(VtqParams::default()).stats.cycles,
-    }
+    fig10_from_reports(p.id, &run_policies(p, &fig10_policies()))
+}
+
+/// Figure 10 across `scenes`, submitted through the sweep engine.
+pub fn fig10_sweep(
+    engine: &SweepEngine,
+    scenes: &[SceneId],
+    cfg: &ExperimentConfig,
+) -> Vec<CellResult<Fig10Row>> {
+    engine.run_grid(scenes, cfg, &fig10_policies(), fig10_from_reports)
 }
 
 /// Figure 11: L1 BVH miss rate over time, baseline vs permanently
@@ -283,20 +402,34 @@ pub struct Fig11Data {
     pub treelet_stationary: Vec<WindowPoint>,
 }
 
+/// The policy cells Figure 11 runs per scene: baseline, then "if it were
+/// to operate permanently in treelet-stationary mode"
+/// ([`always_stationary_params`]).
+pub fn fig11_policies() -> Vec<TraversalPolicy> {
+    vec![TraversalPolicy::Baseline, TraversalPolicy::Vtq(always_stationary_params())]
+}
+
+/// Assembles the Figure 11 series from [`fig11_policies`]-ordered reports.
+pub fn fig11_from_reports(scene: SceneId, reports: &[SimReport]) -> Fig11Data {
+    Fig11Data {
+        scene,
+        baseline: reports[0].mem.bvh_l1_windows.clone(),
+        treelet_stationary: reports[1].mem.bvh_l1_windows.clone(),
+    }
+}
+
 /// Runs the baseline and a permanently-treelet-stationary configuration.
 pub fn fig11(p: &Prepared) -> Fig11Data {
-    let baseline = p.run_policy(TraversalPolicy::Baseline).mem.bvh_l1_windows.clone();
-    // "If it were to operate permanently in treelet-stationary mode":
-    // diverge instantly, dispatch any queue, never drain into ray-
-    // stationary warps.
-    let always = p.run_vtq(VtqParams {
-        divergence_treelets: 0,
-        queue_threshold: 1,
-        group_underpopulated: false,
-        repack_threshold: 0,
-        ..Default::default()
-    });
-    Fig11Data { scene: p.id, baseline, treelet_stationary: always.mem.bvh_l1_windows.clone() }
+    fig11_from_reports(p.id, &run_policies(p, &fig11_policies()))
+}
+
+/// Figure 11 across `scenes`, submitted through the sweep engine.
+pub fn fig11_sweep(
+    engine: &SweepEngine,
+    scenes: &[SceneId],
+    cfg: &ExperimentConfig,
+) -> Vec<CellResult<Fig11Data>> {
+    engine.run_grid(scenes, cfg, &fig11_policies(), fig11_from_reports)
 }
 
 /// Figure 12: grouping underpopulated treelet queues.
@@ -324,27 +457,40 @@ impl Fig12Row {
     }
 }
 
-/// Sweeps the §4.4 queue thresholds; repacking disabled throughout so the
-/// grouping effect is isolated, as in the paper's figure.
+/// The policy cells Figure 12 runs per scene: baseline, naive queues,
+/// then grouping at each queue threshold (repacking disabled throughout
+/// so the grouping effect is isolated, as in the paper's figure).
+pub fn fig12_policies(thresholds: &[usize]) -> Vec<TraversalPolicy> {
+    let mut policies = vec![TraversalPolicy::Baseline, TraversalPolicy::Vtq(naive_params())];
+    policies.extend(thresholds.iter().map(|&t| TraversalPolicy::Vtq(grouped_params(t))));
+    policies
+}
+
+/// Assembles a Figure 12 row from [`fig12_policies`]-ordered reports.
+pub fn fig12_from_reports(scene: SceneId, thresholds: &[usize], reports: &[SimReport]) -> Fig12Row {
+    Fig12Row {
+        scene,
+        baseline_cycles: reports[0].stats.cycles,
+        naive_cycles: reports[1].stats.cycles,
+        grouped: thresholds.iter().zip(&reports[2..]).map(|(&t, r)| (t, r.stats.cycles)).collect(),
+    }
+}
+
+/// Sweeps the §4.4 queue thresholds.
 pub fn fig12(p: &Prepared, thresholds: &[usize]) -> Fig12Row {
-    let baseline_cycles = p.run_policy(TraversalPolicy::Baseline).stats.cycles;
-    let naive = p.run_vtq(VtqParams {
-        group_underpopulated: false,
-        repack_threshold: 0,
-        ..Default::default()
-    });
-    let grouped = thresholds
-        .iter()
-        .map(|&t| {
-            let r = p.run_vtq(VtqParams {
-                queue_threshold: t,
-                repack_threshold: 0,
-                ..Default::default()
-            });
-            (t, r.stats.cycles)
-        })
-        .collect();
-    Fig12Row { scene: p.id, baseline_cycles, naive_cycles: naive.stats.cycles, grouped }
+    fig12_from_reports(p.id, thresholds, &run_policies(p, &fig12_policies(thresholds)))
+}
+
+/// Figure 12 across `scenes`, submitted through the sweep engine.
+pub fn fig12_sweep(
+    engine: &SweepEngine,
+    scenes: &[SceneId],
+    cfg: &ExperimentConfig,
+    thresholds: &[usize],
+) -> Vec<CellResult<Fig12Row>> {
+    engine.run_grid(scenes, cfg, &fig12_policies(thresholds), |scene, reports| {
+        fig12_from_reports(scene, thresholds, reports)
+    })
 }
 
 /// Figure 13: warp repacking speedup (a) and SIMT efficiency (b).
@@ -360,23 +506,43 @@ pub struct Fig13Row {
     pub repack: Vec<(usize, u64, f64)>,
 }
 
-/// Sweeps the §4.5 repack thresholds (grouping enabled throughout).
-pub fn fig13(p: &Prepared, thresholds: &[usize]) -> Fig13Row {
-    let base = p.run_policy(TraversalPolicy::Baseline);
-    let none = p.run_vtq(VtqParams { repack_threshold: 0, ..Default::default() });
-    let repack = thresholds
-        .iter()
-        .map(|&t| {
-            let r = p.run_vtq(VtqParams { repack_threshold: t, ..Default::default() });
-            (t, r.stats.cycles, r.stats.simt_efficiency())
-        })
-        .collect();
+/// The policy cells Figure 13 runs per scene: baseline, no-repack VTQ,
+/// then each repack threshold (grouping enabled throughout).
+pub fn fig13_policies(thresholds: &[usize]) -> Vec<TraversalPolicy> {
+    let mut policies = vec![TraversalPolicy::Baseline, TraversalPolicy::Vtq(repack_params(0))];
+    policies.extend(thresholds.iter().map(|&t| TraversalPolicy::Vtq(repack_params(t))));
+    policies
+}
+
+/// Assembles a Figure 13 row from [`fig13_policies`]-ordered reports.
+pub fn fig13_from_reports(scene: SceneId, thresholds: &[usize], reports: &[SimReport]) -> Fig13Row {
     Fig13Row {
-        scene: p.id,
-        baseline: (base.stats.cycles, base.stats.simt_efficiency()),
-        no_repack: (none.stats.cycles, none.stats.simt_efficiency()),
-        repack,
+        scene,
+        baseline: (reports[0].stats.cycles, reports[0].stats.simt_efficiency()),
+        no_repack: (reports[1].stats.cycles, reports[1].stats.simt_efficiency()),
+        repack: thresholds
+            .iter()
+            .zip(&reports[2..])
+            .map(|(&t, r)| (t, r.stats.cycles, r.stats.simt_efficiency()))
+            .collect(),
     }
+}
+
+/// Sweeps the §4.5 repack thresholds.
+pub fn fig13(p: &Prepared, thresholds: &[usize]) -> Fig13Row {
+    fig13_from_reports(p.id, thresholds, &run_policies(p, &fig13_policies(thresholds)))
+}
+
+/// Figure 13 across `scenes`, submitted through the sweep engine.
+pub fn fig13_sweep(
+    engine: &SweepEngine,
+    scenes: &[SceneId],
+    cfg: &ExperimentConfig,
+    thresholds: &[usize],
+) -> Vec<CellResult<Fig13Row>> {
+    engine.run_grid(scenes, cfg, &fig13_policies(thresholds), |scene, reports| {
+        fig13_from_reports(scene, thresholds, reports)
+    })
 }
 
 /// Figures 14 & 15: per-mode cycle and intersection-test breakdowns of the
@@ -391,15 +557,21 @@ pub struct ModeBreakdownRow {
     pub isect_fractions: [f64; 3],
 }
 
-/// Extracts Figures 14/15 from one VTQ run.
-pub fn fig14_15(p: &Prepared) -> ModeBreakdownRow {
-    let r = p.run_vtq(VtqParams::default());
+/// The policy cells Figures 14/15 run per scene: the full VTQ design.
+pub fn fig14_15_policies() -> Vec<TraversalPolicy> {
+    vec![TraversalPolicy::Vtq(VtqParams::default())]
+}
+
+/// Assembles a Figures 14/15 row from [`fig14_15_policies`]-ordered
+/// reports.
+pub fn fig14_15_from_reports(scene: SceneId, reports: &[SimReport]) -> ModeBreakdownRow {
+    let r = &reports[0];
     let cycles: Vec<u64> = TraversalMode::ALL.iter().map(|m| r.stats.cycles_in(*m)).collect();
     let isect: Vec<u64> = TraversalMode::ALL.iter().map(|m| r.stats.isect_in(*m)).collect();
     let ct: u64 = cycles.iter().sum::<u64>().max(1);
     let it: u64 = isect.iter().sum::<u64>().max(1);
     ModeBreakdownRow {
-        scene: p.id,
+        scene,
         cycle_fractions: [
             cycles[0] as f64 / ct as f64,
             cycles[1] as f64 / ct as f64,
@@ -411,6 +583,20 @@ pub fn fig14_15(p: &Prepared) -> ModeBreakdownRow {
             isect[2] as f64 / it as f64,
         ],
     }
+}
+
+/// Extracts Figures 14/15 from one VTQ run.
+pub fn fig14_15(p: &Prepared) -> ModeBreakdownRow {
+    fig14_15_from_reports(p.id, &run_policies(p, &fig14_15_policies()))
+}
+
+/// Figures 14/15 across `scenes`, submitted through the sweep engine.
+pub fn fig14_15_sweep(
+    engine: &SweepEngine,
+    scenes: &[SceneId],
+    cfg: &ExperimentConfig,
+) -> Vec<CellResult<ModeBreakdownRow>> {
+    engine.run_grid(scenes, cfg, &fig14_15_policies(), fig14_15_from_reports)
 }
 
 /// Figure 16: ray virtualization overhead.
@@ -432,11 +618,35 @@ impl Fig16Row {
     }
 }
 
+/// The policy cells Figure 16 runs per scene: VTQ charged, then free.
+pub fn fig16_policies() -> Vec<TraversalPolicy> {
+    vec![
+        TraversalPolicy::Vtq(VtqParams::default()),
+        TraversalPolicy::Vtq(free_virtualization_params()),
+    ]
+}
+
+/// Assembles a Figure 16 row from [`fig16_policies`]-ordered reports.
+pub fn fig16_from_reports(scene: SceneId, reports: &[SimReport]) -> Fig16Row {
+    Fig16Row {
+        scene,
+        charged_cycles: reports[0].stats.cycles,
+        free_cycles: reports[1].stats.cycles,
+    }
+}
+
 /// Runs VTQ with and without charging virtualization state movement.
 pub fn fig16(p: &Prepared) -> Fig16Row {
-    let charged = p.run_vtq(VtqParams::default());
-    let free = p.run_vtq(VtqParams { charge_virtualization: false, ..Default::default() });
-    Fig16Row { scene: p.id, charged_cycles: charged.stats.cycles, free_cycles: free.stats.cycles }
+    fig16_from_reports(p.id, &run_policies(p, &fig16_policies()))
+}
+
+/// Figure 16 across `scenes`, submitted through the sweep engine.
+pub fn fig16_sweep(
+    engine: &SweepEngine,
+    scenes: &[SceneId],
+    cfg: &ExperimentConfig,
+) -> Vec<CellResult<Fig16Row>> {
+    engine.run_grid(scenes, cfg, &fig16_policies(), fig16_from_reports)
 }
 
 /// Figure 17: energy of baseline vs treelet queues ± virtualization.
@@ -454,18 +664,38 @@ pub struct Fig17Row {
     pub virtualization_fraction: f64,
 }
 
+/// The policy cells Figure 17 runs per scene: baseline, VTQ, free VTQ.
+pub fn fig17_policies() -> Vec<TraversalPolicy> {
+    vec![
+        TraversalPolicy::Baseline,
+        TraversalPolicy::Vtq(VtqParams::default()),
+        TraversalPolicy::Vtq(free_virtualization_params()),
+    ]
+}
+
+/// Assembles a Figure 17 row from [`fig17_policies`]-ordered reports.
+pub fn fig17_from_reports(scene: SceneId, reports: &[SimReport]) -> Fig17Row {
+    Fig17Row {
+        scene,
+        baseline_pj: reports[0].energy.total_pj(),
+        vtq_pj: reports[1].energy.total_pj(),
+        vtq_free_pj: reports[2].energy.total_pj(),
+        virtualization_fraction: reports[1].energy.virtualization_fraction(),
+    }
+}
+
 /// Runs the energy comparison.
 pub fn fig17(p: &Prepared) -> Fig17Row {
-    let base = p.run_policy(TraversalPolicy::Baseline);
-    let vtq = p.run_vtq(VtqParams::default());
-    let free = p.run_vtq(VtqParams { charge_virtualization: false, ..Default::default() });
-    Fig17Row {
-        scene: p.id,
-        baseline_pj: base.energy.total_pj(),
-        vtq_pj: vtq.energy.total_pj(),
-        vtq_free_pj: free.energy.total_pj(),
-        virtualization_fraction: vtq.energy.virtualization_fraction(),
-    }
+    fig17_from_reports(p.id, &run_policies(p, &fig17_policies()))
+}
+
+/// Figure 17 across `scenes`, submitted through the sweep engine.
+pub fn fig17_sweep(
+    engine: &SweepEngine,
+    scenes: &[SceneId],
+    cfg: &ExperimentConfig,
+) -> Vec<CellResult<Fig17Row>> {
+    engine.run_grid(scenes, cfg, &fig17_policies(), fig17_from_reports)
 }
 
 /// Table 2 row: scene statistics, ours vs the paper's.
@@ -494,6 +724,19 @@ pub fn table2(id: SceneId, cfg: &ExperimentConfig) -> Table2Row {
         paper_triangles: id.paper_triangles(),
         paper_bvh_mb: id.paper_bvh_mb(),
     }
+}
+
+/// Table 2 across `scenes` through the sweep engine. Scene + BVH builds
+/// only — no workload, no simulation — so this bypasses the prepared
+/// cache and runs plain pool tasks.
+pub fn table2_sweep(
+    engine: &SweepEngine,
+    scenes: &[SceneId],
+    cfg: &ExperimentConfig,
+) -> Vec<CellResult<Table2Row>> {
+    engine.run_tasks(
+        scenes.iter().map(|&id| (id.name().to_string(), move || table2(id, cfg))).collect(),
+    )
 }
 
 #[cfg(test)]

@@ -21,7 +21,10 @@
 //! * [`reorder`] — the §7.2.1 ray-reordering comparison (first-hit Morton
 //!   sorting à la Moon et al.),
 //! * [`experiment`] — one runner per paper table/figure, returning typed
-//!   rows that the `vtq-bench` binaries print.
+//!   rows that the `vtq-bench` CLI prints,
+//! * [`sweep`] — the parallel sweep engine: declarative run matrices on a
+//!   work-stealing pool with prepared-scene caching and deterministic,
+//!   matrix-ordered results.
 //!
 //! # Quick start
 //!
@@ -44,20 +47,27 @@ pub mod area;
 pub mod experiment;
 pub mod general;
 pub mod reorder;
+pub mod sweep;
 pub mod workload;
 
 pub use experiment::{ExperimentConfig, Prepared};
+pub use sweep::{PreparedCache, RunMatrix, SweepEngine};
 
 /// One-stop imports for examples and benches.
 pub mod prelude {
     pub use crate::analytical::{analytical_speedups, RayTrace};
     pub use crate::area::AreaModel;
     pub use crate::experiment::{aggregate_stats, export_run, ExperimentConfig, Prepared};
+    pub use crate::sweep::{
+        config_fingerprint, default_jobs, Cell, CellError, CellResult, PreparedCache, RunMatrix,
+        SweepEngine,
+    };
     pub use crate::workload::{Image, PathTracer};
     pub use gpumem::AccessKind;
     pub use gpusim::{
-        CountingSink, GpuConfig, RingSink, SimReport, SimStats, Simulator, StallBreakdown,
-        StallKind, TraceEvent, TraceSink, TraversalMode, TraversalPolicy, VtqParams, Workload,
+        ConfigError, CountingSink, GpuConfig, GpuConfigBuilder, RingSink, SimReport, SimStats,
+        Simulator, StallBreakdown, StallKind, TraceEvent, TraceSink, TraversalMode,
+        TraversalPolicy, VtqParams, VtqParamsBuilder, Workload,
     };
     pub use rtbvh::{Bvh, BvhConfig};
     pub use rtscene::lumibench::{self, SceneId};

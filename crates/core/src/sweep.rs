@@ -1,0 +1,557 @@
+//! Parallel sweep engine: a declarative run matrix executed on a
+//! work-stealing thread pool with prepared-scene caching.
+//!
+//! The paper's evaluation is an embarrassingly parallel run matrix —
+//! every figure simulates scene × policy cells that share nothing but the
+//! prepared scene (geometry, BVH, workload). This module turns that shape
+//! into an API:
+//!
+//! * [`RunMatrix`] declares the cells (scene × [`TraversalPolicy`] ×
+//!   config overrides) of one experiment,
+//! * [`PreparedCache`] memoizes [`Prepared::build`] per
+//!   `(SceneId, config fingerprint)` so each scene is built **once per
+//!   process** no matter how many figures touch it,
+//! * [`SweepEngine`] executes the matrix on a hand-rolled work-stealing
+//!   pool over [`std::thread::scope`] (no dependencies), sized by
+//!   [`std::thread::available_parallelism`] unless overridden.
+//!
+//! # Determinism contract
+//!
+//! Results are collected **in matrix order** regardless of execution
+//! interleaving: cell `i`'s result is always at index `i` of the returned
+//! vector. Simulation itself is single-threaded per cell and seeded, so a
+//! sweep at `--jobs N` is bit-identical to `--jobs 1` — same cycle counts,
+//! same stall buckets, same exported bytes. Only *stderr* progress lines
+//! may interleave differently.
+//!
+//! # Failure isolation
+//!
+//! A cell that panics is caught ([`std::panic::catch_unwind`]) and
+//! surfaced as a [`CellError`] carrying the cell index, label and panic
+//! payload; the remaining cells still run to completion.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::fmt;
+use std::hash::Hasher as _;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use gpusim::{SimReport, TraversalPolicy};
+use rtscene::lumibench::SceneId;
+
+use crate::experiment::{ExperimentConfig, Prepared};
+
+/// A cached build slot: one lazily-initialized prepared scene that
+/// concurrent requesters block on instead of duplicating.
+type PreparedSlot = Arc<OnceLock<Arc<Prepared>>>;
+
+/// A boxed pool task (label shown in errors lives alongside it).
+type Task<'t, T> = Box<dyn FnOnce() -> T + Send + 't>;
+
+// ---------------------------------------------------------------------------
+// Config fingerprinting & the prepared-scene cache
+// ---------------------------------------------------------------------------
+
+/// Fingerprints everything about an [`ExperimentConfig`] that affects
+/// [`Prepared::build`]: scene detail, resolution, bounces, BVH and GPU
+/// parameters. The traversal *policy* is deliberately normalized out —
+/// [`Prepared::run_policy`] overrides it per run, so cells that differ
+/// only in policy share one prepared scene.
+pub fn config_fingerprint(cfg: &ExperimentConfig) -> u64 {
+    let mut canonical = *cfg;
+    canonical.gpu.policy = TraversalPolicy::Baseline;
+    // FNV-1a over the derived Debug rendering: every field of the config
+    // tree is plain data with a faithful Debug impl, and the fingerprint
+    // only has to be stable within one process.
+    let mut hash = Fnv1a::default();
+    hash.write(format!("{canonical:?}").as_bytes());
+    hash.finish()
+}
+
+#[derive(Debug)]
+struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Fnv1a {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl std::hash::Hasher for Fnv1a {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Memoizes [`Prepared::build`] per `(SceneId, config fingerprint)`.
+///
+/// Concurrent requests for the same key block on one build (via
+/// [`OnceLock`]) instead of duplicating it; requests for different keys
+/// build in parallel. The cache holds [`Arc`]s, so entries stay alive for
+/// the whole process and later figures get them for free.
+#[derive(Debug, Default)]
+pub struct PreparedCache {
+    slots: Mutex<HashMap<(SceneId, u64), PreparedSlot>>,
+    builds: AtomicUsize,
+}
+
+impl PreparedCache {
+    /// An empty cache.
+    pub fn new() -> PreparedCache {
+        PreparedCache::default()
+    }
+
+    /// Returns the prepared scene for `(id, cfg)`, building it on first
+    /// use. Prints a `[prepare]` progress line to stderr on an actual
+    /// build (never on a cache hit).
+    pub fn get(&self, id: SceneId, cfg: &ExperimentConfig) -> Arc<Prepared> {
+        let key = (id, config_fingerprint(cfg));
+        let slot = {
+            let mut slots = self.slots.lock().expect("prepared cache poisoned");
+            Arc::clone(slots.entry(key).or_default())
+        };
+        Arc::clone(slot.get_or_init(|| {
+            self.builds.fetch_add(1, Ordering::Relaxed);
+            eprintln!(
+                "[prepare] {id} (detail 1/{}, {}x{} @ {} bounces)",
+                cfg.detail_divisor, cfg.resolution, cfg.resolution, cfg.max_bounces
+            );
+            Arc::new(Prepared::build(id, cfg))
+        }))
+    }
+
+    /// How many scenes were actually built (cache misses).
+    pub fn builds(&self) -> usize {
+        self.builds.load(Ordering::Relaxed)
+    }
+
+    /// How many distinct `(scene, config)` keys the cache has seen.
+    pub fn len(&self) -> usize {
+        self.slots.lock().expect("prepared cache poisoned").len()
+    }
+
+    /// Whether the cache is untouched.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The run matrix
+// ---------------------------------------------------------------------------
+
+/// One simulation cell: a scene, the full experiment configuration
+/// (carrying any GPU/BVH overrides) and the traversal policy to run.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Scene to simulate.
+    pub scene: SceneId,
+    /// Configuration (GPU overrides ride in `config.gpu`, including
+    /// [`gpusim::VtqParams`] inside a [`TraversalPolicy::Vtq`]).
+    pub config: ExperimentConfig,
+    /// Traversal architecture for this cell.
+    pub policy: TraversalPolicy,
+    /// Human-readable label, used in errors and progress output.
+    pub label: String,
+}
+
+/// A declarative matrix of simulation cells. Cell indices are stable:
+/// the engine returns results in exactly this order.
+#[derive(Debug, Clone, Default)]
+pub struct RunMatrix {
+    cells: Vec<Cell>,
+}
+
+impl RunMatrix {
+    /// An empty matrix.
+    pub fn new() -> RunMatrix {
+        RunMatrix::default()
+    }
+
+    /// Appends a cell; returns its stable index.
+    pub fn push(&mut self, cell: Cell) -> usize {
+        self.cells.push(cell);
+        self.cells.len() - 1
+    }
+
+    /// Appends a `(scene, config, policy)` cell with a `scene/policy`
+    /// label; returns its stable index.
+    pub fn add(
+        &mut self,
+        scene: SceneId,
+        config: &ExperimentConfig,
+        policy: TraversalPolicy,
+    ) -> usize {
+        let label = format!("{}/{}", scene.name(), policy.label());
+        self.push(Cell { scene, config: *config, policy, label })
+    }
+
+    /// Appends the full cross product `scenes × policies` under one
+    /// configuration (scene-major order, matching row-major result
+    /// grouping).
+    pub fn cross(
+        &mut self,
+        scenes: &[SceneId],
+        config: &ExperimentConfig,
+        policies: &[TraversalPolicy],
+    ) {
+        for &scene in scenes {
+            for &policy in policies {
+                self.add(scene, config, policy);
+            }
+        }
+    }
+
+    /// The cells, in index order.
+    pub fn cells(&self) -> &[Cell] {
+        &self.cells
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the matrix has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cell errors
+// ---------------------------------------------------------------------------
+
+/// A cell that panicked, surfaced as data instead of killing the sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellError {
+    /// Stable index of the failed cell in its matrix / task list.
+    pub index: usize,
+    /// The cell's label.
+    pub label: String,
+    /// The panic payload (stringified).
+    pub message: String,
+}
+
+impl fmt::Display for CellError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cell {} ({}) panicked: {}", self.index, self.label, self.message)
+    }
+}
+
+impl std::error::Error for CellError {}
+
+/// Per-cell outcome of a sweep.
+pub type CellResult<T> = Result<T, CellError>;
+
+fn payload_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The engine
+// ---------------------------------------------------------------------------
+
+/// The default worker count: one per available hardware thread.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
+}
+
+/// Executes [`RunMatrix`]es on a work-stealing pool with a shared
+/// [`PreparedCache`].
+///
+/// Cloning the engine shares the cache, so one engine per process is the
+/// intended shape: every figure submitted through it reuses the scenes
+/// earlier figures prepared.
+#[derive(Debug, Clone)]
+pub struct SweepEngine {
+    jobs: usize,
+    cache: Arc<PreparedCache>,
+}
+
+impl Default for SweepEngine {
+    fn default() -> SweepEngine {
+        SweepEngine::new(0)
+    }
+}
+
+impl SweepEngine {
+    /// An engine with `jobs` workers (`0` = [`default_jobs`]) and a fresh
+    /// cache.
+    pub fn new(jobs: usize) -> SweepEngine {
+        SweepEngine::with_cache(jobs, Arc::new(PreparedCache::new()))
+    }
+
+    /// An engine sharing an existing cache.
+    pub fn with_cache(jobs: usize, cache: Arc<PreparedCache>) -> SweepEngine {
+        SweepEngine { jobs: if jobs == 0 { default_jobs() } else { jobs }, cache }
+    }
+
+    /// The resolved worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// The shared prepared-scene cache.
+    pub fn cache(&self) -> &Arc<PreparedCache> {
+        &self.cache
+    }
+
+    /// Runs every cell of `matrix` — `Prepared` from the cache, then
+    /// [`Prepared::run_policy`] under the cell's policy — and returns the
+    /// reports in matrix order.
+    pub fn run(&self, matrix: &RunMatrix) -> Vec<CellResult<SimReport>> {
+        self.run_map(matrix, |cell, prepared| prepared.run_policy(cell.policy))
+    }
+
+    /// Runs `f(cell, prepared)` for every cell of `matrix` on the pool;
+    /// results come back in matrix order. The closure observes the cell's
+    /// cached [`Prepared`]; use this when a figure needs more than a
+    /// [`SimReport`] (traces, time series, custom derived rows).
+    pub fn run_map<T, F>(&self, matrix: &RunMatrix, f: F) -> Vec<CellResult<T>>
+    where
+        T: Send,
+        F: Fn(&Cell, &Prepared) -> T + Sync,
+    {
+        let cache = &self.cache;
+        let f = &f;
+        let tasks: Vec<(String, Box<dyn FnOnce() -> T + Send + '_>)> = matrix
+            .cells()
+            .iter()
+            .map(|cell| {
+                let label = cell.label.clone();
+                let task = Box::new(move || {
+                    let prepared = cache.get(cell.scene, &cell.config);
+                    f(cell, &prepared)
+                }) as Box<dyn FnOnce() -> T + Send + '_>;
+                (label, task)
+            })
+            .collect();
+        self.execute(tasks)
+    }
+
+    /// Runs one task per scene (one cache entry each, no policy) — the
+    /// shape of figures that derive everything from the prepared scene
+    /// itself rather than a simulation run.
+    pub fn run_scenes<T, F>(
+        &self,
+        scenes: &[SceneId],
+        config: &ExperimentConfig,
+        f: F,
+    ) -> Vec<CellResult<T>>
+    where
+        T: Send,
+        F: Fn(&Prepared) -> T + Sync,
+    {
+        let mut matrix = RunMatrix::new();
+        for &scene in scenes {
+            matrix.push(Cell {
+                scene,
+                config: *config,
+                policy: TraversalPolicy::Baseline,
+                label: scene.name().to_string(),
+            });
+        }
+        self.run_map(&matrix, |_, prepared| f(prepared))
+    }
+
+    /// Runs arbitrary labelled closures on the pool; results in input
+    /// order. The lowest-level entry point — no cache involvement.
+    pub fn run_tasks<T, F>(&self, tasks: Vec<(String, F)>) -> Vec<CellResult<T>>
+    where
+        T: Send,
+        F: FnOnce() -> T + Send,
+    {
+        self.execute(
+            tasks
+                .into_iter()
+                .map(|(label, f)| (label, Box::new(f) as Box<dyn FnOnce() -> T + Send + '_>))
+                .collect(),
+        )
+    }
+
+    /// Runs a scene-major grid — `policies.len()` cells per scene under
+    /// one configuration — and assembles one row per scene from its
+    /// reports (in `policies` order). A scene with any failed cell yields
+    /// that cell's error instead of a row.
+    pub fn run_grid<R>(
+        &self,
+        scenes: &[SceneId],
+        config: &ExperimentConfig,
+        policies: &[TraversalPolicy],
+        assemble: impl Fn(SceneId, &[SimReport]) -> R,
+    ) -> Vec<CellResult<R>> {
+        let mut matrix = RunMatrix::new();
+        matrix.cross(scenes, config, policies);
+        let mut results = self.run(&matrix).into_iter();
+        scenes
+            .iter()
+            .map(|&scene| {
+                let mut reports = Vec::with_capacity(policies.len());
+                let mut failure = None;
+                for _ in policies {
+                    match results.next().expect("grid result count") {
+                        Ok(report) => reports.push(report),
+                        Err(e) => failure = failure.or(Some(e)),
+                    }
+                }
+                match failure {
+                    Some(e) => Err(e),
+                    None => Ok(assemble(scene, &reports)),
+                }
+            })
+            .collect()
+    }
+
+    /// The pool: per-worker deques plus stealing. Task `i`'s outcome lands
+    /// at index `i` whatever the interleaving; panics become [`CellError`]s.
+    fn execute<'t, T: Send>(&self, tasks: Vec<(String, Task<'t, T>)>) -> Vec<CellResult<T>> {
+        let n = tasks.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut labels = Vec::with_capacity(n);
+        let mut slots: Vec<Mutex<Option<Task<'t, T>>>> = Vec::with_capacity(n);
+        for (label, task) in tasks {
+            labels.push(label);
+            slots.push(Mutex::new(Some(task)));
+        }
+        let run_one = |index: usize| -> CellResult<T> {
+            let task = slots[index]
+                .lock()
+                .expect("task slot poisoned")
+                .take()
+                .expect("task executed twice");
+            panic::catch_unwind(AssertUnwindSafe(task)).map_err(|payload| CellError {
+                index,
+                label: labels[index].clone(),
+                message: payload_message(payload),
+            })
+        };
+
+        let workers = self.jobs.min(n).max(1);
+        if workers == 1 {
+            return (0..n).map(run_one).collect();
+        }
+
+        // Round-robin deal into per-worker deques; workers pop their own
+        // front (preserving rough submission order) and steal from the
+        // back of the busiest remaining queue when empty. No task creates
+        // new tasks, so "all deques empty" is a safe exit condition.
+        let queues: Vec<Mutex<VecDeque<usize>>> =
+            (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+        for index in 0..n {
+            queues[index % workers].lock().expect("queue poisoned").push_back(index);
+        }
+        let results: Vec<Mutex<Option<CellResult<T>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+        std::thread::scope(|scope| {
+            for me in 0..workers {
+                let queues = &queues;
+                let results = &results;
+                let run_one = &run_one;
+                scope.spawn(move || loop {
+                    let mine = queues[me].lock().expect("queue poisoned").pop_front();
+                    let index = match mine {
+                        Some(index) => index,
+                        None => {
+                            // Steal from the longest victim queue.
+                            let victim = (0..queues.len())
+                                .filter(|&v| v != me)
+                                .max_by_key(|&v| queues[v].lock().expect("queue poisoned").len());
+                            match victim
+                                .and_then(|v| queues[v].lock().expect("queue poisoned").pop_back())
+                            {
+                                Some(index) => index,
+                                None => return,
+                            }
+                        }
+                    };
+                    *results[index].lock().expect("result slot poisoned") = Some(run_one(index));
+                });
+            }
+        });
+
+        results
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner().expect("result slot poisoned").expect("task never executed")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_ignores_policy_only() {
+        let cfg = ExperimentConfig::quick();
+        let mut vtq = cfg;
+        vtq.gpu.policy = TraversalPolicy::Vtq(gpusim::VtqParams::default());
+        assert_eq!(config_fingerprint(&cfg), config_fingerprint(&vtq));
+        let mut other = cfg;
+        other.resolution += 1;
+        assert_ne!(config_fingerprint(&cfg), config_fingerprint(&other));
+    }
+
+    #[test]
+    fn matrix_indices_are_stable() {
+        let cfg = ExperimentConfig::quick();
+        let mut m = RunMatrix::new();
+        assert_eq!(m.add(SceneId::Ref, &cfg, TraversalPolicy::Baseline), 0);
+        assert_eq!(m.add(SceneId::Ref, &cfg, TraversalPolicy::TreeletPrefetch), 1);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.cells()[1].label, "REF/prefetch");
+    }
+
+    #[test]
+    fn tasks_return_in_submission_order() {
+        let engine = SweepEngine::new(8);
+        let tasks: Vec<(String, _)> = (0..100).map(|i| (format!("t{i}"), move || i * 2)).collect();
+        let out = engine.run_tasks(tasks);
+        for (i, r) in out.iter().enumerate() {
+            assert_eq!(*r.as_ref().unwrap(), i * 2);
+        }
+    }
+
+    #[test]
+    fn panicking_task_is_isolated() {
+        let engine = SweepEngine::new(4);
+        let tasks: Vec<(String, Box<dyn FnOnce() -> usize + Send>)> = vec![
+            ("ok0".into(), Box::new(|| 0)),
+            ("boom".into(), Box::new(|| panic!("poisoned cell"))),
+            ("ok2".into(), Box::new(|| 2)),
+        ];
+        let out = engine.run_tasks(tasks);
+        assert_eq!(*out[0].as_ref().unwrap(), 0);
+        let err = out[1].as_ref().unwrap_err();
+        assert_eq!(err.index, 1);
+        assert_eq!(err.label, "boom");
+        assert!(err.message.contains("poisoned cell"), "got: {}", err.message);
+        assert_eq!(*out[2].as_ref().unwrap(), 2);
+    }
+
+    #[test]
+    fn zero_jobs_resolves_to_available_parallelism() {
+        let engine = SweepEngine::new(0);
+        assert!(engine.jobs() >= 1);
+        assert_eq!(engine.jobs(), default_jobs());
+    }
+}

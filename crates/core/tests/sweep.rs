@@ -1,0 +1,137 @@
+//! Integration tests of the parallel sweep engine's contracts:
+//!
+//! * **Determinism** — a sweep on N workers is bit-identical to the same
+//!   sweep on 1 worker: cycle counts, stall buckets, and the exported
+//!   JSONL/CSV artifacts all match byte for byte.
+//! * **Prepared caching** — a multi-figure run builds each scene exactly
+//!   once, however many policy cells reference it.
+//! * **Panic isolation** — a panicking cell surfaces as a per-cell error
+//!   at its stable index; every other cell still completes.
+
+use std::fs;
+use std::path::PathBuf;
+
+use vtq::experiment::{self, export_run, ExperimentConfig};
+use vtq::prelude::*;
+
+fn cfg() -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::quick();
+    cfg.resolution = 48;
+    cfg
+}
+
+const SCENES: [SceneId; 2] = [SceneId::Lands, SceneId::Wknd];
+
+/// Runs the scene × policy grid on `jobs` workers and exports every
+/// report's artifacts (in matrix order) to a fresh directory.
+fn run_and_export(jobs: usize, dir: &PathBuf) -> Vec<gpusim::SimReport> {
+    let engine = SweepEngine::new(jobs);
+    let mut matrix = RunMatrix::new();
+    matrix.cross(
+        &SCENES,
+        &cfg(),
+        &[TraversalPolicy::Baseline, TraversalPolicy::Vtq(VtqParams::default())],
+    );
+    let reports: Vec<gpusim::SimReport> =
+        engine.run(&matrix).into_iter().map(|r| r.expect("no cell should fail")).collect();
+    let _ = fs::remove_dir_all(dir);
+    for (cell, report) in matrix.cells().iter().zip(&reports) {
+        export_run(dir, &cell.label, report).expect("export");
+    }
+    reports
+}
+
+#[test]
+fn sweep_is_bit_identical_across_job_counts() {
+    let dir1 = std::env::temp_dir().join(format!("vtq-sweep-det-j1-{}", std::process::id()));
+    let dir4 = std::env::temp_dir().join(format!("vtq-sweep-det-j4-{}", std::process::id()));
+    let serial = run_and_export(1, &dir1);
+    let parallel = run_and_export(4, &dir4);
+
+    // Simulation results match cell for cell.
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(s.stats.cycles, p.stats.cycles);
+        assert_eq!(s.stats.stall, p.stats.stall);
+        assert_eq!(s.hits, p.hits);
+    }
+
+    // Exported artifacts (stall CSVs, series CSVs, metrics.jsonl — the
+    // JSONL line order depends only on matrix order) match byte for byte.
+    let mut names: Vec<String> = fs::read_dir(&dir1)
+        .expect("read export dir")
+        .map(|e| e.expect("dir entry").file_name().into_string().expect("utf-8 name"))
+        .collect();
+    names.sort();
+    assert!(names.contains(&"metrics.jsonl".to_string()));
+    assert!(names.len() > 1, "expected per-run artifacts, got {names:?}");
+    for name in &names {
+        let a = fs::read(dir1.join(name)).expect("read jobs=1 artifact");
+        let b = fs::read(dir4.join(name)).expect("read jobs=4 artifact");
+        assert_eq!(a, b, "artifact {name} differs between --jobs 1 and --jobs 4");
+    }
+
+    let _ = fs::remove_dir_all(&dir1);
+    let _ = fs::remove_dir_all(&dir4);
+}
+
+#[test]
+fn typed_sweeps_match_serial_figures() {
+    let engine = SweepEngine::new(4);
+    let cfg = cfg();
+    let rows = experiment::fig10_sweep(&engine, &SCENES, &cfg);
+    assert_eq!(rows.len(), SCENES.len());
+    for (id, row) in SCENES.iter().zip(rows) {
+        let row = row.expect("cell ok");
+        let serial = experiment::fig10(&Prepared::build(*id, &cfg));
+        assert_eq!(row, serial, "parallel and serial fig10 disagree for {id}");
+    }
+}
+
+#[test]
+fn prepared_cache_builds_each_scene_once() {
+    let engine = SweepEngine::new(4);
+    let cfg = cfg();
+
+    // Two figures' worth of cells per scene: fig10 (3 policies) then
+    // fig16 (2 policies) — five cells per scene, one build per scene.
+    let r10 = experiment::fig10_sweep(&engine, &SCENES, &cfg);
+    let r16 = experiment::fig16_sweep(&engine, &SCENES, &cfg);
+    assert!(r10.iter().all(|r| r.is_ok()));
+    assert!(r16.iter().all(|r| r.is_ok()));
+    assert_eq!(
+        engine.cache().builds(),
+        SCENES.len(),
+        "every policy cell must reuse the one prepared build per scene"
+    );
+    assert_eq!(engine.cache().len(), SCENES.len());
+}
+
+#[test]
+fn panicking_cell_is_isolated() {
+    let engine = SweepEngine::new(4);
+    let tasks: Vec<(String, Box<dyn FnOnce() -> usize + Send>)> = (0..8)
+        .map(|i| {
+            let label = format!("task-{i}");
+            let task: Box<dyn FnOnce() -> usize + Send> = if i == 3 {
+                Box::new(|| panic!("cell 3 exploded"))
+            } else {
+                Box::new(move || i * 10)
+            };
+            (label, task)
+        })
+        .collect();
+    let results = engine.run_tasks(tasks);
+
+    assert_eq!(results.len(), 8);
+    for (i, result) in results.iter().enumerate() {
+        if i == 3 {
+            let err = result.as_ref().expect_err("cell 3 must fail");
+            assert_eq!(err.index, 3);
+            assert_eq!(err.label, "task-3");
+            assert!(err.message.contains("cell 3 exploded"), "got: {}", err.message);
+        } else {
+            assert_eq!(*result.as_ref().expect("other cells unaffected"), i * 10);
+        }
+    }
+}

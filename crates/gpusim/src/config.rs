@@ -1,4 +1,26 @@
+use std::fmt;
+
 use gpumem::MemConfig;
+
+/// An inconsistent configuration rejected at construction time by
+/// [`GpuConfigBuilder::build`] / [`VtqParamsBuilder::build`], instead of
+/// surfacing as a hang or a bogus result mid-simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError(String);
+
+impl ConfigError {
+    fn new(msg: impl Into<String>) -> ConfigError {
+        ConfigError(msg.into())
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid configuration: {}", self.0)
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Parameters of the virtualized-treelet-queue policy (paper §3–§4).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -50,6 +72,118 @@ impl Default for VtqParams {
             count_table_entries: 600,
             queue_table_entries: 128,
         }
+    }
+}
+
+impl VtqParams {
+    /// A validating builder starting from the paper's defaults.
+    pub fn builder() -> VtqParamsBuilder {
+        VtqParamsBuilder { params: VtqParams::default() }
+    }
+
+    /// Checks internal consistency; [`VtqParamsBuilder::build`] calls this,
+    /// and [`GpuConfigBuilder::build`] re-checks it (plus cross-field
+    /// rules) for hand-rolled parameter structs.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.max_virtual_rays == 0 {
+            return Err(ConfigError::new("max_virtual_rays must be at least 1"));
+        }
+        if self.queue_threshold == 0 {
+            return Err(ConfigError::new(
+                "queue_threshold must be at least 1 ray (0 can never dispatch a queue)",
+            ));
+        }
+        if self.queue_threshold > self.max_virtual_rays {
+            return Err(ConfigError::new(format!(
+                "queue_threshold ({}) exceeds the virtual-ray capacity ({}): no queue could \
+                 ever reach the dispatch threshold",
+                self.queue_threshold, self.max_virtual_rays
+            )));
+        }
+        if self.count_table_entries == 0 {
+            return Err(ConfigError::new("count_table_entries must be at least 1"));
+        }
+        if self.queue_table_entries == 0 {
+            return Err(ConfigError::new("queue_table_entries must be at least 1"));
+        }
+        Ok(())
+    }
+}
+
+/// Validating builder for [`VtqParams`]; see [`VtqParams::builder`].
+///
+/// Every setter mirrors the field of the same name; [`VtqParamsBuilder::build`]
+/// rejects inconsistent combinations via [`VtqParams::validate`].
+#[derive(Debug, Clone)]
+pub struct VtqParamsBuilder {
+    params: VtqParams,
+}
+
+impl VtqParamsBuilder {
+    /// Sets the per-SM virtualized-ray capacity.
+    pub fn max_virtual_rays(mut self, rays: usize) -> Self {
+        self.params.max_virtual_rays = rays;
+        self
+    }
+
+    /// Sets the initial-phase divergence trigger (§3.2 ①).
+    pub fn divergence_treelets(mut self, treelets: usize) -> Self {
+        self.params.divergence_treelets = treelets;
+        self
+    }
+
+    /// Sets the treelet-stationary dispatch threshold (§4.4).
+    pub fn queue_threshold(mut self, rays: usize) -> Self {
+        self.params.queue_threshold = rays;
+        self
+    }
+
+    /// Sets the warp-repacking trigger (§4.5); `0` disables repacking.
+    pub fn repack_threshold(mut self, lanes: usize) -> Self {
+        self.params.repack_threshold = lanes;
+        self
+    }
+
+    /// Enables/disables treelet preloading (§4.3).
+    pub fn preload(mut self, on: bool) -> Self {
+        self.params.preload = on;
+        self
+    }
+
+    /// Enables/disables grouping underpopulated queues (§4.4).
+    pub fn group_underpopulated(mut self, on: bool) -> Self {
+        self.params.group_underpopulated = on;
+        self
+    }
+
+    /// Enables/disables charging CTA state save/restore (§4.1).
+    pub fn charge_virtualization(mut self, on: bool) -> Self {
+        self.params.charge_virtualization = on;
+        self
+    }
+
+    /// Sets the treelet count-table capacity (§6.5).
+    pub fn count_table_entries(mut self, entries: usize) -> Self {
+        self.params.count_table_entries = entries;
+        self
+    }
+
+    /// Sets the treelet queue-table capacity (§6.5).
+    pub fn queue_table_entries(mut self, entries: usize) -> Self {
+        self.params.queue_table_entries = entries;
+        self
+    }
+
+    /// Validates and returns the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] for settings that could never simulate
+    /// meaningfully (zero capacities, a queue threshold no queue can
+    /// reach).
+    pub fn build(self) -> Result<VtqParams, ConfigError> {
+        self.params.validate()?;
+        Ok(self.params)
     }
 }
 
@@ -160,6 +294,11 @@ impl Default for GpuConfig {
 }
 
 impl GpuConfig {
+    /// A validating builder starting from the Table 1 defaults.
+    pub fn builder() -> GpuConfigBuilder {
+        GpuConfigBuilder { cfg: GpuConfig::default() }
+    }
+
     /// The scale-model configuration used by the experiment harness: cache
     /// capacities scaled down (L1 16 KB → 4 KB, L2 128 KB → 32 KB) to keep
     /// the BVH-size : cache-size ratio in the paper's regime, since our
@@ -168,10 +307,10 @@ impl GpuConfig {
     /// Treelets should then be built at 2 KB — half the scaled L1, the
     /// same rule as §5. Everything else matches Table 1.
     pub fn scale_model() -> GpuConfig {
-        let mut cfg = GpuConfig::default();
-        cfg.mem.l1.size_bytes = 4 * 1024;
-        cfg.mem.l2.size_bytes = 32 * 1024;
-        cfg
+        GpuConfig::builder()
+            .scale_model()
+            .build()
+            .expect("the scale-model preset is internally consistent")
     }
 
     /// Convenience: same config with a different policy.
@@ -194,6 +333,144 @@ impl GpuConfig {
     pub fn cta_state_bytes(&self) -> u32 {
         let reg_bytes = self.regs_per_thread * 4 * self.cta_size as u32;
         reg_bytes + self.simt_stack_bytes_per_warp * self.warps_per_cta() as u32
+    }
+
+    /// Checks internal consistency; [`GpuConfigBuilder::build`] calls this.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.cta_size == 0 {
+            return Err(ConfigError::new("cta_size of 0 means zero warps per CTA"));
+        }
+        if self.warp_size == 0 {
+            return Err(ConfigError::new("warp_size must be at least 1"));
+        }
+        if self.max_ctas_per_sm == 0 {
+            return Err(ConfigError::new("max_ctas_per_sm must be at least 1"));
+        }
+        if self.warp_buffer_slots == 0 {
+            return Err(ConfigError::new("warp_buffer_slots must be at least 1"));
+        }
+        if self.mem.num_sms == 0 {
+            return Err(ConfigError::new("num_sms must be at least 1"));
+        }
+        if self.mem.l1.size_bytes == 0 || self.mem.l2.size_bytes == 0 {
+            return Err(ConfigError::new("cache sizes must be nonzero"));
+        }
+        if let TraversalPolicy::Vtq(params) = &self.policy {
+            params.validate()?;
+            if params.repack_threshold > self.warp_size {
+                return Err(ConfigError::new(format!(
+                    "repack_threshold ({}) exceeds the warp width ({}): every warp would \
+                     trigger repacking on every step",
+                    params.repack_threshold, self.warp_size
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Validating builder for [`GpuConfig`]; see [`GpuConfig::builder`].
+///
+/// Starts from the Table 1 defaults; setters mirror the fields (plus
+/// memory-hierarchy shorthands); [`GpuConfigBuilder::build`] rejects
+/// inconsistent settings — zero warps per CTA, zero SMs, a VTQ repack
+/// threshold wider than the warp — at construction instead of
+/// mid-simulation.
+#[derive(Debug, Clone)]
+pub struct GpuConfigBuilder {
+    cfg: GpuConfig,
+}
+
+impl GpuConfigBuilder {
+    /// Applies the scale-model preset (L1 4 KB, L2 32 KB) — the builder
+    /// form of [`GpuConfig::scale_model`].
+    pub fn scale_model(mut self) -> Self {
+        self.cfg.mem.l1.size_bytes = 4 * 1024;
+        self.cfg.mem.l2.size_bytes = 32 * 1024;
+        self
+    }
+
+    /// Replaces the whole memory hierarchy configuration.
+    pub fn mem(mut self, mem: MemConfig) -> Self {
+        self.cfg.mem = mem;
+        self
+    }
+
+    /// Sets the SM count (carried by the memory config).
+    pub fn num_sms(mut self, sms: usize) -> Self {
+        self.cfg.mem.num_sms = sms;
+        self
+    }
+
+    /// Sets the L1 data-cache capacity in bytes.
+    pub fn l1_bytes(mut self, bytes: u32) -> Self {
+        self.cfg.mem.l1.size_bytes = bytes;
+        self
+    }
+
+    /// Sets the L2 unified-cache capacity in bytes.
+    pub fn l2_bytes(mut self, bytes: u32) -> Self {
+        self.cfg.mem.l2.size_bytes = bytes;
+        self
+    }
+
+    /// Sets threads per CTA.
+    pub fn cta_size(mut self, threads: usize) -> Self {
+        self.cfg.cta_size = threads;
+        self
+    }
+
+    /// Sets the maximum resident CTAs per SM.
+    pub fn max_ctas_per_sm(mut self, ctas: usize) -> Self {
+        self.cfg.max_ctas_per_sm = ctas;
+        self
+    }
+
+    /// Sets the warp width.
+    pub fn warp_size(mut self, lanes: usize) -> Self {
+        self.cfg.warp_size = lanes;
+        self
+    }
+
+    /// Sets the RT-unit warp buffer capacity.
+    pub fn warp_buffer_slots(mut self, slots: usize) -> Self {
+        self.cfg.warp_buffer_slots = slots;
+        self
+    }
+
+    /// Sets the traversal policy under test.
+    pub fn policy(mut self, policy: TraversalPolicy) -> Self {
+        self.cfg.policy = policy;
+        self
+    }
+
+    /// Sets the time-series sampling window (`0` disables sampling).
+    pub fn sample_window_cycles(mut self, cycles: u64) -> Self {
+        self.cfg.sample_window_cycles = cycles;
+        self
+    }
+
+    /// Sets the RT-unit memory-scheduler issue rate (`0` = unlimited).
+    pub fn rt_mem_issue_per_cycle(mut self, lines: u32) -> Self {
+        self.cfg.rt_mem_issue_per_cycle = lines;
+        self
+    }
+
+    /// Sets the CUDA-core contention slots (`0` disables contention).
+    pub fn shader_slots_per_sm(mut self, slots: u32) -> Self {
+        self.cfg.shader_slots_per_sm = slots;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] describing the first inconsistent
+    /// setting (see [`GpuConfig::validate`]).
+    pub fn build(self) -> Result<GpuConfig, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
     }
 }
 
@@ -234,5 +511,54 @@ mod tests {
         assert_eq!(TraversalPolicy::Baseline.label(), "baseline");
         assert_eq!(TraversalPolicy::TreeletPrefetch.label(), "prefetch");
         assert_eq!(TraversalPolicy::Vtq(VtqParams::default()).label(), "vtq");
+    }
+
+    #[test]
+    fn builders_accept_the_presets() {
+        assert_eq!(GpuConfig::builder().build().unwrap(), GpuConfig::default());
+        assert_eq!(GpuConfig::builder().scale_model().build().unwrap(), GpuConfig::scale_model());
+        assert_eq!(VtqParams::builder().build().unwrap(), VtqParams::default());
+        let grouped = VtqParams::builder().queue_threshold(64).repack_threshold(0).build().unwrap();
+        assert_eq!(
+            grouped,
+            VtqParams { queue_threshold: 64, repack_threshold: 0, ..Default::default() }
+        );
+    }
+
+    #[test]
+    fn gpu_builder_rejects_zero_warps_per_cta() {
+        let err = GpuConfig::builder().cta_size(0).build().unwrap_err();
+        assert!(err.to_string().contains("zero warps per CTA"), "got: {err}");
+        assert!(GpuConfig::builder().warp_size(0).build().is_err());
+        assert!(GpuConfig::builder().max_ctas_per_sm(0).build().is_err());
+        assert!(GpuConfig::builder().warp_buffer_slots(0).build().is_err());
+        assert!(GpuConfig::builder().num_sms(0).build().is_err());
+        assert!(GpuConfig::builder().l1_bytes(0).build().is_err());
+    }
+
+    #[test]
+    fn vtq_builder_rejects_unreachable_thresholds() {
+        let err =
+            VtqParams::builder().max_virtual_rays(64).queue_threshold(128).build().unwrap_err();
+        assert!(err.to_string().contains("exceeds the virtual-ray capacity"), "got: {err}");
+        assert!(VtqParams::builder().queue_threshold(0).build().is_err());
+        assert!(VtqParams::builder().max_virtual_rays(0).build().is_err());
+        assert!(VtqParams::builder().count_table_entries(0).build().is_err());
+        assert!(VtqParams::builder().queue_table_entries(0).build().is_err());
+    }
+
+    #[test]
+    fn gpu_builder_cross_validates_vtq_params() {
+        // A repack threshold wider than the warp would re-trigger forever.
+        let params = VtqParams::builder().repack_threshold(22).build().unwrap();
+        let err = GpuConfig::builder()
+            .warp_size(16)
+            .policy(TraversalPolicy::Vtq(params))
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("warp width"), "got: {err}");
+        // Hand-rolled (non-builder) VtqParams are re-validated too.
+        let bogus = VtqParams { queue_threshold: 0, ..Default::default() };
+        assert!(GpuConfig::builder().policy(TraversalPolicy::Vtq(bogus)).build().is_err());
     }
 }

@@ -54,7 +54,9 @@ pub mod ray;
 mod sim;
 mod stats;
 
-pub use config::{GpuConfig, TraversalPolicy, VtqParams};
+pub use config::{
+    ConfigError, GpuConfig, GpuConfigBuilder, TraversalPolicy, VtqParams, VtqParamsBuilder,
+};
 pub use energy::{EnergyBreakdown, EnergyModel};
 pub use observe::{
     CountingSink, RingSink, SamplePoint, StallBreakdown, StallKind, TraceEvent, TraceSink,

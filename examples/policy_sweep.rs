@@ -34,27 +34,24 @@ fn main() {
         );
     };
 
+    // Each variant goes through the validating builder, so an
+    // inconsistent sweep point fails loudly instead of simulating junk.
+    let params = |b: VtqParamsBuilder| b.build().expect("valid sweep point");
     show("full VTQ (defaults)", VtqParams::default());
-    show("no repacking", VtqParams { repack_threshold: 0, ..Default::default() });
-    show("no preloading", VtqParams { preload: false, ..Default::default() });
+    show("no repacking", params(VtqParams::builder().repack_threshold(0)));
+    show("no preloading", params(VtqParams::builder().preload(false)));
     show(
         "naive queues (no grouping, no repack)",
-        VtqParams { group_underpopulated: false, repack_threshold: 0, ..Default::default() },
+        params(VtqParams::builder().group_underpopulated(false).repack_threshold(0)),
     );
     show(
         "free virtualization (idealized)",
-        VtqParams { charge_virtualization: false, ..Default::default() },
+        params(VtqParams::builder().charge_virtualization(false)),
     );
     for q in [32, 64, 128, 256] {
-        show(
-            &format!("queue threshold {q}"),
-            VtqParams { queue_threshold: q, ..Default::default() },
-        );
+        show(&format!("queue threshold {q}"), params(VtqParams::builder().queue_threshold(q)));
     }
     for t in [8, 16, 22, 24, 28] {
-        show(
-            &format!("repack threshold {t}"),
-            VtqParams { repack_threshold: t, ..Default::default() },
-        );
+        show(&format!("repack threshold {t}"), params(VtqParams::builder().repack_threshold(t)));
     }
 }
