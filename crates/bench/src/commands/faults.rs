@@ -1,0 +1,99 @@
+//! Fault-injection campaign: a seeded matrix of perturbed simulator runs
+//! (memory latency spikes, bandwidth throttling, scheduling jitter,
+//! truncated/degenerate workloads, near-capacity treelet queues,
+//! starvation-level cycle budgets) executed under the invariant auditor.
+//!
+//! ```text
+//! vtq-bench faults --quick --jobs 2
+//! vtq-bench faults --out target/faults
+//! ```
+//!
+//! Every cell must end `Ok` or with the *typed* [`SimError`] its fault
+//! kind predicts — a panic or an unexpected error is a contract
+//! violation, and the process exits nonzero. With `--out`, per-cell
+//! outcomes are appended to `faults.jsonl` in the output directory.
+
+use std::fs;
+use std::io::Write as _;
+
+use vtq::prelude::*;
+
+use crate::{header, row, HarnessOpts};
+
+fn cell_jsonl(c: &CellOutcome) -> String {
+    let (status, error_kind, detail, cycles, rays) = match &c.status {
+        CellStatus::Completed { cycles, rays_completed } => {
+            ("completed", "", String::new(), *cycles, *rays_completed)
+        }
+        CellStatus::Failed { error_kind, message } => {
+            ("failed", error_kind.as_str(), message.clone(), 0, 0)
+        }
+        CellStatus::Panicked { message } => ("panicked", "", message.clone(), 0, 0),
+    };
+    format!(
+        "{{\"record\":\"fault_cell\",\"index\":{},\"kind\":\"{}\",\"status\":\"{status}\",\
+         \"error_kind\":\"{error_kind}\",\"retries\":{},\"cycles\":{cycles},\
+         \"rays_completed\":{rays},\"detail\":\"{}\"}}",
+        c.index,
+        c.kind.label(),
+        c.retries,
+        detail.replace('\\', "\\\\").replace('"', "\\\""),
+    )
+}
+
+fn persist(opts: &HarnessOpts, report: &CampaignReport) -> std::io::Result<()> {
+    let Some(dir) = &opts.out else { return Ok(()) };
+    fs::create_dir_all(dir)?;
+    let mut file = fs::File::create(dir.join("faults.jsonl"))?;
+    for cell in &report.cells {
+        writeln!(file, "{}", cell_jsonl(cell))?;
+    }
+    eprintln!("[faults] outcomes in {}", dir.join("faults.jsonl").display());
+    Ok(())
+}
+
+pub fn run(opts: &HarnessOpts, engine: &SweepEngine) {
+    let quick = opts.config == ExperimentConfig::quick();
+    let cfg = if quick { CampaignConfig::quick() } else { CampaignConfig::full() };
+    eprintln!(
+        "[faults] {} cells on {} (seed {:#x}, {} retries, {} jobs)",
+        cfg.cells,
+        cfg.scene.name(),
+        cfg.seed,
+        cfg.max_retries,
+        engine.jobs()
+    );
+
+    let report = run_campaign(&cfg, engine);
+
+    header(&["cell", "kind", "status", "retries", "cycles", "ok?"]);
+    for cell in &report.cells {
+        let (status, cycles) = match &cell.status {
+            CellStatus::Completed { cycles, .. } => ("completed".to_string(), cycles.to_string()),
+            CellStatus::Failed { error_kind, .. } => (error_kind.clone(), "-".to_string()),
+            CellStatus::Panicked { .. } => ("PANIC".to_string(), "-".to_string()),
+        };
+        row(
+            &cell.index.to_string(),
+            &[
+                cell.kind.label().to_string(),
+                status,
+                cell.retries.to_string(),
+                cycles,
+                if cell.as_expected() { "yes".to_string() } else { "NO".to_string() },
+            ],
+        );
+    }
+    println!("\n{}", report.summary());
+
+    if let Err(e) = persist(opts, &report) {
+        eprintln!("[faults] failed to persist outcomes: {e}");
+    }
+
+    if !report.is_clean() {
+        for cell in report.violations() {
+            eprintln!("[faults] contract violation: {} -> {:?}", cell.label, cell.status);
+        }
+        std::process::exit(1);
+    }
+}

@@ -15,6 +15,7 @@ mod ablations;
 mod all;
 mod area;
 mod compression;
+mod faults;
 mod fig01;
 mod fig05;
 mod fig10;
@@ -111,6 +112,11 @@ pub const ALL: &[Command] = &[
         name: "compression",
         about: "§7.3 CWBVH layout composed with VTQ",
         run: compression::run,
+    },
+    Command {
+        name: "faults",
+        about: "seeded fault-injection campaign over the integrity layer",
+        run: faults::run,
     },
     Command { name: "scaling", about: "scale-model methodology validation", run: scaling::run },
     Command {

@@ -36,11 +36,15 @@ pub fn run(opts: &HarnessOpts, engine: &SweepEngine) {
     for (id, report, trace_jsonl, events, dropped) in runs {
         let scene = id.name();
         let label = format!("{scene}/vtq");
-        export_run(&dir, &label, &report)
-            .unwrap_or_else(|e| panic!("cannot write artifacts to {}: {e}", dir.display()));
+        if let Err(e) = export_run(&dir, &label, &report) {
+            eprintln!("error: cannot write artifacts to {}: {e}", dir.display());
+            std::process::exit(1);
+        }
         let trace_path = dir.join(format!("{scene}-vtq.trace.jsonl"));
-        fs::write(&trace_path, trace_jsonl)
-            .unwrap_or_else(|e| panic!("cannot write {}: {e}", trace_path.display()));
+        if let Err(e) = fs::write(&trace_path, trace_jsonl) {
+            eprintln!("error: cannot write {}: {e}", trace_path.display());
+            std::process::exit(1);
+        }
 
         println!("== {scene} (vtq) ==");
         println!("{}", report.stats.report());

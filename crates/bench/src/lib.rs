@@ -66,7 +66,12 @@ options (all subcommands):
   --jobs N         sweep-engine worker threads (default: all hardware
                    threads; results are identical for every N)
   --csv            emit CSV rows instead of aligned tables
-  --out DIR        persist per-run artifacts (CSVs + metrics.jsonl)";
+  --out DIR        persist per-run artifacts (CSVs + metrics.jsonl)
+  --max-cycles N   watchdog: end runs exceeding N cycles with a typed
+                   error + forensics snapshot instead of hanging (N >= 1)
+  --strict-invariants
+                   run the invariant auditor every 4096 cycles even in
+                   release builds";
 
 impl HarnessOpts {
     /// Parses a flag list (everything after the subcommand name).
@@ -120,6 +125,31 @@ impl HarnessOpts {
                 "--out" => {
                     i += 1;
                     opts.out = Some(PathBuf::from(args.get(i).ok_or("--out needs a directory")?));
+                }
+                "--max-cycles" => {
+                    i += 1;
+                    let cycles: u64 = args
+                        .get(i)
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--max-cycles needs an integer")?;
+                    // Route through the validating builder so a zero
+                    // budget is rejected here, not mid-simulation.
+                    opts.config.gpu = opts
+                        .config
+                        .gpu
+                        .into_builder()
+                        .max_cycles(cycles)
+                        .build()
+                        .map_err(|e| e.to_string())?;
+                }
+                "--strict-invariants" => {
+                    opts.config.gpu = opts
+                        .config
+                        .gpu
+                        .into_builder()
+                        .audit(AuditMode::Every(DEFAULT_AUDIT_INTERVAL))
+                        .build()
+                        .map_err(|e| e.to_string())?;
                 }
                 other => {
                     return Err(format!("unknown flag {other}"));
@@ -329,6 +359,30 @@ mod tests {
     }
 
     #[test]
+    fn parse_max_cycles_flag() {
+        let opts = parse(&["--max-cycles", "5000"]).unwrap();
+        assert_eq!(opts.config.gpu.max_cycles, Some(5000));
+        // Zero is rejected by the validating builder, not deferred to the
+        // simulator.
+        let err = parse(&["--max-cycles", "0"]).unwrap_err();
+        assert!(err.contains("max_cycles"), "got: {err}");
+        assert!(parse(&["--max-cycles", "x"]).unwrap_err().contains("integer"));
+        assert!(parse(&["--max-cycles"]).unwrap_err().contains("integer"));
+    }
+
+    #[test]
+    fn parse_strict_invariants_flag() {
+        let opts = parse(&["--strict-invariants"]).unwrap();
+        assert_eq!(opts.config.gpu.audit, AuditMode::Every(DEFAULT_AUDIT_INTERVAL));
+        // Default stays on auto (debug/CI-feature gated).
+        assert_eq!(parse(&[]).unwrap().config.gpu.audit, AuditMode::Auto);
+        // Composes with the watchdog flag.
+        let opts = parse(&["--strict-invariants", "--max-cycles", "77"]).unwrap();
+        assert_eq!(opts.config.gpu.max_cycles, Some(77));
+        assert_eq!(opts.config.gpu.audit, AuditMode::Every(DEFAULT_AUDIT_INTERVAL));
+    }
+
+    #[test]
     fn command_registry_is_complete() {
         for name in [
             "fig01",
@@ -352,6 +406,7 @@ mod tests {
             "reorder",
             "scaling",
             "sensitivity",
+            "faults",
         ] {
             assert!(commands::find(name).is_some(), "missing subcommand {name}");
         }

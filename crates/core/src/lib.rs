@@ -45,6 +45,7 @@
 pub mod analytical;
 pub mod area;
 pub mod experiment;
+pub mod faults;
 pub mod general;
 pub mod reorder;
 pub mod sweep;
@@ -58,16 +59,21 @@ pub mod prelude {
     pub use crate::analytical::{analytical_speedups, RayTrace};
     pub use crate::area::AreaModel;
     pub use crate::experiment::{aggregate_stats, export_run, ExperimentConfig, Prepared};
+    pub use crate::faults::{
+        generate_cells, run_campaign, CampaignConfig, CampaignReport, CellOutcome, CellStatus,
+        FaultCell, FaultKind,
+    };
     pub use crate::sweep::{
-        config_fingerprint, default_jobs, Cell, CellError, CellResult, PreparedCache, RunMatrix,
-        SweepEngine,
+        config_fingerprint, default_jobs, Cell, CellError, CellResult, PreparedCache, Retried,
+        RunMatrix, SweepEngine,
     };
     pub use crate::workload::{Image, PathTracer};
-    pub use gpumem::AccessKind;
+    pub use gpumem::{AccessKind, MemFaults};
     pub use gpusim::{
-        ConfigError, CountingSink, GpuConfig, GpuConfigBuilder, RingSink, SimReport, SimStats,
-        Simulator, StallBreakdown, StallKind, TraceEvent, TraceSink, TraversalMode,
-        TraversalPolicy, VtqParams, VtqParamsBuilder, Workload,
+        AuditMode, ConfigError, CountingSink, ForensicsSnapshot, GpuConfig, GpuConfigBuilder,
+        InvariantViolation, RingSink, SimError, SimReport, SimStats, Simulator, SmSnapshot,
+        StallBreakdown, StallKind, TraceEvent, TraceSink, TraversalMode, TraversalPolicy,
+        VtqParams, VtqParamsBuilder, Workload, DEFAULT_AUDIT_INTERVAL,
     };
     pub use rtbvh::{Bvh, BvhConfig};
     pub use rtscene::lumibench::{self, SceneId};

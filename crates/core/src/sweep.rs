@@ -253,6 +253,17 @@ impl std::error::Error for CellError {}
 /// Per-cell outcome of a sweep.
 pub type CellResult<T> = Result<T, CellError>;
 
+/// The outcome of a task run under [`SweepEngine::run_tasks_retrying`]:
+/// the final result plus how many retries it took to get there.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Retried<T, E> {
+    /// The last attempt's result (`Ok`, or the error that exhausted the
+    /// retry budget / was declared non-retryable).
+    pub result: Result<T, E>,
+    /// Retries consumed (0 = first attempt settled it).
+    pub retries: u32,
+}
+
 fn payload_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
@@ -381,6 +392,44 @@ impl SweepEngine {
             tasks
                 .into_iter()
                 .map(|(label, f)| (label, Box::new(f) as Box<dyn FnOnce() -> T + Send + '_>))
+                .collect(),
+        )
+    }
+
+    /// Like [`SweepEngine::run_tasks`], but for fallible tasks with a
+    /// bounded retry loop: a task returning `Err(e)` with `retry_if(&e)`
+    /// true is re-invoked (up to `max_retries` times) with the attempt
+    /// index, letting callers escalate per attempt — e.g. doubling a
+    /// cycle budget. Panics still short-circuit to [`CellError`]s; typed
+    /// errors come back inside [`Retried`].
+    pub fn run_tasks_retrying<T, E, F, P>(
+        &self,
+        tasks: Vec<(String, F)>,
+        max_retries: u32,
+        retry_if: P,
+    ) -> Vec<CellResult<Retried<T, E>>>
+    where
+        T: Send,
+        E: Send,
+        F: Fn(u32) -> Result<T, E> + Send,
+        P: Fn(&E) -> bool + Sync,
+    {
+        let retry_if = &retry_if;
+        self.run_tasks(
+            tasks
+                .into_iter()
+                .map(|(label, f)| {
+                    let attempt = move || {
+                        let mut retries = 0;
+                        loop {
+                            match f(retries) {
+                                Err(e) if retries < max_retries && retry_if(&e) => retries += 1,
+                                result => return Retried { result, retries },
+                            }
+                        }
+                    };
+                    (label, attempt)
+                })
                 .collect(),
         )
     }
@@ -546,6 +595,47 @@ mod tests {
         assert_eq!(err.label, "boom");
         assert!(err.message.contains("poisoned cell"), "got: {}", err.message);
         assert_eq!(*out[2].as_ref().unwrap(), 2);
+    }
+
+    #[test]
+    fn retrying_tasks_escalate_then_settle() {
+        let engine = SweepEngine::new(4);
+        // Task i succeeds on attempt i (0-based): task 0 immediately,
+        // task 3 after three retries.
+        let tasks: Vec<(String, _)> = (0u32..4)
+            .map(|i| {
+                let f = move |attempt: u32| -> Result<u32, String> {
+                    if attempt >= i {
+                        Ok(i * 10 + attempt)
+                    } else {
+                        Err(format!("attempt {attempt} too small"))
+                    }
+                };
+                (format!("t{i}"), f)
+            })
+            .collect();
+        let out = engine.run_tasks_retrying(tasks, 5, |_| true);
+        for (i, r) in out.iter().enumerate() {
+            let retried = r.as_ref().unwrap();
+            assert_eq!(retried.retries, i as u32);
+            assert_eq!(retried.result, Ok(i as u32 * 10 + i as u32));
+        }
+    }
+
+    #[test]
+    fn retry_budget_and_predicate_are_honored() {
+        let engine = SweepEngine::new(1);
+        let always: fn(u32) -> Result<(), String> = |a| Err(format!("fail {a}"));
+        let out = engine.run_tasks_retrying(vec![("budget".into(), always)], 2, |_| true);
+        let retried = out[0].as_ref().unwrap();
+        assert_eq!(retried.retries, 2);
+        assert_eq!(retried.result, Err("fail 2".to_string()));
+
+        // A non-retryable error settles on the first attempt.
+        let out = engine.run_tasks_retrying(vec![("norerun".into(), always)], 2, |_| false);
+        let retried = out[0].as_ref().unwrap();
+        assert_eq!(retried.retries, 0);
+        assert_eq!(retried.result, Err("fail 0".to_string()));
     }
 
     #[test]

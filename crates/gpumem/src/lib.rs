@@ -30,4 +30,4 @@ mod system;
 
 pub use cache::{Assoc, Cache, CacheConfig, CacheStats};
 pub use stats::{AccessKind, KindStats, MemStats, WindowPoint};
-pub use system::{CachePolicy, MemConfig, MemorySystem};
+pub use system::{CachePolicy, MemConfig, MemFaults, MemorySystem};

@@ -16,6 +16,38 @@ pub enum CachePolicy {
     DramOnly,
 }
 
+/// Deterministic perturbation knobs for the DRAM model, used by the
+/// integrity layer's fault-injection campaigns. The default is fully
+/// disabled: a faultless configuration is bit-identical to a build without
+/// this struct, so the timing-sensitive golden tests keep passing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemFaults {
+    /// Probability (in 1/1000 of DRAM line fills) of a latency spike.
+    /// `0` disables spikes entirely (the RNG is never consulted).
+    pub spike_per_mille: u32,
+    /// Extra cycles added to a spiked line fill.
+    pub spike_extra_cycles: u32,
+    /// Bandwidth divisor: the effective DRAM service rate becomes
+    /// `dram_lines_per_cycle / bandwidth_divisor`. `1` is nominal; values
+    /// below 1 are treated as 1.
+    pub bandwidth_divisor: u32,
+    /// Seed for the spike RNG; campaigns derive one per cell.
+    pub seed: u64,
+}
+
+impl Default for MemFaults {
+    fn default() -> MemFaults {
+        MemFaults { spike_per_mille: 0, spike_extra_cycles: 0, bandwidth_divisor: 1, seed: 0 }
+    }
+}
+
+impl MemFaults {
+    /// `true` when every knob is at its nominal (no-fault) setting.
+    pub fn is_nominal(&self) -> bool {
+        self.spike_per_mille == 0 && self.bandwidth_divisor <= 1
+    }
+}
+
 /// Configuration of the whole memory system.
 ///
 /// Defaults mirror the paper's Table 1 (RTX-3080-derived latencies from
@@ -47,6 +79,8 @@ pub struct MemConfig {
     pub mshrs_per_sm: usize,
     /// Width of the miss-rate history windows in cycles (Figure 11).
     pub window_cycles: u64,
+    /// Fault-injection knobs (disabled by default).
+    pub faults: MemFaults,
 }
 
 impl Default for MemConfig {
@@ -75,6 +109,7 @@ impl Default for MemConfig {
             dram_lines_per_cycle: 4.0,
             mshrs_per_sm: 64,
             window_cycles: 20_000,
+            faults: MemFaults::default(),
         }
     }
 }
@@ -97,6 +132,8 @@ pub struct MemorySystem {
     /// outstanding fill returns.
     mshrs: Vec<Vec<u64>>,
     stats: MemStats,
+    /// xorshift state for the fault-injection spike draw (never zero).
+    fault_rng: u64,
 }
 
 impl MemorySystem {
@@ -110,6 +147,12 @@ impl MemorySystem {
             dram_free_at: 0.0,
             mshrs: vec![vec![0u64; config.mshrs_per_sm.max(1)]; config.num_sms],
             stats: MemStats::default(),
+            fault_rng: config
+                .faults
+                .seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(0xD1B5_4A32_D192_ED03)
+                | 1,
         }
     }
 
@@ -228,12 +271,30 @@ impl MemorySystem {
             best
         };
         let issue = ready.max(self.mshrs[sm][slot]);
-        let service = 1.0 / self.config.dram_lines_per_cycle;
+        let divisor = self.config.faults.bandwidth_divisor.max(1);
+        let service = divisor as f64 / self.config.dram_lines_per_cycle;
         let start = self.dram_free_at.max(issue as f64);
         self.dram_free_at = start + service;
-        let completion = start as u64 + self.config.dram_latency as u64;
+        let mut completion = start as u64 + self.config.dram_latency as u64;
+        // Injected latency spike: only draws from the RNG when enabled, so
+        // nominal configurations stay bit-identical to a fault-free build.
+        if self.config.faults.spike_per_mille > 0
+            && self.next_fault_draw() % 1000 < self.config.faults.spike_per_mille as u64
+        {
+            completion += self.config.faults.spike_extra_cycles as u64;
+        }
         self.mshrs[sm][slot] = completion;
         completion
+    }
+
+    /// One xorshift64 step of the fault RNG.
+    fn next_fault_draw(&mut self) -> u64 {
+        let mut x = self.fault_rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.fault_rng = x;
+        x
     }
 
     /// Installs the lines covering `[addr, addr+bytes)` into SM `sm`'s L1
@@ -258,6 +319,57 @@ impl MemorySystem {
         let first = addr / line;
         let last = (addr + bytes as u64 - 1) / line;
         (first..=last).filter(|l| !self.l1s[sm].probe(l * line)).count() as u32
+    }
+
+    /// Number of outstanding DRAM fills across all SMs at cycle `now`
+    /// (MSHRs whose fill has not yet returned) — reported in the deadlock
+    /// forensics snapshot.
+    pub fn in_flight_requests(&self, now: u64) -> usize {
+        self.mshrs.iter().flatten().filter(|&&free_at| free_at > now).count()
+    }
+
+    /// Checks the hierarchy's accounting invariants, returning a
+    /// description of the first violation:
+    ///
+    /// * per [`AccessKind`]: every line was serviced by exactly one level
+    ///   (`l1_hits + l2_hits + dram == lines`), and
+    ///   `l1_hits <= l1_lookups <= lines`;
+    /// * per cache: `hits <= accesses`.
+    ///
+    /// The caller (the simulator's invariant auditor) wraps the message in
+    /// a typed error with the cycle and site attached.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first inconsistency found, as a human-readable message.
+    pub fn audit(&self) -> Result<(), String> {
+        for kind in AccessKind::ALL {
+            let k = self.stats.kind(kind);
+            if k.l1_hits + k.l2_hits + k.dram != k.lines {
+                return Err(format!(
+                    "{kind}: l1_hits {} + l2_hits {} + dram {} != lines {}",
+                    k.l1_hits, k.l2_hits, k.dram, k.lines
+                ));
+            }
+            if k.l1_hits > k.l1_lookups || k.l1_lookups > k.lines {
+                return Err(format!(
+                    "{kind}: l1_hits {} / l1_lookups {} / lines {} out of order",
+                    k.l1_hits, k.l1_lookups, k.lines
+                ));
+            }
+        }
+        let caches =
+            self.l1s.iter().enumerate().map(|(sm, c)| (format!("l1[{sm}]"), c)).chain([
+                ("l2".to_string(), &self.l2),
+                ("ray-reserve".to_string(), &self.ray_reserve),
+            ]);
+        for (name, cache) in caches {
+            let s = cache.stats();
+            if s.hits > s.accesses {
+                return Err(format!("{name}: hits {} > accesses {}", s.hits, s.accesses));
+            }
+        }
+        Ok(())
     }
 
     fn record_window(&mut self, now: u64, hit: bool) {
@@ -298,6 +410,7 @@ mod tests {
             dram_lines_per_cycle: 1.0,
             mshrs_per_sm: 32,
             window_cycles: 1000,
+            faults: MemFaults::default(),
         }
     }
 
@@ -412,6 +525,66 @@ mod tests {
     }
 
     #[test]
+    fn audit_passes_after_mixed_traffic() {
+        let mut m = MemorySystem::new(&small_config());
+        m.access(0, 0, 384, AccessKind::Bvh, CachePolicy::L1AndL2, 0);
+        m.access(1, 0, 128, AccessKind::Ray, CachePolicy::BypassL1, 10);
+        m.access(0, 4096, 128, AccessKind::Ray, CachePolicy::RayReserve, 20);
+        m.access(1, 8192, 256, AccessKind::CtaState, CachePolicy::DramOnly, 30);
+        m.fill_l1(0, 0, 256, 40);
+        assert_eq!(m.audit(), Ok(()));
+    }
+
+    #[test]
+    fn in_flight_requests_tracks_outstanding_fills() {
+        let mut m = MemorySystem::new(&small_config());
+        assert_eq!(m.in_flight_requests(0), 0);
+        let done = m.access(0, 0, 128, AccessKind::Bvh, CachePolicy::L1AndL2, 0);
+        assert_eq!(m.in_flight_requests(0), 1);
+        assert_eq!(m.in_flight_requests(done), 0);
+    }
+
+    #[test]
+    fn latency_spike_fault_delays_some_fills() {
+        let mut cfg = small_config();
+        cfg.faults = MemFaults {
+            spike_per_mille: 1000, // every fill spikes
+            spike_extra_cycles: 77,
+            bandwidth_divisor: 1,
+            seed: 42,
+        };
+        let mut m = MemorySystem::new(&cfg);
+        let t = m.access(0, 0, 128, AccessKind::Bvh, CachePolicy::L1AndL2, 0);
+        assert_eq!(t, 250 + 77);
+        assert_eq!(m.audit(), Ok(()));
+    }
+
+    #[test]
+    fn bandwidth_throttle_fault_stretches_the_queue() {
+        let mut cfg = small_config();
+        cfg.faults.bandwidth_divisor = 4;
+        let mut m = MemorySystem::new(&cfg);
+        // 2 lines at 1 line/cycle nominal, divided by 4: the second line
+        // starts 4 cycles behind the first instead of 1.
+        let t = m.access(0, 0, 256, AccessKind::Bvh, CachePolicy::L1AndL2, 0);
+        assert_eq!(t, 254);
+    }
+
+    #[test]
+    fn nominal_faults_change_nothing() {
+        assert!(MemFaults::default().is_nominal());
+        let mut a = MemorySystem::new(&small_config());
+        let mut cfg = small_config();
+        cfg.faults.seed = 999; // a different seed alone must not matter
+        let mut b = MemorySystem::new(&cfg);
+        for i in 0..32u64 {
+            let ta = a.access(0, i * 96, 96, AccessKind::Bvh, CachePolicy::L1AndL2, i * 7);
+            let tb = b.access(0, i * 96, 96, AccessKind::Bvh, CachePolicy::L1AndL2, i * 7);
+            assert_eq!(ta, tb);
+        }
+    }
+
+    #[test]
     fn default_config_matches_table1() {
         let c = MemConfig::default();
         assert_eq!(c.num_sms, 16);
@@ -448,6 +621,7 @@ mod mshr_tests {
             dram_lines_per_cycle: 100.0, // bandwidth not the bottleneck
             mshrs_per_sm: 1,
             window_cycles: 1000,
+            faults: MemFaults::default(),
         }
     }
 

@@ -187,6 +187,49 @@ impl VtqParamsBuilder {
     }
 }
 
+/// Audit interval used by [`AuditMode::Auto`] when the auditor is active
+/// and by the CLI's `--strict-invariants` flag.
+pub const DEFAULT_AUDIT_INTERVAL: u64 = 4096;
+
+/// When the invariant auditor runs during a simulation.
+///
+/// The auditor re-derives the engine's conservation laws (rays launched ==
+/// completed + in flight, treelet-queue counters match the queues, stall
+/// buckets sum to the clock, memory-hierarchy accounting) and turns the
+/// first violation into [`SimError::Invariant`](crate::SimError) instead of
+/// letting a corrupted run finish with plausible-looking numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AuditMode {
+    /// On (every [`DEFAULT_AUDIT_INTERVAL`] cycles) in debug builds and
+    /// builds with the `strict-invariants` feature; off in plain release
+    /// builds. The default.
+    #[default]
+    Auto,
+    /// Never audit.
+    Off,
+    /// Audit every `N` cycles regardless of build flavour (`N >= 1`;
+    /// `Every(0)` is rejected by [`GpuConfig::validate`]).
+    Every(u64),
+}
+
+impl AuditMode {
+    /// The audit interval in cycles, or `None` when auditing is off for
+    /// this build flavour.
+    pub fn interval(self) -> Option<u64> {
+        match self {
+            AuditMode::Auto => {
+                if cfg!(debug_assertions) || cfg!(feature = "strict-invariants") {
+                    Some(DEFAULT_AUDIT_INTERVAL)
+                } else {
+                    None
+                }
+            }
+            AuditMode::Off => None,
+            AuditMode::Every(n) => Some(n),
+        }
+    }
+}
+
 /// Which RT-unit traversal architecture to simulate.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum TraversalPolicy {
@@ -268,6 +311,22 @@ pub struct GpuConfig {
     /// per window. `0` disables time-series collection entirely (the
     /// per-run stall totals are always collected).
     pub sample_window_cycles: u64,
+    /// Watchdog cycle budget: the run is aborted with a typed
+    /// [`SimError::CycleBudget`](crate::SimError) (carrying a forensics
+    /// snapshot) as soon as the clock would pass this many cycles. `None`
+    /// (the default) disables the budget; `Some(0)` is rejected by
+    /// [`GpuConfig::validate`].
+    pub max_cycles: Option<u64>,
+    /// When the invariant auditor runs (default: [`AuditMode::Auto`]).
+    pub audit: AuditMode,
+    /// CTA scheduling jitter for fault-injection campaigns: each shader
+    /// phase (raygen/shade) is stretched by a pseudo-random
+    /// `0..=sched_jitter_cycles` extra cycles, perturbing launch and
+    /// resume order without changing any result-bearing state. `0` (the
+    /// default) disables jitter.
+    pub sched_jitter_cycles: u32,
+    /// Seed for the scheduling-jitter RNG.
+    pub sched_jitter_seed: u64,
 }
 
 impl Default for GpuConfig {
@@ -289,6 +348,10 @@ impl Default for GpuConfig {
             rt_mem_issue_per_cycle: 0,
             shader_slots_per_sm: 0,
             sample_window_cycles: 20_000,
+            max_cycles: None,
+            audit: AuditMode::Auto,
+            sched_jitter_cycles: 0,
+            sched_jitter_seed: 0,
         }
     }
 }
@@ -297,6 +360,13 @@ impl GpuConfig {
     /// A validating builder starting from the Table 1 defaults.
     pub fn builder() -> GpuConfigBuilder {
         GpuConfigBuilder { cfg: GpuConfig::default() }
+    }
+
+    /// A validating builder starting from *this* configuration — the path
+    /// for amending an existing config (e.g. CLI flag overrides) without
+    /// bypassing [`GpuConfig::validate`].
+    pub fn into_builder(self) -> GpuConfigBuilder {
+        GpuConfigBuilder { cfg: self }
     }
 
     /// The scale-model configuration used by the experiment harness: cache
@@ -354,6 +424,14 @@ impl GpuConfig {
         }
         if self.mem.l1.size_bytes == 0 || self.mem.l2.size_bytes == 0 {
             return Err(ConfigError::new("cache sizes must be nonzero"));
+        }
+        if self.max_cycles == Some(0) {
+            return Err(ConfigError::new(
+                "max_cycles of 0 can never complete; use None to disable the watchdog",
+            ));
+        }
+        if self.audit == AuditMode::Every(0) {
+            return Err(ConfigError::new("audit interval must be at least 1 cycle"));
         }
         if let TraversalPolicy::Vtq(params) = &self.policy {
             params.validate()?;
@@ -462,6 +540,27 @@ impl GpuConfigBuilder {
         self
     }
 
+    /// Arms the watchdog: abort with a typed cycle-budget error once the
+    /// clock would pass `cycles`. Rejected at [`GpuConfigBuilder::build`]
+    /// when `cycles == 0`.
+    pub fn max_cycles(mut self, cycles: u64) -> Self {
+        self.cfg.max_cycles = Some(cycles);
+        self
+    }
+
+    /// Sets when the invariant auditor runs.
+    pub fn audit(mut self, mode: AuditMode) -> Self {
+        self.cfg.audit = mode;
+        self
+    }
+
+    /// Sets the CTA scheduling jitter (`0` disables it) and its seed.
+    pub fn sched_jitter(mut self, cycles: u32, seed: u64) -> Self {
+        self.cfg.sched_jitter_cycles = cycles;
+        self.cfg.sched_jitter_seed = seed;
+        self
+    }
+
     /// Validates and returns the configuration.
     ///
     /// # Errors
@@ -545,6 +644,37 @@ mod tests {
         assert!(VtqParams::builder().max_virtual_rays(0).build().is_err());
         assert!(VtqParams::builder().count_table_entries(0).build().is_err());
         assert!(VtqParams::builder().queue_table_entries(0).build().is_err());
+    }
+
+    #[test]
+    fn watchdog_and_audit_settings_validate() {
+        let cfg = GpuConfig::builder().max_cycles(1_000).build().unwrap();
+        assert_eq!(cfg.max_cycles, Some(1_000));
+        let err = GpuConfig::builder().max_cycles(0).build().unwrap_err();
+        assert!(err.to_string().contains("max_cycles"), "got: {err}");
+        let err = GpuConfig::builder().audit(AuditMode::Every(0)).build().unwrap_err();
+        assert!(err.to_string().contains("audit interval"), "got: {err}");
+        assert!(GpuConfig::builder().audit(AuditMode::Every(1)).build().is_ok());
+    }
+
+    #[test]
+    fn audit_mode_intervals() {
+        assert_eq!(AuditMode::Off.interval(), None);
+        assert_eq!(AuditMode::Every(17).interval(), Some(17));
+        if cfg!(debug_assertions) || cfg!(feature = "strict-invariants") {
+            assert_eq!(AuditMode::Auto.interval(), Some(DEFAULT_AUDIT_INTERVAL));
+        } else {
+            assert_eq!(AuditMode::Auto.interval(), None);
+        }
+    }
+
+    #[test]
+    fn into_builder_round_trips_and_revalidates() {
+        let cfg = GpuConfig::builder().num_sms(4).build().unwrap();
+        let amended = cfg.into_builder().max_cycles(500).build().unwrap();
+        assert_eq!(amended.num_sms(), 4);
+        assert_eq!(amended.max_cycles, Some(500));
+        assert!(cfg.into_builder().max_cycles(0).build().is_err());
     }
 
     #[test]

@@ -9,6 +9,7 @@
 
 use std::fmt::Write as _;
 
+use crate::error::{ForensicsSnapshot, SmSnapshot};
 use crate::observe::{RingSink, SamplePoint, StallBreakdown, StallKind, TraceEvent};
 use crate::sim::SimReport;
 use crate::stats::TraversalMode;
@@ -243,10 +244,187 @@ pub fn metrics_json(label: &str, report: &SimReport) -> String {
     out
 }
 
+// ---------------------------------------------------------------------------
+// Deadlock forensics snapshot ↔ JSON Lines
+// ---------------------------------------------------------------------------
+
+/// Serializes a watchdog forensics snapshot as JSON Lines: one
+/// `{"record":"forensics",...}` header line with the machine-wide counters
+/// followed by one `{"record":"forensics_sm",...}` line per SM. Every value
+/// is a flat integer, so the format round-trips through
+/// [`parse_snapshot_jsonl`] without a JSON library.
+pub fn snapshot_jsonl(s: &ForensicsSnapshot) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{{\"record\":\"forensics\",\"cycle\":{},\"rays_created\":{},\"rays_completed\":{},\
+         \"ctas_total\":{},\"ctas_unfinished\":{},\"pending_ctas\":{},\"resume_ready_ctas\":{},\
+         \"mem_in_flight\":{},\"sms\":{}}}",
+        s.cycle,
+        s.rays_created,
+        s.rays_completed,
+        s.ctas_total,
+        s.ctas_unfinished,
+        s.pending_ctas,
+        s.resume_ready_ctas,
+        s.mem_in_flight,
+        s.sms.len(),
+    );
+    for u in &s.sms {
+        let _ = writeln!(
+            out,
+            "{{\"record\":\"forensics_sm\",\"sm\":{},\"free_cta_slots\":{},\"resident_warps\":{},\
+             \"warp_buffer_slots\":{},\"incoming_warps\":{},\"queued_rays\":{},\
+             \"treelet_queues\":{},\"rays_in_flight\":{},\"shader_active\":{},\
+             \"reserved_rays\":{},\"last_progress_cycle\":{}}}",
+            u.sm,
+            u.free_cta_slots,
+            u.resident_warps,
+            u.warp_buffer_slots,
+            u.incoming_warps,
+            u.queued_rays,
+            u.treelet_queues,
+            u.rays_in_flight,
+            u.shader_active,
+            u.reserved_rays,
+            u.last_progress_cycle,
+        );
+    }
+    out
+}
+
+/// Parses one flat JSONL line of `"key":value` pairs (string or integer
+/// values, no nesting — the snapshot schema).
+fn parse_flat_line(line: &str) -> Result<Vec<(String, String)>, String> {
+    let inner = line
+        .trim()
+        .strip_prefix('{')
+        .and_then(|r| r.strip_suffix('}'))
+        .ok_or_else(|| format!("not a JSON object: {line}"))?;
+    let mut pairs = Vec::new();
+    for kv in inner.split(',') {
+        let (k, v) = kv.split_once(':').ok_or_else(|| format!("malformed pair: {kv}"))?;
+        pairs
+            .push((k.trim().trim_matches('"').to_string(), v.trim().trim_matches('"').to_string()));
+    }
+    Ok(pairs)
+}
+
+fn flat_u64(pairs: &[(String, String)], key: &str) -> Result<u64, String> {
+    let (_, v) =
+        pairs.iter().find(|(k, _)| k == key).ok_or_else(|| format!("missing field `{key}`"))?;
+    v.parse().map_err(|_| format!("field `{key}` is not an integer: {v}"))
+}
+
+/// Parses the output of [`snapshot_jsonl`] back into a
+/// [`ForensicsSnapshot`] — the round-trip used by tooling that post-mortems
+/// a dumped deadlock.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed line, missing field, or
+/// SM-count mismatch.
+pub fn parse_snapshot_jsonl(text: &str) -> Result<ForensicsSnapshot, String> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header = parse_flat_line(lines.next().ok_or("empty snapshot dump")?)?;
+    let record = header.iter().find(|(k, _)| k == "record").map(|(_, v)| v.as_str());
+    if record != Some("forensics") {
+        return Err(format!("expected a `forensics` header record, got {record:?}"));
+    }
+    let mut snapshot = ForensicsSnapshot {
+        cycle: flat_u64(&header, "cycle")?,
+        rays_created: flat_u64(&header, "rays_created")?,
+        rays_completed: flat_u64(&header, "rays_completed")?,
+        ctas_total: flat_u64(&header, "ctas_total")? as usize,
+        ctas_unfinished: flat_u64(&header, "ctas_unfinished")? as usize,
+        pending_ctas: flat_u64(&header, "pending_ctas")? as usize,
+        resume_ready_ctas: flat_u64(&header, "resume_ready_ctas")? as usize,
+        mem_in_flight: flat_u64(&header, "mem_in_flight")? as usize,
+        sms: Vec::new(),
+    };
+    let expected = flat_u64(&header, "sms")? as usize;
+    for line in lines {
+        let pairs = parse_flat_line(line)?;
+        let record = pairs.iter().find(|(k, _)| k == "record").map(|(_, v)| v.as_str());
+        if record != Some("forensics_sm") {
+            return Err(format!("expected a `forensics_sm` record, got {record:?}"));
+        }
+        snapshot.sms.push(SmSnapshot {
+            sm: flat_u64(&pairs, "sm")? as usize,
+            free_cta_slots: flat_u64(&pairs, "free_cta_slots")? as usize,
+            resident_warps: flat_u64(&pairs, "resident_warps")? as usize,
+            warp_buffer_slots: flat_u64(&pairs, "warp_buffer_slots")? as usize,
+            incoming_warps: flat_u64(&pairs, "incoming_warps")? as usize,
+            queued_rays: flat_u64(&pairs, "queued_rays")? as usize,
+            treelet_queues: flat_u64(&pairs, "treelet_queues")? as usize,
+            rays_in_flight: flat_u64(&pairs, "rays_in_flight")? as usize,
+            shader_active: flat_u64(&pairs, "shader_active")? as usize,
+            reserved_rays: flat_u64(&pairs, "reserved_rays")? as usize,
+            last_progress_cycle: flat_u64(&pairs, "last_progress_cycle")?,
+        });
+    }
+    if snapshot.sms.len() != expected {
+        return Err(format!(
+            "header declared {expected} SMs but {} records followed",
+            snapshot.sms.len()
+        ));
+    }
+    Ok(snapshot)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use rtbvh::TreeletId;
+
+    #[test]
+    fn snapshot_jsonl_round_trips() {
+        let snap = ForensicsSnapshot {
+            cycle: 123,
+            rays_created: 64,
+            rays_completed: 10,
+            ctas_total: 4,
+            ctas_unfinished: 3,
+            pending_ctas: 2,
+            resume_ready_ctas: 1,
+            mem_in_flight: 7,
+            sms: vec![
+                SmSnapshot {
+                    sm: 0,
+                    free_cta_slots: 1,
+                    resident_warps: 2,
+                    warp_buffer_slots: 8,
+                    incoming_warps: 1,
+                    queued_rays: 30,
+                    treelet_queues: 5,
+                    rays_in_flight: 54,
+                    shader_active: 1,
+                    reserved_rays: 64,
+                    last_progress_cycle: 120,
+                },
+                SmSnapshot { sm: 1, warp_buffer_slots: 8, ..Default::default() },
+            ],
+        };
+        let text = snapshot_jsonl(&snap);
+        assert_eq!(text.lines().count(), 3);
+        assert!(text.starts_with("{\"record\":\"forensics\","));
+        assert!(text.contains("\"record\":\"forensics_sm\",\"sm\":1,"));
+        let back = parse_snapshot_jsonl(&text).expect("round-trip");
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn snapshot_parse_rejects_garbage() {
+        assert!(parse_snapshot_jsonl("").is_err());
+        assert!(parse_snapshot_jsonl("not json").is_err());
+        assert!(parse_snapshot_jsonl("{\"record\":\"forensics_sm\",\"sm\":0}").is_err());
+        // Header that promises more SM records than it delivers.
+        let text = "{\"record\":\"forensics\",\"cycle\":1,\"rays_created\":0,\
+                    \"rays_completed\":0,\"ctas_total\":0,\"ctas_unfinished\":0,\
+                    \"pending_ctas\":0,\"resume_ready_ctas\":0,\"mem_in_flight\":0,\"sms\":2}";
+        let err = parse_snapshot_jsonl(text).unwrap_err();
+        assert!(err.contains("declared 2 SMs"), "got: {err}");
+    }
 
     #[test]
     fn escape_covers_specials() {

@@ -46,6 +46,7 @@
 
 mod config;
 pub mod energy;
+mod error;
 pub mod export;
 pub mod hw_table;
 mod observe;
@@ -55,12 +56,14 @@ mod sim;
 mod stats;
 
 pub use config::{
-    ConfigError, GpuConfig, GpuConfigBuilder, TraversalPolicy, VtqParams, VtqParamsBuilder,
+    AuditMode, ConfigError, GpuConfig, GpuConfigBuilder, TraversalPolicy, VtqParams,
+    VtqParamsBuilder, DEFAULT_AUDIT_INTERVAL,
 };
 pub use energy::{EnergyBreakdown, EnergyModel};
+pub use error::{ForensicsSnapshot, InvariantViolation, SimError, SmSnapshot};
 pub use observe::{
     CountingSink, RingSink, SamplePoint, StallBreakdown, StallKind, TraceEvent, TraceSink,
 };
 pub use ray::{NextNode, RayId, RayTraversal, VisitCost};
-pub use sim::{PathTask, SimReport, Simulator, TraceCall, Workload};
+pub use sim::{PathTask, Sabotage, SimReport, Simulator, TraceCall, Workload};
 pub use stats::{SimStats, TraversalMode};

@@ -112,6 +112,20 @@ impl TreeletQueues {
     pub fn overflow_queues(&self, count_table_entries: usize) -> usize {
         self.queues.len().saturating_sub(count_table_entries)
     }
+
+    /// Recounts the queued rays directly from the per-treelet FIFOs; the
+    /// invariant auditor checks this against the cached
+    /// [`TreeletQueues::total_rays`] counter.
+    pub(crate) fn recount(&self) -> usize {
+        self.queues.values().map(VecDeque::len).sum()
+    }
+
+    /// Test hook for the auditor: skews the cached ray counter without
+    /// touching the queues, so a sabotaged run trips the
+    /// `queue-accounting` invariant.
+    pub(crate) fn corrupt_total(&mut self, delta: isize) {
+        self.total = self.total.saturating_add_signed(delta);
+    }
 }
 
 #[cfg(test)]
@@ -175,6 +189,20 @@ mod tests {
         assert_eq!(q.overflow_rays(3), 0);
         assert_eq!(q.overflow_queues(60), 10);
         assert_eq!(q.overflow_queues(100), 0);
+    }
+
+    #[test]
+    fn recount_matches_cached_total_until_corrupted() {
+        let mut q = TreeletQueues::new();
+        q.push(t(1), r(1));
+        q.push(t(2), r(2));
+        q.push(t(2), r(3));
+        assert_eq!(q.recount(), q.total_rays());
+        q.corrupt_total(2);
+        assert_eq!(q.total_rays(), 5);
+        assert_eq!(q.recount(), 3);
+        q.corrupt_total(-10); // saturates at zero instead of wrapping
+        assert_eq!(q.total_rays(), 0);
     }
 
     #[test]

@@ -18,6 +18,7 @@ use rtmath::Ray;
 use rtscene::Triangle;
 
 use crate::energy::{EnergyBreakdown, EnergyModel};
+use crate::error::{ForensicsSnapshot, InvariantViolation, SimError, SmSnapshot};
 use crate::hw_table::HwQueueTable;
 use crate::observe::{SamplePoint, StallBreakdown, StallKind, TraceEvent, TraceSink};
 use crate::queues::TreeletQueues;
@@ -199,12 +200,44 @@ impl<'a> Simulator<'a> {
 
     /// Runs the kernel to completion and returns the report.
     ///
+    /// Thin wrapper over [`Simulator::try_run`] for callers that treat any
+    /// simulation failure as fatal.
+    ///
     /// # Panics
     ///
-    /// Panics if the workload is empty or the engine deadlocks (which would
-    /// be a simulator bug; the panic carries diagnostics).
+    /// Panics on any [`SimError`] — an empty workload, a tripped watchdog
+    /// ([`GpuConfig::max_cycles`] or a true engine deadlock), or an
+    /// invariant violation caught by the auditor. Use
+    /// [`Simulator::try_run`] to receive the typed error (with its
+    /// forensics snapshot) instead of aborting the process.
     pub fn run(&self, workload: &Workload) -> SimReport {
-        self.run_with(workload, None)
+        self.try_run(workload).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Runs the kernel to completion, returning a typed error instead of
+    /// panicking when the simulation cannot complete.
+    ///
+    /// The watchdog contract: if the engine reaches a state with no future
+    /// event while CTAs are unfinished, the run ends with
+    /// [`SimError::Deadlock`]; if the clock would pass the configured
+    /// [`GpuConfig::max_cycles`] budget, it ends with
+    /// [`SimError::CycleBudget`]. Both carry a [`ForensicsSnapshot`] of
+    /// per-SM CTA slots, warp-buffer occupancy, treelet-queue depths,
+    /// in-flight memory requests and last-progress cycles, serializable
+    /// via [`export::snapshot_jsonl`](crate::export::snapshot_jsonl).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Workload`] for an empty workload,
+    /// [`SimError::Deadlock`] / [`SimError::CycleBudget`] for watchdog
+    /// trips, and [`SimError::Invariant`] when the auditor (see
+    /// [`AuditMode`](crate::AuditMode)) catches a conservation-law
+    /// violation. Configuration validity is the builder's job —
+    /// [`GpuConfigBuilder::build`](crate::GpuConfigBuilder) rejections
+    /// convert into [`SimError::Config`] via `From`; a hand-assembled
+    /// [`GpuConfig`] is trusted as-is, matching the legacy contract.
+    pub fn try_run(&self, workload: &Workload) -> Result<SimReport, SimError> {
+        self.try_run_with(workload, None, None)
     }
 
     /// Like [`Simulator::run`], but streams structured [`TraceEvent`]s into
@@ -213,26 +246,73 @@ impl<'a> Simulator<'a> {
     /// Tracing is pure observation: the traced run is cycle-identical to an
     /// untraced one (the sink never feeds back into timing), which the test
     /// suite asserts.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any [`SimError`], like [`Simulator::run`]; use
+    /// [`Simulator::try_run_traced`] for the typed-error form.
     pub fn run_traced(&self, workload: &Workload, sink: &mut dyn TraceSink) -> SimReport {
-        self.run_with(workload, Some(sink))
+        self.try_run_traced(workload, sink).unwrap_or_else(|e| panic!("{e}"))
     }
 
-    fn run_with<'s>(
+    /// [`Simulator::try_run`] with structured-event tracing.
+    ///
+    /// # Errors
+    ///
+    /// Identical to [`Simulator::try_run`].
+    pub fn try_run_traced(
+        &self,
+        workload: &Workload,
+        sink: &mut dyn TraceSink,
+    ) -> Result<SimReport, SimError> {
+        self.try_run_with(workload, Some(sink), None)
+    }
+
+    /// Test hook: runs with a scheduled state corruption so the invariant
+    /// auditor's detection path can be exercised end to end. Not part of
+    /// the public API contract.
+    #[doc(hidden)]
+    pub fn try_run_sabotaged(
+        &self,
+        workload: &Workload,
+        sabotage: Sabotage,
+    ) -> Result<SimReport, SimError> {
+        self.try_run_with(workload, None, Some(sabotage))
+    }
+
+    fn try_run_with<'s>(
         &'s self,
         workload: &'s Workload,
         sink: Option<&'s mut (dyn TraceSink + 's)>,
-    ) -> SimReport {
-        assert!(!workload.tasks.is_empty(), "empty workload");
+        sabotage: Option<Sabotage>,
+    ) -> Result<SimReport, SimError> {
+        if workload.tasks.is_empty() {
+            return Err(SimError::Workload("empty workload: no tasks to simulate".to_string()));
+        }
         let mut engine = Engine::new(self.bvh, self.triangles, &self.config, workload, sink);
-        engine.run();
+        engine.sabotage = sabotage;
+        engine.run()?;
         let energy = self.energy.evaluate(&engine.stats, engine.mem.stats());
-        SimReport {
+        Ok(SimReport {
             stats: engine.stats,
             mem: engine.mem.stats().clone(),
             energy,
             hits: engine.hits,
-        }
+        })
     }
+}
+
+/// A scheduled state corruption for auditor tests: at `at_cycle` the first
+/// SM's treelet-queue ray counter is skewed by `queue_total_delta` without
+/// touching the queues themselves, which a subsequent audit must catch as
+/// a `queue-accounting` violation.
+#[doc(hidden)]
+#[derive(Debug, Clone, Copy)]
+pub struct Sabotage {
+    /// First cycle at (or after) which the corruption is applied.
+    pub at_cycle: u64,
+    /// Signed skew applied to SM 0's cached queue-ray counter.
+    pub queue_total_delta: isize,
 }
 
 // ---------------------------------------------------------------------------
@@ -363,6 +443,18 @@ pub(crate) struct Engine<'a> {
     sink: Option<&'a mut dyn TraceSink>,
     /// Time-series window width in cycles (0 disables sampling).
     obs_window: u64,
+    /// Per-SM cycle of the last RT-unit action (warp installed or stepped),
+    /// reported in forensics snapshots.
+    last_progress: Vec<u64>,
+    /// Invariant-audit interval resolved from the config's `AuditMode`
+    /// (`None` = auditing off for this build flavour).
+    audit_every: Option<u64>,
+    /// Cycle of the last audit.
+    last_audit: u64,
+    /// xorshift state for the scheduling-jitter draw (never zero).
+    jitter_state: u64,
+    /// Scheduled state corruption (auditor tests only).
+    sabotage: Option<Sabotage>,
 }
 
 impl<'a> Engine<'a> {
@@ -435,10 +527,19 @@ impl<'a> Engine<'a> {
             next_sm: 0,
             sink,
             obs_window: cfg.sample_window_cycles,
+            last_progress: vec![0; num_sms],
+            audit_every: cfg.audit.interval(),
+            last_audit: 0,
+            jitter_state: cfg
+                .sched_jitter_seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(0xD1B5_4A32_D192_ED03)
+                | 1,
+            sabotage: None,
         }
     }
 
-    fn run(&mut self) {
+    fn run(&mut self) -> Result<(), SimError> {
         loop {
             // Iterate to a fixed point at the current cycle.
             loop {
@@ -455,20 +556,28 @@ impl<'a> Engine<'a> {
             }
             match self.next_event() {
                 Some(t) if t > self.now => {
+                    // Watchdog: refuse to jump past the cycle budget.
+                    if let Some(budget) = self.cfg.max_cycles {
+                        if t > budget {
+                            return Err(SimError::CycleBudget {
+                                budget,
+                                snapshot: self.snapshot(),
+                            });
+                        }
+                    }
                     self.observe_interval(t);
                     self.now = t;
+                    self.apply_sabotage();
+                    if let Some(every) = self.audit_every {
+                        if self.now - self.last_audit >= every {
+                            self.last_audit = self.now;
+                            self.audit_invariants()?;
+                        }
+                    }
                 }
-                other => {
-                    panic!(
-                    "simulator deadlock at cycle {} (next event {other:?}): {} CTAs unfinished, \
-                     {} rays in flight, {} rays queued over {} queues",
-                    self.now,
-                    self.ctas.iter().filter(|c| c.phase != Phase::Done).count(),
-                    self.rt.iter().map(|r| r.rays_in_flight).sum::<usize>(),
-                    self.rt.iter().map(|r| r.queues.total_rays()).sum::<usize>(),
-                    self.rt.iter().map(|r| r.queues.queue_count()).sum::<usize>(),
-                )
-                }
+                // `next_event` only reports future events, so anything else
+                // means no schedulable work remains: a true deadlock.
+                _ => return Err(SimError::Deadlock { snapshot: self.snapshot() }),
             }
         }
         self.stats.cycles = self.now;
@@ -479,6 +588,132 @@ impl<'a> Engine<'a> {
                 self.stats.queue_table_peak_entries.max(qt.peak_entries);
             self.stats.queue_table_overflows += qt.overflows;
         }
+        // Closing audit: the finished state must satisfy the conservation
+        // laws too (all rays accounted for, stall buckets sum to the clock).
+        if self.audit_every.is_some() {
+            self.audit_invariants()?;
+        }
+        Ok(())
+    }
+
+    // -- integrity -----------------------------------------------------------
+
+    /// Captures the structured machine state for a watchdog forensics dump.
+    fn snapshot(&self) -> ForensicsSnapshot {
+        let sms = self
+            .rt
+            .iter()
+            .enumerate()
+            .map(|(sm, unit)| SmSnapshot {
+                sm,
+                free_cta_slots: self.free_slots[sm],
+                resident_warps: unit.slots.iter().filter(|s| s.is_some()).count(),
+                warp_buffer_slots: unit.slots.len(),
+                incoming_warps: unit.incoming.len(),
+                queued_rays: unit.queues.total_rays(),
+                treelet_queues: unit.queues.queue_count(),
+                rays_in_flight: unit.rays_in_flight,
+                shader_active: self.shader_active[sm],
+                reserved_rays: self.reserved_rays[sm],
+                last_progress_cycle: self.last_progress[sm],
+            })
+            .collect();
+        ForensicsSnapshot {
+            cycle: self.now,
+            rays_created: self.rays.len() as u64,
+            rays_completed: self.stats.rays_completed,
+            ctas_total: self.ctas.len(),
+            ctas_unfinished: self.ctas.iter().filter(|c| c.phase != Phase::Done).count(),
+            pending_ctas: self.pending.len(),
+            resume_ready_ctas: self.resume_ready.len(),
+            mem_in_flight: self.mem.in_flight_requests(self.now),
+            sms,
+        }
+    }
+
+    /// Applies a pending scheduled corruption (auditor tests only).
+    fn apply_sabotage(&mut self) {
+        let due = self.sabotage.is_some_and(|s| self.now >= s.at_cycle);
+        if due {
+            let s = self.sabotage.take().expect("checked above");
+            self.rt[0].queues.corrupt_total(s.queue_total_delta);
+        }
+    }
+
+    /// Re-derives the engine's conservation laws from first principles and
+    /// reports the first violated one. See
+    /// [`AuditMode`](crate::AuditMode) for when this runs.
+    fn audit_invariants(&self) -> Result<(), InvariantViolation> {
+        let fail = |site: &str, detail: String| InvariantViolation {
+            cycle: self.now,
+            site: site.to_string(),
+            detail,
+        };
+        // Ray conservation: every ray ever created is either completed or
+        // in flight on exactly one SM.
+        let in_flight: usize = self.rt.iter().map(|r| r.rays_in_flight).sum();
+        if self.rays.len() as u64 != self.stats.rays_completed + in_flight as u64 {
+            return Err(fail(
+                "ray-conservation",
+                format!(
+                    "{} rays created != {} completed + {} in flight",
+                    self.rays.len(),
+                    self.stats.rays_completed,
+                    in_flight
+                ),
+            ));
+        }
+        for (sm, unit) in self.rt.iter().enumerate() {
+            // The cached treelet-queue ray counter must match the queues.
+            let recount = unit.queues.recount();
+            if recount != unit.queues.total_rays() {
+                return Err(fail(
+                    "queue-accounting",
+                    format!(
+                        "sm {sm}: cached total {} != recounted {recount}",
+                        unit.queues.total_rays()
+                    ),
+                ));
+            }
+            // Slot accounting can never exceed the hardware capacity.
+            if self.free_slots[sm] > self.cfg.max_ctas_per_sm {
+                return Err(fail(
+                    "cta-slots",
+                    format!(
+                        "sm {sm}: {} free slots > capacity {}",
+                        self.free_slots[sm], self.cfg.max_ctas_per_sm
+                    ),
+                ));
+            }
+            // No warp may be wider than the machine's warp width.
+            for warp in unit.slots.iter().flatten() {
+                if warp.lanes.len() > self.cfg.warp_size {
+                    return Err(fail(
+                        "warp-width",
+                        format!(
+                            "sm {sm}: warp of {} lanes > warp size {}",
+                            warp.lanes.len(),
+                            self.cfg.warp_size
+                        ),
+                    ));
+                }
+            }
+            // Stall attribution is exhaustive: every elapsed cycle lands in
+            // exactly one bucket, so the buckets sum to the clock.
+            let attributed = self.stats.stall[sm].total();
+            if attributed != self.now {
+                return Err(fail(
+                    "stall-sum",
+                    format!("sm {sm}: {attributed} attributed cycles != clock {}", self.now),
+                ));
+            }
+        }
+        // Memory-hierarchy accounting (per-kind service levels, cache
+        // hit/access ordering).
+        if let Err(detail) = self.mem.audit() {
+            return Err(fail("mem-accounting", detail));
+        }
+        Ok(())
     }
 
     // -- observation --------------------------------------------------------
@@ -839,16 +1074,31 @@ impl<'a> Engine<'a> {
     }
 
     /// Duration of a shader phase of nominal `base` cycles on `sm`,
-    /// stretched by CUDA-core contention when enabled. Call *after*
-    /// incrementing `shader_active[sm]` for the entering CTA.
-    fn shader_phase_cycles(&self, sm: usize, base: u32) -> u64 {
-        match self.cfg.shader_slots_per_sm {
+    /// stretched by CUDA-core contention when enabled and by the optional
+    /// fault-injection scheduling jitter. Call *after* incrementing
+    /// `shader_active[sm]` for the entering CTA.
+    fn shader_phase_cycles(&mut self, sm: usize, base: u32) -> u64 {
+        let nominal = match self.cfg.shader_slots_per_sm {
             0 => base as u64,
             slots => {
                 let active = self.shader_active[sm].max(1) as u64;
                 base as u64 * active.div_ceil(slots as u64)
             }
+        };
+        match self.cfg.sched_jitter_cycles {
+            0 => nominal,
+            jitter => nominal + self.next_jitter_draw() % (jitter as u64 + 1),
         }
+    }
+
+    /// One xorshift64 step of the scheduling-jitter RNG.
+    fn next_jitter_draw(&mut self) -> u64 {
+        let mut x = self.jitter_state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.jitter_state = x;
+        x
     }
 
     /// Enqueues a ray for a treelet, mirroring the hardware queue table.
@@ -904,13 +1154,17 @@ impl<'a> Engine<'a> {
         for sm in 0..self.rt.len() {
             for slot in 0..self.rt[sm].slots.len() {
                 loop {
-                    if self.rt[sm].slots[slot].is_none() && !self.acquire_work(sm, slot) {
-                        break;
+                    if self.rt[sm].slots[slot].is_none() {
+                        if !self.acquire_work(sm, slot) {
+                            break;
+                        }
+                        self.last_progress[sm] = self.now;
                     }
                     if self.rt[sm].slots[slot].as_ref().is_some_and(|w| w.ready_at > self.now) {
                         break;
                     }
                     self.step_warp(sm, slot);
+                    self.last_progress[sm] = self.now;
                     progress = true;
                 }
             }
