@@ -15,6 +15,7 @@ mod ablations;
 mod all;
 mod area;
 mod compression;
+mod conformance;
 mod faults;
 mod fig01;
 mod fig05;
@@ -117,6 +118,11 @@ pub const ALL: &[Command] = &[
         name: "faults",
         about: "seeded fault-injection campaign over the integrity layer",
         run: faults::run,
+    },
+    Command {
+        name: "conformance",
+        about: "differential oracle equivalence + golden-figure regression",
+        run: conformance::run,
     },
     Command { name: "scaling", about: "scale-model methodology validation", run: scaling::run },
     Command {

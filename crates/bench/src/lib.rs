@@ -44,6 +44,9 @@ pub struct HarnessOpts {
     /// Sweep-engine worker threads (`--jobs`; default:
     /// [`default_jobs`], i.e. one per available hardware thread).
     pub jobs: usize,
+    /// Rewrite the checked-in golden snapshots instead of validating
+    /// against them (`--update-golden`; `conformance` subcommand only).
+    pub update_golden: bool,
 }
 
 impl Default for HarnessOpts {
@@ -53,6 +56,7 @@ impl Default for HarnessOpts {
             scenes: SceneId::ALL.to_vec(),
             out: None,
             jobs: default_jobs(),
+            update_golden: false,
         }
     }
 }
@@ -71,7 +75,9 @@ options (all subcommands):
                    error + forensics snapshot instead of hanging (N >= 1)
   --strict-invariants
                    run the invariant auditor every 4096 cycles even in
-                   release builds";
+                   release builds
+  --update-golden  (conformance) rewrite golden/*.json snapshots from the
+                   current run instead of validating against them";
 
 impl HarnessOpts {
     /// Parses a flag list (everything after the subcommand name).
@@ -141,6 +147,9 @@ impl HarnessOpts {
                         .max_cycles(cycles)
                         .build()
                         .map_err(|e| e.to_string())?;
+                }
+                "--update-golden" => {
+                    opts.update_golden = true;
                 }
                 "--strict-invariants" => {
                     opts.config.gpu = opts
@@ -383,6 +392,16 @@ mod tests {
     }
 
     #[test]
+    fn parse_update_golden_flag() {
+        assert!(parse(&["--update-golden"]).unwrap().update_golden);
+        assert!(!parse(&[]).unwrap().update_golden);
+        // Composes with the common flags.
+        let opts = parse(&["--quick", "--update-golden", "--jobs", "2"]).unwrap();
+        assert!(opts.update_golden);
+        assert_eq!(opts.jobs, 2);
+    }
+
+    #[test]
     fn command_registry_is_complete() {
         for name in [
             "fig01",
@@ -407,6 +426,7 @@ mod tests {
             "scaling",
             "sensitivity",
             "faults",
+            "conformance",
         ] {
             assert!(commands::find(name).is_some(), "missing subcommand {name}");
         }

@@ -13,8 +13,8 @@ use std::path::Path;
 use gpumem::{AccessKind, WindowPoint};
 use gpusim::export::{metrics_json, series_csv, stall_csv};
 use gpusim::{
-    GpuConfig, SimReport, SimStats, Simulator, TraceSink, TraversalMode, TraversalPolicy,
-    VtqParams, Workload,
+    GpuConfig, HitCapture, SimError, SimReport, SimStats, Simulator, TraceSink, TraversalMode,
+    TraversalPolicy, VtqParams, Workload,
 };
 use rtbvh::{Bvh, BvhConfig};
 use rtscene::lumibench::{self, SceneId};
@@ -129,6 +129,31 @@ impl Prepared {
     /// Simulates under the VTQ policy with explicit parameters.
     pub fn run_vtq(&self, params: VtqParams) -> SimReport {
         self.run_policy(TraversalPolicy::Vtq(params))
+    }
+
+    /// Fallible [`Prepared::run_policy`]: returns the typed
+    /// [`gpusim::SimError`] instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Identical to [`gpusim::Simulator::try_run`].
+    pub fn try_run_policy(&self, policy: TraversalPolicy) -> Result<SimReport, SimError> {
+        Simulator::new(&self.bvh, self.scene.triangles(), self.gpu.with_policy(policy))
+            .try_run(&self.workload)
+    }
+
+    /// [`Prepared::try_run_policy`] plus the explicit functional
+    /// [`HitCapture`], for the differential conformance harness.
+    ///
+    /// # Errors
+    ///
+    /// Identical to [`gpusim::Simulator::try_run`].
+    pub fn try_run_policy_with_hits(
+        &self,
+        policy: TraversalPolicy,
+    ) -> Result<(SimReport, HitCapture), SimError> {
+        Simulator::new(&self.bvh, self.scene.triangles(), self.gpu.with_policy(policy))
+            .try_run_with_hits(&self.workload)
     }
 
     /// Like [`Prepared::run_policy`], but streams trace events into

@@ -22,6 +22,9 @@
 //!   sorting à la Moon et al.),
 //! * [`experiment`] — one runner per paper table/figure, returning typed
 //!   rows that the `vtq-bench` CLI prints,
+//! * [`conformance`] — the differential conformance harness: a timing-free
+//!   functional oracle, cross-policy hit equivalence, and golden-figure
+//!   regression against checked-in snapshots,
 //! * [`sweep`] — the parallel sweep engine: declarative run matrices on a
 //!   work-stealing pool with prepared-scene caching and deterministic,
 //!   matrix-ordered results.
@@ -44,6 +47,7 @@
 
 pub mod analytical;
 pub mod area;
+pub mod conformance;
 pub mod experiment;
 pub mod faults;
 pub mod general;
@@ -58,6 +62,11 @@ pub use sweep::{PreparedCache, RunMatrix, SweepEngine};
 pub mod prelude {
     pub use crate::analytical::{analytical_speedups, RayTrace};
     pub use crate::area::AreaModel;
+    pub use crate::conformance::{
+        check_golden, compare_hits, conformance_policies, current_goldens, oracle_run,
+        run_differential, write_golden, CellVerdict, ConformanceCell, ConformanceReport,
+        Divergence, Equivalence, GoldenEntry, GoldenFigure, GoldenOutcome, OracleAnswer, OracleRun,
+    };
     pub use crate::experiment::{aggregate_stats, export_run, ExperimentConfig, Prepared};
     pub use crate::faults::{
         generate_cells, run_campaign, CampaignConfig, CampaignReport, CellOutcome, CellStatus,

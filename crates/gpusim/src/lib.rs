@@ -65,5 +65,7 @@ pub use observe::{
     CountingSink, RingSink, SamplePoint, StallBreakdown, StallKind, TraceEvent, TraceSink,
 };
 pub use ray::{NextNode, RayId, RayTraversal, VisitCost};
-pub use sim::{PathTask, Sabotage, SimReport, Simulator, TraceCall, Workload};
+pub use sim::{
+    HitCapture, PathTask, Sabotage, SimReport, Simulator, TraceCall, Workload, TRACE_T_MIN,
+};
 pub use stats::{SimStats, TraversalMode};

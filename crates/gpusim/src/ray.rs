@@ -64,6 +64,7 @@ pub struct RayTraversal {
     /// Closest hit found so far.
     pub best: Option<PrimHit>,
     t_min: f32,
+    t_max: f32,
     limit: f32,
     anyhit: bool,
     /// Nodes fetched by this ray (analytics).
@@ -83,6 +84,7 @@ impl RayTraversal {
             treelet_stack: Vec::with_capacity(8),
             best: None,
             t_min,
+            t_max,
             limit: t_max,
             anyhit: false,
             nodes_visited: 0,
@@ -177,17 +179,28 @@ impl RayTraversal {
             WideNode::Leaf { first, count, .. } => {
                 for &prim in bvh.leaf_prims(*first, *count) {
                     cost.tri_tests += 1;
+                    // Test against the full search interval and compare
+                    // (t, prim) lexicographically: at equal t the lowest
+                    // prim id wins, so the winner is independent of the
+                    // policy-dependent node visit order (the differential
+                    // conformance harness relies on this).
                     if let Some(t) =
-                        triangles[prim as usize].intersect(&self.ray, self.t_min, self.limit)
+                        triangles[prim as usize].intersect(&self.ray, self.t_min, self.t_max)
                     {
-                        self.limit = t;
-                        self.best = Some(PrimHit { t, prim });
-                        if self.anyhit {
-                            // Occlusion query: the first accepted hit ends
-                            // traversal immediately.
-                            self.current_stack.clear();
-                            self.treelet_stack.clear();
-                            break;
+                        let better = match self.best {
+                            None => true,
+                            Some(b) => t < b.t || (t == b.t && prim < b.prim),
+                        };
+                        if better {
+                            self.limit = t;
+                            self.best = Some(PrimHit { t, prim });
+                            if self.anyhit {
+                                // Occlusion query: the first accepted hit
+                                // ends traversal immediately.
+                                self.current_stack.clear();
+                                self.treelet_stack.clear();
+                                break;
+                            }
                         }
                     }
                 }

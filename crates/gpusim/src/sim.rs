@@ -30,6 +30,12 @@ const RAY_REGION: u64 = 0x1_0000_0000;
 const CTA_REGION: u64 = 0x2_0000_0000;
 const QUEUE_REGION: u64 = 0x3_0000_0000;
 
+/// Lower bound of every trace call's search interval (`tmin`): the fixed
+/// self-intersection epsilon the simulator applies when building
+/// [`RayTraversal`] state. The functional oracle in `vtq::conformance`
+/// must use the same bound for bit-equal differential comparison.
+pub const TRACE_T_MIN: f32 = 1e-3;
+
 /// One `traceRayEXT` invocation: the ray plus its query semantics.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TraceCall {
@@ -151,6 +157,58 @@ impl SimReport {
     }
 }
 
+/// Per-task, per-trace-call functional hit records captured from one run:
+/// the explicit hit-capture handle consumed by the differential
+/// conformance harness (`vtq::conformance`).
+///
+/// `records[task][call]` is the hit the simulator reported for the
+/// `call`-th [`TraceCall`] of workload task `task`: the closest accepted
+/// intersection for closest-hit queries, the terminating intersection for
+/// anyhit queries, `None` for a miss. For closest-hit queries the record
+/// is policy-invariant bit for bit (with ties broken by lowest prim id);
+/// for anyhit queries only hit-vs-miss is policy-invariant — *which*
+/// occluder terminated traversal depends on visit order by design.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HitCapture {
+    records: Vec<Vec<Option<PrimHit>>>,
+}
+
+impl HitCapture {
+    /// Extracts the capture from a finished run's report.
+    pub fn from_report(report: &SimReport) -> HitCapture {
+        HitCapture { records: report.hits.clone() }
+    }
+
+    /// The hit record of one trace call, or `None` when `task`/`call` is
+    /// out of range (a call the workload never made).
+    pub fn get(&self, task: usize, call: usize) -> Option<Option<PrimHit>> {
+        self.records.get(task).and_then(|t| t.get(call)).copied()
+    }
+
+    /// Number of tasks captured.
+    pub fn tasks(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Total trace calls captured across all tasks.
+    pub fn total_calls(&self) -> usize {
+        self.records.iter().map(|t| t.len()).sum()
+    }
+
+    /// Total calls that reported a hit.
+    pub fn total_hits(&self) -> usize {
+        self.records.iter().flatten().filter(|h| h.is_some()).count()
+    }
+
+    /// Iterates `(task, call, record)` in workload order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, Option<PrimHit>)> + '_ {
+        self.records
+            .iter()
+            .enumerate()
+            .flat_map(|(task, calls)| calls.iter().enumerate().map(move |(c, h)| (task, c, *h)))
+    }
+}
+
 /// The simulator: borrowings of the immutable scene + BVH plus a config.
 ///
 /// # Example
@@ -238,6 +296,24 @@ impl<'a> Simulator<'a> {
     /// [`GpuConfig`] is trusted as-is, matching the legacy contract.
     pub fn try_run(&self, workload: &Workload) -> Result<SimReport, SimError> {
         self.try_run_with(workload, None, None)
+    }
+
+    /// [`Simulator::try_run`] plus an explicit [`HitCapture`] of the
+    /// functional results — the hit-capture hook of the differential
+    /// conformance harness (`vtq-bench conformance`), which asserts the
+    /// capture agrees bit for bit with the timing-free oracle under every
+    /// traversal policy.
+    ///
+    /// # Errors
+    ///
+    /// Identical to [`Simulator::try_run`].
+    pub fn try_run_with_hits(
+        &self,
+        workload: &Workload,
+    ) -> Result<(SimReport, HitCapture), SimError> {
+        let report = self.try_run(workload)?;
+        let capture = HitCapture::from_report(&report);
+        Ok((report, capture))
     }
 
     /// Like [`Simulator::run`], but streams structured [`TraceEvent`]s into
@@ -989,7 +1065,8 @@ impl<'a> Engine<'a> {
         for t in first..first + count {
             if let Some(call) = self.workload.tasks[t].rays.get(bounce) {
                 let rid = RayId(self.rays.len() as u32);
-                let mut traversal = RayTraversal::new(rid, call.ray, self.bvh, 1e-3, call.t_max);
+                let mut traversal =
+                    RayTraversal::new(rid, call.ray, self.bvh, TRACE_T_MIN, call.t_max);
                 if call.anyhit {
                     traversal.set_anyhit();
                 }

@@ -428,9 +428,19 @@ impl Bvh {
             match self.node(id) {
                 WideNode::Leaf { first, count, .. } => {
                     for &prim in self.leaf_prims(*first, *count) {
-                        if let Some(t) = triangles[prim as usize].intersect(ray, t_min, limit) {
-                            limit = t;
-                            best = Some(PrimHit { t, prim });
+                        // Test against the full interval and break equal-t
+                        // ties by lowest prim id, the same rule the
+                        // simulator's RayTraversal::visit applies, so the
+                        // reference result is traversal-order independent.
+                        if let Some(t) = triangles[prim as usize].intersect(ray, t_min, t_max) {
+                            let better = match best {
+                                None => true,
+                                Some(b) => t < b.t || (t == b.t && prim < b.prim),
+                            };
+                            if better {
+                                limit = t;
+                                best = Some(PrimHit { t, prim });
+                            }
                         }
                     }
                 }
@@ -546,6 +556,10 @@ impl Bvh {
 }
 
 /// Brute-force closest hit, for differential testing of traversal.
+///
+/// Shares the traversal tie-break rule: at equal `t` the lowest prim id
+/// wins (here guaranteed by iterating prims in index order with a strict
+/// `<` comparison).
 pub fn brute_force_intersect(
     triangles: &[Triangle],
     ray: &Ray,

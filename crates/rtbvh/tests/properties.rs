@@ -89,6 +89,95 @@ proptest! {
     }
 
     #[test]
+    fn every_node_lives_in_exactly_one_treelet(
+        seed in any::<u64>(),
+        count in 1usize..250,
+        budget in 256u32..16_384,
+    ) {
+        let tris = random_soup(seed, count);
+        let bvh = Bvh::build(&tris, &BvhConfig { treelet_bytes: budget, ..Default::default() });
+        // Membership lists and the node->treelet map must agree, and
+        // every node must appear in exactly one membership list.
+        let mut counts = vec![0usize; bvh.nodes().len()];
+        for (tid, t) in bvh.partition().treelets().iter().enumerate() {
+            for n in &t.nodes {
+                counts[n.index()] += 1;
+                prop_assert_eq!(bvh.treelet_of(*n), rtbvh::TreeletId(tid as u32));
+            }
+        }
+        prop_assert!(counts.iter().all(|&c| c == 1), "membership counts: {counts:?}");
+    }
+
+    #[test]
+    fn treelet_byte_budget_is_respected(
+        seed in any::<u64>(),
+        count in 1usize..250,
+        budget in 256u32..16_384,
+    ) {
+        let tris = random_soup(seed, count);
+        let bvh = Bvh::build(&tris, &BvhConfig { treelet_bytes: budget, ..Default::default() });
+        let layout = bvh.config().layout;
+        for t in bvh.partition().treelets() {
+            // Oversized *singleton* treelets are the only sanctioned
+            // budget escape (a single node record larger than the budget).
+            prop_assert!(
+                t.bytes <= budget || t.nodes.len() == 1,
+                "multi-node treelet of {} bytes exceeds budget {budget}",
+                t.bytes
+            );
+            let sum: u32 =
+                t.nodes.iter().map(|n| bvh.nodes()[n.index()].byte_size(&layout)).sum();
+            prop_assert_eq!(sum, t.bytes);
+        }
+    }
+
+    #[test]
+    fn treelet_roots_cover_the_whole_tree(
+        seed in any::<u64>(),
+        count in 1usize..250,
+        budget in 256u32..16_384,
+    ) {
+        let tris = random_soup(seed, count);
+        let bvh = Bvh::build(&tris, &BvhConfig { treelet_bytes: budget, ..Default::default() });
+        // Parent map over the wide tree.
+        let mut parent = vec![None; bvh.nodes().len()];
+        for (i, n) in bvh.nodes().iter().enumerate() {
+            if let rtbvh::WideNode::Inner { children, .. } = n {
+                for c in children {
+                    parent[c.index()] = Some(rtbvh::NodeId(i as u32));
+                }
+            }
+        }
+        // The tree root is a treelet entry; every other entry's parent is
+        // in a *different* treelet; every non-entry member's parent is in
+        // the *same* treelet. Together with exactly-one membership this
+        // means the treelet entries tile the whole tree into connected
+        // subtrees.
+        prop_assert_eq!(bvh.partition().info(bvh.treelet_of(bvh.root())).entry, bvh.root());
+        for t in bvh.partition().treelets() {
+            for n in &t.nodes {
+                if *n == t.entry {
+                    if let Some(par) = parent[n.index()] {
+                        prop_assert!(
+                            bvh.treelet_of(par) != bvh.treelet_of(*n),
+                            "entry {n} shares a treelet with its parent"
+                        );
+                    } else {
+                        prop_assert_eq!(*n, bvh.root());
+                    }
+                } else {
+                    let par = parent[n.index()].expect("non-root member has a parent");
+                    prop_assert_eq!(
+                        bvh.treelet_of(par),
+                        bvh.treelet_of(*n),
+                        "member {} is disconnected from its treelet", n
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn occlusion_agrees_with_intersection(seed in any::<u64>()) {
         let tris = random_soup(seed, 80);
         let bvh = Bvh::build(&tris, &BvhConfig::default());
