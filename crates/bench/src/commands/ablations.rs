@@ -16,7 +16,7 @@ use vtq::prelude::*;
 
 use crate::{header, ok_rows, row, HarnessOpts};
 
-pub fn run(opts: &HarnessOpts, engine: &SweepEngine) {
+pub fn run(opts: &HarnessOpts, engine: &SweepEngine) -> u8 {
     let mut scenes = opts.scenes.clone();
     if scenes.len() == SceneId::ALL.len() {
         scenes = vec![SceneId::Lands, SceneId::Frst];
@@ -171,4 +171,5 @@ pub fn run(opts: &HarnessOpts, engine: &SweepEngine) {
             row(&label, &[format!("{:.3}x", base / cycles as f64), format!("{simt:.3}")]);
         }
     }
+    crate::EXIT_OK
 }

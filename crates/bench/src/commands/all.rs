@@ -59,7 +59,7 @@ fn policies() -> Vec<TraversalPolicy> {
     ]
 }
 
-pub fn run(opts: &HarnessOpts, engine: &SweepEngine) {
+pub fn run(opts: &HarnessOpts, engine: &SweepEngine) -> u8 {
     let policies = policies();
     let mut matrix = RunMatrix::new();
     matrix.cross(&opts.scenes, &opts.config, &policies);
@@ -135,6 +135,7 @@ pub fn run(opts: &HarnessOpts, engine: &SweepEngine) {
         engine.cache().builds(),
         matrix.len()
     );
+    crate::EXIT_OK
 }
 
 fn print_report(results: &[SceneResults]) {

@@ -5,7 +5,7 @@ use vtq::prelude::*;
 
 use crate::HarnessOpts;
 
-pub fn run(_opts: &HarnessOpts, _engine: &SweepEngine) {
+pub fn run(_opts: &HarnessOpts, _engine: &SweepEngine) -> u8 {
     let m = AreaModel::default();
     println!("Area overheads (paper §6.5):");
     println!(
@@ -35,4 +35,5 @@ pub fn run(_opts: &HarnessOpts, _engine: &SweepEngine) {
     let l1 = 16.0 * 1024.0;
     let fits = 8.0 * 1024.0 + m.queue_table_bytes() < l1;
     println!("L1 fits treelet (8 KB) + queue table: {fits}");
+    crate::EXIT_OK
 }

@@ -9,7 +9,7 @@ use vtq::prelude::*;
 
 use crate::{header, ok_rows, row, HarnessOpts};
 
-pub fn run(opts: &HarnessOpts, engine: &SweepEngine) {
+pub fn run(opts: &HarnessOpts, engine: &SweepEngine) -> u8 {
     let mut scenes = opts.scenes.clone();
     if scenes.len() == SceneId::ALL.len() {
         scenes = vec![SceneId::Lands, SceneId::Car];
@@ -66,4 +66,5 @@ pub fn run(opts: &HarnessOpts, engine: &SweepEngine) {
             );
         }
     }
+    crate::EXIT_OK
 }

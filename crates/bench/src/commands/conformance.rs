@@ -28,7 +28,7 @@ use crate::{header, row, HarnessOpts};
 /// repository root in CI and the documented workflows).
 const GOLDEN_DIR: &str = "golden";
 
-pub fn run(opts: &HarnessOpts, engine: &SweepEngine) {
+pub fn run(opts: &HarnessOpts, engine: &SweepEngine) -> u8 {
     let mut failed = false;
 
     // Phase 1: differential hit equivalence.
@@ -130,6 +130,7 @@ pub fn run(opts: &HarnessOpts, engine: &SweepEngine) {
     }
 
     if failed {
-        std::process::exit(1);
+        return crate::EXIT_VIOLATION;
     }
+    crate::EXIT_OK
 }

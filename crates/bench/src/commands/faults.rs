@@ -32,11 +32,12 @@ fn cell_jsonl(c: &CellOutcome) -> String {
     };
     format!(
         "{{\"record\":\"fault_cell\",\"index\":{},\"kind\":\"{}\",\"status\":\"{status}\",\
-         \"error_kind\":\"{error_kind}\",\"retries\":{},\"cycles\":{cycles},\
+         \"error_kind\":\"{error_kind}\",\"retries\":{},\"final_budget\":{},\"cycles\":{cycles},\
          \"rays_completed\":{rays},\"detail\":\"{}\"}}",
         c.index,
         c.kind.label(),
         c.retries,
+        c.final_budget,
         detail.replace('\\', "\\\\").replace('"', "\\\""),
     )
 }
@@ -52,7 +53,7 @@ fn persist(opts: &HarnessOpts, report: &CampaignReport) -> std::io::Result<()> {
     Ok(())
 }
 
-pub fn run(opts: &HarnessOpts, engine: &SweepEngine) {
+pub fn run(opts: &HarnessOpts, engine: &SweepEngine) -> u8 {
     let quick = opts.config == ExperimentConfig::quick();
     let cfg = if quick { CampaignConfig::quick() } else { CampaignConfig::full() };
     eprintln!(
@@ -94,6 +95,73 @@ pub fn run(opts: &HarnessOpts, engine: &SweepEngine) {
         for cell in report.violations() {
             eprintln!("[faults] contract violation: {} -> {:?}", cell.label, cell.status);
         }
-        std::process::exit(1);
+        write_repros(opts, &cfg, engine, &report);
+        return crate::EXIT_VIOLATION;
+    }
+    crate::EXIT_OK
+}
+
+/// Shrinks every contract-violating cell that ended with a *typed* error
+/// down to a minimal reproducer and writes it as `repro-<index>.jsonl`
+/// in the output directory (panics carry no typed failure to key the
+/// shrink oracle on, so they are reported but not shrunk). Best-effort:
+/// a cell that cannot be shrunk or serialized is logged and skipped.
+fn write_repros(
+    opts: &HarnessOpts,
+    cfg: &CampaignConfig,
+    engine: &SweepEngine,
+    report: &CampaignReport,
+) {
+    let Some(dir) = &opts.out else {
+        eprintln!("[faults] pass --out DIR to shrink violations into repro-*.jsonl reproducers");
+        return;
+    };
+    if let Err(e) = fs::create_dir_all(dir) {
+        eprintln!("[faults] cannot create {}: {e}", dir.display());
+        return;
+    }
+    let cells = generate_cells(cfg);
+    let prepared = engine.cache().get(cfg.scene, &cfg.config);
+    for outcome in report.violations() {
+        let CellStatus::Failed { error_kind, .. } = &outcome.status else { continue };
+        let cell = cells[outcome.index];
+        let (gpu, workload) = match cell_inputs(cfg, cell, outcome.retries, &prepared.workload) {
+            Ok(inputs) => inputs,
+            Err(e) => {
+                eprintln!("[faults] {}: cannot rebuild cell inputs: {e}", outcome.label);
+                continue;
+            }
+        };
+        let shrunk = shrink_failure(
+            cfg.scene,
+            cfg.config.detail_divisor,
+            &cfg.config.bvh,
+            &gpu,
+            None,
+            &workload,
+            error_kind,
+        );
+        match shrunk {
+            Ok(s) => {
+                let path = dir.join(format!("repro-{}.jsonl", outcome.index));
+                match fs::write(&path, s.repro.to_jsonl()) {
+                    Ok(()) => {
+                        eprintln!(
+                            "[faults] {}: {s}; reproducer at {}",
+                            outcome.label,
+                            path.display()
+                        )
+                    }
+                    Err(e) => {
+                        eprintln!(
+                            "[faults] {}: cannot write {}: {e}",
+                            outcome.label,
+                            path.display()
+                        )
+                    }
+                }
+            }
+            Err(e) => eprintln!("[faults] {}: shrink failed: {e}", outcome.label),
+        }
     }
 }

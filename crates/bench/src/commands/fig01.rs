@@ -7,7 +7,7 @@ use vtq::prelude::SweepEngine;
 
 use crate::{header, mean, ok_rows, row, HarnessOpts};
 
-pub fn run(opts: &HarnessOpts, engine: &SweepEngine) {
+pub fn run(opts: &HarnessOpts, engine: &SweepEngine) -> u8 {
     let rows = ok_rows(experiment::fig01_sweep(engine, &opts.scenes, &opts.config));
     header(&["scene", "l1_bvh_miss", "simt_eff"]);
     let mut misses = Vec::new();
@@ -23,4 +23,5 @@ pub fn run(opts: &HarnessOpts, engine: &SweepEngine) {
     if !misses.is_empty() {
         row("MEAN", &[format!("{:.3}", mean(&misses)), format!("{:.3}", mean(&simts))]);
     }
+    crate::EXIT_OK
 }

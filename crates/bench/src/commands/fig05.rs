@@ -10,7 +10,7 @@ use crate::{header, ok_rows, row, HarnessOpts};
 
 const BATCHES: [usize; 6] = [32, 128, 512, 1024, 2048, 4096];
 
-pub fn run(opts: &HarnessOpts, engine: &SweepEngine) {
+pub fn run(opts: &HarnessOpts, engine: &SweepEngine) -> u8 {
     // Figure 5 includes WKND and SHIP, the suite's smallest-BVH scenes,
     // which "stand out" in the paper's plot.
     let mut scenes = opts.scenes.clone();
@@ -26,4 +26,5 @@ pub fn run(opts: &HarnessOpts, engine: &SweepEngine) {
         let values: Vec<String> = r.speedups.iter().map(|(_, s)| format!("{s:.2}x")).collect();
         row(r.scene.name(), &values);
     }
+    crate::EXIT_OK
 }

@@ -7,7 +7,7 @@ use vtq::prelude::SweepEngine;
 
 use crate::{geomean, header, ok_rows, row, HarnessOpts};
 
-pub fn run(opts: &HarnessOpts, engine: &SweepEngine) {
+pub fn run(opts: &HarnessOpts, engine: &SweepEngine) -> u8 {
     let rows = ok_rows(experiment::fig10_sweep(engine, &opts.scenes, &opts.config));
     header(&[
         "scene",
@@ -48,4 +48,5 @@ pub fn run(opts: &HarnessOpts, engine: &SweepEngine) {
             ],
         );
     }
+    crate::EXIT_OK
 }

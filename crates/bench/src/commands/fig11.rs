@@ -9,7 +9,7 @@ use vtq::prelude::SweepEngine;
 
 use crate::{ok_rows, HarnessOpts};
 
-pub fn run(opts: &HarnessOpts, engine: &SweepEngine) {
+pub fn run(opts: &HarnessOpts, engine: &SweepEngine) -> u8 {
     // Default to the paper's scene when no subset was requested.
     let mut scenes = opts.scenes.clone();
     if scenes.len() == SceneId::ALL.len() {
@@ -30,4 +30,5 @@ pub fn run(opts: &HarnessOpts, engine: &SweepEngine) {
             );
         }
     }
+    crate::EXIT_OK
 }

@@ -9,7 +9,7 @@ use crate::{geomean, header, ok_rows, row, HarnessOpts};
 
 const THRESHOLDS: [usize; 3] = [32, 64, 128];
 
-pub fn run(opts: &HarnessOpts, engine: &SweepEngine) {
+pub fn run(opts: &HarnessOpts, engine: &SweepEngine) -> u8 {
     let rows = ok_rows(experiment::fig12_sweep(engine, &opts.scenes, &opts.config, &THRESHOLDS));
     header(&["scene", "naive", "thr=32", "thr=64", "thr=128"]);
     let mut per_col: Vec<Vec<f64>> = vec![Vec::new(); 1 + THRESHOLDS.len()];
@@ -26,4 +26,5 @@ pub fn run(opts: &HarnessOpts, engine: &SweepEngine) {
         let means: Vec<String> = per_col.iter().map(|c| format!("{:.3}x", geomean(c))).collect();
         row("GEOMEAN", &means);
     }
+    crate::EXIT_OK
 }

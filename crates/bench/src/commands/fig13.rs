@@ -9,7 +9,7 @@ use crate::{geomean, header, mean, ok_rows, row, HarnessOpts};
 
 const THRESHOLDS: [usize; 4] = [8, 16, 22, 24];
 
-pub fn run(opts: &HarnessOpts, engine: &SweepEngine) {
+pub fn run(opts: &HarnessOpts, engine: &SweepEngine) -> u8 {
     let rows = ok_rows(experiment::fig13_sweep(engine, &opts.scenes, &opts.config, &THRESHOLDS));
     header(&[
         "scene",
@@ -51,4 +51,5 @@ pub fn run(opts: &HarnessOpts, engine: &SweepEngine) {
         means.push(format!("{:.3}", mean(&simt22)));
         row("MEAN", &means);
     }
+    crate::EXIT_OK
 }

@@ -7,7 +7,7 @@ use vtq::prelude::SweepEngine;
 
 use crate::{header, mean, ok_rows, row, HarnessOpts};
 
-pub fn run(opts: &HarnessOpts, engine: &SweepEngine) {
+pub fn run(opts: &HarnessOpts, engine: &SweepEngine) -> u8 {
     let rows = ok_rows(experiment::fig14_15_sweep(engine, &opts.scenes, &opts.config));
     header(&["scene", "initial", "treelet", "ray"]);
     let mut cols = [Vec::new(), Vec::new(), Vec::new()];
@@ -23,4 +23,5 @@ pub fn run(opts: &HarnessOpts, engine: &SweepEngine) {
     if !rows.is_empty() {
         row("MEAN", &cols.iter().map(|c| format!("{:.3}", mean(c))).collect::<Vec<_>>());
     }
+    crate::EXIT_OK
 }

@@ -7,7 +7,7 @@ use vtq::prelude::SweepEngine;
 
 use crate::{header, mean, ok_rows, row, HarnessOpts};
 
-pub fn run(opts: &HarnessOpts, engine: &SweepEngine) {
+pub fn run(opts: &HarnessOpts, engine: &SweepEngine) -> u8 {
     let rows = ok_rows(experiment::fig16_sweep(engine, &opts.scenes, &opts.config));
     header(&["scene", "charged_cyc", "free_cyc", "overhead"]);
     let mut overheads = Vec::new();
@@ -25,4 +25,5 @@ pub fn run(opts: &HarnessOpts, engine: &SweepEngine) {
     if !rows.is_empty() {
         row("MEAN", &[String::new(), String::new(), format!("{:.1}%", mean(&overheads) * 100.0)]);
     }
+    crate::EXIT_OK
 }

@@ -7,7 +7,7 @@ use vtq::prelude::SweepEngine;
 
 use crate::{header, mean, ok_rows, row, HarnessOpts};
 
-pub fn run(opts: &HarnessOpts, engine: &SweepEngine) {
+pub fn run(opts: &HarnessOpts, engine: &SweepEngine) -> u8 {
     let rows = ok_rows(experiment::fig17_sweep(engine, &opts.scenes, &opts.config));
     header(&["scene", "vtq/base", "novirt/base", "virt_frac"]);
     let mut ratios = Vec::new();
@@ -35,4 +35,5 @@ pub fn run(opts: &HarnessOpts, engine: &SweepEngine) {
             ],
         );
     }
+    crate::EXIT_OK
 }

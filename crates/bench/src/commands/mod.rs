@@ -29,6 +29,7 @@ mod fig16;
 mod fig17;
 mod nee;
 mod reorder;
+mod repro;
 mod scaling;
 mod sensitivity;
 mod table1;
@@ -41,8 +42,9 @@ pub struct Command {
     pub name: &'static str,
     /// One-line description for `vtq-bench help`.
     pub about: &'static str,
-    /// Entry point.
-    pub run: fn(&HarnessOpts, &SweepEngine),
+    /// Entry point; returns the process exit code (see the exit-code
+    /// contract in [`crate`]'s docs). `main` is the only exit point.
+    pub run: fn(&HarnessOpts, &SweepEngine) -> u8,
 }
 
 /// Every subcommand, in `vtq-bench help` order.
@@ -123,6 +125,11 @@ pub const ALL: &[Command] = &[
         name: "conformance",
         about: "differential oracle equivalence + golden-figure regression",
         run: conformance::run,
+    },
+    Command {
+        name: "repro",
+        about: "replay a shrunk failure reproducer (repro-*.jsonl)",
+        run: repro::run,
     },
     Command { name: "scaling", about: "scale-model methodology validation", run: scaling::run },
     Command {

@@ -12,7 +12,7 @@ use crate::{header, ok_rows, row, HarnessOpts};
 
 const ORDERS: [&str; 3] = ["pixel", "sorted", "shuffled"];
 
-pub fn run(opts: &HarnessOpts, engine: &SweepEngine) {
+pub fn run(opts: &HarnessOpts, engine: &SweepEngine) -> u8 {
     let mut scenes = opts.scenes.clone();
     if scenes.len() == SceneId::ALL.len() {
         scenes = vec![SceneId::Lands, SceneId::Park];
@@ -63,4 +63,5 @@ pub fn run(opts: &HarnessOpts, engine: &SweepEngine) {
             ],
         );
     }
+    crate::EXIT_OK
 }

@@ -1,0 +1,71 @@
+//! Replays a minimized failure reproducer produced by the shrinker
+//! (`vtq-bench faults --out DIR` writes `repro-<cell>.jsonl` files; the
+//! library's `shrink_failure` produces the same format).
+//!
+//! ```text
+//! vtq-bench repro target/faults/repro-12.jsonl
+//! ```
+//!
+//! The reproducer records scene provenance, the exact GPU configuration
+//! and the shrunk ray stream with bit-exact `f32` payloads, so the replay
+//! is the failing run — exit 0 when the journaled [`SimError`] kind
+//! reproduces, nonzero when the dump is corrupt, the failure has healed,
+//! or a *different* failure appears (all three mean the reproducer no
+//! longer describes reality and should be regenerated).
+
+use std::fs;
+
+use vtq::prelude::*;
+
+use crate::{HarnessOpts, EXIT_OK, EXIT_USAGE, EXIT_VIOLATION};
+
+pub fn run(opts: &HarnessOpts, _engine: &SweepEngine) -> u8 {
+    let Some(path) = opts.args.first() else {
+        eprintln!("usage: vtq-bench repro <repro.jsonl>");
+        return EXIT_USAGE;
+    };
+    let text = match fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return EXIT_USAGE;
+        }
+    };
+    let repro = match Repro::from_jsonl(&text) {
+        Ok(repro) => repro,
+        Err(e) => {
+            eprintln!("error: {path} is not a valid reproducer: {e}");
+            return EXIT_USAGE;
+        }
+    };
+    println!(
+        "replaying {path}: {} tasks / {} rays on {} (detail /{}), expecting `{}`",
+        repro.workload.tasks.len(),
+        repro.total_rays(),
+        repro.scene.name(),
+        repro.detail_divisor,
+        repro.error_kind,
+    );
+    match repro.replay() {
+        Err(e) if e.kind() == repro.error_kind => {
+            println!("reproduced: {e}");
+            EXIT_OK
+        }
+        Err(e) => {
+            eprintln!(
+                "error: replay failed with `{}` instead of the recorded `{}`: {e}",
+                e.kind(),
+                repro.error_kind
+            );
+            EXIT_VIOLATION
+        }
+        Ok(report) => {
+            eprintln!(
+                "error: failure no longer reproduces — replay completed in {} cycles \
+                 ({} rays)",
+                report.stats.cycles, report.stats.rays_completed
+            );
+            EXIT_VIOLATION
+        }
+    }
+}

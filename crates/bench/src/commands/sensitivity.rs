@@ -34,7 +34,7 @@ fn mode_shares(
     ]
 }
 
-pub fn run(opts: &HarnessOpts, engine: &SweepEngine) {
+pub fn run(opts: &HarnessOpts, engine: &SweepEngine) -> u8 {
     let mut scenes = opts.scenes.clone();
     if scenes.len() == SceneId::ALL.len() {
         scenes = vec![SceneId::Lands];
@@ -77,4 +77,5 @@ pub fn run(opts: &HarnessOpts, engine: &SweepEngine) {
             );
         }
     }
+    crate::EXIT_OK
 }

@@ -4,7 +4,7 @@ use vtq::prelude::*;
 
 use crate::HarnessOpts;
 
-pub fn run(opts: &HarnessOpts, _engine: &SweepEngine) {
+pub fn run(opts: &HarnessOpts, _engine: &SweepEngine) -> u8 {
     let cfg = &opts.config.gpu;
     println!("Table 1. Simulated configuration (paper values in parentheses).");
     println!("{:<38} {}", "# Streaming Multiprocessors (SM)", cfg.num_sms());
@@ -28,4 +28,5 @@ pub fn run(opts: &HarnessOpts, _engine: &SweepEngine) {
     println!("{:<38} 1", "# RT Units / SM");
     println!("{:<38} {}", "RT Unit Warp Buffer Size", cfg.warp_buffer_slots);
     println!("{:<38} {}", "Max virtualized rays / SM", VtqParams::default().max_virtual_rays);
+    crate::EXIT_OK
 }

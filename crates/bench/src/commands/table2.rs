@@ -6,7 +6,7 @@ use vtq::prelude::SweepEngine;
 
 use crate::{ok_rows, HarnessOpts};
 
-pub fn run(opts: &HarnessOpts, engine: &SweepEngine) {
+pub fn run(opts: &HarnessOpts, engine: &SweepEngine) -> u8 {
     println!(
         "{:>8} {:>12} {:>12} {:>14} {:>14} {:>10}",
         "scene", "tris", "bvh_KB", "paper_tris", "paper_bvh_MB", "scale"
@@ -23,4 +23,5 @@ pub fn run(opts: &HarnessOpts, engine: &SweepEngine) {
             r.paper_triangles as f64 / r.triangles as f64,
         );
     }
+    crate::EXIT_OK
 }

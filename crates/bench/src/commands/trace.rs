@@ -23,7 +23,7 @@ use vtq::prelude::*;
 
 use crate::{ok_rows, HarnessOpts};
 
-pub fn run(opts: &HarnessOpts, engine: &SweepEngine) {
+pub fn run(opts: &HarnessOpts, engine: &SweepEngine) -> u8 {
     let dir = opts.out.clone().unwrap_or_else(|| "target/trace".into());
     let ring_capacity = 1 << 20;
     let runs = ok_rows(engine.run_scenes(&opts.scenes, &opts.config, |p| {
@@ -38,12 +38,12 @@ pub fn run(opts: &HarnessOpts, engine: &SweepEngine) {
         let label = format!("{scene}/vtq");
         if let Err(e) = export_run(&dir, &label, &report) {
             eprintln!("error: cannot write artifacts to {}: {e}", dir.display());
-            std::process::exit(1);
+            return crate::EXIT_VIOLATION;
         }
         let trace_path = dir.join(format!("{scene}-vtq.trace.jsonl"));
         if let Err(e) = fs::write(&trace_path, trace_jsonl) {
             eprintln!("error: cannot write {}: {e}", trace_path.display());
-            std::process::exit(1);
+            return crate::EXIT_VIOLATION;
         }
 
         println!("== {scene} (vtq) ==");
@@ -59,4 +59,5 @@ pub fn run(opts: &HarnessOpts, engine: &SweepEngine) {
         println!("{}", agg.report());
     }
     eprintln!("[trace] artifacts in {}", dir.display());
+    crate::EXIT_OK
 }

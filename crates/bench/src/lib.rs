@@ -13,10 +13,31 @@
 //! * `--csv` — emit comma-separated rows instead of aligned tables (for
 //!   plotting scripts),
 //! * `--out DIR` — persist machine-readable artifacts (per-run stall and
-//!   time-series CSVs plus an appended `metrics.jsonl`) to `DIR`.
+//!   time-series CSVs plus an appended `metrics.jsonl`) to `DIR`. Also
+//!   starts a fresh `journal.jsonl` cell journal in `DIR`,
+//! * `--resume DIR` — continue an interrupted sweep: cells journaled
+//!   `done` in `DIR/journal.jsonl` are skipped (their artifacts are
+//!   already on disk), everything else runs. Implies `--out DIR`.
 //!
 //! Unknown flags are an error: parsing fails with a message and the usage
 //! text instead of silently proceeding with a misconfigured run.
+//!
+//! # Exit codes
+//!
+//! The process-level contract (see [`EXIT_OK`], [`EXIT_VIOLATION`],
+//! [`EXIT_USAGE`], [`EXIT_INTERRUPTED`]):
+//!
+//! | code | meaning |
+//! |------|---------|
+//! | 0    | the command completed and every check it ran passed |
+//! | 1    | a contract violation or I/O failure: fault-campaign cells off |
+//! |      | contract, conformance divergence, a reproducer that no longer |
+//! |      | reproduces, or an artifact that could not be written |
+//! | 2    | usage error: unknown subcommand, flag, scene or argument |
+//! | 3    | interrupted (SIGINT) but journaled — re-run with `--resume` |
+//!
+//! Subcommand `run` functions return the code; `main` is the only place
+//! that calls [`std::process::exit`].
 //!
 //! Rows are printed as aligned text tables, one row per scene, matching
 //! the layout of the paper's figures so EXPERIMENTS.md comparisons are
@@ -31,6 +52,19 @@ pub mod commands;
 
 /// Global output mode toggled by `--csv`.
 static CSV: AtomicBool = AtomicBool::new(false);
+
+/// Exit code: the command completed and every check it ran passed.
+pub const EXIT_OK: u8 = 0;
+/// Exit code: a contract violation or I/O failure — fault cells off
+/// contract, conformance divergence, a reproducer that no longer
+/// reproduces its recorded failure, or an artifact that failed to write.
+pub const EXIT_VIOLATION: u8 = 1;
+/// Exit code: usage error (unknown subcommand, flag, scene or argument).
+pub const EXIT_USAGE: u8 = 2;
+/// Exit code: a SIGINT arrived mid-sweep; in-flight cells drained and the
+/// journal was flushed, so `--resume DIR` continues where this run
+/// stopped.
+pub const EXIT_INTERRUPTED: u8 = 3;
 
 /// Parsed command-line options shared by all subcommands.
 #[derive(Debug, Clone)]
@@ -47,6 +81,12 @@ pub struct HarnessOpts {
     /// Rewrite the checked-in golden snapshots instead of validating
     /// against them (`--update-golden`; `conformance` subcommand only).
     pub update_golden: bool,
+    /// Resume an interrupted sweep from this directory's `journal.jsonl`
+    /// (`--resume`; implies `--out` pointing at the same directory).
+    pub resume: Option<PathBuf>,
+    /// Positional (non-flag) arguments, e.g. the reproducer file for
+    /// `vtq-bench repro <file>`.
+    pub args: Vec<String>,
 }
 
 impl Default for HarnessOpts {
@@ -57,6 +97,8 @@ impl Default for HarnessOpts {
             out: None,
             jobs: default_jobs(),
             update_golden: false,
+            resume: None,
+            args: Vec::new(),
         }
     }
 }
@@ -70,7 +112,10 @@ options (all subcommands):
   --jobs N         sweep-engine worker threads (default: all hardware
                    threads; results are identical for every N)
   --csv            emit CSV rows instead of aligned tables
-  --out DIR        persist per-run artifacts (CSVs + metrics.jsonl)
+  --out DIR        persist per-run artifacts (CSVs + metrics.jsonl) and
+                   keep a crash-tolerant cell journal in DIR
+  --resume DIR     continue an interrupted sweep: skip cells journaled
+                   done in DIR/journal.jsonl (implies --out DIR)
   --max-cycles N   watchdog: end runs exceeding N cycles with a typed
                    error + forensics snapshot instead of hanging (N >= 1)
   --strict-invariants
@@ -148,6 +193,11 @@ impl HarnessOpts {
                         .build()
                         .map_err(|e| e.to_string())?;
                 }
+                "--resume" => {
+                    i += 1;
+                    opts.resume =
+                        Some(PathBuf::from(args.get(i).ok_or("--resume needs a directory")?));
+                }
                 "--update-golden" => {
                     opts.update_golden = true;
                 }
@@ -160,11 +210,18 @@ impl HarnessOpts {
                         .build()
                         .map_err(|e| e.to_string())?;
                 }
-                other => {
+                other if other.starts_with('-') => {
                     return Err(format!("unknown flag {other}"));
+                }
+                positional => {
+                    opts.args.push(positional.to_string());
                 }
             }
             i += 1;
+        }
+        // A resumed sweep writes its new artifacts next to the old ones.
+        if opts.out.is_none() {
+            opts.out = opts.resume.clone();
         }
         Ok(opts)
     }
@@ -182,9 +239,37 @@ impl HarnessOpts {
         })
     }
 
-    /// A sweep engine sized by `--jobs` (fresh cache).
+    /// A sweep engine sized by `--jobs` (fresh cache). When an output
+    /// directory is set, the engine carries a [`SweepJournal`]: a fresh
+    /// one under `--out`, a resumed one (skipping journaled-done cells)
+    /// under `--resume`. A journal that cannot be opened degrades to an
+    /// un-journaled engine with a warning rather than killing the run.
     pub fn engine(&self) -> SweepEngine {
-        SweepEngine::new(self.jobs)
+        let engine = SweepEngine::new(self.jobs);
+        let Some(dir) = self.out.as_deref() else {
+            return engine;
+        };
+        let journal = if self.resume.is_some() {
+            SweepJournal::resume(dir)
+        } else {
+            SweepJournal::start(dir)
+        };
+        match journal {
+            Ok(journal) => {
+                if self.resume.is_some() && journal.completed_count() > 0 {
+                    eprintln!(
+                        "[resume] {} cells journaled done in {}; skipping them",
+                        journal.completed_count(),
+                        dir.display()
+                    );
+                }
+                engine.with_journal(std::sync::Arc::new(journal))
+            }
+            Err(e) => {
+                eprintln!("[journal] cannot open journal in {}: {e}", dir.display());
+                engine
+            }
+        }
     }
 
     /// Persists one run's artifacts when `--out` was given; a no-op
@@ -212,12 +297,18 @@ impl HarnessOpts {
 }
 
 /// Unwraps the successful rows of a sweep, reporting failed cells to
-/// stderr. Keeps the sweep's deterministic order.
+/// stderr. Keeps the sweep's deterministic order. Cells skipped by a
+/// resumed journal are quiet one-liners, not errors — their artifacts
+/// are already on disk from the interrupted run.
 pub fn ok_rows<T>(results: Vec<CellResult<T>>) -> Vec<T> {
     results
         .into_iter()
         .filter_map(|r| match r {
             Ok(row) => Some(row),
+            Err(e) if e.kind == CellErrorKind::Skipped => {
+                eprintln!("[resume] {} already done, skipped", e.label);
+                None
+            }
             Err(e) => {
                 eprintln!("[sweep] {e}");
                 None
@@ -347,6 +438,40 @@ mod tests {
     }
 
     #[test]
+    fn parse_collects_positionals() {
+        let opts = parse(&["repro.jsonl", "--quick", "second"]).unwrap();
+        assert_eq!(opts.args, vec!["repro.jsonl".to_string(), "second".to_string()]);
+        assert_eq!(opts.config.detail_divisor, ExperimentConfig::quick().detail_divisor);
+    }
+
+    #[test]
+    fn parse_resume_implies_out() {
+        let opts = parse(&["--resume", "runs/a"]).unwrap();
+        assert_eq!(opts.resume.as_deref(), Some(std::path::Path::new("runs/a")));
+        assert_eq!(opts.out.as_deref(), Some(std::path::Path::new("runs/a")));
+        // An explicit --out wins for artifact placement.
+        let opts = parse(&["--resume", "runs/a", "--out", "runs/b"]).unwrap();
+        assert_eq!(opts.out.as_deref(), Some(std::path::Path::new("runs/b")));
+        assert!(parse(&["--resume"]).unwrap_err().contains("directory"));
+    }
+
+    #[test]
+    fn exit_code_contract_is_stable() {
+        // Documented process contract; scripts and CI depend on these
+        // exact values.
+        assert_eq!(EXIT_OK, 0);
+        assert_eq!(EXIT_VIOLATION, 1);
+        assert_eq!(EXIT_USAGE, 2);
+        assert_eq!(EXIT_INTERRUPTED, 3);
+        let codes = [EXIT_OK, EXIT_VIOLATION, EXIT_USAGE, EXIT_INTERRUPTED];
+        for (i, a) in codes.iter().enumerate() {
+            for b in &codes[i + 1..] {
+                assert_ne!(a, b, "exit codes must be distinct");
+            }
+        }
+    }
+
+    #[test]
     fn parse_rejects_unknown_scene() {
         let err = parse(&["--scenes", "NOPE"]).unwrap_err();
         assert!(err.contains("unknown scene: NOPE"), "got: {err}");
@@ -427,6 +552,7 @@ mod tests {
             "sensitivity",
             "faults",
             "conformance",
+            "repro",
         ] {
             assert!(commands::find(name).is_some(), "missing subcommand {name}");
         }

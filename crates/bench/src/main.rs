@@ -10,10 +10,18 @@
 //! Every subcommand shares one [`vtq::sweep::SweepEngine`] sized by
 //! `--jobs` (default: all hardware threads); output is identical for
 //! every `--jobs N`.
+//!
+//! This is the process's only exit point; subcommands *return* their
+//! code (see the exit-code contract in [`vtq_bench`]'s docs). With an
+//! output directory (`--out`/`--resume`) the engine journals cell
+//! completion and Ctrl-C becomes a *graceful* drain: in-flight cells
+//! finish, pending cells are journaled interrupted, and the process
+//! exits [`EXIT_INTERRUPTED`] so callers know `--resume DIR` will pick
+//! up where it stopped.
 
 use std::process::ExitCode;
 
-use vtq_bench::{commands, HarnessOpts, USAGE_OPTIONS};
+use vtq_bench::{commands, HarnessOpts, EXIT_INTERRUPTED, EXIT_USAGE, USAGE_OPTIONS};
 
 fn usage() -> String {
     let mut s = String::from("usage: vtq-bench <command> [options]\n\ncommands:\n");
@@ -26,11 +34,33 @@ fn usage() -> String {
     s
 }
 
+/// Installs a SIGINT handler that flips the library's cooperative cancel
+/// flag (an async-signal-safe atomic store) instead of killing the
+/// process, so a journaled sweep drains and flushes before exiting.
+/// Registered only when a journal exists — without one, default SIGINT
+/// death is the honest behaviour (there is nothing to resume).
+#[cfg(unix)]
+fn install_sigint_drain() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    extern "C" fn on_sigint(_signum: i32) {
+        vtq::durable::request_cancel();
+    }
+    const SIGINT: i32 = 2;
+    unsafe {
+        signal(SIGINT, on_sigint as extern "C" fn(i32) as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_sigint_drain() {}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(name) = args.first() else {
         eprint!("{}", usage());
-        return ExitCode::from(2);
+        return ExitCode::from(EXIT_USAGE);
     };
     if matches!(name.as_str(), "help" | "--help" | "-h" | "list") {
         print!("{}", usage());
@@ -39,17 +69,24 @@ fn main() -> ExitCode {
     let Some(cmd) = commands::find(name) else {
         eprintln!("error: unknown command `{name}`\n");
         eprint!("{}", usage());
-        return ExitCode::from(2);
+        return ExitCode::from(EXIT_USAGE);
     };
     let opts = match HarnessOpts::parse(&args[1..]) {
         Ok(opts) => opts,
         Err(e) => {
             eprintln!("error: {e}\n");
             eprint!("{}", usage());
-            return ExitCode::from(2);
+            return ExitCode::from(EXIT_USAGE);
         }
     };
-    let engine = opts.engine();
-    (cmd.run)(&opts, &engine);
-    ExitCode::SUCCESS
+    let engine = opts.engine().scoped(cmd.name);
+    if engine.journal().is_some() {
+        install_sigint_drain();
+    }
+    let code = (cmd.run)(&opts, &engine);
+    if vtq::durable::cancel_requested() {
+        eprintln!("[interrupted] sweep drained; journal flushed — rerun with --resume to continue");
+        return ExitCode::from(EXIT_INTERRUPTED);
+    }
+    ExitCode::from(code)
 }

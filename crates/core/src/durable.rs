@@ -1,0 +1,1058 @@
+//! Durable sweeps: cooperative cancellation, a crash-tolerant cell
+//! journal, and minimal-reproducer shrinking for failed cells.
+//!
+//! Three pieces, designed to compose with [`SweepEngine`](crate::sweep):
+//!
+//! * **Cancellation** — a process-global flag ([`request_cancel`]) that a
+//!   SIGINT handler can set (it is async-signal-safe: a single atomic
+//!   store). The engine checks it before starting each cell, so in-flight
+//!   cells drain and unstarted ones are journaled as `interrupted`.
+//! * **[`SweepJournal`]** — an append-only `journal.jsonl` of cell
+//!   dispositions keyed by a stable cell key (command scope + wave +
+//!   index + label + config fingerprint). Re-running with the journal in
+//!   *resume* mode skips every cell already journaled `done`, so a killed
+//!   sweep continues where it left off instead of starting over.
+//! * **Shrinking** — [`shrink_workload`] delta-debugs a failing ray
+//!   stream down to a minimal reproducer, and [`Repro`] serializes that
+//!   reproducer (scene provenance + exact config + bit-exact rays) to a
+//!   JSONL file that `vtq-bench repro` replays.
+
+use std::collections::HashSet;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufWriter, Read as _, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+use gpusim::{
+    AuditMode, GpuConfig, PathTask, Sabotage, SimError, SimReport, Simulator, TraceCall,
+    TraversalPolicy, VtqParams, Workload,
+};
+use rtbvh::{Bvh, BvhConfig};
+use rtmath::Ray;
+use rtscene::lumibench::{self, SceneId};
+
+// ---------------------------------------------------------------------------
+// Cooperative cancellation
+// ---------------------------------------------------------------------------
+
+static CANCEL: AtomicBool = AtomicBool::new(false);
+
+/// Requests cooperative cancellation of in-progress sweeps. Safe to call
+/// from a signal handler: it performs a single atomic store and nothing
+/// else.
+pub fn request_cancel() {
+    CANCEL.store(true, Ordering::SeqCst);
+}
+
+/// Whether cancellation has been requested (and not since reset).
+pub fn cancel_requested() -> bool {
+    CANCEL.load(Ordering::SeqCst)
+}
+
+/// Clears a pending cancellation request (tests and multi-phase drivers).
+pub fn reset_cancel() {
+    CANCEL.store(false, Ordering::SeqCst);
+}
+
+// ---------------------------------------------------------------------------
+// Crash-tolerant sweep journal
+// ---------------------------------------------------------------------------
+
+/// File name of the journal inside a sweep's output directory.
+pub const JOURNAL_FILE: &str = "journal.jsonl";
+
+/// Final disposition of one sweep cell, as journaled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellDisposition {
+    /// The cell ran to completion; resume skips it.
+    Done,
+    /// The cell panicked (or its payload was a typed failure the caller
+    /// chose to journal as failed); resume re-runs it.
+    Failed,
+    /// Cancellation arrived before the cell started; resume re-runs it.
+    Interrupted,
+    /// The cell was retried with a doubled budget (satellite record, not
+    /// a final disposition); resume re-runs it unless a later `done`
+    /// record exists.
+    Retry,
+}
+
+impl CellDisposition {
+    /// Stable status string used in the journal.
+    pub fn label(self) -> &'static str {
+        match self {
+            CellDisposition::Done => "done",
+            CellDisposition::Failed => "failed",
+            CellDisposition::Interrupted => "interrupted",
+            CellDisposition::Retry => "retry",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct JournalInner {
+    file: BufWriter<File>,
+    done: HashSet<String>,
+}
+
+/// Append-only journal of sweep-cell dispositions, one flat-JSON record
+/// per line, flushed after every write so a `kill -9` loses at most the
+/// cell that was in flight.
+#[derive(Debug)]
+pub struct SweepJournal {
+    path: PathBuf,
+    inner: Mutex<JournalInner>,
+}
+
+impl SweepJournal {
+    /// Starts a fresh journal at `dir/journal.jsonl`, truncating any
+    /// previous one. Used for clean (non-resumed) runs so stale `done`
+    /// records can never mask re-execution.
+    pub fn start(dir: &Path) -> io::Result<SweepJournal> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(JOURNAL_FILE);
+        let file = File::create(&path)?;
+        let journal = SweepJournal {
+            path,
+            inner: Mutex::new(JournalInner { file: BufWriter::new(file), done: HashSet::new() }),
+        };
+        journal.session_header("start")?;
+        Ok(journal)
+    }
+
+    /// Opens `dir/journal.jsonl` for appending and loads the set of cells
+    /// already journaled `done`, which [`completed`](Self::completed)
+    /// then reports so the engine can skip them.
+    pub fn resume(dir: &Path) -> io::Result<SweepJournal> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(JOURNAL_FILE);
+        let mut done = HashSet::new();
+        match File::open(&path) {
+            Ok(mut f) => {
+                let mut text = String::new();
+                f.read_to_string(&mut text)?;
+                for line in text.lines() {
+                    if json_str_field(line, "record").as_deref() != Some("cell") {
+                        continue;
+                    }
+                    let (Some(key), Some(status)) =
+                        (json_str_field(line, "key"), json_str_field(line, "status"))
+                    else {
+                        continue; // torn tail line from a hard kill
+                    };
+                    if status == CellDisposition::Done.label() {
+                        done.insert(key);
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        let journal = SweepJournal {
+            path,
+            inner: Mutex::new(JournalInner { file: BufWriter::new(file), done }),
+        };
+        journal.session_header("resume")?;
+        Ok(journal)
+    }
+
+    /// Path of the journal file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Whether `key` was journaled `done` (in a prior session, or earlier
+    /// in this one).
+    pub fn completed(&self, key: &str) -> bool {
+        self.inner.lock().unwrap().done.contains(key)
+    }
+
+    /// Number of distinct cells journaled `done`.
+    pub fn completed_count(&self) -> usize {
+        self.inner.lock().unwrap().done.len()
+    }
+
+    /// Appends one cell record and flushes it to disk.
+    pub fn record(
+        &self,
+        key: &str,
+        disposition: CellDisposition,
+        retries: u32,
+        detail: &str,
+    ) -> io::Result<()> {
+        let mut inner = self.inner.lock().unwrap();
+        let line = format!(
+            "{{\"record\":\"cell\",\"key\":{},\"status\":\"{}\",\"retries\":{},\"detail\":{}}}\n",
+            json_quote(key),
+            disposition.label(),
+            retries,
+            json_quote(detail),
+        );
+        inner.file.write_all(line.as_bytes())?;
+        inner.file.flush()?;
+        if disposition == CellDisposition::Done {
+            inner.done.insert(key.to_string());
+        }
+        Ok(())
+    }
+
+    fn session_header(&self, mode: &str) -> io::Result<()> {
+        let mut inner = self.inner.lock().unwrap();
+        let line = format!("{{\"record\":\"journal\",\"version\":1,\"mode\":\"{mode}\"}}\n");
+        inner.file.write_all(line.as_bytes())?;
+        inner.file.flush()
+    }
+}
+
+/// Quotes `s` as a JSON string, escaping backslash, quote and control
+/// characters (panic payloads can contain anything).
+fn json_quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Extracts the string value of `"name":"..."` from a flat JSON line with
+/// an escape-aware scan (values may contain commas and colons, so naive
+/// splitting is not safe here).
+fn json_str_field(line: &str, name: &str) -> Option<String> {
+    let marker = format!("\"{name}\":\"");
+    let start = line.find(&marker)? + marker.len();
+    let mut out = String::new();
+    let mut chars = line[start..].chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'u' => {
+                    let hex: String = chars.by_ref().take(4).collect();
+                    let code = u32::from_str_radix(&hex, 16).ok()?;
+                    out.push(char::from_u32(code)?);
+                }
+                other => out.push(other),
+            },
+            c => out.push(c),
+        }
+    }
+    None // unterminated string: torn line
+}
+
+// ---------------------------------------------------------------------------
+// Delta-debugging shrinker
+// ---------------------------------------------------------------------------
+
+/// Result of [`shrink_workload`].
+#[derive(Debug, Clone)]
+pub struct ShrinkOutcome {
+    /// The minimized workload (equal to the input if it never failed).
+    pub workload: Workload,
+    /// How many times the failure oracle ran.
+    pub oracle_calls: usize,
+}
+
+/// Shrinks `workload` to a (locally) minimal sub-workload for which
+/// `still_fails` returns true, using ddmin over the task list followed by
+/// per-task bounce-prefix truncation.
+///
+/// Only *prefixes* of each task's ray chain are tried — later bounces of
+/// a path depend on earlier ones, so an arbitrary subset would not be a
+/// semantically honest reproducer. If the oracle does not fail on the
+/// input workload, the input is returned unchanged.
+pub fn shrink_workload(
+    workload: &Workload,
+    still_fails: &mut dyn FnMut(&Workload) -> bool,
+) -> ShrinkOutcome {
+    let mut calls = 0usize;
+    calls += 1;
+    if !still_fails(workload) {
+        return ShrinkOutcome { workload: workload.clone(), oracle_calls: calls };
+    }
+
+    // Stage 1: classic ddmin over the task list. Try removing each
+    // chunk-complement; on success restart at coarse granularity, else
+    // refine until chunks are single tasks.
+    let mut tasks = workload.tasks.clone();
+    let mut n = 2usize;
+    while tasks.len() >= 2 && n <= tasks.len() {
+        let chunk = tasks.len().div_ceil(n);
+        let mut reduced = false;
+        let mut start = 0usize;
+        while start < tasks.len() {
+            let end = (start + chunk).min(tasks.len());
+            if end - start == tasks.len() {
+                break; // removing everything is not a reproducer
+            }
+            let mut candidate: Vec<PathTask> = Vec::with_capacity(tasks.len() - (end - start));
+            candidate.extend_from_slice(&tasks[..start]);
+            candidate.extend_from_slice(&tasks[end..]);
+            let w = Workload { tasks: candidate };
+            calls += 1;
+            if still_fails(&w) {
+                tasks = w.tasks;
+                n = n.saturating_sub(1).max(2);
+                reduced = true;
+                break;
+            }
+            start = end;
+        }
+        if !reduced {
+            if n >= tasks.len() {
+                break;
+            }
+            n = (n * 2).min(tasks.len());
+        }
+    }
+
+    // Stage 2: shorten each surviving task's bounce chain, greedily
+    // popping trailing rays while the failure persists.
+    for i in 0..tasks.len() {
+        while tasks[i].rays.len() > 1 {
+            let mut candidate = tasks.clone();
+            candidate[i].rays.pop();
+            let w = Workload { tasks: candidate };
+            calls += 1;
+            if still_fails(&w) {
+                tasks = w.tasks;
+            } else {
+                break;
+            }
+        }
+    }
+
+    ShrinkOutcome { workload: Workload { tasks }, oracle_calls: calls }
+}
+
+// ---------------------------------------------------------------------------
+// Replayable reproducers
+// ---------------------------------------------------------------------------
+
+/// Version of the reproducer JSONL format.
+pub const REPRO_VERSION: u32 = 1;
+
+/// A self-contained, replayable reproducer for one simulation failure:
+/// scene provenance, the exact (representable) GPU configuration, an
+/// optional sabotage schedule, and the minimized ray stream with
+/// bit-exact `f32` payloads.
+#[derive(Debug, Clone)]
+pub struct Repro {
+    /// Scene the failing cell ran on.
+    pub scene: SceneId,
+    /// Geometry detail divisor passed to `lumibench::build_scaled`.
+    pub detail_divisor: u32,
+    /// Treelet byte budget of the BVH build (all other [`BvhConfig`]
+    /// fields must be at their defaults; enforced by [`Repro::for_cell`]).
+    pub treelet_bytes: u32,
+    /// Exact GPU configuration of the failing run.
+    pub gpu: GpuConfig,
+    /// Scheduled state corruption, for auditor-sabotage reproducers.
+    pub sabotage: Option<Sabotage>,
+    /// [`SimError::kind`] the reproducer is expected to hit on replay.
+    pub error_kind: String,
+    /// The minimized ray stream.
+    pub workload: Workload,
+}
+
+/// The GPU presets a reproducer can be expressed against. Overridable
+/// fields on top of a preset: SM count, memory faults, cycle budget,
+/// audit mode, scheduler jitter and the traversal policy.
+const GPU_BASES: [&str; 2] = ["table1", "scale_model"];
+
+fn gpu_base_config(name: &str) -> Option<GpuConfig> {
+    match name {
+        "table1" => Some(GpuConfig::default()),
+        "scale_model" => Some(GpuConfig::scale_model()),
+        _ => None,
+    }
+}
+
+/// Copies the serializable override fields of `gpu` onto `base`.
+fn apply_gpu_overrides(mut base: GpuConfig, gpu: &GpuConfig) -> GpuConfig {
+    base.mem.num_sms = gpu.mem.num_sms;
+    base.mem.faults = gpu.mem.faults;
+    base.max_cycles = gpu.max_cycles;
+    base.audit = gpu.audit;
+    base.sched_jitter_cycles = gpu.sched_jitter_cycles;
+    base.sched_jitter_seed = gpu.sched_jitter_seed;
+    base.policy = gpu.policy;
+    base
+}
+
+/// Finds the preset that, with the supported overrides applied, rebuilds
+/// `gpu` exactly (checked with `PartialEq`, so round-tripping is correct
+/// by construction). `None` means the config is not representable.
+fn gpu_base_of(gpu: &GpuConfig) -> Option<&'static str> {
+    GPU_BASES
+        .into_iter()
+        .find(|name| apply_gpu_overrides(gpu_base_config(name).unwrap(), gpu) == *gpu)
+}
+
+impl Repro {
+    /// Builds a reproducer after verifying it round-trips: the GPU config
+    /// must be a known preset plus supported overrides, and the BVH
+    /// config must be default apart from `treelet_bytes`. Returns a
+    /// human-readable reason when the cell is not representable.
+    pub fn for_cell(
+        scene: SceneId,
+        detail_divisor: u32,
+        bvh: &BvhConfig,
+        gpu: &GpuConfig,
+        sabotage: Option<Sabotage>,
+        error_kind: &str,
+        workload: Workload,
+    ) -> Result<Repro, String> {
+        if gpu_base_of(gpu).is_none() {
+            return Err("gpu config is not a known preset plus supported overrides; \
+                 cannot serialize a faithful reproducer"
+                .to_string());
+        }
+        if (BvhConfig { treelet_bytes: bvh.treelet_bytes, ..Default::default() }) != *bvh {
+            return Err("bvh config deviates from defaults beyond treelet_bytes; \
+                 cannot serialize a faithful reproducer"
+                .to_string());
+        }
+        Ok(Repro {
+            scene,
+            detail_divisor,
+            treelet_bytes: bvh.treelet_bytes,
+            gpu: *gpu,
+            sabotage,
+            error_kind: error_kind.to_string(),
+            workload,
+        })
+    }
+
+    /// Total rays in the reproducer's workload.
+    pub fn total_rays(&self) -> usize {
+        self.workload.total_rays()
+    }
+
+    /// Serializes the reproducer as JSONL: a header record, one
+    /// `repro_task` record per path task (rays as bit-exact `f32` words),
+    /// and a terminal `repro_end` record for truncation detection.
+    pub fn to_jsonl(&self) -> String {
+        let base = gpu_base_of(&self.gpu).expect("Repro::for_cell verified representability");
+        let f = &self.gpu.mem.faults;
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\"record\":\"repro\",\"version\":{},\"scene\":\"{}\",\"detail_divisor\":{},\
+             \"treelet_bytes\":{},\"gpu_base\":\"{}\",\"num_sms\":{},\"max_cycles\":\"{}\",\
+             \"audit\":\"{}\",\"jitter\":\"{}:{}\",\"faults\":\"{}:{}:{}:{}\",\
+             \"policy\":\"{}\",\"vtq\":\"{}\",\"sabotage\":\"{}\",\"error_kind\":{},\
+             \"tasks\":{}}}\n",
+            REPRO_VERSION,
+            self.scene.name(),
+            self.detail_divisor,
+            self.treelet_bytes,
+            base,
+            self.gpu.mem.num_sms,
+            match self.gpu.max_cycles {
+                Some(c) => c.to_string(),
+                None => "-".to_string(),
+            },
+            match self.gpu.audit {
+                AuditMode::Auto => "auto".to_string(),
+                AuditMode::Off => "off".to_string(),
+                AuditMode::Every(n) => format!("every:{n}"),
+            },
+            self.gpu.sched_jitter_cycles,
+            self.gpu.sched_jitter_seed,
+            f.spike_per_mille,
+            f.spike_extra_cycles,
+            f.bandwidth_divisor,
+            f.seed,
+            self.gpu.policy.label(),
+            match self.gpu.policy {
+                TraversalPolicy::Vtq(v) => format!(
+                    "{}:{}:{}:{}:{}:{}:{}:{}:{}",
+                    v.max_virtual_rays,
+                    v.divergence_treelets,
+                    v.queue_threshold,
+                    v.repack_threshold,
+                    v.preload as u8,
+                    v.group_underpopulated as u8,
+                    v.charge_virtualization as u8,
+                    v.count_table_entries,
+                    v.queue_table_entries,
+                ),
+                _ => "-".to_string(),
+            },
+            match self.sabotage {
+                Some(s) => format!("{}:{}", s.at_cycle, s.queue_total_delta),
+                None => "-".to_string(),
+            },
+            json_quote(&self.error_kind),
+            self.workload.tasks.len(),
+        ));
+        for task in &self.workload.tasks {
+            let rays: Vec<String> = task.rays.iter().map(ray_blob).collect();
+            out.push_str(&format!(
+                "{{\"record\":\"repro_task\",\"rays\":\"{}\"}}\n",
+                rays.join(" ")
+            ));
+        }
+        out.push_str("{\"record\":\"repro_end\"}\n");
+        out
+    }
+
+    /// Parses a reproducer serialized by [`to_jsonl`](Self::to_jsonl).
+    pub fn from_jsonl(text: &str) -> Result<Repro, String> {
+        let mut lines = text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
+        let (_, header) = lines.next().ok_or("empty reproducer file")?;
+        if json_str_field(header, "record").as_deref() != Some("repro") {
+            return Err("first record is not a `repro` header".to_string());
+        }
+        let version: u32 = field_int(header, "version")?;
+        if version != REPRO_VERSION {
+            return Err(format!(
+                "unsupported reproducer version {version} (expected {REPRO_VERSION})"
+            ));
+        }
+
+        let scene_name = field_str(header, "scene")?;
+        let scene = SceneId::ALL_WITH_EXTRAS
+            .into_iter()
+            .find(|s| s.name() == scene_name)
+            .ok_or_else(|| format!("unknown scene `{scene_name}`"))?;
+        let detail_divisor: u32 = field_int(header, "detail_divisor")?;
+        let treelet_bytes: u32 = field_int(header, "treelet_bytes")?;
+
+        let base_name = field_str(header, "gpu_base")?;
+        let mut gpu =
+            gpu_base_config(&base_name).ok_or_else(|| format!("unknown gpu base `{base_name}`"))?;
+        gpu.mem.num_sms = field_int(header, "num_sms")?;
+        gpu.max_cycles = match field_str(header, "max_cycles")?.as_str() {
+            "-" => None,
+            c => Some(c.parse().map_err(|_| format!("bad max_cycles `{c}`"))?),
+        };
+        gpu.audit = match field_str(header, "audit")?.as_str() {
+            "auto" => AuditMode::Auto,
+            "off" => AuditMode::Off,
+            other => match other.strip_prefix("every:") {
+                Some(n) => {
+                    AuditMode::Every(n.parse().map_err(|_| format!("bad audit interval `{n}`"))?)
+                }
+                None => return Err(format!("bad audit mode `{other}`")),
+            },
+        };
+        let jitter = field_str(header, "jitter")?;
+        let (jc, js) = jitter.split_once(':').ok_or_else(|| format!("bad jitter `{jitter}`"))?;
+        gpu.sched_jitter_cycles = jc.parse().map_err(|_| format!("bad jitter `{jitter}`"))?;
+        gpu.sched_jitter_seed = js.parse().map_err(|_| format!("bad jitter `{jitter}`"))?;
+        let faults = field_str(header, "faults")?;
+        let ftoks: Vec<&str> = faults.split(':').collect();
+        if ftoks.len() != 4 {
+            return Err(format!("bad faults `{faults}`"));
+        }
+        gpu.mem.faults.spike_per_mille =
+            ftoks[0].parse().map_err(|_| format!("bad faults `{faults}`"))?;
+        gpu.mem.faults.spike_extra_cycles =
+            ftoks[1].parse().map_err(|_| format!("bad faults `{faults}`"))?;
+        gpu.mem.faults.bandwidth_divisor =
+            ftoks[2].parse().map_err(|_| format!("bad faults `{faults}`"))?;
+        gpu.mem.faults.seed = ftoks[3].parse().map_err(|_| format!("bad faults `{faults}`"))?;
+
+        let policy = field_str(header, "policy")?;
+        let vtq = field_str(header, "vtq")?;
+        gpu.policy = match policy.as_str() {
+            "baseline" => TraversalPolicy::Baseline,
+            "prefetch" => TraversalPolicy::TreeletPrefetch,
+            "vtq" => {
+                let t: Vec<&str> = vtq.split(':').collect();
+                if t.len() != 9 {
+                    return Err(format!("bad vtq params `{vtq}`"));
+                }
+                let bad = |_| format!("bad vtq params `{vtq}`");
+                TraversalPolicy::Vtq(VtqParams {
+                    max_virtual_rays: t[0].parse().map_err(bad)?,
+                    divergence_treelets: t[1].parse().map_err(bad)?,
+                    queue_threshold: t[2].parse().map_err(bad)?,
+                    repack_threshold: t[3].parse().map_err(bad)?,
+                    preload: t[4] == "1",
+                    group_underpopulated: t[5] == "1",
+                    charge_virtualization: t[6] == "1",
+                    count_table_entries: t[7].parse().map_err(bad)?,
+                    queue_table_entries: t[8].parse().map_err(bad)?,
+                })
+            }
+            other => return Err(format!("unknown policy `{other}`")),
+        };
+
+        let sabotage = match field_str(header, "sabotage")?.as_str() {
+            "-" => None,
+            s => {
+                let (c, d) = s.split_once(':').ok_or_else(|| format!("bad sabotage `{s}`"))?;
+                Some(Sabotage {
+                    at_cycle: c.parse().map_err(|_| format!("bad sabotage `{s}`"))?,
+                    queue_total_delta: d.parse().map_err(|_| format!("bad sabotage `{s}`"))?,
+                })
+            }
+        };
+        let error_kind = field_str(header, "error_kind")?;
+        let task_count: usize = field_int(header, "tasks")?;
+
+        let mut tasks = Vec::with_capacity(task_count);
+        let mut ended = false;
+        for (i, line) in lines {
+            match json_str_field(line, "record").as_deref() {
+                Some("repro_task") => {
+                    if ended {
+                        return Err(format!("line {}: data after `repro_end`", i + 1));
+                    }
+                    let blob = field_str(line, "rays")?;
+                    let rays: Result<Vec<TraceCall>, String> = blob
+                        .split_whitespace()
+                        .map(|tok| {
+                            parse_ray_blob(tok)
+                                .ok_or_else(|| format!("line {}: bad ray `{tok}`", i + 1))
+                        })
+                        .collect();
+                    tasks.push(PathTask { rays: rays? });
+                }
+                Some("repro_end") => ended = true,
+                other => return Err(format!("line {}: unexpected record {:?}", i + 1, other)),
+            }
+        }
+        if !ended {
+            return Err("truncated reproducer: no `repro_end` record".to_string());
+        }
+        if tasks.len() != task_count {
+            return Err(format!(
+                "header declared {task_count} tasks but {} records followed",
+                tasks.len()
+            ));
+        }
+
+        Ok(Repro {
+            scene,
+            detail_divisor,
+            treelet_bytes,
+            gpu,
+            sabotage,
+            error_kind,
+            workload: Workload { tasks },
+        })
+    }
+
+    /// Rebuilds the scene and BVH from the recorded provenance and
+    /// re-runs the minimized workload (with the recorded sabotage, if
+    /// any). A faithful reproducer returns the journaled failure as
+    /// `Err`; `Ok` means the failure no longer reproduces.
+    pub fn replay(&self) -> Result<SimReport, SimError> {
+        let scene = lumibench::build_scaled(self.scene, self.detail_divisor);
+        let bvh = Bvh::build(
+            scene.triangles(),
+            &BvhConfig { treelet_bytes: self.treelet_bytes, ..Default::default() },
+        );
+        let sim = Simulator::new(&bvh, scene.triangles(), self.gpu);
+        match self.sabotage {
+            Some(s) => sim.try_run_sabotaged(&self.workload, s),
+            None => sim.try_run(&self.workload),
+        }
+    }
+}
+
+/// One ray as eleven colon-separated tokens: origin, direction and
+/// cached inverse direction as `f32` bit patterns, then `t_max` bits and
+/// the any-hit flag. Bit patterns make the round trip exact for every
+/// value, NaN and negative zero included.
+fn ray_blob(call: &TraceCall) -> String {
+    let r = &call.ray;
+    format!(
+        "{}:{}:{}:{}:{}:{}:{}:{}:{}:{}:{}",
+        r.origin.x.to_bits(),
+        r.origin.y.to_bits(),
+        r.origin.z.to_bits(),
+        r.dir.x.to_bits(),
+        r.dir.y.to_bits(),
+        r.dir.z.to_bits(),
+        r.inv_dir.x.to_bits(),
+        r.inv_dir.y.to_bits(),
+        r.inv_dir.z.to_bits(),
+        call.t_max.to_bits(),
+        call.anyhit as u8,
+    )
+}
+
+fn parse_ray_blob(tok: &str) -> Option<TraceCall> {
+    let words: Vec<&str> = tok.split(':').collect();
+    if words.len() != 11 {
+        return None;
+    }
+    let mut bits = [0u32; 10];
+    for (slot, word) in bits.iter_mut().zip(&words[..10]) {
+        *slot = word.parse().ok()?;
+    }
+    let f = |i: usize| f32::from_bits(bits[i]);
+    let mut ray =
+        Ray::new(rtmath::Vec3::new(f(0), f(1), f(2)), rtmath::Vec3::new(f(3), f(4), f(5)));
+    // Restore the cached inverse exactly as recorded rather than trusting
+    // the reconstruction — bit-exactness must not depend on `recip()`.
+    ray.inv_dir = rtmath::Vec3::new(f(6), f(7), f(8));
+    let anyhit = match *words.last().unwrap() {
+        "0" => false,
+        "1" => true,
+        _ => return None,
+    };
+    Some(TraceCall { ray, t_max: f32::from_bits(bits[9]), anyhit })
+}
+
+/// `"key":value` where value is a bare integer.
+fn field_int<T: std::str::FromStr>(line: &str, name: &str) -> Result<T, String> {
+    let marker = format!("\"{name}\":");
+    let start = line.find(&marker).ok_or_else(|| format!("missing field `{name}`"))? + marker.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end]
+        .trim()
+        .parse()
+        .map_err(|_| format!("field `{name}` is not an integer: {}", &rest[..end]))
+}
+
+/// `"key":"value"` via the escape-aware scanner.
+fn field_str(line: &str, name: &str) -> Result<String, String> {
+    json_str_field(line, name).ok_or_else(|| format!("missing field `{name}`"))
+}
+
+// ---------------------------------------------------------------------------
+// High-level shrink driver
+// ---------------------------------------------------------------------------
+
+/// Result of [`shrink_failure`]: the reproducer plus shrink telemetry.
+#[derive(Debug, Clone)]
+pub struct ShrinkReport {
+    /// The serialized-ready reproducer.
+    pub repro: Repro,
+    /// Ray count of the original failing workload.
+    pub original_rays: usize,
+    /// Ray count after shrinking.
+    pub shrunk_rays: usize,
+    /// Oracle invocations the shrink spent.
+    pub oracle_calls: usize,
+}
+
+impl fmt::Display for ShrinkReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "shrunk {} -> {} rays ({} oracle calls) for `{}` on {}",
+            self.original_rays,
+            self.shrunk_rays,
+            self.oracle_calls,
+            self.repro.error_kind,
+            self.repro.scene.name(),
+        )
+    }
+}
+
+/// Shrinks a failing cell to a minimal reproducer: rebuilds the scene
+/// and BVH from provenance, delta-debugs the workload against "same
+/// [`SimError::kind`] as `expected_kind`", and packages the result as a
+/// [`Repro`]. Errors if the failure does not reproduce under the oracle
+/// or the configuration is not serializable.
+pub fn shrink_failure(
+    scene: SceneId,
+    detail_divisor: u32,
+    bvh_cfg: &BvhConfig,
+    gpu: &GpuConfig,
+    sabotage: Option<Sabotage>,
+    workload: &Workload,
+    expected_kind: &str,
+) -> Result<ShrinkReport, String> {
+    // Fail fast on unserializable cells before paying for scene builds.
+    Repro::for_cell(
+        scene,
+        detail_divisor,
+        bvh_cfg,
+        gpu,
+        sabotage,
+        expected_kind,
+        Workload::default(),
+    )?;
+
+    let built = lumibench::build_scaled(scene, detail_divisor);
+    let bvh = Bvh::build(built.triangles(), bvh_cfg);
+    let sim = Simulator::new(&bvh, built.triangles(), *gpu);
+    let mut oracle = |w: &Workload| {
+        let run = match sabotage {
+            Some(s) => sim.try_run_sabotaged(w, s),
+            None => sim.try_run(w),
+        };
+        matches!(run, Err(ref e) if e.kind() == expected_kind)
+    };
+    if !oracle(workload) {
+        return Err(format!(
+            "failure of kind `{expected_kind}` does not reproduce on the original workload; \
+             nothing to shrink"
+        ));
+    }
+
+    let outcome = shrink_workload(workload, &mut oracle);
+    let repro = Repro::for_cell(
+        scene,
+        detail_divisor,
+        bvh_cfg,
+        gpu,
+        sabotage,
+        expected_kind,
+        outcome.workload,
+    )?;
+    Ok(ShrinkReport {
+        original_rays: workload.total_rays(),
+        shrunk_rays: repro.total_rays(),
+        oracle_calls: outcome.oracle_calls + 1,
+        repro,
+    })
+}
+
+/// Serializes tests that touch the process-global cancel flag (the sweep
+/// engine's cancellation test lives in another module).
+#[cfg(test)]
+pub(crate) static CANCEL_TEST_LOCK: Mutex<()> = Mutex::new(());
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cancel_flag_round_trips() {
+        let _guard = CANCEL_TEST_LOCK.lock().unwrap();
+        reset_cancel();
+        assert!(!cancel_requested());
+        request_cancel();
+        assert!(cancel_requested());
+        reset_cancel();
+        assert!(!cancel_requested());
+    }
+
+    #[test]
+    fn json_quote_escapes_and_scans_back() {
+        let nasty = "a \"b\"\\c\nd\te\u{1}";
+        let line =
+            format!("{{\"record\":\"cell\",\"key\":{},\"status\":\"done\"}}", json_quote(nasty));
+        assert_eq!(json_str_field(&line, "key").as_deref(), Some(nasty));
+        assert_eq!(json_str_field(&line, "status").as_deref(), Some("done"));
+        assert_eq!(json_str_field(&line, "missing"), None);
+    }
+
+    #[test]
+    fn journal_start_truncates_and_resume_loads_done() {
+        let dir = std::env::temp_dir().join(format!("vtq-journal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let j = SweepJournal::start(&dir).expect("start");
+        j.record("a/0", CellDisposition::Done, 0, "").unwrap();
+        j.record("a/1", CellDisposition::Failed, 1, "boom, with a comma").unwrap();
+        j.record("a/2", CellDisposition::Interrupted, 0, "").unwrap();
+        assert!(j.completed("a/0"));
+        assert!(!j.completed("a/1"));
+        drop(j);
+
+        let j = SweepJournal::resume(&dir).expect("resume");
+        assert!(j.completed("a/0"), "done cell survives restart");
+        assert!(!j.completed("a/1"), "failed cell is re-run");
+        assert!(!j.completed("a/2"), "interrupted cell is re-run");
+        assert_eq!(j.completed_count(), 1);
+        j.record("a/1", CellDisposition::Done, 0, "").unwrap();
+        drop(j);
+
+        // A torn trailing line (hard kill mid-write) is skipped, not fatal.
+        {
+            use std::io::Write as _;
+            let mut f = OpenOptions::new().append(true).open(dir.join(JOURNAL_FILE)).unwrap();
+            write!(f, "{{\"record\":\"cell\",\"key\":\"a/2\",\"sta").unwrap();
+        }
+        let j = SweepJournal::resume(&dir).expect("resume over torn tail");
+        assert_eq!(j.completed_count(), 2);
+        assert!(j.completed("a/0") && j.completed("a/1"));
+        drop(j);
+
+        let fresh = SweepJournal::start(&dir).expect("fresh start truncates");
+        assert_eq!(fresh.completed_count(), 0, "start() must not resume");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn one_ray_task(seed: u32) -> PathTask {
+        let ray =
+            Ray::new(rtmath::Vec3::new(seed as f32, 0.0, 0.0), rtmath::Vec3::new(0.0, 0.0, 1.0));
+        PathTask { rays: vec![TraceCall::closest(ray)] }
+    }
+
+    #[test]
+    fn ddmin_finds_a_single_culprit_task() {
+        let tasks: Vec<PathTask> = (0..64).map(one_ray_task).collect();
+        let workload = Workload { tasks };
+        // Failure iff task with origin.x == 37 is present.
+        let mut oracle = |w: &Workload| {
+            w.tasks.iter().any(|t| t.rays[0].ray.origin.x.to_bits() == 37f32.to_bits())
+        };
+        let out = shrink_workload(&workload, &mut oracle);
+        assert_eq!(out.workload.tasks.len(), 1, "ddmin should isolate the culprit");
+        assert_eq!(out.workload.tasks[0].rays[0].ray.origin.x, 37.0);
+        assert!(out.oracle_calls > 1);
+    }
+
+    #[test]
+    fn ddmin_handles_coupled_culprits_and_prefix_truncation() {
+        // Failure needs BOTH task 3 and task 50 present, and only the
+        // first ray of each matters.
+        let tasks: Vec<PathTask> = (0..64)
+            .map(|i| {
+                let mut t = one_ray_task(i);
+                t.rays.push(TraceCall::closest(Ray::new(
+                    rtmath::Vec3::new(0.0, i as f32, 0.0),
+                    rtmath::Vec3::new(1.0, 0.0, 0.0),
+                )));
+                t
+            })
+            .collect();
+        let workload = Workload { tasks };
+        let has = |w: &Workload, x: f32| {
+            w.tasks.iter().any(|t| t.rays.first().map(|r| r.ray.origin.x == x).unwrap_or(false))
+        };
+        let mut oracle = |w: &Workload| has(w, 3.0) && has(w, 50.0);
+        let out = shrink_workload(&workload, &mut oracle);
+        assert_eq!(out.workload.tasks.len(), 2);
+        assert!(out.workload.tasks.iter().all(|t| t.rays.len() == 1), "bounce chains truncated");
+    }
+
+    #[test]
+    fn non_failing_workload_is_returned_unchanged() {
+        let workload = Workload { tasks: (0..8).map(one_ray_task).collect() };
+        let out = shrink_workload(&workload, &mut |_| false);
+        assert_eq!(out.workload.tasks.len(), 8);
+        assert_eq!(out.oracle_calls, 1);
+    }
+
+    #[test]
+    fn repro_round_trips_bit_exactly() {
+        let mut gpu = GpuConfig::scale_model().with_policy(TraversalPolicy::Vtq(VtqParams {
+            max_virtual_rays: 48,
+            ..Default::default()
+        }));
+        gpu.mem.num_sms = 2;
+        gpu.max_cycles = Some(123_456);
+        gpu.audit = AuditMode::Every(512);
+        gpu.sched_jitter_cycles = 3;
+        gpu.sched_jitter_seed = 99;
+        gpu.mem.faults.spike_per_mille = 7;
+        gpu.mem.faults.seed = 0xDEAD;
+
+        // Exercise NaN / negative-zero payloads to prove bit-exactness.
+        let mut weird = Ray::new(
+            rtmath::Vec3::new(-0.0, 1.5e-40, f32::INFINITY),
+            rtmath::Vec3::new(1.0, -2.0, 0.5),
+        );
+        weird.inv_dir.y = f32::from_bits(0x7fc0_1234); // payload NaN
+        let workload = Workload {
+            tasks: vec![
+                PathTask { rays: vec![TraceCall { ray: weird, t_max: f32::MAX, anyhit: true }] },
+                one_ray_task(5),
+            ],
+        };
+
+        let repro = Repro::for_cell(
+            SceneId::Ship,
+            16,
+            &BvhConfig { treelet_bytes: 1024, ..Default::default() },
+            &gpu,
+            Some(Sabotage { at_cycle: 777, queue_total_delta: -4 }),
+            "invariant",
+            workload,
+        )
+        .expect("representable");
+
+        let text = repro.to_jsonl();
+        let back = Repro::from_jsonl(&text).expect("parse own output");
+        assert_eq!(back.scene, repro.scene);
+        assert_eq!(back.detail_divisor, repro.detail_divisor);
+        assert_eq!(back.treelet_bytes, repro.treelet_bytes);
+        assert_eq!(back.gpu, repro.gpu, "gpu config must round-trip exactly");
+        assert_eq!(back.error_kind, "invariant");
+        let s = back.sabotage.expect("sabotage survives");
+        assert_eq!((s.at_cycle, s.queue_total_delta), (777, -4));
+        assert_eq!(back.workload.tasks.len(), 2);
+        let orig = &repro.workload.tasks[0].rays[0];
+        let got = &back.workload.tasks[0].rays[0];
+        assert_eq!(got.ray.origin.x.to_bits(), orig.ray.origin.x.to_bits());
+        assert_eq!(got.ray.inv_dir.y.to_bits(), 0x7fc0_1234, "NaN payload preserved");
+        assert_eq!(got.t_max.to_bits(), orig.t_max.to_bits());
+        assert!(got.anyhit);
+    }
+
+    #[test]
+    fn repro_rejects_unrepresentable_configs_and_corrupt_dumps() {
+        // cta_size is not an override the format carries.
+        let exotic = GpuConfig { cta_size: 32, ..GpuConfig::default() };
+        let err = Repro::for_cell(
+            SceneId::Ref,
+            16,
+            &BvhConfig::default(),
+            &exotic,
+            None,
+            "deadlock",
+            Workload::default(),
+        )
+        .expect_err("exotic gpu config must be rejected");
+        assert!(err.contains("not a known preset"), "got: {err}");
+
+        let custom_bvh = BvhConfig { sah_bins: 4, ..Default::default() };
+        let err = Repro::for_cell(
+            SceneId::Ref,
+            16,
+            &custom_bvh,
+            &GpuConfig::default(),
+            None,
+            "deadlock",
+            Workload::default(),
+        )
+        .expect_err("custom bvh config must be rejected");
+        assert!(err.contains("bvh config"), "got: {err}");
+
+        let good = Repro::for_cell(
+            SceneId::Ref,
+            16,
+            &BvhConfig::default(),
+            &GpuConfig::default(),
+            None,
+            "deadlock",
+            Workload { tasks: vec![one_ray_task(1)] },
+        )
+        .unwrap();
+        let text = good.to_jsonl();
+
+        let torn = text.replace("{\"record\":\"repro_end\"}\n", "");
+        let err = Repro::from_jsonl(&torn).expect_err("truncated dump");
+        assert!(err.contains("truncated"), "got: {err}");
+
+        let skewed = text.replacen("\"version\":1", "\"version\":9", 1);
+        let err = Repro::from_jsonl(&skewed).expect_err("version skew");
+        assert!(err.contains("version"), "got: {err}");
+
+        let err = Repro::from_jsonl("").expect_err("empty");
+        assert!(err.contains("empty"), "got: {err}");
+
+        let wrong_count = text.replacen("\"tasks\":1", "\"tasks\":2", 1);
+        let err = Repro::from_jsonl(&wrong_count).expect_err("count mismatch");
+        assert!(err.contains("declared"), "got: {err}");
+    }
+}

@@ -196,6 +196,10 @@ pub struct CellOutcome {
     pub label: String,
     /// Retries consumed by the cycle-budget escalation loop.
     pub retries: u32,
+    /// The watchdog budget of the final attempt (doubled per retry), so
+    /// escalated cells are visible in exports without re-deriving the
+    /// doubling arithmetic.
+    pub final_budget: u64,
     /// Final status.
     pub status: CellStatus,
 }
@@ -259,6 +263,34 @@ impl CampaignReport {
     }
 }
 
+/// The watchdog budget one cell runs with on `attempt`: the kind's base
+/// budget (starvation-level for [`FaultKind::TinyCycleBudget`], the
+/// campaign's safety net otherwise) doubled per retry, saturating.
+pub fn cell_budget(cfg: &CampaignConfig, kind: FaultKind, attempt: u32) -> u64 {
+    let base = if kind == FaultKind::TinyCycleBudget { 2_000 } else { cfg.cycle_budget };
+    base.saturating_mul(1u64 << attempt.min(32))
+}
+
+/// Rebuilds the exact simulator inputs of one cell attempt — the
+/// perturbed GPU configuration and the (possibly truncated) workload —
+/// so a failure can be shrunk and replayed outside the campaign loop.
+pub fn cell_inputs(
+    cfg: &CampaignConfig,
+    cell: FaultCell,
+    attempt: u32,
+    base_workload: &Workload,
+) -> Result<(gpusim::GpuConfig, Workload), SimError> {
+    let gpu = cell_gpu(cfg, cell, attempt)?;
+    let workload = match cell.kind {
+        FaultKind::TruncatedWorkload => Workload {
+            tasks: base_workload.tasks[..base_workload.tasks.len().div_ceil(3)].to_vec(),
+        },
+        FaultKind::DegenerateWorkload => Workload { tasks: Vec::new() },
+        _ => base_workload.clone(),
+    };
+    Ok((gpu, workload))
+}
+
 /// Builds the perturbed GPU configuration for one cell attempt. The
 /// result goes through the validating builder, so a perturbation that
 /// produces an inconsistent configuration surfaces as
@@ -270,7 +302,6 @@ fn cell_gpu(
 ) -> Result<gpusim::GpuConfig, SimError> {
     let mut gpu = cfg.config.gpu;
     let mut vtq = VtqParams { queue_threshold: 32, ..VtqParams::default() };
-    let mut budget = cfg.cycle_budget;
     match cell.kind {
         FaultKind::Control | FaultKind::TruncatedWorkload | FaultKind::DegenerateWorkload => {}
         FaultKind::MemLatencySpike => {
@@ -295,10 +326,10 @@ fn cell_gpu(
             vtq.count_table_entries = 1 + (cell.seed % 4) as usize;
             vtq.queue_table_entries = 1 + (cell.seed % 2) as usize;
         }
-        FaultKind::TinyCycleBudget => budget = 2_000,
+        FaultKind::TinyCycleBudget => {} // expressed via cell_budget
     }
     // Retries double the budget; saturate rather than overflow.
-    let budget = budget.saturating_mul(1u64 << attempt.min(32));
+    let budget = cell_budget(cfg, cell.kind, attempt);
     let gpu = gpu
         .with_policy(TraversalPolicy::Vtq(vtq))
         .into_builder()
@@ -321,18 +352,9 @@ pub fn run_campaign(cfg: &CampaignConfig, engine: &SweepEngine) -> CampaignRepor
             let prepared = Arc::clone(&prepared);
             let cfg = *cfg;
             let run = move |attempt: u32| -> Result<(u64, u64), SimError> {
-                let gpu = cell_gpu(&cfg, cell, attempt)?;
-                let truncated = match cell.kind {
-                    FaultKind::TruncatedWorkload => Some(Workload {
-                        tasks: prepared.workload.tasks[..prepared.workload.tasks.len().div_ceil(3)]
-                            .to_vec(),
-                    }),
-                    FaultKind::DegenerateWorkload => Some(Workload { tasks: Vec::new() }),
-                    _ => None,
-                };
-                let workload = truncated.as_ref().unwrap_or(&prepared.workload);
+                let (gpu, workload) = cell_inputs(&cfg, cell, attempt, &prepared.workload)?;
                 let report = Simulator::new(&prepared.bvh, prepared.scene.triangles(), gpu)
-                    .try_run(workload)?;
+                    .try_run(&workload)?;
                 Ok((report.stats.cycles, report.stats.rays_completed))
             };
             (format!("faults/{}/{}", cell.index, cell.kind.label()), run)
@@ -361,7 +383,8 @@ pub fn run_campaign(cfg: &CampaignConfig, engine: &SweepEngine) -> CampaignRepor
                 ),
                 Err(cell_error) => (0, CellStatus::Panicked { message: cell_error.message }),
             };
-            CellOutcome { index: cell.index, kind: cell.kind, label, retries, status }
+            let final_budget = cell_budget(cfg, cell.kind, retries);
+            CellOutcome { index: cell.index, kind: cell.kind, label, retries, final_budget, status }
         })
         .collect();
     CampaignReport { cells: outcomes }
@@ -391,8 +414,14 @@ mod tests {
     #[test]
     fn expectations_encode_the_contract() {
         let ok = CellStatus::Completed { cycles: 1, rays_completed: 1 };
-        let cell =
-            |kind, status| CellOutcome { index: 0, kind, label: String::new(), retries: 0, status };
+        let cell = |kind, status| CellOutcome {
+            index: 0,
+            kind,
+            label: String::new(),
+            retries: 0,
+            final_budget: 2_000,
+            status,
+        };
         assert!(cell(FaultKind::Control, ok.clone()).as_expected());
         assert!(!cell(FaultKind::DegenerateWorkload, ok.clone()).as_expected());
         let workload_err =
@@ -409,6 +438,36 @@ mod tests {
     }
 
     #[test]
+    fn budgets_double_per_retry_and_saturate() {
+        let cfg = CampaignConfig::quick();
+        assert_eq!(cell_budget(&cfg, FaultKind::TinyCycleBudget, 0), 2_000);
+        assert_eq!(cell_budget(&cfg, FaultKind::TinyCycleBudget, 2), 8_000);
+        assert_eq!(cell_budget(&cfg, FaultKind::Control, 0), cfg.cycle_budget);
+        assert_eq!(cell_budget(&cfg, FaultKind::Control, 1), cfg.cycle_budget * 2);
+        // The shift clamps at 32 doublings instead of overflowing.
+        assert_eq!(
+            cell_budget(&cfg, FaultKind::Control, 64),
+            cell_budget(&cfg, FaultKind::Control, 32)
+        );
+    }
+
+    #[test]
+    fn cell_inputs_mirror_the_campaign_loop() {
+        let cfg = CampaignConfig::quick();
+        let base =
+            Workload { tasks: (0..9).map(|_| gpusim::PathTask { rays: Vec::new() }).collect() };
+        let truncated = FaultCell { index: 0, kind: FaultKind::TruncatedWorkload, seed: 1 };
+        let (_, w) = cell_inputs(&cfg, truncated, 0, &base).expect("valid config");
+        assert_eq!(w.tasks.len(), 3, "truncation keeps a third of the tasks");
+        let degenerate = FaultCell { index: 1, kind: FaultKind::DegenerateWorkload, seed: 2 };
+        let (_, w) = cell_inputs(&cfg, degenerate, 0, &base).expect("valid config");
+        assert!(w.tasks.is_empty());
+        let tiny = FaultCell { index: 2, kind: FaultKind::TinyCycleBudget, seed: 3 };
+        let (gpu, _) = cell_inputs(&cfg, tiny, 1, &base).expect("valid config");
+        assert_eq!(gpu.max_cycles, Some(4_000), "attempt 1 doubles the 2k budget");
+    }
+
+    #[test]
     fn summary_counts_line_up() {
         let report = CampaignReport {
             cells: vec![
@@ -417,6 +476,7 @@ mod tests {
                     kind: FaultKind::Control,
                     label: "faults/0/control".to_string(),
                     retries: 1,
+                    final_budget: 1_000_000,
                     status: CellStatus::Completed { cycles: 10, rays_completed: 2 },
                 },
                 CellOutcome {
@@ -424,6 +484,7 @@ mod tests {
                     kind: FaultKind::DegenerateWorkload,
                     label: "faults/1/degenerate-workload".to_string(),
                     retries: 0,
+                    final_budget: 500_000,
                     status: CellStatus::Failed {
                         error_kind: "workload".to_string(),
                         message: "empty".to_string(),

@@ -27,7 +27,12 @@
 //!   regression against checked-in snapshots,
 //! * [`sweep`] — the parallel sweep engine: declarative run matrices on a
 //!   work-stealing pool with prepared-scene caching and deterministic,
-//!   matrix-ordered results.
+//!   matrix-ordered results,
+//! * [`durable`] — crash tolerance for long sweeps: cooperative
+//!   cancellation, an append-only cell journal that lets a killed sweep
+//!   resume without re-running completed cells, and a delta-debugging
+//!   shrinker that reduces a failing cell to a replayable minimal
+//!   reproducer.
 //!
 //! # Quick start
 //!
@@ -48,6 +53,7 @@
 pub mod analytical;
 pub mod area;
 pub mod conformance;
+pub mod durable;
 pub mod experiment;
 pub mod faults;
 pub mod general;
@@ -67,14 +73,19 @@ pub mod prelude {
         run_differential, write_golden, CellVerdict, ConformanceCell, ConformanceReport,
         Divergence, Equivalence, GoldenEntry, GoldenFigure, GoldenOutcome, OracleAnswer, OracleRun,
     };
+    pub use crate::durable::{
+        cancel_requested, request_cancel, reset_cancel, shrink_failure, shrink_workload,
+        CellDisposition, Repro, ShrinkOutcome, ShrinkReport, SweepJournal, JOURNAL_FILE,
+        REPRO_VERSION,
+    };
     pub use crate::experiment::{aggregate_stats, export_run, ExperimentConfig, Prepared};
     pub use crate::faults::{
-        generate_cells, run_campaign, CampaignConfig, CampaignReport, CellOutcome, CellStatus,
-        FaultCell, FaultKind,
+        cell_budget, cell_inputs, generate_cells, run_campaign, CampaignConfig, CampaignReport,
+        CellOutcome, CellStatus, FaultCell, FaultKind,
     };
     pub use crate::sweep::{
-        config_fingerprint, default_jobs, Cell, CellError, CellResult, PreparedCache, Retried,
-        RunMatrix, SweepEngine,
+        config_fingerprint, default_jobs, Cell, CellError, CellErrorKind, CellResult,
+        PreparedCache, Retried, RunMatrix, SweepEngine,
     };
     pub use crate::workload::{Image, PathTracer};
     pub use gpumem::{AccessKind, MemFaults};

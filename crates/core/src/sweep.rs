@@ -29,6 +29,18 @@
 //! A cell that panics is caught ([`std::panic::catch_unwind`]) and
 //! surfaced as a [`CellError`] carrying the cell index, label and panic
 //! payload; the remaining cells still run to completion.
+//!
+//! # Durability
+//!
+//! An engine can carry a [`SweepJournal`]: every cell then gets a stable
+//! key (`scope/wave/index/label[#config-fingerprint]`) and its
+//! disposition is journaled as it settles. Under a *resumed* journal,
+//! cells already journaled `done` are skipped and surface as
+//! [`CellErrorKind::Skipped`] (their artifacts are already on disk from
+//! the interrupted run). When [`crate::durable::request_cancel`] fires —
+//! e.g. from a SIGINT handler — in-flight cells drain normally and
+//! not-yet-started cells settle as [`CellErrorKind::Interrupted`], so the
+//! journal stays consistent for the next `--resume`.
 
 use std::collections::HashMap;
 use std::collections::VecDeque;
@@ -41,6 +53,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 use gpusim::{SimReport, TraversalPolicy};
 use rtscene::lumibench::SceneId;
 
+use crate::durable::{cancel_requested, CellDisposition, SweepJournal};
 use crate::experiment::{ExperimentConfig, Prepared};
 
 /// A cached build slot: one lazily-initialized prepared scene that
@@ -67,6 +80,17 @@ pub fn config_fingerprint(cfg: &ExperimentConfig) -> u64 {
     // only has to be stable within one process.
     let mut hash = Fnv1a::default();
     hash.write(format!("{canonical:?}").as_bytes());
+    hash.finish()
+}
+
+/// Fingerprints one [`Cell`] for journal keys: the config fingerprint
+/// plus the exact policy (parameters included), so ablation cells sharing
+/// a label ("REF/vtq" at nine different [`gpusim::VtqParams`]) journal as
+/// distinct cells.
+fn cell_key_fingerprint(cell: &Cell) -> u64 {
+    let mut hash = Fnv1a::default();
+    hash.write(&config_fingerprint(&cell.config).to_le_bytes());
+    hash.write(format!("{:?}", cell.policy).as_bytes());
     hash.finish()
 }
 
@@ -231,20 +255,72 @@ impl RunMatrix {
 // Cell errors
 // ---------------------------------------------------------------------------
 
-/// A cell that panicked, surfaced as data instead of killing the sweep.
+/// Why a cell produced no payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellErrorKind {
+    /// The cell's closure panicked; `message` carries the payload.
+    Panic,
+    /// Cancellation ([`crate::durable::request_cancel`]) arrived before
+    /// the cell started; it was journaled `interrupted` and will re-run
+    /// on `--resume`.
+    Interrupted,
+    /// The engine's resumed [`SweepJournal`] already records this cell as
+    /// `done`; its artifacts are on disk from the earlier run.
+    Skipped,
+}
+
+/// A cell that produced no payload — panicked, interrupted by a
+/// cancellation request, or skipped because a resumed journal already has
+/// it — surfaced as data instead of killing the sweep.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CellError {
     /// Stable index of the failed cell in its matrix / task list.
     pub index: usize,
     /// The cell's label.
     pub label: String,
-    /// The panic payload (stringified).
+    /// The panic payload (stringified); empty for non-panics.
     pub message: String,
+    /// What happened to the cell.
+    pub kind: CellErrorKind,
+}
+
+impl CellError {
+    fn panicked(index: usize, label: String, message: String) -> CellError {
+        CellError { index, label, message, kind: CellErrorKind::Panic }
+    }
+
+    fn interrupted(index: usize, label: String) -> CellError {
+        CellError {
+            index,
+            label,
+            message: "cancellation requested before the cell started".to_string(),
+            kind: CellErrorKind::Interrupted,
+        }
+    }
+
+    fn skipped(index: usize, label: String) -> CellError {
+        CellError {
+            index,
+            label,
+            message: "journaled done by an earlier run".to_string(),
+            kind: CellErrorKind::Skipped,
+        }
+    }
 }
 
 impl fmt::Display for CellError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "cell {} ({}) panicked: {}", self.index, self.label, self.message)
+        match self.kind {
+            CellErrorKind::Panic => {
+                write!(f, "cell {} ({}) panicked: {}", self.index, self.label, self.message)
+            }
+            CellErrorKind::Interrupted => {
+                write!(f, "cell {} ({}) interrupted: {}", self.index, self.label, self.message)
+            }
+            CellErrorKind::Skipped => {
+                write!(f, "cell {} ({}) skipped: {}", self.index, self.label, self.message)
+            }
+        }
     }
 }
 
@@ -262,6 +338,20 @@ pub struct Retried<T, E> {
     pub result: Result<T, E>,
     /// Retries consumed (0 = first attempt settled it).
     pub retries: u32,
+}
+
+/// Best-effort journal append: a full disk must not kill the sweep, but
+/// the operator should know resume data is incomplete.
+fn journal_write(
+    journal: &SweepJournal,
+    key: &str,
+    disposition: CellDisposition,
+    retries: u32,
+    detail: &str,
+) {
+    if let Err(e) = journal.record(key, disposition, retries, detail) {
+        eprintln!("[journal] write failed for `{key}`: {e}");
+    }
 }
 
 fn payload_message(payload: Box<dyn std::any::Any + Send>) -> String {
@@ -293,6 +383,15 @@ pub fn default_jobs() -> usize {
 pub struct SweepEngine {
     jobs: usize,
     cache: Arc<PreparedCache>,
+    journal: Option<Arc<SweepJournal>>,
+    /// Key namespace (typically the CLI subcommand) so identical labels
+    /// from different commands never collide in one journal.
+    scope: String,
+    /// Monotone per-engine counter of `execute` calls; part of each cell
+    /// key so multi-wave commands (matrix + follow-up scene pass) stay
+    /// collision-free. Shared across clones, deterministic across
+    /// identical invocations.
+    wave: Arc<AtomicUsize>,
 }
 
 impl Default for SweepEngine {
@@ -310,7 +409,36 @@ impl SweepEngine {
 
     /// An engine sharing an existing cache.
     pub fn with_cache(jobs: usize, cache: Arc<PreparedCache>) -> SweepEngine {
-        SweepEngine { jobs: if jobs == 0 { default_jobs() } else { jobs }, cache }
+        SweepEngine {
+            jobs: if jobs == 0 { default_jobs() } else { jobs },
+            cache,
+            journal: None,
+            scope: "sweep".to_string(),
+            wave: Arc::new(AtomicUsize::new(0)),
+        }
+    }
+
+    /// Attaches a cell journal: dispositions are recorded as cells settle
+    /// and (for a journal opened with [`SweepJournal::resume`]) cells
+    /// already journaled `done` are skipped.
+    pub fn with_journal(mut self, journal: Arc<SweepJournal>) -> SweepEngine {
+        self.journal = Some(journal);
+        self
+    }
+
+    /// The attached journal, if any.
+    pub fn journal(&self) -> Option<&Arc<SweepJournal>> {
+        self.journal.as_ref()
+    }
+
+    /// A clone of this engine whose cell keys live under `scope` (shares
+    /// the cache, journal and wave counter). Scope once per CLI command
+    /// so "REF/vtq" from `fig10` and "REF/vtq" from `fig12` journal as
+    /// distinct cells.
+    pub fn scoped(&self, scope: &str) -> SweepEngine {
+        let mut engine = self.clone();
+        engine.scope = scope.to_string();
+        engine
     }
 
     /// The resolved worker count.
@@ -341,16 +469,17 @@ impl SweepEngine {
     {
         let cache = &self.cache;
         let f = &f;
-        let tasks: Vec<(String, Box<dyn FnOnce() -> T + Send + '_>)> = matrix
+        let tasks: Vec<(String, String, Task<'_, T>)> = matrix
             .cells()
             .iter()
             .map(|cell| {
+                let key_base = format!("{}#{:016x}", cell.label, cell_key_fingerprint(cell));
                 let label = cell.label.clone();
                 let task = Box::new(move || {
                     let prepared = cache.get(cell.scene, &cell.config);
                     f(cell, &prepared)
-                }) as Box<dyn FnOnce() -> T + Send + '_>;
-                (label, task)
+                }) as Task<'_, T>;
+                (key_base, label, task)
             })
             .collect();
         self.execute(tasks)
@@ -391,7 +520,7 @@ impl SweepEngine {
         self.execute(
             tasks
                 .into_iter()
-                .map(|(label, f)| (label, Box::new(f) as Box<dyn FnOnce() -> T + Send + '_>))
+                .map(|(label, f)| (label.clone(), label, Box::new(f) as Task<'_, T>))
                 .collect(),
         )
     }
@@ -415,16 +544,36 @@ impl SweepEngine {
         P: Fn(&E) -> bool + Sync,
     {
         let retry_if = &retry_if;
+        let journal = self.journal.clone();
+        let scope = self.scope.clone();
         self.run_tasks(
             tasks
                 .into_iter()
                 .map(|(label, f)| {
+                    let journal = journal.clone();
+                    let retry_key = format!("{scope}/retry/{label}");
                     let attempt = move || {
                         let mut retries = 0;
                         loop {
                             match f(retries) {
                                 Err(e) if retries < max_retries && retry_if(&e) => retries += 1,
-                                result => return Retried { result, retries },
+                                result => {
+                                    // Make escalated cells visible in the
+                                    // journal (informational record; never
+                                    // enters the done-set).
+                                    if retries > 0 {
+                                        if let Some(j) = &journal {
+                                            journal_write(
+                                                j,
+                                                &retry_key,
+                                                CellDisposition::Retry,
+                                                retries,
+                                                "budget escalated after retryable errors",
+                                            );
+                                        }
+                                    }
+                                    return Retried { result, retries };
+                                }
                             }
                         }
                     };
@@ -469,28 +618,60 @@ impl SweepEngine {
 
     /// The pool: per-worker deques plus stealing. Task `i`'s outcome lands
     /// at index `i` whatever the interleaving; panics become [`CellError`]s.
-    fn execute<'t, T: Send>(&self, tasks: Vec<(String, Task<'t, T>)>) -> Vec<CellResult<T>> {
+    /// Each task arrives as `(key_base, label, closure)`; the full journal
+    /// key is `scope/wN/index/key_base`.
+    fn execute<'t, T: Send>(
+        &self,
+        tasks: Vec<(String, String, Task<'t, T>)>,
+    ) -> Vec<CellResult<T>> {
         let n = tasks.len();
+        let wave = self.wave.fetch_add(1, Ordering::Relaxed);
         if n == 0 {
             return Vec::new();
         }
+        let mut keys = Vec::with_capacity(n);
         let mut labels = Vec::with_capacity(n);
         let mut slots: Vec<Mutex<Option<Task<'t, T>>>> = Vec::with_capacity(n);
-        for (label, task) in tasks {
+        for (index, (key_base, label, task)) in tasks.into_iter().enumerate() {
+            keys.push(format!("{}/w{wave}/{index}/{key_base}", self.scope));
             labels.push(label);
             slots.push(Mutex::new(Some(task)));
         }
+        let journal = self.journal.as_deref();
         let run_one = |index: usize| -> CellResult<T> {
+            let key = keys[index].as_str();
+            if journal.map(|j| j.completed(key)).unwrap_or(false) {
+                return Err(CellError::skipped(index, labels[index].clone()));
+            }
+            // Cancellation only matters on journaled engines: without a
+            // journal there is nothing durable to drain into (and the CLI
+            // only installs its SIGINT handler when a journal exists).
+            if journal.is_some() && cancel_requested() {
+                if let Some(j) = journal {
+                    journal_write(j, key, CellDisposition::Interrupted, 0, "");
+                }
+                return Err(CellError::interrupted(index, labels[index].clone()));
+            }
             let task = slots[index]
                 .lock()
                 .expect("task slot poisoned")
                 .take()
                 .expect("task executed twice");
-            panic::catch_unwind(AssertUnwindSafe(task)).map_err(|payload| CellError {
-                index,
-                label: labels[index].clone(),
-                message: payload_message(payload),
-            })
+            match panic::catch_unwind(AssertUnwindSafe(task)) {
+                Ok(value) => {
+                    if let Some(j) = journal {
+                        journal_write(j, key, CellDisposition::Done, 0, "");
+                    }
+                    Ok(value)
+                }
+                Err(payload) => {
+                    let message = payload_message(payload);
+                    if let Some(j) = journal {
+                        journal_write(j, key, CellDisposition::Failed, 0, &message);
+                    }
+                    Err(CellError::panicked(index, labels[index].clone(), message))
+                }
+            }
         };
 
         let workers = self.jobs.min(n).max(1);
@@ -643,5 +824,90 @@ mod tests {
         let engine = SweepEngine::new(0);
         assert!(engine.jobs() >= 1);
         assert_eq!(engine.jobs(), default_jobs());
+    }
+
+    #[test]
+    fn cell_keys_distinguish_policy_parameters() {
+        let cfg = ExperimentConfig::quick();
+        let a = Cell {
+            scene: SceneId::Ref,
+            config: cfg,
+            policy: TraversalPolicy::Vtq(gpusim::VtqParams::default()),
+            label: "REF/vtq".to_string(),
+        };
+        let b = Cell {
+            policy: TraversalPolicy::Vtq(gpusim::VtqParams {
+                max_virtual_rays: 7,
+                ..Default::default()
+            }),
+            ..a.clone()
+        };
+        // Same label, same config, different policy parameters: the
+        // journal key fingerprint must still tell them apart.
+        assert_eq!(a.label, b.label);
+        assert_ne!(cell_key_fingerprint(&a), cell_key_fingerprint(&b));
+        assert_eq!(cell_key_fingerprint(&a), cell_key_fingerprint(&a.clone()));
+    }
+
+    #[test]
+    fn journaled_engine_drains_on_cancel_and_resumes_without_rerunning() {
+        use crate::durable::{request_cancel, reset_cancel, SweepJournal, CANCEL_TEST_LOCK};
+
+        let _guard = CANCEL_TEST_LOCK.lock().unwrap();
+        let dir = std::env::temp_dir().join(format!("vtq-sweep-journal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        reset_cancel();
+
+        let executed = AtomicUsize::new(0);
+        let mk = |i: usize, cancel_after: usize| {
+            let executed = &executed;
+            (format!("t{i}"), move || {
+                let seen = executed.fetch_add(1, Ordering::SeqCst) + 1;
+                if seen == cancel_after {
+                    request_cancel();
+                }
+                i * 10
+            })
+        };
+
+        // Phase 1: "SIGINT" fires while cell 1 is in flight (jobs = 1 for
+        // a deterministic cut). In-flight work drains, the rest settles
+        // as interrupted.
+        let journal = Arc::new(SweepJournal::start(&dir).expect("start journal"));
+        let engine = SweepEngine::new(1).with_journal(Arc::clone(&journal)).scoped("demo");
+        let out = engine.run_tasks((0..5).map(|i| mk(i, 2)).collect());
+        assert_eq!(*out[0].as_ref().unwrap(), 0);
+        assert_eq!(*out[1].as_ref().unwrap(), 10, "in-flight cell drains to completion");
+        for r in &out[2..] {
+            assert_eq!(r.as_ref().unwrap_err().kind, CellErrorKind::Interrupted);
+        }
+        assert_eq!(executed.load(Ordering::SeqCst), 2);
+        drop(engine);
+        drop(journal);
+        reset_cancel();
+
+        // Phase 2: resume skips the two journaled-done cells and runs
+        // exactly the remaining three.
+        let journal = Arc::new(SweepJournal::resume(&dir).expect("resume journal"));
+        let engine = SweepEngine::new(1).with_journal(Arc::clone(&journal)).scoped("demo");
+        let out = engine.run_tasks((0..5).map(|i| mk(i, usize::MAX)).collect());
+        for r in &out[..2] {
+            assert_eq!(r.as_ref().unwrap_err().kind, CellErrorKind::Skipped);
+        }
+        for (i, r) in out.iter().enumerate().skip(2) {
+            assert_eq!(*r.as_ref().unwrap(), i * 10);
+        }
+        assert_eq!(executed.load(Ordering::SeqCst), 5, "no completed cell re-executed");
+        assert_eq!(journal.completed_count(), 5);
+
+        // A second resume over the merged journal skips everything.
+        drop(engine);
+        drop(journal);
+        let journal = Arc::new(SweepJournal::resume(&dir).expect("resume again"));
+        let engine = SweepEngine::new(2).with_journal(journal).scoped("demo");
+        let out = engine.run_tasks((0..5).map(|i| mk(i, usize::MAX)).collect());
+        assert!(out.iter().all(|r| r.as_ref().unwrap_err().kind == CellErrorKind::Skipped));
+        assert_eq!(executed.load(Ordering::SeqCst), 5, "fully journaled sweep runs nothing");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,0 +1,133 @@
+//! Durability integration tests: a journaled sweep interrupted mid-run
+//! resumes without re-executing completed cells and merges into the
+//! clean-run baseline, and the delta-debugging shrinker reduces a seeded
+//! invariant-sabotage failure to a replayable minimal reproducer.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use gpusim::{PathTask, Sabotage, Workload};
+use vtq::prelude::*;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("vtq-durability-{tag}-{}", std::process::id()));
+    fs::remove_dir_all(&dir).ok();
+    fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+fn tiny_config() -> ExperimentConfig {
+    ExperimentConfig { resolution: 16, detail_divisor: 16, ..ExperimentConfig::quick() }
+}
+
+/// One simulated cell per scene; the payload is the pair of stats the
+/// baseline comparison keys on.
+fn run_cells(
+    engine: &SweepEngine,
+    scenes: &[SceneId],
+    cfg: &ExperimentConfig,
+    cancel_after: Option<usize>,
+) -> Vec<CellResult<(u64, u64)>> {
+    let done = AtomicUsize::new(0);
+    engine.run_scenes(scenes, cfg, |p| {
+        let report = p.run_policy(TraversalPolicy::Baseline);
+        if Some(done.fetch_add(1, Ordering::SeqCst) + 1) == cancel_after {
+            request_cancel();
+        }
+        (report.stats.cycles, report.stats.rays_completed)
+    })
+}
+
+#[test]
+fn interrupted_sweep_resumes_into_the_clean_baseline() {
+    let dir = temp_dir("resume");
+    let scenes = [SceneId::Ref, SceneId::Bunny, SceneId::Lands];
+    let cfg = tiny_config();
+    reset_cancel();
+
+    // Clean baseline: every cell, no journal.
+    let baseline_engine = SweepEngine::new(1);
+    let baseline: Vec<(u64, u64)> = run_cells(&baseline_engine, &scenes, &cfg, None)
+        .into_iter()
+        .map(|r| r.expect("clean run completes"))
+        .collect();
+    assert_eq!(baseline_engine.cache().builds(), 3);
+
+    // Interrupted run: cancel lands after the first cell settles, so the
+    // remaining cells are journaled `interrupted` instead of executing.
+    let journal = Arc::new(SweepJournal::start(&dir).expect("journal"));
+    let engine = SweepEngine::new(1).with_journal(journal).scoped("durability");
+    let partial = run_cells(&engine, &scenes, &cfg, Some(1));
+    assert_eq!(partial[0].as_ref().ok(), Some(&baseline[0]));
+    for cell in &partial[1..] {
+        assert_eq!(cell.as_ref().err().map(|e| e.kind), Some(CellErrorKind::Interrupted));
+    }
+    assert_eq!(engine.cache().builds(), 1, "only the completed cell prepared its scene");
+    reset_cancel();
+
+    // Resume: the journaled-done cell is skipped (its scene is never even
+    // prepared again — the cache proves no re-execution), the interrupted
+    // cells run, and the merged results equal the clean baseline.
+    let journal = Arc::new(SweepJournal::resume(&dir).expect("resume"));
+    assert_eq!(journal.completed_count(), 1);
+    let engine = SweepEngine::new(1).with_journal(journal).scoped("durability");
+    let resumed = run_cells(&engine, &scenes, &cfg, None);
+    assert_eq!(resumed[0].as_ref().err().map(|e| e.kind), Some(CellErrorKind::Skipped));
+    assert_eq!(engine.cache().builds(), 2, "the skipped cell must not rebuild its scene");
+    let merged: Vec<(u64, u64)> = std::iter::once(partial[0].clone())
+        .chain(resumed[1..].iter().cloned())
+        .map(|r| r.expect("merged cells are all settled"))
+        .collect();
+    assert_eq!(merged, baseline);
+
+    // A second resume skips everything.
+    let journal = Arc::new(SweepJournal::resume(&dir).expect("resume"));
+    assert_eq!(journal.completed_count(), 3);
+    let engine = SweepEngine::new(2).with_journal(journal).scoped("durability");
+    for cell in run_cells(&engine, &scenes, &cfg, None) {
+        assert_eq!(cell.err().map(|e| e.kind), Some(CellErrorKind::Skipped));
+    }
+    assert_eq!(engine.cache().builds(), 0);
+
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn shrinker_reduces_a_sabotaged_failure_to_a_replayable_repro() {
+    // 64 one-ray camera tasks; the sabotage corrupts queue accounting at
+    // cycle 0 with the auditor checking every cycle, so ANY non-empty
+    // subset still fails — the shrinker should reach a single ray.
+    let scene = lumibench::build_scaled(SceneId::Ref, 16);
+    let workload = Workload {
+        tasks: (0..64)
+            .map(|i| PathTask {
+                rays: vec![scene.camera().primary_ray(i % 8, i / 8, 8, 8, None).into()],
+            })
+            .collect(),
+    };
+    let bvh_cfg = BvhConfig { treelet_bytes: 1024, ..Default::default() };
+    let gpu = GpuConfig { audit: AuditMode::Every(1), ..GpuConfig::default() };
+    let sabotage = Sabotage { at_cycle: 0, queue_total_delta: 3 };
+
+    let report =
+        shrink_failure(SceneId::Ref, 16, &bvh_cfg, &gpu, Some(sabotage), &workload, "invariant")
+            .expect("sabotaged run shrinks");
+    assert_eq!(report.original_rays, 64);
+    assert!(
+        report.shrunk_rays * 10 <= report.original_rays,
+        "reproducer must be <= 10% of the original stream, got {} of {}",
+        report.shrunk_rays,
+        report.original_rays
+    );
+    assert!(report.oracle_calls > 1, "shrinking spends oracle runs");
+
+    // The serialized reproducer round-trips and still reproduces the
+    // journaled failure kind on replay.
+    let parsed = Repro::from_jsonl(&report.repro.to_jsonl()).expect("round trip");
+    assert_eq!(parsed.total_rays(), report.shrunk_rays);
+    assert_eq!(parsed.error_kind, "invariant");
+    let err = parsed.replay().expect_err("replay reproduces the failure");
+    assert_eq!(err.kind(), "invariant");
+}

@@ -28,6 +28,6 @@ mod cache;
 mod stats;
 mod system;
 
-pub use cache::{Assoc, Cache, CacheConfig, CacheStats};
+pub use cache::{Assoc, Cache, CacheConfig, CacheStats, LineState};
 pub use stats::{AccessKind, KindStats, MemStats, WindowPoint};
-pub use system::{CachePolicy, MemConfig, MemFaults, MemorySystem};
+pub use system::{CachePolicy, CacheSnapshot, MemConfig, MemFaults, MemSnapshot, MemorySystem};

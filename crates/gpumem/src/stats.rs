@@ -149,6 +149,22 @@ impl MemStats {
     pub fn total_lines(&self) -> u64 {
         self.per_kind.iter().map(|k| k.lines).sum()
     }
+
+    /// Exports the per-kind counters in [`AccessKind::ALL`] order
+    /// (checkpointing).
+    pub fn export_kinds(&self) -> [KindStats; AccessKind::ALL.len()] {
+        self.per_kind
+    }
+
+    /// Rebuilds statistics from parts exported by
+    /// [`MemStats::export_kinds`] plus the window series (checkpoint
+    /// restore).
+    pub fn from_parts(
+        per_kind: [KindStats; AccessKind::ALL.len()],
+        bvh_l1_windows: Vec<WindowPoint>,
+    ) -> MemStats {
+        MemStats { per_kind, bvh_l1_windows }
+    }
 }
 
 fn kind_index(kind: AccessKind) -> usize {

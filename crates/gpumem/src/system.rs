@@ -1,5 +1,5 @@
-use crate::cache::{Assoc, Cache, CacheConfig};
-use crate::stats::{AccessKind, MemStats, WindowPoint};
+use crate::cache::{Assoc, Cache, CacheConfig, CacheStats, LineState};
+use crate::stats::{AccessKind, KindStats, MemStats, WindowPoint};
 
 /// How an access flows through the hierarchy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -112,6 +112,51 @@ impl Default for MemConfig {
             faults: MemFaults::default(),
         }
     }
+}
+
+/// Serialized state of one [`Cache`]: contents plus counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheSnapshot {
+    /// Lines in [`Cache::export_lines`] order.
+    pub lines: Vec<LineState>,
+    /// Hit/miss counters at snapshot time.
+    pub stats: CacheStats,
+}
+
+impl CacheSnapshot {
+    fn capture(cache: &Cache) -> CacheSnapshot {
+        CacheSnapshot { lines: cache.export_lines(), stats: cache.stats() }
+    }
+
+    fn restore_into(&self, cache: &mut Cache) -> Result<(), String> {
+        cache.import_lines(&self.lines)?;
+        cache.set_stats(self.stats);
+        Ok(())
+    }
+}
+
+/// Serialized state of a whole [`MemorySystem`], exported for
+/// checkpointing. Restoring into a system built from the *same*
+/// [`MemConfig`] reproduces bit-identical timing for every subsequent
+/// access; restoring into a mismatched geometry fails.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemSnapshot {
+    /// Per-SM L1 contents and counters.
+    pub l1s: Vec<CacheSnapshot>,
+    /// Shared L2 contents and counters.
+    pub l2: CacheSnapshot,
+    /// Reserved ray-region contents and counters.
+    pub ray_reserve: CacheSnapshot,
+    /// [`f64::to_bits`] of the DRAM service-queue head.
+    pub dram_free_at_bits: u64,
+    /// Per-SM MSHR retirement cycles.
+    pub mshrs: Vec<Vec<u64>>,
+    /// Per-kind counters in [`AccessKind::ALL`] order.
+    pub per_kind: [KindStats; AccessKind::ALL.len()],
+    /// Windowed L1 BVH miss-rate series.
+    pub windows: Vec<WindowPoint>,
+    /// Fault-injection RNG state.
+    pub fault_rng: u64,
 }
 
 /// The simulated memory hierarchy: per-SM L1s, shared L2, reserved ray
@@ -372,6 +417,53 @@ impl MemorySystem {
         Ok(())
     }
 
+    /// Captures the complete mutable state of the hierarchy. Pair with
+    /// [`MemorySystem::restore`] on a system built from the same config.
+    pub fn snapshot(&self) -> MemSnapshot {
+        MemSnapshot {
+            l1s: self.l1s.iter().map(CacheSnapshot::capture).collect(),
+            l2: CacheSnapshot::capture(&self.l2),
+            ray_reserve: CacheSnapshot::capture(&self.ray_reserve),
+            dram_free_at_bits: self.dram_free_at.to_bits(),
+            mshrs: self.mshrs.clone(),
+            per_kind: self.stats.export_kinds(),
+            windows: self.stats.bvh_l1_windows.clone(),
+            fault_rng: self.fault_rng,
+        }
+    }
+
+    /// Restores state captured by [`MemorySystem::snapshot`]. The receiver
+    /// must have been built from the same [`MemConfig`] as the exporter.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the snapshot's geometry (SM count, cache
+    /// line counts, MSHR pool sizes) does not match this system.
+    pub fn restore(&mut self, snap: &MemSnapshot) -> Result<(), String> {
+        if snap.l1s.len() != self.l1s.len() {
+            return Err(format!(
+                "snapshot has {} L1s, system has {}",
+                snap.l1s.len(),
+                self.l1s.len()
+            ));
+        }
+        if snap.mshrs.len() != self.mshrs.len()
+            || snap.mshrs.iter().zip(&self.mshrs).any(|(a, b)| a.len() != b.len())
+        {
+            return Err("snapshot MSHR pool shape mismatch".to_string());
+        }
+        for (cache, s) in self.l1s.iter_mut().zip(&snap.l1s) {
+            s.restore_into(cache)?;
+        }
+        snap.l2.restore_into(&mut self.l2)?;
+        snap.ray_reserve.restore_into(&mut self.ray_reserve)?;
+        self.dram_free_at = f64::from_bits(snap.dram_free_at_bits);
+        self.mshrs = snap.mshrs.clone();
+        self.stats = MemStats::from_parts(snap.per_kind, snap.windows.clone());
+        self.fault_rng = snap.fault_rng;
+        Ok(())
+    }
+
     fn record_window(&mut self, now: u64, hit: bool) {
         let idx = (now / self.config.window_cycles) as usize;
         let windows = &mut self.stats.bvh_l1_windows;
@@ -582,6 +674,57 @@ mod tests {
             let tb = b.access(0, i * 96, 96, AccessKind::Bvh, CachePolicy::L1AndL2, i * 7);
             assert_eq!(ta, tb);
         }
+    }
+
+    #[test]
+    fn snapshot_restore_reproduces_identical_timing() {
+        let mut cfg = small_config();
+        cfg.faults = MemFaults {
+            spike_per_mille: 250,
+            spike_extra_cycles: 33,
+            bandwidth_divisor: 2,
+            seed: 7,
+        };
+        let mut m = MemorySystem::new(&cfg);
+        // Warm the hierarchy with mixed traffic, including a fractional
+        // dram_free_at (bandwidth_divisor 2 at 1 line/cycle → 2.0 steps,
+        // spikes consult the RNG).
+        for i in 0..20u64 {
+            m.access((i % 2) as usize, i * 96, 96, AccessKind::Bvh, CachePolicy::L1AndL2, i * 13);
+        }
+        let snap = m.snapshot();
+        let mut fresh = MemorySystem::new(&cfg);
+        fresh.restore(&snap).unwrap();
+        // The two systems must now be indistinguishable: identical timing,
+        // stats and RNG draws for any further access pattern.
+        for i in 0..30u64 {
+            let (sm, addr, now) = ((i % 2) as usize, 1024 + i * 64, 400 + i * 11);
+            let ta = m.access(sm, addr, 96, AccessKind::Ray, CachePolicy::RayReserve, now);
+            let tb = fresh.access(sm, addr, 96, AccessKind::Ray, CachePolicy::RayReserve, now);
+            assert_eq!(ta, tb, "access {i}");
+            let ta = m.access(sm, addr, 128, AccessKind::Bvh, CachePolicy::L1AndL2, now);
+            let tb = fresh.access(sm, addr, 128, AccessKind::Bvh, CachePolicy::L1AndL2, now);
+            assert_eq!(ta, tb, "bvh access {i}");
+        }
+        assert_eq!(m.snapshot(), fresh.snapshot());
+    }
+
+    #[test]
+    fn restore_rejects_geometry_mismatch() {
+        let m = MemorySystem::new(&small_config());
+        let snap = m.snapshot();
+        let mut other_sms = small_config();
+        other_sms.num_sms = 4;
+        let err = MemorySystem::new(&other_sms).restore(&snap).unwrap_err();
+        assert!(err.contains("L1s"), "{err}");
+        let mut other_mshrs = small_config();
+        other_mshrs.mshrs_per_sm = 8;
+        let err = MemorySystem::new(&other_mshrs).restore(&snap).unwrap_err();
+        assert!(err.contains("MSHR"), "{err}");
+        let mut other_l2 = small_config();
+        other_l2.l2.size_bytes = 4096;
+        let err = MemorySystem::new(&other_l2).restore(&snap).unwrap_err();
+        assert!(err.contains("mismatch"), "{err}");
     }
 
     #[test]

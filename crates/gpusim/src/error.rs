@@ -122,11 +122,15 @@ pub enum SimError {
     Workload(String),
     /// The configuration failed [`GpuConfig::validate`](crate::GpuConfig).
     Config(ConfigError),
+    /// A checkpoint could not be restored: version/geometry validation
+    /// failed or the snapshot is internally inconsistent with the target
+    /// simulator.
+    Checkpoint(String),
 }
 
 impl SimError {
     /// Short stable tag for classification (`deadlock`, `cycle-budget`,
-    /// `invariant`, `workload`, `config`).
+    /// `invariant`, `workload`, `config`, `checkpoint`).
     pub fn kind(&self) -> &'static str {
         match self {
             SimError::Deadlock { .. } => "deadlock",
@@ -134,6 +138,7 @@ impl SimError {
             SimError::Invariant(_) => "invariant",
             SimError::Workload(_) => "workload",
             SimError::Config(_) => "config",
+            SimError::Checkpoint(_) => "checkpoint",
         }
     }
 
@@ -172,6 +177,7 @@ impl fmt::Display for SimError {
             SimError::Invariant(v) => v.fmt(f),
             SimError::Workload(msg) => write!(f, "workload rejected: {msg}"),
             SimError::Config(e) => e.fmt(f),
+            SimError::Checkpoint(msg) => write!(f, "checkpoint rejected: {msg}"),
         }
     }
 }
@@ -248,12 +254,15 @@ mod tests {
         assert!(msg.contains("`stall-sum`") && msg.contains("cycle 7"), "got: {msg}");
         let msg = SimError::Workload("empty workload".to_string()).to_string();
         assert!(msg.contains("empty workload"), "got: {msg}");
+        let msg = SimError::Checkpoint("version 9 unsupported".to_string()).to_string();
+        assert!(msg.contains("checkpoint rejected") && msg.contains("version 9"), "got: {msg}");
     }
 
     #[test]
     fn kinds_are_stable() {
         assert_eq!(SimError::Deadlock { snapshot: snap() }.kind(), "deadlock");
         assert_eq!(SimError::Workload(String::new()).kind(), "workload");
+        assert_eq!(SimError::Checkpoint(String::new()).kind(), "checkpoint");
         assert!(SimError::Deadlock { snapshot: snap() }.snapshot().is_some());
         assert!(SimError::Workload(String::new()).snapshot().is_none());
     }

@@ -293,9 +293,40 @@ pub fn snapshot_jsonl(s: &ForensicsSnapshot) -> String {
     out
 }
 
+/// A typed parse failure from the flat-JSONL readers
+/// ([`parse_snapshot_jsonl`], checkpoint parsing): the 1-based line of the
+/// input that failed, plus the reason. Library code returns this instead of
+/// printing and exiting, so the host process decides how to react.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number within the parsed text (0 when the failure is
+    /// about the document as a whole, e.g. empty input).
+    pub line: usize,
+    /// What was wrong with that line.
+    pub reason: String,
+}
+
+impl ParseError {
+    pub(crate) fn at(line: usize, reason: impl Into<String>) -> ParseError {
+        ParseError { line, reason: reason.into() }
+    }
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line == 0 {
+            write!(f, "parse error: {}", self.reason)
+        } else {
+            write!(f, "parse error at line {}: {}", self.line, self.reason)
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
 /// Parses one flat JSONL line of `"key":value` pairs (string or integer
-/// values, no nesting — the snapshot schema).
-fn parse_flat_line(line: &str) -> Result<Vec<(String, String)>, String> {
+/// values, no nesting — the snapshot and checkpoint schemas).
+pub(crate) fn parse_flat_line(line: &str) -> Result<Vec<(String, String)>, String> {
     let inner = line
         .trim()
         .strip_prefix('{')
@@ -310,10 +341,18 @@ fn parse_flat_line(line: &str) -> Result<Vec<(String, String)>, String> {
     Ok(pairs)
 }
 
-fn flat_u64(pairs: &[(String, String)], key: &str) -> Result<u64, String> {
+pub(crate) fn flat_u64(pairs: &[(String, String)], key: &str) -> Result<u64, String> {
     let (_, v) =
         pairs.iter().find(|(k, _)| k == key).ok_or_else(|| format!("missing field `{key}`"))?;
     v.parse().map_err(|_| format!("field `{key}` is not an integer: {v}"))
+}
+
+pub(crate) fn flat_str<'p>(pairs: &'p [(String, String)], key: &str) -> Result<&'p str, String> {
+    pairs
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v.as_str())
+        .ok_or_else(|| format!("missing field `{key}`"))
 }
 
 /// Parses the output of [`snapshot_jsonl`] back into a
@@ -322,51 +361,56 @@ fn flat_u64(pairs: &[(String, String)], key: &str) -> Result<u64, String> {
 ///
 /// # Errors
 ///
-/// Returns a description of the first malformed line, missing field, or
-/// SM-count mismatch.
-pub fn parse_snapshot_jsonl(text: &str) -> Result<ForensicsSnapshot, String> {
-    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
-    let header = parse_flat_line(lines.next().ok_or("empty snapshot dump")?)?;
+/// Returns a typed [`ParseError`] locating the first malformed line,
+/// missing field, or SM-count mismatch. Never panics, whatever the input.
+pub fn parse_snapshot_jsonl(text: &str) -> Result<ForensicsSnapshot, ParseError> {
+    let mut lines =
+        text.lines().enumerate().map(|(i, l)| (i + 1, l)).filter(|(_, l)| !l.trim().is_empty());
+    let (header_no, header_line) =
+        lines.next().ok_or_else(|| ParseError::at(0, "empty snapshot dump"))?;
+    let header = parse_flat_line(header_line).map_err(|r| ParseError::at(header_no, r))?;
+    let at = |r: String| ParseError::at(header_no, r);
     let record = header.iter().find(|(k, _)| k == "record").map(|(_, v)| v.as_str());
     if record != Some("forensics") {
-        return Err(format!("expected a `forensics` header record, got {record:?}"));
+        return Err(at(format!("expected a `forensics` header record, got {record:?}")));
     }
     let mut snapshot = ForensicsSnapshot {
-        cycle: flat_u64(&header, "cycle")?,
-        rays_created: flat_u64(&header, "rays_created")?,
-        rays_completed: flat_u64(&header, "rays_completed")?,
-        ctas_total: flat_u64(&header, "ctas_total")? as usize,
-        ctas_unfinished: flat_u64(&header, "ctas_unfinished")? as usize,
-        pending_ctas: flat_u64(&header, "pending_ctas")? as usize,
-        resume_ready_ctas: flat_u64(&header, "resume_ready_ctas")? as usize,
-        mem_in_flight: flat_u64(&header, "mem_in_flight")? as usize,
+        cycle: flat_u64(&header, "cycle").map_err(at)?,
+        rays_created: flat_u64(&header, "rays_created").map_err(at)?,
+        rays_completed: flat_u64(&header, "rays_completed").map_err(at)?,
+        ctas_total: flat_u64(&header, "ctas_total").map_err(at)? as usize,
+        ctas_unfinished: flat_u64(&header, "ctas_unfinished").map_err(at)? as usize,
+        pending_ctas: flat_u64(&header, "pending_ctas").map_err(at)? as usize,
+        resume_ready_ctas: flat_u64(&header, "resume_ready_ctas").map_err(at)? as usize,
+        mem_in_flight: flat_u64(&header, "mem_in_flight").map_err(at)? as usize,
         sms: Vec::new(),
     };
-    let expected = flat_u64(&header, "sms")? as usize;
-    for line in lines {
-        let pairs = parse_flat_line(line)?;
+    let expected = flat_u64(&header, "sms").map_err(at)? as usize;
+    for (no, line) in lines {
+        let at = |r: String| ParseError::at(no, r);
+        let pairs = parse_flat_line(line).map_err(at)?;
         let record = pairs.iter().find(|(k, _)| k == "record").map(|(_, v)| v.as_str());
         if record != Some("forensics_sm") {
-            return Err(format!("expected a `forensics_sm` record, got {record:?}"));
+            return Err(at(format!("expected a `forensics_sm` record, got {record:?}")));
         }
         snapshot.sms.push(SmSnapshot {
-            sm: flat_u64(&pairs, "sm")? as usize,
-            free_cta_slots: flat_u64(&pairs, "free_cta_slots")? as usize,
-            resident_warps: flat_u64(&pairs, "resident_warps")? as usize,
-            warp_buffer_slots: flat_u64(&pairs, "warp_buffer_slots")? as usize,
-            incoming_warps: flat_u64(&pairs, "incoming_warps")? as usize,
-            queued_rays: flat_u64(&pairs, "queued_rays")? as usize,
-            treelet_queues: flat_u64(&pairs, "treelet_queues")? as usize,
-            rays_in_flight: flat_u64(&pairs, "rays_in_flight")? as usize,
-            shader_active: flat_u64(&pairs, "shader_active")? as usize,
-            reserved_rays: flat_u64(&pairs, "reserved_rays")? as usize,
-            last_progress_cycle: flat_u64(&pairs, "last_progress_cycle")?,
+            sm: flat_u64(&pairs, "sm").map_err(at)? as usize,
+            free_cta_slots: flat_u64(&pairs, "free_cta_slots").map_err(at)? as usize,
+            resident_warps: flat_u64(&pairs, "resident_warps").map_err(at)? as usize,
+            warp_buffer_slots: flat_u64(&pairs, "warp_buffer_slots").map_err(at)? as usize,
+            incoming_warps: flat_u64(&pairs, "incoming_warps").map_err(at)? as usize,
+            queued_rays: flat_u64(&pairs, "queued_rays").map_err(at)? as usize,
+            treelet_queues: flat_u64(&pairs, "treelet_queues").map_err(at)? as usize,
+            rays_in_flight: flat_u64(&pairs, "rays_in_flight").map_err(at)? as usize,
+            shader_active: flat_u64(&pairs, "shader_active").map_err(at)? as usize,
+            reserved_rays: flat_u64(&pairs, "reserved_rays").map_err(at)? as usize,
+            last_progress_cycle: flat_u64(&pairs, "last_progress_cycle").map_err(at)?,
         });
     }
     if snapshot.sms.len() != expected {
-        return Err(format!(
-            "header declared {expected} SMs but {} records followed",
-            snapshot.sms.len()
+        return Err(ParseError::at(
+            0,
+            format!("header declared {expected} SMs but {} records followed", snapshot.sms.len()),
         ));
     }
     Ok(snapshot)
@@ -423,7 +467,108 @@ mod tests {
                     \"rays_completed\":0,\"ctas_total\":0,\"ctas_unfinished\":0,\
                     \"pending_ctas\":0,\"resume_ready_ctas\":0,\"mem_in_flight\":0,\"sms\":2}";
         let err = parse_snapshot_jsonl(text).unwrap_err();
-        assert!(err.contains("declared 2 SMs"), "got: {err}");
+        assert!(err.reason.contains("declared 2 SMs"), "got: {err}");
+    }
+
+    /// Table-driven corruption sweep: every malformed or truncated input
+    /// must come back as a typed [`ParseError`] naming the offending line —
+    /// never a panic, never a silent partial parse.
+    #[test]
+    fn malformed_snapshots_return_typed_errors() {
+        let header = "{\"record\":\"forensics\",\"cycle\":1,\"rays_created\":0,\
+                      \"rays_completed\":0,\"ctas_total\":0,\"ctas_unfinished\":0,\
+                      \"pending_ctas\":0,\"resume_ready_ctas\":0,\"mem_in_flight\":0,\"sms\":1}";
+        let sm = "{\"record\":\"forensics_sm\",\"sm\":0,\"free_cta_slots\":1,\
+                  \"resident_warps\":0,\"warp_buffer_slots\":1,\"incoming_warps\":0,\
+                  \"queued_rays\":0,\"treelet_queues\":0,\"rays_in_flight\":0,\
+                  \"shader_active\":0,\"reserved_rays\":0,\"last_progress_cycle\":0}";
+        let good = format!("{header}\n{sm}\n");
+        assert!(parse_snapshot_jsonl(&good).is_ok(), "control case must parse");
+
+        struct Case {
+            name: &'static str,
+            text: String,
+            line: usize,
+            reason_contains: &'static str,
+        }
+        let cases = [
+            Case { name: "empty input", text: String::new(), line: 0, reason_contains: "empty" },
+            Case {
+                name: "whitespace-only input",
+                text: "  \n \n".to_string(),
+                line: 0,
+                reason_contains: "empty",
+            },
+            Case {
+                name: "non-JSON header",
+                text: format!("garbage\n{sm}\n"),
+                line: 1,
+                reason_contains: "not a JSON object",
+            },
+            Case {
+                name: "wrong header record type",
+                text: format!("{sm}\n{sm}\n"),
+                line: 1,
+                reason_contains: "expected a `forensics` header",
+            },
+            Case {
+                name: "header missing a field",
+                text: format!("{}\n{sm}\n", header.replace("\"cycle\":1,", "")),
+                line: 1,
+                reason_contains: "missing field `cycle`",
+            },
+            Case {
+                name: "non-integer field value",
+                text: format!("{}\n{sm}\n", header.replace("\"cycle\":1", "\"cycle\":xyz")),
+                line: 1,
+                reason_contains: "not an integer",
+            },
+            Case {
+                name: "malformed pair on an SM line",
+                text: format!("{header}\n{{\"record\" \"forensics_sm\"}}\n"),
+                line: 2,
+                reason_contains: "malformed pair",
+            },
+            Case {
+                name: "wrong body record type",
+                text: format!("{header}\n{header}\n"),
+                line: 2,
+                reason_contains: "expected a `forensics_sm` record",
+            },
+            Case {
+                name: "SM record missing a field",
+                text: format!("{header}\n{}\n", sm.replace("\"queued_rays\":0,", "")),
+                line: 2,
+                reason_contains: "missing field `queued_rays`",
+            },
+            Case {
+                name: "truncated: fewer SM records than declared",
+                text: format!("{header}\n"),
+                line: 0,
+                reason_contains: "declared 1 SMs but 0 records",
+            },
+            Case {
+                name: "truncated mid-line",
+                text: format!("{header}\n{}", &sm[..sm.len() / 2]),
+                line: 2,
+                reason_contains: "not a JSON object",
+            },
+        ];
+        for case in cases {
+            let err = parse_snapshot_jsonl(&case.text)
+                .expect_err(&format!("case `{}` must fail", case.name));
+            assert_eq!(err.line, case.line, "case `{}`: wrong line in {err}", case.name);
+            assert!(
+                err.reason.contains(case.reason_contains),
+                "case `{}`: expected reason containing {:?}, got: {err}",
+                case.name,
+                case.reason_contains
+            );
+            // The Display form carries the location for log grepping.
+            if case.line > 0 {
+                assert!(err.to_string().contains(&format!("line {}", case.line)));
+            }
+        }
     }
 
     #[test]

@@ -210,6 +210,38 @@ impl HwQueueTable {
         self.live_entries
     }
 
+    /// Exports the table contents bucket by bucket as `(tag, rays)` pairs,
+    /// preserving in-bucket order (it determines future pop/relocate
+    /// behaviour), plus the live-entry count and statistics.
+    pub(crate) fn export_state(&self) -> (Vec<Vec<(u64, u32)>>, u32, QueueTableStats) {
+        let buckets =
+            self.buckets.iter().map(|b| b.iter().map(|e| (e.tag, e.rays)).collect()).collect();
+        (buckets, self.live_entries, self.stats)
+    }
+
+    /// Restores state captured by [`HwQueueTable::export_state`] into a
+    /// table of identical geometry.
+    pub(crate) fn import_state(
+        &mut self,
+        buckets: &[Vec<(u64, u32)>],
+        live_entries: u32,
+        stats: QueueTableStats,
+    ) -> Result<(), String> {
+        if buckets.len() != self.buckets.len() {
+            return Err(format!(
+                "queue table has {} buckets, snapshot has {}",
+                self.buckets.len(),
+                buckets.len()
+            ));
+        }
+        for (dst, src) in self.buckets.iter_mut().zip(buckets) {
+            *dst = src.iter().map(|&(tag, rays)| Entry { tag, rays }).collect();
+        }
+        self.live_entries = live_entries;
+        self.stats = stats;
+        Ok(())
+    }
+
     /// Accumulated statistics.
     pub fn stats(&self) -> QueueTableStats {
         self.stats

@@ -44,6 +44,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod checkpoint;
 mod config;
 pub mod energy;
 mod error;
@@ -55,12 +56,14 @@ pub mod ray;
 mod sim;
 mod stats;
 
+pub use checkpoint::{config_tag, Checkpoint, CHECKPOINT_VERSION};
 pub use config::{
     AuditMode, ConfigError, GpuConfig, GpuConfigBuilder, TraversalPolicy, VtqParams,
     VtqParamsBuilder, DEFAULT_AUDIT_INTERVAL,
 };
 pub use energy::{EnergyBreakdown, EnergyModel};
 pub use error::{ForensicsSnapshot, InvariantViolation, SimError, SmSnapshot};
+pub use export::ParseError;
 pub use observe::{
     CountingSink, RingSink, SamplePoint, StallBreakdown, StallKind, TraceEvent, TraceSink,
 };

@@ -126,6 +126,28 @@ impl TreeletQueues {
     pub(crate) fn corrupt_total(&mut self, delta: isize) {
         self.total = self.total.saturating_add_signed(delta);
     }
+
+    /// Exports every queue as `(treelet, rays-in-FIFO-order)`, ascending by
+    /// treelet id, plus the cached total (checkpointing). The total is
+    /// exported verbatim rather than recomputed so a checkpoint taken
+    /// mid-sabotage restores the exact (possibly skewed) counter.
+    pub(crate) fn export_state(&self) -> (Vec<(u32, Vec<u32>)>, usize) {
+        let queues =
+            self.queues.iter().map(|(t, q)| (t.0, q.iter().map(|r| r.0).collect())).collect();
+        (queues, self.total)
+    }
+
+    /// Rebuilds queues from [`TreeletQueues::export_state`] output.
+    pub(crate) fn import_state(queues: &[(u32, Vec<u32>)], total: usize) -> TreeletQueues {
+        let mut out = TreeletQueues::new();
+        for (t, rays) in queues {
+            for r in rays {
+                out.push(TreeletId(*t), RayId(*r));
+            }
+        }
+        out.total = total;
+        out
+    }
 }
 
 #[cfg(test)]

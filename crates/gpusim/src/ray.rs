@@ -231,6 +231,95 @@ impl RayTraversal {
     pub fn treelet_stack_len(&self) -> usize {
         self.treelet_stack.len()
     }
+
+    /// Exports the complete traversal state with every `f32` as raw bits,
+    /// so a restore is bit-exact (checkpointing).
+    pub(crate) fn export_state(&self) -> RayTraversalState {
+        let stack = |s: &[StackEntry]| s.iter().map(|e| (e.node.0, e.t_enter.to_bits())).collect();
+        RayTraversalState {
+            id: self.id.0,
+            origin_bits: vec3_bits(self.ray.origin),
+            dir_bits: vec3_bits(self.ray.dir),
+            inv_dir_bits: vec3_bits(self.ray.inv_dir),
+            current_treelet: self.current_treelet.0,
+            current_stack: stack(&self.current_stack),
+            treelet_stack: stack(&self.treelet_stack),
+            best: self.best.map(|h| (h.t.to_bits(), h.prim)),
+            t_min_bits: self.t_min.to_bits(),
+            t_max_bits: self.t_max.to_bits(),
+            limit_bits: self.limit.to_bits(),
+            anyhit: self.anyhit,
+            nodes_visited: self.nodes_visited,
+        }
+    }
+
+    /// Rebuilds traversal state from [`RayTraversal::export_state`] output.
+    pub(crate) fn import_state(s: &RayTraversalState) -> RayTraversal {
+        let stack = |v: &[(u32, u32)]| {
+            v.iter()
+                .map(|&(node, bits)| StackEntry {
+                    node: NodeId(node),
+                    t_enter: f32::from_bits(bits),
+                })
+                .collect()
+        };
+        RayTraversal {
+            id: RayId(s.id),
+            ray: Ray {
+                origin: vec3_from_bits(s.origin_bits),
+                dir: vec3_from_bits(s.dir_bits),
+                inv_dir: vec3_from_bits(s.inv_dir_bits),
+            },
+            current_treelet: TreeletId(s.current_treelet),
+            current_stack: stack(&s.current_stack),
+            treelet_stack: stack(&s.treelet_stack),
+            best: s.best.map(|(t, prim)| PrimHit { t: f32::from_bits(t), prim }),
+            t_min: f32::from_bits(s.t_min_bits),
+            t_max: f32::from_bits(s.t_max_bits),
+            limit: f32::from_bits(s.limit_bits),
+            anyhit: s.anyhit,
+            nodes_visited: s.nodes_visited,
+        }
+    }
+}
+
+fn vec3_bits(v: rtmath::Vec3) -> [u32; 3] {
+    [v.x.to_bits(), v.y.to_bits(), v.z.to_bits()]
+}
+
+fn vec3_from_bits(bits: [u32; 3]) -> rtmath::Vec3 {
+    rtmath::Vec3::new(f32::from_bits(bits[0]), f32::from_bits(bits[1]), f32::from_bits(bits[2]))
+}
+
+/// Bit-exact serialized form of one [`RayTraversal`] (checkpointing).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct RayTraversalState {
+    /// Raw ray id.
+    pub id: u32,
+    /// `f32::to_bits` of the ray origin components.
+    pub origin_bits: [u32; 3],
+    /// `f32::to_bits` of the ray direction components.
+    pub dir_bits: [u32; 3],
+    /// `f32::to_bits` of the cached reciprocal direction components.
+    pub inv_dir_bits: [u32; 3],
+    /// Current treelet id.
+    pub current_treelet: u32,
+    /// `(node, t_enter bits)` pairs, bottom of stack first.
+    pub current_stack: Vec<(u32, u32)>,
+    /// `(node, t_enter bits)` pairs, bottom of stack first.
+    pub treelet_stack: Vec<(u32, u32)>,
+    /// Best hit so far as `(t bits, prim)`.
+    pub best: Option<(u32, u32)>,
+    /// `f32::to_bits` of the search interval minimum.
+    pub t_min_bits: u32,
+    /// `f32::to_bits` of the search interval maximum.
+    pub t_max_bits: u32,
+    /// `f32::to_bits` of the pruning limit.
+    pub limit_bits: u32,
+    /// Anyhit (occlusion) semantics flag.
+    pub anyhit: bool,
+    /// Nodes fetched so far.
+    pub nodes_visited: u32,
 }
 
 #[cfg(test)]

@@ -17,6 +17,8 @@ use rtbvh::{Bvh, NodeId, PrimHit, TreeletId};
 use rtmath::Ray;
 use rtscene::Triangle;
 
+use crate::checkpoint::CHECKPOINT_VERSION;
+use crate::checkpoint::{config_tag, Checkpoint, CtaState, RayState, RtUnitState, WarpState};
 use crate::energy::{EnergyBreakdown, EnergyModel};
 use crate::error::{ForensicsSnapshot, InvariantViolation, SimError, SmSnapshot};
 use crate::hw_table::HwQueueTable;
@@ -295,7 +297,7 @@ impl<'a> Simulator<'a> {
     /// convert into [`SimError::Config`] via `From`; a hand-assembled
     /// [`GpuConfig`] is trusted as-is, matching the legacy contract.
     pub fn try_run(&self, workload: &Workload) -> Result<SimReport, SimError> {
-        self.try_run_with(workload, None, None)
+        self.try_run_with(workload, None, None, None, None)
     }
 
     /// [`Simulator::try_run`] plus an explicit [`HitCapture`] of the
@@ -341,7 +343,47 @@ impl<'a> Simulator<'a> {
         workload: &Workload,
         sink: &mut dyn TraceSink,
     ) -> Result<SimReport, SimError> {
-        self.try_run_with(workload, Some(sink), None)
+        self.try_run_with(workload, Some(sink), None, None, None)
+    }
+
+    /// [`Simulator::try_run`] with periodic checkpointing: roughly every
+    /// `every_cycles` simulated cycles (at the first clock advance past the
+    /// mark) the complete architectural state is captured and handed to
+    /// `on_checkpoint`. Persist it with [`Checkpoint::to_jsonl`] and later
+    /// [`Simulator::resume_from`] it — the resumed run's final
+    /// [`SimStats`] is bit-identical to the uninterrupted run's.
+    ///
+    /// Checkpointing is pure observation: the checkpointed run itself is
+    /// cycle-identical to a plain [`Simulator::try_run`].
+    ///
+    /// # Errors
+    ///
+    /// Identical to [`Simulator::try_run`].
+    pub fn try_run_checkpointed(
+        &self,
+        workload: &Workload,
+        every_cycles: u64,
+        on_checkpoint: &mut dyn FnMut(Checkpoint),
+    ) -> Result<SimReport, SimError> {
+        self.try_run_with(workload, None, None, Some((every_cycles.max(1), on_checkpoint)), None)
+    }
+
+    /// Restores `snapshot` (captured by [`Simulator::try_run_checkpointed`]
+    /// on the *same* scene, workload and configuration) and runs the
+    /// remainder of the kernel to completion. The final [`SimStats`] is
+    /// bit-identical to the run the checkpoint was taken from.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Checkpoint`] when the snapshot's version, config
+    /// fingerprint, workload shape or machine geometry does not match this
+    /// simulator; otherwise identical to [`Simulator::try_run`].
+    pub fn resume_from(
+        &self,
+        workload: &Workload,
+        snapshot: &Checkpoint,
+    ) -> Result<SimReport, SimError> {
+        self.try_run_with(workload, None, None, None, Some(snapshot))
     }
 
     /// Test hook: runs with a scheduled state corruption so the invariant
@@ -353,7 +395,7 @@ impl<'a> Simulator<'a> {
         workload: &Workload,
         sabotage: Sabotage,
     ) -> Result<SimReport, SimError> {
-        self.try_run_with(workload, None, Some(sabotage))
+        self.try_run_with(workload, None, Some(sabotage), None, None)
     }
 
     fn try_run_with<'s>(
@@ -361,13 +403,21 @@ impl<'a> Simulator<'a> {
         workload: &'s Workload,
         sink: Option<&'s mut (dyn TraceSink + 's)>,
         sabotage: Option<Sabotage>,
+        ckpt: Option<(u64, &mut dyn FnMut(Checkpoint))>,
+        resume: Option<&Checkpoint>,
     ) -> Result<SimReport, SimError> {
         if workload.tasks.is_empty() {
             return Err(SimError::Workload("empty workload: no tasks to simulate".to_string()));
         }
         let mut engine = Engine::new(self.bvh, self.triangles, &self.config, workload, sink);
-        engine.sabotage = sabotage;
-        engine.run()?;
+        match resume {
+            // The checkpoint carries the (possibly already applied)
+            // sabotage schedule; a caller-supplied one is ignored so the
+            // resumed run replays the original faithfully.
+            Some(snapshot) => engine.restore(snapshot)?,
+            None => engine.sabotage = sabotage,
+        }
+        engine.run(ckpt)?;
         let energy = self.energy.evaluate(&engine.stats, engine.mem.stats());
         Ok(SimReport {
             stats: engine.stats,
@@ -531,6 +581,9 @@ pub(crate) struct Engine<'a> {
     jitter_state: u64,
     /// Scheduled state corruption (auditor tests only).
     sabotage: Option<Sabotage>,
+    /// Trace events recorded into the attached sink so far (0 when
+    /// untraced); checkpointed so a resumed traced run continues the count.
+    sink_events: u64,
 }
 
 impl<'a> Engine<'a> {
@@ -612,10 +665,19 @@ impl<'a> Engine<'a> {
                 .wrapping_add(0xD1B5_4A32_D192_ED03)
                 | 1,
             sabotage: None,
+            sink_events: 0,
         }
     }
 
-    fn run(&mut self) -> Result<(), SimError> {
+    /// Runs to completion. When `ckpt` is `Some((every, callback))` the
+    /// engine hands a [`Checkpoint`] to the callback roughly every `every`
+    /// cycles, captured at the quiescent point right after each clock
+    /// advance (sabotage applied, audit passed) and before the fixed-point
+    /// iteration at the new cycle — the exact state a resumed engine
+    /// re-enters this loop with.
+    fn run(&mut self, mut ckpt: Option<(u64, &mut dyn FnMut(Checkpoint))>) -> Result<(), SimError> {
+        let mut next_ckpt_at =
+            ckpt.as_ref().map_or(u64::MAX, |(every, _)| self.now.saturating_add(*every));
         loop {
             // Iterate to a fixed point at the current cycle.
             loop {
@@ -650,6 +712,15 @@ impl<'a> Engine<'a> {
                             self.audit_invariants()?;
                         }
                     }
+                    if self.now >= next_ckpt_at {
+                        if let Some((every, on_checkpoint)) = ckpt.as_mut() {
+                            on_checkpoint(self.capture());
+                            let every = (*every).max(1);
+                            while next_ckpt_at <= self.now {
+                                next_ckpt_at = next_ckpt_at.saturating_add(every);
+                            }
+                        }
+                    }
                 }
                 // `next_event` only reports future events, so anything else
                 // means no schedulable work remains: a true deadlock.
@@ -669,6 +740,327 @@ impl<'a> Engine<'a> {
         if self.audit_every.is_some() {
             self.audit_invariants()?;
         }
+        Ok(())
+    }
+
+    // -- checkpointing -------------------------------------------------------
+
+    /// Serializes the complete architectural state into a [`Checkpoint`].
+    /// Must be called at a clock-advance quiescent point (see
+    /// [`Engine::run`]); [`Engine::restore`] + re-entering `run` then
+    /// replays the remainder bit-identically.
+    fn capture(&self) -> Checkpoint {
+        let heap_sorted = |h: &BinaryHeap<Reverse<(u64, usize)>>| {
+            let mut v: Vec<(u64, usize)> = h.iter().map(|Reverse(t)| *t).collect();
+            v.sort_unstable();
+            v
+        };
+        let rt = self
+            .rt
+            .iter()
+            .map(|u| {
+                let (queues, queue_total) = u.queues.export_state();
+                let (hw_buckets, hw_live, hw_stats) = u.hw_table.export_state();
+                let mut prefetched: Vec<(u64, bool)> =
+                    u.prefetched.iter().map(|(k, v)| (*k, *v)).collect();
+                prefetched.sort_unstable();
+                RtUnitState {
+                    incoming: u
+                        .incoming
+                        .iter()
+                        .map(|(t, rays)| (*t, rays.iter().map(|r| r.0).collect()))
+                        .collect(),
+                    slots: u
+                        .slots
+                        .iter()
+                        .map(|s| {
+                            s.as_ref().map(|w| WarpState {
+                                lanes: w.lanes.iter().map(|l| l.map(|r| r.0)).collect(),
+                                mode: w.mode.index() as u8,
+                                restrict: w.restrict.map(|t| t.0),
+                                ready_at: w.ready_at,
+                                mem_ready_at: w.mem_ready_at,
+                            })
+                        })
+                        .collect(),
+                    queues,
+                    queue_total,
+                    current_queue: u.current_queue.map(|t| t.0),
+                    preloaded: u.preloaded.map(|t| t.0),
+                    last_prefetch_at: u.last_prefetch_at,
+                    prefetched,
+                    rays_in_flight: u.rays_in_flight,
+                    hw_buckets,
+                    hw_live,
+                    hw_stats,
+                    last_mode: u.last_mode.map(|m| m.index() as u8),
+                }
+            })
+            .collect();
+        Checkpoint {
+            version: CHECKPOINT_VERSION,
+            num_sms: self.rt.len(),
+            tasks: self.workload.tasks.len(),
+            total_rays: self.workload.total_rays(),
+            config_tag: config_tag(self.cfg),
+            now: self.now,
+            next_sm: self.next_sm,
+            last_audit: self.last_audit,
+            jitter_state: self.jitter_state,
+            sink_events: self.sink_events,
+            sabotage: self.sabotage.map(|s| (s.at_cycle, s.queue_total_delta as i64)),
+            pending: self.pending.iter().copied().collect(),
+            timers: heap_sorted(&self.timers),
+            resume_ready: self.resume_ready.clone(),
+            shader_active: self.shader_active.clone(),
+            reserved_rays: self.reserved_rays.clone(),
+            slot_release: heap_sorted(&self.slot_release),
+            free_slots: self.free_slots.clone(),
+            last_progress: self.last_progress.clone(),
+            stats: self.stats.clone(),
+            ctas: self
+                .ctas
+                .iter()
+                .map(|c| CtaState {
+                    first_task: c.first_task,
+                    task_count: c.task_count,
+                    bounce: c.bounce,
+                    phase: phase_to_u8(c.phase),
+                    ready_at: c.ready_at,
+                    sm: c.sm,
+                    outstanding: c.outstanding,
+                    resume_queued: c.resume_queued,
+                })
+                .collect(),
+            rays: self
+                .rays
+                .iter()
+                .zip(&self.ray_meta)
+                .map(|(r, m)| RayState {
+                    traversal: r.export_state(),
+                    cta: m.cta,
+                    task: m.task,
+                    bounce: m.bounce,
+                    sm: m.sm,
+                })
+                .collect(),
+            hits: self
+                .hits
+                .iter()
+                .map(|t| t.iter().map(|h| h.map(|h| (h.t.to_bits(), h.prim))).collect())
+                .collect(),
+            rt,
+            mem: self.mem.snapshot(),
+        }
+    }
+
+    /// Restores a freshly constructed engine (same scene, workload and
+    /// config as the checkpointed run) to the captured state.
+    fn restore(&mut self, ckpt: &Checkpoint) -> Result<(), SimError> {
+        let err = SimError::Checkpoint;
+        if ckpt.version != CHECKPOINT_VERSION {
+            return Err(err(format!(
+                "version {} unsupported (this build reads {CHECKPOINT_VERSION})",
+                ckpt.version
+            )));
+        }
+        if ckpt.config_tag != config_tag(self.cfg) {
+            return Err(err(format!(
+                "config fingerprint {:#x} does not match the simulator's {:#x}",
+                ckpt.config_tag,
+                config_tag(self.cfg)
+            )));
+        }
+        if ckpt.num_sms != self.rt.len() {
+            return Err(err(format!(
+                "checkpoint has {} SMs, simulator has {}",
+                ckpt.num_sms,
+                self.rt.len()
+            )));
+        }
+        if ckpt.tasks != self.workload.tasks.len() || ckpt.total_rays != self.workload.total_rays()
+        {
+            return Err(err(format!(
+                "checkpoint workload shape ({} tasks, {} rays) does not match \
+                 ({} tasks, {} rays)",
+                ckpt.tasks,
+                ckpt.total_rays,
+                self.workload.tasks.len(),
+                self.workload.total_rays()
+            )));
+        }
+        if ckpt.ctas.len() != self.ctas.len() {
+            return Err(err(format!(
+                "checkpoint has {} CTAs, workload builds {}",
+                ckpt.ctas.len(),
+                self.ctas.len()
+            )));
+        }
+        if ckpt.jitter_state == 0 {
+            return Err(err("jitter RNG state must be non-zero".to_string()));
+        }
+        let n = self.rt.len();
+        for (name, len) in [
+            ("shader_active", ckpt.shader_active.len()),
+            ("reserved_rays", ckpt.reserved_rays.len()),
+            ("free_slots", ckpt.free_slots.len()),
+            ("last_progress", ckpt.last_progress.len()),
+            ("stall", ckpt.stats.stall.len()),
+            ("rt", ckpt.rt.len()),
+        ] {
+            if len != n {
+                return Err(err(format!("`{name}` has {len} entries, expected {n}")));
+            }
+        }
+        let nctas = ckpt.ctas.len();
+        for &id in ckpt.pending.iter().chain(&ckpt.resume_ready) {
+            if id >= nctas {
+                return Err(err(format!("CTA id {id} out of range ({nctas} CTAs)")));
+            }
+        }
+        for &(_, id) in &ckpt.timers {
+            if id >= nctas {
+                return Err(err(format!("timer CTA id {id} out of range ({nctas} CTAs)")));
+            }
+        }
+        for &(_, sm) in &ckpt.slot_release {
+            if sm >= n {
+                return Err(err(format!("slot-release SM {sm} out of range ({n} SMs)")));
+            }
+        }
+        let nrays = ckpt.rays.len();
+        for (sm, s) in ckpt.rt.iter().enumerate() {
+            let referenced = s
+                .incoming
+                .iter()
+                .flat_map(|(_, r)| r.iter())
+                .chain(s.queues.iter().flat_map(|(_, r)| r.iter()))
+                .chain(s.slots.iter().flatten().flat_map(|w| w.lanes.iter().flatten()));
+            for &r in referenced {
+                if r as usize >= nrays {
+                    return Err(err(format!("sm {sm}: ray id {r} out of range ({nrays} rays)")));
+                }
+            }
+        }
+        if ckpt.hits.len() != self.workload.tasks.len() {
+            return Err(err("hit-record shape does not match the workload".to_string()));
+        }
+        for (task, (calls, t)) in ckpt.hits.iter().zip(&self.workload.tasks).enumerate() {
+            if calls.len() != t.rays.len() {
+                return Err(err(format!(
+                    "task {task} has {} hit records, workload makes {} calls",
+                    calls.len(),
+                    t.rays.len()
+                )));
+            }
+        }
+
+        self.now = ckpt.now;
+        self.next_sm = ckpt.next_sm;
+        self.last_audit = ckpt.last_audit;
+        self.jitter_state = ckpt.jitter_state;
+        self.sink_events = ckpt.sink_events;
+        self.sabotage =
+            ckpt.sabotage.map(|(at, d)| Sabotage { at_cycle: at, queue_total_delta: d as isize });
+        self.pending = ckpt.pending.iter().copied().collect();
+        self.timers = ckpt.timers.iter().map(|&t| Reverse(t)).collect();
+        self.resume_ready = ckpt.resume_ready.clone();
+        self.shader_active = ckpt.shader_active.clone();
+        self.reserved_rays = ckpt.reserved_rays.clone();
+        self.slot_release = ckpt.slot_release.iter().map(|&t| Reverse(t)).collect();
+        self.free_slots = ckpt.free_slots.clone();
+        self.last_progress = ckpt.last_progress.clone();
+        self.stats = ckpt.stats.clone();
+        for (id, (cta, s)) in self.ctas.iter_mut().zip(&ckpt.ctas).enumerate() {
+            if s.first_task != cta.first_task || s.task_count != cta.task_count {
+                return Err(err(format!(
+                    "CTA {id} covers tasks {}+{} in the checkpoint but {}+{} here \
+                     (different workload or cta_size)",
+                    s.first_task, s.task_count, cta.first_task, cta.task_count
+                )));
+            }
+            if s.sm >= n {
+                return Err(err(format!("CTA {id} on SM {} out of range ({n} SMs)", s.sm)));
+            }
+            cta.bounce = s.bounce;
+            cta.phase = phase_from_u8(s.phase)
+                .ok_or_else(|| err(format!("CTA {id} has unknown phase code {}", s.phase)))?;
+            cta.ready_at = s.ready_at;
+            cta.sm = s.sm;
+            cta.outstanding = s.outstanding;
+            cta.resume_queued = s.resume_queued;
+        }
+        self.rays = ckpt.rays.iter().map(|r| RayTraversal::import_state(&r.traversal)).collect();
+        self.ray_meta = ckpt
+            .rays
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                if r.cta >= nctas || r.task >= self.workload.tasks.len() || r.sm >= n {
+                    return Err(err(format!("ray {i} references out-of-range cta/task/sm")));
+                }
+                Ok(RayMeta { cta: r.cta, task: r.task, bounce: r.bounce, sm: r.sm })
+            })
+            .collect::<Result<_, _>>()?;
+        self.hits = ckpt
+            .hits
+            .iter()
+            .map(|t| {
+                t.iter()
+                    .map(|h| h.map(|(bits, prim)| PrimHit { t: f32::from_bits(bits), prim }))
+                    .collect()
+            })
+            .collect();
+        for (sm, (unit, s)) in self.rt.iter_mut().zip(&ckpt.rt).enumerate() {
+            if s.slots.len() != unit.slots.len() {
+                return Err(err(format!(
+                    "sm {sm}: checkpoint has {} warp-buffer slots, config builds {}",
+                    s.slots.len(),
+                    unit.slots.len()
+                )));
+            }
+            unit.incoming = s
+                .incoming
+                .iter()
+                .map(|(t, rays)| (*t, rays.iter().map(|r| RayId(*r)).collect()))
+                .collect();
+            unit.slots = s
+                .slots
+                .iter()
+                .map(|w| {
+                    w.as_ref()
+                        .map(|w| {
+                            Ok::<Warp, SimError>(Warp {
+                                lanes: w.lanes.iter().map(|l| l.map(RayId)).collect(),
+                                mode: mode_from_u8(w.mode).ok_or_else(|| {
+                                    err(format!("sm {sm}: unknown mode code {}", w.mode))
+                                })?,
+                                restrict: w.restrict.map(TreeletId),
+                                ready_at: w.ready_at,
+                                mem_ready_at: w.mem_ready_at,
+                            })
+                        })
+                        .transpose()
+                })
+                .collect::<Result<_, _>>()?;
+            unit.queues = TreeletQueues::import_state(&s.queues, s.queue_total);
+            unit.current_queue = s.current_queue.map(TreeletId);
+            unit.preloaded = s.preloaded.map(TreeletId);
+            unit.last_prefetch_at = s.last_prefetch_at;
+            unit.prefetched = s.prefetched.iter().copied().collect();
+            unit.rays_in_flight = s.rays_in_flight;
+            unit.hw_table
+                .import_state(&s.hw_buckets, s.hw_live, s.hw_stats)
+                .map_err(|e| err(format!("sm {sm}: {e}")))?;
+            unit.last_mode = match s.last_mode {
+                None => None,
+                Some(m) => Some(
+                    mode_from_u8(m)
+                        .ok_or_else(|| err(format!("sm {sm}: unknown mode code {m}")))?,
+                ),
+            };
+        }
+        self.mem.restore(&ckpt.mem).map_err(err)?;
         Ok(())
     }
 
@@ -889,7 +1281,12 @@ impl<'a> Engine<'a> {
         if self.rt[sm].last_mode != Some(mode) {
             let from = self.rt[sm].last_mode;
             let now = self.now;
-            emit(&mut self.sink, || TraceEvent::ModeTransition { cycle: now, sm, from, to: mode });
+            emit(&mut self.sink, &mut self.sink_events, || TraceEvent::ModeTransition {
+                cycle: now,
+                sm,
+                from,
+                to: mode,
+            });
             self.rt[sm].last_mode = Some(mode);
         }
     }
@@ -940,7 +1337,11 @@ impl<'a> Engine<'a> {
                     };
                     self.stats.cta_resumes += 1;
                     let now = self.now;
-                    emit(&mut self.sink, || TraceEvent::CtaResume { cycle: now, cta: id, sm });
+                    emit(&mut self.sink, &mut self.sink_events, || TraceEvent::CtaResume {
+                        cycle: now,
+                        cta: id,
+                        sm,
+                    });
                     self.shader_active[sm] += 1;
                     let shade = self.shader_phase_cycles(sm, self.cfg.shade_cycles);
                     let cta = &mut self.ctas[id];
@@ -961,7 +1362,11 @@ impl<'a> Engine<'a> {
             };
             self.pending.pop_front();
             let now = self.now;
-            emit(&mut self.sink, || TraceEvent::CtaLaunch { cycle: now, cta: id, sm });
+            emit(&mut self.sink, &mut self.sink_events, || TraceEvent::CtaLaunch {
+                cycle: now,
+                cta: id,
+                sm,
+            });
             self.free_slots[sm] -= 1;
             self.shader_active[sm] += 1;
             let ready = self.now + self.shader_phase_cycles(sm, self.cfg.raygen_cycles);
@@ -1080,7 +1485,11 @@ impl<'a> Engine<'a> {
             self.ctas[id].phase = Phase::Done;
             self.free_slots[sm] += 1;
             let now = self.now;
-            emit(&mut self.sink, || TraceEvent::CtaRetire { cycle: now, cta: id, sm });
+            emit(&mut self.sink, &mut self.sink_events, || TraceEvent::CtaRetire {
+                cycle: now,
+                cta: id,
+                sm,
+            });
             return;
         }
 
@@ -1110,7 +1519,12 @@ impl<'a> Engine<'a> {
             self.stats.warps_issued += 1;
             let now = self.now;
             let rays = chunk.len();
-            emit(&mut self.sink, || TraceEvent::WarpIssue { cycle: now, sm, cta: id, rays });
+            emit(&mut self.sink, &mut self.sink_events, || TraceEvent::WarpIssue {
+                cycle: now,
+                sm,
+                cta: id,
+                rays,
+            });
         }
 
         let charge = self.vtq.is_some_and(|v| v.charge_virtualization);
@@ -1125,7 +1539,12 @@ impl<'a> Engine<'a> {
                 self.stats.cta_suspends += 1;
                 let now = self.now;
                 let rays = self.ctas[id].outstanding;
-                emit(&mut self.sink, || TraceEvent::CtaSuspend { cycle: now, cta: id, sm, rays });
+                emit(&mut self.sink, &mut self.sink_events, || TraceEvent::CtaSuspend {
+                    cycle: now,
+                    cta: id,
+                    sm,
+                    rays,
+                });
                 self.ctas[id].phase = Phase::Suspended;
                 if charge {
                     let bytes = self.cfg.cta_state_bytes();
@@ -1305,7 +1724,7 @@ impl<'a> Engine<'a> {
             }
             let now = self.now;
             let n_rays = rays.len();
-            emit(&mut self.sink, || TraceEvent::TreeletDispatch {
+            emit(&mut self.sink, &mut self.sink_events, || TraceEvent::TreeletDispatch {
                 cycle: now,
                 sm,
                 treelet: t,
@@ -1339,7 +1758,11 @@ impl<'a> Engine<'a> {
             }
             let now = self.now;
             let n_rays = lanes.len();
-            emit(&mut self.sink, || TraceEvent::GroupDispatch { cycle: now, sm, rays: n_rays });
+            emit(&mut self.sink, &mut self.sink_events, || TraceEvent::GroupDispatch {
+                cycle: now,
+                sm,
+                rays: n_rays,
+            });
             self.note_mode(sm, TraversalMode::RayStationary);
             self.rt[sm].slots[slot] = Some(Warp {
                 lanes,
@@ -1374,7 +1797,7 @@ impl<'a> Engine<'a> {
                     let lanes: Vec<RayId> = warp.lanes.iter().flatten().copied().collect();
                     let now = self.now;
                     let (n_treelets, n_rays) = (treelets.len(), lanes.len());
-                    emit(&mut self.sink, || TraceEvent::DivergenceSplit {
+                    emit(&mut self.sink, &mut self.sink_events, || TraceEvent::DivergenceSplit {
                         cycle: now,
                         sm,
                         treelets: n_treelets,
@@ -1409,7 +1832,11 @@ impl<'a> Engine<'a> {
                         self.stats.repacked_rays += grabbed.len() as u64;
                         let now = self.now;
                         let added = grabbed.len();
-                        emit(&mut self.sink, || TraceEvent::Repack { cycle: now, sm, added });
+                        emit(&mut self.sink, &mut self.sink_events, || TraceEvent::Repack {
+                            cycle: now,
+                            sm,
+                            added,
+                        });
                         for (t, _) in &grabbed {
                             self.dequeue_hw(sm, *t, 1);
                         }
@@ -1473,11 +1900,8 @@ impl<'a> Engine<'a> {
                         }
                         let now = self.now;
                         let n_rays = rays.len();
-                        emit(&mut self.sink, || TraceEvent::TreeletDispatch {
-                            cycle: now,
-                            sm,
-                            treelet: t,
-                            rays: n_rays,
+                        emit(&mut self.sink, &mut self.sink_events, || {
+                            TraceEvent::TreeletDispatch { cycle: now, sm, treelet: t, rays: n_rays }
                         });
                         warp.lanes = rays.into_iter().map(Some).collect();
                         warp.ready_at = ready;
@@ -1491,7 +1915,11 @@ impl<'a> Engine<'a> {
             }
             let now = self.now;
             let mode = warp.mode;
-            emit(&mut self.sink, || TraceEvent::WarpRetire { cycle: now, sm, mode });
+            emit(&mut self.sink, &mut self.sink_events, || TraceEvent::WarpRetire {
+                cycle: now,
+                sm,
+                mode,
+            });
             return; // warp retires
         }
 
@@ -1543,7 +1971,13 @@ impl<'a> Engine<'a> {
         if stall > self.cfg.mem.l1.latency as u64 {
             let now = self.now;
             let (mode, lines) = (warp.mode, fetched.len());
-            emit(&mut self.sink, || TraceEvent::MissBurst { cycle: now, sm, mode, lines, stall });
+            emit(&mut self.sink, &mut self.sink_events, || TraceEvent::MissBurst {
+                cycle: now,
+                sm,
+                mode,
+                lines,
+                stall,
+            });
         }
 
         let ready = completion + self.cfg.isect_latency as u64;
@@ -1745,11 +2179,48 @@ fn ray_addr(cfg: &GpuConfig, r: RayId) -> u64 {
     RAY_REGION + r.0 as u64 * cfg.ray_record_bytes as u64
 }
 
-/// Records an event when a sink is attached. The closure defers event
-/// construction so untraced runs pay nothing at the call sites.
+/// Stable checkpoint encoding of [`Phase`] (the enum itself is private).
+fn phase_to_u8(p: Phase) -> u8 {
+    match p {
+        Phase::Pending => 0,
+        Phase::Raygen => 1,
+        Phase::WaitTraversal => 2,
+        Phase::Suspended => 3,
+        Phase::ReadyToResume => 4,
+        Phase::Shade => 5,
+        Phase::Done => 6,
+    }
+}
+
+fn phase_from_u8(b: u8) -> Option<Phase> {
+    Some(match b {
+        0 => Phase::Pending,
+        1 => Phase::Raygen,
+        2 => Phase::WaitTraversal,
+        3 => Phase::Suspended,
+        4 => Phase::ReadyToResume,
+        5 => Phase::Shade,
+        6 => Phase::Done,
+        _ => return None,
+    })
+}
+
+fn mode_from_u8(b: u8) -> Option<TraversalMode> {
+    TraversalMode::ALL.get(b as usize).copied()
+}
+
+/// Records an event when a sink is attached, bumping the engine's recorded
+/// event counter (`counter` is checkpointed so a resumed traced run
+/// continues the count). The closure defers event construction so untraced
+/// runs pay nothing at the call sites.
 #[inline]
-fn emit(sink: &mut Option<&mut dyn TraceSink>, make: impl FnOnce() -> TraceEvent) {
+fn emit(
+    sink: &mut Option<&mut dyn TraceSink>,
+    counter: &mut u64,
+    make: impl FnOnce() -> TraceEvent,
+) {
     if let Some(sink) = sink.as_deref_mut() {
+        *counter += 1;
         let event = make();
         sink.record(&event);
     }

@@ -1,0 +1,230 @@
+//! Durable-simulation integration tests: mid-run checkpoints are pure
+//! observation, a resumed run's final `SimStats` is bit-identical to the
+//! uninterrupted run's across scenes × traversal policies, checkpoints
+//! survive a JSONL round-trip losslessly, and every mismatch or corruption
+//! path returns a typed error instead of panicking.
+
+use gpusim::{
+    config_tag, Checkpoint, GpuConfig, PathTask, SimStats, Simulator, TraversalPolicy, VtqParams,
+    Workload, CHECKPOINT_VERSION,
+};
+use rtbvh::{Bvh, BvhConfig};
+use rtscene::lumibench::{self, SceneId};
+
+fn small_scene(id: SceneId) -> (rtscene::Scene, Bvh) {
+    let scene = lumibench::build_scaled(id, 16);
+    let bvh =
+        Bvh::build(scene.triangles(), &BvhConfig { treelet_bytes: 1024, ..Default::default() });
+    (scene, bvh)
+}
+
+fn small_workload(scene: &rtscene::Scene, rays: u32) -> Workload {
+    Workload {
+        tasks: (0..rays)
+            .map(|i| PathTask {
+                rays: vec![scene.camera().primary_ray(i % 8, i / 8, 8, 8, None).into()],
+            })
+            .collect(),
+    }
+}
+
+fn policies() -> [TraversalPolicy; 3] {
+    [
+        TraversalPolicy::Baseline,
+        TraversalPolicy::TreeletPrefetch,
+        TraversalPolicy::Vtq(VtqParams { max_virtual_rays: 256, ..Default::default() }),
+    ]
+}
+
+fn config(policy: TraversalPolicy) -> GpuConfig {
+    let mut cfg = GpuConfig::default().with_policy(policy);
+    cfg.mem.num_sms = 2;
+    cfg
+}
+
+/// Runs `workload` three ways — plain, checkpointed, and resumed from a
+/// mid-run checkpoint — and asserts all three agree bit for bit. Returns
+/// the captured checkpoints for further abuse by other tests.
+fn run_all_ways(
+    scene: &rtscene::Scene,
+    bvh: &Bvh,
+    cfg: GpuConfig,
+    workload: &Workload,
+    label: &str,
+) -> (SimStats, Vec<Checkpoint>) {
+    let sim = Simulator::new(bvh, scene.triangles(), cfg);
+    let plain = sim.try_run(workload).unwrap_or_else(|e| panic!("{label}: plain run: {e}"));
+
+    let mut ckpts: Vec<Checkpoint> = Vec::new();
+    let checkpointed = sim
+        .try_run_checkpointed(workload, 64, &mut |c| ckpts.push(c))
+        .unwrap_or_else(|e| panic!("{label}: checkpointed run: {e}"));
+    // Checkpointing is pure observation: the instrumented run is identical.
+    assert_eq!(checkpointed.stats, plain.stats, "{label}: checkpoint capture perturbed the run");
+    assert!(
+        !ckpts.is_empty(),
+        "{label}: run finished at cycle {} without crossing a checkpoint mark",
+        plain.stats.cycles
+    );
+    for ckpt in &ckpts {
+        assert_eq!(ckpt.version(), CHECKPOINT_VERSION);
+        assert_eq!(ckpt.config_tag(), config_tag(&cfg));
+        assert!(ckpt.cycle() <= plain.stats.cycles, "{label}: checkpoint past the end of the run");
+    }
+
+    // Resume from the first (most remaining work) and last (least) snapshot;
+    // both must converge to the same final state as the uninterrupted run.
+    for ckpt in [ckpts.first().unwrap(), ckpts.last().unwrap()] {
+        let resumed = sim
+            .resume_from(workload, ckpt)
+            .unwrap_or_else(|e| panic!("{label}: resume from cycle {}: {e}", ckpt.cycle()));
+        assert_eq!(
+            resumed.stats,
+            plain.stats,
+            "{label}: resume from cycle {} diverged",
+            ckpt.cycle()
+        );
+        assert_eq!(resumed.hits, plain.hits, "{label}: resumed hits diverged");
+    }
+    (plain.stats, ckpts)
+}
+
+#[test]
+fn resume_is_bit_identical_across_scenes_and_policies() {
+    for id in [SceneId::Ref, SceneId::Bunny, SceneId::Spnza] {
+        let (scene, bvh) = small_scene(id);
+        let workload = small_workload(&scene, 32);
+        for policy in policies() {
+            let label = format!("{id:?}/{}", policy.label());
+            run_all_ways(&scene, &bvh, config(policy), &workload, &label);
+        }
+    }
+}
+
+#[test]
+fn every_checkpoint_of_one_run_resumes_identically() {
+    let (scene, bvh) = small_scene(SceneId::Ref);
+    let workload = small_workload(&scene, 32);
+    let cfg = config(TraversalPolicy::Vtq(VtqParams::default()));
+    let sim = Simulator::new(&bvh, scene.triangles(), cfg);
+    let plain = sim.try_run(&workload).expect("plain run");
+
+    let mut ckpts = Vec::new();
+    sim.try_run_checkpointed(&workload, 48, &mut |c| ckpts.push(c)).expect("checkpointed run");
+    assert!(ckpts.len() >= 2, "want several snapshots, got {}", ckpts.len());
+    // Marks are spaced by the requested interval: strictly increasing cycles.
+    for pair in ckpts.windows(2) {
+        assert!(pair[0].cycle() < pair[1].cycle());
+    }
+    for ckpt in &ckpts {
+        let resumed = sim.resume_from(&workload, ckpt).expect("resume");
+        assert_eq!(resumed.stats, plain.stats, "resume from cycle {} diverged", ckpt.cycle());
+    }
+}
+
+#[test]
+fn checkpoint_round_trips_through_jsonl() {
+    let (scene, bvh) = small_scene(SceneId::Bunny);
+    let workload = small_workload(&scene, 24);
+    let cfg = config(TraversalPolicy::Vtq(VtqParams::default()));
+    let sim = Simulator::new(&bvh, scene.triangles(), cfg);
+    let plain = sim.try_run(&workload).expect("plain run");
+
+    let mut ckpts = Vec::new();
+    sim.try_run_checkpointed(&workload, 64, &mut |c| ckpts.push(c)).expect("checkpointed run");
+    for ckpt in &ckpts {
+        let text = ckpt.to_jsonl();
+        let back = Checkpoint::from_jsonl(&text)
+            .unwrap_or_else(|e| panic!("round-trip of cycle-{} snapshot: {e}", ckpt.cycle()));
+        // Lossless: the parsed snapshot is structurally identical...
+        assert_eq!(&back, ckpt, "JSONL round-trip lost state at cycle {}", ckpt.cycle());
+        // ...and behaviorally identical: resuming it reaches the same end.
+        let resumed = sim.resume_from(&workload, &back).expect("resume parsed snapshot");
+        assert_eq!(resumed.stats, plain.stats);
+    }
+}
+
+#[test]
+fn resume_rejects_mismatched_config_and_workload() {
+    let (scene, bvh) = small_scene(SceneId::Ref);
+    let workload = small_workload(&scene, 32);
+    let cfg = config(TraversalPolicy::Vtq(VtqParams::default()));
+    let sim = Simulator::new(&bvh, scene.triangles(), cfg);
+    let mut ckpts = Vec::new();
+    sim.try_run_checkpointed(&workload, 64, &mut |c| ckpts.push(c)).expect("checkpointed run");
+    let ckpt = ckpts.first().expect("at least one snapshot");
+
+    // Different policy => different config fingerprint.
+    let other = Simulator::new(&bvh, scene.triangles(), config(TraversalPolicy::Baseline));
+    let err = other.resume_from(&workload, ckpt).expect_err("config mismatch must be rejected");
+    assert_eq!(err.kind(), "checkpoint");
+    assert!(err.to_string().contains("checkpoint rejected"), "got: {err}");
+
+    // Same config, different workload shape.
+    let short = small_workload(&scene, 16);
+    let err = sim.resume_from(&short, ckpt).expect_err("workload mismatch must be rejected");
+    assert_eq!(err.kind(), "checkpoint");
+
+    // Same config, different machine geometry.
+    let mut wide = config(TraversalPolicy::Vtq(VtqParams::default()));
+    wide.mem.num_sms = 4;
+    let wide_sim = Simulator::new(&bvh, scene.triangles(), wide);
+    let err = wide_sim.resume_from(&workload, ckpt).expect_err("geometry mismatch");
+    assert_eq!(err.kind(), "checkpoint");
+}
+
+#[test]
+fn corrupt_checkpoint_dumps_return_typed_errors() {
+    let (scene, bvh) = small_scene(SceneId::Ref);
+    let workload = small_workload(&scene, 24);
+    let sim = Simulator::new(&bvh, scene.triangles(), config(TraversalPolicy::Baseline));
+    let mut ckpts = Vec::new();
+    sim.try_run_checkpointed(&workload, 64, &mut |c| ckpts.push(c)).expect("checkpointed run");
+    let text = ckpts.first().expect("snapshot").to_jsonl();
+
+    // Truncation: a dump with the terminal record torn off is detected.
+    let torn = text.rsplit_once("\n{\"record\":\"ckpt_end\"").expect("dump ends in ckpt_end").0;
+    let err = Checkpoint::from_jsonl(torn).expect_err("truncated dump must fail");
+    assert!(err.reason.contains("truncated"), "got: {err}");
+
+    let lines: Vec<&str> = text.lines().collect();
+    let without = |needle: &str| -> String {
+        let mut out = String::new();
+        let mut dropped = false;
+        for line in &lines {
+            if !dropped && line.contains(needle) {
+                dropped = true;
+                continue;
+            }
+            out.push_str(line);
+            out.push('\n');
+        }
+        assert!(dropped, "dump has no `{needle}` record to drop");
+        out
+    };
+
+    // A missing per-SM stall record is caught by the parser's count check.
+    let err = Checkpoint::from_jsonl(&without("\"ckpt_stall\"")).expect_err("lossy stall dump");
+    assert!(err.reason.contains("ckpt_stall"), "got: {err}");
+
+    // A missing engine record slips past the parser (fields default) but is
+    // rejected by the restore validator — defense in depth, not a panic.
+    let hollow = Checkpoint::from_jsonl(&without("\"ckpt_engine\""))
+        .expect("engine-less dump parses (defaults)");
+    let err = sim.resume_from(&workload, &hollow).expect_err("restore must reject hollow state");
+    assert_eq!(err.kind(), "checkpoint");
+
+    // Garbage injection mid-stream names the offending line.
+    let mut garbled = String::new();
+    for (i, line) in lines.iter().enumerate() {
+        garbled.push_str(if i == 2 { "not json at all" } else { line });
+        garbled.push('\n');
+    }
+    let err = Checkpoint::from_jsonl(&garbled).expect_err("garbage line must fail");
+    assert_eq!(err.line, 3, "got: {err}");
+
+    // Version skew is rejected up front.
+    let skewed = text.replacen("\"version\":1", "\"version\":999", 1);
+    let err = Checkpoint::from_jsonl(&skewed).expect_err("future version must fail");
+    assert!(err.reason.contains("version"), "got: {err}");
+}
