@@ -42,10 +42,19 @@ fn cell_jsonl(c: &CellOutcome) -> String {
     )
 }
 
-fn persist(opts: &HarnessOpts, report: &CampaignReport) -> std::io::Result<()> {
+fn persist(
+    opts: &HarnessOpts,
+    campaign: &CampaignConfig,
+    report: &CampaignReport,
+) -> std::io::Result<()> {
     let Some(dir) = &opts.out else { return Ok(()) };
     fs::create_dir_all(dir)?;
     let mut file = fs::File::create(dir.join("faults.jsonl"))?;
+    writeln!(
+        file,
+        "{}",
+        provenance_line(Some(config_fingerprint(&campaign.config)), Some(campaign.seed))
+    )?;
     for cell in &report.cells {
         writeln!(file, "{}", cell_jsonl(cell))?;
     }
@@ -87,7 +96,7 @@ pub fn run(opts: &HarnessOpts, engine: &SweepEngine) -> u8 {
     }
     println!("\n{}", report.summary());
 
-    if let Err(e) = persist(opts, &report) {
+    if let Err(e) = persist(opts, &cfg, &report) {
         eprintln!("[faults] failed to persist outcomes: {e}");
     }
 

@@ -28,6 +28,7 @@ mod fig15;
 mod fig16;
 mod fig17;
 mod nee;
+mod perf;
 mod reorder;
 mod repro;
 mod scaling;
@@ -130,6 +131,11 @@ pub const ALL: &[Command] = &[
         name: "repro",
         about: "replay a shrunk failure reproducer (repro-*.jsonl)",
         run: repro::run,
+    },
+    Command {
+        name: "perf",
+        about: "pinned host-perf suite, BENCH_<n>.json + --compare gating",
+        run: perf::run,
     },
     Command { name: "scaling", about: "scale-model methodology validation", run: scaling::run },
     Command {

@@ -84,6 +84,25 @@ pub struct HarnessOpts {
     /// Resume an interrupted sweep from this directory's `journal.jsonl`
     /// (`--resume`; implies `--out` pointing at the same directory).
     pub resume: Option<PathBuf>,
+    /// Suppress stderr progress lines (`--quiet`): `[prepare]`,
+    /// `[resume]` and friends. Results on stdout are unaffected.
+    pub quiet: bool,
+    /// Enable the host-side span profiler (`--prof`); the run summary
+    /// then includes the span/counter rollup, and with `--out` the
+    /// snapshot is exported to `prof.jsonl`.
+    pub prof: bool,
+    /// Measured trials per benchmark (`--trials`; `perf` subcommand).
+    pub trials: Option<usize>,
+    /// Warmup (discarded) trials per benchmark (`--warmup`; `perf`).
+    pub warmup: Option<usize>,
+    /// Diff the fresh `BENCH_<n>.json` against the previous baseline and
+    /// exit nonzero on regression (`--compare`; `perf`).
+    pub compare: bool,
+    /// Explicit baseline file for `--compare` (`--compare-to FILE`).
+    pub compare_to: Option<PathBuf>,
+    /// Relative tolerance band for `--compare` (`--tolerance`, e.g.
+    /// `0.3` = regress when >30% slower beyond noise; `perf`).
+    pub tolerance: f64,
     /// Positional (non-flag) arguments, e.g. the reproducer file for
     /// `vtq-bench repro <file>`.
     pub args: Vec<String>,
@@ -98,6 +117,13 @@ impl Default for HarnessOpts {
             jobs: default_jobs(),
             update_golden: false,
             resume: None,
+            quiet: false,
+            prof: false,
+            trials: None,
+            warmup: None,
+            compare: false,
+            compare_to: None,
+            tolerance: 0.3,
             args: Vec::new(),
         }
     }
@@ -121,8 +147,19 @@ options (all subcommands):
   --strict-invariants
                    run the invariant auditor every 4096 cycles even in
                    release builds
+  --quiet          suppress stderr progress lines ([prepare], [resume]);
+                   results on stdout are unaffected
+  --prof           enable the host-side span profiler; prints the
+                   span/counter rollup after the run and, with --out,
+                   exports it to prof.jsonl
   --update-golden  (conformance) rewrite golden/*.json snapshots from the
-                   current run instead of validating against them";
+                   current run instead of validating against them
+  --trials N       (perf) measured trials per benchmark
+  --warmup N       (perf) discarded warmup trials per benchmark
+  --compare        (perf) diff the fresh BENCH_<n>.json against the
+                   previous baseline; exit 1 on regression
+  --compare-to F   (perf) explicit baseline file for --compare
+  --tolerance X    (perf) relative regression band, default 0.3";
 
 impl HarnessOpts {
     /// Parses a flag list (everything after the subcommand name).
@@ -201,6 +238,52 @@ impl HarnessOpts {
                 "--update-golden" => {
                     opts.update_golden = true;
                 }
+                "--quiet" => {
+                    opts.quiet = true;
+                    vtq::sweep::set_quiet(true);
+                }
+                "--prof" => {
+                    opts.prof = true;
+                }
+                "--trials" => {
+                    i += 1;
+                    let trials: usize = args
+                        .get(i)
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--trials needs an integer")?;
+                    if trials == 0 {
+                        return Err("--trials must be at least 1".to_string());
+                    }
+                    opts.trials = Some(trials);
+                }
+                "--warmup" => {
+                    i += 1;
+                    opts.warmup = Some(
+                        args.get(i)
+                            .and_then(|v| v.parse().ok())
+                            .ok_or("--warmup needs an integer")?,
+                    );
+                }
+                "--compare" => {
+                    opts.compare = true;
+                }
+                "--compare-to" => {
+                    i += 1;
+                    opts.compare_to =
+                        Some(PathBuf::from(args.get(i).ok_or("--compare-to needs a file")?));
+                    opts.compare = true;
+                }
+                "--tolerance" => {
+                    i += 1;
+                    let tol: f64 = args
+                        .get(i)
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--tolerance needs a number")?;
+                    if !tol.is_finite() || tol < 0.0 {
+                        return Err("--tolerance must be a nonnegative number".to_string());
+                    }
+                    opts.tolerance = tol;
+                }
                 "--strict-invariants" => {
                     opts.config.gpu = opts
                         .config
@@ -249,6 +332,13 @@ impl HarnessOpts {
         let Some(dir) = self.out.as_deref() else {
             return engine;
         };
+        // `--out DIR` always means "create DIR if missing": commands
+        // that write artifacts directly (perf baselines, fault repros)
+        // must not fail on a fresh directory even if the journal below
+        // cannot be opened.
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("[out] cannot create {}: {e}", dir.display());
+        }
         let journal = if self.resume.is_some() {
             SweepJournal::resume(dir)
         } else {
@@ -256,7 +346,7 @@ impl HarnessOpts {
         };
         match journal {
             Ok(journal) => {
-                if self.resume.is_some() && journal.completed_count() > 0 {
+                if self.resume.is_some() && journal.completed_count() > 0 && !self.quiet {
                     eprintln!(
                         "[resume] {} cells journaled done in {}; skipping them",
                         journal.completed_count(),
@@ -285,13 +375,15 @@ impl HarnessOpts {
     /// Prepares one scene under this configuration (prints progress to
     /// stderr so stdout stays a clean table).
     pub fn prepare(&self, id: SceneId) -> Prepared {
-        eprintln!(
-            "[prepare] {id} (detail 1/{}, {}x{} @ {} bounces)",
-            self.config.detail_divisor,
-            self.config.resolution,
-            self.config.resolution,
-            self.config.max_bounces
-        );
+        if !vtq::sweep::quiet() {
+            eprintln!(
+                "[prepare] {id} (detail 1/{}, {}x{} @ {} bounces)",
+                self.config.detail_divisor,
+                self.config.resolution,
+                self.config.resolution,
+                self.config.max_bounces
+            );
+        }
         Prepared::build(id, &self.config)
     }
 }
@@ -306,7 +398,9 @@ pub fn ok_rows<T>(results: Vec<CellResult<T>>) -> Vec<T> {
         .filter_map(|r| match r {
             Ok(row) => Some(row),
             Err(e) if e.kind == CellErrorKind::Skipped => {
-                eprintln!("[resume] {} already done, skipped", e.label);
+                if !vtq::sweep::quiet() {
+                    eprintln!("[resume] {} already done, skipped", e.label);
+                }
                 None
             }
             Err(e) => {
@@ -548,6 +642,7 @@ mod tests {
             "compression",
             "nee",
             "reorder",
+            "perf",
             "scaling",
             "sensitivity",
             "faults",

@@ -23,6 +23,12 @@ use std::process::ExitCode;
 
 use vtq_bench::{commands, HarnessOpts, EXIT_INTERRUPTED, EXIT_USAGE, USAGE_OPTIONS};
 
+/// With `--features count-allocs`, the whole binary allocates through
+/// prof's counting wrapper so `perf` can report heap churn per suite.
+#[cfg(feature = "count-allocs")]
+#[global_allocator]
+static ALLOC: prof::CountingAlloc = prof::CountingAlloc;
+
 fn usage() -> String {
     let mut s = String::from("usage: vtq-bench <command> [options]\n\ncommands:\n");
     for cmd in commands::ALL {
@@ -83,7 +89,24 @@ fn main() -> ExitCode {
     if engine.journal().is_some() {
         install_sigint_drain();
     }
+    if opts.prof {
+        vtq::prof::enable();
+    }
     let code = (cmd.run)(&opts, &engine);
+    if opts.prof {
+        let snap = vtq::prof::snapshot();
+        eprintln!("\n[prof] host-side profile:\n{}", snap.summary());
+        if let Some(dir) = &opts.out {
+            let path = dir.join("prof.jsonl");
+            let body =
+                format!("{}\n{}", vtq::provenance::provenance_line(None, None), snap.to_jsonl());
+            if let Err(e) = std::fs::write(&path, body) {
+                eprintln!("[prof] cannot write {}: {e}", path.display());
+            } else {
+                eprintln!("[prof] snapshot in {}", path.display());
+            }
+        }
+    }
     if vtq::durable::cancel_requested() {
         eprintln!("[interrupted] sweep drained; journal flushed — rerun with --resume to continue");
         return ExitCode::from(EXIT_INTERRUPTED);

@@ -84,6 +84,8 @@ impl OracleRun {
 /// oracle: the simulator under *any* [`TraversalPolicy`] must reproduce
 /// these answers exactly (see [`compare_hits`]).
 pub fn oracle_run(bvh: &Bvh, triangles: &[Triangle], workload: &Workload) -> OracleRun {
+    let _oracle = prof::span("oracle");
+    prof::add(prof::Counter::OracleRays, workload.total_rays() as u64);
     let answers = workload
         .tasks
         .iter()
@@ -569,16 +571,18 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
-/// Serializes a golden figure to its JSONL file content: a meta line
-/// followed by one line per entry (flat objects, lexical diff friendly).
+/// Serializes a golden figure to its JSONL file content: the shared
+/// provenance header, a meta line, then one line per entry (flat
+/// objects, lexical diff friendly).
 pub fn golden_jsonl(g: &GoldenFigure) -> String {
-    let mut out = format!(
+    let mut out = format!("{}\n", crate::provenance::provenance_line(Some(g.fingerprint), None));
+    out.push_str(&format!(
         "{{\"record\":\"golden_meta\",\"figure\":\"{}\",\"fingerprint\":\"{:#018x}\",\
          \"scenes\":\"{}\"}}\n",
         json_escape(&g.figure),
         g.fingerprint,
         json_escape(&g.scenes.join(",")),
-    );
+    ));
     for e in &g.entries {
         out.push_str(&format!(
             "{{\"record\":\"golden_entry\",\"key\":\"{}\",\"value\":{},\"tol\":{},\"rel\":{}}}\n",
@@ -636,6 +640,11 @@ pub fn parse_golden_jsonl(text: &str) -> Result<GoldenFigure, String> {
         let pairs =
             parse_flat_line(line).ok_or_else(|| format!("line {}: malformed JSON", no + 1))?;
         match field(&pairs, "record") {
+            // The shared artifact-provenance header: carries build
+            // metadata, not golden data, so it is validated elsewhere
+            // (config fingerprints compare via golden_meta) and skipped
+            // here. Pre-stamp snapshots simply lack the line.
+            Some(crate::provenance::PROVENANCE_RECORD) => {}
             Some("golden_meta") => {
                 let fp = field(&pairs, "fingerprint")
                     .and_then(|v| u64::from_str_radix(v.trim_start_matches("0x"), 16).ok())

@@ -201,7 +201,14 @@ impl SweepJournal {
 
     fn session_header(&self, mode: &str) -> io::Result<()> {
         let mut inner = self.inner.lock().unwrap();
-        let line = format!("{{\"record\":\"journal\",\"version\":1,\"mode\":\"{mode}\"}}\n");
+        // The shared provenance header precedes the journal's own
+        // session record. A journal spans a whole run matrix, so it has
+        // no single config fingerprint or seed; resume() skips both
+        // lines (it only replays "cell" records).
+        let line = format!(
+            "{}\n{{\"record\":\"journal\",\"version\":1,\"mode\":\"{mode}\"}}\n",
+            crate::provenance::provenance_line(None, None)
+        );
         inner.file.write_all(line.as_bytes())?;
         inner.file.flush()
     }

@@ -110,13 +110,21 @@ pub struct Prepared {
 impl Prepared {
     /// Builds scene, BVH and workload for `id` under `cfg`.
     pub fn build(id: SceneId, cfg: &ExperimentConfig) -> Prepared {
-        let scene = lumibench::build_scaled(id, cfg.detail_divisor);
+        let _prepare = prof::span("prepare");
+        prof::add(prof::Counter::PreparedBuilds, 1);
+        let scene = {
+            let _scene = prof::span("scene");
+            lumibench::build_scaled(id, cfg.detail_divisor)
+        };
         let bvh = Bvh::build(scene.triangles(), &cfg.bvh);
         let mut tracer = PathTracer::new(cfg.resolution, cfg.max_bounces);
         if cfg.shadow_rays {
             tracer = tracer.with_shadow_rays();
         }
-        let (workload, image) = tracer.run(&scene, &bvh);
+        let (workload, image) = {
+            let _trace = prof::span("pathtrace");
+            tracer.run(&scene, &bvh)
+        };
         Prepared { id, scene, bvh, workload, image, gpu: cfg.gpu }
     }
 
@@ -204,16 +212,25 @@ pub fn aggregate_stats<'a>(reports: impl IntoIterator<Item = &'a SimReport>) -> 
 ///
 /// Propagates any I/O error from creating or writing the files.
 pub fn export_run(dir: &Path, label: &str, report: &SimReport) -> std::io::Result<()> {
+    let _export = prof::span("export");
     fs::create_dir_all(dir)?;
     let stem: String =
         label.chars().map(|c| if c == '/' || c.is_whitespace() { '-' } else { c }).collect();
+    let mut bytes = 0u64;
     if !report.stats.series.is_empty() {
-        fs::write(dir.join(format!("{stem}.series.csv")), series_csv(&report.stats.series))?;
+        let series = series_csv(&report.stats.series);
+        bytes += series.len() as u64;
+        fs::write(dir.join(format!("{stem}.series.csv")), series)?;
     }
-    fs::write(dir.join(format!("{stem}.stalls.csv")), stall_csv(&report.stats.stall))?;
+    let stalls = stall_csv(&report.stats.stall);
+    bytes += stalls.len() as u64;
+    fs::write(dir.join(format!("{stem}.stalls.csv")), stalls)?;
     let mut metrics =
         fs::OpenOptions::new().create(true).append(true).open(dir.join("metrics.jsonl"))?;
-    writeln!(metrics, "{}", metrics_json(label, report))?;
+    let line = metrics_json(label, report);
+    bytes += line.len() as u64 + 1;
+    writeln!(metrics, "{line}")?;
+    prof::add(prof::Counter::BytesExported, bytes);
     Ok(())
 }
 

@@ -28,6 +28,13 @@
 //! * [`sweep`] — the parallel sweep engine: declarative run matrices on a
 //!   work-stealing pool with prepared-scene caching and deterministic,
 //!   matrix-ordered results,
+//! * [`prof`] — host-side performance observability: a hierarchical
+//!   span profiler and counter registry (zero-cost when disabled) that
+//!   the sweep engine, simulator and BVH builder report into, feeding
+//!   the `vtq-bench perf` suite,
+//! * [`provenance`] — the shared artifact-provenance header (crate
+//!   version, config fingerprint, seed) stamped on every exported
+//!   artifact,
 //! * [`durable`] — crash tolerance for long sweeps: cooperative
 //!   cancellation, an append-only cell journal that lets a killed sweep
 //!   resume without re-running completed cells, and a delta-debugging
@@ -57,12 +64,19 @@ pub mod durable;
 pub mod experiment;
 pub mod faults;
 pub mod general;
+pub mod provenance;
 pub mod reorder;
 pub mod sweep;
 pub mod workload;
 
 pub use experiment::{ExperimentConfig, Prepared};
 pub use sweep::{PreparedCache, RunMatrix, SweepEngine};
+
+/// Host-side performance observability (re-export of the workspace
+/// `prof` crate): `vtq::prof::span` scoped timers, `vtq::prof::add`
+/// counters, `vtq::prof::snapshot` reports. See the `prof` crate docs
+/// for the overhead contract.
+pub use ::prof;
 
 /// One-stop imports for examples and benches.
 pub mod prelude {
@@ -83,11 +97,13 @@ pub mod prelude {
         cell_budget, cell_inputs, generate_cells, run_campaign, CampaignConfig, CampaignReport,
         CellOutcome, CellStatus, FaultCell, FaultKind,
     };
+    pub use crate::provenance::{provenance_line, PROVENANCE_RECORD};
     pub use crate::sweep::{
         config_fingerprint, default_jobs, Cell, CellError, CellErrorKind, CellResult,
         PreparedCache, Retried, RunMatrix, SweepEngine,
     };
     pub use crate::workload::{Image, PathTracer};
+    pub use ::prof;
     pub use gpumem::{AccessKind, MemFaults};
     pub use gpusim::{
         AuditMode, ConfigError, CountingSink, ForensicsSnapshot, GpuConfig, GpuConfigBuilder,

@@ -47,7 +47,7 @@ use std::collections::VecDeque;
 use std::fmt;
 use std::hash::Hasher as _;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use gpusim::{SimReport, TraversalPolicy};
@@ -55,6 +55,21 @@ use rtscene::lumibench::SceneId;
 
 use crate::durable::{cancel_requested, CellDisposition, SweepJournal};
 use crate::experiment::{ExperimentConfig, Prepared};
+
+/// Global progress-line switch set by `vtq-bench --quiet`: suppresses
+/// the stderr `[prepare]`-style chatter (useful under CI and when
+/// timing). Results and tables on stdout are unaffected.
+static QUIET: AtomicBool = AtomicBool::new(false);
+
+/// Enables or disables stderr progress lines process-wide.
+pub fn set_quiet(quiet: bool) {
+    QUIET.store(quiet, Ordering::Relaxed);
+}
+
+/// `true` when progress lines are suppressed (`--quiet`).
+pub fn quiet() -> bool {
+    QUIET.load(Ordering::Relaxed)
+}
 
 /// A cached build slot: one lazily-initialized prepared scene that
 /// concurrent requesters block on instead of duplicating.
@@ -145,10 +160,12 @@ impl PreparedCache {
         };
         Arc::clone(slot.get_or_init(|| {
             self.builds.fetch_add(1, Ordering::Relaxed);
-            eprintln!(
-                "[prepare] {id} (detail 1/{}, {}x{} @ {} bounces)",
-                cfg.detail_divisor, cfg.resolution, cfg.resolution, cfg.max_bounces
-            );
+            if !quiet() {
+                eprintln!(
+                    "[prepare] {id} (detail 1/{}, {}x{} @ {} bounces)",
+                    cfg.detail_divisor, cfg.resolution, cfg.resolution, cfg.max_bounces
+                );
+            }
             Arc::new(Prepared::build(id, cfg))
         }))
     }
@@ -657,8 +674,15 @@ impl SweepEngine {
                 .expect("task slot poisoned")
                 .take()
                 .expect("task executed twice");
-            match panic::catch_unwind(AssertUnwindSafe(task)) {
+            let outcome = {
+                // Whole-cell span: prepare, simulate and any per-cell
+                // export all nest under `cell/...` in profiles.
+                let _cell = prof::span("cell");
+                panic::catch_unwind(AssertUnwindSafe(task))
+            };
+            match outcome {
                 Ok(value) => {
+                    prof::add(prof::Counter::CellsCompleted, 1);
                     if let Some(j) = journal {
                         journal_write(j, key, CellDisposition::Done, 0, "");
                     }

@@ -51,7 +51,7 @@ mod error;
 pub mod export;
 pub mod hw_table;
 mod observe;
-mod queues;
+pub mod queues;
 pub mod ray;
 mod sim;
 mod stats;
@@ -67,6 +67,7 @@ pub use export::ParseError;
 pub use observe::{
     CountingSink, RingSink, SamplePoint, StallBreakdown, StallKind, TraceEvent, TraceSink,
 };
+pub use queues::TreeletQueues;
 pub use ray::{NextNode, RayId, RayTraversal, VisitCost};
 pub use sim::{
     HitCapture, PathTask, Sabotage, SimReport, Simulator, TraceCall, Workload, TRACE_T_MIN,

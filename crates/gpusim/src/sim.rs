@@ -409,15 +409,31 @@ impl<'a> Simulator<'a> {
         if workload.tasks.is_empty() {
             return Err(SimError::Workload("empty workload: no tasks to simulate".to_string()));
         }
-        let mut engine = Engine::new(self.bvh, self.triangles, &self.config, workload, sink);
-        match resume {
-            // The checkpoint carries the (possibly already applied)
-            // sabotage schedule; a caller-supplied one is ignored so the
-            // resumed run replays the original faithfully.
-            Some(snapshot) => engine.restore(snapshot)?,
-            None => engine.sabotage = sabotage,
+        // Profiling spans wrap whole phases (setup, cycle loop, report
+        // assembly) and counters are bumped once per run, so the
+        // per-cycle loop itself carries no instrumentation — the
+        // disabled path costs nothing and the enabled path costs O(1)
+        // per *run*, not per cycle.
+        let _run = prof::span("sim/run");
+        let mut engine = {
+            let _setup = prof::span("setup");
+            let mut engine = Engine::new(self.bvh, self.triangles, &self.config, workload, sink);
+            match resume {
+                // The checkpoint carries the (possibly already applied)
+                // sabotage schedule; a caller-supplied one is ignored so
+                // the resumed run replays the original faithfully.
+                Some(snapshot) => engine.restore(snapshot)?,
+                None => engine.sabotage = sabotage,
+            }
+            engine
+        };
+        {
+            let _cycles = prof::span("cycles");
+            engine.run(ckpt)?;
         }
-        engine.run(ckpt)?;
+        let _report = prof::span("report");
+        prof::add(prof::Counter::CyclesSimulated, engine.stats.cycles);
+        prof::add(prof::Counter::RaysTraced, engine.stats.rays_completed);
         let energy = self.energy.evaluate(&engine.stats, engine.mem.stats());
         Ok(SimReport {
             stats: engine.stats,

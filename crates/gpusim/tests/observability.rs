@@ -206,6 +206,123 @@ fn report_summary_mentions_key_quantities() {
 }
 
 #[test]
+fn empty_workload_is_rejected_before_any_window_opens() {
+    // The zero-cycle edge: nothing to simulate must surface as the typed
+    // workload error, never as a run with fabricated empty sample
+    // windows or a zero-cycle stats block.
+    let (scene, bvh) = setup();
+    let empty = Workload { tasks: vec![] };
+    let err = Simulator::new(&bvh, scene.triangles(), small_cfg(vtq()))
+        .try_run(&empty)
+        .expect_err("empty workload must not simulate");
+    assert_eq!(err.kind(), "workload");
+    assert!(err.snapshot().is_none(), "nothing ran, so no forensics snapshot");
+}
+
+#[test]
+fn window_boundary_exactly_at_max_cycles() {
+    // Learn the run's natural length, then pin both edges to it: the
+    // sampling window ends exactly where the run ends AND the watchdog
+    // budget is exactly the natural length. The run must complete (the
+    // budget is not *exceeded*), produce exactly one fully-covered
+    // window, and no empty trailing window for the boundary cycle.
+    let (scene, bvh) = setup();
+    let workload = camera_workload(&scene, 16);
+    let mut cfg = small_cfg(vtq());
+    let cycles = Simulator::new(&bvh, scene.triangles(), cfg).run(&workload).stats.cycles;
+    assert!(cycles > 0);
+
+    cfg.sample_window_cycles = cycles;
+    cfg.max_cycles = Some(cycles);
+    let report = Simulator::new(&bvh, scene.triangles(), cfg)
+        .try_run(&workload)
+        .expect("a budget equal to the natural length must not trip");
+    assert_eq!(report.stats.cycles, cycles, "budget/window must not perturb timing");
+    assert_eq!(report.stats.series.len(), 1, "boundary-aligned run: one window, no empty tail");
+    let w = &report.stats.series[0];
+    assert_eq!(w.start_cycle, 0);
+    assert_eq!(w.covered_cycles, cycles, "the single window is exactly covered");
+    assert!(w.mean_rays_in_flight().is_some());
+    assert_eq!(w.stall.total(), cycles * cfg.num_sms() as u64);
+
+    // One cycle less of budget must trip, and the forensics snapshot
+    // lands on the boundary's far side.
+    cfg.max_cycles = Some(cycles - 1);
+    let err = Simulator::new(&bvh, scene.triangles(), cfg)
+        .try_run(&workload)
+        .expect_err("a budget one short of the natural length must trip");
+    assert_eq!(err.kind(), "cycle-budget");
+    assert!(err.snapshot().is_some());
+}
+
+#[test]
+fn merging_series_of_different_length_runs_unions_windows() {
+    // Two runs with a shared window grid but different lengths: merged
+    // windows must stay sorted, overlapping windows accumulate their
+    // integrals, and the longer run's tail windows survive untouched.
+    let (scene, bvh) = setup();
+    let short_wl = camera_workload(&scene, 16);
+    let long_wl = camera_workload(&scene, 48);
+    let mut cfg = small_cfg(vtq());
+    cfg.sample_window_cycles = 2_000;
+    let sim = Simulator::new(&bvh, scene.triangles(), cfg);
+    let short = sim.run(&short_wl);
+    let long = sim.run(&long_wl);
+    assert!(
+        long.stats.series.len() > short.stats.series.len(),
+        "need different-length series for this test ({} vs {})",
+        long.stats.series.len(),
+        short.stats.series.len()
+    );
+
+    let mut merged = short.stats.clone();
+    merged.merge(&long.stats);
+    assert_eq!(merged.series.len(), long.stats.series.len(), "union of the window grids");
+    for pair in merged.series.windows(2) {
+        assert!(pair[0].start_cycle < pair[1].start_cycle, "merged series must stay sorted");
+    }
+    for (i, w) in merged.series.iter().enumerate() {
+        let s = short.stats.series.get(i);
+        let l = &long.stats.series[i];
+        assert_eq!(w.start_cycle, l.start_cycle);
+        match s {
+            // Overlap: integrals add, coverage takes the max.
+            Some(s) => {
+                assert_eq!(w.ray_cycles, s.ray_cycles + l.ray_cycles);
+                assert_eq!(w.covered_cycles, s.covered_cycles.max(l.covered_cycles));
+                assert_eq!(w.stall.total(), s.stall.total() + l.stall.total());
+            }
+            // Tail: the longer run's windows pass through unchanged.
+            None => assert_eq!(w, l),
+        }
+    }
+    // Merging in the other order yields the same window grid.
+    let mut flipped = long.stats.clone();
+    flipped.merge(&short.stats);
+    assert_eq!(flipped.series, merged.series);
+}
+
+#[test]
+fn disabled_profiler_records_nothing_during_simulation() {
+    // The host-side profiler must be pay-for-use: with the switch off
+    // (the default), a full simulation leaves no spans, no counters and
+    // no registry entries behind. The instrumentation sits at phase
+    // granularity (run/setup/cycles/report), so the per-cycle loops
+    // contain no profiling calls at all — this test pins the phase-level
+    // gate, prof's own unit tests pin the per-call cost.
+    assert!(!prof::enabled(), "tests must run with the profiler off");
+    let (scene, bvh) = setup();
+    let workload = camera_workload(&scene, 24);
+    let before = prof::get(prof::Counter::CyclesSimulated);
+    let report = Simulator::new(&bvh, scene.triangles(), small_cfg(vtq())).run(&workload);
+    assert!(report.stats.cycles > 0);
+    assert_eq!(prof::get(prof::Counter::CyclesSimulated), before, "counter bumped while off");
+    assert_eq!(prof::get(prof::Counter::RaysTraced), 0, "counter bumped while off");
+    let snap = prof::snapshot();
+    assert!(snap.spans.is_empty(), "spans recorded while off: {:?}", snap.spans);
+}
+
+#[test]
 fn merged_stats_accumulate_and_keep_invariants() {
     let (scene, bvh) = setup();
     let workload = camera_workload(&scene, 24);

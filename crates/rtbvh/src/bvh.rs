@@ -155,12 +155,23 @@ impl Bvh {
     ///
     /// Panics if `triangles` is empty.
     pub fn build_with(triangles: &[Triangle], config: &BvhConfig, builder: Builder) -> Bvh {
-        let b2 = match builder {
-            Builder::BinnedSah => build2::build(triangles, config),
-            Builder::Lbvh => lbvh::build(triangles, config),
+        let _build = prof::span("bvh/build");
+        prof::add(prof::Counter::BvhBuilds, 1);
+        let b2 = {
+            let _sah = prof::span("binary");
+            match builder {
+                Builder::BinnedSah => build2::build(triangles, config),
+                Builder::Lbvh => lbvh::build(triangles, config),
+            }
         };
-        let (nodes, root) = wide::collapse(&b2);
-        let partition = treelet::partition(&nodes, root, config.treelet_bytes, &config.layout);
+        let (nodes, root) = {
+            let _collapse = prof::span("collapse");
+            wide::collapse(&b2)
+        };
+        let partition = {
+            let _treelets = prof::span("treelets");
+            treelet::partition(&nodes, root, config.treelet_bytes, &config.layout)
+        };
 
         // Byte layout: treelet by treelet so each treelet is a contiguous
         // range ("treelets can be packed together in memory", §6.5).
