@@ -66,7 +66,8 @@ pub fn run(opts: &HarnessOpts, engine: &SweepEngine) -> u8 {
                             let (label, gpu) = (label.clone(), *gpu);
                             (format!("{id}/{label}"), move || {
                                 let r = Simulator::new(&p.bvh, p.scene.triangles(), gpu)
-                                    .run(&p.workload);
+                                    .try_run(&p.workload)
+                                    .unwrap();
                                 (label, r.stats.cycles)
                             })
                         })

@@ -39,7 +39,7 @@ use gpumem::{Assoc, Cache, CacheConfig};
 use gpusim::hw_table::HwQueueTable;
 use gpusim::queues::TreeletQueues;
 use gpusim::{RayId, TRACE_T_MIN};
-use rtbvh::TreeletId;
+use rtbvh::{aabb4_intersect, Bvh4Node, NodeId, TreeletId};
 use rtmath::Aabb;
 use vtq::prelude::*;
 
@@ -167,14 +167,18 @@ fn micro_suite(prepared: &Prepared, trials: u64, warmup: u64) -> Vec<BenchEntry>
         entries.push(measure(name, "micro", trials, warmup, iters, f));
     };
 
-    // -- 4-wide AABB slab tests (what every WideNode visit performs) --
-    let boxes: [Aabb; 4] = std::array::from_fn(|i| {
-        let base = i as f32 * 2.0;
-        Aabb::from_points(&[
-            rtmath::Vec3::new(base, 0.0, 0.0),
-            rtmath::Vec3::new(base + 1.0, 1.0, 1.0),
-        ])
-    });
+    // -- The 4-lane SoA slab kernel (what every Bvh4Node visit performs) --
+    let lanes: Vec<(Aabb, NodeId)> = (0..4)
+        .map(|i| {
+            let base = i as f32 * 2.0;
+            let b = Aabb::from_points(&[
+                rtmath::Vec3::new(base, 0.0, 0.0),
+                rtmath::Vec3::new(base + 1.0, 1.0, 1.0),
+            ]);
+            (b, NodeId(i as u32 + 1))
+        })
+        .collect();
+    let node = Bvh4Node::inner(&lanes);
     let hit_ray =
         rtmath::Ray::new(rtmath::Vec3::new(-1.0, 0.5, 0.5), rtmath::Vec3::new(1.0, 0.001, 0.001));
     let miss_ray =
@@ -182,16 +186,22 @@ fn micro_suite(prepared: &Prepared, trials: u64, warmup: u64) -> Vec<BenchEntry>
     const AABB_ITERS: u64 = 4096;
     bench("aabb4/hit", AABB_ITERS, &mut || {
         for _ in 0..AABB_ITERS {
-            for b in &boxes {
-                std::hint::black_box(b.intersect(std::hint::black_box(&hit_ray), 0.0, f32::MAX));
-            }
+            std::hint::black_box(aabb4_intersect(
+                std::hint::black_box(&node),
+                std::hint::black_box(&hit_ray),
+                0.0,
+                f32::MAX,
+            ));
         }
     });
     bench("aabb4/miss", AABB_ITERS, &mut || {
         for _ in 0..AABB_ITERS {
-            for b in &boxes {
-                std::hint::black_box(b.intersect(std::hint::black_box(&miss_ray), 0.0, f32::MAX));
-            }
+            std::hint::black_box(aabb4_intersect(
+                std::hint::black_box(&node),
+                std::hint::black_box(&miss_ray),
+                0.0,
+                f32::MAX,
+            ));
         }
     });
 

@@ -38,13 +38,15 @@ pub fn run(opts: &HarnessOpts, engine: &SweepEngine) -> u8 {
                         p.scene.triangles(),
                         gpu.with_policy(TraversalPolicy::Baseline),
                     )
-                    .run(&workload);
+                    .try_run(&workload)
+                    .unwrap();
                     let vtq = Simulator::new(
                         &p.bvh,
                         p.scene.triangles(),
                         gpu.with_policy(TraversalPolicy::Vtq(VtqParams::default())),
                     )
-                    .run(&workload);
+                    .try_run(&workload)
+                    .unwrap();
                     (id, order, base.stats.cycles, vtq.stats.cycles)
                 })
             })

@@ -24,7 +24,7 @@ fn mode_shares(
         scene.triangles(),
         cfg.gpu.with_policy(TraversalPolicy::Vtq(VtqParams::default())),
     );
-    let r = sim.run(&workload);
+    let r = sim.try_run(&workload).unwrap();
     let total: u64 = TraversalMode::ALL.iter().map(|m| r.stats.isect_in(*m)).sum();
     let share = |m| r.stats.isect_in(m) as f64 / total.max(1) as f64;
     [

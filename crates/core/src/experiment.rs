@@ -129,9 +129,13 @@ impl Prepared {
     }
 
     /// Simulates the workload under `policy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any [`gpusim::SimError`]; use
+    /// [`Prepared::try_run_policy`] for the typed-error form.
     pub fn run_policy(&self, policy: TraversalPolicy) -> SimReport {
-        Simulator::new(&self.bvh, self.scene.triangles(), self.gpu.with_policy(policy))
-            .run(&self.workload)
+        self.try_run_policy(policy).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Simulates under the VTQ policy with explicit parameters.
@@ -166,13 +170,18 @@ impl Prepared {
 
     /// Like [`Prepared::run_policy`], but streams trace events into
     /// `sink` (see [`gpusim::TraceSink`]). Timing is unaffected.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any [`gpusim::SimError`].
     pub fn run_policy_traced(
         &self,
         policy: TraversalPolicy,
         sink: &mut dyn TraceSink,
     ) -> SimReport {
         Simulator::new(&self.bvh, self.scene.triangles(), self.gpu.with_policy(policy))
-            .run_traced(&self.workload, sink)
+            .try_run_traced(&self.workload, sink)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Records per-ray node-access traces (for the analytical model).

@@ -132,7 +132,9 @@ mod tests {
             TraversalPolicy::Baseline,
             TraversalPolicy::Vtq(VtqParams { queue_threshold: 16, ..Default::default() }),
         ] {
-            let r = Simulator::new(&bvh, scene.triangles(), gpu.with_policy(policy)).run(&w);
+            let r = Simulator::new(&bvh, scene.triangles(), gpu.with_policy(policy))
+                .try_run(&w)
+                .unwrap();
             assert_eq!(r.stats.rays_completed as usize, w.total_rays(), "{}", policy.label());
         }
     }

@@ -27,7 +27,7 @@ use gpumem::{
 use crate::export::{flat_str, flat_u64, parse_flat_line, ParseError};
 use crate::hw_table::QueueTableStats;
 use crate::observe::{SamplePoint, StallBreakdown, StallKind};
-use crate::ray::RayTraversalState;
+use crate::ray::{RayTraversalState, StackEntry};
 use crate::{GpuConfig, SimStats};
 
 /// Format version written into every checkpoint header; bumped on any
@@ -299,8 +299,8 @@ impl Checkpoint {
                 join(t.dir_bits.iter()),
                 join(t.inv_dir_bits.iter()),
                 t.current_treelet,
-                join_pairs(t.current_stack.iter().map(|&(n, b)| (n as u64, b as u64))),
-                join_pairs(t.treelet_stack.iter().map(|&(n, b)| (n as u64, b as u64))),
+                join_pairs(t.current_stack.iter().map(|e| (e.node as u64, e.t_bits as u64))),
+                join_pairs(t.treelet_stack.iter().map(|e| (e.node as u64, e.t_bits as u64))),
                 opt_pair(t.best.map(|(a, b)| (a as u64, b as u64))),
                 t.t_min_bits,
                 t.t_max_bits,
@@ -652,11 +652,11 @@ impl Checkpoint {
                     });
                 }
                 "ckpt_ray" => {
-                    let stack = |key: &str| -> Result<Vec<(u32, u32)>, ParseError> {
+                    let stack = |key: &str| -> Result<Vec<StackEntry>, ParseError> {
                         Ok(parse_pair_list(flat_str(&p, key).map_err(&at)?)
                             .map_err(&at)?
                             .into_iter()
-                            .map(|(n, b)| (n as u32, b as u32))
+                            .map(|(n, b)| StackEntry { node: n as u32, t_bits: b as u32 })
                             .collect())
                     };
                     ckpt.rays.push(RayState {

@@ -37,7 +37,7 @@
 //!         .collect(),
 //! };
 //! let cfg = GpuConfig::default().with_policy(TraversalPolicy::Vtq(VtqParams::default()));
-//! let report = Simulator::new(&bvh, scene.triangles(), cfg).run(&workload);
+//! let report = Simulator::new(&bvh, scene.triangles(), cfg).try_run(&workload).unwrap();
 //! assert_eq!(report.stats.rays_completed as usize, workload.total_rays());
 //! ```
 
@@ -68,8 +68,9 @@ pub use observe::{
     CountingSink, RingSink, SamplePoint, StallBreakdown, StallKind, TraceEvent, TraceSink,
 };
 pub use queues::TreeletQueues;
-pub use ray::{NextNode, RayId, RayTraversal, VisitCost};
+pub use ray::{NextNode, RayId, RayTraversal, StackArena, StackEntry, VisitCost};
 pub use sim::{
-    HitCapture, PathTask, Sabotage, SimReport, Simulator, TraceCall, Workload, TRACE_T_MIN,
+    HitCapture, PathTask, RunOptions, Sabotage, SimReport, Simulator, TraceCall, Workload,
+    TRACE_T_MIN,
 };
 pub use stats::{SimStats, TraversalMode};

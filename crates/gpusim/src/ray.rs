@@ -7,7 +7,7 @@
 //! exhausts its current stack before moving to the next treelet, which is
 //! what makes grouping rays by treelet meaningful.
 
-use rtbvh::{Bvh, NodeId, PrimHit, TreeletId, WideNode};
+use rtbvh::{aabb4_intersect, Bvh, NodeId, PrimHit, TreeletId, WIDE_WIDTH};
 use rtmath::Ray;
 use rtscene::Triangle;
 
@@ -25,9 +25,40 @@ impl RayId {
 
 /// A pending node on one of the two stacks.
 #[derive(Debug, Clone, Copy, PartialEq)]
-struct StackEntry {
+struct Pending {
     node: NodeId,
     t_enter: f32,
+}
+
+/// One pending node of a [`TraversalSnapshot`](crate::export) stack in
+/// serialized form: the raw node id plus the entry distance as raw `f32`
+/// bits, so checkpoint round-trips are bit-exact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StackEntry {
+    /// Raw BVH node id.
+    pub node: u32,
+    /// `f32::to_bits` of the node entry distance.
+    pub t_bits: u32,
+}
+
+/// Reusable stack storage for one [`RayTraversal`].
+///
+/// The simulator owns a pool of these arenas; a ray entering the RT unit
+/// borrows one via [`RayTraversal::new_in`] and returns it through
+/// [`RayTraversal::reclaim`] on completion, so steady-state cycling never
+/// allocates — the `Vec` capacities warm up once and are reused for the
+/// rest of the run.
+#[derive(Debug, Clone, Default)]
+pub struct StackArena {
+    current: Vec<Pending>,
+    treelet: Vec<Pending>,
+}
+
+impl StackArena {
+    /// An arena with pre-reserved capacity for both stacks.
+    pub fn with_capacity(current: usize, treelet: usize) -> StackArena {
+        StackArena { current: Vec::with_capacity(current), treelet: Vec::with_capacity(treelet) }
+    }
 }
 
 /// What the RT unit should do next for a ray.
@@ -59,8 +90,8 @@ pub struct RayTraversal {
     /// The geometric ray.
     pub ray: Ray,
     current_treelet: TreeletId,
-    current_stack: Vec<StackEntry>,
-    treelet_stack: Vec<StackEntry>,
+    current_stack: Vec<Pending>,
+    treelet_stack: Vec<Pending>,
     /// Closest hit found so far.
     pub best: Option<PrimHit>,
     t_min: f32,
@@ -75,13 +106,28 @@ impl RayTraversal {
     /// Creates traversal state positioned at the BVH root. If the ray
     /// misses the root bounds entirely, the state starts out finished.
     pub fn new(id: RayId, ray: Ray, bvh: &Bvh, t_min: f32, t_max: f32) -> RayTraversal {
+        RayTraversal::new_in(id, ray, bvh, t_min, t_max, StackArena::default())
+    }
+
+    /// Like [`RayTraversal::new`] but reusing the stack storage of a
+    /// pooled [`StackArena`] (the allocation-free steady-state path).
+    pub fn new_in(
+        id: RayId,
+        ray: Ray,
+        bvh: &Bvh,
+        t_min: f32,
+        t_max: f32,
+        mut arena: StackArena,
+    ) -> RayTraversal {
         let root = bvh.root();
+        arena.current.clear();
+        arena.treelet.clear();
         let mut state = RayTraversal {
             id,
             ray,
             current_treelet: bvh.treelet_of(root),
-            current_stack: Vec::with_capacity(16),
-            treelet_stack: Vec::with_capacity(8),
+            current_stack: arena.current,
+            treelet_stack: arena.treelet,
             best: None,
             t_min,
             t_max,
@@ -89,10 +135,19 @@ impl RayTraversal {
             anyhit: false,
             nodes_visited: 0,
         };
-        if let Some(t) = bvh.node(root).bounds().intersect(&ray, t_min, t_max) {
-            state.current_stack.push(StackEntry { node: root, t_enter: t });
+        if let Some(t) = bvh.root_bounds().intersect(&ray, t_min, t_max) {
+            state.current_stack.push(Pending { node: root, t_enter: t });
         }
         state
+    }
+
+    /// Takes the stack storage back out of a finished traversal so the
+    /// simulator can pool it for the next ray.
+    pub fn reclaim(&mut self) -> StackArena {
+        StackArena {
+            current: std::mem::take(&mut self.current_stack),
+            treelet: std::mem::take(&mut self.treelet_stack),
+        }
     }
 
     /// Switches this ray to anyhit (occlusion) semantics: traversal stops
@@ -175,52 +230,64 @@ impl RayTraversal {
     pub fn visit(&mut self, bvh: &Bvh, triangles: &[Triangle], node: NodeId) -> VisitCost {
         self.nodes_visited += 1;
         let mut cost = VisitCost::default();
-        match bvh.node(node) {
-            WideNode::Leaf { first, count, .. } => {
-                for &prim in bvh.leaf_prims(*first, *count) {
-                    cost.tri_tests += 1;
-                    // Test against the full search interval and compare
-                    // (t, prim) lexicographically: at equal t the lowest
-                    // prim id wins, so the winner is independent of the
-                    // policy-dependent node visit order (the differential
-                    // conformance harness relies on this).
-                    if let Some(t) =
-                        triangles[prim as usize].intersect(&self.ray, self.t_min, self.t_max)
-                    {
-                        let better = match self.best {
-                            None => true,
-                            Some(b) => t < b.t || (t == b.t && prim < b.prim),
-                        };
-                        if better {
-                            self.limit = t;
-                            self.best = Some(PrimHit { t, prim });
-                            if self.anyhit {
-                                // Occlusion query: the first accepted hit
-                                // ends traversal immediately.
-                                self.current_stack.clear();
-                                self.treelet_stack.clear();
-                                break;
-                            }
+        let n4 = *bvh.node(node);
+        if n4.is_leaf() {
+            for &prim in bvh.leaf_prims(n4.first, n4.count) {
+                cost.tri_tests += 1;
+                // Test against the full search interval and compare
+                // (t, prim) lexicographically: at equal t the lowest
+                // prim id wins, so the winner is independent of the
+                // policy-dependent node visit order (the differential
+                // conformance harness relies on this).
+                if let Some(t) =
+                    triangles[prim as usize].intersect(&self.ray, self.t_min, self.t_max)
+                {
+                    let better = match self.best {
+                        None => true,
+                        Some(b) => t < b.t || (t == b.t && prim < b.prim),
+                    };
+                    if better {
+                        self.limit = t;
+                        self.best = Some(PrimHit { t, prim });
+                        if self.anyhit {
+                            // Occlusion query: the first accepted hit
+                            // ends traversal immediately.
+                            self.current_stack.clear();
+                            self.treelet_stack.clear();
+                            break;
                         }
                     }
                 }
             }
-            WideNode::Inner { child_bounds, children, .. } => {
-                let mut hit: Vec<StackEntry> = Vec::with_capacity(children.len());
-                for (cb, c) in child_bounds.iter().zip(children) {
-                    cost.box_tests += 1;
-                    if let Some(t) = cb.intersect(&self.ray, self.t_min, self.limit) {
-                        hit.push(StackEntry { node: *c, t_enter: t });
-                    }
+        } else {
+            // All four lanes at once; empty lanes are masked inside the
+            // kernel. The scratch is a fixed array with a stable insertion
+            // sort (far-to-near so the nearest child pops first) — no heap
+            // traffic per visit.
+            cost.box_tests += n4.child_count() as u32;
+            let ts = aabb4_intersect(&n4, &self.ray, self.t_min, self.limit);
+            let mut hits = [Pending { node: NodeId(0), t_enter: 0.0 }; WIDE_WIDTH];
+            let mut n = 0;
+            for (lane, slot) in ts.iter().enumerate() {
+                if let Some(t) = *slot {
+                    hits[n] = Pending { node: NodeId(n4.child[lane]), t_enter: t };
+                    n += 1;
                 }
-                // Far-to-near so the nearest child pops first.
-                hit.sort_by(|a, b| b.t_enter.total_cmp(&a.t_enter));
-                for e in hit {
-                    if bvh.treelet_of(e.node) == self.current_treelet {
-                        self.current_stack.push(e);
-                    } else {
-                        self.treelet_stack.push(e);
-                    }
+            }
+            for i in 1..n {
+                let key = hits[i];
+                let mut j = i;
+                while j > 0 && hits[j - 1].t_enter.total_cmp(&key.t_enter).is_lt() {
+                    hits[j] = hits[j - 1];
+                    j -= 1;
+                }
+                hits[j] = key;
+            }
+            for e in &hits[..n] {
+                if bvh.treelet_of(e.node) == self.current_treelet {
+                    self.current_stack.push(*e);
+                } else {
+                    self.treelet_stack.push(*e);
                 }
             }
         }
@@ -235,7 +302,9 @@ impl RayTraversal {
     /// Exports the complete traversal state with every `f32` as raw bits,
     /// so a restore is bit-exact (checkpointing).
     pub(crate) fn export_state(&self) -> RayTraversalState {
-        let stack = |s: &[StackEntry]| s.iter().map(|e| (e.node.0, e.t_enter.to_bits())).collect();
+        let stack = |s: &[Pending]| {
+            s.iter().map(|e| StackEntry { node: e.node.0, t_bits: e.t_enter.to_bits() }).collect()
+        };
         RayTraversalState {
             id: self.id.0,
             origin_bits: vec3_bits(self.ray.origin),
@@ -255,12 +324,9 @@ impl RayTraversal {
 
     /// Rebuilds traversal state from [`RayTraversal::export_state`] output.
     pub(crate) fn import_state(s: &RayTraversalState) -> RayTraversal {
-        let stack = |v: &[(u32, u32)]| {
+        let stack = |v: &[StackEntry]| {
             v.iter()
-                .map(|&(node, bits)| StackEntry {
-                    node: NodeId(node),
-                    t_enter: f32::from_bits(bits),
-                })
+                .map(|e| Pending { node: NodeId(e.node), t_enter: f32::from_bits(e.t_bits) })
                 .collect()
         };
         RayTraversal {
@@ -304,10 +370,10 @@ pub(crate) struct RayTraversalState {
     pub inv_dir_bits: [u32; 3],
     /// Current treelet id.
     pub current_treelet: u32,
-    /// `(node, t_enter bits)` pairs, bottom of stack first.
-    pub current_stack: Vec<(u32, u32)>,
-    /// `(node, t_enter bits)` pairs, bottom of stack first.
-    pub treelet_stack: Vec<(u32, u32)>,
+    /// Pending current-treelet entries, bottom of stack first.
+    pub current_stack: Vec<StackEntry>,
+    /// Pending other-treelet entries, bottom of stack first.
+    pub treelet_stack: Vec<StackEntry>,
     /// Best hit so far as `(t bits, prim)`.
     pub best: Option<(u32, u32)>,
     /// `f32::to_bits` of the search interval minimum.

@@ -24,7 +24,7 @@ use crate::error::{ForensicsSnapshot, InvariantViolation, SimError, SmSnapshot};
 use crate::hw_table::HwQueueTable;
 use crate::observe::{SamplePoint, StallBreakdown, StallKind, TraceEvent, TraceSink};
 use crate::queues::TreeletQueues;
-use crate::ray::{NextNode, RayId, RayTraversal};
+use crate::ray::{NextNode, RayId, RayTraversal, StackArena};
 use crate::{GpuConfig, SimStats, TraversalMode, TraversalPolicy, VtqParams};
 
 /// Byte address regions (disjoint so cache tags never alias across kinds).
@@ -142,7 +142,8 @@ impl SimReport {
     /// # let bvh = Bvh::build(scene.triangles(), &BvhConfig::default());
     /// # let workload = Workload { tasks: vec![PathTask {
     /// #     rays: vec![scene.camera().primary_ray(4, 4, 8, 8, None).into()] }] };
-    /// let report = Simulator::new(&bvh, scene.triangles(), GpuConfig::default()).run(&workload);
+    /// let sim = Simulator::new(&bvh, scene.triangles(), GpuConfig::default());
+    /// let report = sim.try_run(&workload).unwrap();
     /// assert!(report.summary().contains("cycles"));
     /// ```
     pub fn summary(&self) -> String {
@@ -211,6 +212,123 @@ impl HitCapture {
     }
 }
 
+/// Per-run options for [`Simulator::try_run_with`]: the builder-style
+/// replacement for the old positional-`Option` signature.
+///
+/// Every option is off by default except profiling spans (`prof`), which
+/// match the historical always-on behaviour. Options borrow from the
+/// caller for the duration of one run; chain the builder methods to
+/// enable what the run needs:
+///
+/// ```
+/// use gpusim::{CountingSink, GpuConfig, HitCapture, PathTask, RunOptions, Simulator, Workload};
+/// use rtbvh::{Bvh, BvhConfig};
+/// use rtscene::lumibench::{self, SceneId};
+///
+/// let scene = lumibench::build_scaled(SceneId::Bunny, 64);
+/// let bvh = Bvh::build(scene.triangles(), &BvhConfig::default());
+/// let workload = Workload {
+///     tasks: (0..64)
+///         .map(|i| PathTask {
+///             rays: vec![scene.camera().primary_ray(i % 8, i / 8, 8, 8, None).into()],
+///         })
+///         .collect(),
+/// };
+/// let sim = Simulator::new(&bvh, scene.triangles(), GpuConfig::default());
+/// let mut sink = CountingSink::default();
+/// let mut hits: Option<HitCapture> = None;
+/// let report = sim
+///     .try_run_with(&workload, RunOptions::new().trace(&mut sink).capture_hits(&mut hits))
+///     .unwrap();
+/// assert!(report.stats.cycles > 0);
+/// assert!(hits.is_some());
+/// ```
+pub struct RunOptions<'r> {
+    sink: Option<&'r mut dyn TraceSink>,
+    hits: Option<&'r mut Option<HitCapture>>,
+    checkpoint: Option<(u64, &'r mut dyn FnMut(Checkpoint))>,
+    resume: Option<&'r Checkpoint>,
+    audit: Option<crate::AuditMode>,
+    prof: bool,
+    sabotage: Option<Sabotage>,
+}
+
+impl Default for RunOptions<'_> {
+    fn default() -> Self {
+        RunOptions::new()
+    }
+}
+
+impl<'r> RunOptions<'r> {
+    /// Options with everything off except profiling spans.
+    pub fn new() -> RunOptions<'r> {
+        RunOptions {
+            sink: None,
+            hits: None,
+            checkpoint: None,
+            resume: None,
+            audit: None,
+            prof: true,
+            sabotage: None,
+        }
+    }
+
+    /// Streams structured [`TraceEvent`]s into `sink` as the kernel
+    /// executes. Tracing is pure observation: the traced run is
+    /// cycle-identical to an untraced one.
+    pub fn trace(mut self, sink: &'r mut dyn TraceSink) -> RunOptions<'r> {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Fills `slot` with the run's [`HitCapture`] — the functional-results
+    /// hook of the differential conformance harness.
+    pub fn capture_hits(mut self, slot: &'r mut Option<HitCapture>) -> RunOptions<'r> {
+        self.hits = Some(slot);
+        self
+    }
+
+    /// Captures a [`Checkpoint`] roughly every `every_cycles` simulated
+    /// cycles (at the first clock advance past the mark) and hands it to
+    /// `on_checkpoint`. Checkpointing is pure observation.
+    pub fn checkpoint(
+        mut self,
+        every_cycles: u64,
+        on_checkpoint: &'r mut dyn FnMut(Checkpoint),
+    ) -> RunOptions<'r> {
+        self.checkpoint = Some((every_cycles.max(1), on_checkpoint));
+        self
+    }
+
+    /// Restores `snapshot` before cycling instead of starting from cycle 0.
+    /// The snapshot must come from the same scene, workload and config.
+    pub fn resume(mut self, snapshot: &'r Checkpoint) -> RunOptions<'r> {
+        self.resume = Some(snapshot);
+        self
+    }
+
+    /// Overrides the invariant-audit cadence configured by
+    /// [`GpuConfig::audit`](crate::GpuConfig) for this run only.
+    pub fn audit(mut self, mode: crate::AuditMode) -> RunOptions<'r> {
+        self.audit = Some(mode);
+        self
+    }
+
+    /// Enables or disables `prof` span instrumentation for this run
+    /// (enabled by default).
+    pub fn prof(mut self, enabled: bool) -> RunOptions<'r> {
+        self.prof = enabled;
+        self
+    }
+
+    /// Test hook: schedules a state corruption for auditor tests.
+    #[doc(hidden)]
+    pub fn sabotage(mut self, sabotage: Sabotage) -> RunOptions<'r> {
+        self.sabotage = Some(sabotage);
+        self
+    }
+}
+
 /// The simulator: borrowings of the immutable scene + BVH plus a config.
 ///
 /// # Example
@@ -230,7 +348,7 @@ impl HitCapture {
 ///         .collect(),
 /// };
 /// let sim = Simulator::new(&bvh, scene.triangles(), GpuConfig::default());
-/// let report = sim.run(&workload);
+/// let report = sim.try_run(&workload).unwrap();
 /// assert!(report.stats.cycles > 0);
 /// ```
 #[derive(Debug)]
@@ -270,6 +388,8 @@ impl<'a> Simulator<'a> {
     /// invariant violation caught by the auditor. Use
     /// [`Simulator::try_run`] to receive the typed error (with its
     /// forensics snapshot) instead of aborting the process.
+    #[deprecated(note = "panics on simulation failure; use `try_run` (or `try_run_with` \
+                with `RunOptions`) and handle the `SimError`")]
     pub fn run(&self, workload: &Workload) -> SimReport {
         self.try_run(workload).unwrap_or_else(|e| panic!("{e}"))
     }
@@ -297,7 +417,7 @@ impl<'a> Simulator<'a> {
     /// convert into [`SimError::Config`] via `From`; a hand-assembled
     /// [`GpuConfig`] is trusted as-is, matching the legacy contract.
     pub fn try_run(&self, workload: &Workload) -> Result<SimReport, SimError> {
-        self.try_run_with(workload, None, None, None, None)
+        self.try_run_with(workload, RunOptions::new())
     }
 
     /// [`Simulator::try_run`] plus an explicit [`HitCapture`] of the
@@ -313,9 +433,9 @@ impl<'a> Simulator<'a> {
         &self,
         workload: &Workload,
     ) -> Result<(SimReport, HitCapture), SimError> {
-        let report = self.try_run(workload)?;
-        let capture = HitCapture::from_report(&report);
-        Ok((report, capture))
+        let mut capture = None;
+        let report = self.try_run_with(workload, RunOptions::new().capture_hits(&mut capture))?;
+        Ok((report, capture.expect("a completed run always fills the requested capture")))
     }
 
     /// Like [`Simulator::run`], but streams structured [`TraceEvent`]s into
@@ -327,8 +447,10 @@ impl<'a> Simulator<'a> {
     ///
     /// # Panics
     ///
-    /// Panics on any [`SimError`], like [`Simulator::run`]; use
-    /// [`Simulator::try_run_traced`] for the typed-error form.
+    /// Panics on any [`SimError`]; use [`Simulator::try_run_traced`] for
+    /// the typed-error form.
+    #[deprecated(note = "panics on simulation failure; use `try_run_traced` (or `try_run_with` \
+                with `RunOptions::trace`) and handle the `SimError`")]
     pub fn run_traced(&self, workload: &Workload, sink: &mut dyn TraceSink) -> SimReport {
         self.try_run_traced(workload, sink).unwrap_or_else(|e| panic!("{e}"))
     }
@@ -343,7 +465,7 @@ impl<'a> Simulator<'a> {
         workload: &Workload,
         sink: &mut dyn TraceSink,
     ) -> Result<SimReport, SimError> {
-        self.try_run_with(workload, Some(sink), None, None, None)
+        self.try_run_with(workload, RunOptions::new().trace(sink))
     }
 
     /// [`Simulator::try_run`] with periodic checkpointing: roughly every
@@ -365,7 +487,7 @@ impl<'a> Simulator<'a> {
         every_cycles: u64,
         on_checkpoint: &mut dyn FnMut(Checkpoint),
     ) -> Result<SimReport, SimError> {
-        self.try_run_with(workload, None, None, Some((every_cycles.max(1), on_checkpoint)), None)
+        self.try_run_with(workload, RunOptions::new().checkpoint(every_cycles, on_checkpoint))
     }
 
     /// Restores `snapshot` (captured by [`Simulator::try_run_checkpointed`]
@@ -383,7 +505,7 @@ impl<'a> Simulator<'a> {
         workload: &Workload,
         snapshot: &Checkpoint,
     ) -> Result<SimReport, SimError> {
-        self.try_run_with(workload, None, None, None, Some(snapshot))
+        self.try_run_with(workload, RunOptions::new().resume(snapshot))
     }
 
     /// Test hook: runs with a scheduled state corruption so the invariant
@@ -395,17 +517,24 @@ impl<'a> Simulator<'a> {
         workload: &Workload,
         sabotage: Sabotage,
     ) -> Result<SimReport, SimError> {
-        self.try_run_with(workload, None, Some(sabotage), None, None)
+        self.try_run_with(workload, RunOptions::new().sabotage(sabotage))
     }
 
-    fn try_run_with<'s>(
+    /// [`Simulator::try_run`] with explicit per-run [`RunOptions`]: trace
+    /// sink, hit capture, checkpointing, resume, audit override and prof
+    /// gating, all independently combinable in one run.
+    ///
+    /// # Errors
+    ///
+    /// Identical to [`Simulator::try_run`], plus [`SimError::Checkpoint`]
+    /// when [`RunOptions::resume`] is set and the snapshot does not match
+    /// this simulator.
+    pub fn try_run_with<'s>(
         &'s self,
         workload: &'s Workload,
-        sink: Option<&'s mut (dyn TraceSink + 's)>,
-        sabotage: Option<Sabotage>,
-        ckpt: Option<(u64, &mut dyn FnMut(Checkpoint))>,
-        resume: Option<&Checkpoint>,
+        options: RunOptions<'s>,
     ) -> Result<SimReport, SimError> {
+        let RunOptions { sink, hits, checkpoint, resume, audit, prof: prof_on, sabotage } = options;
         if workload.tasks.is_empty() {
             return Err(SimError::Workload("empty workload: no tasks to simulate".to_string()));
         }
@@ -414,10 +543,13 @@ impl<'a> Simulator<'a> {
         // per-cycle loop itself carries no instrumentation — the
         // disabled path costs nothing and the enabled path costs O(1)
         // per *run*, not per cycle.
-        let _run = prof::span("sim/run");
+        let _run = prof_on.then(|| prof::span("sim/run"));
         let mut engine = {
-            let _setup = prof::span("setup");
+            let _setup = prof_on.then(|| prof::span("setup"));
             let mut engine = Engine::new(self.bvh, self.triangles, &self.config, workload, sink);
+            if let Some(mode) = audit {
+                engine.audit_every = mode.interval();
+            }
             match resume {
                 // The checkpoint carries the (possibly already applied)
                 // sabotage schedule; a caller-supplied one is ignored so
@@ -428,19 +560,25 @@ impl<'a> Simulator<'a> {
             engine
         };
         {
-            let _cycles = prof::span("cycles");
-            engine.run(ckpt)?;
+            let _cycles = prof_on.then(|| prof::span("cycles"));
+            engine.run(checkpoint)?;
         }
-        let _report = prof::span("report");
-        prof::add(prof::Counter::CyclesSimulated, engine.stats.cycles);
-        prof::add(prof::Counter::RaysTraced, engine.stats.rays_completed);
+        let _report = prof_on.then(|| prof::span("report"));
+        if prof_on {
+            prof::add(prof::Counter::CyclesSimulated, engine.stats.cycles);
+            prof::add(prof::Counter::RaysTraced, engine.stats.rays_completed);
+        }
         let energy = self.energy.evaluate(&engine.stats, engine.mem.stats());
-        Ok(SimReport {
+        let report = SimReport {
             stats: engine.stats,
             mem: engine.mem.stats().clone(),
             energy,
             hits: engine.hits,
-        })
+        };
+        if let Some(slot) = hits {
+            *slot = Some(HitCapture::from_report(&report));
+        }
+        Ok(report)
     }
 }
 
@@ -600,6 +738,18 @@ pub(crate) struct Engine<'a> {
     /// Trace events recorded into the attached sink so far (0 when
     /// untraced); checkpointed so a resumed traced run continues the count.
     sink_events: u64,
+    /// Stack arenas reclaimed from finished rays, reused for fresh ones so
+    /// steady-state cycling never allocates. Pure scratch: never
+    /// checkpointed (a restored engine simply re-warms the pool).
+    arena_pool: Vec<StackArena>,
+    /// Reusable `step_warp` scratch buffers (taken with `mem::take` for
+    /// the duration of one step, then put back). Pure scratch.
+    scratch_visits: Vec<(usize, RayId, NodeId)>,
+    scratch_exits: Vec<(TreeletId, RayId)>,
+    scratch_treelets: Vec<TreeletId>,
+    scratch_fetched: Vec<NodeId>,
+    /// Reusable `issue_trace` ray-id buffer. Pure scratch.
+    scratch_new_rays: Vec<RayId>,
 }
 
 impl<'a> Engine<'a> {
@@ -682,6 +832,12 @@ impl<'a> Engine<'a> {
                 | 1,
             sabotage: None,
             sink_events: 0,
+            arena_pool: Vec::new(),
+            scratch_visits: Vec::new(),
+            scratch_exits: Vec::new(),
+            scratch_treelets: Vec::new(),
+            scratch_fetched: Vec::new(),
+            scratch_new_rays: Vec::new(),
         }
     }
 
@@ -1482,12 +1638,17 @@ impl<'a> Engine<'a> {
             self.reserved_rays[sm] = self.reserved_rays[sm].saturating_sub(self.cfg.cta_size);
         }
         // Collect live threads (tasks that still have a ray this bounce).
-        let mut new_rays: Vec<RayId> = Vec::new();
+        let mut new_rays = std::mem::take(&mut self.scratch_new_rays);
+        new_rays.clear();
         for t in first..first + count {
             if let Some(call) = self.workload.tasks[t].rays.get(bounce) {
                 let rid = RayId(self.rays.len() as u32);
+                // Recycle a reclaimed stack arena (allocation-free once the
+                // pool has warmed up).
+                let arena =
+                    self.arena_pool.pop().unwrap_or_else(|| StackArena::with_capacity(16, 8));
                 let mut traversal =
-                    RayTraversal::new(rid, call.ray, self.bvh, TRACE_T_MIN, call.t_max);
+                    RayTraversal::new_in(rid, call.ray, self.bvh, TRACE_T_MIN, call.t_max, arena);
                 if call.anyhit {
                     traversal.set_anyhit();
                 }
@@ -1497,6 +1658,7 @@ impl<'a> Engine<'a> {
             }
         }
         if new_rays.is_empty() {
+            self.scratch_new_rays = new_rays;
             // Path ended for every thread: CTA retires, slot freed.
             self.ctas[id].phase = Phase::Done;
             self.free_slots[sm] += 1;
@@ -1583,6 +1745,7 @@ impl<'a> Engine<'a> {
                 self.ctas[id].phase = Phase::WaitTraversal;
             }
         }
+        self.scratch_new_rays = new_rays;
     }
 
     /// Duration of a shader phase of nominal `base` cycles on `sm`,
@@ -1633,6 +1796,9 @@ impl<'a> Engine<'a> {
         let meta = &self.ray_meta[rid.index()];
         let (cta_id, task, bounce, sm) = (meta.cta, meta.task, meta.bounce, meta.sm);
         self.hits[task][bounce] = self.rays[rid.index()].best;
+        // Recycle the finished ray's stack storage for future rays.
+        let arena = self.rays[rid.index()].reclaim();
+        self.arena_pool.push(arena);
         self.stats.rays_completed += 1;
         self.rt[sm].rays_in_flight -= 1;
         let cta = &mut self.ctas[cta_id];
@@ -1801,7 +1967,8 @@ impl<'a> Engine<'a> {
         // the treelet queues once lanes spread over too many treelets.
         if warp.mode == TraversalMode::Initial {
             if let Some(v) = vtq {
-                let mut treelets: Vec<TreeletId> = Vec::new();
+                let mut treelets = std::mem::take(&mut self.scratch_treelets);
+                treelets.clear();
                 for lane in warp.lanes.iter().flatten() {
                     if let Some(t) = self.rays[lane.index()].pending_treelet(self.bvh) {
                         if !treelets.contains(&t) {
@@ -1809,10 +1976,13 @@ impl<'a> Engine<'a> {
                         }
                     }
                 }
-                if treelets.len() > v.divergence_treelets {
+                let diverged = treelets.len() > v.divergence_treelets;
+                let n_treelets = treelets.len();
+                self.scratch_treelets = treelets;
+                if diverged {
                     let lanes: Vec<RayId> = warp.lanes.iter().flatten().copied().collect();
                     let now = self.now;
-                    let (n_treelets, n_rays) = (treelets.len(), lanes.len());
+                    let n_rays = lanes.len();
                     emit(&mut self.sink, &mut self.sink_events, || TraceEvent::DivergenceSplit {
                         cycle: now,
                         sm,
@@ -1878,9 +2048,12 @@ impl<'a> Engine<'a> {
             }
         }
 
-        // Gather each active lane's next node.
-        let mut visits: Vec<(usize, RayId, NodeId)> = Vec::new();
-        let mut exits: Vec<(TreeletId, RayId)> = Vec::new();
+        // Gather each active lane's next node (into pooled scratch so the
+        // steady-state step allocates nothing).
+        let mut visits = std::mem::take(&mut self.scratch_visits);
+        visits.clear();
+        let mut exits = std::mem::take(&mut self.scratch_exits);
+        exits.clear();
         for (i, lane) in warp.lanes.iter_mut().enumerate() {
             let Some(rid) = *lane else { continue };
             match self.rays[rid.index()].next_node(self.bvh, warp.restrict) {
@@ -1896,11 +2069,13 @@ impl<'a> Engine<'a> {
             }
         }
 
-        for (t, rid) in exits {
+        for &(t, rid) in &exits {
             self.enqueue(sm, t, rid);
         }
+        self.scratch_exits = exits;
 
         if visits.is_empty() {
+            self.scratch_visits = visits;
             // Warp drained: treelet warps refill from their queue;
             // everything else retires the warp.
             if warp.mode == TraversalMode::TreeletStationary {
@@ -1946,7 +2121,8 @@ impl<'a> Engine<'a> {
         // Memory: fetch every distinct node record; warp advances when the
         // slowest lane's data arrives (lockstep).
         let mut completion = self.now;
-        let mut fetched: Vec<NodeId> = Vec::new();
+        let mut fetched = std::mem::take(&mut self.scratch_fetched);
+        fetched.clear();
         for &(_, _, n) in &visits {
             if !fetched.contains(&n) {
                 fetched.push(n);
@@ -1973,13 +2149,14 @@ impl<'a> Engine<'a> {
 
         // Intersection (fixed-function) and stack updates.
         let mut tests = 0u64;
-        for (_, rid, n) in visits {
+        for &(_, rid, n) in &visits {
             let cost = self.rays[rid.index()].visit(self.bvh, self.triangles, n);
             self.stats.box_tests += cost.box_tests as u64;
             self.stats.tri_tests += cost.tri_tests as u64;
             tests += (cost.box_tests + cost.tri_tests) as u64;
         }
         self.stats.add_mode_isect(warp.mode, tests);
+        self.scratch_visits = visits;
 
         // A step whose slowest line arrives well past L1 latency indicates a
         // burst of misses serialized behind DRAM; surface it to the sink.
@@ -1995,6 +2172,7 @@ impl<'a> Engine<'a> {
                 stall,
             });
         }
+        self.scratch_fetched = fetched;
 
         let ready = completion + self.cfg.isect_latency as u64;
         self.stats.add_mode_cycles(warp.mode, ready - self.now);

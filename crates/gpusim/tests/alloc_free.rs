@@ -1,0 +1,62 @@
+//! Pins the allocation-free steady state of the traversal hot path.
+//!
+//! Only compiled with the `count-allocs` feature, which installs prof's
+//! counting global allocator. The test drives the same ray set through
+//! [`RayTraversal`] twice with a pooled [`StackArena`]: the first pass
+//! warms the arena's `Vec` capacities, the second must complete without a
+//! single heap allocation — the contract the simulator's arena pool
+//! relies on for per-cycle allocation-free cycling.
+#![cfg(feature = "count-allocs")]
+
+use gpusim::{NextNode, RayId, RayTraversal, StackArena};
+use rtbvh::{Bvh, BvhConfig};
+use rtscene::lumibench::{self, SceneId};
+
+#[global_allocator]
+static ALLOC: prof::CountingAlloc = prof::CountingAlloc;
+
+#[test]
+fn steady_state_traversal_does_not_allocate() {
+    let scene = lumibench::build_scaled(SceneId::Bunny, 32);
+    let tris = scene.triangles().to_vec();
+    // Small treelets so rays genuinely exercise both stacks.
+    let bvh = Bvh::build(&tris, &BvhConfig { treelet_bytes: 1024, ..Default::default() });
+    let rays: Vec<_> =
+        (0..64).map(|i| scene.camera().primary_ray(i % 8 * 6, i / 8 * 6, 48, 48, None)).collect();
+
+    // One pooled arena cycled through every ray, exactly as the
+    // simulator's pool does on ray completion.
+    let mut arena = StackArena::default();
+    let trace_all = |arena_in: StackArena| -> (StackArena, u32) {
+        let mut arena = arena_in;
+        let mut visited = 0;
+        for (i, &ray) in rays.iter().enumerate() {
+            let mut r =
+                RayTraversal::new_in(RayId(i as u32), ray, &bvh, 1e-3, f32::INFINITY, arena);
+            while let NextNode::Visit(n) = r.next_node(&bvh, None) {
+                r.visit(&bvh, &tris, n);
+            }
+            visited += r.nodes_visited;
+            arena = r.reclaim();
+        }
+        (arena, visited)
+    };
+
+    // Pass 1: warm the arena capacities (may allocate).
+    let (warm, visited_warm) = trace_all(arena);
+    arena = warm;
+
+    // Pass 2: identical work, warmed arena — zero allocations allowed.
+    let before = prof::CountingAlloc::allocations();
+    let (_arena, visited_steady) = trace_all(arena);
+    let after = prof::CountingAlloc::allocations();
+
+    assert!(visited_steady > 0, "rays must do real traversal work");
+    assert_eq!(visited_warm, visited_steady, "both passes traverse identically");
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state traversal must not touch the heap ({} allocations)",
+        after - before
+    );
+}

@@ -228,3 +228,41 @@ fn corrupt_checkpoint_dumps_return_typed_errors() {
     let err = Checkpoint::from_jsonl(&skewed).expect_err("future version must fail");
     assert!(err.reason.contains("version"), "got: {err}");
 }
+
+#[test]
+fn mid_run_snapshots_carry_live_stack_entries() {
+    // The flat-BVH4 refactor rebuilt the traversal stacks on pooled
+    // arenas serialized as `StackEntry` pair tokens; this pins that the
+    // new layout is genuinely exercised — some snapshot must capture an
+    // in-flight ray with pending `node:t_bits` stack entries — and that
+    // exactly such a snapshot survives the JSONL round-trip and resumes
+    // bit-identically.
+    let (scene, bvh) = small_scene(SceneId::Bunny);
+    let workload = small_workload(&scene, 32);
+    let cfg = config(TraversalPolicy::Vtq(VtqParams::default()));
+    let sim = Simulator::new(&bvh, scene.triangles(), cfg);
+    let plain = sim.try_run(&workload).expect("plain run");
+
+    let mut ckpts = Vec::new();
+    sim.try_run_checkpointed(&workload, 32, &mut |c| ckpts.push(c)).expect("checkpointed run");
+
+    let has_live_stack = |text: &str| {
+        text.lines().any(|l| {
+            l.contains("\"record\":\"ckpt_ray\"")
+                && !l.contains("\"cur_stack\":\"\"")
+                && l.contains(':')
+        })
+    };
+    let live = ckpts
+        .iter()
+        .map(|c| (c, c.to_jsonl()))
+        .find(|(_, text)| has_live_stack(text))
+        .expect("some snapshot must catch a ray mid-traversal with pending stack entries");
+
+    let (ckpt, text) = live;
+    let back = Checkpoint::from_jsonl(&text).expect("round-trip parses");
+    assert_eq!(&back, ckpt, "live-stack snapshot lost state in the JSONL round-trip");
+    let resumed = sim.resume_from(&workload, &back).expect("resume live-stack snapshot");
+    assert_eq!(resumed.stats, plain.stats, "resume from live-stack snapshot diverged");
+    assert_eq!(resumed.hits, plain.hits);
+}

@@ -248,7 +248,7 @@ fn tiny_report() -> gpusim::SimReport {
     };
     let mut cfg = GpuConfig::default();
     cfg.mem.num_sms = 2;
-    Simulator::new(&bvh, &tris, cfg).run(&workload)
+    Simulator::new(&bvh, &tris, cfg).try_run(&workload).unwrap()
 }
 
 #[test]

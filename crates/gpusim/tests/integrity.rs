@@ -84,6 +84,7 @@ fn deadlock_returns_typed_error_with_forensics() {
 
 #[test]
 #[should_panic(expected = "deadlock")]
+#[allow(deprecated)] // the panicking wrapper's contract is what's under test
 fn legacy_run_still_panics_on_deadlock() {
     let (scene, bvh) = small_scene();
     let workload = small_workload(&scene, 8);
@@ -114,7 +115,8 @@ fn cycle_budget_trips_before_completion() {
 fn generous_budget_and_audit_do_not_change_the_report() {
     let (scene, bvh) = small_scene();
     let workload = small_workload(&scene, 16);
-    let baseline = Simulator::new(&bvh, scene.triangles(), GpuConfig::default()).run(&workload);
+    let baseline =
+        Simulator::new(&bvh, scene.triangles(), GpuConfig::default()).try_run(&workload).unwrap();
 
     let cfg = GpuConfig {
         max_cycles: Some(10_000_000),
@@ -175,7 +177,8 @@ fn empty_workload_is_a_typed_rejection() {
 fn scheduling_jitter_preserves_completion_and_hits() {
     let (scene, bvh) = small_scene();
     let workload = small_workload(&scene, 32);
-    let baseline = Simulator::new(&bvh, scene.triangles(), GpuConfig::default()).run(&workload);
+    let baseline =
+        Simulator::new(&bvh, scene.triangles(), GpuConfig::default()).try_run(&workload).unwrap();
     let cfg =
         GpuConfig { sched_jitter_cycles: 5, sched_jitter_seed: 0xDECAF, ..GpuConfig::default() };
     let jittered = Simulator::new(&bvh, scene.triangles(), cfg)

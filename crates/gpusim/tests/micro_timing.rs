@@ -50,7 +50,7 @@ fn single_ray_kernel_cycle_count_is_exact() {
     let hitting = Ray::new(Vec3::new(0.0, 0.0, -2.0), Vec3::new(0.0, 0.0, 1.0));
     let workload = Workload { tasks: vec![PathTask { rays: vec![hitting.into()] }] };
     let cfg = micro_config();
-    let report = Simulator::new(&bvh, scene.triangles(), cfg).run(&workload);
+    let report = Simulator::new(&bvh, scene.triangles(), cfg).try_run(&workload).unwrap();
     // Timeline: raygen (100) → leaf fetch, cold: L2 lookup (50) + DRAM
     // (200) → intersection (4) → ray completes, CTA shades (30) → next
     // bounce has no rays → done.
@@ -67,7 +67,7 @@ fn missing_ray_skips_all_memory() {
     let missing = Ray::new(Vec3::new(50.0, 50.0, -2.0), Vec3::new(0.0, 0.0, 1.0));
     let workload = Workload { tasks: vec![PathTask { rays: vec![missing.into()] }] };
     let cfg = micro_config();
-    let report = Simulator::new(&bvh, scene.triangles(), cfg).run(&workload);
+    let report = Simulator::new(&bvh, scene.triangles(), cfg).try_run(&workload).unwrap();
     // The root-bounds test happens before any fetch: the warp's only step
     // completes the ray without memory. raygen (100) + shade (30); the RT
     // unit contributes no memory latency.
@@ -84,7 +84,7 @@ fn second_warp_hits_the_l1() {
     // traverses after the first warmed the cache.
     let workload = Workload { tasks: vec![PathTask { rays: vec![hitting.into()] }; 65] };
     let cfg = micro_config();
-    let report = Simulator::new(&bvh, scene.triangles(), cfg).run(&workload);
+    let report = Simulator::new(&bvh, scene.triangles(), cfg).try_run(&workload).unwrap();
     let bvh_stats = report.mem.kind(gpumem::AccessKind::Bvh);
     // Three warps (32+32+1) visit the same single node: one cold fetch,
     // the rest L1 hits. Lanes within a warp coalesce to one line lookup.
@@ -100,7 +100,7 @@ fn two_bounce_task_reenters_the_pipeline() {
     let workload =
         Workload { tasks: vec![PathTask { rays: vec![hitting.into(), hitting.into()] }] };
     let cfg = micro_config();
-    let report = Simulator::new(&bvh, scene.triangles(), cfg).run(&workload);
+    let report = Simulator::new(&bvh, scene.triangles(), cfg).try_run(&workload).unwrap();
     // Bounce 0: raygen(100) + cold fetch(250) + isect(4) + shade(30).
     // Bounce 1: issue immediately after shade; L1 hit (10) + isect(4) +
     // shade(30).
@@ -118,8 +118,8 @@ fn isect_latency_scales_cycle_count() {
     fast.isect_latency = 1;
     let mut slow = micro_config();
     slow.isect_latency = 41;
-    let rf = Simulator::new(&bvh, scene.triangles(), fast).run(&workload);
-    let rs = Simulator::new(&bvh, scene.triangles(), slow).run(&workload);
+    let rf = Simulator::new(&bvh, scene.triangles(), fast).try_run(&workload).unwrap();
+    let rs = Simulator::new(&bvh, scene.triangles(), slow).try_run(&workload).unwrap();
     assert_eq!(rs.stats.cycles - rf.stats.cycles, 40);
 }
 
@@ -145,7 +145,9 @@ fn warp_and_cta_size_variants_are_functionally_identical() {
             TraversalPolicy::Baseline,
             TraversalPolicy::Vtq(gpusim::VtqParams { queue_threshold: 8, ..Default::default() }),
         ] {
-            let r = Simulator::new(&bvh, scene.triangles(), cfg.with_policy(policy)).run(&workload);
+            let r = Simulator::new(&bvh, scene.triangles(), cfg.with_policy(policy))
+                .try_run(&workload)
+                .unwrap();
             assert_eq!(
                 r.stats.rays_completed as usize,
                 workload.total_rays(),
@@ -172,8 +174,8 @@ fn shader_contention_stretches_phases() {
     let free = micro_config();
     let mut contended = micro_config();
     contended.shader_slots_per_sm = 1;
-    let rf = Simulator::new(&bvh, scene.triangles(), free).run(&workload);
-    let rc = Simulator::new(&bvh, scene.triangles(), contended).run(&workload);
+    let rf = Simulator::new(&bvh, scene.triangles(), free).try_run(&workload).unwrap();
+    let rc = Simulator::new(&bvh, scene.triangles(), contended).try_run(&workload).unwrap();
     assert!(
         rc.stats.cycles > rf.stats.cycles,
         "1 shader slot ({}) must be slower than unlimited ({})",

@@ -46,9 +46,9 @@ fn traced_run_is_cycle_identical_to_untraced() {
     let workload = camera_workload(&scene, 32);
     for policy in policies() {
         let sim = Simulator::new(&bvh, scene.triangles(), small_cfg(policy));
-        let plain = sim.run(&workload);
+        let plain = sim.try_run(&workload).unwrap();
         let mut sink = CountingSink::default();
-        let traced = sim.run_traced(&workload, &mut sink);
+        let traced = sim.try_run_traced(&workload, &mut sink).unwrap();
         assert_eq!(plain.stats.cycles, traced.stats.cycles, "policy {}", policy.label());
         assert_eq!(plain.stats, traced.stats, "policy {}", policy.label());
         assert_eq!(plain.hits, traced.hits);
@@ -61,7 +61,8 @@ fn stall_breakdown_sums_to_cycles_per_unit() {
     let (scene, bvh) = setup();
     let workload = camera_workload(&scene, 32);
     for policy in policies() {
-        let report = Simulator::new(&bvh, scene.triangles(), small_cfg(policy)).run(&workload);
+        let report =
+            Simulator::new(&bvh, scene.triangles(), small_cfg(policy)).try_run(&workload).unwrap();
         assert_eq!(report.stats.stall.len(), 2);
         for (sm, unit) in report.stats.stall.iter().enumerate() {
             assert_eq!(
@@ -84,8 +85,9 @@ fn vtq_emits_queue_and_lifecycle_events() {
     let (scene, bvh) = setup();
     let workload = camera_workload(&scene, 48);
     let mut sink = RingSink::new(1 << 20);
-    let report =
-        Simulator::new(&bvh, scene.triangles(), small_cfg(vtq())).run_traced(&workload, &mut sink);
+    let report = Simulator::new(&bvh, scene.triangles(), small_cfg(vtq()))
+        .try_run_traced(&workload, &mut sink)
+        .unwrap();
     assert_eq!(sink.dropped(), 0, "ring too small for exact count checks");
     let count = |tag: &str| sink.events().filter(|e| e.tag() == tag).count() as u64;
     assert!(count("cta_launch") > 0);
@@ -123,7 +125,9 @@ fn ring_sink_stays_bounded_on_real_runs() {
     let (scene, bvh) = setup();
     let workload = camera_workload(&scene, 48);
     let mut sink = RingSink::new(256);
-    Simulator::new(&bvh, scene.triangles(), small_cfg(vtq())).run_traced(&workload, &mut sink);
+    Simulator::new(&bvh, scene.triangles(), small_cfg(vtq()))
+        .try_run_traced(&workload, &mut sink)
+        .unwrap();
     assert_eq!(sink.len(), 256);
     assert!(sink.dropped() > 0);
 }
@@ -134,7 +138,7 @@ fn time_series_covers_the_run_and_stays_bounded() {
     let workload = camera_workload(&scene, 32);
     let mut cfg = small_cfg(vtq());
     cfg.sample_window_cycles = 5_000;
-    let report = Simulator::new(&bvh, scene.triangles(), cfg).run(&workload);
+    let report = Simulator::new(&bvh, scene.triangles(), cfg).try_run(&workload).unwrap();
     assert!(!report.stats.series.is_empty());
     let covered: u64 = report.stats.series.iter().map(|w| w.covered_cycles).sum();
     assert_eq!(covered, report.stats.cycles);
@@ -151,7 +155,7 @@ fn time_series_covers_the_run_and_stays_bounded() {
     // Disabling sampling empties the series but keeps the stall totals.
     let mut off = cfg;
     off.sample_window_cycles = 0;
-    let quiet = Simulator::new(&bvh, scene.triangles(), off).run(&workload);
+    let quiet = Simulator::new(&bvh, scene.triangles(), off).try_run(&workload).unwrap();
     assert!(quiet.stats.series.is_empty());
     assert_eq!(quiet.stats.stall.len(), 2);
     assert_eq!(quiet.stats.cycles, report.stats.cycles, "sampling must not change timing");
@@ -163,7 +167,7 @@ fn exporters_produce_wellformed_output() {
     let workload = camera_workload(&scene, 32);
     let mut sink = RingSink::new(4096);
     let sim = Simulator::new(&bvh, scene.triangles(), small_cfg(vtq()));
-    let report = sim.run_traced(&workload, &mut sink);
+    let report = sim.try_run_traced(&workload, &mut sink).unwrap();
 
     let jsonl = sink.to_jsonl();
     assert_eq!(jsonl.lines().count(), sink.len());
@@ -197,7 +201,8 @@ fn exporters_produce_wellformed_output() {
 fn report_summary_mentions_key_quantities() {
     let (scene, bvh) = setup();
     let workload = camera_workload(&scene, 32);
-    let report = Simulator::new(&bvh, scene.triangles(), small_cfg(vtq())).run(&workload);
+    let report =
+        Simulator::new(&bvh, scene.triangles(), small_cfg(vtq())).try_run(&workload).unwrap();
     let text = report.stats.report();
     assert!(text.contains(&format!("cycles: {}", report.stats.cycles)));
     assert!(text.contains("simt efficiency:"));
@@ -229,7 +234,8 @@ fn window_boundary_exactly_at_max_cycles() {
     let (scene, bvh) = setup();
     let workload = camera_workload(&scene, 16);
     let mut cfg = small_cfg(vtq());
-    let cycles = Simulator::new(&bvh, scene.triangles(), cfg).run(&workload).stats.cycles;
+    let cycles =
+        Simulator::new(&bvh, scene.triangles(), cfg).try_run(&workload).unwrap().stats.cycles;
     assert!(cycles > 0);
 
     cfg.sample_window_cycles = cycles;
@@ -266,8 +272,8 @@ fn merging_series_of_different_length_runs_unions_windows() {
     let mut cfg = small_cfg(vtq());
     cfg.sample_window_cycles = 2_000;
     let sim = Simulator::new(&bvh, scene.triangles(), cfg);
-    let short = sim.run(&short_wl);
-    let long = sim.run(&long_wl);
+    let short = sim.try_run(&short_wl).unwrap();
+    let long = sim.try_run(&long_wl).unwrap();
     assert!(
         long.stats.series.len() > short.stats.series.len(),
         "need different-length series for this test ({} vs {})",
@@ -314,7 +320,8 @@ fn disabled_profiler_records_nothing_during_simulation() {
     let (scene, bvh) = setup();
     let workload = camera_workload(&scene, 24);
     let before = prof::get(prof::Counter::CyclesSimulated);
-    let report = Simulator::new(&bvh, scene.triangles(), small_cfg(vtq())).run(&workload);
+    let report =
+        Simulator::new(&bvh, scene.triangles(), small_cfg(vtq())).try_run(&workload).unwrap();
     assert!(report.stats.cycles > 0);
     assert_eq!(prof::get(prof::Counter::CyclesSimulated), before, "counter bumped while off");
     assert_eq!(prof::get(prof::Counter::RaysTraced), 0, "counter bumped while off");
@@ -327,8 +334,8 @@ fn merged_stats_accumulate_and_keep_invariants() {
     let (scene, bvh) = setup();
     let workload = camera_workload(&scene, 24);
     let sim = Simulator::new(&bvh, scene.triangles(), small_cfg(vtq()));
-    let a: SimReport = sim.run(&workload);
-    let b: SimReport = sim.run(&workload);
+    let a: SimReport = sim.try_run(&workload).unwrap();
+    let b: SimReport = sim.try_run(&workload).unwrap();
     let mut merged = a.stats.clone();
     merged.merge(&b.stats);
     assert_eq!(merged.rays_completed, a.stats.rays_completed + b.stats.rays_completed);

@@ -73,7 +73,7 @@ proptest! {
         let mut cfg = GpuConfig::default()
             .with_policy(TraversalPolicy::Vtq(vtq_params(qt, rp, div, group, preload)));
         cfg.mem.num_sms = 2;
-        let report = Simulator::new(&bvh, scene.triangles(), cfg).run(&workload);
+        let report = Simulator::new(&bvh, scene.triangles(), cfg).try_run(&workload).unwrap();
         prop_assert_eq!(report.stats.rays_completed as usize, workload.total_rays());
         prop_assert!(report.stats.cycles > 0);
         // SIMT efficiency is a valid ratio.
@@ -97,9 +97,9 @@ proptest! {
         let workload = random_workload(seed, 300, 2);
         let mut base_cfg = GpuConfig::default();
         base_cfg.mem.num_sms = 2;
-        let baseline = Simulator::new(&bvh, scene.triangles(), base_cfg).run(&workload);
+        let baseline = Simulator::new(&bvh, scene.triangles(), base_cfg).try_run(&workload).unwrap();
         let vtq_cfg = base_cfg.with_policy(TraversalPolicy::Vtq(vtq_params(qt, rp, 2, true, true)));
-        let vtq = Simulator::new(&bvh, scene.triangles(), vtq_cfg).run(&workload);
+        let vtq = Simulator::new(&bvh, scene.triangles(), vtq_cfg).try_run(&workload).unwrap();
         prop_assert_eq!(baseline.hits, vtq.hits);
     }
 
@@ -123,7 +123,7 @@ proptest! {
             let mut cfg = GpuConfig::default().with_policy(policy);
             cfg.mem.num_sms = 2;
             cfg.sample_window_cycles = window;
-            let report = Simulator::new(&bvh, scene.triangles(), cfg).run(&workload);
+            let report = Simulator::new(&bvh, scene.triangles(), cfg).try_run(&workload).unwrap();
             prop_assert_eq!(report.stats.stall.len(), 2);
             for (sm, unit) in report.stats.stall.iter().enumerate() {
                 prop_assert_eq!(
@@ -148,8 +148,8 @@ proptest! {
         let workload = random_workload(seed, 200, 2);
         let mut cfg = GpuConfig::default().with_policy(TraversalPolicy::Vtq(VtqParams::default()));
         cfg.mem.num_sms = 2;
-        let a = Simulator::new(&bvh, scene.triangles(), cfg).run(&workload);
-        let b = Simulator::new(&bvh, scene.triangles(), cfg).run(&workload);
+        let a = Simulator::new(&bvh, scene.triangles(), cfg).try_run(&workload).unwrap();
+        let b = Simulator::new(&bvh, scene.triangles(), cfg).try_run(&workload).unwrap();
         prop_assert_eq!(a.stats.cycles, b.stats.cycles);
         prop_assert_eq!(a.mem.total_lines(), b.mem.total_lines());
         prop_assert_eq!(a.stats.repack_events, b.stats.repack_events);

@@ -71,7 +71,8 @@ fn every_policy_completes_all_rays() {
     let (scene, bvh) = setup(32);
     let workload = build_workload(&scene, &bvh, 24, 2);
     for policy in policies() {
-        let report = Simulator::new(&bvh, scene.triangles(), small_gpu(policy)).run(&workload);
+        let report =
+            Simulator::new(&bvh, scene.triangles(), small_gpu(policy)).try_run(&workload).unwrap();
         assert_eq!(
             report.stats.rays_completed as usize,
             workload.total_rays(),
@@ -88,7 +89,7 @@ fn simulated_hits_match_cpu_reference() {
     let tris = scene.triangles();
     let workload = build_workload(&scene, &bvh, 24, 2);
     for policy in policies() {
-        let report = Simulator::new(&bvh, tris, small_gpu(policy)).run(&workload);
+        let report = Simulator::new(&bvh, tris, small_gpu(policy)).try_run(&workload).unwrap();
         for (task, rays) in workload.tasks.iter().enumerate() {
             for (bounce, call) in rays.rays.iter().enumerate() {
                 let reference = bvh.intersect(tris, &call.ray, 1e-3, call.t_max);
@@ -109,8 +110,10 @@ fn deterministic_across_runs() {
     let (scene, bvh) = setup(32);
     let workload = build_workload(&scene, &bvh, 16, 2);
     for policy in policies() {
-        let a = Simulator::new(&bvh, scene.triangles(), small_gpu(policy)).run(&workload);
-        let b = Simulator::new(&bvh, scene.triangles(), small_gpu(policy)).run(&workload);
+        let a =
+            Simulator::new(&bvh, scene.triangles(), small_gpu(policy)).try_run(&workload).unwrap();
+        let b =
+            Simulator::new(&bvh, scene.triangles(), small_gpu(policy)).try_run(&workload).unwrap();
         assert_eq!(a.stats.cycles, b.stats.cycles, "policy {}", policy.label());
         assert_eq!(a.mem.total_lines(), b.mem.total_lines());
     }
@@ -121,13 +124,15 @@ fn virtualization_raises_concurrent_rays() {
     let (scene, bvh) = setup(8);
     let workload = build_workload(&scene, &bvh, 96, 2); // 9216 paths on 4 SMs
     let base = Simulator::new(&bvh, scene.triangles(), small_gpu(TraversalPolicy::Baseline))
-        .run(&workload);
+        .try_run(&workload)
+        .unwrap();
     let vtq = Simulator::new(
         &bvh,
         scene.triangles(),
         small_gpu(TraversalPolicy::Vtq(VtqParams { queue_threshold: 16, ..Default::default() })),
     )
-    .run(&workload);
+    .try_run(&workload)
+    .unwrap();
     // Baseline concurrency is capped by resident CTAs (16 CTAs x 64 = 1024).
     let cfg = small_gpu(TraversalPolicy::Baseline);
     let baseline_cap = cfg.max_ctas_per_sm * cfg.cta_size;
@@ -161,7 +166,8 @@ fn vtq_uses_all_three_modes() {
         scene.triangles(),
         small_gpu(TraversalPolicy::Vtq(VtqParams { queue_threshold: 16, ..Default::default() })),
     )
-    .run(&workload);
+    .try_run(&workload)
+    .unwrap();
     assert!(report.stats.cycles_in(TraversalMode::Initial) > 0, "initial phase missing");
     assert!(
         report.stats.cycles_in(TraversalMode::TreeletStationary) > 0,
@@ -182,7 +188,8 @@ fn baseline_runs_entirely_ray_stationary() {
     let (scene, bvh) = setup(32);
     let workload = build_workload(&scene, &bvh, 16, 1);
     let report = Simulator::new(&bvh, scene.triangles(), small_gpu(TraversalPolicy::Baseline))
-        .run(&workload);
+        .try_run(&workload)
+        .unwrap();
     assert_eq!(report.stats.cycles_in(TraversalMode::Initial), 0);
     assert_eq!(report.stats.cycles_in(TraversalMode::TreeletStationary), 0);
     assert!(report.stats.cycles_in(TraversalMode::RayStationary) > 0);
@@ -204,7 +211,8 @@ fn repacking_fires_and_raises_simt_efficiency() {
                 ..Default::default()
             })),
         )
-        .run(&workload)
+        .try_run(&workload)
+        .unwrap()
     };
     let no_repack = run(0);
     let repack = run(22);
@@ -224,7 +232,8 @@ fn prefetch_policy_issues_and_uses_prefetches() {
     let workload = build_workload(&scene, &bvh, 32, 2);
     let report =
         Simulator::new(&bvh, scene.triangles(), small_gpu(TraversalPolicy::TreeletPrefetch))
-            .run(&workload);
+            .try_run(&workload)
+            .unwrap();
     assert!(report.stats.prefetches_issued > 0);
     assert!(report.stats.prefetch_lines > 0);
     let rate = report.stats.prefetch_use_rate();
@@ -236,7 +245,8 @@ fn energy_report_is_consistent() {
     let (scene, bvh) = setup(32);
     let workload = build_workload(&scene, &bvh, 16, 1);
     let report = Simulator::new(&bvh, scene.triangles(), small_gpu(TraversalPolicy::Baseline))
-        .run(&workload);
+        .try_run(&workload)
+        .unwrap();
     assert!(report.energy.total_pj() > 0.0);
     assert!(report.energy.static_pj > 0.0);
     assert_eq!(report.energy.virtualization_pj, 0.0, "baseline has no virtualization energy");
@@ -247,7 +257,8 @@ fn mem_stats_track_bvh_and_windows() {
     let (scene, bvh) = setup(32);
     let workload = build_workload(&scene, &bvh, 16, 1);
     let report = Simulator::new(&bvh, scene.triangles(), small_gpu(TraversalPolicy::Baseline))
-        .run(&workload);
+        .try_run(&workload)
+        .unwrap();
     let bvh_stats = report.mem.kind(gpumem::AccessKind::Bvh);
     assert!(bvh_stats.lines > 0);
     assert!(bvh_stats.l1_lookups > 0);
@@ -262,8 +273,8 @@ fn multi_slot_warp_buffer_is_correct_and_not_slower() {
     one.warp_buffer_slots = 1;
     let mut four = small_gpu(TraversalPolicy::Baseline);
     four.warp_buffer_slots = 4;
-    let r1 = Simulator::new(&bvh, scene.triangles(), one).run(&workload);
-    let r4 = Simulator::new(&bvh, scene.triangles(), four).run(&workload);
+    let r1 = Simulator::new(&bvh, scene.triangles(), one).try_run(&workload).unwrap();
+    let r4 = Simulator::new(&bvh, scene.triangles(), four).try_run(&workload).unwrap();
     assert_eq!(r1.hits, r4.hits, "warp buffer size must not change results");
     assert!(
         r4.stats.cycles < r1.stats.cycles,
@@ -295,7 +306,7 @@ fn anyhit_trace_calls_agree_with_occlusion_reference() {
         .collect();
     let workload = Workload { tasks };
     for policy in policies() {
-        let report = Simulator::new(&bvh, tris, small_gpu(policy)).run(&workload);
+        let report = Simulator::new(&bvh, tris, small_gpu(policy)).try_run(&workload).unwrap();
         assert_eq!(report.stats.rays_completed as usize, workload.total_rays());
         for (task, pt) in workload.tasks.iter().enumerate() {
             let probe = &pt.rays[1];
@@ -319,8 +330,8 @@ fn anyhit_rays_do_less_work_than_closest_hit() {
         tasks: vec![PathTask { rays: vec![gpusim::TraceCall::anyhit(ray, f32::INFINITY)] }; 64],
     };
     let cfg = small_gpu(TraversalPolicy::Baseline);
-    let rc = Simulator::new(&bvh, scene.triangles(), cfg).run(&closest);
-    let ra = Simulator::new(&bvh, scene.triangles(), cfg).run(&any);
+    let rc = Simulator::new(&bvh, scene.triangles(), cfg).try_run(&closest).unwrap();
+    let ra = Simulator::new(&bvh, scene.triangles(), cfg).try_run(&any).unwrap();
     assert!(
         ra.stats.tri_tests <= rc.stats.tri_tests,
         "anyhit {} must not exceed closest-hit {} triangle tests",
@@ -339,7 +350,7 @@ fn virtual_ray_cap_is_respected() {
             queue_threshold: 16,
             ..Default::default()
         }));
-        let r = Simulator::new(&bvh, scene.triangles(), cfg).run(&workload);
+        let r = Simulator::new(&bvh, scene.triangles(), cfg).try_run(&workload).unwrap();
         // The cap gates fresh raygen launches (§4.1); resumed CTAs issuing
         // their next bounce are not gated, so the peak can exceed the cap
         // by up to one SM's worth of resident CTAs.
@@ -364,7 +375,7 @@ fn tiny_hardware_tables_charge_spill_traffic() {
             queue_threshold: 16,
             ..Default::default()
         }));
-        Simulator::new(&bvh, scene.triangles(), cfg).run(&workload)
+        Simulator::new(&bvh, scene.triangles(), cfg).try_run(&workload).unwrap()
     };
     let roomy = run(128, 600);
     let cramped = run(1, 1);
@@ -387,7 +398,8 @@ fn preload_does_not_change_results_and_rarely_hurts() {
         scene.triangles(),
         small_gpu(TraversalPolicy::Vtq(VtqParams { queue_threshold: 16, ..Default::default() })),
     )
-    .run(&workload);
+    .try_run(&workload)
+    .unwrap();
     let without = Simulator::new(
         &bvh,
         scene.triangles(),
@@ -397,7 +409,8 @@ fn preload_does_not_change_results_and_rarely_hurts() {
             ..Default::default()
         })),
     )
-    .run(&workload);
+    .try_run(&workload)
+    .unwrap();
     assert_eq!(with.hits, without.hits);
     // Preloading adds Prefetch traffic and must not be catastrophic.
     assert!(
@@ -420,7 +433,7 @@ fn shadow_ray_workload_through_the_simulator() {
     assert!(anyhit_calls > 0);
     let cfg =
         small_gpu(TraversalPolicy::Vtq(VtqParams { queue_threshold: 16, ..Default::default() }));
-    let report = Simulator::new(&bvh, scene.triangles(), cfg).run(&workload);
+    let report = Simulator::new(&bvh, scene.triangles(), cfg).try_run(&workload).unwrap();
     assert_eq!(report.stats.rays_completed as usize, workload.total_rays());
     for (task, pt) in workload.tasks.iter().enumerate() {
         for (i, call) in pt.rays.iter().enumerate() {
@@ -466,7 +479,8 @@ fn queue_table_chains_stay_short() {
         scene.triangles(),
         small_gpu(TraversalPolicy::Vtq(VtqParams { queue_threshold: 16, ..Default::default() })),
     )
-    .run(&workload);
+    .try_run(&workload)
+    .unwrap();
     assert!(report.stats.queue_table_peak_entries > 0, "queue table saw traffic");
     assert!(
         report.stats.queue_table_max_chain <= 4,
@@ -493,7 +507,8 @@ fn queue_table_max_chain_stays_at_most_two() {
                 ..Default::default()
             })),
         )
-        .run(&workload);
+        .try_run(&workload)
+        .unwrap();
         assert!(report.stats.queue_table_peak_entries > 0, "{scene_id:?}: table unused");
         assert!(
             report.stats.queue_table_max_chain <= 2,
@@ -515,7 +530,8 @@ fn queue_table_peak_entries_fit_the_128_entry_budget() {
         scene.triangles(),
         small_gpu(TraversalPolicy::Vtq(VtqParams { queue_threshold: 16, ..Default::default() })),
     )
-    .run(&workload);
+    .try_run(&workload)
+    .unwrap();
     assert!(report.stats.queue_table_peak_entries > 0, "queue table saw traffic");
     assert!(
         report.stats.queue_table_peak_entries <= 128,
@@ -561,7 +577,8 @@ fn empty_tasks_and_ragged_bounces_are_handled() {
     };
     let workload = Workload { tasks: vec![mk(3), mk(0), mk(1), mk(2), mk(0), mk(3)] };
     for policy in policies() {
-        let r = Simulator::new(&bvh, scene.triangles(), small_gpu(policy)).run(&workload);
+        let r =
+            Simulator::new(&bvh, scene.triangles(), small_gpu(policy)).try_run(&workload).unwrap();
         assert_eq!(r.stats.rays_completed as usize, workload.total_rays(), "{}", policy.label());
         assert_eq!(r.hits[1].len(), 0);
         assert_eq!(r.hits[5].len(), 3);
@@ -576,7 +593,7 @@ fn single_sm_single_cta_vtq_still_works() {
     cfg.mem.num_sms = 1;
     cfg.max_ctas_per_sm = 1;
     let workload = build_workload(&scene, &bvh, 32, 2);
-    let r = Simulator::new(&bvh, scene.triangles(), cfg).run(&workload);
+    let r = Simulator::new(&bvh, scene.triangles(), cfg).try_run(&workload).unwrap();
     assert_eq!(r.stats.rays_completed as usize, workload.total_rays());
     // With one CTA slot, virtualization is what lets more than 64 rays fly.
     assert!(r.stats.peak_rays_in_flight > cfg.cta_size);
@@ -594,6 +611,6 @@ fn zero_max_virtual_rays_degrades_gracefully() {
         ..Default::default()
     }));
     let workload = build_workload(&scene, &bvh, 24, 1);
-    let r = Simulator::new(&bvh, scene.triangles(), cfg).run(&workload);
+    let r = Simulator::new(&bvh, scene.triangles(), cfg).try_run(&workload).unwrap();
     assert_eq!(r.stats.rays_completed as usize, workload.total_rays());
 }

@@ -1,11 +1,11 @@
 use std::error::Error;
 use std::fmt;
 
-use rtmath::Ray;
+use rtmath::{Aabb, Ray};
 use rtscene::Triangle;
 
 use crate::treelet::{self, TreeletPartition};
-use crate::wide::{self, WideNode};
+use crate::wide::{self, aabb4_intersect, Bvh4Node, WIDE_WIDTH};
 use crate::{build2, lbvh, BvhConfig, NodeAddr, NodeId, TreeletId};
 
 /// Which construction algorithm [`Bvh::build_with`] uses.
@@ -129,12 +129,13 @@ impl Error for ValidateError {}
 /// ```
 #[derive(Debug, Clone)]
 pub struct Bvh {
-    nodes: Vec<WideNode>,
+    nodes: Vec<Bvh4Node>,
     prim_indices: Vec<u32>,
     addrs: Vec<NodeAddr>,
     partition: TreeletPartition,
     treelet_extents: Vec<(u64, u64)>,
     root: NodeId,
+    root_bounds: Aabb,
     config: BvhConfig,
     total_bytes: u64,
 }
@@ -188,6 +189,7 @@ impl Bvh {
             treelet_extents.push((start, offset));
         }
 
+        let root_bounds = nodes[root.index()].bounds();
         Bvh {
             nodes,
             prim_indices: b2.prim_indices,
@@ -195,6 +197,7 @@ impl Bvh {
             partition,
             treelet_extents,
             root,
+            root_bounds,
             config: *config,
             total_bytes: offset,
         }
@@ -206,15 +209,23 @@ impl Bvh {
         self.root
     }
 
+    /// World bounds of the whole tree, cached at build/refit time (the
+    /// hardware keeps the world box in registers, so the per-ray root
+    /// test does not fetch a node record).
+    #[inline]
+    pub fn root_bounds(&self) -> Aabb {
+        self.root_bounds
+    }
+
     /// Node accessor.
     #[inline]
-    pub fn node(&self, id: NodeId) -> &WideNode {
+    pub fn node(&self, id: NodeId) -> &Bvh4Node {
         &self.nodes[id.index()]
     }
 
     /// All nodes (index = `NodeId.0`).
     #[inline]
-    pub fn nodes(&self) -> &[WideNode] {
+    pub fn nodes(&self) -> &[Bvh4Node] {
         &self.nodes
     }
 
@@ -267,10 +278,8 @@ impl Bvh {
         let mut stack = vec![(self.root, 1usize)];
         while let Some((id, d)) = stack.pop() {
             max_depth = max_depth.max(d);
-            if let WideNode::Inner { children, .. } = self.node(id) {
-                for c in children {
-                    stack.push((*c, d + 1));
-                }
+            for c in self.node(id).children() {
+                stack.push((c, d + 1));
             }
         }
         let tl = self.partition.treelets();
@@ -331,39 +340,36 @@ impl Bvh {
                 continue;
             }
             stack.push((id, true));
-            if let WideNode::Inner { children, .. } = self.node(id) {
-                for c in children {
-                    stack.push((*c, false));
-                }
+            for c in self.node(id).children() {
+                stack.push((c, false));
             }
         }
         for id in order {
-            match &mut self.nodes[id.index()] {
-                WideNode::Leaf { bounds, first, count } => {
-                    let mut b = rtmath::Aabb::EMPTY;
-                    for &p in &self.prim_indices[*first as usize..(*first + *count) as usize] {
-                        b = b.union(&triangles[p as usize].bounds());
-                    }
-                    *bounds = b;
+            let node = self.nodes[id.index()];
+            if node.is_leaf() {
+                let mut b = Aabb::EMPTY;
+                let range = node.first as usize..(node.first + node.count) as usize;
+                for &p in &self.prim_indices[range] {
+                    b = b.union(&triangles[p as usize].bounds());
                 }
-                WideNode::Inner { .. } => {
-                    // Collect child bounds first (borrow rules), then write.
-                    let children = match self.node(id) {
-                        WideNode::Inner { children, .. } => children.clone(),
-                        _ => unreachable!(),
-                    };
-                    let fresh: Vec<rtmath::Aabb> =
-                        children.iter().map(|c| self.node(*c).bounds()).collect();
-                    let total = fresh.iter().fold(rtmath::Aabb::EMPTY, |a, b| a.union(b));
-                    if let WideNode::Inner { bounds, child_bounds, .. } =
-                        &mut self.nodes[id.index()]
-                    {
-                        *child_bounds = fresh;
-                        *bounds = total;
+                self.nodes[id.index()].set_lane_bounds(0, b);
+            } else {
+                // Children were already refit (post-order): refresh each
+                // occupied lane's slab from its child's derived bounds.
+                let mut fresh = [Aabb::EMPTY; WIDE_WIDTH];
+                for (lane, slot) in fresh.iter_mut().enumerate() {
+                    if let Some(c) = node.lane_child(lane) {
+                        *slot = self.node(c).bounds();
+                    }
+                }
+                for (lane, b) in fresh.iter().enumerate() {
+                    if node.lane_child(lane).is_some() {
+                        self.nodes[id.index()].set_lane_bounds(lane, *b);
                     }
                 }
             }
         }
+        self.root_bounds = self.nodes[self.root.index()].bounds();
     }
 
     /// Surface-area-heuristic cost of the tree: expected traversal work
@@ -390,10 +396,7 @@ impl Bvh {
         let mut cost = 0.0;
         for n in &self.nodes {
             let weight = n.bounds().surface_area() as f64 / root_area;
-            let work = match n {
-                WideNode::Inner { children, .. } => children.len() as f64,
-                WideNode::Leaf { count, .. } => *count as f64,
-            };
+            let work = if n.is_leaf() { n.count as f64 } else { n.child_count() as f64 };
             cost += weight * work;
         }
         cost
@@ -427,7 +430,7 @@ impl Bvh {
     ) -> Option<PrimHit> {
         // The root's own bounds are tested before any fetch (hardware keeps
         // the world box in registers).
-        self.node(self.root).bounds().intersect(ray, t_min, t_max)?;
+        self.root_bounds.intersect(ray, t_min, t_max)?;
         let mut best: Option<PrimHit> = None;
         let mut limit = t_max;
         let mut stack: Vec<(NodeId, f32)> = vec![(self.root, t_min)];
@@ -436,37 +439,48 @@ impl Bvh {
                 continue;
             }
             visit(id);
-            match self.node(id) {
-                WideNode::Leaf { first, count, .. } => {
-                    for &prim in self.leaf_prims(*first, *count) {
-                        // Test against the full interval and break equal-t
-                        // ties by lowest prim id, the same rule the
-                        // simulator's RayTraversal::visit applies, so the
-                        // reference result is traversal-order independent.
-                        if let Some(t) = triangles[prim as usize].intersect(ray, t_min, t_max) {
-                            let better = match best {
-                                None => true,
-                                Some(b) => t < b.t || (t == b.t && prim < b.prim),
-                            };
-                            if better {
-                                limit = t;
-                                best = Some(PrimHit { t, prim });
-                            }
+            let node = self.node(id);
+            if node.is_leaf() {
+                for &prim in self.leaf_prims(node.first, node.count) {
+                    // Test against the full interval and break equal-t
+                    // ties by lowest prim id, the same rule the
+                    // simulator's RayTraversal::visit applies, so the
+                    // reference result is traversal-order independent.
+                    if let Some(t) = triangles[prim as usize].intersect(ray, t_min, t_max) {
+                        let better = match best {
+                            None => true,
+                            Some(b) => t < b.t || (t == b.t && prim < b.prim),
+                        };
+                        if better {
+                            limit = t;
+                            best = Some(PrimHit { t, prim });
                         }
                     }
                 }
-                WideNode::Inner { child_bounds, children, .. } => {
-                    // Gather hit children with entry distances, then push
-                    // far-to-near so the nearest pops first.
-                    let mut hits: Vec<(NodeId, f32)> = Vec::with_capacity(children.len());
-                    for (cb, c) in child_bounds.iter().zip(children) {
-                        if let Some(t) = cb.intersect(ray, t_min, limit) {
-                            hits.push((*c, t));
-                        }
+            } else {
+                // Test all four lanes at once, then push the survivors
+                // far-to-near so the nearest pops first. The scratch is a
+                // fixed-size array with a stable insertion sort — no heap
+                // traffic per visit.
+                let ts = aabb4_intersect(node, ray, t_min, limit);
+                let mut hits = [(NodeId(0), 0.0f32); WIDE_WIDTH];
+                let mut n = 0;
+                for (lane, slot) in ts.iter().enumerate() {
+                    if let Some(t) = *slot {
+                        hits[n] = (NodeId(node.child[lane]), t);
+                        n += 1;
                     }
-                    hits.sort_by(|a, b| b.1.total_cmp(&a.1));
-                    stack.extend(hits);
                 }
+                for i in 1..n {
+                    let key = hits[i];
+                    let mut j = i;
+                    while j > 0 && hits[j - 1].1.total_cmp(&key.1).is_lt() {
+                        hits[j] = hits[j - 1];
+                        j -= 1;
+                    }
+                    hits[j] = key;
+                }
+                stack.extend_from_slice(&hits[..n]);
             }
         }
         best
@@ -476,23 +490,22 @@ impl Bvh {
     /// Used for shadow rays; terminates at the first intersection.
     pub fn occluded(&self, triangles: &[Triangle], ray: &Ray, t_min: f32, t_max: f32) -> bool {
         let mut stack = vec![self.root];
-        if self.node(self.root).bounds().intersect(ray, t_min, t_max).is_none() {
+        if self.root_bounds.intersect(ray, t_min, t_max).is_none() {
             return false;
         }
         while let Some(id) = stack.pop() {
-            match self.node(id) {
-                WideNode::Leaf { first, count, .. } => {
-                    for &prim in self.leaf_prims(*first, *count) {
-                        if triangles[prim as usize].intersect(ray, t_min, t_max).is_some() {
-                            return true;
-                        }
+            let node = self.node(id);
+            if node.is_leaf() {
+                for &prim in self.leaf_prims(node.first, node.count) {
+                    if triangles[prim as usize].intersect(ray, t_min, t_max).is_some() {
+                        return true;
                     }
                 }
-                WideNode::Inner { child_bounds, children, .. } => {
-                    for (cb, c) in child_bounds.iter().zip(children) {
-                        if cb.intersect(ray, t_min, t_max).is_some() {
-                            stack.push(*c);
-                        }
+            } else {
+                let ts = aabb4_intersect(node, ray, t_min, t_max);
+                for (lane, slot) in ts.iter().enumerate() {
+                    if slot.is_some() {
+                        stack.push(NodeId(node.child[lane]));
                     }
                 }
             }
@@ -509,8 +522,8 @@ impl Bvh {
         // 1. Primitive coverage.
         let mut occurrences = vec![0usize; triangles.len()];
         for n in &self.nodes {
-            if let WideNode::Leaf { first, count, .. } = n {
-                for &p in self.leaf_prims(*first, *count) {
+            if n.is_leaf() {
+                for &p in self.leaf_prims(n.first, n.count) {
                     occurrences[p as usize] += 1;
                 }
             }
@@ -526,14 +539,13 @@ impl Bvh {
 
         // 2. Child bounds containment.
         for (i, n) in self.nodes.iter().enumerate() {
-            if let WideNode::Inner { bounds, children, .. } = n {
-                for c in children {
-                    if !bounds.expanded(1e-4).contains_box(&self.node(*c).bounds()) {
-                        return Err(ValidateError::ChildBoundsEscape {
-                            parent: NodeId(i as u32),
-                            child: *c,
-                        });
-                    }
+            let bounds = n.bounds();
+            for c in n.children() {
+                if !bounds.expanded(1e-4).contains_box(&self.node(c).bounds()) {
+                    return Err(ValidateError::ChildBoundsEscape {
+                        parent: NodeId(i as u32),
+                        child: c,
+                    });
                 }
             }
         }

@@ -4,11 +4,12 @@
 //! does, at the level of detail the simulator needs:
 //!
 //! 1. a **binned-SAH BVH2** ([`build2`]) over the scene triangles,
-//! 2. **collapsed into a 4-wide BVH** ([`WideNode`]) — the paper uses a
+//! 2. **collapsed into a 4-wide BVH** ([`Bvh4Node`]) — the paper uses a
 //!    4-wide Embree BVH repacked into the compressed-leaf format of
-//!    Benthin et al.; our wide nodes store the four child boxes inline and
-//!    leaves store their triangles inline, matching that layout's memory
-//!    behaviour,
+//!    Benthin et al.; our flat `#[repr(C)]` SoA nodes store the four child
+//!    boxes inline as `[min_x[4], min_y[4], …]` planes (tested four lanes
+//!    at a time by [`aabb4_intersect`]) and leaves store their triangles
+//!    inline, matching that layout's memory behaviour,
 //! 3. **treelet partitioning** ([`treelet`]) — greedy surface-area-ordered
 //!    growth under a byte budget (default: half the L1, per §5 of the
 //!    paper),
@@ -43,4 +44,4 @@ pub use bvh::{brute_force_intersect, Builder, Bvh, BvhStats, PrimHit, ValidateEr
 pub use config::{BvhConfig, NodeLayout};
 pub use layout::{NodeAddr, NodeId};
 pub use treelet::{TreeletId, TreeletPartition};
-pub use wide::{ChildRef, WideNode};
+pub use wide::{aabb4_intersect, Bvh4Node, INVALID_LANE, WIDE_WIDTH};

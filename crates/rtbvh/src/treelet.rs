@@ -12,7 +12,7 @@
 use std::collections::VecDeque;
 use std::fmt;
 
-use crate::{NodeId, NodeLayout, WideNode};
+use crate::{Bvh4Node, NodeId, NodeLayout};
 
 /// Identifier of a treelet within a [`TreeletPartition`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -96,7 +96,7 @@ impl TreeletPartition {
 /// exceeds the budget still gets assigned (forming an oversized singleton
 /// treelet); this can only happen with pathological leaf sizes.
 pub fn partition(
-    nodes: &[WideNode],
+    nodes: &[Bvh4Node],
     root: NodeId,
     budget_bytes: u32,
     layout: &NodeLayout,
@@ -144,11 +144,9 @@ pub fn partition(
             node_to_treelet[candidate.index()] = tid;
             bytes += nodes[candidate.index()].byte_size(layout);
             members.push(candidate);
-            if let WideNode::Inner { children, .. } = &nodes[candidate.index()] {
-                for c in children {
-                    if node_to_treelet[c.index()] == TreeletId(u32::MAX) {
-                        frontier.push(*c);
-                    }
+            for c in nodes[candidate.index()].children() {
+                if node_to_treelet[c.index()] == TreeletId(u32::MAX) {
+                    frontier.push(c);
                 }
             }
         }
@@ -162,7 +160,7 @@ pub fn partition(
 
 /// Mean BFS depth (entry = 0) of the treelet's members below its entry.
 fn mean_depth_below(
-    nodes: &[WideNode],
+    nodes: &[Bvh4Node],
     entry: NodeId,
     assignment: &[TreeletId],
     tid: TreeletId,
@@ -174,11 +172,9 @@ fn mean_depth_below(
     while let Some((id, depth)) = queue.pop_front() {
         total += depth as u64;
         count += 1;
-        if let WideNode::Inner { children, .. } = &nodes[id.index()] {
-            for c in children {
-                if assignment[c.index()] == tid {
-                    queue.push_back((*c, depth + 1));
-                }
+        for c in nodes[id.index()].children() {
+            if assignment[c.index()] == tid {
+                queue.push_back((c, depth + 1));
             }
         }
     }
@@ -196,7 +192,7 @@ mod tests {
     use rtmath::Vec3;
     use rtscene::{MaterialId, Triangle};
 
-    fn build_wide(n: usize) -> (Vec<WideNode>, NodeId) {
+    fn build_wide(n: usize) -> (Vec<Bvh4Node>, NodeId) {
         let mut tris = Vec::new();
         for i in 0..n {
             for j in 0..n {
@@ -271,10 +267,8 @@ mod tests {
         // Build a parent map.
         let mut parent = vec![None; nodes.len()];
         for (i, n) in nodes.iter().enumerate() {
-            if let WideNode::Inner { children, .. } = n {
-                for c in children {
-                    parent[c.index()] = Some(NodeId(i as u32));
-                }
+            for c in n.children() {
+                parent[c.index()] = Some(NodeId(i as u32));
             }
         }
         for t in p.treelets() {

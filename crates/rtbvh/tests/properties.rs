@@ -73,6 +73,48 @@ proptest! {
     }
 
     #[test]
+    fn flat_bvh4_traversal_is_bit_equal_to_the_oracle(
+        seed in any::<u64>(),
+        count in 1usize..200,
+    ) {
+        // The flattened SoA layout must not change a single result bit:
+        // the winning primitive and its hit distance must match the
+        // brute-force oracle exactly ((prim, t.to_bits()), not within
+        // epsilon), because downstream conformance pins bit equality.
+        let tris = random_soup(seed, count);
+        let bvh = Bvh::build(&tris, &BvhConfig::default());
+        let mut rng = XorShiftRng::new(seed ^ 0x5EED_50A5);
+        for _ in 0..48 {
+            let origin = Vec3::new(
+                rng.range_f32(-80.0, 80.0),
+                rng.range_f32(-80.0, 80.0),
+                rng.range_f32(-80.0, 80.0),
+            );
+            // Mix free-direction and axis-aligned rays so the kernel's
+            // zero-component path is exercised too.
+            let dir = if rng.below(4) == 0 {
+                let s = if rng.below(2) == 0 { 1.0 } else { -1.0 };
+                match rng.below(3) {
+                    0 => Vec3::new(s, 0.0, 0.0),
+                    1 => Vec3::new(0.0, s, 0.0),
+                    _ => Vec3::new(0.0, 0.0, s),
+                }
+            } else {
+                rng.unit_vector()
+            };
+            let ray = Ray::new(origin, dir);
+            let ours = bvh.intersect(&tris, &ray, 1e-3, f32::INFINITY);
+            let oracle = brute_force_intersect(&tris, &ray, 1e-3, f32::INFINITY);
+            prop_assert_eq!(
+                ours.map(|h| (h.prim, h.t.to_bits())),
+                oracle.map(|h| (h.prim, h.t.to_bits())),
+                "flat traversal diverged from oracle for ray {:?}",
+                ray
+            );
+        }
+    }
+
+    #[test]
     fn any_treelet_budget_partitions_all_nodes(
         seed in any::<u64>(),
         budget in 256u32..32_768,
@@ -142,10 +184,8 @@ proptest! {
         // Parent map over the wide tree.
         let mut parent = vec![None; bvh.nodes().len()];
         for (i, n) in bvh.nodes().iter().enumerate() {
-            if let rtbvh::WideNode::Inner { children, .. } = n {
-                for c in children {
-                    parent[c.index()] = Some(rtbvh::NodeId(i as u32));
-                }
+            for c in n.children() {
+                parent[c.index()] = Some(rtbvh::NodeId(i as u32));
             }
         }
         // The tree root is a treelet entry; every other entry's parent is

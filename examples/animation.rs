@@ -62,13 +62,14 @@ fn main() {
         }
         let refit_ok = bvh.validate(scene.triangles()).is_ok();
         let (workload, _) = PathTracer::new(cfg.resolution, cfg.max_bounces).run(&scene, &bvh);
-        let b = Simulator::new(&bvh, scene.triangles(), cfg.gpu).run(&workload);
+        let b = Simulator::new(&bvh, scene.triangles(), cfg.gpu).try_run(&workload).unwrap();
         let v = Simulator::new(
             &bvh,
             scene.triangles(),
             cfg.gpu.with_policy(TraversalPolicy::Vtq(VtqParams::default())),
         )
-        .run(&workload);
+        .try_run(&workload)
+        .unwrap();
         println!(
             "{frame:>6} {:>10.2} {:>12} {:>12} {:>8.2}x {:>10}",
             bvh.sah_cost(),

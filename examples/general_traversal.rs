@@ -43,7 +43,7 @@ fn main() {
         TraversalPolicy::Vtq(VtqParams::default()),
     ] {
         let sim = Simulator::new(&bvh, scene.triangles(), cfg.gpu.with_policy(policy));
-        let r = sim.run(&workload);
+        let r = sim.try_run(&workload).unwrap();
         println!(
             "{:<9} cycles={:>10}  simt={:.3}  l1_bvh_miss={:.3}",
             policy.label(),
