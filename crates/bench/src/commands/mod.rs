@@ -33,6 +33,8 @@ mod reorder;
 mod repro;
 mod scaling;
 mod sensitivity;
+mod serve;
+mod submit;
 mod table1;
 mod table2;
 mod trace;
@@ -142,6 +144,16 @@ pub const ALL: &[Command] = &[
         name: "sensitivity",
         about: "§6.4 SPP / bounce-count sensitivity",
         run: sensitivity::run,
+    },
+    Command {
+        name: "serve",
+        about: "resident sweep daemon: deadlines, quotas, crash recovery",
+        run: serve::run,
+    },
+    Command {
+        name: "submit",
+        about: "submit a sweep to a running daemon and stream progress",
+        run: submit::run,
     },
 ];
 

@@ -106,6 +106,31 @@ pub struct HarnessOpts {
     /// Positional (non-flag) arguments, e.g. the reproducer file for
     /// `vtq-bench repro <file>`.
     pub args: Vec<String>,
+    /// Daemon address: the bind address for `serve`, the target for
+    /// `submit` (`--addr`; default: serve binds an ephemeral local port
+    /// and submit discovers it from `DIR/serve.addr`).
+    pub addr: Option<String>,
+    /// Admission bound on the daemon's job queue (`--max-queue`; serve).
+    pub max_queue: Option<usize>,
+    /// Max queued+running jobs per tenant (`--tenant-quota`; serve).
+    pub tenant_quota: Option<usize>,
+    /// Panic strikes before a cell is quarantined (`--poison-threshold`;
+    /// serve).
+    pub poison_threshold: Option<u32>,
+    /// Honor chaos-injection submit fields (`--chaos`; serve). Off by
+    /// default so a production daemon can never be crashed by request.
+    pub chaos: bool,
+    /// Tenant name for quota accounting (`--tenant`; submit).
+    pub tenant: Option<String>,
+    /// Comma-separated policy labels (`--policies`; submit; default
+    /// `baseline,vtq`).
+    pub policies: Option<String>,
+    /// Per-job wall-clock deadline in milliseconds (`--deadline-ms`;
+    /// submit).
+    pub deadline_ms: Option<u64>,
+    /// Re-run the submitted matrix locally and fail on any divergence
+    /// from the daemon's results (`--verify-local`; submit).
+    pub verify_local: bool,
 }
 
 impl Default for HarnessOpts {
@@ -125,6 +150,15 @@ impl Default for HarnessOpts {
             compare_to: None,
             tolerance: 0.3,
             args: Vec::new(),
+            addr: None,
+            max_queue: None,
+            tenant_quota: None,
+            poison_threshold: None,
+            chaos: false,
+            tenant: None,
+            policies: None,
+            deadline_ms: None,
+            verify_local: false,
         }
     }
 }
@@ -159,7 +193,21 @@ options (all subcommands):
   --compare        (perf) diff the fresh BENCH_<n>.json against the
                    previous baseline; exit 1 on regression
   --compare-to F   (perf) explicit baseline file for --compare
-  --tolerance X    (perf) relative regression band, default 0.3";
+  --tolerance X    (perf) relative regression band, default 0.3
+  --addr A:P       (serve) bind address; (submit) daemon address
+                   (default: ephemeral port, discovered via DIR/serve.addr)
+  --max-queue N    (serve) admission bound on queued jobs, default 16
+  --tenant-quota N (serve) max active jobs per tenant, default 4
+  --poison-threshold N
+                   (serve) panic strikes before a cell is quarantined,
+                   default 2
+  --chaos          (serve) honor chaos-injection submit fields (fault
+                   harness only; never enable in a shared daemon)
+  --tenant NAME    (submit) tenant name for quota accounting
+  --policies A,B   (submit) policy labels to sweep, default baseline,vtq
+  --deadline-ms N  (submit) per-job wall-clock deadline
+  --verify-local   (submit) re-run the matrix locally and fail on any
+                   divergence from the daemon's results";
 
 impl HarnessOpts {
     /// Parses a flag list (everything after the subcommand name).
@@ -283,6 +331,56 @@ impl HarnessOpts {
                         return Err("--tolerance must be a nonnegative number".to_string());
                     }
                     opts.tolerance = tol;
+                }
+                "--addr" => {
+                    i += 1;
+                    opts.addr = Some(args.get(i).ok_or("--addr needs host:port")?.clone());
+                }
+                "--max-queue" => {
+                    i += 1;
+                    opts.max_queue = Some(
+                        args.get(i)
+                            .and_then(|v| v.parse().ok())
+                            .ok_or("--max-queue needs an integer")?,
+                    );
+                }
+                "--tenant-quota" => {
+                    i += 1;
+                    opts.tenant_quota = Some(
+                        args.get(i)
+                            .and_then(|v| v.parse().ok())
+                            .ok_or("--tenant-quota needs an integer")?,
+                    );
+                }
+                "--poison-threshold" => {
+                    i += 1;
+                    opts.poison_threshold = Some(
+                        args.get(i)
+                            .and_then(|v| v.parse().ok())
+                            .ok_or("--poison-threshold needs an integer")?,
+                    );
+                }
+                "--chaos" => {
+                    opts.chaos = true;
+                }
+                "--tenant" => {
+                    i += 1;
+                    opts.tenant = Some(args.get(i).ok_or("--tenant needs a name")?.clone());
+                }
+                "--policies" => {
+                    i += 1;
+                    opts.policies = Some(args.get(i).ok_or("--policies needs a list")?.clone());
+                }
+                "--deadline-ms" => {
+                    i += 1;
+                    opts.deadline_ms = Some(
+                        args.get(i)
+                            .and_then(|v| v.parse().ok())
+                            .ok_or("--deadline-ms needs an integer")?,
+                    );
+                }
+                "--verify-local" => {
+                    opts.verify_local = true;
                 }
                 "--strict-invariants" => {
                     opts.config.gpu = opts
@@ -648,6 +746,8 @@ mod tests {
             "faults",
             "conformance",
             "repro",
+            "serve",
+            "submit",
         ] {
             assert!(commands::find(name).is_some(), "missing subcommand {name}");
         }

@@ -85,8 +85,16 @@ fn main() -> ExitCode {
             return ExitCode::from(EXIT_USAGE);
         }
     };
-    let engine = opts.engine().scoped(cmd.name);
-    if engine.journal().is_some() {
+    // `submit` is a *client* of a daemon whose service directory the
+    // user names on the command line — opening (and truncating) a
+    // journal there would corrupt the live daemon's. It gets a bare
+    // engine; every other command journals under --out/--resume.
+    let engine = if cmd.name == "submit" {
+        vtq::sweep::SweepEngine::new(opts.jobs).scoped(cmd.name)
+    } else {
+        opts.engine().scoped(cmd.name)
+    };
+    if engine.journal().is_some() || cmd.name == "serve" {
         install_sigint_drain();
     }
     if opts.prof {
@@ -107,8 +115,26 @@ fn main() -> ExitCode {
             }
         }
     }
+    // A dropped journal write means journal.jsonl under-records reality:
+    // a --resume would redo those cells. Never exit silently about it.
+    let journal_drops = engine.journal().map(|j| j.drops()).unwrap_or(0);
+    if journal_drops > 0 {
+        eprintln!(
+            "[journal] WARNING: {journal_drops} journal write(s) failed and were dropped; \
+             a --resume run may redo the affected cells"
+        );
+    }
     if vtq::durable::cancel_requested() {
-        eprintln!("[interrupted] sweep drained; journal flushed — rerun with --resume to continue");
+        if journal_drops > 0 {
+            eprintln!(
+                "[interrupted] sweep drained, but the journal is INCOMPLETE \
+                 ({journal_drops} dropped write(s)) — --resume may redo cells"
+            );
+        } else {
+            eprintln!(
+                "[interrupted] sweep drained; journal flushed — rerun with --resume to continue"
+            );
+        }
         return ExitCode::from(EXIT_INTERRUPTED);
     }
     ExitCode::from(code)

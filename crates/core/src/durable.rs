@@ -22,8 +22,9 @@ use std::fmt;
 use std::fs::{File, OpenOptions};
 use std::io::{self, BufWriter, Read as _, Write as _};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use gpusim::{
     AuditMode, GpuConfig, PathTask, Sabotage, SimError, SimReport, Simulator, TraceCall,
@@ -54,6 +55,112 @@ pub fn cancel_requested() -> bool {
 /// Clears a pending cancellation request (tests and multi-phase drivers).
 pub fn reset_cancel() {
     CANCEL.store(false, Ordering::SeqCst);
+}
+
+// ---------------------------------------------------------------------------
+// Per-job cancellation tokens with deadlines
+// ---------------------------------------------------------------------------
+
+/// Sentinel for "no deadline" in [`CancelToken`]'s atomic deadline slot.
+const NO_DEADLINE: u64 = u64::MAX;
+
+#[derive(Debug)]
+struct CancelInner {
+    cancelled: AtomicBool,
+    /// The token's birth instant; the deadline is stored as nanoseconds
+    /// after it so the whole token stays lock-free.
+    epoch: Instant,
+    /// Nanoseconds after `epoch` at which the token auto-cancels;
+    /// [`NO_DEADLINE`] when unset.
+    deadline_ns: AtomicU64,
+}
+
+/// A clonable, per-job cooperative cancellation token with an optional
+/// deadline.
+///
+/// Unlike the process-global [`request_cancel`] flag (which a SIGINT
+/// handler sets to drain *everything*), a token scopes cancellation to
+/// one job: the sweep engine checks its token (if attached via
+/// [`SweepEngine::with_cancel`](crate::sweep::SweepEngine::with_cancel))
+/// at every cell boundary, so a cancelled or deadline-expired job stops
+/// cleanly — in-flight cells drain, unstarted cells journal
+/// `interrupted` — without disturbing other jobs sharing the process.
+///
+/// Checking is a relaxed atomic load plus (with a deadline armed) one
+/// monotonic-clock read; safe to call at any frequency.
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    inner: Arc<CancelInner>,
+}
+
+impl Default for CancelToken {
+    fn default() -> CancelToken {
+        CancelToken::new()
+    }
+}
+
+impl CancelToken {
+    /// A fresh token: not cancelled, no deadline.
+    pub fn new() -> CancelToken {
+        CancelToken {
+            inner: Arc::new(CancelInner {
+                cancelled: AtomicBool::new(false),
+                epoch: Instant::now(),
+                deadline_ns: AtomicU64::new(NO_DEADLINE),
+            }),
+        }
+    }
+
+    /// A token that auto-cancels `deadline` from now.
+    pub fn with_deadline(deadline: Duration) -> CancelToken {
+        let token = CancelToken::new();
+        token.set_deadline(deadline);
+        token
+    }
+
+    /// Arms (or re-arms) the deadline at `deadline` from now.
+    pub fn set_deadline(&self, deadline: Duration) {
+        let from_epoch = self.inner.epoch.elapsed().saturating_add(deadline);
+        let ns = u64::try_from(from_epoch.as_nanos()).unwrap_or(NO_DEADLINE - 1);
+        self.inner.deadline_ns.store(ns.min(NO_DEADLINE - 1), Ordering::SeqCst);
+    }
+
+    /// Cancels the token explicitly. Idempotent.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::SeqCst);
+    }
+
+    /// `true` once [`cancel`](Self::cancel) was called or the deadline
+    /// passed.
+    pub fn is_cancelled(&self) -> bool {
+        if self.inner.cancelled.load(Ordering::SeqCst) {
+            return true;
+        }
+        let deadline = self.inner.deadline_ns.load(Ordering::SeqCst);
+        deadline != NO_DEADLINE && self.inner.epoch.elapsed().as_nanos() as u64 >= deadline
+    }
+
+    /// `true` when the token is cancelled *because its deadline passed*
+    /// (distinguishes "expired" from "cancelled by request" in job
+    /// status reporting). An explicit cancel takes precedence.
+    pub fn deadline_expired(&self) -> bool {
+        if self.inner.cancelled.load(Ordering::SeqCst) {
+            return false;
+        }
+        let deadline = self.inner.deadline_ns.load(Ordering::SeqCst);
+        deadline != NO_DEADLINE && self.inner.epoch.elapsed().as_nanos() as u64 >= deadline
+    }
+
+    /// Time remaining until the deadline; `None` without one, zero when
+    /// already past.
+    pub fn remaining(&self) -> Option<Duration> {
+        let deadline = self.inner.deadline_ns.load(Ordering::SeqCst);
+        if deadline == NO_DEADLINE {
+            return None;
+        }
+        let elapsed = self.inner.epoch.elapsed().as_nanos() as u64;
+        Some(Duration::from_nanos(deadline.saturating_sub(elapsed)))
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -104,6 +211,10 @@ struct JournalInner {
 pub struct SweepJournal {
     path: PathBuf,
     inner: Mutex<JournalInner>,
+    /// Writes that failed and were dropped (full disk, revoked
+    /// permissions): the sweep survives, but resume data is incomplete —
+    /// see [`note_drop`](Self::note_drop).
+    drops: AtomicU64,
 }
 
 impl SweepJournal {
@@ -117,6 +228,7 @@ impl SweepJournal {
         let journal = SweepJournal {
             path,
             inner: Mutex::new(JournalInner { file: BufWriter::new(file), done: HashSet::new() }),
+            drops: AtomicU64::new(0),
         };
         journal.session_header("start")?;
         Ok(journal)
@@ -154,6 +266,7 @@ impl SweepJournal {
         let journal = SweepJournal {
             path,
             inner: Mutex::new(JournalInner { file: BufWriter::new(file), done }),
+            drops: AtomicU64::new(0),
         };
         journal.session_header("resume")?;
         Ok(journal)
@@ -173,6 +286,20 @@ impl SweepJournal {
     /// Number of distinct cells journaled `done`.
     pub fn completed_count(&self) -> usize {
         self.inner.lock().unwrap().done.len()
+    }
+
+    /// Records that one journal write failed and its record was dropped.
+    /// Callers that swallow a [`record`](Self::record) error (a full disk
+    /// must not kill a sweep) call this so the loss stays *visible*: the
+    /// CLI surfaces a nonzero count in the end-of-run summary and on the
+    /// interrupted-exit path instead of silently losing durability.
+    pub fn note_drop(&self) {
+        self.drops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// How many journal writes were dropped (see [`note_drop`](Self::note_drop)).
+    pub fn drops(&self) -> u64 {
+        self.drops.load(Ordering::Relaxed)
     }
 
     /// Appends one cell record and flushes it to disk.
@@ -214,55 +341,9 @@ impl SweepJournal {
     }
 }
 
-/// Quotes `s` as a JSON string, escaping backslash, quote and control
-/// characters (panic payloads can contain anything).
-fn json_quote(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
-
-/// Extracts the string value of `"name":"..."` from a flat JSON line with
-/// an escape-aware scan (values may contain commas and colons, so naive
-/// splitting is not safe here).
-fn json_str_field(line: &str, name: &str) -> Option<String> {
-    let marker = format!("\"{name}\":\"");
-    let start = line.find(&marker)? + marker.len();
-    let mut out = String::new();
-    let mut chars = line[start..].chars();
-    while let Some(c) = chars.next() {
-        match c {
-            '"' => return Some(out),
-            '\\' => match chars.next()? {
-                '"' => out.push('"'),
-                '\\' => out.push('\\'),
-                'n' => out.push('\n'),
-                'r' => out.push('\r'),
-                't' => out.push('\t'),
-                'u' => {
-                    let hex: String = chars.by_ref().take(4).collect();
-                    let code = u32::from_str_radix(&hex, 16).ok()?;
-                    out.push(char::from_u32(code)?);
-                }
-                other => out.push(other),
-            },
-            c => out.push(c),
-        }
-    }
-    None // unterminated string: torn line
-}
+// The flat-JSONL primitives live in [`crate::jsonl`] (shared with the
+// serve protocol); these local names keep the journal/repro code terse.
+use crate::jsonl::{json_quote, json_str_field};
 
 // ---------------------------------------------------------------------------
 // Delta-debugging shrinker
@@ -723,22 +804,8 @@ fn parse_ray_blob(tok: &str) -> Option<TraceCall> {
     Some(TraceCall { ray, t_max: f32::from_bits(bits[9]), anyhit })
 }
 
-/// `"key":value` where value is a bare integer.
-fn field_int<T: std::str::FromStr>(line: &str, name: &str) -> Result<T, String> {
-    let marker = format!("\"{name}\":");
-    let start = line.find(&marker).ok_or_else(|| format!("missing field `{name}`"))? + marker.len();
-    let rest = &line[start..];
-    let end = rest.find([',', '}']).unwrap_or(rest.len());
-    rest[..end]
-        .trim()
-        .parse()
-        .map_err(|_| format!("field `{name}` is not an integer: {}", &rest[..end]))
-}
-
-/// `"key":"value"` via the escape-aware scanner.
-fn field_str(line: &str, name: &str) -> Result<String, String> {
-    json_str_field(line, name).ok_or_else(|| format!("missing field `{name}`"))
-}
+use crate::jsonl::json_int_field as field_int;
+use crate::jsonl::json_str_field_required as field_str;
 
 // ---------------------------------------------------------------------------
 // High-level shrink driver

@@ -1,0 +1,100 @@
+//! Flat-JSONL primitives shared by every hand-rolled exporter/parser in
+//! the workspace (sweep journals, reproducers, the serve protocol).
+//!
+//! The workspace's machine-readable artifacts are all *flat* JSON lines —
+//! one object per line, string/integer values only, no nesting — so the
+//! full generality of a JSON parser is never needed. These helpers are
+//! the closed set of operations the formats use: escape-correct string
+//! quoting and escape-aware field extraction. Centralizing them keeps
+//! the journal, the reproducer format and the `vtq::serve` wire protocol
+//! byte-compatible with each other.
+
+/// Quotes `s` as a JSON string, escaping backslash, quote and control
+/// characters (panic payloads and client input can contain anything).
+pub fn json_quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Extracts the string value of `"name":"..."` from a flat JSON line with
+/// an escape-aware scan (values may contain commas and colons, so naive
+/// splitting is not safe). Returns `None` for a missing field or a torn
+/// (unterminated) value.
+pub fn json_str_field(line: &str, name: &str) -> Option<String> {
+    let marker = format!("\"{name}\":\"");
+    let start = line.find(&marker)? + marker.len();
+    let mut out = String::new();
+    let mut chars = line[start..].chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'u' => {
+                    let hex: String = chars.by_ref().take(4).collect();
+                    let code = u32::from_str_radix(&hex, 16).ok()?;
+                    out.push(char::from_u32(code)?);
+                }
+                other => out.push(other),
+            },
+            c => out.push(c),
+        }
+    }
+    None // unterminated string: torn line
+}
+
+/// `"key":value` where value is a bare integer (or any `FromStr` scalar).
+pub fn json_int_field<T: std::str::FromStr>(line: &str, name: &str) -> Result<T, String> {
+    let marker = format!("\"{name}\":");
+    let start = line.find(&marker).ok_or_else(|| format!("missing field `{name}`"))? + marker.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end]
+        .trim()
+        .parse()
+        .map_err(|_| format!("field `{name}` is not an integer: {}", &rest[..end]))
+}
+
+/// `"key":"value"` via the escape-aware scanner, as a `Result` for
+/// parsers that treat a missing field as an error.
+pub fn json_str_field_required(line: &str, name: &str) -> Result<String, String> {
+    json_str_field(line, name).ok_or_else(|| format!("missing field `{name}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quote_and_scan_round_trip() {
+        let nasty = "a \"b\"\\c\nd\te\u{1} and, colons: too";
+        let line = format!("{{\"k\":{},\"n\":42}}", json_quote(nasty));
+        assert_eq!(json_str_field(&line, "k").as_deref(), Some(nasty));
+        assert_eq!(json_int_field::<u32>(&line, "n").unwrap(), 42);
+        assert_eq!(json_str_field(&line, "missing"), None);
+        assert!(json_int_field::<u32>(&line, "missing").is_err());
+    }
+
+    #[test]
+    fn torn_value_is_none_not_panic() {
+        assert_eq!(json_str_field("{\"k\":\"unterminat", "k"), None);
+        assert_eq!(json_str_field("{\"k\":\"trailing\\", "k"), None);
+    }
+}

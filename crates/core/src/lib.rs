@@ -64,6 +64,7 @@ pub mod durable;
 pub mod experiment;
 pub mod faults;
 pub mod general;
+pub mod jsonl;
 pub mod provenance;
 pub mod reorder;
 pub mod sweep;
@@ -89,8 +90,8 @@ pub mod prelude {
     };
     pub use crate::durable::{
         cancel_requested, request_cancel, reset_cancel, shrink_failure, shrink_workload,
-        CellDisposition, Repro, ShrinkOutcome, ShrinkReport, SweepJournal, JOURNAL_FILE,
-        REPRO_VERSION,
+        CancelToken, CellDisposition, Repro, ShrinkOutcome, ShrinkReport, SweepJournal,
+        JOURNAL_FILE, REPRO_VERSION,
     };
     pub use crate::experiment::{aggregate_stats, export_run, ExperimentConfig, Prepared};
     pub use crate::faults::{
@@ -99,8 +100,8 @@ pub mod prelude {
     };
     pub use crate::provenance::{provenance_line, PROVENANCE_RECORD};
     pub use crate::sweep::{
-        config_fingerprint, default_jobs, Cell, CellError, CellErrorKind, CellResult,
-        PreparedCache, Retried, RunMatrix, SweepEngine,
+        cell_key_fingerprint, config_fingerprint, default_jobs, retry_delay, Cell, CellError,
+        CellErrorKind, CellResult, PreparedCache, Retried, RunMatrix, SweepEngine,
     };
     pub use crate::workload::{Image, PathTracer};
     pub use ::prof;

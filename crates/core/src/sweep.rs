@@ -49,11 +49,12 @@ use std::hash::Hasher as _;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
 
 use gpusim::{SimReport, TraversalPolicy};
 use rtscene::lumibench::SceneId;
 
-use crate::durable::{cancel_requested, CellDisposition, SweepJournal};
+use crate::durable::{cancel_requested, CancelToken, CellDisposition, SweepJournal};
 use crate::experiment::{ExperimentConfig, Prepared};
 
 /// Global progress-line switch set by `vtq-bench --quiet`: suppresses
@@ -101,8 +102,9 @@ pub fn config_fingerprint(cfg: &ExperimentConfig) -> u64 {
 /// Fingerprints one [`Cell`] for journal keys: the config fingerprint
 /// plus the exact policy (parameters included), so ablation cells sharing
 /// a label ("REF/vtq" at nine different [`gpusim::VtqParams`]) journal as
-/// distinct cells.
-fn cell_key_fingerprint(cell: &Cell) -> u64 {
+/// distinct cells. Public because the `vtq-serve` result cache addresses
+/// its entries by `scene + this fingerprint`.
+pub fn cell_key_fingerprint(cell: &Cell) -> u64 {
     let mut hash = Fnv1a::default();
     hash.write(&config_fingerprint(&cell.config).to_le_bytes());
     hash.write(format!("{:?}", cell.policy).as_bytes());
@@ -358,7 +360,10 @@ pub struct Retried<T, E> {
 }
 
 /// Best-effort journal append: a full disk must not kill the sweep, but
-/// the operator should know resume data is incomplete.
+/// the operator must know resume data is incomplete — every dropped
+/// write bumps the journal's drop counter (surfaced in the CLI's
+/// end-of-run summary and interrupted-exit path) and the
+/// [`prof::Counter::JournalWriteDrops`] counter.
 fn journal_write(
     journal: &SweepJournal,
     key: &str,
@@ -367,8 +372,42 @@ fn journal_write(
     detail: &str,
 ) {
     if let Err(e) = journal.record(key, disposition, retries, detail) {
+        journal.note_drop();
+        prof::add(prof::Counter::JournalWriteDrops, 1);
         eprintln!("[journal] write failed for `{key}`: {e}");
     }
+}
+
+/// The deterministic retry delay for `key`'s attempt number `attempt`
+/// (0 = the delay before the first *retry*), under exponential backoff
+/// with seeded "equal jitter": the exponential envelope is
+/// `base * 2^attempt` (capped at 20 doublings) and the delay lands in
+/// `[envelope/2, envelope]`, with the jitter fraction derived from an
+/// FNV-1a hash of the cell key mixed with the attempt index.
+///
+/// Determinism per key is the point: a cell always waits the same
+/// sequence of delays (pinnable in tests, reproducible in forensics),
+/// while *different* cells that fail simultaneously — a fault storm, a
+/// briefly-unavailable resource — spread across the envelope instead of
+/// retrying in lockstep.
+pub fn retry_delay(key: &str, attempt: u32, base: Duration) -> Duration {
+    if base.is_zero() {
+        return Duration::ZERO;
+    }
+    let envelope = base.saturating_mul(1u32.checked_shl(attempt.min(20)).unwrap_or(u32::MAX));
+    let half = envelope / 2;
+    // splitmix64 over the key hash ⊕ attempt: well-mixed, dependency-free.
+    let mut hash = Fnv1a::default();
+    hash.write(key.as_bytes());
+    let mut z = (hash.finish() ^ u64::from(attempt))
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z ^= z >> 30;
+    z = z.wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 27;
+    // Jitter fraction in [0, 1) from the top 53 bits.
+    let fraction = (z >> 11) as f64 / (1u64 << 53) as f64;
+    half + Duration::from_nanos((half.as_nanos() as f64 * fraction) as u64)
 }
 
 fn payload_message(payload: Box<dyn std::any::Any + Send>) -> String {
@@ -401,6 +440,14 @@ pub struct SweepEngine {
     jobs: usize,
     cache: Arc<PreparedCache>,
     journal: Option<Arc<SweepJournal>>,
+    /// Per-job cooperative cancellation: checked at every cell boundary
+    /// alongside the process-global flag, so one job can be cancelled or
+    /// deadline-expired without draining the whole process.
+    cancel: Option<CancelToken>,
+    /// Base delay of the seeded-jitter retry backoff in
+    /// [`run_tasks_retrying`](Self::run_tasks_retrying); zero (the
+    /// default) retries immediately.
+    retry_base: Duration,
     /// Key namespace (typically the CLI subcommand) so identical labels
     /// from different commands never collide in one journal.
     scope: String,
@@ -430,6 +477,8 @@ impl SweepEngine {
             jobs: if jobs == 0 { default_jobs() } else { jobs },
             cache,
             journal: None,
+            cancel: None,
+            retry_base: Duration::ZERO,
             scope: "sweep".to_string(),
             wave: Arc::new(AtomicUsize::new(0)),
         }
@@ -446,6 +495,32 @@ impl SweepEngine {
     /// The attached journal, if any.
     pub fn journal(&self) -> Option<&Arc<SweepJournal>> {
         self.journal.as_ref()
+    }
+
+    /// Attaches a per-job [`CancelToken`]: the engine checks it before
+    /// starting each cell, so a cancelled or deadline-expired token makes
+    /// in-flight cells drain and unstarted cells settle as
+    /// [`CellErrorKind::Interrupted`] (journaled `interrupted` when a
+    /// journal is attached).
+    pub fn with_cancel(mut self, token: CancelToken) -> SweepEngine {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// The attached cancellation token, if any.
+    pub fn cancel_token(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
+    }
+
+    /// Sets the base delay of the retry backoff in
+    /// [`run_tasks_retrying`](Self::run_tasks_retrying): retry `n` of a
+    /// task then sleeps [`retry_delay`]`(key, n, base)` first —
+    /// exponential envelope, seeded per-key jitter — so simultaneous
+    /// failures don't re-arrive in lockstep. The default base of zero
+    /// keeps retries immediate.
+    pub fn with_retry_backoff(mut self, base: Duration) -> SweepEngine {
+        self.retry_base = base;
+        self
     }
 
     /// A clone of this engine whose cell keys live under `scope` (shares
@@ -563,17 +638,30 @@ impl SweepEngine {
         let retry_if = &retry_if;
         let journal = self.journal.clone();
         let scope = self.scope.clone();
+        let retry_base = self.retry_base;
+        let cancel = self.cancel.clone();
         self.run_tasks(
             tasks
                 .into_iter()
                 .map(|(label, f)| {
                     let journal = journal.clone();
+                    let cancel = cancel.clone();
                     let retry_key = format!("{scope}/retry/{label}");
                     let attempt = move || {
                         let mut retries = 0;
                         loop {
                             match f(retries) {
-                                Err(e) if retries < max_retries && retry_if(&e) => retries += 1,
+                                Err(e) if retries < max_retries && retry_if(&e) => {
+                                    // Seeded-jitter backoff: deterministic
+                                    // per key, desynchronized across keys.
+                                    // A cancelled job doesn't sleep.
+                                    let delay = retry_delay(&retry_key, retries, retry_base);
+                                    let cancelled = cancel.as_ref().map(CancelToken::is_cancelled);
+                                    if !delay.is_zero() && cancelled != Some(true) {
+                                        std::thread::sleep(delay);
+                                    }
+                                    retries += 1;
+                                }
                                 result => {
                                     // Make escalated cells visible in the
                                     // journal (informational record; never
@@ -655,15 +743,20 @@ impl SweepEngine {
             slots.push(Mutex::new(Some(task)));
         }
         let journal = self.journal.as_deref();
+        let cancel = self.cancel.as_ref();
         let run_one = |index: usize| -> CellResult<T> {
             let key = keys[index].as_str();
             if journal.map(|j| j.completed(key)).unwrap_or(false) {
                 return Err(CellError::skipped(index, labels[index].clone()));
             }
-            // Cancellation only matters on journaled engines: without a
-            // journal there is nothing durable to drain into (and the CLI
-            // only installs its SIGINT handler when a journal exists).
-            if journal.is_some() && cancel_requested() {
+            // Two cancellation sources compose here: the process-global
+            // flag (SIGINT drain — only meaningful on journaled engines,
+            // since the CLI installs its handler only when a journal
+            // exists) and the engine's per-job token (explicit cancel or
+            // deadline expiry), which applies regardless of journaling.
+            let cancelled = (journal.is_some() && cancel_requested())
+                || cancel.map(CancelToken::is_cancelled).unwrap_or(false);
+            if cancelled {
                 if let Some(j) = journal {
                     journal_write(j, key, CellDisposition::Interrupted, 0, "");
                 }
@@ -841,6 +934,84 @@ mod tests {
         let retried = out[0].as_ref().unwrap();
         assert_eq!(retried.retries, 0);
         assert_eq!(retried.result, Err("fail 0".to_string()));
+    }
+
+    #[test]
+    fn retry_delay_sequence_is_pinned_and_jittered() {
+        let base = Duration::from_millis(10);
+        // Determinism: the same key yields the same sequence, always
+        // inside the equal-jitter band [envelope/2, envelope].
+        let delays: Vec<Duration> =
+            (0..4).map(|a| retry_delay("faults/retry/cell-7", a, base)).collect();
+        assert_eq!(
+            delays,
+            (0..4).map(|a| retry_delay("faults/retry/cell-7", a, base)).collect::<Vec<_>>()
+        );
+        for (attempt, d) in delays.iter().enumerate() {
+            let envelope = base * 2u32.pow(attempt as u32);
+            assert!(
+                *d >= envelope / 2 && *d <= envelope,
+                "attempt {attempt}: {d:?} outside [{:?}, {envelope:?}]",
+                envelope / 2
+            );
+        }
+        // The exponential envelope actually grows.
+        assert!(delays[3] > delays[0], "backoff must escalate: {delays:?}");
+        // Desynchronization: distinct keys land on distinct delays.
+        let other = retry_delay("faults/retry/cell-8", 0, base);
+        assert_ne!(delays[0], other, "keys must not retry in lockstep");
+        // Zero base = immediate retries (the default engine behaviour).
+        assert_eq!(retry_delay("any", 3, Duration::ZERO), Duration::ZERO);
+        // The envelope shift saturates instead of overflowing.
+        let huge = retry_delay("any", u32::MAX, Duration::from_nanos(1));
+        assert!(huge <= Duration::from_nanos(1) * (1 << 20));
+    }
+
+    #[test]
+    fn cancel_token_interrupts_remaining_cells() {
+        let token = CancelToken::new();
+        let engine = SweepEngine::new(1).with_cancel(token.clone());
+        let executed = AtomicUsize::new(0);
+        let tasks: Vec<(String, _)> = (0..5)
+            .map(|i| {
+                let executed = &executed;
+                let token = token.clone();
+                (format!("t{i}"), move || {
+                    executed.fetch_add(1, Ordering::SeqCst);
+                    if i == 1 {
+                        token.cancel();
+                    }
+                    i
+                })
+            })
+            .collect();
+        let out = engine.run_tasks(tasks);
+        assert_eq!(*out[0].as_ref().unwrap(), 0);
+        assert_eq!(*out[1].as_ref().unwrap(), 1, "in-flight cell drains");
+        for r in &out[2..] {
+            assert_eq!(r.as_ref().unwrap_err().kind, CellErrorKind::Interrupted);
+        }
+        assert_eq!(executed.load(Ordering::SeqCst), 2, "cancelled cells never start");
+    }
+
+    #[test]
+    fn cancel_token_deadline_expires() {
+        let token = CancelToken::with_deadline(Duration::ZERO);
+        std::thread::sleep(Duration::from_millis(1));
+        assert!(token.is_cancelled());
+        assert!(token.deadline_expired(), "expiry is distinguishable from explicit cancel");
+        assert_eq!(token.remaining(), Some(Duration::ZERO));
+
+        let token = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert!(!token.is_cancelled());
+        assert!(token.remaining().expect("armed") > Duration::from_secs(3000));
+        token.cancel();
+        assert!(token.is_cancelled());
+        assert!(!token.deadline_expired(), "explicit cancel wins the diagnosis");
+
+        // Tokenless engines and tokens without deadlines never cancel.
+        assert_eq!(CancelToken::new().remaining(), None);
+        assert!(!CancelToken::new().is_cancelled());
     }
 
     #[test]

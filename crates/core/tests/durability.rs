@@ -11,6 +11,10 @@ use std::sync::Arc;
 use gpusim::{PathTask, Sabotage, Workload};
 use vtq::prelude::*;
 
+/// Serializes the tests that drive the process-global cooperative-cancel
+/// flag; without this they would interrupt each other's sweeps.
+static CANCEL_GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
 fn temp_dir(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("vtq-durability-{tag}-{}", std::process::id()));
     fs::remove_dir_all(&dir).ok();
@@ -42,6 +46,7 @@ fn run_cells(
 
 #[test]
 fn interrupted_sweep_resumes_into_the_clean_baseline() {
+    let _gate = CANCEL_GATE.lock().unwrap_or_else(|p| p.into_inner());
     let dir = temp_dir("resume");
     let scenes = [SceneId::Ref, SceneId::Bunny, SceneId::Lands];
     let cfg = tiny_config();
@@ -130,4 +135,105 @@ fn shrinker_reduces_a_sabotaged_failure_to_a_replayable_repro() {
     assert_eq!(parsed.error_kind, "invariant");
     let err = parsed.replay().expect_err("replay reproduces the failure");
     assert_eq!(err.kind(), "invariant");
+}
+
+/// Property-style interleaving test: kill a journaled sweep at a
+/// seeded-random cell boundary, resume, repeat until it completes, and
+/// prove the exactly-once contract — every cell *executed* exactly once
+/// across all lives, and the journal holds exactly one terminal `done`
+/// record per cell key (no loss, no duplicates).
+#[test]
+fn killed_and_resumed_sweeps_settle_each_cell_exactly_once() {
+    let _gate = CANCEL_GATE.lock().unwrap_or_else(|p| p.into_inner());
+    // splitmix64: the repo's standard dependency-free deterministic RNG.
+    fn next(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    let scenes = [SceneId::Ref, SceneId::Bunny, SceneId::Lands];
+    let cfg = ExperimentConfig { resolution: 8, detail_divisor: 64, ..ExperimentConfig::quick() };
+    let mut matrix = RunMatrix::new();
+    for &scene in &scenes {
+        matrix.push(Cell {
+            scene,
+            config: cfg,
+            policy: TraversalPolicy::Baseline,
+            label: scene.name().to_string(),
+        });
+    }
+    let total = matrix.cells().len();
+    // One shared scene cache across every seed and life: the property
+    // under test is journal bookkeeping, not scene preparation.
+    let prepared = Arc::new(PreparedCache::new());
+
+    for seed in 0..20u64 {
+        let mut rng = 0x5eed_0000 ^ (seed.wrapping_mul(0x0123_4567_89ab_cdef));
+        let dir = temp_dir(&format!("interleave-{seed}"));
+        let executions = std::sync::Mutex::new(std::collections::HashMap::<String, usize>::new());
+
+        let mut lives = 0usize;
+        loop {
+            lives += 1;
+            assert!(lives <= total + 2, "seed {seed}: too many lives — cells are being redone");
+            reset_cancel();
+            let journal = Arc::new(if lives == 1 {
+                SweepJournal::start(&dir).expect("journal")
+            } else {
+                SweepJournal::resume(&dir).expect("resume")
+            });
+            let remaining = total - journal.completed_count();
+            // Kill after 1..remaining executions, or 0 = let it finish.
+            let kill =
+                if remaining > 0 { (next(&mut rng) % (remaining as u64 + 1)) as usize } else { 0 };
+            let engine = SweepEngine::with_cache(1, Arc::clone(&prepared))
+                .with_journal(journal)
+                .scoped("interleave");
+            let ran = AtomicUsize::new(0);
+            engine.run_map(&matrix, |cell, _prepared| {
+                *executions.lock().unwrap().entry(cell.label.clone()).or_insert(0) += 1;
+                if ran.fetch_add(1, Ordering::SeqCst) + 1 == kill {
+                    request_cancel();
+                }
+                cell.label.len()
+            });
+            if kill == 0 {
+                break;
+            }
+        }
+        reset_cancel();
+
+        // Exactly-once execution, across every life.
+        let executions = executions.into_inner().unwrap();
+        assert_eq!(executions.len(), total, "seed {seed}: a cell never executed");
+        for (label, count) in &executions {
+            assert_eq!(*count, 1, "seed {seed}: `{label}` executed {count} times");
+        }
+        // Exactly one terminal `done` record per cell key in the journal
+        // file itself — the resume set collapses duplicates, so read the
+        // raw lines.
+        let text = fs::read_to_string(dir.join(JOURNAL_FILE)).expect("journal file");
+        let mut done_counts = std::collections::HashMap::<String, usize>::new();
+        for line in text.lines() {
+            if vtq::jsonl::json_str_field(line, "record").as_deref() != Some("cell") {
+                continue;
+            }
+            if vtq::jsonl::json_str_field(line, "status").as_deref() != Some("done") {
+                continue;
+            }
+            let key = vtq::jsonl::json_str_field(line, "key").expect("done record has a key");
+            *done_counts.entry(key).or_insert(0) += 1;
+        }
+        assert_eq!(done_counts.len(), total, "seed {seed}: lost a done record");
+        for (key, count) in &done_counts {
+            assert_eq!(*count, 1, "seed {seed}: `{key}` journaled done {count} times");
+        }
+        // And a fresh resume agrees the sweep is complete.
+        let journal = SweepJournal::resume(&dir).expect("final resume");
+        assert_eq!(journal.completed_count(), total, "seed {seed}");
+        fs::remove_dir_all(&dir).ok();
+    }
 }

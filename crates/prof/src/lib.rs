@@ -79,11 +79,27 @@ pub enum Counter {
     BvhBuilds,
     /// Rays replayed through the timing-free conformance oracle.
     OracleRays,
+    /// Sweep-journal writes that failed and were dropped (full disk,
+    /// revoked permissions) — silent durability loss made visible.
+    JournalWriteDrops,
+    /// Jobs accepted by the `vtq-serve` admission controller.
+    JobsAccepted,
+    /// Jobs rejected by admission control (queue full or tenant quota).
+    JobsRejected,
+    /// Jobs cancelled by request or by deadline expiry.
+    JobsCancelled,
+    /// Sweep cells quarantined by the poison list (panicked too often).
+    CellsQuarantined,
+    /// Service result-cache hits (cells served without recomputation).
+    ResultCacheHits,
+    /// Progress events dropped because a watcher could not keep up
+    /// (slow-client graceful degradation).
+    EventsDropped,
 }
 
 impl Counter {
     /// Every counter, in report order.
-    pub const ALL: [Counter; 7] = [
+    pub const ALL: [Counter; 14] = [
         Counter::RaysTraced,
         Counter::CyclesSimulated,
         Counter::CellsCompleted,
@@ -91,6 +107,13 @@ impl Counter {
         Counter::PreparedBuilds,
         Counter::BvhBuilds,
         Counter::OracleRays,
+        Counter::JournalWriteDrops,
+        Counter::JobsAccepted,
+        Counter::JobsRejected,
+        Counter::JobsCancelled,
+        Counter::CellsQuarantined,
+        Counter::ResultCacheHits,
+        Counter::EventsDropped,
     ];
 
     /// Stable snake_case name used in reports and JSONL records.
@@ -103,21 +126,22 @@ impl Counter {
             Counter::PreparedBuilds => "prepared_builds",
             Counter::BvhBuilds => "bvh_builds",
             Counter::OracleRays => "oracle_rays",
+            Counter::JournalWriteDrops => "journal_write_drops",
+            Counter::JobsAccepted => "jobs_accepted",
+            Counter::JobsRejected => "jobs_rejected",
+            Counter::JobsCancelled => "jobs_cancelled",
+            Counter::CellsQuarantined => "cells_quarantined",
+            Counter::ResultCacheHits => "result_cache_hits",
+            Counter::EventsDropped => "events_dropped",
         }
     }
 }
 
 const NUM_COUNTERS: usize = Counter::ALL.len();
 
-static COUNTERS: [AtomicU64; NUM_COUNTERS] = [
-    AtomicU64::new(0),
-    AtomicU64::new(0),
-    AtomicU64::new(0),
-    AtomicU64::new(0),
-    AtomicU64::new(0),
-    AtomicU64::new(0),
-    AtomicU64::new(0),
-];
+#[allow(clippy::declare_interior_mutable_const)]
+const COUNTER_ZERO: AtomicU64 = AtomicU64::new(0);
+static COUNTERS: [AtomicU64; NUM_COUNTERS] = [COUNTER_ZERO; NUM_COUNTERS];
 
 /// One span's aggregate: call count, inclusive and exclusive time.
 #[derive(Debug, Default, Clone, Copy)]

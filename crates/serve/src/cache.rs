@@ -1,0 +1,149 @@
+//! The persistent, content-addressed result cache.
+//!
+//! Every finished cell is stored as `cache/{SCENE}-{fingerprint:016x}.jsonl`
+//! under the service directory, where the fingerprint is the engine's
+//! [`vtq::sweep::cell_key_fingerprint`] — config fingerprint plus exact
+//! policy parameters. Content addressing is what makes the daemon's crash
+//! recovery honest: a resubmitted job after a `kill -9` re-runs only the
+//! cells whose entries are missing, and identical submissions from
+//! different tenants share work byte-for-byte.
+//!
+//! Each entry is two lines: the workspace provenance header (carrying the
+//! cell's *config* fingerprint, so skew between daemon builds is
+//! detectable) and one `cell_result` record. Entries are written to a
+//! temp file and renamed into place, so a crash mid-write leaves no torn
+//! entry — the cell simply reruns.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use vtq::jsonl::json_str_field;
+use vtq::provenance::{is_provenance_line, provenance_line};
+
+use crate::proto::CellRecord;
+
+/// Subdirectory of the service dir holding cache entries.
+pub const CACHE_DIR: &str = "cache";
+
+/// A directory-backed result cache. Cheap to construct; all state is on
+/// disk.
+#[derive(Debug, Clone)]
+pub struct ResultCache {
+    dir: PathBuf,
+}
+
+impl ResultCache {
+    /// Opens (creating if needed) the cache under `service_dir/cache`.
+    pub fn open(service_dir: &Path) -> io::Result<ResultCache> {
+        let dir = service_dir.join(CACHE_DIR);
+        fs::create_dir_all(&dir)?;
+        Ok(ResultCache { dir })
+    }
+
+    /// The cache key for a `(scene, cell fingerprint)` pair.
+    pub fn key(scene: &str, fingerprint: u64) -> String {
+        format!("{scene}-{fingerprint:016x}")
+    }
+
+    fn entry_path(&self, key: &str) -> PathBuf {
+        self.dir.join(format!("{key}.jsonl"))
+    }
+
+    /// Loads the entry for `key`, verifying its provenance header: an
+    /// entry whose header names a different crate version or config
+    /// fingerprint than the record claims is treated as absent (and the
+    /// mismatch reported), never served.
+    pub fn load(&self, key: &str, config_fingerprint: u64) -> Option<CellRecord> {
+        let text = fs::read_to_string(self.entry_path(key)).ok()?;
+        let mut lines = text.lines();
+        let header = lines.next()?;
+        if !is_provenance_line(header) {
+            eprintln!("[cache] {key}: entry lacks a provenance header; ignoring");
+            return None;
+        }
+        // The header's config fingerprint must match the configuration
+        // the *caller* is about to run — a daemon restarted with a
+        // different base config must not serve stale results.
+        let stamped = json_str_field(header, "config_fingerprint")
+            .and_then(|fp| u64::from_str_radix(fp.trim_start_matches("0x"), 16).ok());
+        if stamped != Some(config_fingerprint) {
+            eprintln!(
+                "[cache] {key}: provenance fingerprint {stamped:?} != expected \
+                 {config_fingerprint:#018x}; ignoring entry"
+            );
+            return None;
+        }
+        let record = lines.next().and_then(CellRecord::parse)?;
+        prof::add(prof::Counter::ResultCacheHits, 1);
+        Some(record)
+    }
+
+    /// Stores `record` under `key` atomically (temp file + rename). The
+    /// provenance header carries `config_fingerprint` for skew detection
+    /// on load.
+    pub fn store(&self, key: &str, config_fingerprint: u64, record: &CellRecord) -> io::Result<()> {
+        let body =
+            format!("{}\n{}\n", provenance_line(Some(config_fingerprint), None), record.to_line());
+        let tmp = self.dir.join(format!(".{key}.tmp"));
+        fs::write(&tmp, body)?;
+        fs::rename(&tmp, self.entry_path(key))
+    }
+
+    /// Number of entries on disk (diagnostics).
+    pub fn len(&self) -> usize {
+        fs::read_dir(&self.dir)
+            .map(|entries| {
+                entries
+                    .flatten()
+                    .filter(|e| e.path().extension().is_some_and(|x| x == "jsonl"))
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> CellRecord {
+        CellRecord {
+            scene: "REF".into(),
+            label: "REF/baseline".into(),
+            fingerprint: 0xfeed,
+            cycles: 100,
+            rays: 64,
+            box_tests: 5,
+            tri_tests: 3,
+        }
+    }
+
+    #[test]
+    fn store_load_round_trip_checks_provenance() {
+        let dir = std::env::temp_dir().join(format!("vtq-cache-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let cache = ResultCache::open(&dir).unwrap();
+        assert!(cache.is_empty());
+
+        let key = ResultCache::key("REF", 0xfeed);
+        assert_eq!(cache.load(&key, 0xc0ffee), None, "miss before store");
+        cache.store(&key, 0xc0ffee, &record()).unwrap();
+        assert_eq!(cache.load(&key, 0xc0ffee), Some(record()));
+        assert_eq!(cache.len(), 1);
+
+        // A different expected config fingerprint must refuse the entry.
+        assert_eq!(cache.load(&key, 0xbad), None, "provenance skew rejected");
+
+        // A torn entry (crash mid-write would leave only a temp file,
+        // but simulate corruption directly) is a miss, not a panic.
+        fs::write(dir.join(CACHE_DIR).join(format!("{key}.jsonl")), "{\"rec").unwrap();
+        assert_eq!(cache.load(&key, 0xc0ffee), None);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
