@@ -16,7 +16,8 @@ use gpusim::{SimReport, TraversalMode, TraversalPolicy, VtqParams};
 use rtscene::lumibench::SceneId;
 use vtq::analytical;
 use vtq::experiment::{
-    aggregate_stats, free_virtualization_params, grouped_params, naive_params, repack_params,
+    aggregate_stats, figpolicies_sweep, free_virtualization_params, grouped_params, naive_params,
+    repack_params, PolicyFigRow,
 };
 use vtq::prelude::{RunMatrix, SweepEngine};
 
@@ -120,6 +121,21 @@ pub fn run(opts: &HarnessOpts, engine: &SweepEngine) -> u8 {
         });
     }
 
+    // Third wave: the policy-experiment figure (ray-path prediction +
+    // quantized nodes). Its quantized cells carry a different BVH config,
+    // so they cannot share the main matrix; the wide cells still hit the
+    // hot prepared cache.
+    let policy_rows: Vec<PolicyFigRow> = figpolicies_sweep(engine, &opts.scenes, &opts.config)
+        .into_iter()
+        .filter_map(|r| match r {
+            Ok(row) => Some(row),
+            Err(e) => {
+                eprintln!("[sweep] {e}");
+                None
+            }
+        })
+        .collect();
+
     // Artifacts persist in scene order after all runs complete, so
     // metrics.jsonl line order never depends on worker scheduling.
     for r in &results {
@@ -129,7 +145,7 @@ pub fn run(opts: &HarnessOpts, engine: &SweepEngine) -> u8 {
         opts.persist(&format!("{scene}/vtq"), &r.vtq);
     }
 
-    print_report(&results);
+    print_report(&results, &policy_rows);
     eprintln!(
         "done. ({} scenes prepared, {} cells simulated)",
         engine.cache().builds(),
@@ -138,7 +154,7 @@ pub fn run(opts: &HarnessOpts, engine: &SweepEngine) -> u8 {
     crate::EXIT_OK
 }
 
-fn print_report(results: &[SceneResults]) {
+fn print_report(results: &[SceneResults], policy_rows: &[PolicyFigRow]) {
     println!("# Measured results (all figures)\n");
 
     println!("## Table 2 — scenes\n");
@@ -316,6 +332,34 @@ fn print_report(results: &[SceneResults]) {
         );
     }
     println!("| **mean** | **{:.3}** | | **{:.1}%** |", mean(&ratios), mean(&fracs) * 100.0);
+
+    println!("\n## Policy experiments — ray-path prediction & quantized nodes\n");
+    println!("| scene | predict speedup | predict hit rate | qnode speedup | qnode BVH traffic |");
+    println!("|---|---|---|---|---|");
+    let mut pred_sp = Vec::new();
+    let mut qn_sp = Vec::new();
+    let mut qn_tr = Vec::new();
+    for r in policy_rows {
+        pred_sp.push(r.predict_speedup());
+        qn_sp.push(r.qnode_speedup());
+        qn_tr.push(r.qnode_traffic_ratio());
+        println!(
+            "| {} | {:.2}x | {:.1}% | {:.2}x | {:.2}x |",
+            r.scene,
+            r.predict_speedup(),
+            r.predict_hit_rate * 100.0,
+            r.qnode_speedup(),
+            r.qnode_traffic_ratio()
+        );
+    }
+    if !pred_sp.is_empty() {
+        println!(
+            "| **geomean** | **{:.2}x** | | **{:.2}x** | **{:.2}x** |",
+            geomean(&pred_sp),
+            geomean(&qn_sp),
+            geomean(&qn_tr)
+        );
+    }
 
     println!("\n## RT-unit stall attribution (VTQ, aggregated over scenes)\n");
     let agg = aggregate_stats(results.iter().map(|r| &r.vtq));

@@ -35,7 +35,7 @@ pub fn run(opts: &HarnessOpts, engine: &SweepEngine) -> u8 {
     eprintln!(
         "[conformance] differential: {} scenes x {} policies ({} jobs)",
         opts.scenes.len(),
-        vtq::conformance::conformance_policies().len(),
+        vtq::conformance::conformance_presets().len(),
         engine.jobs()
     );
     let report = run_differential(engine, &opts.scenes, &opts.config);

@@ -1,0 +1,59 @@
+//! Policy-experiment comparison figure: hash-based ray-path prediction
+//! and quantized BVH4 nodes vs the wide-node baseline, per scene. Both
+//! presets are oracle-proven (see `vtq-bench conformance`); this figure
+//! reports what they buy — cycles, prediction hit rate, and BVH DRAM
+//! traffic for the compressed node layout.
+
+use vtq::experiment;
+use vtq::prelude::SweepEngine;
+
+use crate::{geomean, header, ok_rows, row, HarnessOpts};
+
+pub fn run(opts: &HarnessOpts, engine: &SweepEngine) -> u8 {
+    let rows = ok_rows(experiment::figpolicies_sweep(engine, &opts.scenes, &opts.config));
+    header(&[
+        "scene",
+        "base_cyc",
+        "pred_cyc",
+        "qnode_cyc",
+        "pred_speedup",
+        "pred_hit",
+        "qnode_speedup",
+        "qnode_traffic",
+    ]);
+    let mut pred_speedups = Vec::new();
+    let mut qnode_speedups = Vec::new();
+    let mut traffic_ratios = Vec::new();
+    for r in &rows {
+        pred_speedups.push(r.predict_speedup());
+        qnode_speedups.push(r.qnode_speedup());
+        traffic_ratios.push(r.qnode_traffic_ratio());
+        row(
+            r.scene.name(),
+            &[
+                r.baseline_cycles.to_string(),
+                r.predict_cycles.to_string(),
+                r.qnode_cycles.to_string(),
+                format!("{:.2}x", r.predict_speedup()),
+                format!("{:.1}%", r.predict_hit_rate * 100.0),
+                format!("{:.2}x", r.qnode_speedup()),
+                format!("{:.2}x", r.qnode_traffic_ratio()),
+            ],
+        );
+    }
+    if !pred_speedups.is_empty() {
+        row(
+            "GEOMEAN",
+            &[
+                String::new(),
+                String::new(),
+                String::new(),
+                format!("{:.2}x", geomean(&pred_speedups)),
+                String::new(),
+                format!("{:.2}x", geomean(&qnode_speedups)),
+                format!("{:.2}x", geomean(&traffic_ratios)),
+            ],
+        );
+    }
+    crate::EXIT_OK
+}

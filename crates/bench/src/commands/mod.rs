@@ -27,6 +27,7 @@ mod fig14;
 mod fig15;
 mod fig16;
 mod fig17;
+mod figpolicies;
 mod nee;
 mod perf;
 mod reorder;
@@ -97,6 +98,11 @@ pub const ALL: &[Command] = &[
     },
     Command { name: "fig16", about: "Figure 16: ray virtualization overhead", run: fig16::run },
     Command { name: "fig17", about: "Figure 17: energy vs baseline", run: fig17::run },
+    Command {
+        name: "figpolicies",
+        about: "ray-path prediction + quantized nodes vs baseline",
+        run: figpolicies::run,
+    },
     Command { name: "area", about: "§6.5 storage overheads", run: area::run },
     Command {
         name: "trace",

@@ -9,8 +9,10 @@
 //! The suite has two halves:
 //!
 //! * **micro** — isolated hot substrates: 4-wide AABB slab tests,
-//!   treelet-queue push/pop, `HwQueueTable` insert/lookup, the L1 cache
-//!   access path, and the functional oracle's BVH traversal,
+//!   treelet-queue push/pop, `HwQueueTable` insert/lookup, ray-path
+//!   prediction-table lookups (present and absent keys), quantized-node
+//!   decode, the L1 cache access path, and the functional oracle's BVH
+//!   traversal,
 //! * **macro** — whole simulation cells (scene × traversal policy) run
 //!   through the same `Prepared` path the figures use.
 //!
@@ -38,8 +40,8 @@ use std::time::Instant;
 use gpumem::{Assoc, Cache, CacheConfig};
 use gpusim::hw_table::HwQueueTable;
 use gpusim::queues::TreeletQueues;
-use gpusim::{RayId, TRACE_T_MIN};
-use rtbvh::{aabb4_intersect, Bvh4Node, NodeId, TreeletId};
+use gpusim::{predict_key, PredictTable, RayId, TRACE_T_MIN};
+use rtbvh::{aabb4_intersect, quantize, Bvh4Node, NodeId, TreeletId};
 use rtmath::Aabb;
 use vtq::prelude::*;
 
@@ -242,6 +244,43 @@ fn micro_suite(prepared: &Prepared, trials: u64, warmup: u64) -> Vec<BenchEntry>
             let addr = (i % 128) * 64;
             std::hint::black_box(lookup_table.push(addr));
             std::hint::black_box(lookup_table.pop(addr));
+        }
+    });
+
+    // -- Ray-path prediction table: cuckoo lookup on present/absent keys --
+    let scene_bounds = prepared.bvh.root_bounds();
+    let predict_keys: Vec<u64> = (0..256u32)
+        .map(|i| {
+            let ray = prepared.scene.camera().primary_ray(i % 16, i / 16, 16, 16, None);
+            predict_key(&scene_bounds, &ray, 6, 5)
+        })
+        .collect();
+    let mut predict_table = PredictTable::new(256);
+    for &key in &predict_keys {
+        predict_table.train(key, NodeId(1));
+    }
+    const PREDICT_OPS: u64 = 4096;
+    bench("predict/hit", PREDICT_OPS, &mut || {
+        for i in 0..PREDICT_OPS {
+            let key = predict_keys[i as usize % predict_keys.len()];
+            std::hint::black_box(predict_table.lookup(std::hint::black_box(key)));
+        }
+    });
+    bench("predict/miss", PREDICT_OPS, &mut || {
+        for i in 0..PREDICT_OPS {
+            // Scrambled keys the table was never trained on.
+            let key = i.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1 << 63;
+            std::hint::black_box(predict_table.lookup(std::hint::black_box(key)));
+        }
+    });
+
+    // -- Quantized-node decode: u8 child bounds -> conservative Bvh4Node --
+    let qnodes = quantize(prepared.bvh.nodes(), prepared.bvh.root());
+    const DECODE_ITERS: u64 = 4096;
+    bench("qnode/decode", DECODE_ITERS, &mut || {
+        for i in 0..DECODE_ITERS {
+            let qnode = &qnodes[i as usize % qnodes.len()];
+            std::hint::black_box(std::hint::black_box(qnode).decode());
         }
     });
 

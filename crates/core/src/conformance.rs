@@ -11,8 +11,9 @@
 //!    using only [`rtbvh::Bvh::intersect`] / [`rtbvh::Bvh::occluded`] with
 //!    the simulator's [`gpusim::TRACE_T_MIN`] epsilon.
 //! 2. **Differential runner** ([`run_differential`]) — for every scene ×
-//!    every traversal policy (baseline, prefetch, VTQ and its grouping /
-//!    repacking / virtualization variants), extracts the per-ray
+//!    every preset (baseline, prefetch, VTQ and its grouping / repacking /
+//!    virtualization variants, ray-path prediction, and the
+//!    quantized-node BVH build), extracts the per-ray
 //!    [`PrimHit`] records via [`gpusim::Simulator::try_run_with_hits`] and
 //!    asserts **bit-equal** `(prim, t)` agreement with the oracle for
 //!    closest-hit queries (hit-vs-miss agreement for anyhit queries,
@@ -35,15 +36,18 @@ use std::fs;
 use std::io::Write as _;
 use std::path::Path;
 
-use gpusim::{HitCapture, PathTask, TraceCall, TraversalPolicy, VtqParams, Workload, TRACE_T_MIN};
-use rtbvh::{Bvh, PrimHit};
+use gpusim::{
+    HitCapture, PathTask, PredictParams, TraceCall, TraversalPolicy, VtqParams, Workload,
+    TRACE_T_MIN,
+};
+use rtbvh::{Bvh, NodeFormat, PrimHit};
 use rtscene::lumibench::SceneId;
 use rtscene::Triangle;
 
 use crate::experiment::{
-    always_stationary_params, fig10_sweep, fig13_sweep, fig14_15_sweep, free_virtualization_params,
-    grouped_params, naive_params, repack_params, ExperimentConfig, Fig10Row, Fig13Row,
-    ModeBreakdownRow,
+    always_stationary_params, fig10_sweep, fig13_sweep, fig14_15_sweep, figpolicies_sweep,
+    free_virtualization_params, grouped_params, naive_params, quantized_config, repack_params,
+    ExperimentConfig, Fig10Row, Fig13Row, ModeBreakdownRow, PolicyFigRow,
 };
 use crate::sweep::{config_fingerprint, Cell, CellResult, RunMatrix, SweepEngine};
 
@@ -137,7 +141,7 @@ pub struct Equivalence {
 pub struct Divergence {
     /// Scene under comparison.
     pub scene: SceneId,
-    /// Policy label (see [`conformance_policies`]).
+    /// Preset label (see [`conformance_presets`]).
     pub policy: String,
     /// Workload task (pixel × sample) index.
     pub task: usize,
@@ -244,23 +248,65 @@ pub fn compare_hits(
 // Differential runner (scene × policy sweep)
 // ---------------------------------------------------------------------------
 
-/// The labelled policy matrix every scene is checked under: the paper's
-/// three headline architectures plus the grouping, repacking and
-/// virtualization variants the figures sweep — each exercises a different
-/// scheduling order that must leave functional results untouched.
-pub fn conformance_policies() -> Vec<(&'static str, TraversalPolicy)> {
+/// One labelled conformance preset: the traversal policy a cell runs
+/// under, plus the BVH node format its scene is built with. Every preset
+/// is checked against the *wide-node* oracle: policies may only change
+/// traversal order, and quantized nodes only conservatively inflate
+/// interior bounds (a superset of leaves visited; triangle tests are
+/// exact and ties break identically), so closest-hit `(prim, t)` answers
+/// must stay bit-equal either way.
+#[derive(Debug, Clone, Copy)]
+pub struct ConformancePreset {
+    /// Stable label (`baseline`, `vtq-repack-8`, `predict`, `qnode`, ...).
+    pub label: &'static str,
+    /// Traversal architecture.
+    pub policy: TraversalPolicy,
+    /// BVH interior-node format the scene is built under.
+    pub node_format: NodeFormat,
+}
+
+impl ConformancePreset {
+    fn wide(label: &'static str, policy: TraversalPolicy) -> ConformancePreset {
+        ConformancePreset { label, policy, node_format: NodeFormat::Wide }
+    }
+
+    /// The cell configuration this preset runs under: `base` with the
+    /// preset's node format applied.
+    pub fn config(&self, base: &ExperimentConfig) -> ExperimentConfig {
+        match self.node_format {
+            NodeFormat::Wide => *base,
+            NodeFormat::Quantized => quantized_config(base),
+        }
+    }
+}
+
+/// The labelled preset matrix every scene is checked under: the paper's
+/// three headline architectures, the grouping / repacking /
+/// virtualization variants the figures sweep, ray-path prediction, and
+/// the quantized-node build — each exercises a different scheduling
+/// order or node encoding that must leave functional results untouched.
+pub fn conformance_presets() -> Vec<ConformancePreset> {
     vec![
-        ("baseline", TraversalPolicy::Baseline),
-        ("prefetch", TraversalPolicy::TreeletPrefetch),
-        ("vtq", TraversalPolicy::Vtq(VtqParams::default())),
-        ("vtq-naive", TraversalPolicy::Vtq(naive_params())),
-        ("vtq-grouped-32", TraversalPolicy::Vtq(grouped_params(32))),
-        ("vtq-grouped-64", TraversalPolicy::Vtq(grouped_params(64))),
-        ("vtq-repack-8", TraversalPolicy::Vtq(repack_params(8))),
-        ("vtq-repack-16", TraversalPolicy::Vtq(repack_params(16))),
-        ("vtq-repack-24", TraversalPolicy::Vtq(repack_params(24))),
-        ("vtq-stationary", TraversalPolicy::Vtq(always_stationary_params())),
-        ("vtq-free-virt", TraversalPolicy::Vtq(free_virtualization_params())),
+        ConformancePreset::wide("baseline", TraversalPolicy::Baseline),
+        ConformancePreset::wide("prefetch", TraversalPolicy::TreeletPrefetch),
+        ConformancePreset::wide("vtq", TraversalPolicy::Vtq(VtqParams::default())),
+        ConformancePreset::wide("vtq-naive", TraversalPolicy::Vtq(naive_params())),
+        ConformancePreset::wide("vtq-grouped-32", TraversalPolicy::Vtq(grouped_params(32))),
+        ConformancePreset::wide("vtq-grouped-64", TraversalPolicy::Vtq(grouped_params(64))),
+        ConformancePreset::wide("vtq-repack-8", TraversalPolicy::Vtq(repack_params(8))),
+        ConformancePreset::wide("vtq-repack-16", TraversalPolicy::Vtq(repack_params(16))),
+        ConformancePreset::wide("vtq-repack-24", TraversalPolicy::Vtq(repack_params(24))),
+        ConformancePreset::wide("vtq-stationary", TraversalPolicy::Vtq(always_stationary_params())),
+        ConformancePreset::wide(
+            "vtq-free-virt",
+            TraversalPolicy::Vtq(free_virtualization_params()),
+        ),
+        ConformancePreset::wide("predict", TraversalPolicy::Predict(PredictParams::default())),
+        ConformancePreset {
+            label: "qnode",
+            policy: TraversalPolicy::Baseline,
+            node_format: NodeFormat::Quantized,
+        },
     ]
 }
 
@@ -289,7 +335,7 @@ pub struct ConformanceCell {
 /// Every scene × policy verdict of one differential run, in matrix order.
 #[derive(Debug, Clone, Default)]
 pub struct ConformanceReport {
-    /// Per-cell verdicts (scene-major, [`conformance_policies`] order).
+    /// Per-cell verdicts (scene-major, [`conformance_presets`] order).
     pub cells: Vec<ConformanceCell>,
 }
 
@@ -336,15 +382,15 @@ pub fn run_differential(
 
     // Phase 2: scene × policy simulations with hit capture, compared
     // against the scene's oracle inside the worker.
-    let policies = conformance_policies();
+    let presets = conformance_presets();
     let mut matrix = RunMatrix::new();
     for &scene in scenes {
-        for (label, policy) in &policies {
+        for preset in &presets {
             matrix.push(Cell {
                 scene,
-                config: *cfg,
-                policy: *policy,
-                label: format!("{}/{label}", scene.name()),
+                config: preset.config(cfg),
+                policy: preset.policy,
+                label: format!("{}/{}", scene.name(), preset.label),
             });
         }
     }
@@ -374,12 +420,12 @@ pub fn run_differential(
     let mut cells = Vec::with_capacity(matrix.len());
     let mut it = verdicts.into_iter();
     for &scene in scenes {
-        for (label, _) in &policies {
+        for preset in &presets {
             let verdict = match it.next().expect("one verdict per cell") {
                 Ok(v) => v,
                 Err(e) => CellVerdict::Error(e.to_string()),
             };
-            cells.push(ConformanceCell { scene, policy: label, verdict });
+            cells.push(ConformanceCell { scene, policy: preset.label, verdict });
         }
     }
     ConformanceReport { cells }
@@ -505,6 +551,36 @@ pub fn golden_fig13(cfg: &ExperimentConfig, rows: &[Fig13Row]) -> GoldenFigure {
     }
 }
 
+/// Policy-experiment snapshot: per-scene prediction and quantized-node
+/// speedups, prediction hit rate and the quantized-over-wide BVH DRAM
+/// traffic ratio, plus their aggregates.
+pub fn golden_figpolicies(cfg: &ExperimentConfig, rows: &[PolicyFigRow]) -> GoldenFigure {
+    let mut entries = Vec::new();
+    for r in rows {
+        let scene = r.scene.name();
+        entries.push(rel(format!("scene/{scene}/predict_speedup"), r.predict_speedup()));
+        entries.push(rel(format!("scene/{scene}/qnode_speedup"), r.qnode_speedup()));
+        entries.push(abs(format!("scene/{scene}/predict_hit_rate"), r.predict_hit_rate));
+        entries.push(rel(format!("scene/{scene}/qnode_traffic_ratio"), r.qnode_traffic_ratio()));
+    }
+    if !rows.is_empty() {
+        let predict: Vec<f64> = rows.iter().map(PolicyFigRow::predict_speedup).collect();
+        let qnode: Vec<f64> = rows.iter().map(PolicyFigRow::qnode_speedup).collect();
+        let traffic: Vec<f64> = rows.iter().map(PolicyFigRow::qnode_traffic_ratio).collect();
+        let hit: Vec<f64> = rows.iter().map(|r| r.predict_hit_rate).collect();
+        entries.push(rel("agg/geomean_predict_speedup".into(), geomean(&predict)));
+        entries.push(rel("agg/geomean_qnode_speedup".into(), geomean(&qnode)));
+        entries.push(rel("agg/geomean_qnode_traffic_ratio".into(), geomean(&traffic)));
+        entries.push(abs("agg/mean_predict_hit_rate".into(), mean(&hit)));
+    }
+    GoldenFigure {
+        figure: "figpolicies".into(),
+        fingerprint: config_fingerprint(cfg),
+        scenes: rows.iter().map(|r| r.scene.name().to_string()).collect(),
+        entries,
+    }
+}
+
 /// Figures 14/15 snapshots: per-scene and mean per-mode cycle fractions
 /// (`fig14`) and intersection-test shares (`fig15`).
 pub fn golden_fig14_15(
@@ -535,10 +611,11 @@ pub fn golden_fig14_15(
     (build("fig14", &|r| r.cycle_fractions), build("fig15", &|r| r.isect_fractions))
 }
 
-/// Computes the current golden figures for Figures 10/13/14/15 by running
-/// the underlying sweeps (repack thresholds 8/16/22/24, matching the
-/// `fig13` subcommand). Failed sweep cells are dropped with a stderr
-/// notice, mirroring the harness convention.
+/// Computes the current golden figures for Figures 10/13/14/15 plus the
+/// policy-experiment figure by running the underlying sweeps (repack
+/// thresholds 8/16/22/24, matching the `fig13` subcommand). Failed sweep
+/// cells are dropped with a stderr notice, mirroring the harness
+/// convention.
 pub fn current_goldens(
     engine: &SweepEngine,
     scenes: &[SceneId],
@@ -559,8 +636,9 @@ pub fn current_goldens(
     let f10 = keep_ok("fig10", fig10_sweep(engine, scenes, cfg));
     let f13 = keep_ok("fig13", fig13_sweep(engine, scenes, cfg, &[8, 16, 22, 24]));
     let f1415 = keep_ok("fig14/15", fig14_15_sweep(engine, scenes, cfg));
+    let fpol = keep_ok("figpolicies", figpolicies_sweep(engine, scenes, cfg));
     let (g14, g15) = golden_fig14_15(cfg, &f1415);
-    vec![golden_fig10(cfg, &f10), golden_fig13(cfg, &f13), g14, g15]
+    vec![golden_fig10(cfg, &f10), golden_fig13(cfg, &f13), g14, g15, golden_figpolicies(cfg, &fpol)]
 }
 
 // ---------------------------------------------------------------------------
@@ -845,6 +923,87 @@ mod tests {
         let eq = compare_hits(SceneId::Bunny, "baseline", &p.workload, &oracle, &capture)
             .unwrap_or_else(|d| panic!("{d}"));
         assert_eq!(eq.anyhit_calls, anyhit);
+    }
+
+    #[test]
+    fn prediction_misses_fall_back_to_full_traversal() {
+        let cfg = tiny_cfg();
+        let p = Prepared::build(SceneId::Bunny, &cfg);
+        let oracle = oracle_run(&p.bvh, p.scene.triangles(), &p.workload);
+        // A 1-entry table thrashes, so almost every lookup misses; the
+        // predict-miss path must fall back to full traversal and stay
+        // bit-equal to the oracle.
+        let params = PredictParams { table_entries: 1, ..Default::default() };
+        let (report, capture) =
+            p.try_run_policy_with_hits(TraversalPolicy::Predict(params)).expect("runs");
+        assert!(report.stats.predict_lookups > 0, "prediction never consulted");
+        let eq = compare_hits(SceneId::Bunny, "predict-miss", &p.workload, &oracle, &capture)
+            .unwrap_or_else(|d| panic!("{d}"));
+        assert_eq!(eq.calls_checked, p.workload.total_rays());
+    }
+
+    #[test]
+    fn trusted_predictions_are_caught_by_the_oracle() {
+        // The sabotage hook: `trust_predictions` skips the real traversal
+        // whenever the table predicts, which is intentionally unsound.
+        // With very coarse quantization the table predicts constantly and
+        // wrongly — the differential harness must catch it, proving a
+        // bad prediction cannot slip through the oracle.
+        let cfg = tiny_cfg();
+        let p = Prepared::build(SceneId::Bunny, &cfg);
+        let oracle = oracle_run(&p.bvh, p.scene.triangles(), &p.workload);
+        let params = PredictParams {
+            origin_bits: 1,
+            dir_bits: 1,
+            trust_predictions: true,
+            ..Default::default()
+        };
+        let (report, capture) =
+            p.try_run_policy_with_hits(TraversalPolicy::Predict(params)).expect("runs");
+        assert!(
+            report.stats.predict_hits > 0,
+            "sabotage needs the table to actually predict ({} lookups)",
+            report.stats.predict_lookups
+        );
+        let d = compare_hits(SceneId::Bunny, "predict-trusted", &p.workload, &oracle, &capture)
+            .expect_err("trusted (unverified) predictions must diverge from the oracle");
+        assert_eq!(d.policy, "predict-trusted");
+    }
+
+    #[test]
+    fn quantized_nodes_agree_with_wide_oracle() {
+        let cfg = tiny_cfg();
+        let wide = Prepared::build(SceneId::Bunny, &cfg);
+        let oracle = oracle_run(&wide.bvh, wide.scene.triangles(), &wide.workload);
+        // The quantized build decodes to conservative superset bounds:
+        // extra interior visits are allowed, missed leaves are not, so
+        // closest hits match the wide oracle bit for bit.
+        let q = Prepared::build(SceneId::Bunny, &quantized_config(&cfg));
+        let (_, capture) = q.try_run_policy_with_hits(TraversalPolicy::Baseline).expect("runs");
+        let eq = compare_hits(SceneId::Bunny, "qnode", &q.workload, &oracle, &capture)
+            .unwrap_or_else(|d| panic!("{d}"));
+        assert_eq!(eq.calls_checked, wide.workload.total_rays());
+        assert!(eq.hits > 0, "bunny rays must hit something");
+    }
+
+    #[test]
+    fn preset_matrix_covers_the_new_policies() {
+        let presets = conformance_presets();
+        assert_eq!(presets.len(), 13);
+        let labels: Vec<&str> = presets.iter().map(|p| p.label).collect();
+        assert!(labels.contains(&"predict"));
+        assert!(labels.contains(&"qnode"));
+        // qnode is the only preset that changes the BVH build, and its
+        // config override must survive into the cell configuration.
+        let base = tiny_cfg();
+        for p in &presets {
+            let expect = match p.label {
+                "qnode" => NodeFormat::Quantized,
+                _ => NodeFormat::Wide,
+            };
+            assert_eq!(p.node_format, expect, "preset {}", p.label);
+            assert_eq!(p.config(&base).bvh.node_format, expect, "preset {}", p.label);
+        }
     }
 
     #[test]

@@ -13,10 +13,10 @@ use std::path::Path;
 use gpumem::{AccessKind, WindowPoint};
 use gpusim::export::{metrics_json, series_csv, stall_csv};
 use gpusim::{
-    GpuConfig, HitCapture, SimError, SimReport, SimStats, Simulator, TraceSink, TraversalMode,
-    TraversalPolicy, VtqParams, Workload,
+    GpuConfig, HitCapture, PredictParams, SimError, SimReport, SimStats, Simulator, TraceSink,
+    TraversalMode, TraversalPolicy, VtqParams, Workload,
 };
-use rtbvh::{Bvh, BvhConfig};
+use rtbvh::{Bvh, BvhConfig, NodeFormat};
 use rtscene::lumibench::{self, SceneId};
 use rtscene::Scene;
 
@@ -749,6 +749,110 @@ pub fn fig17_sweep(
     engine.run_grid(scenes, cfg, &fig17_policies(), fig17_from_reports)
 }
 
+/// The same experiment with the BVH rebuilt under quantized
+/// ([`rtbvh::QBvh4Node`]) interior nodes: a distinct prepared-scene cache
+/// key, so quantized cells coexist with wide cells in one sweep.
+pub fn quantized_config(cfg: &ExperimentConfig) -> ExperimentConfig {
+    let mut q = *cfg;
+    q.bvh.node_format = NodeFormat::Quantized;
+    q
+}
+
+/// Policy-experiment figure: ray-path prediction and quantized nodes
+/// against the shared baseline, per scene.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PolicyFigRow {
+    /// Scene.
+    pub scene: SceneId,
+    /// Baseline cycles (wide nodes, no prediction).
+    pub baseline_cycles: u64,
+    /// Cycles under [`TraversalPolicy::Predict`] with default parameters.
+    pub predict_cycles: u64,
+    /// Baseline cycles with the BVH rebuilt under quantized nodes.
+    pub qnode_cycles: u64,
+    /// Prediction-table hit rate of the predict run.
+    pub predict_hit_rate: f64,
+    /// BVH lines fetched from DRAM under wide nodes.
+    pub wide_bvh_dram_lines: u64,
+    /// BVH lines fetched from DRAM under quantized nodes.
+    pub qnode_bvh_dram_lines: u64,
+}
+
+impl PolicyFigRow {
+    /// Prediction speedup over the baseline (< 1 = the lookup latency
+    /// cost exceeded the traversal saved).
+    pub fn predict_speedup(&self) -> f64 {
+        self.baseline_cycles as f64 / self.predict_cycles as f64
+    }
+
+    /// Quantized-node speedup over the wide baseline.
+    pub fn qnode_speedup(&self) -> f64 {
+        self.baseline_cycles as f64 / self.qnode_cycles as f64
+    }
+
+    /// Quantized-over-wide BVH DRAM traffic ratio (< 1 = the smaller
+    /// nodes cut memory traffic).
+    pub fn qnode_traffic_ratio(&self) -> f64 {
+        self.qnode_bvh_dram_lines as f64 / self.wide_bvh_dram_lines.max(1) as f64
+    }
+}
+
+/// Assembles a policy-figure row from the three per-scene reports, in
+/// [`figpolicies_sweep`] cell order (baseline, predict, qnode).
+pub fn figpolicies_from_reports(scene: SceneId, reports: &[SimReport]) -> PolicyFigRow {
+    PolicyFigRow {
+        scene,
+        baseline_cycles: reports[0].stats.cycles,
+        predict_cycles: reports[1].stats.cycles,
+        qnode_cycles: reports[2].stats.cycles,
+        predict_hit_rate: reports[1].stats.predict_hit_rate(),
+        wide_bvh_dram_lines: reports[0].mem.kind(AccessKind::Bvh).dram,
+        qnode_bvh_dram_lines: reports[2].mem.kind(AccessKind::Bvh).dram,
+    }
+}
+
+/// The policy-experiment figure across `scenes`: per scene, the wide
+/// baseline, wide + ray-path prediction, and the quantized-node baseline
+/// (a per-cell [`quantized_config`] override — the only figure whose
+/// cells differ in *BVH build*, not just traversal policy).
+pub fn figpolicies_sweep(
+    engine: &SweepEngine,
+    scenes: &[SceneId],
+    cfg: &ExperimentConfig,
+) -> Vec<CellResult<PolicyFigRow>> {
+    use crate::sweep::{Cell, RunMatrix};
+    let qcfg = quantized_config(cfg);
+    let mut matrix = RunMatrix::new();
+    for &scene in scenes {
+        matrix.add(scene, cfg, TraversalPolicy::Baseline);
+        matrix.add(scene, cfg, TraversalPolicy::Predict(PredictParams::default()));
+        matrix.push(Cell {
+            scene,
+            config: qcfg,
+            policy: TraversalPolicy::Baseline,
+            label: format!("{}/qnode", scene.name()),
+        });
+    }
+    let mut results = engine.run(&matrix).into_iter();
+    scenes
+        .iter()
+        .map(|&scene| {
+            let mut reports = Vec::with_capacity(3);
+            let mut failure = None;
+            for _ in 0..3 {
+                match results.next().expect("three cells per scene") {
+                    Ok(report) => reports.push(report),
+                    Err(e) => failure = failure.or(Some(e)),
+                }
+            }
+            match failure {
+                Some(e) => Err(e),
+                None => Ok(figpolicies_from_reports(scene, &reports)),
+            }
+        })
+        .collect()
+}
+
 /// Table 2 row: scene statistics, ours vs the paper's.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Table2Row {
@@ -920,6 +1024,27 @@ mod tests {
         let metrics = std::fs::read_to_string(dir.join("metrics.jsonl")).expect("metrics 2");
         assert_eq!(metrics.lines().count(), 2);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn figpolicies_rows_are_consistent() {
+        let engine = SweepEngine::new(2);
+        let mut cfg = ExperimentConfig::quick();
+        cfg.resolution = 32;
+        let rows = figpolicies_sweep(&engine, &[SceneId::Ref], &cfg);
+        let row = rows[0].as_ref().expect("sweep runs");
+        assert!(row.predict_speedup() > 0.0);
+        assert!(row.qnode_speedup() > 0.0);
+        assert!((0.0..=1.0).contains(&row.predict_hit_rate));
+        assert!(row.wide_bvh_dram_lines > 0, "BVH never touched DRAM");
+        assert!(row.qnode_bvh_dram_lines > 0);
+        // Quantized interior nodes are smaller than wide ones, so the BVH
+        // working set shrinks; traffic must not balloon.
+        assert!(
+            row.qnode_traffic_ratio() < 1.5,
+            "quantized traffic ratio {:.2} out of band",
+            row.qnode_traffic_ratio()
+        );
     }
 
     #[test]

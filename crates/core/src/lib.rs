@@ -84,9 +84,10 @@ pub mod prelude {
     pub use crate::analytical::{analytical_speedups, RayTrace};
     pub use crate::area::AreaModel;
     pub use crate::conformance::{
-        check_golden, compare_hits, conformance_policies, current_goldens, oracle_run,
-        run_differential, write_golden, CellVerdict, ConformanceCell, ConformanceReport,
-        Divergence, Equivalence, GoldenEntry, GoldenFigure, GoldenOutcome, OracleAnswer, OracleRun,
+        check_golden, compare_hits, conformance_presets, current_goldens, oracle_run,
+        run_differential, write_golden, CellVerdict, ConformanceCell, ConformancePreset,
+        ConformanceReport, Divergence, Equivalence, GoldenEntry, GoldenFigure, GoldenOutcome,
+        OracleAnswer, OracleRun,
     };
     pub use crate::durable::{
         cancel_requested, request_cancel, reset_cancel, shrink_failure, shrink_workload,
@@ -108,11 +109,11 @@ pub mod prelude {
     pub use gpumem::{AccessKind, MemFaults};
     pub use gpusim::{
         AuditMode, ConfigError, CountingSink, ForensicsSnapshot, GpuConfig, GpuConfigBuilder,
-        InvariantViolation, RingSink, SimError, SimReport, SimStats, Simulator, SmSnapshot,
-        StallBreakdown, StallKind, TraceEvent, TraceSink, TraversalMode, TraversalPolicy,
-        VtqParams, VtqParamsBuilder, Workload, DEFAULT_AUDIT_INTERVAL,
+        InvariantViolation, PredictParams, RingSink, SimError, SimReport, SimStats, Simulator,
+        SmSnapshot, StallBreakdown, StallKind, TraceEvent, TraceSink, TraversalMode,
+        TraversalPolicy, VtqParams, VtqParamsBuilder, Workload, DEFAULT_AUDIT_INTERVAL,
     };
-    pub use rtbvh::{Bvh, BvhConfig};
+    pub use rtbvh::{Bvh, BvhConfig, NodeFormat};
     pub use rtscene::lumibench::{self, SceneId};
     pub use rtscene::Scene;
 }

@@ -11,7 +11,7 @@
 use std::fs;
 use std::path::PathBuf;
 
-use vtq::experiment::{self, export_run, ExperimentConfig};
+use vtq::experiment::{self, export_run, quantized_config, ExperimentConfig};
 use vtq::prelude::*;
 
 fn cfg() -> ExperimentConfig {
@@ -22,16 +22,31 @@ fn cfg() -> ExperimentConfig {
 
 const SCENES: [SceneId; 2] = [SceneId::Lands, SceneId::Wknd];
 
-/// Runs the scene × policy grid on `jobs` workers and exports every
-/// report's artifacts (in matrix order) to a fresh directory.
+/// Runs the scene × policy grid (baseline, VTQ, ray-path prediction, plus
+/// a quantized-node cell with its own per-cell config) on `jobs` workers
+/// and exports every report's artifacts (in matrix order) to a fresh
+/// directory.
 fn run_and_export(jobs: usize, dir: &PathBuf) -> Vec<gpusim::SimReport> {
     let engine = SweepEngine::new(jobs);
     let mut matrix = RunMatrix::new();
     matrix.cross(
         &SCENES,
         &cfg(),
-        &[TraversalPolicy::Baseline, TraversalPolicy::Vtq(VtqParams::default())],
+        &[
+            TraversalPolicy::Baseline,
+            TraversalPolicy::Vtq(VtqParams::default()),
+            TraversalPolicy::Predict(PredictParams::default()),
+        ],
     );
+    let qcfg = quantized_config(&cfg());
+    for scene in SCENES {
+        matrix.push(Cell {
+            scene,
+            config: qcfg,
+            policy: TraversalPolicy::Baseline,
+            label: format!("{}/qnode", scene.name()),
+        });
+    }
     let reports: Vec<gpusim::SimReport> =
         engine.run(&matrix).into_iter().map(|r| r.expect("no cell should fail")).collect();
     let _ = fs::remove_dir_all(dir);
@@ -48,13 +63,20 @@ fn sweep_is_bit_identical_across_job_counts() {
     let serial = run_and_export(1, &dir1);
     let parallel = run_and_export(4, &dir4);
 
-    // Simulation results match cell for cell.
+    // Simulation results match cell for cell — including the prediction
+    // counters, which must not depend on worker scheduling.
     assert_eq!(serial.len(), parallel.len());
     for (s, p) in serial.iter().zip(&parallel) {
         assert_eq!(s.stats.cycles, p.stats.cycles);
         assert_eq!(s.stats.stall, p.stats.stall);
+        assert_eq!(s.stats.predict_lookups, p.stats.predict_lookups);
+        assert_eq!(s.stats.predict_hits, p.stats.predict_hits);
         assert_eq!(s.hits, p.hits);
     }
+    assert!(
+        serial.iter().any(|r| r.stats.predict_lookups > 0),
+        "the predict cells must actually exercise the prediction table"
+    );
 
     // Exported artifacts (stall CSVs, series CSVs, metrics.jsonl — the
     // JSONL line order depends only on matrix order) match byte for byte.

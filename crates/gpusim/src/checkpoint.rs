@@ -27,12 +27,15 @@ use gpumem::{
 use crate::export::{flat_str, flat_u64, parse_flat_line, ParseError};
 use crate::hw_table::QueueTableStats;
 use crate::observe::{SamplePoint, StallBreakdown, StallKind};
+use crate::predict::PredictTableStats;
 use crate::ray::{RayTraversalState, StackEntry};
 use crate::{GpuConfig, SimStats};
 
 /// Format version written into every checkpoint header; bumped on any
 /// schema change so stale snapshots are rejected instead of misread.
-pub const CHECKPOINT_VERSION: u32 = 1;
+/// Version 2 added the ray-path prediction table (per-unit buckets +
+/// stats, per-ray `best_node`) and the predict counters in `ckpt_stats`.
+pub const CHECKPOINT_VERSION: u32 = 2;
 
 /// Fingerprint of a [`GpuConfig`] (FNV-1a over its debug form), stored in
 /// the checkpoint header so a resume against a different configuration is
@@ -105,6 +108,10 @@ pub(crate) struct RtUnitState {
     pub hw_buckets: Vec<Vec<(u64, u32)>>,
     pub hw_live: u32,
     pub hw_stats: QueueTableStats,
+    /// Prediction-table buckets as `(key, leaf)`, in-bucket insertion
+    /// order preserved (it determines eviction behaviour).
+    pub predict_buckets: Vec<Vec<(u64, u32)>>,
+    pub predict_stats: PredictTableStats,
     /// Encoded [`TraversalMode`](crate::TraversalMode) of the last
     /// installed warp.
     pub last_mode: Option<u8>,
@@ -125,6 +132,8 @@ impl RtUnitState {
             hw_buckets: Vec::new(),
             hw_live: 0,
             hw_stats: QueueTableStats::default(),
+            predict_buckets: Vec::new(),
+            predict_stats: PredictTableStats::default(),
             last_mode: None,
         }
     }
@@ -230,7 +239,9 @@ impl Checkpoint {
              \"cta_resumes\":{},\"cta_state_bytes\":{},\"peak_rays_in_flight\":{},\
              \"prefetches_issued\":{},\"prefetch_lines\":{},\"prefetch_lines_used\":{},\
              \"rays_completed\":{},\"queue_table_max_chain\":{},\
-             \"queue_table_peak_entries\":{},\"queue_table_overflows\":{}}}",
+             \"queue_table_peak_entries\":{},\"queue_table_overflows\":{},\
+             \"predict_lookups\":{},\"predict_hits\":{},\"predict_inserts\":{},\
+             \"predict_evictions\":{}}}",
             s.cycles,
             s.active_lane_steps,
             s.total_lane_steps,
@@ -253,6 +264,10 @@ impl Checkpoint {
             s.queue_table_max_chain,
             s.queue_table_peak_entries,
             s.queue_table_overflows,
+            s.predict_lookups,
+            s.predict_hits,
+            s.predict_inserts,
+            s.predict_evictions,
         );
         for (sm, b) in s.stall.iter().enumerate() {
             let _ = writeln!(o, "{{\"record\":\"ckpt_stall\",\"sm\":{sm},{}}}", stall_fields(b));
@@ -292,8 +307,8 @@ impl Checkpoint {
                 o,
                 "{{\"record\":\"ckpt_ray\",\"id\":{},\"origin\":\"{}\",\"dir\":\"{}\",\
                  \"inv_dir\":\"{}\",\"treelet\":{},\"cur_stack\":\"{}\",\"tre_stack\":\"{}\",\
-                 \"best\":\"{}\",\"t_min\":{},\"t_max\":{},\"limit\":{},\"anyhit\":{},\
-                 \"nodes\":{},\"cta\":{},\"task\":{},\"bounce\":{},\"sm\":{}}}",
+                 \"best\":\"{}\",\"best_node\":\"{}\",\"t_min\":{},\"t_max\":{},\"limit\":{},\
+                 \"anyhit\":{},\"nodes\":{},\"cta\":{},\"task\":{},\"bounce\":{},\"sm\":{}}}",
                 t.id,
                 join(t.origin_bits.iter()),
                 join(t.dir_bits.iter()),
@@ -302,6 +317,7 @@ impl Checkpoint {
                 join_pairs(t.current_stack.iter().map(|e| (e.node as u64, e.t_bits as u64))),
                 join_pairs(t.treelet_stack.iter().map(|e| (e.node as u64, e.t_bits as u64))),
                 opt_pair(t.best.map(|(a, b)| (a as u64, b as u64))),
+                opt_tok(t.best_node),
                 t.t_min_bits,
                 t.t_max_bits,
                 t.limit_bits,
@@ -329,7 +345,8 @@ impl Checkpoint {
                  \"preloaded\":\"{}\",\"last_prefetch_at\":{},\"rays_in_flight\":{},\
                  \"last_mode\":\"{}\",\"queue_total\":{},\"hw_live\":{},\"hw_max_chain\":{},\
                  \"hw_peak\":{},\"hw_overflows\":{},\"hw_inserts\":{},\"hw_buckets\":{},\
-                 \"slots\":{}}}",
+                 \"pt_lookups\":{},\"pt_hits\":{},\"pt_inserts\":{},\"pt_evictions\":{},\
+                 \"pt_buckets\":{},\"slots\":{}}}",
                 opt_tok(u.current_queue),
                 opt_tok(u.preloaded),
                 u.last_prefetch_at,
@@ -342,6 +359,11 @@ impl Checkpoint {
                 u.hw_stats.overflows,
                 u.hw_stats.inserts,
                 u.hw_buckets.len(),
+                u.predict_stats.lookups,
+                u.predict_stats.hits,
+                u.predict_stats.inserts,
+                u.predict_stats.evictions,
+                u.predict_buckets.len(),
                 u.slots.len(),
             );
             for (arrive, rays) in &u.incoming {
@@ -384,6 +406,17 @@ impl Checkpoint {
                     "{{\"record\":\"ckpt_hw\",\"sm\":{sm},\"bucket\":{bucket},\
                      \"entries\":\"{}\"}}",
                     join_pairs(entries.iter().map(|&(t, r)| (t, r as u64)))
+                );
+            }
+            for (bucket, entries) in u.predict_buckets.iter().enumerate() {
+                if entries.is_empty() {
+                    continue;
+                }
+                let _ = writeln!(
+                    o,
+                    "{{\"record\":\"ckpt_pt\",\"sm\":{sm},\"bucket\":{bucket},\
+                     \"entries\":\"{}\"}}",
+                    join_pairs(entries.iter().map(|&(k, n)| (k, n as u64)))
                 );
             }
             if !u.prefetched.is_empty() {
@@ -610,6 +643,10 @@ impl Checkpoint {
                     s.queue_table_max_chain = u("queue_table_max_chain")? as u32;
                     s.queue_table_peak_entries = u("queue_table_peak_entries")? as u32;
                     s.queue_table_overflows = u("queue_table_overflows")?;
+                    s.predict_lookups = u("predict_lookups")?;
+                    s.predict_hits = u("predict_hits")?;
+                    s.predict_inserts = u("predict_inserts")?;
+                    s.predict_evictions = u("predict_evictions")?;
                 }
                 "ckpt_stall" => {
                     let sm = u("sm")? as usize;
@@ -674,6 +711,9 @@ impl Checkpoint {
                             best: parse_opt_pair(flat_str(&p, "best").map_err(&at)?)
                                 .map_err(&at)?
                                 .map(|(a, b)| (a as u32, b as u32)),
+                            best_node: parse_opt_u64(flat_str(&p, "best_node").map_err(&at)?)
+                                .map_err(&at)?
+                                .map(|v| v as u32),
                             t_min_bits: u("t_min")? as u32,
                             t_max_bits: u("t_max")? as u32,
                             limit_bits: u("limit")? as u32,
@@ -722,14 +762,23 @@ impl Checkpoint {
                         overflows: u("hw_overflows")?,
                         inserts: u("hw_inserts")?,
                     };
+                    unit.predict_stats = PredictTableStats {
+                        lookups: u("pt_lookups")?,
+                        hits: u("pt_hits")?,
+                        inserts: u("pt_inserts")?,
+                        evictions: u("pt_evictions")?,
+                    };
                     let buckets = u("hw_buckets")? as usize;
+                    let pt_buckets = u("pt_buckets")? as usize;
                     let slots = u("slots")? as usize;
-                    if buckets > 1 << 24 || slots > 1 << 16 {
+                    if buckets > 1 << 24 || pt_buckets > 1 << 24 || slots > 1 << 16 {
                         return Err(at(format!(
-                            "implausible RT-unit geometry: {buckets} buckets, {slots} slots"
+                            "implausible RT-unit geometry: {buckets} buckets, \
+                             {pt_buckets} predict buckets, {slots} slots"
                         )));
                     }
                     unit.hw_buckets = vec![Vec::new(); buckets];
+                    unit.predict_buckets = vec![Vec::new(); pt_buckets];
                     unit.slots = vec![None; slots];
                 }
                 "ckpt_inc" => {
@@ -787,6 +836,23 @@ impl Checkpoint {
                             .map_err(&at)?
                             .into_iter()
                             .map(|(t, r)| (t, r as u32))
+                            .collect();
+                }
+                "ckpt_pt" => {
+                    let sm = sm_of("sm")?;
+                    let bucket = u("bucket")? as usize;
+                    if bucket >= ckpt.rt[sm].predict_buckets.len() {
+                        return Err(at(format!(
+                            "predict bucket {bucket} out of range ({} buckets; is ckpt_rt \
+                             missing?)",
+                            ckpt.rt[sm].predict_buckets.len()
+                        )));
+                    }
+                    ckpt.rt[sm].predict_buckets[bucket] =
+                        parse_pair_list(flat_str(&p, "entries").map_err(&at)?)
+                            .map_err(&at)?
+                            .into_iter()
+                            .map(|(k, n)| (k, n as u32))
                             .collect();
                 }
                 "ckpt_pref" => {

@@ -187,6 +187,123 @@ impl VtqParamsBuilder {
     }
 }
 
+/// Parameters of the hash-based ray-path prediction policy (after
+/// Demoullin, Gubran & Aamodt — see PAPERS.md).
+///
+/// Each RT unit carries a small hash table keyed by the *quantized* ray
+/// origin and direction. On a table hit the predicted leaf is pushed onto
+/// the ray's traversal stack before the root, so coherent rays test the
+/// likely-hit leaf first and the front-to-back `t` limit prunes most of
+/// the interior traversal they would otherwise pay for. A miss falls back
+/// to full traversal unchanged, and every completed ray trains the table
+/// with the leaf its closest hit came from. Speculation is *verified*:
+/// the predicted leaf only tightens the search interval early, so the
+/// closest-hit result stays bit-equal to the baseline (the conformance
+/// oracle pins this across the scene suite).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PredictParams {
+    /// Hardware capacity of the per-RT-unit prediction table.
+    pub table_entries: usize,
+    /// Quantization bits per origin axis of the hash key.
+    pub origin_bits: u32,
+    /// Quantization bits per direction axis of the hash key.
+    pub dir_bits: u32,
+    /// Cycles a warp spends in the prediction-table lookup before it
+    /// enters the RT unit's warp buffer.
+    pub lookup_latency: u32,
+    /// Test hook: *trust* predictions instead of verifying them — a hit
+    /// ray traverses only the predicted leaf. This deliberately breaks
+    /// the closest-hit contract on mispredictions; the conformance oracle
+    /// must catch it (and the sabotage test proves it does). Never set
+    /// outside tests.
+    #[doc(hidden)]
+    pub trust_predictions: bool,
+}
+
+impl Default for PredictParams {
+    fn default() -> PredictParams {
+        PredictParams {
+            table_entries: 256,
+            origin_bits: 6,
+            dir_bits: 5,
+            lookup_latency: 2,
+            trust_predictions: false,
+        }
+    }
+}
+
+impl PredictParams {
+    /// A validating builder starting from the defaults.
+    pub fn builder() -> PredictParamsBuilder {
+        PredictParamsBuilder { params: PredictParams::default() }
+    }
+
+    /// Checks internal consistency; [`PredictParamsBuilder::build`] calls
+    /// this, and [`GpuConfigBuilder::build`] re-checks it for hand-rolled
+    /// parameter structs.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.table_entries == 0 {
+            return Err(ConfigError::new("table_entries must be at least 1"));
+        }
+        if self.origin_bits == 0 || self.dir_bits == 0 {
+            return Err(ConfigError::new(
+                "origin_bits and dir_bits must be at least 1 (a 0-bit key maps every ray to \
+                 one entry)",
+            ));
+        }
+        if 3 * (self.origin_bits + self.dir_bits) > 60 {
+            return Err(ConfigError::new(format!(
+                "3 * (origin_bits {} + dir_bits {}) exceeds the 60-bit key budget",
+                self.origin_bits, self.dir_bits
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Validating builder for [`PredictParams`]; see [`PredictParams::builder`].
+#[derive(Debug, Clone)]
+pub struct PredictParamsBuilder {
+    params: PredictParams,
+}
+
+impl PredictParamsBuilder {
+    /// Sets the prediction-table capacity.
+    pub fn table_entries(mut self, entries: usize) -> Self {
+        self.params.table_entries = entries;
+        self
+    }
+
+    /// Sets the origin quantization bits per axis.
+    pub fn origin_bits(mut self, bits: u32) -> Self {
+        self.params.origin_bits = bits;
+        self
+    }
+
+    /// Sets the direction quantization bits per axis.
+    pub fn dir_bits(mut self, bits: u32) -> Self {
+        self.params.dir_bits = bits;
+        self
+    }
+
+    /// Sets the lookup latency in cycles.
+    pub fn lookup_latency(mut self, cycles: u32) -> Self {
+        self.params.lookup_latency = cycles;
+        self
+    }
+
+    /// Validates and returns the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] for degenerate settings (zero capacity or
+    /// quantization bits, keys wider than 60 bits).
+    pub fn build(self) -> Result<PredictParams, ConfigError> {
+        self.params.validate()?;
+        Ok(self.params)
+    }
+}
+
 /// Audit interval used by [`AuditMode::Auto`] when the auditor is active
 /// and by the CLI's `--strict-invariants` flag.
 pub const DEFAULT_AUDIT_INTERVAL: u64 = 4096;
@@ -244,6 +361,11 @@ pub enum TraversalPolicy {
     /// The paper's contribution: ray virtualization + dynamic treelet
     /// queues + grouping underpopulated queues + warp repacking.
     Vtq(VtqParams),
+    /// Baseline plus hash-based ray-path prediction (Demoullin, Gubran &
+    /// Aamodt, PAPERS.md): a per-RT-unit hash table predicts the hit leaf
+    /// for coherent rays, which then test it first and prune most interior
+    /// traversal; mispredictions fall back to full traversal.
+    Predict(PredictParams),
 }
 
 impl TraversalPolicy {
@@ -253,6 +375,7 @@ impl TraversalPolicy {
             TraversalPolicy::Baseline => "baseline",
             TraversalPolicy::TreeletPrefetch => "prefetch",
             TraversalPolicy::Vtq(_) => "vtq",
+            TraversalPolicy::Predict(_) => "predict",
         }
     }
 }
@@ -443,6 +566,9 @@ impl GpuConfig {
                 )));
             }
         }
+        if let TraversalPolicy::Predict(params) = &self.policy {
+            params.validate()?;
+        }
         Ok(())
     }
 }
@@ -610,6 +736,22 @@ mod tests {
         assert_eq!(TraversalPolicy::Baseline.label(), "baseline");
         assert_eq!(TraversalPolicy::TreeletPrefetch.label(), "prefetch");
         assert_eq!(TraversalPolicy::Vtq(VtqParams::default()).label(), "vtq");
+        assert_eq!(TraversalPolicy::Predict(PredictParams::default()).label(), "predict");
+    }
+
+    #[test]
+    fn predict_builder_rejects_degenerate_keys() {
+        assert_eq!(PredictParams::builder().build().unwrap(), PredictParams::default());
+        assert!(PredictParams::builder().table_entries(0).build().is_err());
+        assert!(PredictParams::builder().origin_bits(0).build().is_err());
+        assert!(PredictParams::builder().dir_bits(0).build().is_err());
+        let err = PredictParams::builder().origin_bits(12).dir_bits(10).build().unwrap_err();
+        assert!(err.to_string().contains("60-bit key budget"), "got: {err}");
+        // The GPU builder re-validates hand-rolled params.
+        let bogus = PredictParams { table_entries: 0, ..Default::default() };
+        assert!(GpuConfig::builder().policy(TraversalPolicy::Predict(bogus)).build().is_err());
+        let fine = PredictParams::default();
+        assert!(GpuConfig::builder().policy(TraversalPolicy::Predict(fine)).build().is_ok());
     }
 
     #[test]

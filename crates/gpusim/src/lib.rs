@@ -51,6 +51,7 @@ mod error;
 pub mod export;
 pub mod hw_table;
 mod observe;
+pub mod predict;
 pub mod queues;
 pub mod ray;
 mod sim;
@@ -58,8 +59,8 @@ mod stats;
 
 pub use checkpoint::{config_tag, Checkpoint, CHECKPOINT_VERSION};
 pub use config::{
-    AuditMode, ConfigError, GpuConfig, GpuConfigBuilder, TraversalPolicy, VtqParams,
-    VtqParamsBuilder, DEFAULT_AUDIT_INTERVAL,
+    AuditMode, ConfigError, GpuConfig, GpuConfigBuilder, PredictParams, PredictParamsBuilder,
+    TraversalPolicy, VtqParams, VtqParamsBuilder, DEFAULT_AUDIT_INTERVAL,
 };
 pub use energy::{EnergyBreakdown, EnergyModel};
 pub use error::{ForensicsSnapshot, InvariantViolation, SimError, SmSnapshot};
@@ -67,6 +68,7 @@ pub use export::ParseError;
 pub use observe::{
     CountingSink, RingSink, SamplePoint, StallBreakdown, StallKind, TraceEvent, TraceSink,
 };
+pub use predict::{predict_key, PredictTable, PredictTableStats};
 pub use queues::TreeletQueues;
 pub use ray::{NextNode, RayId, RayTraversal, StackArena, StackEntry, VisitCost};
 pub use sim::{

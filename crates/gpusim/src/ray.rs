@@ -100,6 +100,9 @@ pub struct RayTraversal {
     anyhit: bool,
     /// Nodes fetched by this ray (analytics).
     pub nodes_visited: u32,
+    /// The leaf node the current best hit came from — what a ray-path
+    /// predictor learns from on completion (`None` until a hit lands).
+    pub best_node: Option<NodeId>,
 }
 
 impl RayTraversal {
@@ -134,11 +137,33 @@ impl RayTraversal {
             limit: t_max,
             anyhit: false,
             nodes_visited: 0,
+            best_node: None,
         };
         if let Some(t) = bvh.root_bounds().intersect(&ray, t_min, t_max) {
             state.current_stack.push(Pending { node: root, t_enter: t });
         }
         state
+    }
+
+    /// Schedules a predicted node (a leaf, for ray-path prediction) to be
+    /// visited *before* the pending traversal work, entering at `t_min` so
+    /// pruning never drops it. Verified speculation: the early leaf visit
+    /// can only tighten the search limit sooner — the triangle tests and
+    /// the equal-t lowest-prim tie-break are interval-wide, so the final
+    /// (prim, t) is bit-equal to the unspeculated traversal.
+    pub fn speculate(&mut self, node: NodeId) {
+        self.current_stack.push(Pending { node, t_enter: self.t_min });
+    }
+
+    /// Test hook for the conformance sabotage path: *trusts* the
+    /// prediction by discarding all pending traversal work and visiting
+    /// only `node`. Deliberately unsound on mispredictions — the
+    /// differential oracle must flag the wrong hits this produces.
+    #[doc(hidden)]
+    pub fn speculate_trusted(&mut self, node: NodeId) {
+        self.current_stack.clear();
+        self.treelet_stack.clear();
+        self.current_stack.push(Pending { node, t_enter: self.t_min });
     }
 
     /// Takes the stack storage back out of a finished traversal so the
@@ -249,6 +274,7 @@ impl RayTraversal {
                     if better {
                         self.limit = t;
                         self.best = Some(PrimHit { t, prim });
+                        self.best_node = Some(node);
                         if self.anyhit {
                             // Occlusion query: the first accepted hit
                             // ends traversal immediately.
@@ -319,6 +345,7 @@ impl RayTraversal {
             limit_bits: self.limit.to_bits(),
             anyhit: self.anyhit,
             nodes_visited: self.nodes_visited,
+            best_node: self.best_node.map(|n| n.0),
         }
     }
 
@@ -345,6 +372,7 @@ impl RayTraversal {
             limit: f32::from_bits(s.limit_bits),
             anyhit: s.anyhit,
             nodes_visited: s.nodes_visited,
+            best_node: s.best_node.map(NodeId),
         }
     }
 }
@@ -386,6 +414,8 @@ pub(crate) struct RayTraversalState {
     pub anyhit: bool,
     /// Nodes fetched so far.
     pub nodes_visited: u32,
+    /// Raw id of the leaf the best hit came from, if any.
+    pub best_node: Option<u32>,
 }
 
 #[cfg(test)]
@@ -511,6 +541,74 @@ mod tests {
             "visited {visited} of {} nodes",
             bvh.nodes().len()
         );
+    }
+
+    #[test]
+    fn speculated_leaf_keeps_results_bit_equal() {
+        // Seed every ray with the leaf its own unspeculated traversal hits:
+        // a correct prediction must not change a single result bit, only
+        // (possibly) the visit count.
+        let (tris, bvh) = setup();
+        let scene = lumibench::build_scaled(SceneId::Bunny, 32);
+        let mut checked = 0;
+        for i in 0..60 {
+            let ray = scene.camera().primary_ray(i % 8 * 6, i / 8 * 6, 48, 48, None);
+            let (plain, plain_visits) = run_free(&tris, &bvh, ray);
+            let mut r = RayTraversal::new(RayId(10), ray, &bvh, 1e-3, f32::INFINITY);
+            let mut probe = RayTraversal::new(RayId(11), ray, &bvh, 1e-3, f32::INFINITY);
+            while let NextNode::Visit(n) = probe.next_node(&bvh, None) {
+                probe.visit(&bvh, &tris, n);
+            }
+            let Some(leaf) = probe.best_node else {
+                continue;
+            };
+            r.speculate(leaf);
+            while let NextNode::Visit(n) = r.next_node(&bvh, None) {
+                r.visit(&bvh, &tris, n);
+            }
+            assert_eq!(
+                r.best.map(|h| (h.prim, h.t.to_bits())),
+                plain.map(|h| (h.prim, h.t.to_bits())),
+                "ray {i}"
+            );
+            // Early pruning never costs extra interior fetches beyond the
+            // one speculated leaf visit.
+            assert!(r.nodes_visited <= plain_visits + 1, "ray {i}");
+            checked += 1;
+        }
+        assert!(checked > 20, "most camera rays hit the bunny");
+    }
+
+    #[test]
+    fn trusted_speculation_of_a_wrong_leaf_diverges() {
+        // The sabotage path: trusting a misprediction abandons the real
+        // traversal, so some ray must produce a different result — this is
+        // what the conformance oracle is proven against.
+        let (tris, bvh) = setup();
+        let scene = lumibench::build_scaled(SceneId::Bunny, 32);
+        let wrong_leaf = bvh
+            .nodes()
+            .iter()
+            .enumerate()
+            .find(|(_, n)| n.is_leaf())
+            .map(|(i, _)| NodeId(i as u32))
+            .unwrap();
+        let mut diverged = false;
+        for i in 0..40 {
+            let ray = scene.camera().primary_ray(i % 8 * 6, i / 8 * 6, 48, 48, None);
+            let (plain, _) = run_free(&tris, &bvh, ray);
+            let mut r = RayTraversal::new(RayId(12), ray, &bvh, 1e-3, f32::INFINITY);
+            if r.is_done() {
+                continue;
+            }
+            r.speculate_trusted(wrong_leaf);
+            while let NextNode::Visit(n) = r.next_node(&bvh, None) {
+                r.visit(&bvh, &tris, n);
+            }
+            diverged |=
+                r.best.map(|h| (h.prim, h.t.to_bits())) != plain.map(|h| (h.prim, h.t.to_bits()));
+        }
+        assert!(diverged, "trusting one fixed leaf for every ray must break some hit");
     }
 
     #[test]

@@ -23,9 +23,10 @@ use crate::energy::{EnergyBreakdown, EnergyModel};
 use crate::error::{ForensicsSnapshot, InvariantViolation, SimError, SmSnapshot};
 use crate::hw_table::HwQueueTable;
 use crate::observe::{SamplePoint, StallBreakdown, StallKind, TraceEvent, TraceSink};
+use crate::predict::{predict_key, PredictTable};
 use crate::queues::TreeletQueues;
 use crate::ray::{NextNode, RayId, RayTraversal, StackArena};
-use crate::{GpuConfig, SimStats, TraversalMode, TraversalPolicy, VtqParams};
+use crate::{GpuConfig, PredictParams, SimStats, TraversalMode, TraversalPolicy, VtqParams};
 
 /// Byte address regions (disjoint so cache tags never alias across kinds).
 const RAY_REGION: u64 = 0x1_0000_0000;
@@ -657,13 +658,21 @@ struct RtUnit {
     rays_in_flight: usize,
     /// Hardware queue-table shadow (validates §4.2/§6.5 sizing claims).
     hw_table: HwQueueTable,
+    /// Ray-path prediction table (1-entry stub for non-Predict policies,
+    /// mirroring how `hw_table` is degenerate outside Vtq).
+    predict: PredictTable,
     /// Mode of the most recently installed warp, for mode-transition trace
     /// events.
     last_mode: Option<TraversalMode>,
 }
 
 impl RtUnit {
-    fn new(warp_buffer_slots: usize, queue_table_entries: u32, warp_size: u32) -> RtUnit {
+    fn new(
+        warp_buffer_slots: usize,
+        queue_table_entries: u32,
+        warp_size: u32,
+        predict_entries: u32,
+    ) -> RtUnit {
         RtUnit {
             incoming: VecDeque::new(),
             slots: (0..warp_buffer_slots.max(1)).map(|_| None).collect(),
@@ -674,6 +683,7 @@ impl RtUnit {
             prefetched: std::collections::HashMap::new(),
             rays_in_flight: 0,
             hw_table: HwQueueTable::new(queue_table_entries.max(1), warp_size.max(1)),
+            predict: PredictTable::new(predict_entries.max(1)),
             last_mode: None,
         }
     }
@@ -691,6 +701,7 @@ pub(crate) struct Engine<'a> {
     triangles: &'a [Triangle],
     cfg: &'a GpuConfig,
     vtq: Option<VtqParams>,
+    predict: Option<PredictParams>,
     mem: MemorySystem,
     rays: Vec<RayTraversal>,
     ray_meta: Vec<RayMeta>,
@@ -764,6 +775,10 @@ impl<'a> Engine<'a> {
             TraversalPolicy::Vtq(p) => Some(p),
             _ => None,
         };
+        let predict = match cfg.policy {
+            TraversalPolicy::Predict(p) => Some(p),
+            _ => None,
+        };
         let num_sms = cfg.num_sms();
         let mut ctas = Vec::new();
         let mut pending = VecDeque::new();
@@ -789,6 +804,7 @@ impl<'a> Engine<'a> {
             triangles,
             cfg,
             vtq,
+            predict,
             mem: MemorySystem::new(&cfg.mem),
             rays: Vec::new(),
             ray_meta: Vec::new(),
@@ -801,6 +817,10 @@ impl<'a> Engine<'a> {
                             _ => 1,
                         },
                         cfg.warp_size as u32,
+                        match cfg.policy {
+                            TraversalPolicy::Predict(p) => p.table_entries as u32,
+                            _ => 1,
+                        },
                     )
                 })
                 .collect(),
@@ -906,6 +926,11 @@ impl<'a> Engine<'a> {
             self.stats.queue_table_peak_entries =
                 self.stats.queue_table_peak_entries.max(qt.peak_entries);
             self.stats.queue_table_overflows += qt.overflows;
+            let ps = rt.predict.stats();
+            self.stats.predict_lookups += ps.lookups;
+            self.stats.predict_hits += ps.hits;
+            self.stats.predict_inserts += ps.inserts;
+            self.stats.predict_evictions += ps.evictions;
         }
         // Closing audit: the finished state must satisfy the conservation
         // laws too (all rays accounted for, stall buckets sum to the clock).
@@ -933,6 +958,7 @@ impl<'a> Engine<'a> {
             .map(|u| {
                 let (queues, queue_total) = u.queues.export_state();
                 let (hw_buckets, hw_live, hw_stats) = u.hw_table.export_state();
+                let (predict_buckets, predict_stats) = u.predict.export_state();
                 let mut prefetched: Vec<(u64, bool)> =
                     u.prefetched.iter().map(|(k, v)| (*k, *v)).collect();
                 prefetched.sort_unstable();
@@ -965,6 +991,8 @@ impl<'a> Engine<'a> {
                     hw_buckets,
                     hw_live,
                     hw_stats,
+                    predict_buckets,
+                    predict_stats,
                     last_mode: u.last_mode.map(|m| m.index() as u8),
                 }
             })
@@ -1223,6 +1251,9 @@ impl<'a> Engine<'a> {
             unit.rays_in_flight = s.rays_in_flight;
             unit.hw_table
                 .import_state(&s.hw_buckets, s.hw_live, s.hw_stats)
+                .map_err(|e| err(format!("sm {sm}: {e}")))?;
+            unit.predict
+                .import_state(&s.predict_buckets, s.predict_stats)
                 .map_err(|e| err(format!("sm {sm}: {e}")))?;
             unit.last_mode = match s.last_mode {
                 None => None,
@@ -1652,6 +1683,27 @@ impl<'a> Engine<'a> {
                 if call.anyhit {
                     traversal.set_anyhit();
                 }
+                // Ray-path prediction: consult the per-unit table before
+                // traversal starts. Rays that miss the scene bounds skip the
+                // lookup (the RT unit rejects them before table access), so
+                // hit-rate stats only count rays that actually traverse.
+                if let Some(p) = self.predict {
+                    if !traversal.is_done() {
+                        let key = predict_key(
+                            &self.bvh.root_bounds(),
+                            &call.ray,
+                            p.origin_bits,
+                            p.dir_bits,
+                        );
+                        if let Some(leaf) = self.rt[sm].predict.lookup(key) {
+                            if p.trust_predictions {
+                                traversal.speculate_trusted(leaf);
+                            } else {
+                                traversal.speculate(leaf);
+                            }
+                        }
+                    }
+                }
                 self.rays.push(traversal);
                 self.ray_meta.push(RayMeta { cta: id, task: t, bounce, sm });
                 new_rays.push(rid);
@@ -1691,9 +1743,17 @@ impl<'a> Engine<'a> {
             }
         }
 
-        // Group into shader warps and hand them to the RT unit.
+        // Group into shader warps and hand them to the RT unit. Under the
+        // prediction policy each warp spends `lookup_latency` cycles in the
+        // table pipeline before it can enter the warp buffer; the delay is
+        // attributed to the WarpBufferEmpty stall bucket (the unit sits
+        // warp-less while the lookup is in flight).
+        let arrive = match self.predict {
+            Some(p) => self.now + p.lookup_latency as u64,
+            None => self.now,
+        };
         for chunk in new_rays.chunks(self.cfg.warp_size) {
-            self.rt[sm].incoming.push_back((self.now, chunk.to_vec()));
+            self.rt[sm].incoming.push_back((arrive, chunk.to_vec()));
             self.stats.warps_issued += 1;
             let now = self.now;
             let rays = chunk.len();
@@ -1796,6 +1856,17 @@ impl<'a> Engine<'a> {
         let meta = &self.ray_meta[rid.index()];
         let (cta_id, task, bounce, sm) = (meta.cta, meta.task, meta.bounce, meta.sm);
         self.hits[task][bounce] = self.rays[rid.index()].best;
+        // Train the prediction table: the leaf whose triangle produced this
+        // ray's accepted hit becomes the prediction for every future ray
+        // quantizing to the same cell.
+        if let Some(p) = self.predict {
+            if let Some(leaf) = self.rays[rid.index()].best_node {
+                let call = &self.workload.tasks[task].rays[bounce];
+                let key =
+                    predict_key(&self.bvh.root_bounds(), &call.ray, p.origin_bits, p.dir_bits);
+                self.rt[sm].predict.train(key, leaf);
+            }
+        }
         // Recycle the finished ray's stack storage for future rays.
         let arena = self.rays[rid.index()].reclaim();
         self.arena_pool.push(arena);

@@ -93,6 +93,14 @@ pub struct SimStats {
     pub queue_table_peak_entries: u32,
     /// Queue-table inserts that spilled to memory.
     pub queue_table_overflows: u64,
+    /// Ray-path prediction-table lookups (Predict policy).
+    pub predict_lookups: u64,
+    /// Lookups that returned a predicted leaf.
+    pub predict_hits: u64,
+    /// Prediction-table training inserts.
+    pub predict_inserts: u64,
+    /// Prediction entries evicted under capacity pressure.
+    pub predict_evictions: u64,
     /// Per-RT-unit stall attribution (one entry per SM). Invariant: each
     /// entry's [`StallBreakdown::total`] equals [`SimStats::cycles`].
     pub stall: Vec<StallBreakdown>,
@@ -171,6 +179,22 @@ impl SimStats {
         self.prefetch_use_rate_opt().unwrap_or(0.0)
     }
 
+    /// Prediction-table hit rate (Predict policy). `None` when no lookups
+    /// were made — the normal state of every other policy, so averaging
+    /// the sentinel form across policies silently dilutes the rate.
+    pub fn predict_hit_rate_opt(&self) -> Option<f64> {
+        match self.predict_lookups {
+            0 => None,
+            lookups => Some(self.predict_hits as f64 / lookups as f64),
+        }
+    }
+
+    /// Sentinel-style [`SimStats::predict_hit_rate_opt`]: `0.0` when no
+    /// lookups were made. Only for display paths.
+    pub fn predict_hit_rate(&self) -> f64 {
+        self.predict_hit_rate_opt().unwrap_or(0.0)
+    }
+
     /// Accumulates `other` into `self`, treating the two as observations
     /// of *concurrent* work (e.g. per-scene kernels of one workload):
     /// throughput counters add (saturating), capacity peaks take the max,
@@ -200,6 +224,10 @@ impl SimStats {
         add(&mut self.prefetch_lines_used, other.prefetch_lines_used);
         add(&mut self.rays_completed, other.rays_completed);
         add(&mut self.queue_table_overflows, other.queue_table_overflows);
+        add(&mut self.predict_lookups, other.predict_lookups);
+        add(&mut self.predict_hits, other.predict_hits);
+        add(&mut self.predict_inserts, other.predict_inserts);
+        add(&mut self.predict_evictions, other.predict_evictions);
         for i in 0..3 {
             add(&mut self.mode_cycles[i], other.mode_cycles[i]);
             add(&mut self.mode_isect_tests[i], other.mode_isect_tests[i]);
@@ -283,6 +311,16 @@ impl SimStats {
                 p * 100.0
             );
         }
+        if let Some(h) = self.predict_hit_rate_opt() {
+            let _ = writeln!(
+                out,
+                "prediction: {} lookups, {:.1}% hit, {} trained, {} evicted",
+                self.predict_lookups,
+                h * 100.0,
+                self.predict_inserts,
+                self.predict_evictions
+            );
+        }
         if !self.stall.is_empty() {
             let mut agg = StallBreakdown::default();
             for unit in &self.stall {
@@ -334,6 +372,23 @@ mod tests {
         s.prefetch_lines = 200;
         s.prefetch_lines_used = 113;
         assert!((s.prefetch_use_rate() - 0.565).abs() < 1e-12);
+    }
+
+    #[test]
+    fn predict_hit_rate_and_report() {
+        let mut s = SimStats::default();
+        assert!(s.predict_hit_rate_opt().is_none());
+        assert!(!s.report().contains("prediction:"));
+        s.predict_lookups = 400;
+        s.predict_hits = 300;
+        s.predict_inserts = 120;
+        assert!((s.predict_hit_rate() - 0.75).abs() < 1e-12);
+        assert!(s.report().contains("prediction: 400 lookups, 75.0% hit"));
+        let mut merged = SimStats::default();
+        merged.merge(&s);
+        merged.merge(&s);
+        assert_eq!(merged.predict_lookups, 800);
+        assert_eq!(merged.predict_hits, 600);
     }
 
     #[test]

@@ -224,7 +224,7 @@ fn corrupt_checkpoint_dumps_return_typed_errors() {
     assert_eq!(err.line, 3, "got: {err}");
 
     // Version skew is rejected up front.
-    let skewed = text.replacen("\"version\":1", "\"version\":999", 1);
+    let skewed = text.replacen(&format!("\"version\":{CHECKPOINT_VERSION}"), "\"version\":999", 1);
     let err = Checkpoint::from_jsonl(&skewed).expect_err("future version must fail");
     assert!(err.reason.contains("version"), "got: {err}");
 }

@@ -43,6 +43,10 @@ fn synthetic_whole() -> SimStats {
         queue_table_max_chain: 3,
         queue_table_peak_entries: 100,
         queue_table_overflows: 5,
+        predict_lookups: 300,
+        predict_hits: 180,
+        predict_inserts: 90,
+        predict_evictions: 15,
         stall: vec![StallBreakdown::default(); 3],
         series: Vec::new(),
     };
@@ -93,6 +97,10 @@ fn synthetic_parts() -> (SimStats, SimStats) {
         queue_table_max_chain: 3, // the max
         queue_table_peak_entries: 60,
         queue_table_overflows: 2,
+        predict_lookups: 100,
+        predict_hits: 60,
+        predict_inserts: 30,
+        predict_evictions: 5,
         stall: vec![StallBreakdown::default(); 2],
         series: vec![SamplePoint {
             start_cycle: 0,
@@ -129,6 +137,10 @@ fn synthetic_parts() -> (SimStats, SimStats) {
         queue_table_max_chain: 2,
         queue_table_peak_entries: 100,
         queue_table_overflows: 3,
+        predict_lookups: 200,
+        predict_hits: 120,
+        predict_inserts: 60,
+        predict_evictions: 10,
         stall: vec![StallBreakdown::default(); 3],
         series: vec![
             SamplePoint {

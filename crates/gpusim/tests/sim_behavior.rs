@@ -2,7 +2,10 @@
 //! correctness against the CPU reference traversal, and sanity of the
 //! architectural mechanisms (virtualization, queues, repacking).
 
-use gpusim::{GpuConfig, PathTask, Simulator, TraversalMode, TraversalPolicy, VtqParams, Workload};
+use gpusim::{
+    GpuConfig, PathTask, PredictParams, Simulator, TraversalMode, TraversalPolicy, VtqParams,
+    Workload,
+};
 use rtbvh::{Bvh, BvhConfig};
 use rtmath::XorShiftRng;
 use rtscene::lumibench::{self, SceneId};
@@ -58,11 +61,12 @@ fn small_gpu(policy: TraversalPolicy) -> GpuConfig {
     cfg
 }
 
-fn policies() -> [TraversalPolicy; 3] {
+fn policies() -> [TraversalPolicy; 4] {
     [
         TraversalPolicy::Baseline,
         TraversalPolicy::TreeletPrefetch,
         TraversalPolicy::Vtq(VtqParams { queue_threshold: 16, ..Default::default() }),
+        TraversalPolicy::Predict(PredictParams::default()),
     ]
 }
 
@@ -238,6 +242,78 @@ fn prefetch_policy_issues_and_uses_prefetches() {
     assert!(report.stats.prefetch_lines > 0);
     let rate = report.stats.prefetch_use_rate();
     assert!(rate > 0.0 && rate <= 1.0, "use rate {rate}");
+}
+
+#[test]
+fn prediction_hits_table_and_stays_bit_equal_to_baseline() {
+    let (scene, bvh) = setup(32);
+    let tris = scene.triangles();
+    // Coherence in the extreme: the same 256-path tile repeated 8x. With a
+    // single resident CTA per SM the waves serialize, so wave N+1 issues
+    // after wave N completed and trained the table with identical keys.
+    let mut workload = build_workload(&scene, &bvh, 16, 1);
+    let tile = workload.tasks.clone();
+    for _ in 0..7 {
+        workload.tasks.extend(tile.iter().cloned());
+    }
+    let throttled = |policy| {
+        let mut cfg = small_gpu(policy);
+        cfg.max_ctas_per_sm = 1;
+        cfg
+    };
+    let base = Simulator::new(&bvh, tris, throttled(TraversalPolicy::Baseline))
+        .try_run(&workload)
+        .unwrap();
+    let pred =
+        Simulator::new(&bvh, tris, throttled(TraversalPolicy::Predict(PredictParams::default())))
+            .try_run(&workload)
+            .unwrap();
+    assert_eq!(pred.stats.rays_completed as usize, workload.total_rays());
+    assert!(pred.stats.predict_lookups > 0, "no prediction lookups recorded");
+    assert!(pred.stats.predict_inserts > 0, "table never trained");
+    assert!(
+        pred.stats.predict_hits > 0,
+        "coherent workload produced no prediction hits ({} lookups)",
+        pred.stats.predict_lookups
+    );
+    // Verified speculation: predictions only tighten t early, so the
+    // functional result is bit-identical to baseline.
+    for (task, rays) in workload.tasks.iter().enumerate() {
+        for (bounce, _) in rays.rays.iter().enumerate() {
+            let b = base.hits[task][bounce];
+            let p = pred.hits[task][bounce];
+            assert_eq!(
+                b.map(|h| (h.prim, h.t.to_bits())),
+                p.map(|h| (h.prim, h.t.to_bits())),
+                "task {task} bounce {bounce} diverged from baseline"
+            );
+        }
+    }
+    // Report surfaces the new counters.
+    assert!(pred.stats.report().contains("prediction:"));
+    assert!(!base.stats.report().contains("prediction:"));
+}
+
+#[test]
+fn prediction_lookup_latency_costs_cycles() {
+    let (scene, bvh) = setup(32);
+    let workload = build_workload(&scene, &bvh, 16, 1);
+    let run = |latency: u32| {
+        let p = PredictParams { lookup_latency: latency, ..Default::default() };
+        Simulator::new(&bvh, scene.triangles(), small_gpu(TraversalPolicy::Predict(p)))
+            .try_run(&workload)
+            .unwrap()
+    };
+    let fast = run(0);
+    let slow = run(200);
+    assert!(
+        slow.stats.cycles > fast.stats.cycles,
+        "200-cycle lookup latency ({}) should exceed free lookup ({})",
+        slow.stats.cycles,
+        fast.stats.cycles
+    );
+    // Same functional result either way.
+    assert_eq!(fast.hits, slow.hits);
 }
 
 #[test]

@@ -4,9 +4,10 @@ use std::fmt;
 use rtmath::{Aabb, Ray};
 use rtscene::Triangle;
 
+use crate::qnode::{self, QBvh4Node};
 use crate::treelet::{self, TreeletPartition};
 use crate::wide::{self, aabb4_intersect, Bvh4Node, WIDE_WIDTH};
-use crate::{build2, lbvh, BvhConfig, NodeAddr, NodeId, TreeletId};
+use crate::{build2, lbvh, BvhConfig, NodeAddr, NodeFormat, NodeId, TreeletId};
 
 /// Which construction algorithm [`Bvh::build_with`] uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -130,6 +131,9 @@ impl Error for ValidateError {}
 #[derive(Debug, Clone)]
 pub struct Bvh {
     nodes: Vec<Bvh4Node>,
+    /// Quantized records under [`NodeFormat::Quantized`] (empty otherwise);
+    /// `nodes` then holds their conservative decodes.
+    qnodes: Vec<QBvh4Node>,
     prim_indices: Vec<u32>,
     addrs: Vec<NodeAddr>,
     partition: TreeletPartition,
@@ -169,9 +173,25 @@ impl Bvh {
             let _collapse = prof::span("collapse");
             wide::collapse(&b2)
         };
+        // Under the quantized format, encode the arena and make the
+        // *conservative decodes* the traversal nodes: every consumer
+        // (oracle, simulator, occlusion, refit) then sees bit-identical
+        // superset bounds, so the conformance contract holds by
+        // construction while the byte layout shrinks to the quantized
+        // record size.
+        let (nodes, qnodes) = match config.node_format {
+            NodeFormat::Wide => (nodes, Vec::new()),
+            NodeFormat::Quantized => {
+                let _quant = prof::span("quantize");
+                let qnodes = qnode::quantize(&nodes, root);
+                let decoded = qnodes.iter().map(QBvh4Node::decode).collect();
+                (decoded, qnodes)
+            }
+        };
+        let layout = config.effective_layout();
         let partition = {
             let _treelets = prof::span("treelets");
-            treelet::partition(&nodes, root, config.treelet_bytes, &config.layout)
+            treelet::partition(&nodes, root, config.treelet_bytes, &layout)
         };
 
         // Byte layout: treelet by treelet so each treelet is a contiguous
@@ -182,7 +202,7 @@ impl Bvh {
         for t in partition.treelets() {
             let start = offset;
             for n in &t.nodes {
-                let size = nodes[n.index()].byte_size(&config.layout);
+                let size = nodes[n.index()].byte_size(&layout);
                 addrs[n.index()] = NodeAddr { offset, size };
                 offset += size as u64;
             }
@@ -192,6 +212,7 @@ impl Bvh {
         let root_bounds = nodes[root.index()].bounds();
         Bvh {
             nodes,
+            qnodes,
             prim_indices: b2.prim_indices,
             addrs,
             partition,
@@ -223,10 +244,19 @@ impl Bvh {
         &self.nodes[id.index()]
     }
 
-    /// All nodes (index = `NodeId.0`).
+    /// All nodes (index = `NodeId.0`). Under
+    /// [`NodeFormat::Quantized`] these are the conservative decodes of
+    /// [`Bvh::qnodes`].
     #[inline]
     pub fn nodes(&self) -> &[Bvh4Node] {
         &self.nodes
+    }
+
+    /// The quantized node records; empty unless the BVH was built with
+    /// [`NodeFormat::Quantized`].
+    #[inline]
+    pub fn qnodes(&self) -> &[QBvh4Node] {
+        &self.qnodes
     }
 
     /// Byte placement of a node.
@@ -367,6 +397,15 @@ impl Bvh {
                         self.nodes[id.index()].set_lane_bounds(lane, *b);
                     }
                 }
+            }
+        }
+        // Re-quantize so the stored records track the moved geometry and
+        // the arena stays their conservative decode (topology, layout and
+        // treelets are untouched — only bounds changed).
+        if self.config.node_format == NodeFormat::Quantized {
+            self.qnodes = qnode::quantize(&self.nodes, self.root);
+            for (n, q) in self.nodes.iter_mut().zip(&self.qnodes) {
+                *n = q.decode();
             }
         }
         self.root_bounds = self.nodes[self.root.index()].bounds();

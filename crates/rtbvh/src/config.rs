@@ -49,6 +49,23 @@ impl Default for NodeLayout {
     }
 }
 
+/// In-memory encoding of the interior node records.
+///
+/// [`NodeFormat::Quantized`] swaps the 120 B f32 [`Bvh4Node`](crate::Bvh4Node)
+/// for the 72 B [`QBvh4Node`](crate::QBvh4Node): child slabs stored as u8
+/// grid coordinates against a per-node grid, decoded *conservatively*
+/// (decoded boxes are always supersets of the exact f32 boxes, so no true
+/// hit can be missed — see `qnode`). A smaller record changes the
+/// BVH-size/L1 ratio, the axis the paper's results pivot on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NodeFormat {
+    /// Full-precision f32 slabs (the default).
+    #[default]
+    Wide,
+    /// u8-quantized child slabs with conservative decode.
+    Quantized,
+}
+
 /// Build parameters for [`Bvh::build`](crate::Bvh::build).
 ///
 /// The defaults mirror the paper's methodology: a 4-wide BVH whose treelets
@@ -77,6 +94,23 @@ pub struct BvhConfig {
     pub treelet_bytes: u32,
     /// Node record byte sizes (memory footprint model).
     pub layout: NodeLayout,
+    /// Interior node encoding; [`NodeFormat::Quantized`] shrinks interior
+    /// records to [`QBvh4Node::BYTES`](crate::QBvh4Node::BYTES) bytes.
+    pub node_format: NodeFormat,
+}
+
+impl BvhConfig {
+    /// The layout actually used for byte placement: under
+    /// [`NodeFormat::Quantized`] the interior record size is the quantized
+    /// node's, everything else follows `self.layout`.
+    pub fn effective_layout(&self) -> NodeLayout {
+        match self.node_format {
+            NodeFormat::Wide => self.layout,
+            NodeFormat::Quantized => {
+                NodeLayout { inner_bytes: crate::QBvh4Node::BYTES, ..self.layout }
+            }
+        }
+    }
 }
 
 impl Default for BvhConfig {
@@ -88,6 +122,7 @@ impl Default for BvhConfig {
             traversal_cost: 1.0,
             treelet_bytes: 8 * 1024,
             layout: NodeLayout::wide(),
+            node_format: NodeFormat::default(),
         }
     }
 }
@@ -103,6 +138,18 @@ mod tests {
         assert_eq!(c.max_leaf_prims, 4);
         assert!(c.max_leaf_prims_hard >= c.max_leaf_prims);
         assert_eq!(c.layout, NodeLayout::wide());
+    }
+
+    #[test]
+    fn effective_layout_shrinks_interiors_only_when_quantized() {
+        let wide = BvhConfig::default();
+        assert_eq!(wide.effective_layout(), wide.layout);
+        let q = BvhConfig { node_format: NodeFormat::Quantized, ..Default::default() };
+        let eff = q.effective_layout();
+        assert_eq!(eff.inner_bytes, crate::QBvh4Node::BYTES);
+        assert_eq!(eff.leaf_header_bytes, q.layout.leaf_header_bytes);
+        assert_eq!(eff.leaf_tri_bytes, q.layout.leaf_tri_bytes);
+        assert!(eff.inner_bytes < q.layout.inner_bytes);
     }
 
     #[test]

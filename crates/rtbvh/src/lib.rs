@@ -37,11 +37,13 @@ mod bvh;
 mod config;
 mod layout;
 pub mod lbvh;
+mod qnode;
 pub mod treelet;
 mod wide;
 
 pub use bvh::{brute_force_intersect, Builder, Bvh, BvhStats, PrimHit, ValidateError};
-pub use config::{BvhConfig, NodeLayout};
+pub use config::{BvhConfig, NodeFormat, NodeLayout};
 pub use layout::{NodeAddr, NodeId};
+pub use qnode::{quantize, QBvh4Node};
 pub use treelet::{TreeletId, TreeletPartition};
 pub use wide::{aabb4_intersect, Bvh4Node, INVALID_LANE, WIDE_WIDTH};

@@ -1,0 +1,376 @@
+//! Quantized 4-wide BVH nodes: u8 child slabs against a per-node grid,
+//! with a **conservative** decode.
+//!
+//! [`QBvh4Node`] is the compressed sibling of [`Bvh4Node`] (after the
+//! CWBVH family of Ylitie et al., see PAPERS.md): each interior node
+//! stores a per-node grid (`origin`, `scale` per axis) and the four child
+//! slabs as u8 grid coordinates, shrinking the interior record from 120 B
+//! to [`QBvh4Node::BYTES`] B. The contract is *conservative containment*:
+//! a decoded lane box is always a superset of the exact f32 lane box it
+//! was encoded from, so traversal over decoded nodes can visit extra
+//! nodes but can never miss a true hit. The encoder verifies this by
+//! construction — quantized endpoints are nudged outward until the decode
+//! (the *same* `origin + q * scale` expression the decoder evaluates)
+//! provably brackets the exact bounds, using only IEEE f32 ops that are
+//! bit-deterministic across platforms.
+//!
+//! Grids are assigned **top-down**: the root's grid is its exact bounds,
+//! and every child's grid is its parent's *decoded* lane box. Since the
+//! collapse emits children before parents (the root is the last arena
+//! entry), a single descending-index pass visits parents first. The
+//! top-down rule guarantees every exact box lies inside its grid (decoded
+//! boxes only grow), so u8 coordinates never need clamping that would
+//! break conservativeness.
+
+use rtmath::{Aabb, Vec3};
+
+use crate::wide::{Bvh4Node, INVALID_LANE, WIDE_WIDTH};
+use crate::NodeId;
+
+/// One quantized 4-wide BVH node.
+///
+/// Same discriminants as [`Bvh4Node`] (`count > 0` ⇒ leaf with bounds in
+/// lane 0; interior lanes with [`INVALID_LANE`] are empty), but the lane
+/// slabs are u8 coordinates on the node's grid: axis `a` of a lane decodes
+/// to `origin[a] + q * scale[a]`.
+#[repr(C)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QBvh4Node {
+    /// Grid origin (decoded coordinate of `q == 0`) per axis.
+    pub origin: [f32; 3],
+    /// Grid step per axis; `origin + 255 * scale` covers the grid box.
+    pub scale: [f32; 3],
+    /// Per-lane quantized slab minima, x component.
+    pub qmin_x: [u8; WIDE_WIDTH],
+    /// Per-lane quantized slab minima, y component.
+    pub qmin_y: [u8; WIDE_WIDTH],
+    /// Per-lane quantized slab minima, z component.
+    pub qmin_z: [u8; WIDE_WIDTH],
+    /// Per-lane quantized slab maxima, x component.
+    pub qmax_x: [u8; WIDE_WIDTH],
+    /// Per-lane quantized slab maxima, y component.
+    pub qmax_y: [u8; WIDE_WIDTH],
+    /// Per-lane quantized slab maxima, z component.
+    pub qmax_z: [u8; WIDE_WIDTH],
+    /// Child node indices; [`INVALID_LANE`] marks an empty lane.
+    pub child: [u32; WIDE_WIDTH],
+    /// First index into the primitive permutation (leaves only).
+    pub first: u32,
+    /// Primitive count; `count > 0` is the leaf discriminant.
+    pub count: u32,
+}
+
+impl QBvh4Node {
+    /// Byte size of the quantized record — what an interior node visit
+    /// moves through the memory hierarchy under
+    /// [`NodeFormat::Quantized`](crate::NodeFormat::Quantized).
+    pub const BYTES: u32 = std::mem::size_of::<QBvh4Node>() as u32;
+
+    /// `true` for leaf nodes.
+    #[inline]
+    pub fn is_leaf(&self) -> bool {
+        self.count > 0
+    }
+
+    /// Whether a lane carries a real slab (child lane, or lane 0 of a
+    /// leaf).
+    #[inline]
+    fn lane_occupied(&self, lane: usize) -> bool {
+        if self.is_leaf() {
+            lane == 0
+        } else {
+            self.child[lane] != INVALID_LANE
+        }
+    }
+
+    /// Decoded bounds of one lane. Empty lanes return the inverted
+    /// (empty) box, exactly like [`Bvh4Node::lane_bounds`] on a blank
+    /// lane.
+    #[inline]
+    pub fn lane_bounds(&self, lane: usize) -> Aabb {
+        if !self.lane_occupied(lane) {
+            return Aabb {
+                min: Vec3::new(f32::INFINITY, f32::INFINITY, f32::INFINITY),
+                max: Vec3::new(f32::NEG_INFINITY, f32::NEG_INFINITY, f32::NEG_INFINITY),
+            };
+        }
+        Aabb {
+            min: Vec3::new(
+                dec(self.origin[0], self.scale[0], self.qmin_x[lane]),
+                dec(self.origin[1], self.scale[1], self.qmin_y[lane]),
+                dec(self.origin[2], self.scale[2], self.qmin_z[lane]),
+            ),
+            max: Vec3::new(
+                dec(self.origin[0], self.scale[0], self.qmax_x[lane]),
+                dec(self.origin[1], self.scale[1], self.qmax_y[lane]),
+                dec(self.origin[2], self.scale[2], self.qmax_z[lane]),
+            ),
+        }
+    }
+
+    /// Decodes the whole node into a full-precision [`Bvh4Node`] whose
+    /// lane slabs are the (conservative) decoded boxes. This is what
+    /// [`Bvh::build`](crate::Bvh::build) stores as the traversal arena
+    /// under the quantized format, so the oracle and the simulator see
+    /// bit-identical bounds.
+    pub fn decode(&self) -> Bvh4Node {
+        let mut n = Bvh4Node::inner(&[]);
+        n.child = self.child;
+        n.first = self.first;
+        n.count = self.count;
+        for lane in 0..WIDE_WIDTH {
+            if self.lane_occupied(lane) {
+                n.set_lane_bounds(lane, self.lane_bounds(lane));
+            }
+        }
+        n
+    }
+}
+
+/// The decode expression — the *single* definition both the decoder and
+/// the encoder's conservativeness check evaluate.
+#[inline]
+fn dec(origin: f32, scale: f32, q: u8) -> f32 {
+    origin + q as f32 * scale
+}
+
+/// Smallest grid step whose 255th coordinate reaches `gmax` from
+/// `origin`, found by nudging the ideal step up one f32 bit at a time.
+/// Pure IEEE arithmetic — deterministic across platforms.
+fn conservative_scale(origin: f32, gmax: f32) -> f32 {
+    let extent = gmax - origin;
+    if extent <= 0.0 || extent.is_nan() {
+        // Degenerate (or empty-grid) axis: every coordinate decodes to
+        // `origin`, which is conservative because the exact box collapses
+        // onto it.
+        return 0.0;
+    }
+    let mut s = extent / 255.0;
+    while dec(origin, s, 255) < gmax {
+        s = f32::from_bits(s.to_bits() + 1);
+    }
+    s
+}
+
+/// Largest `q` with `dec(q) <= v` (conservative lower endpoint). Requires
+/// `v >= origin`, which the top-down grid rule guarantees.
+fn q_floor(v: f32, origin: f32, scale: f32) -> u8 {
+    if scale <= 0.0 {
+        return 0;
+    }
+    let mut q = ((v - origin) / scale).floor().clamp(0.0, 255.0) as u8;
+    while q > 0 && dec(origin, scale, q) > v {
+        q -= 1;
+    }
+    q
+}
+
+/// Smallest `q` with `dec(q) >= v` (conservative upper endpoint).
+/// Requires `v <= dec(255)`, which [`conservative_scale`] guarantees.
+fn q_ceil(v: f32, origin: f32, scale: f32) -> u8 {
+    if scale <= 0.0 {
+        return 0;
+    }
+    let mut q = ((v - origin) / scale).ceil().clamp(0.0, 255.0) as u8;
+    while q < 255 && dec(origin, scale, q) < v {
+        q += 1;
+    }
+    q
+}
+
+/// Encodes one node's occupied lanes against `grid`. Empty lanes get the
+/// inverted `(255, 0)` sentinel pair (never decoded — occupancy is read
+/// from `child`/`count`, same as the f32 node).
+fn encode_node(node: &Bvh4Node, grid: Aabb) -> QBvh4Node {
+    let origin = [grid.min.x, grid.min.y, grid.min.z];
+    let gmax = [grid.max.x, grid.max.y, grid.max.z];
+    let scale = [
+        conservative_scale(origin[0], gmax[0]),
+        conservative_scale(origin[1], gmax[1]),
+        conservative_scale(origin[2], gmax[2]),
+    ];
+    let mut q = QBvh4Node {
+        origin,
+        scale,
+        qmin_x: [255; WIDE_WIDTH],
+        qmin_y: [255; WIDE_WIDTH],
+        qmin_z: [255; WIDE_WIDTH],
+        qmax_x: [0; WIDE_WIDTH],
+        qmax_y: [0; WIDE_WIDTH],
+        qmax_z: [0; WIDE_WIDTH],
+        child: node.child,
+        first: node.first,
+        count: node.count,
+    };
+    for lane in 0..WIDE_WIDTH {
+        if !q.lane_occupied(lane) {
+            continue;
+        }
+        let b = node.lane_bounds(lane);
+        q.qmin_x[lane] = q_floor(b.min.x, origin[0], scale[0]);
+        q.qmin_y[lane] = q_floor(b.min.y, origin[1], scale[1]);
+        q.qmin_z[lane] = q_floor(b.min.z, origin[2], scale[2]);
+        q.qmax_x[lane] = q_ceil(b.max.x, origin[0], scale[0]);
+        q.qmax_y[lane] = q_ceil(b.max.y, origin[1], scale[1]);
+        q.qmax_z[lane] = q_ceil(b.max.z, origin[2], scale[2]);
+    }
+    q
+}
+
+/// Quantizes a collapsed wide-BVH arena top-down.
+///
+/// The root's grid is its exact bounds; each child's grid is the parent's
+/// *decoded* lane box, so every exact box sits inside its grid and every
+/// decoded box is a superset of its exact counterpart. The collapse emits
+/// children before parents, so one descending-index pass is a valid
+/// top-down order.
+pub fn quantize(nodes: &[Bvh4Node], root: NodeId) -> Vec<QBvh4Node> {
+    let blank = encode_node(&Bvh4Node::inner(&[]), Aabb::EMPTY);
+    let mut out = vec![blank; nodes.len()];
+    let mut grids = vec![Aabb::EMPTY; nodes.len()];
+    grids[root.index()] = nodes[root.index()].bounds();
+    for i in (0..nodes.len()).rev() {
+        let node = &nodes[i];
+        let q = encode_node(node, grids[i]);
+        if !node.is_leaf() {
+            for lane in 0..WIDE_WIDTH {
+                if let Some(c) = node.lane_child(lane) {
+                    grids[c.index()] = q.lane_bounds(lane);
+                }
+            }
+        }
+        out[i] = q;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{build2, wide, BvhConfig};
+    use rtmath::{Ray, Vec3, XorShiftRng};
+    use rtscene::{MaterialId, Triangle};
+
+    fn soup(seed: u64, count: usize) -> Vec<Triangle> {
+        let mut rng = XorShiftRng::new(seed);
+        let mut tris = Vec::with_capacity(count);
+        while tris.len() < count {
+            let c = Vec3::new(
+                rng.range_f32(-40.0, 40.0),
+                rng.range_f32(-40.0, 40.0),
+                rng.range_f32(-40.0, 40.0),
+            );
+            let t = Triangle::new(
+                c,
+                c + rng.unit_vector() * rng.range_f32(0.05, 3.0),
+                c + rng.unit_vector() * rng.range_f32(0.05, 3.0),
+                MaterialId::new(0),
+            );
+            if !t.is_degenerate() {
+                tris.push(t);
+            }
+        }
+        tris
+    }
+
+    fn wide_arena(seed: u64, count: usize) -> (Vec<Bvh4Node>, NodeId) {
+        let tris = soup(seed, count);
+        let b2 = build2::build(&tris, &BvhConfig::default());
+        wide::collapse(&b2)
+    }
+
+    #[test]
+    fn record_is_72_flat_bytes() {
+        // 2 grid vectors + 6 u8 lane arrays + 4 child links + first/count.
+        assert_eq!(std::mem::size_of::<QBvh4Node>(), 24 + 24 + 16 + 8);
+        assert_eq!(QBvh4Node::BYTES, 72);
+    }
+
+    #[test]
+    fn decoded_lanes_are_supersets_of_exact_lanes() {
+        for seed in [1u64, 9, 77] {
+            let (nodes, root) = wide_arena(seed, 200);
+            let qnodes = quantize(&nodes, root);
+            for (n, q) in nodes.iter().zip(&qnodes) {
+                for lane in 0..WIDE_WIDTH {
+                    if q.lane_occupied(lane) {
+                        let exact = n.lane_bounds(lane);
+                        let dec = q.lane_bounds(lane);
+                        assert!(
+                            dec.contains_box(&exact),
+                            "seed {seed} lane {lane}: decoded {dec:?} drops exact {exact:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn decode_preserves_topology_and_discriminants() {
+        let (nodes, root) = wide_arena(3, 150);
+        let qnodes = quantize(&nodes, root);
+        for (n, q) in nodes.iter().zip(&qnodes) {
+            let d = q.decode();
+            assert_eq!(d.child, n.child);
+            assert_eq!(d.first, n.first);
+            assert_eq!(d.count, n.count);
+            assert_eq!(d.is_leaf(), n.is_leaf());
+        }
+    }
+
+    #[test]
+    fn empty_lane_sentinels_survive_quantization() {
+        let (nodes, root) = wide_arena(5, 60);
+        let qnodes = quantize(&nodes, root);
+        for (n, q) in nodes.iter().zip(&qnodes) {
+            let d = q.decode();
+            for lane in 0..WIDE_WIDTH {
+                if n.lane_child(lane).is_none() && !(n.is_leaf() && lane == 0) {
+                    assert_eq!(d.child[lane], INVALID_LANE);
+                    assert!(d.lane_bounds(lane).is_empty(), "lane {lane} lost its sentinel");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quantization_is_deterministic() {
+        let (nodes, root) = wide_arena(11, 180);
+        let a = quantize(&nodes, root);
+        let b = quantize(&nodes, root);
+        assert_eq!(a, b);
+        // And decoding is a pure function of the quantized record.
+        for q in &a {
+            assert_eq!(q.decode(), q.decode());
+        }
+    }
+
+    #[test]
+    fn decoded_slab_test_never_misses_an_exact_hit() {
+        // A conservative box can only *add* lane hits, never lose one.
+        let (nodes, root) = wide_arena(21, 220);
+        let qnodes = quantize(&nodes, root);
+        let mut rng = XorShiftRng::new(0xC0DE);
+        for _ in 0..200 {
+            let ray = Ray::new(
+                Vec3::new(
+                    rng.range_f32(-60.0, 60.0),
+                    rng.range_f32(-60.0, 60.0),
+                    rng.range_f32(-60.0, 60.0),
+                ),
+                rng.unit_vector(),
+            );
+            for (n, q) in nodes.iter().zip(&qnodes) {
+                let exact = wide::aabb4_intersect(n, &ray, 1e-3, f32::MAX);
+                let dec = wide::aabb4_intersect(&q.decode(), &ray, 1e-3, f32::MAX);
+                for lane in 0..WIDE_WIDTH {
+                    assert!(
+                        exact[lane].is_none() || dec[lane].is_some(),
+                        "decoded lane {lane} missed an exact hit"
+                    );
+                }
+            }
+        }
+    }
+}

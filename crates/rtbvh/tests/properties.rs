@@ -233,6 +233,148 @@ proptest! {
     }
 }
 
+mod qnode_props {
+    use super::*;
+    use rtbvh::{quantize, NodeFormat, WIDE_WIDTH};
+
+    proptest! {
+        // The conservative-containment contract is the load-bearing
+        // property of the quantized format: run it at high case counts.
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        #[test]
+        fn quantized_decode_is_a_conservative_superset(
+            seed in any::<u64>(),
+            count in 1usize..120,
+        ) {
+            // Every decoded lane box must contain the exact f32 lane box
+            // it was encoded from — a ray that hits the exact box always
+            // hits the decoded one, so no true hit can be missed.
+            let tris = random_soup(seed, count);
+            let exact = Bvh::build(&tris, &BvhConfig::default());
+            let qnodes = quantize(exact.nodes(), exact.root());
+            for (n, q) in exact.nodes().iter().zip(&qnodes) {
+                let d = q.decode();
+                for lane in 0..WIDE_WIDTH {
+                    let e = n.lane_bounds(lane);
+                    if e.is_empty() {
+                        // Empty-lane sentinels survive quantization.
+                        prop_assert!(d.lane_bounds(lane).is_empty());
+                    } else {
+                        prop_assert!(
+                            d.lane_bounds(lane).contains_box(&e),
+                            "lane {} decoded {:?} drops exact {:?}",
+                            lane, d.lane_bounds(lane), e
+                        );
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn quantized_round_trip_is_deterministic(
+            seed in any::<u64>(),
+            count in 1usize..120,
+        ) {
+            // Encode and decode are pure f32 arithmetic: two builds of the
+            // same soup agree record-for-record, bit for bit.
+            let tris = random_soup(seed, count);
+            let cfg = BvhConfig { node_format: NodeFormat::Quantized, ..Default::default() };
+            let a = Bvh::build(&tris, &cfg);
+            let b = Bvh::build(&tris, &cfg);
+            prop_assert_eq!(a.qnodes(), b.qnodes());
+            prop_assert_eq!(a.nodes(), b.nodes());
+            prop_assert_eq!(a.total_bytes(), b.total_bytes());
+            // The arena is exactly the decode of the stored records.
+            for (n, q) in a.nodes().iter().zip(a.qnodes()) {
+                prop_assert_eq!(*n, q.decode());
+            }
+        }
+
+        #[test]
+        fn quantized_bvh_validates_and_never_misses_a_true_hit(
+            seed in any::<u64>(),
+            count in 1usize..120,
+        ) {
+            // The quantized build keeps every structural invariant, and
+            // closest-hit results stay bit-equal to brute force: superset
+            // boxes can only add node visits, the triangle tests and the
+            // equal-t lowest-prim tie-break are unchanged.
+            let tris = random_soup(seed, count);
+            let cfg = BvhConfig { node_format: NodeFormat::Quantized, ..Default::default() };
+            let bvh = Bvh::build(&tris, &cfg);
+            prop_assert!(bvh.validate(&tris).is_ok(), "{:?}", bvh.validate(&tris));
+            let mut rng = XorShiftRng::new(seed ^ 0x0A0B_C0DE);
+            for _ in 0..16 {
+                let ray = Ray::new(
+                    Vec3::new(
+                        rng.range_f32(-80.0, 80.0),
+                        rng.range_f32(-80.0, 80.0),
+                        rng.range_f32(-80.0, 80.0),
+                    ),
+                    rng.unit_vector(),
+                );
+                let ours = bvh.intersect(&tris, &ray, 1e-3, f32::INFINITY);
+                let oracle = brute_force_intersect(&tris, &ray, 1e-3, f32::INFINITY);
+                prop_assert_eq!(
+                    ours.map(|h| (h.prim, h.t.to_bits())),
+                    oracle.map(|h| (h.prim, h.t.to_bits()))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_interiors_shrink_the_memory_image() {
+        let tris = random_soup(13, 300);
+        let wide = Bvh::build(&tris, &BvhConfig::default());
+        let quant = Bvh::build(
+            &tris,
+            &BvhConfig { node_format: NodeFormat::Quantized, ..Default::default() },
+        );
+        assert_eq!(wide.nodes().len(), quant.nodes().len());
+        assert!(
+            quant.total_bytes() < wide.total_bytes(),
+            "quantized image {} should undercut wide image {}",
+            quant.total_bytes(),
+            wide.total_bytes()
+        );
+    }
+
+    #[test]
+    fn quantized_refit_keeps_the_conservative_contract() {
+        let mut tris = random_soup(29, 150);
+        let cfg = BvhConfig { node_format: NodeFormat::Quantized, ..Default::default() };
+        let mut bvh = Bvh::build(&tris, &cfg);
+        for (i, t) in tris.iter_mut().enumerate() {
+            let offset = Vec3::new((i % 5) as f32 * 0.7, 0.4, (i % 3) as f32 * -0.9);
+            *t = rtscene::Triangle::new(t.v0 + offset, t.v1 + offset, t.v2 + offset, t.material);
+        }
+        bvh.refit(&tris);
+        bvh.validate(&tris).expect("refit quantized BVH keeps all invariants");
+        for (n, q) in bvh.nodes().iter().zip(bvh.qnodes()) {
+            assert_eq!(*n, q.decode(), "arena must stay the decode of the stored records");
+        }
+        let mut rng = XorShiftRng::new(0x5EF1);
+        for _ in 0..40 {
+            let ray = Ray::new(
+                Vec3::new(
+                    rng.range_f32(-70.0, 70.0),
+                    rng.range_f32(-70.0, 70.0),
+                    rng.range_f32(-70.0, 70.0),
+                ),
+                rng.unit_vector(),
+            );
+            let ours = bvh.intersect(&tris, &ray, 1e-3, f32::INFINITY);
+            let oracle = brute_force_intersect(&tris, &ray, 1e-3, f32::INFINITY);
+            assert_eq!(
+                ours.map(|h| (h.prim, h.t.to_bits())),
+                oracle.map(|h| (h.prim, h.t.to_bits()))
+            );
+        }
+    }
+}
+
 #[test]
 fn builds_are_deterministic() {
     let tris = random_soup(42, 200);
