@@ -30,6 +30,7 @@ const GOLDEN_DIR: &str = "golden";
 
 pub fn run(opts: &HarnessOpts, engine: &SweepEngine) -> u8 {
     let mut failed = false;
+    let mut corrupt = false;
 
     // Phase 1: differential hit equivalence.
     eprintln!(
@@ -125,10 +126,22 @@ pub fn run(opts: &HarnessOpts, engine: &SweepEngine) -> u8 {
                         g.figure
                     );
                 }
+                GoldenOutcome::Corrupt(forensics) => {
+                    // A baseline whose checksum frames fail is damaged
+                    // on disk, not a figure regression: exit 2 so
+                    // automation distinguishes "restore the snapshot"
+                    // from "the simulator regressed".
+                    corrupt = true;
+                    eprintln!("[conformance] golden {}: CORRUPT SNAPSHOT", g.figure);
+                    eprintln!("[conformance]   {forensics}");
+                }
             }
         }
     }
 
+    if corrupt {
+        return crate::EXIT_USAGE;
+    }
     if failed {
         return crate::EXIT_VIOLATION;
     }

@@ -53,11 +53,15 @@ fn persist(
     writeln!(
         file,
         "{}",
-        provenance_line(Some(config_fingerprint(&campaign.config)), Some(campaign.seed))
+        vtq::jsonl::frame_line(&provenance_line(
+            Some(config_fingerprint(&campaign.config)),
+            Some(campaign.seed)
+        ))
     )?;
     for cell in &report.cells {
-        writeln!(file, "{}", cell_jsonl(cell))?;
+        writeln!(file, "{}", vtq::jsonl::frame_line(&cell_jsonl(cell)))?;
     }
+    file.sync_all()?;
     eprintln!("[faults] outcomes in {}", dir.join("faults.jsonl").display());
     Ok(())
 }

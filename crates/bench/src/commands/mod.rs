@@ -14,6 +14,7 @@ use crate::HarnessOpts;
 mod ablations;
 mod all;
 mod area;
+mod chaos;
 mod compression;
 mod conformance;
 mod faults;
@@ -129,6 +130,11 @@ pub const ALL: &[Command] = &[
         name: "faults",
         about: "seeded fault-injection campaign over the integrity layer",
         run: faults::run,
+    },
+    Command {
+        name: "chaos",
+        about: "disk-fault chaos campaign: inject, corrupt, recover, verify",
+        run: chaos::run,
     },
     Command {
         name: "conformance",

@@ -360,11 +360,15 @@ fn entry_jsonl(e: &BenchEntry) -> String {
 }
 
 /// Renders a whole BENCH file: provenance header, suite meta, entries.
+/// Every line is checksum-framed so a damaged baseline is detected at
+/// compare time instead of gating a perf run on corrupt numbers.
 pub fn bench_file(entries: &[BenchEntry], fingerprint: u64, quick: bool) -> String {
-    let mut out = format!("{}\n", provenance_line(Some(fingerprint), None));
-    out.push_str(&format!("{{\"record\":\"bench_meta\",\"version\":1,\"quick\":{quick}}}\n"));
+    let frame = vtq::jsonl::frame_line;
+    let mut out = format!("{}\n", frame(&provenance_line(Some(fingerprint), None)));
+    out.push_str(&frame(&format!("{{\"record\":\"bench_meta\",\"version\":1,\"quick\":{quick}}}")));
+    out.push('\n');
     for e in entries {
-        out.push_str(&entry_jsonl(e));
+        out.push_str(&frame(&entry_jsonl(e)));
         out.push('\n');
     }
     out
@@ -402,15 +406,19 @@ fn field<'a>(pairs: &'a [(String, String)], key: &str) -> Option<&'a str> {
 }
 
 /// Parses a BENCH file's `bench` records (provenance/meta lines and
-/// unknown records are skipped so the format can grow).
+/// unknown records are skipped so the format can grow). Checksum frames
+/// are verified first: a corrupt line is an error naming the damage,
+/// never silently admitted into a comparison; legacy unframed files
+/// remain accepted.
 pub fn parse_bench_file(text: &str) -> Result<Vec<BenchEntry>, String> {
     let mut entries = Vec::new();
     for (no, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
         }
+        let line = vtq::jsonl::check_line(line).map_err(|e| format!("line {}: {e}", no + 1))?;
         let pairs =
-            parse_flat_line(line).ok_or_else(|| format!("line {}: malformed JSON", no + 1))?;
+            parse_flat_line(&line).ok_or_else(|| format!("line {}: malformed JSON", no + 1))?;
         if field(&pairs, "record") != Some("bench") {
             continue;
         }
@@ -509,7 +517,10 @@ pub fn run(opts: &HarnessOpts, engine: &SweepEngine) -> u8 {
     let numbers = bench_numbers(&dir);
     let n = numbers.last().map_or(1, |last| last + 1);
     let path = dir.join(format!("BENCH_{n}.json"));
-    if let Err(e) = fs::write(&path, bench_file(&entries, fingerprint, quick)) {
+    if let Err(e) = vtq::diskfault::write_file_durable(
+        &path,
+        bench_file(&entries, fingerprint, quick).as_bytes(),
+    ) {
         eprintln!("error: cannot write {}: {e}", path.display());
         return crate::EXIT_VIOLATION;
     }
@@ -640,8 +651,21 @@ mod tests {
         let parsed = parse_bench_file(&text).expect("round trip");
         assert_eq!(parsed, entries);
         // A doctored median must change the parse (the compare test's
-        // injection mechanism).
-        let doctored = text.replace("\"median_ns\":123", "\"median_ns\":99123");
+        // injection mechanism). Lines are checksum-framed, so doctoring
+        // goes through unframe -> edit -> reframe; a raw byte edit is
+        // (correctly) rejected as a corrupt frame.
+        assert!(
+            parse_bench_file(&text.replace("\"median_ns\":123", "\"median_ns\":99123")).is_err(),
+            "raw edit of a framed line must fail its checksum"
+        );
+        let doctored: String = text
+            .lines()
+            .map(|l| {
+                let payload = vtq::jsonl::check_line(l).expect("framed line");
+                let payload = payload.replace("\"median_ns\":123", "\"median_ns\":99123");
+                format!("{}\n", vtq::jsonl::frame_line(&payload))
+            })
+            .collect();
         assert_eq!(parse_bench_file(&doctored).unwrap()[0].median_ns, 99_123);
     }
 

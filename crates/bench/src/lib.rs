@@ -131,6 +131,13 @@ pub struct HarnessOpts {
     /// Re-run the submitted matrix locally and fail on any divergence
     /// from the daemon's results (`--verify-local`; submit).
     pub verify_local: bool,
+    /// Seed count for the disk-fault campaign (`--seeds`; chaos;
+    /// default: 20, or 5 under `--quick`).
+    pub seeds: Option<u64>,
+    /// Disable frame verification for the run (`--sabotage`; chaos).
+    /// Exists to prove the campaign detects a build that skips checksum
+    /// checks: with it, the campaign must exit nonzero.
+    pub sabotage: bool,
 }
 
 impl Default for HarnessOpts {
@@ -159,6 +166,8 @@ impl Default for HarnessOpts {
             policies: None,
             deadline_ms: None,
             verify_local: false,
+            seeds: None,
+            sabotage: false,
         }
     }
 }
@@ -207,7 +216,10 @@ options (all subcommands):
   --policies A,B   (submit) policy labels to sweep, default baseline,vtq
   --deadline-ms N  (submit) per-job wall-clock deadline
   --verify-local   (submit) re-run the matrix locally and fail on any
-                   divergence from the daemon's results";
+                   divergence from the daemon's results
+  --seeds N        (chaos) campaign seeds, default 20 (5 with --quick)
+  --sabotage       (chaos) disable frame verification to prove the
+                   campaign catches it; the run must then exit nonzero";
 
 impl HarnessOpts {
     /// Parses a flag list (everything after the subcommand name).
@@ -381,6 +393,20 @@ impl HarnessOpts {
                 }
                 "--verify-local" => {
                     opts.verify_local = true;
+                }
+                "--seeds" => {
+                    i += 1;
+                    let seeds: u64 = args
+                        .get(i)
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--seeds needs an integer")?;
+                    if seeds == 0 {
+                        return Err("--seeds must be at least 1".to_string());
+                    }
+                    opts.seeds = Some(seeds);
+                }
+                "--sabotage" => {
+                    opts.sabotage = true;
                 }
                 "--strict-invariants" => {
                     opts.config.gpu = opts
@@ -744,6 +770,7 @@ mod tests {
             "scaling",
             "sensitivity",
             "faults",
+            "chaos",
             "conformance",
             "repro",
             "serve",

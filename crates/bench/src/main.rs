@@ -106,9 +106,17 @@ fn main() -> ExitCode {
         eprintln!("\n[prof] host-side profile:\n{}", snap.summary());
         if let Some(dir) = &opts.out {
             let path = dir.join("prof.jsonl");
-            let body =
-                format!("{}\n{}", vtq::provenance::provenance_line(None, None), snap.to_jsonl());
-            if let Err(e) = std::fs::write(&path, body) {
+            // Checksum-frame every line and publish durably (temp file +
+            // fsync + rename), like every other persisted artifact.
+            let mut body = format!(
+                "{}\n",
+                vtq::jsonl::frame_line(&vtq::provenance::provenance_line(None, None))
+            );
+            for line in snap.to_jsonl().lines() {
+                body.push_str(&vtq::jsonl::frame_line(line));
+                body.push('\n');
+            }
+            if let Err(e) = vtq::diskfault::write_file_durable(&path, body.as_bytes()) {
                 eprintln!("[prof] cannot write {}: {e}", path.display());
             } else {
                 eprintln!("[prof] snapshot in {}", path.display());

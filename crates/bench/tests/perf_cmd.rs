@@ -71,13 +71,16 @@ fn perf_command_enforces_the_exit_code_contract() {
 
     // An injected slowdown: doctor a baseline 100x faster with no
     // noise, then compare against it — every entry regresses, exit 1.
+    // BENCH lines are checksum-framed, so the doctoring goes through
+    // unframe -> edit -> reframe (a raw byte edit would be rejected as
+    // a corrupt frame, which is its own test elsewhere).
     let doctored: String = text
         .lines()
         .map(|l| {
-            if !l.contains("\"record\":\"bench\"") {
+            let mut line = vtq::jsonl::check_line(l).expect("framed baseline line");
+            if !line.contains("\"record\":\"bench\"") {
                 return format!("{l}\n");
             }
-            let mut line = l.to_string();
             for key in ["\"median_ns\":", "\"mad_ns\":"] {
                 let at = line.find(key).expect("key present") + key.len();
                 let end =
@@ -86,7 +89,7 @@ fn perf_command_enforces_the_exit_code_contract() {
                 let new = if key.starts_with("\"median") { (v / 100).max(1) } else { 0 };
                 line.replace_range(at..end, &new.to_string());
             }
-            format!("{line}\n")
+            format!("{}\n", vtq::jsonl::frame_line(&line))
         })
         .collect();
     let fast = dir.join("fast-baseline.json");

@@ -33,7 +33,6 @@
 
 use std::fmt;
 use std::fs;
-use std::io::Write as _;
 use std::path::Path;
 
 use gpusim::{
@@ -651,24 +650,30 @@ fn json_escape(s: &str) -> String {
 
 /// Serializes a golden figure to its JSONL file content: the shared
 /// provenance header, a meta line, then one line per entry (flat
-/// objects, lexical diff friendly).
+/// objects, lexical diff friendly). Every line is checksum-framed
+/// ([`crate::jsonl::frame_line`]); legacy unframed snapshots are still
+/// parseable.
 pub fn golden_jsonl(g: &GoldenFigure) -> String {
-    let mut out = format!("{}\n", crate::provenance::provenance_line(Some(g.fingerprint), None));
-    out.push_str(&format!(
+    let frame = crate::jsonl::frame_line;
+    let mut out =
+        format!("{}\n", frame(&crate::provenance::provenance_line(Some(g.fingerprint), None)));
+    out.push_str(&frame(&format!(
         "{{\"record\":\"golden_meta\",\"figure\":\"{}\",\"fingerprint\":\"{:#018x}\",\
-         \"scenes\":\"{}\"}}\n",
+         \"scenes\":\"{}\"}}",
         json_escape(&g.figure),
         g.fingerprint,
         json_escape(&g.scenes.join(",")),
-    ));
+    )));
+    out.push('\n');
     for e in &g.entries {
-        out.push_str(&format!(
-            "{{\"record\":\"golden_entry\",\"key\":\"{}\",\"value\":{},\"tol\":{},\"rel\":{}}}\n",
+        out.push_str(&frame(&format!(
+            "{{\"record\":\"golden_entry\",\"key\":\"{}\",\"value\":{},\"tol\":{},\"rel\":{}}}",
             json_escape(&e.key),
             e.value,
             e.tol,
             e.rel,
-        ));
+        )));
+        out.push('\n');
     }
     out
 }
@@ -715,8 +720,9 @@ pub fn parse_golden_jsonl(text: &str) -> Result<GoldenFigure, String> {
         if line.trim().is_empty() {
             continue;
         }
+        let line = crate::jsonl::check_line(line).map_err(|e| format!("line {}: {e}", no + 1))?;
         let pairs =
-            parse_flat_line(line).ok_or_else(|| format!("line {}: malformed JSON", no + 1))?;
+            parse_flat_line(&line).ok_or_else(|| format!("line {}: malformed JSON", no + 1))?;
         match field(&pairs, "record") {
             // The shared artifact-provenance header: carries build
             // metadata, not golden data, so it is validated elsewhere
@@ -769,8 +775,10 @@ pub fn parse_golden_jsonl(text: &str) -> Result<GoldenFigure, String> {
 pub fn write_golden(dir: &Path, goldens: &[GoldenFigure]) -> std::io::Result<()> {
     fs::create_dir_all(dir)?;
     for g in goldens {
-        let mut f = fs::File::create(dir.join(format!("{}.json", g.figure)))?;
-        f.write_all(golden_jsonl(g).as_bytes())?;
+        crate::diskfault::write_file_durable(
+            &dir.join(format!("{}.json", g.figure)),
+            golden_jsonl(g).as_bytes(),
+        )?;
     }
     Ok(())
 }
@@ -799,14 +807,23 @@ pub enum GoldenOutcome {
         /// Fingerprint of the current run.
         current: u64,
     },
+    /// The snapshot file failed its per-line checksum frames: the bytes
+    /// on disk are not the bytes that were written. Carries the
+    /// forensic description. Distinct from [`Mismatch`](Self::Mismatch)
+    /// because a damaged baseline is a usage/environment problem, not a
+    /// regression — the harness exits 2, telling the operator to
+    /// restore the file from version control or regenerate it.
+    Corrupt(String),
 }
 
 impl GoldenOutcome {
     /// `true` for outcomes that should fail the harness. A missing file
     /// or config mismatch is reported but not fatal: snapshots only bind
-    /// the configuration they were taken under.
+    /// the configuration they were taken under. A corrupt snapshot is
+    /// fatal too, but on the usage exit path (see
+    /// [`Corrupt`](Self::Corrupt)), which callers branch on explicitly.
     pub fn is_failure(&self) -> bool {
-        matches!(self, GoldenOutcome::Mismatch(_))
+        matches!(self, GoldenOutcome::Mismatch(_) | GoldenOutcome::Corrupt(_))
     }
 }
 
@@ -822,6 +839,23 @@ pub fn check_golden(dir: &Path, current: &GoldenFigure) -> GoldenOutcome {
     let Ok(text) = fs::read_to_string(&path) else {
         return GoldenOutcome::MissingFile;
     };
+    // Integrity gate before any comparison: a snapshot whose checksum
+    // frames fail is corrupt on disk and must never be compared against
+    // (forensically reported instead of surfacing as a figure
+    // "regression").
+    for (no, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Err(e) = crate::jsonl::check_line(line) {
+            return GoldenOutcome::Corrupt(format!(
+                "{}: line {}: {e} — restore the snapshot from version control or \
+                 regenerate it with --update-golden",
+                path.display(),
+                no + 1,
+            ));
+        }
+    }
     let golden = match parse_golden_jsonl(&text) {
         Ok(g) => g,
         Err(e) => return GoldenOutcome::Mismatch(vec![format!("{}: {e}", path.display())]),

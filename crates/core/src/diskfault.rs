@@ -1,0 +1,419 @@
+//! Seeded disk-fault injection plus the durable-write discipline the
+//! artifact paths share.
+//!
+//! Two things live here because they must agree on where the fault
+//! points are:
+//!
+//! * **Durable write helpers** — [`write_file_durable`] (unique temp
+//!   file, `sync_all`, atomic rename, parent-directory fsync),
+//!   [`sync_dir`], [`unique_tmp_path`] and [`sweep_orphan_tmps`]. The
+//!   result cache, journals and exporters route their writes through
+//!   these so "done" means durable, not merely buffered.
+//! * **A deterministic fault shim** — [`arm`] plants one seeded
+//!   [`DiskFault`] (torn write at byte *k*, single-bit flip, ENOSPC,
+//!   failed rename, short read) that fires on the Nth matching
+//!   filesystem operation routed through this module. [`disarm`]
+//!   reports what fired. The shim is how `vtq-bench chaos` and the
+//!   corruption tests exercise the recovery policies without needing a
+//!   faulty disk; like the simulator's chaos hooks it is inert unless
+//!   explicitly armed.
+//!
+//! The shim is process-global (the artifact writers it shims are used
+//! from worker threads), so tests that arm it must serialize and always
+//! disarm — [`disarm`] is unconditional and returns evidence of what
+//! fired for the campaign's assertions.
+
+use std::fs::{self, File};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// The disk faults the shim can inject, mirroring the real failure
+/// modes the integrity layer defends against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiskFault {
+    /// A write persists only its first *k* bytes (power loss mid-write);
+    /// the caller sees an error, the file keeps the torn prefix.
+    TornWrite,
+    /// One seeded bit of the written buffer is flipped; the write
+    /// "succeeds" — the canonical silent-corruption case checksums
+    /// exist for.
+    BitFlip,
+    /// The write fails up front with an ENOSPC-style error and persists
+    /// nothing.
+    Enospc,
+    /// The atomic rename publishing a temp file fails, orphaning it.
+    FailRename,
+    /// A read returns only a seeded prefix of the file (truncated
+    /// page-cache read after a crash).
+    ShortRead,
+}
+
+impl DiskFault {
+    /// Every fault, in campaign rotation order.
+    pub const ALL: [DiskFault; 5] = [
+        DiskFault::TornWrite,
+        DiskFault::BitFlip,
+        DiskFault::Enospc,
+        DiskFault::FailRename,
+        DiskFault::ShortRead,
+    ];
+
+    /// Stable lowercase name used in `chaos.jsonl` and messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            DiskFault::TornWrite => "torn-write",
+            DiskFault::BitFlip => "bit-flip",
+            DiskFault::Enospc => "enospc",
+            DiskFault::FailRename => "fail-rename",
+            DiskFault::ShortRead => "short-read",
+        }
+    }
+
+    fn class(self) -> OpClass {
+        match self {
+            DiskFault::TornWrite | DiskFault::BitFlip | DiskFault::Enospc => OpClass::Write,
+            DiskFault::FailRename => OpClass::Rename,
+            DiskFault::ShortRead => OpClass::Read,
+        }
+    }
+}
+
+/// The filesystem-operation classes the shim intercepts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OpClass {
+    Write,
+    Rename,
+    Read,
+}
+
+/// One planned fault: `fault` fires on the `skip_ops`-th matching
+/// operation (0 = the next one), with byte/bit positions derived from
+/// `seed` so a campaign seed reproduces the exact same damage.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPlan {
+    /// What to inject.
+    pub fault: DiskFault,
+    /// How many matching operations to let through first.
+    pub skip_ops: u64,
+    /// Drives the injected byte offset / bit position.
+    pub seed: u64,
+}
+
+/// Evidence that an armed fault fired, returned by [`disarm`].
+#[derive(Debug, Clone)]
+pub struct FiredFault {
+    /// The fault that fired.
+    pub fault: DiskFault,
+    /// Human-readable description of the injected damage.
+    pub detail: String,
+}
+
+struct ShimState {
+    plan: Option<FaultPlan>,
+    matching_ops_seen: u64,
+    fired: Option<FiredFault>,
+}
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static STATE: Mutex<ShimState> =
+    Mutex::new(ShimState { plan: None, matching_ops_seen: 0, fired: None });
+
+/// Arms `plan`; it fires at most once, on the matching operation it
+/// targets. Replaces any previously armed plan (and forgets any
+/// previously fired evidence).
+pub fn arm(plan: FaultPlan) {
+    let mut st = STATE.lock().unwrap();
+    st.plan = Some(plan);
+    st.matching_ops_seen = 0;
+    st.fired = None;
+    ARMED.store(true, Ordering::Release);
+}
+
+/// Disarms the shim and returns what fired, if anything. Always call
+/// this (campaigns assert on the evidence; tests must not leak an armed
+/// plan into later tests).
+pub fn disarm() -> Option<FiredFault> {
+    let mut st = STATE.lock().unwrap();
+    st.plan = None;
+    st.matching_ops_seen = 0;
+    ARMED.store(false, Ordering::Release);
+    st.fired.take()
+}
+
+/// True while a plan is armed and has not fired yet.
+pub fn armed() -> bool {
+    ARMED.load(Ordering::Acquire) && STATE.lock().unwrap().plan.is_some()
+}
+
+/// Claims the armed plan if it targets `class` and its skip count has
+/// elapsed; the plan is consumed (one-shot) and `fired` recorded later
+/// by the injection site via [`record_fired`].
+fn consume(class: OpClass) -> Option<FaultPlan> {
+    if !ARMED.load(Ordering::Acquire) {
+        return None; // fast path: nothing armed
+    }
+    let mut st = STATE.lock().unwrap();
+    let plan = st.plan?;
+    if plan.fault.class() != class {
+        return None;
+    }
+    if st.matching_ops_seen < plan.skip_ops {
+        st.matching_ops_seen += 1;
+        return None;
+    }
+    st.plan = None;
+    ARMED.store(false, Ordering::Release);
+    Some(plan)
+}
+
+fn record_fired(fault: DiskFault, detail: String) {
+    STATE.lock().unwrap().fired = Some(FiredFault { fault, detail });
+}
+
+// ---------------------------------------------------------------------------
+// Guarded filesystem operations
+// ---------------------------------------------------------------------------
+
+/// Writes `bytes` to `w`, applying any armed write-class fault.
+pub fn guarded_write(w: &mut impl Write, bytes: &[u8]) -> io::Result<()> {
+    match consume(OpClass::Write) {
+        None => w.write_all(bytes),
+        Some(plan) => match plan.fault {
+            DiskFault::TornWrite => {
+                let cut = if bytes.is_empty() { 0 } else { (plan.seed as usize) % bytes.len() };
+                w.write_all(&bytes[..cut])?;
+                let _ = w.flush();
+                record_fired(plan.fault, format!("torn write: {cut} of {} bytes", bytes.len()));
+                Err(io::Error::other("injected fault: torn write (power loss mid-write)"))
+            }
+            DiskFault::BitFlip => {
+                let mut owned = bytes.to_vec();
+                if !owned.is_empty() {
+                    let byte = (plan.seed as usize) % owned.len();
+                    let bit = ((plan.seed >> 8) % 8) as u8;
+                    owned[byte] ^= 1 << bit;
+                    record_fired(plan.fault, format!("bit flip at byte {byte} bit {bit}"));
+                } else {
+                    record_fired(plan.fault, "bit flip on empty write (no-op)".to_string());
+                }
+                // The treacherous case: the write *succeeds*.
+                w.write_all(&owned)
+            }
+            DiskFault::Enospc => {
+                record_fired(plan.fault, format!("ENOSPC before {} bytes", bytes.len()));
+                Err(io::Error::other("injected fault: No space left on device"))
+            }
+            // Non-write faults never reach here (class-matched).
+            DiskFault::FailRename | DiskFault::ShortRead => unreachable!(),
+        },
+    }
+}
+
+/// Renames `from` to `to`, applying an armed [`DiskFault::FailRename`].
+pub fn guarded_rename(from: &Path, to: &Path) -> io::Result<()> {
+    if let Some(plan) = consume(OpClass::Rename) {
+        record_fired(plan.fault, format!("rename {} -> {} failed", from.display(), to.display()));
+        return Err(io::Error::other("injected fault: rename failed"));
+    }
+    fs::rename(from, to)
+}
+
+/// Reads `path` to a string, applying an armed [`DiskFault::ShortRead`]
+/// (the result is truncated at a seeded byte, snapped back to a char
+/// boundary so the caller still gets valid UTF-8 — exactly what a torn
+/// page-cache read of an ASCII artifact looks like).
+pub fn guarded_read_to_string(path: &Path) -> io::Result<String> {
+    let mut text = String::new();
+    File::open(path)?.read_to_string(&mut text)?;
+    if let Some(plan) = consume(OpClass::Read) {
+        let mut cut = (plan.seed as usize) % (text.len() + 1);
+        while cut > 0 && !text.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        record_fired(plan.fault, format!("short read: {cut} of {} bytes", text.len()));
+        text.truncate(cut);
+    }
+    Ok(text)
+}
+
+// ---------------------------------------------------------------------------
+// Durable-write discipline
+// ---------------------------------------------------------------------------
+
+static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A collision-free temp path in `dir` for staging `stem`: the process
+/// id plus a process-wide counter keep concurrent jobs (and jobs from a
+/// crashed predecessor) from racing on a shared temp name.
+pub fn unique_tmp_path(dir: &Path, stem: &str) -> PathBuf {
+    let n = TMP_COUNTER.fetch_add(1, Ordering::Relaxed);
+    dir.join(format!(".{stem}.{}.{n}.tmp", std::process::id()))
+}
+
+/// fsyncs a directory so a just-renamed entry survives power loss (on
+/// platforms where directories cannot be opened/synced this degrades to
+/// a no-op rather than failing the write that preceded it).
+pub fn sync_dir(dir: &Path) -> io::Result<()> {
+    match File::open(dir) {
+        Ok(d) => d.sync_all().or(Ok(())),
+        Err(_) => Ok(()),
+    }
+}
+
+/// Writes `bytes` to `path` with full durability discipline: staged to
+/// a [`unique_tmp_path`], `sync_all`-ed, atomically renamed over
+/// `path`, parent directory fsynced. The temp file is removed on any
+/// failure; injected faults surface as the error of the step they hit.
+pub fn write_file_durable(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let dir = path.parent().map(Path::to_path_buf).unwrap_or_else(|| PathBuf::from("."));
+    let stem = path.file_name().and_then(|n| n.to_str()).unwrap_or("artifact");
+    let tmp = unique_tmp_path(&dir, stem);
+    let staged = (|| {
+        let mut f = File::create(&tmp)?;
+        guarded_write(&mut f, bytes)?;
+        f.sync_all()
+    })();
+    if let Err(e) = staged {
+        let _ = fs::remove_file(&tmp);
+        return Err(e);
+    }
+    if let Err(e) = guarded_rename(&tmp, path) {
+        let _ = fs::remove_file(&tmp);
+        return Err(e);
+    }
+    sync_dir(&dir)
+}
+
+/// Removes orphaned `.tmp` staging files (crashed or fault-injected
+/// predecessors) from `dir`; returns how many were swept. Only files
+/// matching the [`unique_tmp_path`] shape (`.` prefix, `.tmp` suffix)
+/// are touched.
+pub fn sweep_orphan_tmps(dir: &Path) -> io::Result<usize> {
+    let mut swept = 0;
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if name.starts_with('.') && name.ends_with(".tmp") && fs::remove_file(entry.path()).is_ok()
+        {
+            swept += 1;
+        }
+    }
+    Ok(swept)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex as TestMutex, OnceLock};
+
+    /// The shim is process-global; tests that arm it must not overlap.
+    fn shim_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: OnceLock<TestMutex<()>> = OnceLock::new();
+        LOCK.get_or_init(|| TestMutex::new(())).lock().unwrap()
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("vtq-diskfault-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn unarmed_shim_is_transparent() {
+        let _guard = shim_lock();
+        assert!(disarm().is_none());
+        let dir = tmpdir("plain");
+        let path = dir.join("a.jsonl");
+        write_file_durable(&path, b"{\"k\":\"v\"}\n").unwrap();
+        assert_eq!(guarded_read_to_string(&path).unwrap(), "{\"k\":\"v\"}\n");
+        assert_eq!(sweep_orphan_tmps(&dir).unwrap(), 0, "no temp left behind");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_write_leaves_prefix_and_errors() {
+        let _guard = shim_lock();
+        let dir = tmpdir("torn");
+        let path = dir.join("a.jsonl");
+        arm(FaultPlan { fault: DiskFault::TornWrite, skip_ops: 0, seed: 5 });
+        let err = write_file_durable(&path, b"0123456789").unwrap_err();
+        let fired = disarm().expect("fault fired");
+        assert_eq!(fired.fault, DiskFault::TornWrite);
+        assert!(err.to_string().contains("torn write"), "{err}");
+        assert!(!path.exists(), "failed stage must not publish");
+        assert_eq!(sweep_orphan_tmps(&dir).unwrap(), 0, "failed temp is cleaned up");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bit_flip_silently_corrupts() {
+        let _guard = shim_lock();
+        let dir = tmpdir("flip");
+        let path = dir.join("a.jsonl");
+        arm(FaultPlan { fault: DiskFault::BitFlip, skip_ops: 0, seed: 3 });
+        write_file_durable(&path, b"0123456789").unwrap();
+        assert_eq!(disarm().unwrap().fault, DiskFault::BitFlip);
+        let got = fs::read(&path).unwrap();
+        assert_ne!(got, b"0123456789", "exactly the silent corruption checksums catch");
+        assert_eq!(got.len(), 10);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_rename_orphans_temp_then_sweep_collects_it() {
+        let _guard = shim_lock();
+        let dir = tmpdir("rename");
+        let path = dir.join("a.jsonl");
+        arm(FaultPlan { fault: DiskFault::FailRename, skip_ops: 0, seed: 0 });
+        // write_file_durable removes its own temp on failure; simulate a
+        // crashed predecessor by staging one manually.
+        fs::write(unique_tmp_path(&dir, "a.jsonl"), b"stale").unwrap();
+        let err = write_file_durable(&path, b"fresh").unwrap_err();
+        assert!(err.to_string().contains("rename"), "{err}");
+        assert_eq!(disarm().unwrap().fault, DiskFault::FailRename);
+        assert!(!path.exists());
+        assert_eq!(sweep_orphan_tmps(&dir).unwrap(), 1, "orphan from the crashed writer");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn short_read_truncates_deterministically() {
+        let _guard = shim_lock();
+        let dir = tmpdir("short");
+        let path = dir.join("a.jsonl");
+        fs::write(&path, b"0123456789").unwrap();
+        arm(FaultPlan { fault: DiskFault::ShortRead, skip_ops: 0, seed: 4 });
+        let got = guarded_read_to_string(&path).unwrap();
+        assert_eq!(disarm().unwrap().fault, DiskFault::ShortRead);
+        assert_eq!(got, "0123", "seeded prefix");
+        assert_eq!(guarded_read_to_string(&path).unwrap(), "0123456789", "one-shot");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn skip_ops_counts_matching_operations() {
+        let _guard = shim_lock();
+        let dir = tmpdir("skip");
+        arm(FaultPlan { fault: DiskFault::Enospc, skip_ops: 2, seed: 0 });
+        write_file_durable(&dir.join("a"), b"x").unwrap();
+        write_file_durable(&dir.join("b"), b"x").unwrap();
+        let err = write_file_durable(&dir.join("c"), b"x").unwrap_err();
+        assert!(err.to_string().contains("No space left"), "{err}");
+        assert_eq!(disarm().unwrap().fault, DiskFault::Enospc);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unique_tmp_paths_do_not_collide() {
+        let dir = PathBuf::from("/d");
+        let a = unique_tmp_path(&dir, "k");
+        let b = unique_tmp_path(&dir, "k");
+        assert_ne!(a, b);
+        let name = a.file_name().unwrap().to_str().unwrap();
+        assert!(name.starts_with(".k.") && name.ends_with(".tmp"), "{name}");
+    }
+}

@@ -202,11 +202,19 @@ impl CellDisposition {
 struct JournalInner {
     file: BufWriter<File>,
     done: HashSet<String>,
+    /// Records since the last `sync_data` (see [`JOURNAL_SYNC_EVERY`]).
+    unsynced: u32,
 }
 
+/// Every record is flushed to the OS immediately; every this-many
+/// records the journal additionally `sync_data`s so a power loss (not
+/// just a process kill) bounds the lost suffix.
+const JOURNAL_SYNC_EVERY: u32 = 8;
+
 /// Append-only journal of sweep-cell dispositions, one flat-JSON record
-/// per line, flushed after every write so a `kill -9` loses at most the
-/// cell that was in flight.
+/// per line (checksum-framed via [`crate::jsonl::frame_line`]), flushed
+/// after every write so a `kill -9` loses at most the cell that was in
+/// flight, and fsynced every few records so power loss is bounded too.
 #[derive(Debug)]
 pub struct SweepJournal {
     path: PathBuf,
@@ -215,6 +223,9 @@ pub struct SweepJournal {
     /// permissions): the sweep survives, but resume data is incomplete —
     /// see [`note_drop`](Self::note_drop).
     drops: AtomicU64,
+    /// Bytes cut from a corrupt/torn tail at [`resume`](Self::resume)
+    /// time (`None` when the journal was intact).
+    truncated: Option<u64>,
 }
 
 impl SweepJournal {
@@ -227,8 +238,13 @@ impl SweepJournal {
         let file = File::create(&path)?;
         let journal = SweepJournal {
             path,
-            inner: Mutex::new(JournalInner { file: BufWriter::new(file), done: HashSet::new() }),
+            inner: Mutex::new(JournalInner {
+                file: BufWriter::new(file),
+                done: HashSet::new(),
+                unsynced: 0,
+            }),
             drops: AtomicU64::new(0),
+            truncated: None,
         };
         journal.session_header("start")?;
         Ok(journal)
@@ -237,26 +253,37 @@ impl SweepJournal {
     /// Opens `dir/journal.jsonl` for appending and loads the set of cells
     /// already journaled `done`, which [`completed`](Self::completed)
     /// then reports so the engine can skip them.
+    ///
+    /// Recovery policy: the journal is valid up to the first torn or
+    /// corrupt line (a record missing its newline, failing its
+    /// [`crate::jsonl::check_line`] checksum, or a `cell` record whose
+    /// key/status cannot be parsed). Everything from that line on is
+    /// physically truncated — with a forensic warning on stderr — so the
+    /// affected cells simply re-run: exactly-once is preserved because
+    /// their superseded records no longer exist. Legacy journals without
+    /// checksums remain accepted.
     pub fn resume(dir: &Path) -> io::Result<SweepJournal> {
         std::fs::create_dir_all(dir)?;
         let path = dir.join(JOURNAL_FILE);
         let mut done = HashSet::new();
+        let mut truncated = None;
         match File::open(&path) {
             Ok(mut f) => {
                 let mut text = String::new();
                 f.read_to_string(&mut text)?;
-                for line in text.lines() {
-                    if json_str_field(line, "record").as_deref() != Some("cell") {
-                        continue;
-                    }
-                    let (Some(key), Some(status)) =
-                        (json_str_field(line, "key"), json_str_field(line, "status"))
-                    else {
-                        continue; // torn tail line from a hard kill
-                    };
-                    if status == CellDisposition::Done.label() {
-                        done.insert(key);
-                    }
+                let (good_end, complaint) = scan_journal(&text, &mut done);
+                if good_end < text.len() {
+                    let cut = (text.len() - good_end) as u64;
+                    eprintln!(
+                        "vtq: journal {}: {} — truncating {cut} corrupt/torn tail byte(s); \
+                         affected cells will re-run",
+                        path.display(),
+                        complaint.as_deref().unwrap_or("torn tail"),
+                    );
+                    let fixup = OpenOptions::new().write(true).open(&path)?;
+                    fixup.set_len(good_end as u64)?;
+                    fixup.sync_data()?;
+                    truncated = Some(cut);
                 }
             }
             Err(e) if e.kind() == io::ErrorKind::NotFound => {}
@@ -265,11 +292,19 @@ impl SweepJournal {
         let file = OpenOptions::new().create(true).append(true).open(&path)?;
         let journal = SweepJournal {
             path,
-            inner: Mutex::new(JournalInner { file: BufWriter::new(file), done }),
+            inner: Mutex::new(JournalInner { file: BufWriter::new(file), done, unsynced: 0 }),
             drops: AtomicU64::new(0),
+            truncated,
         };
         journal.session_header("resume")?;
         Ok(journal)
+    }
+
+    /// Bytes truncated from a corrupt/torn tail when this journal was
+    /// [`resume`](Self::resume)d; `None` if the journal was intact (or
+    /// freshly [`start`](Self::start)ed).
+    pub fn truncated_tail(&self) -> Option<u64> {
+        self.truncated
     }
 
     /// Path of the journal file.
@@ -302,7 +337,9 @@ impl SweepJournal {
         self.drops.load(Ordering::Relaxed)
     }
 
-    /// Appends one cell record and flushes it to disk.
+    /// Appends one checksum-framed cell record, flushes it, and
+    /// `sync_data`s every [`JOURNAL_SYNC_EVERY`] records. Faults from
+    /// the [`crate::diskfault`] shim land here when armed.
     pub fn record(
         &self,
         key: &str,
@@ -312,14 +349,20 @@ impl SweepJournal {
     ) -> io::Result<()> {
         let mut inner = self.inner.lock().unwrap();
         let line = format!(
-            "{{\"record\":\"cell\",\"key\":{},\"status\":\"{}\",\"retries\":{},\"detail\":{}}}\n",
+            "{{\"record\":\"cell\",\"key\":{},\"status\":\"{}\",\"retries\":{},\"detail\":{}}}",
             json_quote(key),
             disposition.label(),
             retries,
             json_quote(detail),
         );
-        inner.file.write_all(line.as_bytes())?;
+        let framed = format!("{}\n", frame_line(&line));
+        crate::diskfault::guarded_write(&mut inner.file, framed.as_bytes())?;
         inner.file.flush()?;
+        inner.unsynced += 1;
+        if inner.unsynced >= JOURNAL_SYNC_EVERY {
+            inner.file.get_ref().sync_data()?;
+            inner.unsynced = 0;
+        }
         if disposition == CellDisposition::Done {
             inner.done.insert(key.to_string());
         }
@@ -333,17 +376,54 @@ impl SweepJournal {
         // no single config fingerprint or seed; resume() skips both
         // lines (it only replays "cell" records).
         let line = format!(
-            "{}\n{{\"record\":\"journal\",\"version\":1,\"mode\":\"{mode}\"}}\n",
-            crate::provenance::provenance_line(None, None)
+            "{}\n{}\n",
+            frame_line(&crate::provenance::provenance_line(None, None)),
+            frame_line(&format!("{{\"record\":\"journal\",\"version\":1,\"mode\":\"{mode}\"}}")),
         );
         inner.file.write_all(line.as_bytes())?;
-        inner.file.flush()
+        inner.file.flush()?;
+        inner.file.get_ref().sync_data()
     }
+}
+
+/// Scans journal `text` line by line, accumulating `done` keys, and
+/// returns the byte offset of the end of the last fully-valid line plus
+/// a description of what stopped the scan (if anything did). A line is
+/// valid when it is newline-terminated, passes the checksum frame, and
+/// — for `cell` records — yields a parseable key and status.
+fn scan_journal(text: &str, done: &mut HashSet<String>) -> (usize, Option<String>) {
+    let mut good_end = 0usize;
+    for raw in text.split_inclusive('\n') {
+        if !raw.ends_with('\n') {
+            return (good_end, Some("record missing trailing newline (torn write)".to_string()));
+        }
+        let line = raw.trim_end_matches(['\n', '\r']);
+        if line.is_empty() {
+            good_end += raw.len();
+            continue;
+        }
+        let payload = match check_line(line) {
+            Ok(payload) => payload,
+            Err(e) => return (good_end, Some(e.to_string())),
+        };
+        if json_str_field(&payload, "record").as_deref() == Some("cell") {
+            let (Some(key), Some(status)) =
+                (json_str_field(&payload, "key"), json_str_field(&payload, "status"))
+            else {
+                return (good_end, Some("cell record with unparseable key/status".to_string()));
+            };
+            if status == CellDisposition::Done.label() {
+                done.insert(key);
+            }
+        }
+        good_end += raw.len();
+    }
+    (good_end, None)
 }
 
 // The flat-JSONL primitives live in [`crate::jsonl`] (shared with the
 // serve protocol); these local names keep the journal/repro code terse.
-use crate::jsonl::{json_quote, json_str_field};
+use crate::jsonl::{check_line, frame_line, json_quote, json_str_field};
 
 // ---------------------------------------------------------------------------
 // Delta-debugging shrinker

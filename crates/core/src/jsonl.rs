@@ -8,6 +8,26 @@
 //! quoting and escape-aware field extraction. Centralizing them keeps
 //! the journal, the reproducer format and the `vtq::serve` wire protocol
 //! byte-compatible with each other.
+//!
+//! # Framed records
+//!
+//! Durable artifacts (journals, cache entries, checkpoints, goldens,
+//! BENCH files, `faults.jsonl`, `prof.jsonl`) additionally carry a
+//! per-line CRC32 so a torn write or bit flip is *detected* rather than
+//! silently parsed. [`frame_line`] appends a trailing
+//! `"crc":"xxxxxxxx"` field; [`check_line`] verifies it and hands back
+//! the original unframed line. Lines without a checksum field are
+//! accepted as legacy (artifacts written before framing existed), but a
+//! present-and-wrong checksum is always a typed [`CorruptFrame`] error —
+//! never a panic, never a silent accept. The implementation is shared
+//! with checkpoint serialization below this crate in the dependency
+//! graph (see `gpusim::frames`); these re-exports are the workspace's
+//! canonical import path.
+
+pub use gpusim::frames::{check_line, crc32, frame_line, is_framed, CorruptFrame};
+
+#[doc(hidden)]
+pub use gpusim::frames::sabotage_accept_unverified_frames;
 
 /// Quotes `s` as a JSON string, escaping backslash, quote and control
 /// characters (panic payloads and client input can contain anything).
@@ -96,5 +116,20 @@ mod tests {
     fn torn_value_is_none_not_panic() {
         assert_eq!(json_str_field("{\"k\":\"unterminat", "k"), None);
         assert_eq!(json_str_field("{\"k\":\"trailing\\", "k"), None);
+    }
+
+    #[test]
+    fn framed_lines_stay_parseable_by_the_field_extractors() {
+        // The exhaustive corruption-detection tests live next to the
+        // implementation in `gpusim::frames`; this pins the property the
+        // re-export adds for this crate's parsers: a framed line is
+        // still a flat JSON line, so existing extractors keep working.
+        let line = "{\"record\":\"cell\",\"key\":\"bunny/base\",\"n\":7}";
+        let framed = frame_line(line);
+        assert!(is_framed(&framed), "{framed}");
+        assert_eq!(check_line(&framed).unwrap(), line);
+        assert_eq!(json_str_field(&framed, "key").as_deref(), Some("bunny/base"));
+        assert_eq!(json_int_field::<u32>(&framed, "n").unwrap(), 7);
+        assert_eq!(check_line(line).unwrap(), line, "legacy lines accepted");
     }
 }

@@ -39,7 +39,14 @@
 //!   cancellation, an append-only cell journal that lets a killed sweep
 //!   resume without re-running completed cells, and a delta-debugging
 //!   shrinker that reduces a failing cell to a replayable minimal
-//!   reproducer.
+//!   reproducer,
+//! * [`jsonl`] — the flat-JSONL primitives plus the artifact-integrity
+//!   frame: every durable line carries a CRC32, parsers reject
+//!   mismatches as typed `CorruptFrame` errors,
+//! * [`diskfault`] — the durable-write discipline (unique temp files,
+//!   fsync, atomic rename) and a seeded disk-fault injection shim
+//!   (torn write, bit flip, ENOSPC, failed rename, short read) that
+//!   `vtq-bench chaos` drives end to end.
 //!
 //! # Quick start
 //!
@@ -60,6 +67,7 @@
 pub mod analytical;
 pub mod area;
 pub mod conformance;
+pub mod diskfault;
 pub mod durable;
 pub mod experiment;
 pub mod faults;
@@ -88,6 +96,10 @@ pub mod prelude {
         run_differential, write_golden, CellVerdict, ConformanceCell, ConformancePreset,
         ConformanceReport, Divergence, Equivalence, GoldenEntry, GoldenFigure, GoldenOutcome,
         OracleAnswer, OracleRun,
+    };
+    pub use crate::diskfault::{
+        sweep_orphan_tmps, sync_dir, unique_tmp_path, write_file_durable, DiskFault, FaultPlan,
+        FiredFault,
     };
     pub use crate::durable::{
         cancel_requested, request_cancel, reset_cancel, shrink_failure, shrink_workload,

@@ -472,7 +472,15 @@ impl Checkpoint {
             );
         }
         let _ = writeln!(o, "{{\"record\":\"ckpt_end\",\"cycle\":{}}}", self.now);
-        out
+        // Integrity pass: every persisted line carries its CRC32 frame
+        // so `from_jsonl` can reject torn writes and bit flips as typed
+        // errors instead of mis-restoring state.
+        let mut framed = String::with_capacity(out.len() + 20 * out.lines().count());
+        for line in out.lines() {
+            framed.push_str(&crate::frames::frame_line(line));
+            framed.push('\n');
+        }
+        framed
     }
 
     fn caches(&self) -> Vec<(String, &CacheSnapshot)> {
@@ -496,7 +504,9 @@ impl Checkpoint {
             text.lines().enumerate().map(|(i, l)| (i + 1, l)).filter(|(_, l)| !l.trim().is_empty());
         let (header_no, header_line) =
             lines.next().ok_or_else(|| ParseError::at(0, "empty checkpoint"))?;
-        let header = parse_flat_line(header_line).map_err(|r| ParseError::at(header_no, r))?;
+        let header_line = crate::frames::check_line(header_line)
+            .map_err(|e| ParseError::at(header_no, e.to_string()))?;
+        let header = parse_flat_line(&header_line).map_err(|r| ParseError::at(header_no, r))?;
         let at = |r: String| ParseError::at(header_no, r);
         if flat_str(&header, "record").map_err(&at)? != "checkpoint" {
             return Err(at("expected a `checkpoint` header record".to_string()));
@@ -556,7 +566,8 @@ impl Checkpoint {
                 return Err(ParseError::at(no, "data after `ckpt_end`".to_string()));
             }
             let at = |r: String| ParseError::at(no, r);
-            let p = parse_flat_line(line).map_err(&at)?;
+            let line = crate::frames::check_line(line).map_err(|e| at(e.to_string()))?;
+            let p = parse_flat_line(&line).map_err(&at)?;
             let u = |key: &str| flat_u64(&p, key).map_err(&at);
             let sm_of = |key: &str| -> Result<usize, ParseError> {
                 let sm = flat_u64(&p, key).map_err(&at)? as usize;

@@ -49,6 +49,7 @@ mod config;
 pub mod energy;
 mod error;
 pub mod export;
+pub mod frames;
 pub mod hw_table;
 mod observe;
 pub mod predict;

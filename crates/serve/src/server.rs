@@ -421,20 +421,34 @@ fn run_job(state: &ServeState, job: &Job) {
             }
             Err(_) => {
                 // Journal says done (a previous daemon life) — serve the
-                // cached result; its absence means the journal and cache
-                // disagree, which is reported, never silently absorbed.
+                // cached result. Its absence means the journal and cache
+                // disagree (the entry was quarantined corrupt, or lost
+                // with its disk): report it, then recompute — simulation
+                // is deterministic, so the replacement is bit-identical
+                // and the journal's `done` stays truthful.
                 match state.cache.load(&key, cfg_fp) {
                     Some(record) => note_cell(state, job, "cached", &record),
                     None => {
                         eprintln!(
-                            "[serve] {}: `{}` journaled done but result missing from cache",
+                            "[serve] {}: `{}` journaled done but result missing from cache; \
+                             recomputing",
                             job.id, cell.label
                         );
-                        state.emit(&job.id, &cell.label, "failed", 0, 0);
-                        bump(state, &job.id, |j| {
-                            j.failed_cells += 1;
-                            j.done_cells += 1;
-                        });
+                        let prepared = state.prepared.get(cell.scene, &cell.config);
+                        let report = prepared.run_policy(cell.policy);
+                        let record = CellRecord {
+                            scene: cell.scene.name().to_string(),
+                            label: cell.label.clone(),
+                            fingerprint: cell_key_fingerprint(cell),
+                            cycles: report.stats.cycles,
+                            rays: report.stats.rays_completed,
+                            box_tests: report.stats.box_tests,
+                            tri_tests: report.stats.tri_tests,
+                        };
+                        if let Err(e) = state.cache.store(&key, cfg_fp, &record) {
+                            eprintln!("[serve] cannot cache `{key}`: {e}");
+                        }
+                        note_cell(state, job, "recomputed", &record);
                     }
                 }
             }

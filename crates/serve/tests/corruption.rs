@@ -1,0 +1,64 @@
+//! Exhaustive single-byte corruption drill over result-cache entries:
+//! flip one byte at every offset of a stored entry. Every load must
+//! serve the exact original record or read as a miss (quarantined,
+//! skew-rejected, or parse-rejected) — never different data, never a
+//! panic — and after a miss, a recompute-and-store must round-trip.
+
+use std::fs;
+
+use vtq_serve::cache::CACHE_DIR;
+use vtq_serve::{CellRecord, ResultCache};
+
+fn record() -> CellRecord {
+    CellRecord {
+        scene: "REF".into(),
+        label: "REF/baseline".into(),
+        fingerprint: 0xfeed,
+        cycles: 123_456,
+        rays: 64,
+        box_tests: 17,
+        tri_tests: 9,
+    }
+}
+
+#[test]
+fn every_byte_flip_in_a_cache_entry_is_a_miss_or_the_exact_record() {
+    let dir = std::env::temp_dir().join(format!("vtq-cache-flip-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    let cache = ResultCache::open(&dir).expect("open cache");
+    let key = ResultCache::key("REF", 0xfeed);
+    let cfg_fp = 0xc0ffee_u64;
+    cache.store(&key, cfg_fp, &record()).expect("store");
+
+    let path = dir.join(CACHE_DIR).join(format!("{key}.jsonl"));
+    let original = fs::read(&path).expect("read entry");
+
+    for offset in 0..original.len() {
+        for bit in 0..8u8 {
+            let mut mutated = original.clone();
+            mutated[offset] ^= 1 << bit;
+            // A quarantine (or lingering corruption) from the previous
+            // iteration must not leak in: plant this iteration's bytes.
+            fs::write(&path, &mutated).expect("write mutated entry");
+
+            match cache.load(&key, cfg_fp) {
+                // Served: only legal when it is the exact original record.
+                Some(got) => assert_eq!(
+                    got,
+                    record(),
+                    "offset {offset} bit {bit}: corrupted entry served altered data"
+                ),
+                // Miss: quarantined/rejected — recompute must round-trip.
+                None => {
+                    cache.store(&key, cfg_fp, &record()).expect("re-store");
+                    assert_eq!(
+                        cache.load(&key, cfg_fp),
+                        Some(record()),
+                        "offset {offset} bit {bit}: recomputed entry did not round-trip"
+                    );
+                }
+            }
+        }
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
